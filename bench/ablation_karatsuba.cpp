@@ -1,0 +1,87 @@
+// Ablation: Karatsuba vs the paper's 4-multiplication splitting
+// (Sec. IV-A, left as future work in the paper — implemented here).
+//
+// Karatsuba reduces the four length-512 partial products of Algorithm 1
+// to three, but the middle product multiplies *sums* of operand halves:
+// the ternary operand sums are no longer ternary, so MUL TER cannot
+// compute them — a general (G x G) multiplier would be required, which
+// exchanges every MAU's adder/subtractor for a byte multiplier (DSP or
+// ~3x LUTs). This bench quantifies both sides of that trade-off and
+// functionally validates the Karatsuba path.
+#include <iomanip>
+#include <iostream>
+
+#include "common/costs.h"
+#include "common/rng.h"
+#include "poly/karatsuba.h"
+#include "poly/split_mul.h"
+#include "rtl/mul_ter.h"
+
+namespace {
+
+using namespace lacrv;
+
+u64 call_cost(u64 unit_len, u64 significant) {
+  return cost::kKernelCallOverhead +
+         (significant + 4) / 5 * cost::kMulTerLoadChunk +
+         cost::kMulTerStartOverhead + unit_len +
+         (unit_len + 3) / 4 * cost::kMulTerReadChunk;
+}
+
+u64 full_product_cost(u64 m, u64 unit_len) {
+  if (2 * m <= unit_len) return call_cost(unit_len, m);
+  return 4 * full_product_cost(m / 2, unit_len) +
+         3 * m * cost::kSplitRecombineStep;
+}
+
+}  // namespace
+
+int main() {
+  constexpr u64 kN = 1024, kUnit = 512;
+
+  // Paper's scheme: 4 full 512-products on the ternary unit.
+  const u64 four_mult =
+      4 * full_product_cost(kN / 2, kUnit) + 2 * kN * cost::kSplitRecombineStep;
+
+  // Karatsuba at the top level: 3 full 512-products on a hypothetical
+  // general unit + operand-sum additions + middle-term corrections.
+  const u64 three_mult = 3 * full_product_cost(kN / 2, kUnit) +
+                         2 * (kN / 2) * cost::kSplitRecombineStep +  // al+ah, bl+bh
+                         3 * kN * cost::kSplitRecombineStep;         // p1-p0-p2 & wrap
+
+  std::cout << "Ablation: Karatsuba vs 4-mult splitting (n = 1024, "
+               "length-512 unit)\n\n";
+  std::cout << "  4-mult ternary splitting (paper):      " << four_mult
+            << " cycles, ternary MUL TER suffices\n";
+  std::cout << "  3-mult Karatsuba (future work):        " << three_mult
+            << " cycles ("
+            << std::fixed << std::setprecision(1)
+            << 100.0 * (1.0 - static_cast<double>(three_mult) /
+                                  static_cast<double>(four_mult))
+            << "% fewer), but requires a G x G unit\n\n";
+
+  // Area consequence of a general unit: every MAU gains an 8x8 modular
+  // multiplier. With DSP packing that is ~1 DSP per 2 lanes; in LUTs,
+  // roughly +35 LUTs per lane on top of the MAU.
+  const rtl::AreaReport ternary = rtl::MulTerRtl(kUnit).area();
+  std::cout << "  ternary unit area:  " << ternary.luts << " LUTs, 0 DSPs\n";
+  std::cout << "  general unit area:  ~" << ternary.luts + kUnit * 35
+            << " LUTs (or " << ternary.luts << " LUTs + " << kUnit / 2
+            << " DSPs) — the complexity increase Sec. IV-A cites for "
+               "leaving Karatsuba as future work\n\n";
+
+  // Functional validation of the Karatsuba path against the two oracles.
+  Xoshiro256 rng(1);
+  poly::Ternary s(kN);
+  poly::Coeffs b(kN);
+  for (auto& v : s)
+    v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+  for (auto& v : b) v = static_cast<u8>(rng.next_below(poly::kQ));
+  const poly::Coeffs via_kara =
+      poly::mul_general_negacyclic(poly::from_ternary(s), b);
+  const poly::Coeffs via_split =
+      poly::split_mul_high(s, b, poly::software_mul_ter());
+  std::cout << "  functional check (Karatsuba == Algorithm 1 splitting): "
+            << (via_kara == via_split ? "PASS" : "FAIL") << "\n";
+  return via_kara == via_split ? 0 : 1;
+}

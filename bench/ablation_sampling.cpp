@@ -1,0 +1,85 @@
+// Ablation: what a hardware fixed-weight sampler would buy.
+//
+// The Keccak ablation (ablation_keccak) shows the hash swap alone cannot
+// close the gap to NewHope's 42k-cycle GenA: LAC's polynomial generation
+// is bound by the *sampling software* around the PRG. This bench projects
+// the next co-design step the paper's data implies — moving the
+// rejection/shuffle loops into hardware next to the PRG core:
+//
+//   model: the sampler unit consumes PRG output directly (no register
+//   round trips), retiring one candidate per cycle plus a fixed-weight
+//   shuffle pipeline of one position per cycle; software only issues the
+//   command and reads back packed coefficients (n/4 word reads).
+#include <iomanip>
+#include <iostream>
+
+#include "common/costs.h"
+#include "hash/keccak.h"
+#include "lac/sampler.h"
+
+namespace {
+
+using namespace lacrv;
+
+constexpr u64 kKeccakBlockCost = 25 + (hash::Shake128::kRate / 4) * 3;
+
+struct Projection {
+  u64 gen_a, sample;
+};
+
+/// Current optimized implementation (pq.sha256 + software glue).
+Projection current(const lac::Params& params) {
+  hash::Seed seed{};
+  CycleLedger ga, sp;
+  lac::gen_a(seed, params, lac::HashImpl::kAccelerated, &ga);
+  lac::sample_fixed_weight(seed, params, lac::HashImpl::kAccelerated, &sp);
+  return {ga.total(), sp.total()};
+}
+
+/// Hardware sampler next to a Keccak core: PRG blocks feed the sampler
+/// directly; coefficients come back packed 4-per-word.
+Projection hw_sampler(const lac::Params& params) {
+  // GenA: ~n candidates (rejection rate 251/256), 1/cycle, plus block
+  // permutations and the packed readback.
+  hash::Seed seed{};
+  hash::Shake128 xof(ByteView(seed.data(), seed.size()));
+  for (std::size_t i = 0; i < params.n; ++i) xof.next_below(poly::kQ);
+  const u64 gen_a = xof.permutations() * kKeccakBlockCost + params.n /*1/cyc*/ +
+                    (params.n / 4) * (cost::kPqIssue + cost::kStore) +
+                    cost::kKernelCallOverhead;
+  // fixed-weight sampler: h shuffle picks at 1/cycle + readback.
+  const u64 prg_blocks = (4 * params.weight) / hash::Shake128::kRate + 1;
+  const u64 sample = prg_blocks * kKeccakBlockCost + params.weight +
+                     (params.n / 4) * (cost::kPqIssue + cost::kStore) +
+                     cost::kKernelCallOverhead;
+  return {gen_a, sample};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: hardware fixed-weight sampler projection\n\n";
+  std::cout << std::left << std::setw(10) << "level" << std::right
+            << std::setw(16) << "GenA now" << std::setw(16) << "GenA HW-smp"
+            << std::setw(16) << "Sample now" << std::setw(17)
+            << "Sample HW-smp" << "\n";
+  for (const lac::Params* params : lac::Params::all()) {
+    const Projection now = current(*params);
+    const Projection hw = hw_sampler(*params);
+    std::cout << std::left << std::setw(10) << params->name << std::right
+              << std::setw(16) << now.gen_a << std::setw(16) << hw.gen_a
+              << std::setw(16) << now.sample << std::setw(17) << hw.sample
+              << "\n";
+  }
+  const Projection hw1024 = hw_sampler(lac::Params::lac256());
+  std::cout << "\nWith sampling in hardware, LAC-256's polynomial "
+               "generation drops to ~"
+            << hw1024.gen_a
+            << " cycles — an idealized 1-coefficient-per-cycle bound, two "
+               "orders of magnitude below today's ~286k and far below even "
+               "NewHope's 42,050-cycle GenA [8]. The conclusion matches "
+               "the Keccak ablation from the other side: the sampling "
+               "software, not the hash primitive, is the binding "
+               "constraint the paper's co-design leaves on the table.\n";
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Host-speed microbenchmarks (google-benchmark) of every primitive layer:
+// useful for spotting performance regressions in the library itself, and
+// for comparing the algorithmic flavours (table vs shift-and-add GF
+// multiplication, dense vs sparse vs split polynomial multiplication,
+// submission vs constant-time BCH decoding) on real hardware.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "hash/keccak.h"
+#include "hash/sha256.h"
+#include "lac/kem.h"
+#include "lac/sampler.h"
+#include "perf/iss_kernels.h"
+#include "poly/karatsuba.h"
+#include "poly/split_mul.h"
+#include "rtl/mul_ter.h"
+
+namespace {
+
+using namespace lacrv;
+
+hash::Seed seed_of(u64 x) {
+  hash::Seed s{};
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<u8>(x >> (8 * i));
+  return s;
+}
+
+poly::Ternary random_ternary(Xoshiro256& rng, std::size_t n) {
+  poly::Ternary t(n);
+  for (auto& v : t)
+    v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+  return t;
+}
+
+poly::Coeffs random_coeffs(Xoshiro256& rng, std::size_t n) {
+  poly::Coeffs c(n);
+  for (auto& v : c) v = static_cast<u8>(rng.next_below(poly::kQ));
+  return c;
+}
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const Bytes data = rng.bytes(1024);
+  for (auto _ : state) benchmark::DoNotOptimize(hash::sha256(data));
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_KeccakF1600(benchmark::State& state) {
+  hash::KeccakState keccak_state{};
+  for (auto _ : state) {
+    hash::keccak_f1600(keccak_state);
+    benchmark::DoNotOptimize(keccak_state);
+  }
+}
+BENCHMARK(BM_KeccakF1600);
+
+void BM_Shake128_1KiB(benchmark::State& state) {
+  Xoshiro256 rng(8);
+  const Bytes seed = rng.bytes(32);
+  for (auto _ : state) {
+    hash::Shake128 xof(seed);
+    std::array<u8, 1024> out;
+    xof.fill(out.data(), out.size());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Shake128_1KiB);
+
+void BM_GfMul(benchmark::State& state) {
+  const bool table = state.range(0) == 0;
+  Xoshiro256 rng(2);
+  const auto a = static_cast<gf::Element>(rng.next_below(512));
+  const auto b = static_cast<gf::Element>(rng.next_below(512));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(table ? gf::mul_table(a, b)
+                                   : gf::mul_shift_add(a, b));
+}
+BENCHMARK(BM_GfMul)->Arg(0)->Arg(1)->ArgName("shiftadd");
+
+void BM_BchEncode(benchmark::State& state) {
+  const bch::CodeSpec& spec = bch::CodeSpec::bch_511_367_16();
+  bch::Message msg{};
+  msg[0] = 0x5A;
+  for (auto _ : state) benchmark::DoNotOptimize(bch::encode(spec, msg));
+}
+BENCHMARK(BM_BchEncode);
+
+void BM_BchDecode(benchmark::State& state) {
+  const bch::CodeSpec& spec = bch::CodeSpec::bch_511_367_16();
+  const auto flavor = state.range(0) == 0 ? bch::Flavor::kSubmission
+                                          : bch::Flavor::kConstantTime;
+  Xoshiro256 rng(3);
+  bch::Message msg{};
+  rng.fill(msg.data(), msg.size());
+  bch::BitVec cw = bch::encode(spec, msg);
+  for (int i = 0; i < 16; ++i) cw[static_cast<std::size_t>(7 + 13 * i)] ^= 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bch::decode(spec, cw, flavor));
+}
+BENCHMARK(BM_BchDecode)->Arg(0)->Arg(1)->ArgName("ct");
+
+void BM_PolyMul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const int kind = static_cast<int>(state.range(1));
+  Xoshiro256 rng(4);
+  const poly::Ternary s = random_ternary(rng, n);
+  const poly::Coeffs b = random_coeffs(rng, n);
+  for (auto _ : state) {
+    switch (kind) {
+      case 0:
+        benchmark::DoNotOptimize(poly::mul_sparse(b, s, true));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(poly::mul_ref(b, s, true));
+        break;
+      default:
+        benchmark::DoNotOptimize(
+            poly::mul_general_negacyclic(poly::from_ternary(s), b));
+    }
+  }
+}
+BENCHMARK(BM_PolyMul)
+    ->ArgsProduct({{512, 1024}, {0, 1, 2}})
+    ->ArgNames({"n", "kind"});
+
+void BM_SplitMulHigh(benchmark::State& state) {
+  Xoshiro256 rng(5);
+  const poly::Ternary s = random_ternary(rng, 1024);
+  const poly::Coeffs b = random_coeffs(rng, 1024);
+  const poly::MulTer512 unit = poly::software_mul_ter();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(poly::split_mul_high(s, b, unit));
+}
+BENCHMARK(BM_SplitMulHigh);
+
+void BM_SampleFixedWeight(benchmark::State& state) {
+  const lac::Params& params = lac::Params::lac256();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lac::sample_fixed_weight(seed_of(9), params));
+}
+BENCHMARK(BM_SampleFixedWeight);
+
+void BM_GenA(benchmark::State& state) {
+  const lac::Params& params = lac::Params::lac256();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lac::gen_a(seed_of(10), params));
+}
+BENCHMARK(BM_GenA);
+
+void BM_KemKeygen(benchmark::State& state) {
+  const lac::Params& params = lac::Params::lac128();
+  const lac::Backend backend = lac::Backend::reference();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lac::kem_keygen(params, backend, seed_of(11)));
+}
+BENCHMARK(BM_KemKeygen);
+
+void BM_KemEncapsDecaps(benchmark::State& state) {
+  const lac::Params& params = lac::Params::lac128();
+  const lac::Backend backend = lac::Backend::reference();
+  const lac::KemKeyPair keys = lac::kem_keygen(params, backend, seed_of(12));
+  for (auto _ : state) {
+    const lac::EncapsResult enc =
+        lac::encapsulate(params, backend, keys.pk, seed_of(13));
+    benchmark::DoNotOptimize(
+        lac::decapsulate(params, backend, keys, enc.ct));
+  }
+}
+BENCHMARK(BM_KemEncapsDecaps);
+
+void BM_RtlMulTer512(benchmark::State& state) {
+  Xoshiro256 rng(6);
+  const poly::Ternary s = random_ternary(rng, 512);
+  const poly::Coeffs b = random_coeffs(rng, 512);
+  rtl::MulTerRtl unit(512);
+  for (auto _ : state) {
+    unit.reset();
+    benchmark::DoNotOptimize(unit.multiply(s, b, true));
+  }
+}
+BENCHMARK(BM_RtlMulTer512);
+
+void BM_IssMulTerKernel(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  const poly::Ternary s = random_ternary(rng, 512);
+  const poly::Coeffs b = random_coeffs(rng, 512);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(perf::iss_mul_ter(s, b, true));
+}
+BENCHMARK(BM_IssMulTerKernel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

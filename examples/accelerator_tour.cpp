@@ -1,0 +1,99 @@
+// A tour of the four hardware accelerators as cycle-accurate RTL models:
+// drives each unit clock by clock, checks it against the software golden
+// model, and prints latency plus the structural area estimate (Table III).
+#include <iomanip>
+#include <iostream>
+
+#include "common/rng.h"
+#include "poly/split_mul.h"
+#include "rtl/barrett_unit.h"
+#include "rtl/chien_unit.h"
+#include "rtl/gf_mul.h"
+#include "rtl/mul_ter.h"
+#include "rtl/sha256_core.h"
+
+namespace {
+
+void print_area(const lacrv::rtl::AreaReport& area) {
+  std::cout << "    area: " << area.luts << " LUTs, " << area.registers
+            << " FFs, " << area.dsps << " DSPs\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace lacrv;
+  Xoshiro256 rng(2026);
+
+  std::cout << "== MUL TER (Fig. 2): serial ternary polynomial multiplier\n";
+  {
+    rtl::MulTerRtl unit(512);
+    poly::Ternary a(512);
+    poly::Coeffs b(512);
+    for (auto& v : a)
+      v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+    for (auto& v : b) v = static_cast<u8>(rng.next_below(poly::kQ));
+    for (std::size_t i = 0; i < 512; ++i) {
+      unit.load_a(i, a[i]);
+      unit.load_b(i, b[i]);
+    }
+    unit.start(/*negacyclic=*/true);
+    const u64 latency = unit.run_to_completion();
+    poly::Coeffs result(512);
+    for (std::size_t i = 0; i < 512; ++i) result[i] = unit.read_c(i);
+    std::cout << "    512-coefficient negacyclic product in " << latency
+              << " clock cycles; matches software model: "
+              << (result == poly::mul_ter_sw(a, b, true) ? "yes" : "NO")
+              << "\n";
+    print_area(unit.area());
+  }
+
+  std::cout << "== MUL GF (Fig. 3): bit-serial GF(2^9) multiplier\n";
+  {
+    rtl::GfMulRtl unit;
+    const gf::Element a = gf::alpha_pow(100), b = gf::alpha_pow(321);
+    unit.load(a, b);
+    unit.start();
+    const u64 latency = unit.run_to_completion();
+    std::cout << "    alpha^100 * alpha^321 = alpha^" << gf::log(unit.result())
+              << " in " << latency << " cycles (m = 9)\n";
+    print_area(rtl::GfMulRtl::area_single());
+  }
+
+  std::cout << "== MUL CHIEN (Fig. 4): 4-parallel locator evaluation\n";
+  {
+    rtl::ChienRtl unit;
+    // Locator with a root at alpha^200 -> error position 511-200 = 311.
+    std::vector<gf::Element> lambda(17, 0);
+    lambda[0] = 1;
+    lambda[1] = gf::alpha_pow(511 - 200);
+    unit.configure(lambda, 112);
+    int root_at = -1;
+    for (int l = 112; l <= 368; ++l)
+      if (unit.eval_next() == 0) root_at = l;
+    std::cout << "    scanned alpha^112..alpha^368, root at alpha^" << root_at
+              << " -> error bit " << (511 - root_at) << "; "
+              << unit.cycles() << " multiplier cycles for 257 points\n";
+    print_area(unit.area());
+  }
+
+  std::cout << "== SHA256 core: round-per-cycle compression\n";
+  {
+    rtl::Sha256Rtl core;
+    const Bytes msg = {'l', 'a', 'c'};
+    const hash::Digest digest = core.hash_message(msg);
+    std::cout << "    sha256(\"lac\") = "
+              << to_hex(ByteView(digest.data(), 8)) << "... in "
+              << core.cycles() << " cycles (65 per block)\n";
+    print_area(core.area());
+  }
+
+  std::cout << "== MOD q: Barrett reduction (the PQ-ALU's only DSP user)\n";
+  {
+    rtl::BarrettRtl unit;
+    std::cout << "    62001 mod 251 = " << static_cast<int>(unit.reduce(62001))
+              << " (two multiplications, constant time)\n";
+    print_area(unit.area());
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The ISA extension end to end: assemble the pq.mul_ter driver kernel,
+// show a few disassembled instructions, execute it on the RV32IM ISS with
+// the PQ-ALU attached, and compare both the result (against the software
+// golden model) and the cycle count (against the instruction-level cost
+// model that Table II's "Multiplication 6,390" column rests on).
+#include <iostream>
+
+#include "common/costs.h"
+#include "common/rng.h"
+#include "perf/iss_kernels.h"
+#include "riscv/assembler.h"
+#include "riscv/encoding.h"
+
+int main() {
+  using namespace lacrv;
+
+  // Show what the custom instructions look like at the encoding level.
+  const rv::Program prog = rv::assemble(perf::mul_ter_kernel_source(true));
+  std::cout << "Kernel: " << prog.words.size()
+            << " instruction words. Custom-opcode excerpt:\n";
+  int shown = 0;
+  for (u32 word : prog.words) {
+    if (rv::get_opcode(word) == rv::kOpPq && shown < 3) {
+      std::cout << "    0x" << std::hex << word << std::dec << "  "
+                << rv::disassemble(word) << "\n";
+      ++shown;
+    }
+  }
+  std::cout << "  (opcode 0x77, R-type — Fig. 6; funct3 selects the "
+               "accelerator)\n\n";
+
+  // Run a real multiplication through the machine code.
+  Xoshiro256 rng(7);
+  poly::Ternary a(512);
+  poly::Coeffs b(512);
+  for (auto& v : a)
+    v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+  for (auto& v : b) v = static_cast<u8>(rng.next_below(poly::kQ));
+
+  const perf::IssRunResult run = perf::iss_mul_ter(a, b, true);
+  const bool correct = run.result == poly::mul_ter_sw(a, b, true);
+  std::cout << "Executed on the ISS: " << run.instructions
+            << " instructions, " << run.cycles << " cycles\n";
+  std::cout << "Result matches software golden model: "
+            << (correct ? "yes" : "NO") << "\n\n";
+
+  // Phases of the paper's operand protocol (Sec. V):
+  const u64 load = 103 * cost::kMulTerLoadChunk;
+  const u64 compute = 512;
+  const u64 read = 128 * cost::kMulTerReadChunk;
+  std::cout << "Cost-model decomposition used in Table II (paper: 6,390):\n"
+            << "    load 103 chunks (5 general + 5 ternary each): ~" << load
+            << " cycles\n"
+            << "    compute (one coefficient per clock):           " << compute
+            << " cycles\n"
+            << "    read 128 chunks (4 coefficients each):        ~" << read
+            << " cycles\n";
+  std::cout << "The machine-code kernel lands in the same regime — the "
+               "packing software dominates, the multiplier itself is only "
+               "512 cycles.\n";
+  return correct ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// lac_keytool — a file-based KEM workflow, the way a downstream user
+// would drive the library:
+//
+//   lac_keytool keygen <level> <keyfile> <pubfile>
+//   lac_keytool encaps <level> <pubfile> <ctfile>      (prints the key)
+//   lac_keytool decaps <level> <keyfile> <ctfile>      (prints the key)
+//
+// level is 128, 192 or 256. Files are raw wire format (pk / ct / full
+// decapsulation key). Demonstrates serialization round trips across
+// process boundaries; run without arguments for a self-contained demo in
+// /tmp.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+
+#include "lac/kem.h"
+
+namespace {
+
+using namespace lacrv;
+
+const lac::Params& level_of(const std::string& s) {
+  if (s == "128") return lac::Params::lac128();
+  if (s == "192") return lac::Params::lac192();
+  if (s == "256") return lac::Params::lac256();
+  throw std::runtime_error("level must be 128, 192 or 256");
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return Bytes(std::istreambuf_iterator<char>(f),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, ByteView data) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+}
+
+hash::Seed os_entropy() {
+  std::random_device rd;
+  hash::Seed seed;
+  for (std::size_t i = 0; i < seed.size(); i += 4)
+    store_le32(&seed[i], rd());
+  return seed;
+}
+
+int keygen(const lac::Params& params, const std::string& keyfile,
+           const std::string& pubfile) {
+  const lac::Backend backend = lac::Backend::optimized();
+  const lac::KemKeyPair keys = lac::kem_keygen(params, backend, os_entropy());
+  write_file(keyfile, lac::serialize_kem_sk(params, keys));
+  write_file(pubfile, lac::serialize(params, keys.pk));
+  std::cout << "wrote " << keyfile << " (" << lac::kem_sk_bytes(params)
+            << " bytes) and " << pubfile << " (" << params.pk_bytes()
+            << " bytes)\n";
+  return 0;
+}
+
+int encaps(const lac::Params& params, const std::string& pubfile,
+           const std::string& ctfile) {
+  const lac::Backend backend = lac::Backend::optimized();
+  const lac::PublicKey pk = lac::deserialize_pk(params, read_file(pubfile));
+  const lac::EncapsResult result =
+      lac::encapsulate(params, backend, pk, os_entropy());
+  write_file(ctfile, lac::serialize(params, result.ct));
+  std::cout << "ciphertext: " << ctfile << " (" << params.ct_bytes()
+            << " bytes)\nshared key: "
+            << to_hex(ByteView(result.key.data(), result.key.size())) << "\n";
+  return 0;
+}
+
+int decaps(const lac::Params& params, const std::string& keyfile,
+           const std::string& ctfile) {
+  const lac::Backend backend = lac::Backend::optimized();
+  const lac::KemKeyPair keys =
+      lac::deserialize_kem_sk(params, read_file(keyfile));
+  const lac::Ciphertext ct = lac::deserialize_ct(params, read_file(ctfile));
+  const lac::SharedKey key = lac::decapsulate(params, backend, keys, ct);
+  std::cout << "shared key: " << to_hex(ByteView(key.data(), key.size()))
+            << "\n";
+  return 0;
+}
+
+int demo() {
+  std::cout << "(demo mode: full keygen/encaps/decaps via files in /tmp)\n";
+  const lac::Params& params = lac::Params::lac256();
+  keygen(params, "/tmp/lac.key", "/tmp/lac.pub");
+  encaps(params, "/tmp/lac.pub", "/tmp/lac.ct");
+  decaps(params, "/tmp/lac.key", "/tmp/lac.ct");
+  std::cout << "(the two shared keys above must match)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 1) return demo();
+    if (argc == 5) {
+      const std::string cmd = argv[1];
+      const lac::Params& params = level_of(argv[2]);
+      if (cmd == "keygen") return keygen(params, argv[3], argv[4]);
+      if (cmd == "encaps") return encaps(params, argv[3], argv[4]);
+      if (cmd == "decaps") return decaps(params, argv[3], argv[4]);
+    }
+    std::cerr << "usage: lac_keytool keygen|encaps|decaps <level> <a> <b>\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,58 @@
+// Public-key encryption of a short message, demonstrating the role of the
+// BCH code: LAC's decryption is *noisy* by construction (RLWE noise plus
+// 4-bit ciphertext compression) and the error-correcting code is what
+// turns the noisy bit estimates back into the exact plaintext. We also
+// corrupt ciphertext coefficients on the wire and watch the BCH decoder
+// absorb the extra errors — up to its correction capability.
+#include <cstring>
+#include <iostream>
+
+#include "lac/pke.h"
+
+int main() {
+  using namespace lacrv;
+
+  const lac::Params& params = lac::Params::lac128();
+  const lac::Backend backend = lac::Backend::reference_const_bch();
+
+  hash::Seed master{};
+  master.fill(0x11);
+  const lac::KeyPair keys = lac::keygen(params, backend, master);
+
+  // A 256-bit message (LAC's native plaintext size — in practice a
+  // symmetric key or a hash).
+  bch::Message msg{};
+  const char* text = "lattices + BCH on RISC-V";
+  std::memcpy(msg.data(), text, std::min(msg.size(), std::strlen(text)));
+
+  hash::Seed coins{};
+  coins.fill(0x22);
+  lac::Ciphertext ct = lac::encrypt(params, backend, keys.pk, msg, coins);
+  std::cout << "Encrypted " << msg.size() << "-byte message into "
+            << lac::serialize(params, ct).size() << "-byte ciphertext ("
+            << params.name << ")\n";
+
+  const lac::DecryptResult clean = lac::decrypt(params, backend, keys.sk, ct);
+  std::cout << "clean channel:   decrypt "
+            << (clean.ok && clean.message == msg ? "OK" : "FAILED") << "\n";
+
+  // Corrupt v-coefficients (flip their top compression nibble bits): each
+  // corrupted coefficient likely flips one codeword bit. BCH(511,367,16)
+  // corrects up to 16.
+  for (int corrupted : {5, 14, 40}) {
+    lac::Ciphertext noisy = ct;
+    for (int i = 0; i < corrupted; ++i)
+      noisy.v[static_cast<std::size_t>(7 * i + 3)] ^= 0x8;
+    const lac::DecryptResult result =
+        lac::decrypt(params, backend, keys.sk, noisy);
+    const bool recovered = result.ok && result.message == msg;
+    std::cout << corrupted << " corrupted v-coefficients: decrypt "
+              << (recovered ? "OK (BCH corrected the damage)"
+                            : "FAILED (beyond t=16 correction capability)")
+              << "\n";
+  }
+  std::cout << "\nThis is exactly why LAC can use one-byte coefficients "
+               "(q = 251): the strong BCH code absorbs the higher noise "
+               "rate (Sec. I).\n";
+  return 0;
+}

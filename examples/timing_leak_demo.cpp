@@ -1,0 +1,54 @@
+// The timing side channel that motivates Sec. VI-A: the round-2 LAC
+// submission's BCH decoder takes a different number of cycles depending
+// on how many errors it corrects — and the error count correlates with
+// the secret key (D'Anvers et al. [14] turned exactly this into a key
+// recovery). This demo measures decode cycles as a function of the error
+// count for both decoders and prints the resulting "attacker's view".
+#include <iomanip>
+#include <iostream>
+
+#include "common/rng.h"
+#include "bch/decoder.h"
+
+int main() {
+  using namespace lacrv;
+  const bch::CodeSpec& spec = bch::CodeSpec::bch_511_367_16();
+  Xoshiro256 rng(99);
+
+  std::cout << "BCH(511,367,16) decode cycles vs number of errors\n\n";
+  std::cout << std::left << std::setw(8) << "errors" << std::right
+            << std::setw(16) << "submission" << std::setw(16)
+            << "constant-time" << "\n";
+
+  u64 sub_min = ~0ull, sub_max = 0, ct_min = ~0ull, ct_max = 0;
+  for (int errors : {0, 1, 2, 4, 8, 12, 16}) {
+    bch::Message msg{};
+    rng.fill(msg.data(), msg.size());
+    bch::BitVec cw = bch::encode(spec, msg);
+    for (int i = 0; i < errors; ++i)
+      cw[static_cast<std::size_t>(rng.next_below(spec.length()))] ^= 1;
+
+    CycleLedger sub, ct;
+    bch::decode(spec, cw, bch::Flavor::kSubmission, &sub);
+    bch::decode(spec, cw, bch::Flavor::kConstantTime, &ct);
+    sub_min = std::min(sub_min, sub.total());
+    sub_max = std::max(sub_max, sub.total());
+    ct_min = std::min(ct_min, ct.total());
+    ct_max = std::max(ct_max, ct.total());
+    std::cout << std::left << std::setw(8) << errors << std::right
+              << std::setw(16) << sub.total() << std::setw(16) << ct.total()
+              << "\n";
+  }
+
+  std::cout << "\nAttacker's view (max - min cycles over the sweep):\n";
+  std::cout << "  submission decoder:    " << sub_max - sub_min
+            << " cycles of spread -> error count (and hence key-dependent "
+               "noise) is observable\n";
+  std::cout << "  constant-time decoder: " << ct_max - ct_min
+            << " cycles of spread -> nothing usable\n";
+  std::cout << "\nThe paper therefore builds on the Walters/Roy decoder and "
+               "accelerates its dominant stage (Chien search) in hardware, "
+               "recovering the lost performance without reopening the "
+               "channel (Tables I and II).\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "bch/berlekamp.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+
+namespace lacrv::bch {
+namespace {
+
+Locator bm_submission(const CodeSpec& spec,
+                      const std::vector<gf::Element>& synd,
+                      CycleLedger* ledger) {
+  const int two_t = 2 * spec.t;
+  if (all_zero(synd)) {
+    // Early exit: the submission decoder just scans the syndromes.
+    charge(ledger, static_cast<u64>(two_t) * cost::kSubBmZeroScanStep);
+    Locator loc;
+    loc.lambda.assign(spec.t + 1, 0);
+    loc.lambda[0] = 1;
+    return loc;
+  }
+
+  std::vector<gf::Element> lambda(spec.t + 2, 0), prev(spec.t + 2, 0);
+  lambda[0] = prev[0] = 1;
+  int L = 0, m = 1;
+  gf::Element b = 1;
+  u64 cycles = 0;
+  for (int r = 0; r < two_t; ++r) {
+    gf::Element d = synd[r];
+    for (int i = 1; i <= L; ++i)
+      d = gf::add(d, gf::mul_table(lambda[i], synd[r - i]));
+    cycles += cost::kSubBmIterOverhead +
+              static_cast<u64>(L) * cost::kSubBmTermStep;
+    if (d == 0) {
+      ++m;
+      continue;
+    }
+    // lambda' = lambda - (d/b) x^m prev
+    const gf::Element coef = gf::mul_table(d, gf::inv(b));
+    std::vector<gf::Element> next = lambda;
+    for (std::size_t i = 0; i + m < next.size(); ++i)
+      next[i + m] = gf::add(next[i + m], gf::mul_table(coef, prev[i]));
+    cycles += static_cast<u64>(L + 1) * cost::kSubBmTermStep;
+    if (2 * L <= r) {
+      prev = lambda;
+      L = r + 1 - L;
+      b = d;
+      m = 1;
+    } else {
+      ++m;
+    }
+    lambda = std::move(next);
+  }
+  charge(ledger, cycles);
+
+  Locator loc;
+  loc.lambda.assign(lambda.begin(), lambda.begin() + spec.t + 1);
+  loc.degree = L;
+  return loc;
+}
+
+/// Branch-free select: mask ? a : b with mask in {0, 0x1FF-extended}.
+gf::Element ct_select(gf::Element mask, gf::Element a, gf::Element b) {
+  return static_cast<gf::Element>((mask & a) | (~mask & b));
+}
+
+/// 9-bit all-ones mask iff x != 0.
+gf::Element nonzero_mask(gf::Element x) {
+  // OR-fold the bits of x into bit 0, then sign-extend.
+  u32 v = x;
+  v |= v >> 4;
+  v |= v >> 2;
+  v |= v >> 1;
+  return static_cast<gf::Element>(-(v & 1) & 0xFFFF);
+}
+
+Locator bm_constant_time(const CodeSpec& spec,
+                         const std::vector<gf::Element>& synd,
+                         CycleLedger* ledger) {
+  const int two_t = 2 * spec.t;
+  const int cap = spec.t + 1;
+  // Inversion-free BM: lambda' = b*lambda + d*x^m*B. All loops run over
+  // the full fixed capacity; conditions become masks.
+  std::vector<gf::Element> lambda(cap, 0), B(cap, 0);
+  lambda[0] = B[0] = 1;
+  int L = 0, m = 1;
+  gf::Element b = 1;
+  u64 residue = 0;
+  for (int r = 0; r < two_t; ++r) {
+    gf::Element d = 0;
+    for (int i = 0; i < cap; ++i) {
+      // masked accumulate: only i <= min(r, L) terms contribute; the
+      // multiplication itself always executes (fixed schedule).
+      const gf::Element term =
+          (i <= r) ? gf::mul_shift_add(lambda[i], synd[r - i]) : 0;
+      const gf::Element in_range =
+          static_cast<gf::Element>(-(static_cast<int>(i <= L)) & 0xFFFF);
+      d = gf::add(d, static_cast<gf::Element>(term & in_range));
+    }
+    const gf::Element d_mask = nonzero_mask(d);
+    residue += (d_mask ? cost::kCtBmDiscrepancyResidue : 0);
+    const bool step_cond = (d != 0) && (2 * L <= r);
+    const gf::Element c_mask =
+        static_cast<gf::Element>(-(static_cast<int>(step_cond)) & 0xFFFF);
+
+    // next = b*lambda + d*(B << m) — computed unconditionally.
+    std::vector<gf::Element> next(cap, 0);
+    for (int i = 0; i < cap; ++i) {
+      gf::Element v = gf::mul_shift_add(b, lambda[i]);
+      if (i >= m)
+        v = gf::add(v, gf::mul_shift_add(d, B[i - m]));
+      next[i] = v;
+    }
+    // Masked state update.
+    for (int i = 0; i < cap; ++i)
+      B[i] = ct_select(c_mask, lambda[i], B[i]);
+    b = ct_select(c_mask, d, b);
+    const int newL = r + 1 - L;
+    L = step_cond ? newL : L;           // L is public (iteration structure)
+    m = step_cond ? 1 : m + 1;
+    lambda = std::move(next);
+  }
+  charge(ledger, static_cast<u64>(two_t) *
+                     (static_cast<u64>(cap) * cost::kCtBmTermStep +
+                      cost::kCtBmIterOverhead) +
+                     residue);
+
+  Locator loc;
+  loc.lambda = std::move(lambda);
+  loc.degree = L;
+  return loc;
+}
+
+}  // namespace
+
+Locator berlekamp_massey(const CodeSpec& spec,
+                         const std::vector<gf::Element>& synd, Flavor flavor,
+                         CycleLedger* ledger) {
+  LACRV_CHECK(static_cast<int>(synd.size()) == 2 * spec.t);
+  return flavor == Flavor::kSubmission ? bm_submission(spec, synd, ledger)
+                                       : bm_constant_time(spec, synd, ledger);
+}
+
+}  // namespace lacrv::bch

@@ -1,0 +1,29 @@
+// Error-locator computation (second decoder stage).
+//
+// kSubmission: classical Berlekamp–Massey with early exit on an all-zero
+//   syndrome vector and data-dependent iteration work — this is what makes
+//   the round-2 decoder's "Error Loc." row in Table I vary between 158
+//   (no errors) and ~10k cycles (16 errors).
+// kConstantTime: inversion-free BM with a fixed 2t-iteration schedule and
+//   masked updates (Walters/Roy style). Its output is a *scalar multiple*
+//   of the submission locator — same roots, same error positions.
+#pragma once
+
+#include <vector>
+
+#include "bch/syndrome.h"
+
+namespace lacrv::bch {
+
+struct Locator {
+  /// Coefficients lambda_0..lambda_t (fixed size t+1, high zeros unused).
+  std::vector<gf::Element> lambda;
+  /// LFSR length L reported by BM == number of errors if decodable.
+  int degree = 0;
+};
+
+Locator berlekamp_massey(const CodeSpec& spec,
+                         const std::vector<gf::Element>& synd, Flavor flavor,
+                         CycleLedger* ledger = nullptr);
+
+}  // namespace lacrv::bch

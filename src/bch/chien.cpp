@@ -1,0 +1,54 @@
+#include "bch/chien.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+
+namespace lacrv::bch {
+
+ChienResult chien_search(const CodeSpec& spec, const Locator& loc,
+                         Flavor flavor, CycleLedger* ledger) {
+  const int terms = spec.t + 1;
+  LACRV_CHECK(static_cast<int>(loc.lambda.size()) == terms);
+  const gf::MulKind kind = flavor == Flavor::kSubmission
+                               ? gf::MulKind::kTable
+                               : gf::MulKind::kShiftAdd;
+  const auto mul = [&](gf::Element a, gf::Element b) {
+    return kind == gf::MulKind::kTable ? gf::mul_table(a, b)
+                                       : gf::mul_shift_add(a, b);
+  };
+
+  // Running terms q_k = lambda_k * alpha^(k*l); per point the terms are
+  // summed and then each multiplied by alpha^k to advance l by one.
+  std::vector<gf::Element> q(terms);
+  for (int k = 0; k < terms; ++k)
+    q[k] = mul(loc.lambda[k],
+               gf::alpha_pow(static_cast<u32>(k) * spec.chien_first));
+
+  ChienResult result;
+  const int points = spec.chien_last - spec.chien_first + 1;
+  u64 cycles = 0;
+  for (int l = spec.chien_first; l <= spec.chien_last; ++l) {
+    gf::Element sum = 0;
+    for (int k = 0; k < terms; ++k) sum = gf::add(sum, q[k]);
+    if (sum == 0) {
+      ++result.roots_found;
+      const int degree = (gf::kGroupOrder - l) % gf::kGroupOrder;
+      if (degree < spec.length()) result.error_degrees.push_back(degree);
+      if (flavor == Flavor::kSubmission) cycles += cost::kSubChienRootExtra;
+    }
+    for (int k = 0; k < terms; ++k)
+      q[k] = mul(q[k], gf::alpha_pow(static_cast<u32>(k)));
+  }
+  const u64 term_step = flavor == Flavor::kSubmission
+                            ? cost::kSubChienTermStep
+                            : cost::kCtChienTermStep;
+  const u64 point_overhead = flavor == Flavor::kSubmission
+                                 ? cost::kSubChienPointOverhead
+                                 : cost::kCtChienPointOverhead;
+  cycles += static_cast<u64>(points) *
+            (static_cast<u64>(terms) * term_step + point_overhead);
+  charge(ledger, cycles);
+  return result;
+}
+
+}  // namespace lacrv::bch

@@ -1,0 +1,28 @@
+// Chien search (third decoder stage) — the paper's main BCH acceleration
+// target. Evaluates the error locator at alpha^l for l in the code-spec
+// window only (the message-bit positions of the shortened systematic
+// codeword; Sec. IV-B): a root at alpha^l flags an error at codeword
+// degree 511 - l.
+#pragma once
+
+#include <vector>
+
+#include "bch/berlekamp.h"
+
+namespace lacrv::bch {
+
+struct ChienResult {
+  /// Codeword degrees (bit positions) flagged as erroneous.
+  std::vector<int> error_degrees;
+  /// Number of roots found inside the scanned window.
+  int roots_found = 0;
+};
+
+/// Software Chien search over [spec.chien_first, spec.chien_last].
+/// Both flavours walk every point and all t+1 locator terms (matching the
+/// near-identical 0-vs-16-error Chien cycle counts of Table I); they
+/// differ in the GF multiplier and therefore in the charged cycle model.
+ChienResult chien_search(const CodeSpec& spec, const Locator& loc,
+                         Flavor flavor, CycleLedger* ledger = nullptr);
+
+}  // namespace lacrv::bch

@@ -1,0 +1,107 @@
+#include "bch/code.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace lacrv::bch {
+namespace {
+
+/// Minimal polynomial of alpha^e: product over the cyclotomic coset of e
+/// of (x - alpha^j), computed in GF(2^9)[x]; the result has binary
+/// coefficients by construction.
+BitVec minimal_polynomial(int e) {
+  // Cyclotomic coset {e, 2e, 4e, ...} mod 511.
+  std::set<int> coset;
+  int j = e % gf::kGroupOrder;
+  while (!coset.count(j)) {
+    coset.insert(j);
+    j = (2 * j) % gf::kGroupOrder;
+  }
+  // Product of (x + alpha^j) with GF(512) coefficients.
+  std::vector<gf::Element> poly = {1};  // constant 1, degree 0
+  for (int exp : coset) {
+    const gf::Element root = gf::alpha_pow(static_cast<u32>(exp));
+    std::vector<gf::Element> next(poly.size() + 1, 0);
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+      next[i + 1] = gf::add(next[i + 1], poly[i]);            // x * poly
+      next[i] = gf::add(next[i], gf::mul_table(poly[i], root));  // root * poly
+    }
+    poly = std::move(next);
+  }
+  BitVec bits(poly.size());
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    LACRV_CHECK_MSG(poly[i] <= 1, "minimal polynomial not binary");
+    bits[i] = static_cast<u8>(poly[i]);
+  }
+  return bits;
+}
+
+CodeSpec make_spec(int k, int t, int chien_first, int chien_last) {
+  CodeSpec spec;
+  spec.n = gf::kGroupOrder;
+  spec.k = k;
+  spec.t = t;
+  spec.msg_bits = 256;
+  spec.chien_first = chien_first;
+  spec.chien_last = chien_last;
+  spec.generator = compute_generator(t);
+  LACRV_CHECK_MSG(static_cast<int>(spec.generator.size()) == spec.n - k + 1,
+                  "generator degree does not match n - k");
+  return spec;
+}
+
+}  // namespace
+
+BitVec poly_mul_gf2(const BitVec& a, const BitVec& b) {
+  LACRV_CHECK(!a.empty() && !b.empty());
+  BitVec c(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) c[i + j] ^= b[j];
+  }
+  return c;
+}
+
+BitVec poly_mod_gf2(const BitVec& a, const BitVec& g) {
+  LACRV_CHECK(!g.empty() && g.back() == 1);
+  BitVec r = a;
+  const std::size_t dg = g.size() - 1;
+  for (std::size_t i = r.size(); i-- > dg;) {
+    if (!r[i]) continue;
+    for (std::size_t j = 0; j <= dg; ++j) r[i - dg + j] ^= g[j];
+  }
+  r.resize(std::min(r.size(), dg));
+  r.resize(dg, 0);
+  return r;
+}
+
+BitVec compute_generator(int t) {
+  LACRV_CHECK(t >= 1 && 2 * t < gf::kGroupOrder);
+  std::set<int> covered;
+  BitVec g = {1};
+  for (int e = 1; e <= 2 * t; ++e) {
+    if (covered.count(e)) continue;
+    // mark the whole coset of e as covered
+    int j = e;
+    while (!covered.count(j)) {
+      covered.insert(j);
+      j = (2 * j) % gf::kGroupOrder;
+    }
+    g = poly_mul_gf2(g, minimal_polynomial(e));
+  }
+  return g;
+}
+
+const CodeSpec& CodeSpec::bch_511_367_16() {
+  static const CodeSpec spec = make_spec(367, 16, 112, 368);
+  return spec;
+}
+
+const CodeSpec& CodeSpec::bch_511_439_8() {
+  static const CodeSpec spec = make_spec(439, 8, 184, 440);
+  return spec;
+}
+
+}  // namespace lacrv::bch

@@ -1,0 +1,59 @@
+// BCH code construction over GF(2^9) (Sec. IV-B).
+//
+// LAC uses two shortened binary BCH codes:
+//   BCH(511, 367, t=16) for LAC-128 / LAC-256
+//   BCH(511, 439, t=8)  for LAC-192
+// both shortened to a 256-bit message. The transmitted word layout is
+//   [ parity bits p = n-k | 256 message bits ]   (systematic),
+// i.e. message bit i sits at codeword degree p + i; the (k - 256) highest
+// information positions are implicitly zero and never transmitted.
+//
+// Because only message-bit errors matter for plaintext recovery, the Chien
+// search needs to scan just the exponent window covering those positions
+// (error at degree j <=> root alpha^l with l = 511 - j):
+// alpha^112..alpha^368 for t=16, alpha^184..alpha^440 for t=8 — exactly the
+// windows stated in the paper.
+#pragma once
+
+#include <vector>
+
+#include "gf/gf512.h"
+
+namespace lacrv::bch {
+
+using BitVec = std::vector<u8>;  // one bit per element, values 0/1
+
+struct CodeSpec {
+  int n;         // full code length (511)
+  int k;         // full code dimension
+  int t;         // error-correction capability
+  int msg_bits;  // shortened message length (256)
+  int chien_first;  // first alpha exponent scanned by Chien search
+  int chien_last;   // last alpha exponent (inclusive)
+  BitVec generator;  // g(x) coefficients, degree n-k
+
+  int parity_bits() const { return n - k; }
+  /// Transmitted (shortened) codeword length in bits.
+  int length() const { return msg_bits + parity_bits(); }
+  /// Codeword degree of message bit i.
+  int message_degree(int i) const { return parity_bits() + i; }
+
+  /// BCH(511, 367, 16), shortened to 256-bit messages (LAC-128/LAC-256).
+  static const CodeSpec& bch_511_367_16();
+  /// BCH(511, 439, 8), shortened to 256-bit messages (LAC-192).
+  static const CodeSpec& bch_511_439_8();
+};
+
+/// Compute the generator polynomial of the binary BCH code with design
+/// distance 2t+1 over GF(2^9): the product of the distinct minimal
+/// polynomials of alpha^1 .. alpha^2t. Exposed for testing; the CodeSpec
+/// factories use it.
+BitVec compute_generator(int t);
+
+/// Multiply two binary polynomials (coefficient vectors, LSB first).
+BitVec poly_mul_gf2(const BitVec& a, const BitVec& b);
+
+/// Remainder of a mod g over GF(2); g must be non-empty with leading 1.
+BitVec poly_mod_gf2(const BitVec& a, const BitVec& g);
+
+}  // namespace lacrv::bch

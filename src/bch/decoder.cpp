@@ -1,0 +1,50 @@
+#include "bch/decoder.h"
+
+#include "common/check.h"
+
+namespace lacrv::bch {
+
+DecodeResult decode_with_chien(const CodeSpec& spec, const BitVec& received,
+                               Flavor flavor, const ChienStage& chien,
+                               CycleLedger* ledger) {
+  LACRV_CHECK(static_cast<int>(received.size()) == spec.length());
+  LedgerScope scope(ledger, "bch_dec");
+
+  const auto synd = [&] {
+    LedgerScope s(ledger, "bch_syndrome");
+    return syndromes(spec, received, flavor, ledger);
+  }();
+  const Locator loc = [&] {
+    LedgerScope s(ledger, "bch_error_loc");
+    return berlekamp_massey(spec, synd, flavor, ledger);
+  }();
+  const ChienResult roots = [&] {
+    LedgerScope s(ledger, "bch_chien");
+    return chien(spec, loc, ledger);
+  }();
+
+  BitVec corrected = received;
+  for (int degree : roots.error_degrees) corrected[degree] ^= 1;
+
+  DecodeResult result;
+  result.message = extract_message(spec, corrected);
+  result.errors_corrected = static_cast<int>(roots.error_degrees.size());
+  // Decodability: BM found a locator of degree <= t. The Chien window only
+  // scans message positions (parity-bit errors are deliberately left
+  // uncorrected — they do not affect the extracted message), so the root
+  // count may legitimately be smaller than the locator degree.
+  result.ok = loc.degree <= spec.t;
+  return result;
+}
+
+DecodeResult decode(const CodeSpec& spec, const BitVec& received,
+                    Flavor flavor, CycleLedger* ledger) {
+  return decode_with_chien(
+      spec, received, flavor,
+      [flavor](const CodeSpec& s, const Locator& l, CycleLedger* led) {
+        return chien_search(s, l, flavor, led);
+      },
+      ledger);
+}
+
+}  // namespace lacrv::bch

@@ -1,0 +1,36 @@
+// Complete BCH decoders: syndromes -> Berlekamp-Massey -> Chien -> correct.
+//
+// decode(..., Flavor) selects between the two software decoders of
+// Table I. decode_with_chien() lets a caller replace the Chien stage (the
+// optimized implementation substitutes the MUL CHIEN hardware unit while
+// keeping the constant-time software syndromes and BM — exactly the
+// paper's co-design split).
+#pragma once
+
+#include <functional>
+
+#include "bch/chien.h"
+#include "bch/encoder.h"
+
+namespace lacrv::bch {
+
+struct DecodeResult {
+  Message message{};
+  /// True iff the word decoded to a consistent codeword (all located
+  /// errors corrected; root count matches the locator degree).
+  bool ok = false;
+  int errors_corrected = 0;
+};
+
+/// Replacement Chien stage (e.g. the hardware unit model).
+using ChienStage =
+    std::function<ChienResult(const CodeSpec&, const Locator&, CycleLedger*)>;
+
+DecodeResult decode(const CodeSpec& spec, const BitVec& received,
+                    Flavor flavor, CycleLedger* ledger = nullptr);
+
+DecodeResult decode_with_chien(const CodeSpec& spec, const BitVec& received,
+                               Flavor flavor, const ChienStage& chien,
+                               CycleLedger* ledger = nullptr);
+
+}  // namespace lacrv::bch

@@ -1,0 +1,60 @@
+#include "bch/encoder.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+
+namespace lacrv::bch {
+
+BitVec encode(const CodeSpec& spec, const Message& msg, CycleLedger* ledger) {
+  const int p = spec.parity_bits();
+  // m(x) * x^p, then parity = remainder mod g(x).
+  BitVec shifted(spec.length(), 0);
+  for (int i = 0; i < spec.msg_bits; ++i) shifted[p + i] = get_bit(msg, i) ? 1 : 0;
+  const BitVec parity = poly_mod_gf2(shifted, spec.generator);
+
+  BitVec codeword = shifted;
+  for (int j = 0; j < p; ++j) codeword[j] = parity[j];
+  charge(ledger, static_cast<u64>(spec.msg_bits) * cost::kBchEncodeBitStep);
+  return codeword;
+}
+
+BitVec encode_ct(const CodeSpec& spec, const Message& msg,
+                 CycleLedger* ledger) {
+  const int p = spec.parity_bits();
+  // Systematic LFSR division with masked feedback: per message bit
+  // (highest degree first) the generator is XORed into the parity
+  // register under a mask derived from (bit ^ register output) — no
+  // data-dependent branch or memory access.
+  BitVec parity(static_cast<std::size_t>(p), 0);
+  for (int i = spec.msg_bits - 1; i >= 0; --i) {
+    const u8 feedback =
+        static_cast<u8>(get_bit(msg, i) ^ parity[static_cast<std::size_t>(p - 1)]);
+    const u8 mask = static_cast<u8>(-feedback);  // 0x00 or 0xFF
+    // shift the register up by one, folding the generator in under mask
+    for (int j = p - 1; j > 0; --j)
+      parity[static_cast<std::size_t>(j)] = static_cast<u8>(
+          parity[static_cast<std::size_t>(j - 1)] ^
+          (mask & spec.generator[static_cast<std::size_t>(j)]));
+    parity[0] = static_cast<u8>(mask & spec.generator[0]);
+  }
+
+  BitVec codeword(static_cast<std::size_t>(spec.length()), 0);
+  for (int j = 0; j < p; ++j)
+    codeword[static_cast<std::size_t>(j)] = parity[static_cast<std::size_t>(j)];
+  for (int i = 0; i < spec.msg_bits; ++i)
+    codeword[static_cast<std::size_t>(spec.message_degree(i))] =
+        static_cast<u8>(get_bit(msg, i));
+  // fixed schedule: p register updates per message bit
+  charge(ledger, static_cast<u64>(spec.msg_bits) * cost::kBchEncodeBitStep);
+  return codeword;
+}
+
+Message extract_message(const CodeSpec& spec, const BitVec& codeword) {
+  LACRV_CHECK(static_cast<int>(codeword.size()) == spec.length());
+  const int p = spec.parity_bits();
+  Message msg{};
+  for (int i = 0; i < spec.msg_bits; ++i) set_bit(msg, i, codeword[p + i]);
+  return msg;
+}
+
+}  // namespace lacrv::bch

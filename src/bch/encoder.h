@@ -1,0 +1,39 @@
+// Systematic BCH encoding of 256-bit messages (LAC's plaintext size).
+#pragma once
+
+#include <array>
+
+#include "bch/code.h"
+#include "common/ledger.h"
+
+namespace lacrv::bch {
+
+using Message = std::array<u8, 32>;  // 256 bits, LSB-first within each byte
+
+/// Encode a 256-bit message into a shortened systematic codeword of
+/// spec.length() bits: [parity | message].
+BitVec encode(const CodeSpec& spec, const Message& msg,
+              CycleLedger* ledger = nullptr);
+
+/// Constant-time encoder: the message is secret (it carries the shared
+/// key!), so the LFSR division must not branch on message bits. This
+/// variant processes every bit with masked XORs — same output as
+/// encode(), fixed control flow (Walters & Roy protect the encoder too).
+BitVec encode_ct(const CodeSpec& spec, const Message& msg,
+                 CycleLedger* ledger = nullptr);
+
+/// Extract the message bits from a (corrected) codeword.
+Message extract_message(const CodeSpec& spec, const BitVec& codeword);
+
+/// Bit access helpers shared by the codec layers.
+constexpr int get_bit(const Message& msg, int i) {
+  return (msg[i >> 3] >> (i & 7)) & 1;
+}
+constexpr void set_bit(Message& msg, int i, int v) {
+  if (v)
+    msg[i >> 3] = static_cast<u8>(msg[i >> 3] | (1u << (i & 7)));
+  else
+    msg[i >> 3] = static_cast<u8>(msg[i >> 3] & ~(1u << (i & 7)));
+}
+
+}  // namespace lacrv::bch

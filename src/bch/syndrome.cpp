@@ -1,0 +1,39 @@
+#include "bch/syndrome.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+
+namespace lacrv::bch {
+
+std::vector<gf::Element> syndromes(const CodeSpec& spec, const BitVec& r,
+                                   Flavor flavor, CycleLedger* ledger) {
+  LACRV_CHECK(static_cast<int>(r.size()) == spec.length());
+  const int two_t = 2 * spec.t;
+  const gf::MulKind kind = flavor == Flavor::kSubmission
+                               ? gf::MulKind::kTable
+                               : gf::MulKind::kShiftAdd;
+  std::vector<gf::Element> synd(two_t, 0);
+  for (int j = 1; j <= two_t; ++j) {
+    const gf::Element aj = gf::alpha_pow(static_cast<u32>(j));
+    // Horner over the received bits, top degree first: S_j = r(alpha^j).
+    gf::Element acc = 0;
+    for (int i = spec.length() - 1; i >= 0; --i) {
+      acc = kind == gf::MulKind::kTable ? gf::mul_table(acc, aj)
+                                        : gf::mul_shift_add(acc, aj);
+      acc = gf::add(acc, r[i]);
+    }
+    synd[j - 1] = acc;
+  }
+  const u64 step = flavor == Flavor::kSubmission ? cost::kSubSyndromeStep
+                                                 : cost::kCtSyndromeStep;
+  charge(ledger, static_cast<u64>(spec.length()) * two_t * step);
+  return synd;
+}
+
+bool all_zero(const std::vector<gf::Element>& synd) {
+  gf::Element acc = 0;
+  for (gf::Element s : synd) acc |= s;
+  return acc == 0;
+}
+
+}  // namespace lacrv::bch

@@ -1,0 +1,29 @@
+// Syndrome computation — first stage of BCH decoding.
+//
+// Two flavours reproduce the two software decoders measured in Table I:
+//  * kSubmission — the round-2 LAC submission style: log/antilog table
+//    multiplications, ~5 cycles/bit-syndrome step (variable time at the
+//    microarchitectural level through the table accesses).
+//  * kConstantTime — Walters/Roy style: branch-free shift-and-add GF
+//    multiplication, fixed control flow, ~7 cycles/bit-syndrome step.
+#pragma once
+
+#include <vector>
+
+#include "bch/code.h"
+#include "common/ledger.h"
+
+namespace lacrv::bch {
+
+enum class Flavor { kSubmission, kConstantTime };
+
+/// S_j = r(alpha^j) for j = 1..2t, over the shortened length spec.length().
+/// Returns 2t elements, S_1 first.
+std::vector<gf::Element> syndromes(const CodeSpec& spec, const BitVec& r,
+                                   Flavor flavor,
+                                   CycleLedger* ledger = nullptr);
+
+/// True iff every syndrome is zero (codeword already valid).
+bool all_zero(const std::vector<gf::Element>& synd);
+
+}  // namespace lacrv::bch

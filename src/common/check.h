@@ -1,0 +1,42 @@
+// Precondition / invariant checking. LACRV_CHECK is used on public API
+// boundaries (always on); LACRV_DCHECK marks internal invariants that are
+// cheap enough to keep enabled in all build types of this project.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lacrv {
+
+/// Error thrown when an API precondition or internal invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace lacrv
+
+#define LACRV_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::lacrv::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define LACRV_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::lacrv::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define LACRV_DCHECK(expr) LACRV_CHECK(expr)

@@ -1,0 +1,153 @@
+// RISCY (PULPino RI5CY, 4-stage in-order RV32IMC) cycle-cost model.
+//
+// Two layers of constants live here:
+//
+//  1. Architectural per-instruction costs (kAlu, kLoad, ...) taken from the
+//     RI5CY pipeline: single-cycle ALU/mul, single-cycle data memory with a
+//     load-use stall, 2-3 cycle control transfers, 35-cycle serial divider.
+//
+//  2. Composite per-step costs for the inner loops of the LAC software
+//     kernels (kRefMultInnerStep, kSubSyndromeStep, ...). Each composite is
+//     a documented sum of layer-1 costs describing the instruction sequence
+//     a compiled RV32 inner loop executes. They are *calibrated*: where the
+//     paper's Tables I/II pin a kernel's total cycle count, the composite
+//     was cross-checked against (paper cycles) / (iteration count) and the
+//     instruction-sequence assumption adjusted to match the reported
+//     magnitude. EXPERIMENTS.md records the residual paper-vs-model error
+//     per table cell.
+//
+// All timing-annotated code paths (src/poly, src/bch, src/lac, src/perf)
+// charge exclusively through these constants, so the model is auditable in
+// one place.
+#pragma once
+
+#include "common/types.h"
+
+namespace lacrv::cost {
+
+// ---- Layer 1: RISCY per-instruction costs -------------------------------
+inline constexpr u64 kAlu = 1;          // add/sub/xor/shift/slt/...
+inline constexpr u64 kMul = 1;          // single-cycle multiplier
+inline constexpr u64 kDiv = 35;         // serial divider (div/rem)
+inline constexpr u64 kLoad = 1;         // data memory hit
+inline constexpr u64 kLoadUse = 2;      // load followed by dependent use
+inline constexpr u64 kStore = 1;
+inline constexpr u64 kBranchTaken = 3;  // flush penalty
+inline constexpr u64 kBranchNotTaken = 1;
+inline constexpr u64 kJump = 2;
+inline constexpr u64 kCall = 4;         // jal + prologue share
+inline constexpr u64 kRet = 4;          // epilogue share + jr
+inline constexpr u64 kPqIssue = 1;      // custom 0x77 instruction issue
+
+// ---- Layer 2: composite kernel step costs --------------------------------
+
+// Reference (round-2 C code) dense ternary polynomial multiplication:
+// the inner loop touches every (i, j) pair once — load b-coefficient,
+// load/accumulate c, ternary-switch add/sub with wrap correction, store,
+// index update, loop branch.  Table II pins n=512 -> 2,381,843 and
+// n=1024 -> 9,482,261, i.e. ~9.07 cycles per (i, j) pair.
+inline constexpr u64 kRefMultInnerStep = 9;
+// Per-row (outer loop) overhead of the same kernel.
+inline constexpr u64 kRefMultOuterStep = 12;
+
+// Reference BCH, submission flavour (variable time, log/alog tables).
+// Table I: syndromes 61,994 cycles / (400 bits x 32 syndromes) ≈ 4.8.
+inline constexpr u64 kSubSyndromeStep = 5;
+// BM early-exit scan when all syndromes are zero: 158 cycles / 32 ≈ 5.
+inline constexpr u64 kSubBmZeroScanStep = 5;
+// BM per (iteration x active-term) work with table multiplies:
+// 10,172 / (32 x 16) ≈ 20.
+inline constexpr u64 kSubBmTermStep = 20;
+inline constexpr u64 kSubBmIterOverhead = 30;
+// Chien with table multiplies: 107,431 / (257 x 17) ≈ 24.6.
+inline constexpr u64 kSubChienTermStep = 24;
+inline constexpr u64 kSubChienPointOverhead = 10;
+inline constexpr u64 kSubChienRootExtra = 16;  // bit flip on a found root
+
+// Constant-time BCH (Walters/Roy style): shift-and-add GF multiplication
+// in software costs ~9 unrolled steps of ~3.5 instructions.
+// Syndromes 89,335 / (400 x 32) ≈ 7.
+inline constexpr u64 kCtSyndromeStep = 7;
+// CT-BM: fixed 2t iterations over t+1 terms, two multiplies per term:
+// 33,810 / 32 ≈ 1057 per iteration for t=16 -> ≈ 62 per term-pair + fixed.
+inline constexpr u64 kCtBmTermStep = 62;
+inline constexpr u64 kCtBmIterOverhead = 3;
+// Walters' decoder differs "in a few clock cycles" with the data; model
+// the masked-inversion residue as a tiny per-nonzero-discrepancy charge.
+inline constexpr u64 kCtBmDiscrepancyResidue = 2;
+// CT Chien in software: 380,546 / (257 x 17) ≈ 87 per term.
+inline constexpr u64 kCtChienTermStep = 87;
+inline constexpr u64 kCtChienPointOverhead = 7;
+
+// BCH encoder (systematic LFSR division), per message-bit step over the
+// parity register; cheap and identical in all flavours.
+inline constexpr u64 kBchEncodeBitStep = 8;
+
+// SHA-256 per-32-byte-PRG-block system cost, including the buffer and
+// state management around the compression function. Table II's GenA rows
+// pin the *difference* between the software and the pq.sha256 path to a
+// mere ~256 cycles/block (LAC-128: 159,097 ref vs 154,746 opt over ~17
+// blocks) — the paper itself notes the byte-wise accelerator interface
+// makes the SHA-256 unit a weak accelerator. The absolute split below
+// reproduces both rows; the glue around the hash dominates either way.
+inline constexpr u64 kSwSha256Block = 1180;
+inline constexpr u64 kHwSha256Block = 920;
+// Tightly-coupled Keccak core (the future-work variant): 24-cycle
+// permutation + start, 42 word transfers per 168-byte rate block.
+inline constexpr u64 kHwKeccakBlock = 25 + 42 * 3;
+// Software Keccak-f[1600] on RV32 is slow (~64-bit lane ops emulated);
+// a portable C implementation runs ~10-14k cycles per permutation.
+inline constexpr u64 kSwKeccakBlock = 12000;
+
+// Accelerator-level detail (used by the RTL/ISS layer): byte-wise loads
+// and a round-per-cycle core.
+inline constexpr u64 kHwSha256LoadByte = kLoad + kPqIssue + kAlu;  // lbu+pq+addr
+inline constexpr u64 kHwSha256Compress = 65;
+inline constexpr u64 kHwSha256ReadWord = kPqIssue + kStore + kAlu;
+
+// GenA rejection-sampling glue per produced coefficient (PRG buffer fetch,
+// compare against q, store, index bookkeeping, PRNG-layer call overhead).
+// Calibrated: GenA(n=512) = 17 blocks + 512 coeffs ≈ 148k vs paper 159k.
+inline constexpr u64 kGenACoeffStep = 250;
+// Fixed-weight ternary sampler: per-nonzero shuffle pick (uniform index
+// with rejection, masked swap) and per-coefficient initialisation.
+// Calibrated against the "Sample poly" column (h-scaled: LAC-256's h=512
+// costs ~2x LAC-192's h=256 — 344,541 vs 165,092).
+inline constexpr u64 kSampleWeightStep = 480;
+inline constexpr u64 kSampleCoeffStep = 25;
+
+// MUL TER via pq.mul_ter (Sec. V packing):
+// - load: 5 general (8b) + 5 ternary (2b) per issue; software packs the
+//   coefficients from byte arrays first (loads, shifts, ors, bounds).
+// Calibrated: one n=512 negacyclic call ≈ 6.2k vs Table II's 6,390.
+inline constexpr u64 kMulTerLoadChunk = 32;   // pack 5+5 coeffs + issue
+inline constexpr u64 kMulTerCoeffsPerLoad = 5;
+inline constexpr u64 kMulTerReadChunk = 18;   // issue + unpack 4 coeffs
+inline constexpr u64 kMulTerCoeffsPerRead = 4;
+inline constexpr u64 kMulTerStartOverhead = 4;
+// recombination loops of Algorithms 1 & 2 per coefficient (load, add/sub,
+// pq.modq reduction, store, index, branch)
+inline constexpr u64 kSplitRecombineStep = 9;
+
+// MUL CHIEN via pq.mul_chien: per evaluation point, per 4-multiplier group:
+// 9 compute cycles + control/feedback issue; first group round also loads
+// the lambda block (two packed issues).
+inline constexpr u64 kChienHwGroupCompute = 9;
+inline constexpr u64 kChienHwGroupControl = 12;
+inline constexpr u64 kChienHwPointOverhead = 16;  // readback + compare + loop
+inline constexpr u64 kChienHwLambdaLoad = 12;     // two packed issues + packing
+
+// pq.modq (Barrett unit): single-cycle issue.
+inline constexpr u64 kHwModq = kPqIssue;
+
+// Generic per-call overhead of an accelerated kernel (function call,
+// pointer setup, configuration issues).
+inline constexpr u64 kKernelCallOverhead = 40;
+
+// Scheme-level glue: serialization of keys/ciphertexts (per byte) and the
+// message codec around v (q/2 offset add, 4-bit compress/decompress,
+// threshold decision — per coefficient).
+inline constexpr u64 kPackByteStep = 8;
+inline constexpr u64 kCodecCoeffStep = 25;
+
+}  // namespace lacrv::cost

@@ -1,0 +1,77 @@
+// Cycle accounting. Every timing-annotated code path (src/perf, and the
+// instrumented kernels in poly/bch/lac) charges cycles into a CycleLedger.
+// Charges carry a section label so a single run can report the per-function
+// breakdown of the paper's tables (GenA / Sample poly / Multiplication /
+// BCH Dec. in Table II; Syndrome / Error Loc. / Chien in Table I).
+//
+// A null ledger pointer is always allowed and means "don't account" — the
+// functional libraries stay usable without any timing machinery.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lacrv {
+
+class CycleLedger {
+ public:
+  /// Add `cycles` to the current section (and to the grand total).
+  void charge(u64 cycles) {
+    total_ += cycles;
+    if (!stack_.empty()) sections_[stack_.back()] += cycles;
+  }
+
+  /// Enter a named section. Sections nest; a charge is attributed to the
+  /// innermost section only (parents report their own direct charges), so
+  /// section values are disjoint and sum to total().
+  void push_section(std::string name) { stack_.push_back(std::move(name)); }
+  void pop_section() {
+    if (!stack_.empty()) stack_.pop_back();
+  }
+
+  u64 total() const { return total_; }
+  /// Cycles charged while `name` was the innermost section.
+  u64 section(const std::string& name) const {
+    auto it = sections_.find(name);
+    return it == sections_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, u64>& sections() const { return sections_; }
+
+  void reset() {
+    total_ = 0;
+    sections_.clear();
+    stack_.clear();
+  }
+
+ private:
+  u64 total_ = 0;
+  std::map<std::string, u64> sections_;
+  std::vector<std::string> stack_;
+};
+
+/// RAII helper: enters a section on construction, leaves on destruction.
+/// Ledger may be null, in which case the scope is a no-op.
+class LedgerScope {
+ public:
+  LedgerScope(CycleLedger* ledger, std::string name) : ledger_(ledger) {
+    if (ledger_) ledger_->push_section(std::move(name));
+  }
+  ~LedgerScope() {
+    if (ledger_) ledger_->pop_section();
+  }
+  LedgerScope(const LedgerScope&) = delete;
+  LedgerScope& operator=(const LedgerScope&) = delete;
+
+ private:
+  CycleLedger* ledger_;
+};
+
+/// Charge helper tolerant of a null ledger.
+inline void charge(CycleLedger* ledger, u64 cycles) {
+  if (ledger) ledger->charge(cycles);
+}
+
+}  // namespace lacrv

@@ -1,0 +1,64 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace lacrv {
+namespace {
+
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(u64 seed) {
+  u64 sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+u64 Xoshiro256::next_u64() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Xoshiro256::next_below(u64 bound) {
+  LACRV_CHECK(bound > 0);
+  // Rejection sampling on the top of the range to remove modulo bias.
+  const u64 limit = ~u64{0} - (~u64{0} % bound + 1) % bound;
+  u64 v = next_u64();
+  while (v > limit) v = next_u64();
+  return v % bound;
+}
+
+void Xoshiro256::fill(u8* out, std::size_t len) {
+  std::size_t i = 0;
+  while (i + 8 <= len) {
+    const u64 v = next_u64();
+    for (int b = 0; b < 8; ++b) out[i + b] = static_cast<u8>(v >> (8 * b));
+    i += 8;
+  }
+  if (i < len) {
+    const u64 v = next_u64();
+    for (int b = 0; i < len; ++i, ++b) out[i] = static_cast<u8>(v >> (8 * b));
+  }
+}
+
+Bytes Xoshiro256::bytes(std::size_t len) {
+  Bytes out(len);
+  fill(out.data(), len);
+  return out;
+}
+
+}  // namespace lacrv

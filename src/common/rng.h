@@ -1,0 +1,31 @@
+// Deterministic, seedable RNG for tests, benches and key generation demos.
+// xoshiro256** — fast, well-distributed, and reproducible across platforms.
+// NOT a CSPRNG; the cryptographic randomness in the library itself always
+// flows through the SHA-256 PRG (hash/prg.h), as in LAC.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+namespace lacrv {
+
+class Xoshiro256 {
+ public:
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64,
+  /// as recommended by the xoshiro authors.
+  explicit Xoshiro256(u64 seed = 0x9e3779b97f4a7c15ULL);
+
+  u64 next_u64();
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+  /// Uniform value in [0, bound) without modulo bias (rejection).
+  u64 next_below(u64 bound);
+  /// Fill a byte range with pseudo-random bytes.
+  void fill(u8* out, std::size_t len);
+  Bytes bytes(std::size_t len);
+
+ private:
+  std::array<u64, 4> s_{};
+};
+
+}  // namespace lacrv

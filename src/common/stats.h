@@ -1,0 +1,44 @@
+// Small statistics helpers for the leakage-assessment tests (the
+// Welch t-test methodology of the TVLA-style evaluation Walters & Roy
+// [15] ran on their constant-time decoder) and for the noise-profile
+// experiment.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace lacrv::stats {
+
+inline double mean(const std::vector<double>& xs) {
+  LACRV_CHECK(!xs.empty());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Unbiased sample variance.
+inline double variance(const std::vector<double>& xs) {
+  LACRV_CHECK(xs.size() >= 2);
+  const double m = mean(xs);
+  double sum = 0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+/// Welch's t-statistic between two samples. |t| > 4.5 is the customary
+/// TVLA threshold for "leaks".
+inline double welch_t(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  const double va = variance(a) / static_cast<double>(a.size());
+  const double vb = variance(b) / static_cast<double>(b.size());
+  const double denom = std::sqrt(va + vb);
+  if (denom == 0.0) return 0.0;  // identical constant traces: no leak
+  return (mean(a) - mean(b)) / denom;
+}
+
+inline constexpr double kTvlaThreshold = 4.5;
+
+}  // namespace lacrv::stats

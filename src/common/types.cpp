@@ -1,0 +1,44 @@
+#include "common/types.h"
+
+#include <stdexcept>
+
+namespace lacrv {
+
+std::string to_hex(ByteView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (u8 b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument(std::string("invalid hex digit: ") + c);
+}
+}  // namespace
+
+Bytes from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0)
+    throw std::invalid_argument("hex string has odd length");
+  Bytes out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<u8>(hex_nibble(hex[2 * i]) << 4 |
+                             hex_nibble(hex[2 * i + 1]));
+  return out;
+}
+
+bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  u8 diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace lacrv

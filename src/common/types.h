@@ -1,0 +1,63 @@
+// Basic fixed-width aliases and byte/word helpers shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lacrv {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+using Bytes = std::vector<u8>;
+using ByteView = std::span<const u8>;
+
+/// Load a 32-bit little-endian word from p.
+constexpr u32 load_le32(const u8* p) {
+  return static_cast<u32>(p[0]) | static_cast<u32>(p[1]) << 8 |
+         static_cast<u32>(p[2]) << 16 | static_cast<u32>(p[3]) << 24;
+}
+
+/// Store a 32-bit word to p in little-endian order.
+constexpr void store_le32(u8* p, u32 v) {
+  p[0] = static_cast<u8>(v);
+  p[1] = static_cast<u8>(v >> 8);
+  p[2] = static_cast<u8>(v >> 16);
+  p[3] = static_cast<u8>(v >> 24);
+}
+
+/// Load a 32-bit big-endian word from p (SHA-256 uses big-endian words).
+constexpr u32 load_be32(const u8* p) {
+  return static_cast<u32>(p[0]) << 24 | static_cast<u32>(p[1]) << 16 |
+         static_cast<u32>(p[2]) << 8 | static_cast<u32>(p[3]);
+}
+
+/// Store a 32-bit word to p in big-endian order.
+constexpr void store_be32(u8* p, u32 v) {
+  p[0] = static_cast<u8>(v >> 24);
+  p[1] = static_cast<u8>(v >> 16);
+  p[2] = static_cast<u8>(v >> 8);
+  p[3] = static_cast<u8>(v);
+}
+
+/// Hex-encode a byte range (lowercase, two chars per byte).
+std::string to_hex(ByteView data);
+
+/// Decode a hex string; throws std::invalid_argument on malformed input.
+Bytes from_hex(const std::string& hex);
+
+/// Constant-time byte-range comparison: returns true iff equal.
+/// Used by the KEM re-encryption check (FO transform) to avoid a timing
+/// oracle on the first differing byte.
+bool ct_equal(ByteView a, ByteView b);
+
+}  // namespace lacrv

@@ -1,0 +1,88 @@
+#include "gf/gf512.h"
+
+#include "common/check.h"
+
+namespace lacrv::gf {
+namespace {
+
+struct Tables {
+  std::array<Element, kGroupOrder> alog;  // alog[i] = alpha^i
+  std::array<u16, kFieldSize> log;        // log[alog[i]] = i
+
+  Tables() {
+    Element x = 1;
+    for (u16 i = 0; i < kGroupOrder; ++i) {
+      alog[i] = x;
+      log[x] = i;
+      // multiply by alpha: shift, reduce by p(x) if the x^9 bit appears.
+      x = static_cast<Element>(x << 1);
+      if (x & kFieldSize) x = static_cast<Element>((x ^ kPrimitivePoly) & (kFieldSize - 1));
+    }
+    log[0] = 0;  // unused sentinel
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+Element alpha_pow(u32 e) { return tables().alog[e % kGroupOrder]; }
+
+u16 log(Element x) {
+  LACRV_CHECK_MSG(x != 0 && x < kFieldSize, "log of 0 or out-of-field value");
+  return tables().log[x];
+}
+
+Element mul_table(Element a, Element b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.alog[(t.log[a] + t.log[b]) % kGroupOrder];
+}
+
+Element mul_shift_add(Element a, Element b) {
+  // 9 steps, MSB of b first, matching the MUL GF control unit which feeds
+  // b_8 in the first clock cycle. All data-dependent choices are masks.
+  Element acc = 0;
+  for (int i = kFieldBits - 1; i >= 0; --i) {
+    // acc <- acc * alpha  (shift; fold the x^9 bit back via the taps)
+    const Element overflow = static_cast<Element>(-((acc >> (kFieldBits - 1)) & 1));
+    acc = static_cast<Element>(((acc << 1) & (kFieldSize - 1)) ^
+                               (overflow & kReductionTaps));
+    // acc <- acc + b_i * a
+    const Element sel = static_cast<Element>(-((b >> i) & 1));
+    acc = static_cast<Element>(acc ^ (sel & a));
+  }
+  return acc;
+}
+
+Element inv(Element x) {
+  LACRV_CHECK_MSG(x != 0, "inverse of zero");
+  const auto& t = tables();
+  return t.alog[(kGroupOrder - t.log[x]) % kGroupOrder];
+}
+
+Element pow(Element x, u32 e) {
+  Element result = 1;
+  Element base = x;
+  while (e > 0) {
+    if (e & 1) result = mul_table(result, base);
+    base = mul_table(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+Element poly_eval(std::span<const Element> coeffs, Element x, MulKind kind) {
+  if (coeffs.empty()) return 0;
+  Element acc = coeffs.back();
+  for (std::size_t i = coeffs.size() - 1; i-- > 0;) {
+    acc = (kind == MulKind::kTable) ? mul_table(acc, x) : mul_shift_add(acc, x);
+    acc = add(acc, coeffs[i]);
+  }
+  return acc;
+}
+
+}  // namespace lacrv::gf

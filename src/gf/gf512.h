@@ -1,0 +1,63 @@
+// Arithmetic in GF(2^9) with primitive polynomial p(x) = 1 + x^4 + x^9
+// (the field of LAC's BCH codes, Sec. IV-B of the paper).
+//
+// Elements are 9-bit values in "vector representation": bit i is the
+// coefficient of alpha^i. alpha = 0b000000010 generates the multiplicative
+// group of order 511.
+//
+// Two multipliers are provided on purpose:
+//  * mul_table   — log/antilog lookup, fast but with secret-dependent table
+//                  accesses; models the multiplication in the round-2 LAC
+//                  submission decoder (the variable-time baseline).
+//  * mul_shift_add — bit-serial shift-and-add with interleaved reduction;
+//                  branch-free and table-free. This is exactly the dataflow
+//                  of the MUL GF hardware unit (Fig. 3) and the multiplier
+//                  used by the constant-time Walters/Roy-style decoder.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+namespace lacrv::gf {
+
+inline constexpr int kFieldBits = 9;               // m
+inline constexpr u16 kFieldSize = 1u << kFieldBits;  // 512 elements
+inline constexpr u16 kGroupOrder = kFieldSize - 1;   // 511
+/// p(x) = x^9 + x^4 + 1, bit mask including the x^9 term.
+inline constexpr u16 kPrimitivePoly = 0x211;
+/// Reduction taps: alpha^9 = alpha^4 + 1.
+inline constexpr u16 kReductionTaps = 0x011;
+
+using Element = u16;  // 9 significant bits
+
+/// alpha^e for e in [0, 511). alpha_pow(e) reduces e mod 511.
+Element alpha_pow(u32 e);
+
+/// Discrete log base alpha; precondition x != 0.
+u16 log(Element x);
+
+/// Addition = subtraction = XOR in characteristic 2.
+constexpr Element add(Element a, Element b) { return a ^ b; }
+
+/// Table-based multiplication (variable-time semantics, see header comment).
+Element mul_table(Element a, Element b);
+
+/// Bit-serial shift-and-add multiplication, 9 iterations, branch-free.
+/// Mirrors the MUL GF RTL: per step the accumulator is multiplied by alpha
+/// (shift + conditional reduction by masking) and b's next-highest bit
+/// conditionally adds a.
+Element mul_shift_add(Element a, Element b);
+
+/// Multiplicative inverse; precondition x != 0.
+Element inv(Element x);
+
+/// x^e in the field (e >= 0), constant-through-structure square-and-multiply.
+Element pow(Element x, u32 e);
+
+/// Evaluate a polynomial with coefficients coeffs[0..deg] at point x,
+/// Horner scheme, using the given multiplier flavour.
+enum class MulKind { kTable, kShiftAdd };
+Element poly_eval(std::span<const Element> coeffs, Element x, MulKind kind);
+
+}  // namespace lacrv::gf

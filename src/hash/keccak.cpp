@@ -1,0 +1,131 @@
+#include "hash/keccak.h"
+
+#include "common/check.h"
+
+namespace lacrv::hash {
+namespace {
+
+constexpr std::array<u64, 24> kRoundConstants = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+// rotation offsets (rho), indexed [x][y]
+constexpr int kRho[5][5] = {{0, 36, 3, 41, 18},
+                            {1, 44, 10, 45, 2},
+                            {62, 6, 43, 15, 61},
+                            {28, 55, 25, 21, 56},
+                            {27, 20, 39, 8, 14}};
+
+constexpr u64 rotl(u64 x, int n) {
+  return n == 0 ? x : (x << n) | (x >> (64 - n));
+}
+
+/// Generic sponge: absorb `data` with the given rate and domain suffix,
+/// leaving the state ready for squeezing.
+KeccakState absorb(ByteView data, std::size_t rate, u8 suffix) {
+  KeccakState state{};
+  std::size_t offset = 0;
+  // full blocks
+  while (data.size() - offset >= rate) {
+    for (std::size_t i = 0; i < rate; ++i)
+      state[i / 8] ^= static_cast<u64>(data[offset + i]) << (8 * (i % 8));
+    keccak_f1600(state);
+    offset += rate;
+  }
+  // final partial block + padding
+  for (std::size_t i = 0; offset + i < data.size(); ++i)
+    state[i / 8] ^= static_cast<u64>(data[offset + i]) << (8 * (i % 8));
+  const std::size_t tail = data.size() - offset;
+  state[tail / 8] ^= static_cast<u64>(suffix) << (8 * (tail % 8));
+  state[(rate - 1) / 8] ^= 0x80ULL << (8 * ((rate - 1) % 8));
+  keccak_f1600(state);
+  return state;
+}
+
+}  // namespace
+
+void keccak_f1600(KeccakState& a) {
+  const auto idx = [](int x, int y) { return x + 5 * y; };
+  for (int round = 0; round < 24; ++round) {
+    // theta
+    u64 c[5], d[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = a[idx(x, 0)] ^ a[idx(x, 1)] ^ a[idx(x, 2)] ^ a[idx(x, 3)] ^
+             a[idx(x, 4)];
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ rotl(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[idx(x, y)] ^= d[x];
+    }
+    // rho + pi
+    u64 b[25];
+    for (int x = 0; x < 5; ++x)
+      for (int y = 0; y < 5; ++y)
+        b[idx(y, (2 * x + 3 * y) % 5)] = rotl(a[idx(x, y)], kRho[x][y]);
+    // chi
+    for (int x = 0; x < 5; ++x)
+      for (int y = 0; y < 5; ++y)
+        a[idx(x, y)] =
+            b[idx(x, y)] ^ (~b[idx((x + 1) % 5, y)] & b[idx((x + 2) % 5, y)]);
+    // iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+std::array<u8, 32> sha3_256(ByteView data) {
+  const KeccakState state = absorb(data, 136, 0x06);
+  std::array<u8, 32> digest;
+  for (std::size_t i = 0; i < digest.size(); ++i)
+    digest[i] = static_cast<u8>(state[i / 8] >> (8 * (i % 8)));
+  return digest;
+}
+
+Shake128::Shake128(ByteView seed) { state_ = absorb(seed, kRate, 0x1F); }
+
+void Shake128::squeeze_block() {
+  // The state already holds squeezable bytes right after absorb(); a
+  // permutation is applied before every *subsequent* block.
+  if (permutations_ > 0) keccak_f1600(state_);
+  ++permutations_;
+  for (std::size_t i = 0; i < kRate; ++i)
+    block_[i] = static_cast<u8>(state_[i / 8] >> (8 * (i % 8)));
+  pos_ = 0;
+}
+
+u8 Shake128::next_byte() {
+  if (pos_ >= kRate) squeeze_block();
+  ++bytes_drawn_;
+  return block_[pos_++];
+}
+
+void Shake128::fill(u8* out, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) out[i] = next_byte();
+}
+
+u32 Shake128::next_u32() {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(next_byte()) << (8 * i);
+  return v;
+}
+
+u32 Shake128::next_below(u32 bound) {
+  LACRV_CHECK(bound > 0);
+  if (bound <= 0x100) {
+    const u32 limit = (0x100 / bound) * bound;
+    u32 b = next_byte();
+    while (b >= limit) b = next_byte();
+    return b % bound;
+  }
+  const u64 span = u64{1} << 32;
+  const u32 limit = static_cast<u32>((span / bound) * bound - 1);
+  u32 v = next_u32();
+  while (v > limit) v = next_u32();
+  return v % bound;
+}
+
+}  // namespace lacrv::hash

@@ -1,0 +1,54 @@
+// Keccak-f[1600], SHA3-256 and the SHAKE-128 XOF.
+//
+// The paper's future-work item (Sec. VI-B): "Changing the SHA256
+// accelerator with a Keccak accelerator to further increase the
+// performance of LAC". NewHope's co-design [8] uses exactly this
+// primitive for its much faster GenA. We implement it so the
+// ablation bench can quantify what the swap would buy LAC.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+namespace lacrv::hash {
+
+using KeccakState = std::array<u64, 25>;
+
+/// The Keccak-f[1600] permutation (24 rounds), in place.
+void keccak_f1600(KeccakState& state);
+
+/// SHA3-256 (rate 136, domain suffix 0x06).
+std::array<u8, 32> sha3_256(ByteView data);
+
+/// SHAKE-128 (rate 168, domain suffix 0x1F): absorb once, squeeze any
+/// number of bytes.
+class Shake128 {
+ public:
+  static constexpr std::size_t kRate = 168;
+
+  explicit Shake128(ByteView seed);
+
+  u8 next_byte();
+  u32 next_u32();  // little-endian over four bytes
+  void fill(u8* out, std::size_t len);
+  /// Uniform value below bound via rejection (byte path for bound <= 256,
+  /// 32-bit path above — same contract as Sha256Prg::next_below).
+  u32 next_below(u32 bound);
+
+  /// Keccak-f permutations performed so far (for timing models: one
+  /// permutation produces a full 168-byte rate block).
+  u64 permutations() const { return permutations_; }
+  u64 bytes_drawn() const { return bytes_drawn_; }
+
+ private:
+  void squeeze_block();
+
+  KeccakState state_{};
+  std::array<u8, kRate> block_{};
+  std::size_t pos_ = kRate;
+  u64 permutations_ = 0;
+  u64 bytes_drawn_ = 0;
+};
+
+}  // namespace lacrv::hash

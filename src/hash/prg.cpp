@@ -1,0 +1,51 @@
+#include "hash/prg.h"
+
+#include "common/check.h"
+
+namespace lacrv::hash {
+
+void Sha256Prg::refill() {
+  Sha256 h;
+  u8 ctr[4];
+  store_le32(ctr, counter_++);
+  h.update(ByteView(seed_.data(), seed_.size()));
+  h.update(ByteView(ctr, 4));
+  block_ = h.finalize();
+  compressions_ += h.compressions();
+  pos_ = 0;
+}
+
+u8 Sha256Prg::next_byte() {
+  if (pos_ >= kSha256DigestSize) refill();
+  ++bytes_drawn_;
+  return block_[pos_++];
+}
+
+u32 Sha256Prg::next_u32() {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(next_byte()) << (8 * i);
+  return v;
+}
+
+void Sha256Prg::fill(u8* out, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) out[i] = next_byte();
+}
+
+u32 Sha256Prg::next_below(u32 bound) {
+  LACRV_CHECK(bound > 0);
+  if (bound <= 0x100) {
+    // Byte-wise rejection: accept b < limit where limit is the largest
+    // multiple of bound that fits in a byte range.
+    const u32 limit = (0x100 / bound) * bound;
+    u32 b = next_byte();
+    while (b >= limit) b = next_byte();
+    return b % bound;
+  }
+  const u64 span = u64{1} << 32;
+  const u32 limit = static_cast<u32>((span / bound) * bound - 1);
+  u32 v = next_u32();
+  while (v > limit) v = next_u32();
+  return v % bound;
+}
+
+}  // namespace lacrv::hash

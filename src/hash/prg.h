@@ -1,0 +1,50 @@
+// Counter-mode PRG over SHA-256, the randomness expander used by LAC:
+//   block_i = SHA256(seed || le32(i)),  i = 0, 1, 2, ...
+// GenA draws uniform bytes from it (with rejection below q) and the ternary
+// samplers draw shuffle randomness from it. Deterministic for a given seed,
+// which is what the re-encryption step of the CCA decapsulation relies on.
+#pragma once
+
+#include <array>
+
+#include "hash/sha256.h"
+
+namespace lacrv::hash {
+
+inline constexpr std::size_t kSeedSize = 32;
+using Seed = std::array<u8, kSeedSize>;
+
+class Sha256Prg {
+ public:
+  explicit Sha256Prg(const Seed& seed) : seed_(seed) {}
+
+  /// Next pseudo-random byte.
+  u8 next_byte();
+  /// Next 32-bit word (little-endian over four next_byte() results).
+  u32 next_u32();
+  /// Fill a range with pseudo-random bytes.
+  void fill(u8* out, std::size_t len);
+
+  /// Uniform value in [0, bound) via rejection sampling on bytes/words.
+  /// bound must be <= 0x100 for the byte path to apply; larger bounds use
+  /// 32-bit rejection.
+  u32 next_below(u32 bound);
+
+  /// Number of SHA-256 compression invocations consumed so far — the
+  /// timing models charge hash costs from this.
+  u64 compressions() const { return compressions_; }
+  /// Number of bytes drawn so far (including rejected ones).
+  u64 bytes_drawn() const { return bytes_drawn_; }
+
+ private:
+  void refill();
+
+  Seed seed_;
+  u32 counter_ = 0;
+  Digest block_{};
+  std::size_t pos_ = kSha256DigestSize;  // force refill on first use
+  u64 compressions_ = 0;
+  u64 bytes_drawn_ = 0;
+};
+
+}  // namespace lacrv::hash

@@ -1,0 +1,142 @@
+#include "hash/sha256.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace lacrv::hash {
+namespace {
+
+constexpr std::array<u32, 64> kRoundConstants = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::array<u32, 8> kInitialState = {0x6a09e667, 0xbb67ae85,
+                                              0x3c6ef372, 0xa54ff53a,
+                                              0x510e527f, 0x9b05688c,
+                                              0x1f83d9ab, 0x5be0cd19};
+
+constexpr u32 rotr(u32 x, int n) { return (x >> n) | (x << (32 - n)); }
+constexpr u32 ch(u32 x, u32 y, u32 z) { return (x & y) ^ (~x & z); }
+constexpr u32 maj(u32 x, u32 y, u32 z) { return (x & y) ^ (x & z) ^ (y & z); }
+constexpr u32 big_sigma0(u32 x) { return rotr(x, 2) ^ rotr(x, 13) ^ rotr(x, 22); }
+constexpr u32 big_sigma1(u32 x) { return rotr(x, 6) ^ rotr(x, 11) ^ rotr(x, 25); }
+constexpr u32 small_sigma0(u32 x) { return rotr(x, 7) ^ rotr(x, 18) ^ (x >> 3); }
+constexpr u32 small_sigma1(u32 x) { return rotr(x, 17) ^ rotr(x, 19) ^ (x >> 10); }
+
+}  // namespace
+
+void Sha256::reset() {
+  state_ = kInitialState;
+  buffered_ = 0;
+  length_bits_ = 0;
+  compressions_ = 0;
+  finalized_ = false;
+}
+
+void Sha256::compress(const u8 block[kSha256BlockSize]) {
+  u32 w[64];
+  for (int t = 0; t < 16; ++t) w[t] = load_be32(block + 4 * t);
+  for (int t = 16; t < 64; ++t)
+    w[t] = small_sigma1(w[t - 2]) + w[t - 7] + small_sigma0(w[t - 15]) +
+           w[t - 16];
+
+  u32 a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  u32 e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int t = 0; t < 64; ++t) {
+    const u32 t1 = h + big_sigma1(e) + ch(e, f, g) + kRoundConstants[t] + w[t];
+    const u32 t2 = big_sigma0(a) + maj(a, b, c);
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+  ++compressions_;
+}
+
+void Sha256::update(ByteView data) {
+  LACRV_CHECK_MSG(!finalized_, "update() after finalize(); call reset()");
+  length_bits_ += static_cast<u64>(data.size()) * 8;
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take =
+        std::min(kSha256BlockSize - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == kSha256BlockSize) {
+      compress(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (offset + kSha256BlockSize <= data.size()) {
+    compress(data.data() + offset);
+    offset += kSha256BlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Digest Sha256::finalize() {
+  LACRV_CHECK_MSG(!finalized_, "finalize() called twice; call reset()");
+  finalized_ = true;
+  // Padding: 0x80, zeros, then the 64-bit big-endian message length.
+  u8 pad[kSha256BlockSize * 2] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56 ? 56 - buffered_ : 120 - buffered_);
+  u8 len_be[8];
+  for (int i = 0; i < 8; ++i)
+    len_be[i] = static_cast<u8>(length_bits_ >> (56 - 8 * i));
+
+  // Feed padding through the block buffer manually (update() is locked).
+  std::memcpy(buffer_ + buffered_, pad, kSha256BlockSize - buffered_);
+  if (buffered_ >= 56) {
+    compress(buffer_);
+    std::memset(buffer_, 0, kSha256BlockSize);
+  }
+  std::memcpy(buffer_ + 56, len_be, 8);
+  compress(buffer_);
+  (void)pad_len;
+
+  Digest out;
+  for (int i = 0; i < 8; ++i) store_be32(out.data() + 4 * i, state_[i]);
+  return out;
+}
+
+Digest sha256(ByteView data) {
+  Sha256 h;
+  h.update(data);
+  return h.finalize();
+}
+
+Digest sha256(ByteView a, ByteView b) {
+  Sha256 h;
+  h.update(a);
+  h.update(b);
+  return h.finalize();
+}
+
+}  // namespace lacrv::hash

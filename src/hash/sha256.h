@@ -1,0 +1,51 @@
+// SHA-256 (FIPS 180-4). LAC uses SHA-256 as its only symmetric primitive:
+// seed expansion for GenA, randomness for the ternary samplers, and the
+// hashes of the Fujisaki-Okamoto transform all run through it.
+//
+// Incremental (init/update/final) interface plus one-shot helpers.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+namespace lacrv::hash {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Digest = std::array<u8, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  /// Finalize and return the digest. The object must be reset() before reuse.
+  Digest finalize();
+
+  /// Number of 64-byte compression-function invocations so far, including
+  /// those triggered by padding in finalize(). The timing models use this
+  /// to charge per-block costs that match what really executed.
+  u64 compressions() const { return compressions_; }
+
+ private:
+  void compress(const u8 block[kSha256BlockSize]);
+
+  std::array<u32, 8> state_{};
+  u8 buffer_[kSha256BlockSize]{};
+  std::size_t buffered_ = 0;
+  u64 length_bits_ = 0;
+  u64 compressions_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot SHA-256.
+Digest sha256(ByteView data);
+
+/// One-shot SHA-256 over the concatenation a || b (saves a buffer copy at
+/// call sites like H(m || ct) in the KEM).
+Digest sha256(ByteView a, ByteView b);
+
+}  // namespace lacrv::hash

@@ -1,0 +1,92 @@
+#include "lac/backend.h"
+
+#include "common/costs.h"
+
+namespace lacrv::lac {
+namespace {
+
+/// Number of trailing all-zero coefficients the software would not bother
+/// transferring (the split path loads only the 256 significant
+/// coefficients of each padded half).
+template <typename Vec>
+std::size_t significant_length(const Vec& v) {
+  std::size_t len = v.size();
+  while (len > 0 && v[len - 1] == 0) --len;
+  return len;
+}
+
+}  // namespace
+
+poly::MulTer512 modeled_mul_ter() {
+  return [](const poly::Ternary& a, const poly::Coeffs& b, bool negacyclic,
+            CycleLedger* ledger) {
+    const std::size_t n = a.size();
+    // Operand transfer: 5 general + 5 ternary coefficients per pq.mul_ter
+    // issue; only the significant prefix is loaded (split calls transfer
+    // 256 coefficients into the zero-initialised unit).
+    const std::size_t sig =
+        std::max(significant_length(a), significant_length(b));
+    const std::size_t load_chunks =
+        (std::max<std::size_t>(sig, 1) + cost::kMulTerCoeffsPerLoad - 1) /
+        cost::kMulTerCoeffsPerLoad;
+    const std::size_t read_chunks =
+        (n + cost::kMulTerCoeffsPerRead - 1) / cost::kMulTerCoeffsPerRead;
+    charge(ledger, cost::kKernelCallOverhead +
+                       load_chunks * cost::kMulTerLoadChunk +
+                       cost::kMulTerStartOverhead + n /* compute cycles */ +
+                       read_chunks * cost::kMulTerReadChunk);
+    return poly::mul_ter_sw(a, b, negacyclic);
+  };
+}
+
+bch::ChienStage modeled_chien() {
+  return [](const bch::CodeSpec& spec, const bch::Locator& loc,
+            CycleLedger* ledger) {
+    const u64 points = static_cast<u64>(spec.chien_last - spec.chien_first + 1);
+    const u64 groups = static_cast<u64>(spec.t) / 4;  // 4 for t=16, 2 for t=8
+    charge(ledger,
+           cost::kKernelCallOverhead + groups * cost::kChienHwLambdaLoad +
+               points * (groups * (cost::kChienHwGroupCompute +
+                                   cost::kChienHwGroupControl) +
+                         cost::kChienHwPointOverhead));
+    // Functional result identical to the software search; only the cycle
+    // model differs. Pass a null ledger so no software costs are charged.
+    return bch::chien_search(spec, loc, bch::Flavor::kConstantTime, nullptr);
+  };
+}
+
+Backend Backend::reference() {
+  Backend b;
+  b.kind = Kind::kReference;
+  b.name = "ref";
+  b.hash_impl = HashImpl::kSoftware;
+  b.bch_flavor = bch::Flavor::kSubmission;
+  return b;
+}
+
+Backend Backend::reference_const_bch() {
+  Backend b;
+  b.kind = Kind::kReferenceConstBch;
+  b.name = "const-bch";
+  b.hash_impl = HashImpl::kSoftware;
+  b.bch_flavor = bch::Flavor::kConstantTime;
+  return b;
+}
+
+Backend Backend::optimized() {
+  return optimized_with(modeled_mul_ter(), modeled_chien());
+}
+
+Backend Backend::optimized_with(poly::MulTer512 mul_unit,
+                                bch::ChienStage chien) {
+  Backend b;
+  b.kind = Kind::kOptimized;
+  b.name = "opt";
+  b.hash_impl = HashImpl::kAccelerated;
+  b.bch_flavor = bch::Flavor::kConstantTime;
+  b.mul_unit = std::move(mul_unit);
+  b.chien = std::move(chien);
+  return b;
+}
+
+}  // namespace lacrv::lac

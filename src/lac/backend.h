@@ -1,0 +1,54 @@
+// Implementation backends — the five Table II configurations reduce to
+// three on our platform:
+//
+//  * reference()            — round-2 software everywhere: dense n^2
+//                             multiplication, submission (variable-time)
+//                             BCH decoder, software SHA-256.
+//  * reference_const_bch()  — same but with the Walters/Roy constant-time
+//                             BCH decoder ("LAC const. BCH" rows).
+//  * optimized()            — the paper's co-design: MUL TER via pq.mul_ter
+//                             (with the two-level split for n = 1024),
+//                             constant-time syndromes/BM plus the MUL CHIEN
+//                             unit, and the pq.sha256 hash path.
+//
+// optimized() uses golden software models of the accelerators with the
+// pq-instruction cycle model attached; optimized_with() lets the perf/rtl
+// layer substitute cycle-accurate RTL-backed callables (results must be
+// bit-identical — tests enforce it).
+#pragma once
+
+#include "bch/decoder.h"
+#include "lac/gen_a.h"
+#include "poly/split_mul.h"
+
+namespace lacrv::lac {
+
+struct Backend {
+  enum class Kind { kReference, kReferenceConstBch, kOptimized };
+
+  Kind kind = Kind::kReference;
+  const char* name = "ref";
+  HashImpl hash_impl = HashImpl::kSoftware;
+  bch::Flavor bch_flavor = bch::Flavor::kSubmission;
+  /// Set iff kind == kOptimized: the MUL TER unit (cost model included).
+  poly::MulTer512 mul_unit;
+  /// Set iff kind == kOptimized: the MUL CHIEN stage (cost model included).
+  bch::ChienStage chien;
+
+  static Backend reference();
+  static Backend reference_const_bch();
+  static Backend optimized();
+  /// Optimized backend with caller-provided accelerator implementations
+  /// (e.g. the RTL models driven through the ISS conventions).
+  static Backend optimized_with(poly::MulTer512 mul_unit,
+                                bch::ChienStage chien);
+};
+
+/// MUL TER model used by optimized(): computes with mul_ter_sw and charges
+/// the pq.mul_ter I/O + n compute cycles of Sec. V.
+poly::MulTer512 modeled_mul_ter();
+/// MUL CHIEN model used by optimized(): computes the window search and
+/// charges per-point group compute/control/readback costs (Fig. 4).
+bch::ChienStage modeled_chien();
+
+}  // namespace lacrv::lac

@@ -1,0 +1,48 @@
+#include "lac/codec.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+
+namespace lacrv::lac {
+
+poly::Coeffs encode_payload(const Params& params, const bch::Message& msg,
+                            CycleLedger* ledger, bch::Flavor flavor) {
+  const bch::BitVec cw = flavor == bch::Flavor::kConstantTime
+                             ? bch::encode_ct(*params.code, msg, ledger)
+                             : bch::encode(*params.code, msg, ledger);
+  poly::Coeffs payload(params.v_len());
+  const std::size_t L = params.cw_bits();
+  for (std::size_t i = 0; i < L; ++i) {
+    const u8 value = cw[i] ? kHalfQ : 0;
+    payload[i] = value;
+    if (params.d2) payload[i + L] = value;  // duplicate block
+  }
+  charge(ledger, params.v_len() * cost::kCodecCoeffStep);
+  return payload;
+}
+
+bch::DecodeResult decode_payload(const Params& params, const Backend& backend,
+                                 const poly::Coeffs& w, CycleLedger* ledger) {
+  LACRV_CHECK(w.size() == params.v_len());
+  const std::size_t L = params.cw_bits();
+  bch::BitVec received(L);
+  for (std::size_t i = 0; i < L; ++i) {
+    // Distance of the (pair of) received coefficients to the "1" pattern
+    // (kHalfQ) vs the "0" pattern; D2 sums the two independent distances.
+    u32 dist_one = ring_distance(w[i], kHalfQ);
+    u32 dist_zero = ring_distance(w[i], 0);
+    if (params.d2) {
+      dist_one += ring_distance(w[i + L], kHalfQ);
+      dist_zero += ring_distance(w[i + L], 0);
+    }
+    received[i] = dist_one < dist_zero ? 1 : 0;
+  }
+  charge(ledger, params.v_len() * cost::kCodecCoeffStep);
+
+  if (backend.chien)
+    return bch::decode_with_chien(*params.code, received, backend.bch_flavor,
+                                  backend.chien, ledger);
+  return bch::decode(*params.code, received, backend.bch_flavor, ledger);
+}
+
+}  // namespace lacrv::lac

@@ -1,0 +1,45 @@
+// Message codec around v (Fig. 1's "BCH Enc / BCH Dec" plus the q/2
+// embedding, 4-bit ciphertext compression, and LAC-256's D2 duplication).
+#pragma once
+
+#include "bch/decoder.h"
+#include "common/ledger.h"
+#include "lac/backend.h"
+#include "lac/params.h"
+#include "poly/ring.h"
+
+namespace lacrv::lac {
+
+/// Centered embedding amplitude: floor(q / 2) = 125.
+inline constexpr u8 kHalfQ = poly::kQ / 2;
+
+/// 4-bit ciphertext compression of a coefficient in [0, q).
+constexpr u8 compress4(u8 v) {
+  return static_cast<u8>(((static_cast<u32>(v) << 4) + kHalfQ) / poly::kQ) &
+         0xF;
+}
+/// Inverse map into [0, q).
+constexpr u8 decompress4(u8 c) {
+  return static_cast<u8>((static_cast<u32>(c & 0xF) * poly::kQ + 8) >> 4);
+}
+
+/// Circular distance |a - b| on Z_q.
+constexpr u16 ring_distance(u8 a, u8 b) {
+  const u16 d = a >= b ? static_cast<u16>(a - b) : static_cast<u16>(b - a);
+  return static_cast<u16>(d <= poly::kQ / 2 ? d : poly::kQ - d);
+}
+
+/// BCH-encode (and D2-duplicate) a 256-bit message into v_len()
+/// coefficients in {0, kHalfQ}. Constant-time backends use the masked
+/// LFSR encoder (the message carries the shared secret).
+poly::Coeffs encode_payload(const Params& params, const bch::Message& msg,
+                            CycleLedger* ledger = nullptr,
+                            bch::Flavor flavor = bch::Flavor::kSubmission);
+
+/// Threshold-decide the noisy coefficients w (= v - u*s, length v_len()),
+/// combine D2 pairs, BCH-decode with the backend's decoder configuration.
+bch::DecodeResult decode_payload(const Params& params, const Backend& backend,
+                                 const poly::Coeffs& w,
+                                 CycleLedger* ledger = nullptr);
+
+}  // namespace lacrv::lac

@@ -1,0 +1,41 @@
+#include "lac/gen_a.h"
+
+#include "common/costs.h"
+#include "hash/keccak.h"
+
+namespace lacrv::lac {
+
+u64 hash_block_cost(HashImpl impl) {
+  return impl == HashImpl::kSoftware ? cost::kSwSha256Block
+                                     : cost::kHwSha256Block;
+}
+
+u64 prg_block_cost(PrgKind prg, HashImpl impl) {
+  if (prg == PrgKind::kShake128)
+    return impl == HashImpl::kSoftware ? cost::kSwKeccakBlock
+                                       : cost::kHwKeccakBlock;
+  return hash_block_cost(impl);
+}
+
+poly::Coeffs gen_a(const hash::Seed& seed, const Params& params,
+                   HashImpl hash_impl, CycleLedger* ledger) {
+  LedgerScope scope(ledger, "gen_a");
+  poly::Coeffs a(params.n);
+  u64 blocks = 0;
+  if (params.prg == PrgKind::kShake128) {
+    hash::Shake128 prg(ByteView(seed.data(), seed.size()));
+    for (auto& coeff : a)
+      coeff = static_cast<u8>(prg.next_below(poly::kQ));
+    blocks = prg.permutations();
+  } else {
+    hash::Sha256Prg prg(seed);
+    for (auto& coeff : a)
+      coeff = static_cast<u8>(prg.next_below(poly::kQ));
+    blocks = prg.compressions();
+  }
+  charge(ledger, blocks * prg_block_cost(params.prg, hash_impl) +
+                     params.n * cost::kGenACoeffStep);
+  return a;
+}
+
+}  // namespace lacrv::lac

@@ -1,0 +1,28 @@
+// GenA — expansion of a public 32-byte seed into the uniform polynomial a
+// (Sec. III-B): SHA-256 counter-mode PRG with byte-wise rejection sampling
+// below q. Deterministic, so both communication parties derive the same a
+// and only the seed travels in the public key.
+#pragma once
+
+#include "common/ledger.h"
+#include "hash/prg.h"
+#include "lac/params.h"
+#include "poly/ring.h"
+
+namespace lacrv::lac {
+
+/// Which SHA-256 implementation the cycle model charges for. The values
+/// produced are identical — the accelerator changes cost, not semantics.
+enum class HashImpl { kSoftware, kAccelerated };
+
+poly::Coeffs gen_a(const hash::Seed& seed, const Params& params,
+                   HashImpl hash_impl = HashImpl::kSoftware,
+                   CycleLedger* ledger = nullptr);
+
+/// Per-block cycle cost of the selected hash implementation (shared by
+/// the samplers and the KEM hashing glue).
+u64 hash_block_cost(HashImpl impl);
+/// Per-PRG-block cost for the given XOF choice and implementation.
+u64 prg_block_cost(PrgKind prg, HashImpl impl);
+
+}  // namespace lacrv::lac

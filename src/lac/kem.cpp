@@ -1,0 +1,178 @@
+#include "lac/kem.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+
+namespace lacrv::lac {
+namespace {
+
+constexpr u8 kTagZ = 0x10;
+constexpr u8 kTagMessage = 0x11;
+constexpr u8 kTagCoins = 0x12;
+constexpr u8 kTagKeyBar = 0x13;
+
+hash::Seed to_seed(const hash::Digest& d) {
+  hash::Seed s;
+  std::copy(d.begin(), d.end(), s.begin());
+  return s;
+}
+
+/// H(tag || a || b), charging the backend's per-block hash cost.
+hash::Digest tagged_hash(u8 tag, ByteView a, ByteView b,
+                         const Backend& backend, CycleLedger* ledger) {
+  hash::Sha256 h;
+  h.update(ByteView(&tag, 1));
+  h.update(a);
+  h.update(b);
+  hash::Digest d = h.finalize();
+  charge(ledger, h.compressions() * hash_block_cost(backend.hash_impl));
+  return d;
+}
+
+}  // namespace
+
+KemKeyPair kem_keygen(const Params& params, const Backend& backend,
+                      const hash::Seed& master, CycleLedger* ledger) {
+  const KeyPair kp = keygen(params, backend, master, ledger);
+  KemKeyPair keys;
+  keys.pk = kp.pk;
+  keys.sk = kp.sk;
+  keys.z = derive_seed(master, kTagZ);
+  charge(ledger, 2 * hash_block_cost(backend.hash_impl));
+  return keys;
+}
+
+EncapsResult encapsulate(const Params& params, const Backend& backend,
+                         const PublicKey& pk, const hash::Seed& entropy,
+                         CycleLedger* ledger) {
+  // m <- PRG(entropy): a uniform 256-bit message.
+  const hash::Seed m = derive_seed(entropy, kTagMessage);
+  charge(ledger, 2 * hash_block_cost(backend.hash_impl));
+
+  const Bytes pk_bytes = serialize(params, pk);
+  const hash::Digest pk_hash =
+      tagged_hash(0x00, pk_bytes, {}, backend, ledger);
+
+  bch::Message msg;
+  std::copy(m.begin(), m.end(), msg.begin());
+  const hash::Seed coins = to_seed(tagged_hash(
+      kTagCoins, ByteView(m.data(), m.size()),
+      ByteView(pk_hash.data(), pk_hash.size()), backend, ledger));
+  const hash::Digest key_bar = tagged_hash(
+      kTagKeyBar, ByteView(m.data(), m.size()),
+      ByteView(pk_hash.data(), pk_hash.size()), backend, ledger);
+
+  EncapsResult result;
+  result.ct = encrypt(params, backend, pk, msg, coins, ledger);
+
+  const Bytes ct_bytes = serialize(params, result.ct);
+  const hash::Digest ct_hash = tagged_hash(0x00, ct_bytes, {}, backend, ledger);
+  result.key = tagged_hash(0x00, ByteView(key_bar.data(), key_bar.size()),
+                           ByteView(ct_hash.data(), ct_hash.size()), backend,
+                           ledger);
+  return result;
+}
+
+SharedKey decapsulate(const Params& params, const Backend& backend,
+                      const KemKeyPair& keys, const Ciphertext& ct,
+                      CycleLedger* ledger) {
+  const DecryptResult dec = decrypt(params, backend, keys.sk, ct, ledger);
+
+  const Bytes pk_bytes = serialize(params, keys.pk);
+  const hash::Digest pk_hash =
+      tagged_hash(0x00, pk_bytes, {}, backend, ledger);
+
+  const ByteView m_view(dec.message.data(), dec.message.size());
+  const ByteView pk_hash_view(pk_hash.data(), pk_hash.size());
+  const hash::Seed coins =
+      to_seed(tagged_hash(kTagCoins, m_view, pk_hash_view, backend, ledger));
+  const hash::Digest key_bar =
+      tagged_hash(kTagKeyBar, m_view, pk_hash_view, backend, ledger);
+
+  // Re-encrypt and compare (the CCA step Table II's decapsulation times).
+  const Ciphertext ct2 =
+      encrypt(params, backend, keys.pk, dec.message, coins, ledger);
+
+  const Bytes ct_bytes = serialize(params, ct);
+  const Bytes ct2_bytes = serialize(params, ct2);
+  const bool match = dec.ok && ct_equal(ct_bytes, ct2_bytes);
+  charge(ledger, ct_bytes.size() * cost::kAlu);  // constant-time compare
+
+  const hash::Digest ct_hash = tagged_hash(0x00, ct_bytes, {}, backend, ledger);
+  if (match)
+    return tagged_hash(0x00, ByteView(key_bar.data(), key_bar.size()),
+                       ByteView(ct_hash.data(), ct_hash.size()), backend,
+                       ledger);
+  // Implicit rejection.
+  return tagged_hash(0x00, ByteView(keys.z.data(), keys.z.size()),
+                     ByteView(ct_hash.data(), ct_hash.size()), backend,
+                     ledger);
+}
+
+std::size_t kem_sk_bytes(const Params& params) {
+  return params.sk_bytes() + hash::kSeedSize + params.pk_bytes();
+}
+
+Bytes serialize_kem_sk(const Params& params, const KemKeyPair& keys) {
+  Bytes out;
+  out.reserve(kem_sk_bytes(params));
+  for (i8 v : keys.sk.s)
+    out.push_back(v < 0 ? static_cast<u8>(poly::kQ - 1)
+                        : static_cast<u8>(v));
+  out.insert(out.end(), keys.z.begin(), keys.z.end());
+  const Bytes pk = serialize(params, keys.pk);
+  out.insert(out.end(), pk.begin(), pk.end());
+  LACRV_CHECK(out.size() == kem_sk_bytes(params));
+  return out;
+}
+
+KemKeyPair deserialize_kem_sk(const Params& params, ByteView bytes) {
+  LACRV_CHECK(bytes.size() == kem_sk_bytes(params));
+  KemKeyPair keys;
+  keys.sk.s.resize(params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const u8 b = bytes[i];
+    LACRV_CHECK_MSG(b <= 1 || b == poly::kQ - 1,
+                    "secret coefficient out of ternary range");
+    keys.sk.s[i] = b == poly::kQ - 1 ? i8{-1} : static_cast<i8>(b);
+  }
+  std::copy(bytes.begin() + static_cast<long>(params.n),
+            bytes.begin() + static_cast<long>(params.n + hash::kSeedSize),
+            keys.z.begin());
+  keys.pk = deserialize_pk(
+      params, bytes.subspan(params.n + hash::kSeedSize));
+  return keys;
+}
+
+EncapsResult encapsulate_cpa(const Params& params, const Backend& backend,
+                             const PublicKey& pk, const hash::Seed& entropy,
+                             CycleLedger* ledger) {
+  const hash::Seed m = derive_seed(entropy, kTagMessage);
+  const hash::Seed coins = derive_seed(entropy, kTagCoins);
+  charge(ledger, 4 * hash_block_cost(backend.hash_impl));
+
+  bch::Message msg;
+  std::copy(m.begin(), m.end(), msg.begin());
+  EncapsResult result;
+  result.ct = encrypt(params, backend, pk, msg, coins, ledger);
+
+  const Bytes ct_bytes = serialize(params, result.ct);
+  const hash::Digest ct_hash = tagged_hash(0x00, ct_bytes, {}, backend, ledger);
+  result.key = tagged_hash(0x00, ByteView(m.data(), m.size()),
+                           ByteView(ct_hash.data(), ct_hash.size()), backend,
+                           ledger);
+  return result;
+}
+
+SharedKey decapsulate_cpa(const Params& params, const Backend& backend,
+                          const KemKeyPair& keys, const Ciphertext& ct,
+                          CycleLedger* ledger) {
+  const DecryptResult dec = decrypt(params, backend, keys.sk, ct, ledger);
+  const Bytes ct_bytes = serialize(params, ct);
+  const hash::Digest ct_hash = tagged_hash(0x00, ct_bytes, {}, backend, ledger);
+  return tagged_hash(0x00, ByteView(dec.message.data(), dec.message.size()),
+                     ByteView(ct_hash.data(), ct_hash.size()), backend,
+                     ledger);
+}
+
+}  // namespace lacrv::lac

@@ -1,0 +1,69 @@
+// CCA-secure KEM via the Fujisaki-Okamoto transform (the "CCA" security
+// class of Table II: decapsulation re-encrypts with the recovered coins
+// and compares ciphertexts in constant time; mismatches yield a pseudo-
+// random implicit-rejection key derived from the secret value z).
+#pragma once
+
+#include "lac/pke.h"
+
+namespace lacrv::lac {
+
+using SharedKey = std::array<u8, 32>;
+
+struct KemKeyPair {
+  PublicKey pk;
+  SecretKey sk;
+  /// Implicit-rejection secret (part of the stored secret key material).
+  hash::Seed z{};
+};
+
+struct EncapsResult {
+  Ciphertext ct;
+  SharedKey key{};
+};
+
+KemKeyPair kem_keygen(const Params& params, const Backend& backend,
+                      const hash::Seed& master, CycleLedger* ledger = nullptr);
+
+/// Encapsulate: m <- PRG(entropy); (coins, K-bar) = G(m, H(pk));
+/// ct = Enc(pk, m; coins); K = H(K-bar, H(ct)).
+EncapsResult encapsulate(const Params& params, const Backend& backend,
+                         const PublicKey& pk, const hash::Seed& entropy,
+                         CycleLedger* ledger = nullptr);
+
+/// Decapsulate with re-encryption check; never fails observably — on
+/// mismatch the implicit-rejection key is returned.
+SharedKey decapsulate(const Params& params, const Backend& backend,
+                      const KemKeyPair& keys, const Ciphertext& ct,
+                      CycleLedger* ledger = nullptr);
+
+// ---- secret-key wire format ------------------------------------------------
+// The paper counts ||sk|| = n bytes (the ternary s). A deployable
+// decapsulation key additionally carries the public key (for the FO
+// re-encryption) and the implicit-rejection secret z, like the NIST-API
+// LAC secret key does. Layout: s (n bytes, -1 stored as q-1) || z (32) ||
+// pk (pk_bytes()).
+
+Bytes serialize_kem_sk(const Params& params, const KemKeyPair& keys);
+KemKeyPair deserialize_kem_sk(const Params& params, ByteView bytes);
+/// Full decapsulation-key size.
+std::size_t kem_sk_bytes(const Params& params);
+
+// ---- CPA-secure variant -----------------------------------------------------
+// The security class of the NewHope co-design row in Table II ("CPA (V)"):
+// encapsulation is a plain encryption of a random message, decapsulation
+// decrypts and hashes — no re-encryption step. Sec. VI-B attributes part
+// of LAC's ~3.12M extra protocol cycles vs [8] to exactly that step; the
+// cpa functions let the bench quantify it.
+
+EncapsResult encapsulate_cpa(const Params& params, const Backend& backend,
+                             const PublicKey& pk, const hash::Seed& entropy,
+                             CycleLedger* ledger = nullptr);
+
+/// CPA decapsulation: K = H(m' || H(ct)). Fails silently into a wrong key
+/// on a decryption error (no rejection machinery by design).
+SharedKey decapsulate_cpa(const Params& params, const Backend& backend,
+                          const KemKeyPair& keys, const Ciphertext& ct,
+                          CycleLedger* ledger = nullptr);
+
+}  // namespace lacrv::lac

@@ -1,0 +1,44 @@
+// NIST-PQC-competition-style flat byte-buffer API, the interface SUPERCOP
+// / pqm4 / liboqs consumers expect:
+//
+//   crypto_kem_keypair(pk, sk, randombytes)
+//   crypto_kem_enc(ct, ss, pk, randombytes)
+//   crypto_kem_dec(ss, ct, sk)
+//
+// pk/sk/ct/ss are caller-provided buffers of the sizes reported by the
+// Sizes struct (sk is the full decapsulation key: s || z || pk).
+// Randomness is injected as a callable so KATs and deterministic tests
+// work the same way the NIST KAT harness drives randombytes().
+#pragma once
+
+#include <functional>
+
+#include "lac/kem.h"
+
+namespace lacrv::lac::nist {
+
+/// Fills the buffer with fresh randomness (the NIST randombytes shape).
+using RandomBytes = std::function<void(u8* out, std::size_t len)>;
+
+struct Sizes {
+  std::size_t public_key;
+  std::size_t secret_key;
+  std::size_t ciphertext;
+  std::size_t shared_secret;  // always 32
+};
+Sizes sizes(const Params& params);
+
+/// Generate a key pair into pk / sk (buffers of sizes(params) lengths).
+void crypto_kem_keypair(const Params& params, const Backend& backend,
+                        u8* pk, u8* sk, const RandomBytes& randombytes);
+
+/// Encapsulate: writes ct and the 32-byte shared secret ss.
+void crypto_kem_enc(const Params& params, const Backend& backend, u8* ct,
+                    u8* ss, const u8* pk, const RandomBytes& randombytes);
+
+/// Decapsulate: writes the 32-byte shared secret ss (implicit rejection
+/// on malformed ciphertexts — never fails observably).
+void crypto_kem_dec(const Params& params, const Backend& backend, u8* ss,
+                    const u8* ct, const u8* sk);
+
+}  // namespace lacrv::lac::nist

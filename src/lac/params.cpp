@@ -1,0 +1,66 @@
+#include "lac/params.h"
+
+#include "common/check.h"
+
+namespace lacrv::lac {
+
+const Params& Params::lac128() {
+  static const Params p{SecurityLevel::kLac128, "LAC-128", 512, 256,
+                        &bch::CodeSpec::bch_511_367_16(), false, 1};
+  return p;
+}
+
+const Params& Params::lac192() {
+  static const Params p{SecurityLevel::kLac192, "LAC-192", 1024, 256,
+                        &bch::CodeSpec::bch_511_439_8(), false, 3};
+  return p;
+}
+
+const Params& Params::lac256() {
+  static const Params p{SecurityLevel::kLac256, "LAC-256", 1024, 512,
+                        &bch::CodeSpec::bch_511_367_16(), true, 5};
+  return p;
+}
+
+const Params& Params::lac128_shake() {
+  static const Params p{SecurityLevel::kLac128, "LAC-128-SHAKE", 512, 256,
+                        &bch::CodeSpec::bch_511_367_16(), false, 1,
+                        PrgKind::kShake128};
+  return p;
+}
+
+const Params& Params::lac192_shake() {
+  static const Params p{SecurityLevel::kLac192, "LAC-192-SHAKE", 1024, 256,
+                        &bch::CodeSpec::bch_511_439_8(), false, 3,
+                        PrgKind::kShake128};
+  return p;
+}
+
+const Params& Params::lac256_shake() {
+  static const Params p{SecurityLevel::kLac256, "LAC-256-SHAKE", 1024, 512,
+                        &bch::CodeSpec::bch_511_367_16(), true, 5,
+                        PrgKind::kShake128};
+  return p;
+}
+
+std::array<const Params*, 3> Params::all_shake() {
+  return {&lac128_shake(), &lac192_shake(), &lac256_shake()};
+}
+
+const Params& Params::get(SecurityLevel level) {
+  switch (level) {
+    case SecurityLevel::kLac128:
+      return lac128();
+    case SecurityLevel::kLac192:
+      return lac192();
+    case SecurityLevel::kLac256:
+      return lac256();
+  }
+  LACRV_CHECK_MSG(false, "unknown security level");
+}
+
+std::array<const Params*, 3> Params::all() {
+  return {&lac128(), &lac192(), &lac256()};
+}
+
+}  // namespace lacrv::lac

@@ -1,0 +1,65 @@
+// LAC parameter sets (2nd-round NIST submission, as used by the paper).
+//
+//            n     q   weight h   BCH code          D2   NIST cat.
+// LAC-128    512   251  256       (511,367,16)      no   I
+// LAC-192   1024   251  256       (511,439, 8)      no   III
+// LAC-256   1024   251  512       (511,367,16)      yes  V
+//
+// weight h = number of nonzero coefficients of a secret/error polynomial
+// (h/2 ones, h/2 minus-ones; LAC-192's sparser distribution is why its
+// smaller t=8 code suffices). LAC-256 duplicates every codeword bit in v
+// ("D2" encoding) to halve the effective bit-error rate.
+#pragma once
+
+#include <array>
+
+#include "bch/code.h"
+#include "hash/prg.h"
+
+namespace lacrv::lac {
+
+enum class SecurityLevel { kLac128, kLac192, kLac256 };
+
+/// Which XOF expands seeds into polynomials. kSha256Ctr is LAC as
+/// submitted (and as the paper builds); kShake128 is the paper's
+/// future-work variant ("changing the SHA256 accelerator with a Keccak
+/// accelerator"), realized here as a complete scheme variant.
+enum class PrgKind { kSha256Ctr, kShake128 };
+
+struct Params {
+  SecurityLevel level;
+  const char* name;
+  std::size_t n;
+  std::size_t weight;  // h
+  const bch::CodeSpec* code;
+  bool d2;
+  int nist_category;
+  PrgKind prg = PrgKind::kSha256Ctr;
+
+  /// Bits of the (shortened) BCH codeword.
+  std::size_t cw_bits() const { return static_cast<std::size_t>(code->length()); }
+  /// Number of coefficients of v = cw_bits, doubled under D2.
+  std::size_t v_len() const { return cw_bits() * (d2 ? 2 : 1); }
+
+  /// Wire sizes in bytes (1 byte per coefficient of b; v compressed to
+  /// 4 bits per coefficient). LAC-256: pk 1056, sk 1024, ct 1424 —
+  /// matching the paper's Sec. VI numbers.
+  std::size_t pk_bytes() const { return hash::kSeedSize + n; }
+  std::size_t sk_bytes() const { return n; }
+  std::size_t ct_bytes() const { return n + (v_len() + 1) / 2; }
+
+  static const Params& lac128();
+  static const Params& lac192();
+  static const Params& lac256();
+  /// SHAKE-128-based variants (future work of Sec. VI-B as a scheme).
+  static const Params& lac128_shake();
+  static const Params& lac192_shake();
+  static const Params& lac256_shake();
+  static const Params& get(SecurityLevel level);
+  /// The paper's three parameter sets.
+  static std::array<const Params*, 3> all();
+  /// The SHAKE variants.
+  static std::array<const Params*, 3> all_shake();
+};
+
+}  // namespace lacrv::lac

@@ -1,0 +1,179 @@
+#include "lac/pke.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+#include "lac/sampler.h"
+
+namespace lacrv::lac {
+namespace {
+
+// Domain-separation tags for seed derivation.
+constexpr u8 kTagSeedA = 0x01;
+constexpr u8 kTagSecret = 0x02;
+constexpr u8 kTagError = 0x03;
+constexpr u8 kTagEncSecret = 0x04;
+constexpr u8 kTagEncError1 = 0x05;
+constexpr u8 kTagEncError2 = 0x06;
+
+/// Multiply general b by ternary s in R_n according to the backend:
+/// the optimized path drives the MUL TER unit (full product), reference
+/// paths run the dense n^2 software loop. `out_len` < n requests the
+/// reference partial product (encryption's v); the hardware unit always
+/// computes the full product (the software trick doesn't apply to it).
+poly::Coeffs backend_mul(const Params& params, const Backend& backend,
+                         const poly::Coeffs& b, const poly::Ternary& s,
+                         std::size_t out_len, CycleLedger* ledger) {
+  LedgerScope scope(ledger, "mult");
+  if (backend.kind == Backend::Kind::kOptimized) {
+    poly::Coeffs full = poly::mul_with_unit(s, b, backend.mul_unit, ledger);
+    full.resize(out_len);
+    return full;
+  }
+  if (out_len < params.n) return poly::mul_ref_partial(b, s, out_len, ledger);
+  return poly::mul_ref(b, s, /*negacyclic=*/true, ledger);
+}
+
+void charge_hash_blocks(CycleLedger* ledger, const Backend& backend,
+                        u64 compressions) {
+  charge(ledger, compressions * hash_block_cost(backend.hash_impl));
+}
+
+}  // namespace
+
+hash::Seed derive_seed(const hash::Seed& seed, u8 tag) {
+  hash::Sha256 h;
+  h.update(ByteView(&tag, 1));
+  h.update(ByteView(seed.data(), seed.size()));
+  const hash::Digest d = h.finalize();
+  hash::Seed out;
+  std::copy(d.begin(), d.end(), out.begin());
+  return out;
+}
+
+KeyPair keygen(const Params& params, const Backend& backend,
+               const hash::Seed& master, CycleLedger* ledger) {
+  KeyPair kp;
+  kp.pk.seed_a = derive_seed(master, kTagSeedA);
+  charge_hash_blocks(ledger, backend, 2);
+
+  const poly::Coeffs a = gen_a(kp.pk.seed_a, params, backend.hash_impl, ledger);
+  kp.sk.s = sample_fixed_weight(derive_seed(master, kTagSecret), params,
+                                backend.hash_impl, ledger);
+  const poly::Ternary e = sample_fixed_weight(derive_seed(master, kTagError),
+                                              params, backend.hash_impl,
+                                              ledger);
+
+  const poly::Coeffs as =
+      backend_mul(params, backend, a, kp.sk.s, params.n, ledger);
+  kp.pk.b = poly::add(as, poly::from_ternary(e));
+  charge(ledger, params.pk_bytes() * cost::kPackByteStep +
+                     params.sk_bytes() * cost::kPackByteStep);
+  return kp;
+}
+
+Ciphertext encrypt(const Params& params, const Backend& backend,
+                   const PublicKey& pk, const bch::Message& msg,
+                   const hash::Seed& coins, CycleLedger* ledger) {
+  LACRV_CHECK(pk.b.size() == params.n);
+  const poly::Coeffs a = gen_a(pk.seed_a, params, backend.hash_impl, ledger);
+  const poly::Ternary sp = sample_fixed_weight(
+      derive_seed(coins, kTagEncSecret), params, backend.hash_impl, ledger);
+  const poly::Ternary ep = sample_fixed_weight(
+      derive_seed(coins, kTagEncError1), params, backend.hash_impl, ledger);
+  // e'' only covers the lv transmitted coefficients of v; its weight is
+  // scaled proportionally (rounded down to even), as in the LAC spec.
+  const std::size_t lv = params.v_len();
+  const std::size_t epp_weight = (params.weight * lv / params.n) & ~1u;
+  const poly::Ternary epp = sample_fixed_weight_raw(
+      derive_seed(coins, kTagEncError2), lv, epp_weight, backend.hash_impl,
+      ledger, params.prg);
+  charge_hash_blocks(ledger, backend, 6);
+
+  Ciphertext ct;
+  // u = a s' + e'  (full product)
+  ct.u = poly::add(backend_mul(params, backend, a, sp, params.n, ledger),
+                   poly::from_ternary(ep));
+
+  // v = (b s')[0..lv) + e'' + encode(m), 4-bit compressed.
+  const poly::Coeffs bs = backend_mul(params, backend, pk.b, sp, lv, ledger);
+  const poly::Coeffs payload =
+      encode_payload(params, msg, ledger, backend.bch_flavor);
+  ct.v.resize(lv);
+  for (std::size_t i = 0; i < lv; ++i) {
+    u8 v = poly::add_mod(bs[i], payload[i]);
+    if (epp[i] == 1)
+      v = poly::add_mod(v, 1);
+    else if (epp[i] == -1)
+      v = poly::sub_mod(v, 1);
+    ct.v[i] = compress4(v);
+  }
+  charge(ledger, lv * cost::kCodecCoeffStep +
+                     params.ct_bytes() * cost::kPackByteStep);
+  return ct;
+}
+
+DecryptResult decrypt(const Params& params, const Backend& backend,
+                      const SecretKey& sk, const Ciphertext& ct,
+                      CycleLedger* ledger) {
+  LACRV_CHECK(ct.u.size() == params.n);
+  LACRV_CHECK(ct.v.size() == params.v_len());
+  // The reference decryption computes the full product u*s (Table II's
+  // decapsulation rows match a full, not partial, multiplication).
+  const poly::Coeffs us =
+      backend_mul(params, backend, ct.u, sk.s, params.n, ledger);
+
+  const std::size_t lv = params.v_len();
+  poly::Coeffs w(lv);
+  for (std::size_t i = 0; i < lv; ++i)
+    w[i] = poly::sub_mod(decompress4(ct.v[i]), us[i]);
+  charge(ledger, lv * cost::kCodecCoeffStep);
+
+  const bch::DecodeResult decoded = decode_payload(params, backend, w, ledger);
+  return DecryptResult{decoded.message, decoded.ok};
+}
+
+Bytes serialize(const Params& params, const PublicKey& pk) {
+  Bytes out;
+  out.reserve(params.pk_bytes());
+  out.insert(out.end(), pk.seed_a.begin(), pk.seed_a.end());
+  out.insert(out.end(), pk.b.begin(), pk.b.end());
+  LACRV_CHECK(out.size() == params.pk_bytes());
+  return out;
+}
+
+Bytes serialize(const Params& params, const Ciphertext& ct) {
+  Bytes out;
+  out.reserve(params.ct_bytes());
+  out.insert(out.end(), ct.u.begin(), ct.u.end());
+  for (std::size_t i = 0; i < ct.v.size(); i += 2) {
+    u8 byte = static_cast<u8>(ct.v[i] & 0xF);
+    if (i + 1 < ct.v.size()) byte |= static_cast<u8>((ct.v[i + 1] & 0xF) << 4);
+    out.push_back(byte);
+  }
+  LACRV_CHECK(out.size() == params.ct_bytes());
+  return out;
+}
+
+PublicKey deserialize_pk(const Params& params, ByteView bytes) {
+  LACRV_CHECK(bytes.size() == params.pk_bytes());
+  PublicKey pk;
+  std::copy(bytes.begin(), bytes.begin() + hash::kSeedSize,
+            pk.seed_a.begin());
+  pk.b.assign(bytes.begin() + hash::kSeedSize, bytes.end());
+  return pk;
+}
+
+Ciphertext deserialize_ct(const Params& params, ByteView bytes) {
+  LACRV_CHECK(bytes.size() == params.ct_bytes());
+  Ciphertext ct;
+  ct.u.assign(bytes.begin(), bytes.begin() + params.n);
+  ct.v.resize(params.v_len());
+  for (std::size_t i = 0; i < ct.v.size(); ++i) {
+    const u8 byte = bytes[params.n + i / 2];
+    ct.v[i] = (i % 2 == 0) ? static_cast<u8>(byte & 0xF)
+                           : static_cast<u8>(byte >> 4);
+  }
+  return ct;
+}
+
+}  // namespace lacrv::lac

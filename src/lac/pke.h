@@ -1,0 +1,64 @@
+// LAC public-key encryption (the CPA core of Fig. 1).
+//
+//   KeyGen:  a = GenA(seed_a); s, e <- ternary;  b = a s + e
+//   Enc:     s', e', e'' <- ternary(coins);  u = a s' + e'
+//            v = (b s')[0..lv) + e''[0..lv) + encode(m)   (4-bit compressed)
+//   Dec:     w = v - (u s)[0..lv);  m = bch_decode(threshold(w))
+//
+// All randomness is derived deterministically from explicit seeds — the
+// CCA decapsulation re-encrypts with recovered coins and compares.
+#pragma once
+
+#include "lac/codec.h"
+
+namespace lacrv::lac {
+
+struct PublicKey {
+  hash::Seed seed_a{};
+  poly::Coeffs b;
+};
+
+struct SecretKey {
+  poly::Ternary s;
+};
+
+struct KeyPair {
+  PublicKey pk;
+  SecretKey sk;
+};
+
+struct Ciphertext {
+  poly::Coeffs u;
+  /// v coefficients, 4-bit compressed, one nibble per entry in [0, 16).
+  std::vector<u8> v;
+};
+
+/// Deterministic key generation from a master seed.
+KeyPair keygen(const Params& params, const Backend& backend,
+               const hash::Seed& master, CycleLedger* ledger = nullptr);
+
+/// Deterministic encryption of a 256-bit message under coins.
+Ciphertext encrypt(const Params& params, const Backend& backend,
+                   const PublicKey& pk, const bch::Message& msg,
+                   const hash::Seed& coins, CycleLedger* ledger = nullptr);
+
+struct DecryptResult {
+  bch::Message message{};
+  /// BCH decoder consistency flag (false on an undecodable word).
+  bool ok = false;
+};
+
+DecryptResult decrypt(const Params& params, const Backend& backend,
+                      const SecretKey& sk, const Ciphertext& ct,
+                      CycleLedger* ledger = nullptr);
+
+/// Wire formats (sizes per Params::{pk,sk,ct}_bytes()).
+Bytes serialize(const Params& params, const PublicKey& pk);
+Bytes serialize(const Params& params, const Ciphertext& ct);
+PublicKey deserialize_pk(const Params& params, ByteView bytes);
+Ciphertext deserialize_ct(const Params& params, ByteView bytes);
+
+/// Derive a sub-seed by hashing (domain-separation tag || seed).
+hash::Seed derive_seed(const hash::Seed& seed, u8 tag);
+
+}  // namespace lacrv::lac

@@ -1,0 +1,61 @@
+#include "lac/sampler.h"
+
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/costs.h"
+#include "hash/keccak.h"
+
+namespace lacrv::lac {
+namespace {
+
+/// Partial Fisher-Yates over any uniform-index source: after i steps,
+/// idx[0..i) is a uniform i-subset (in uniform order) of [0, n).
+template <typename Prg>
+poly::Ternary shuffle_sample(Prg& prg, std::size_t n, std::size_t weight) {
+  std::vector<u32> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  poly::Ternary t(n, 0);
+  for (std::size_t i = 0; i < weight; ++i) {
+    const u32 j =
+        static_cast<u32>(i) + prg.next_below(static_cast<u32>(n - i));
+    std::swap(idx[i], idx[j]);
+    t[idx[i]] = (i < weight / 2) ? i8{1} : i8{-1};
+  }
+  return t;
+}
+
+}  // namespace
+
+poly::Ternary sample_fixed_weight_raw(const hash::Seed& seed, std::size_t n,
+                                      std::size_t weight, HashImpl hash_impl,
+                                      CycleLedger* ledger, PrgKind prg_kind) {
+  LACRV_CHECK(weight <= n);
+  LACRV_CHECK_MSG(weight % 2 == 0, "weight must split evenly into +/-1");
+  LedgerScope scope(ledger, "sample_poly");
+
+  poly::Ternary t;
+  u64 blocks = 0;
+  if (prg_kind == PrgKind::kShake128) {
+    hash::Shake128 prg(ByteView(seed.data(), seed.size()));
+    t = shuffle_sample(prg, n, weight);
+    blocks = prg.permutations();
+  } else {
+    hash::Sha256Prg prg(seed);
+    t = shuffle_sample(prg, n, weight);
+    blocks = prg.compressions();
+  }
+  charge(ledger, blocks * prg_block_cost(prg_kind, hash_impl) +
+                     weight * cost::kSampleWeightStep +
+                     n * cost::kSampleCoeffStep);
+  return t;
+}
+
+poly::Ternary sample_fixed_weight(const hash::Seed& seed, const Params& params,
+                                  HashImpl hash_impl, CycleLedger* ledger) {
+  return sample_fixed_weight_raw(seed, params.n, params.weight, hash_impl,
+                                 ledger, params.prg);
+}
+
+}  // namespace lacrv::lac

@@ -1,0 +1,29 @@
+// Fixed-weight ternary sampling ("Sample poly" in Table II).
+//
+// The round-2 LAC submission samples secrets and errors with a *fixed*
+// number of nonzero coefficients (h/2 ones and h/2 minus-ones) instead of
+// a fresh binomial draw — this removes one class of timing variation and
+// fixes the cost of sparse multiplications. We implement the sampler as a
+// deterministic partial Fisher-Yates shuffle driven by the SHA-256 PRG:
+// the first h picked positions receive the signed values.
+#pragma once
+
+#include "common/ledger.h"
+#include "lac/gen_a.h"
+
+namespace lacrv::lac {
+
+/// Sample a ternary polynomial of length params.n with exactly
+/// params.weight nonzeros (half +1, half -1), deterministically from seed.
+poly::Ternary sample_fixed_weight(const hash::Seed& seed, const Params& params,
+                                  HashImpl hash_impl = HashImpl::kSoftware,
+                                  CycleLedger* ledger = nullptr);
+
+/// Raw version for tests/ablations: arbitrary (n, weight) and XOF choice.
+poly::Ternary sample_fixed_weight_raw(const hash::Seed& seed, std::size_t n,
+                                      std::size_t weight,
+                                      HashImpl hash_impl = HashImpl::kSoftware,
+                                      CycleLedger* ledger = nullptr,
+                                      PrgKind prg = PrgKind::kSha256Ctr);
+
+}  // namespace lacrv::lac

@@ -1,0 +1,308 @@
+#include "perf/iss_bch.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "riscv/assembler.h"
+#include "riscv/cpu.h"
+
+namespace lacrv::perf {
+namespace {
+
+// Memory map of the decode firmware.
+constexpr u32 kWord = 0x30000;     // received bits, one byte each
+constexpr u32 kAlphaJ = 0x31000;   // alpha^j, j = 1..2t (halfwords)
+constexpr u32 kSynd = 0x31100;     // syndromes S_1..S_2t (halfwords)
+constexpr u32 kLam = 0x31200;      // lambda[0..t] (halfwords)
+constexpr u32 kBArr = 0x31300;     // BM helper B[0..t]
+constexpr u32 kNext = 0x31400;     // BM next-lambda scratch
+constexpr u32 kAlphaK = 0x31500;   // alpha^k, k = 1..t (halfwords)
+constexpr u32 kAlphaKF = 0x31600;  // alpha^(k*first), k = 1..t
+
+/// gf_mul subroutine: a0 * a1 -> a0 via 9 shift-and-add steps (the same
+/// dataflow as MUL GF, in software). Clobbers a2, t5, t6.
+constexpr const char* kGfMulSub = R"(
+  gf_mul:
+    li   t5, 9
+    li   a2, 0
+  gm_loop:
+    slli a2, a2, 1
+    srli t6, a2, 9
+    andi t6, t6, 1
+    neg  t6, t6
+    andi t6, t6, 0x11
+    xor  a2, a2, t6
+    andi a2, a2, 511
+    addi t5, t5, -1
+    srl  t6, a1, t5
+    andi t6, t6, 1
+    neg  t6, t6
+    and  t6, t6, a0
+    xor  a2, a2, t6
+    bne  t5, zero, gm_loop
+    mv   a0, a2
+    ret
+)";
+
+std::string decode_firmware(const bch::CodeSpec& spec) {
+  const int t = spec.t;
+  const int two_t = 2 * t;
+  const int length = spec.length();
+  const int groups = t / 4;
+
+  std::ostringstream src;
+  src << "  j main\n" << kGfMulSub << "\nmain:\n";
+
+  // ---- syndromes: S_j = Horner_{i=L-1..0}(acc * alpha^j ^ r_i) ----------
+  src << R"(
+    li   s0, 1              # j
+    li   s1, )" << two_t << R"(
+  synd_outer:
+    slli t0, s0, 1
+    li   t1, )" << (kAlphaJ - 2) << R"(
+    add  t1, t1, t0
+    lhu  s2, 0(t1)          # alpha^j
+    li   s3, 0              # acc
+    li   s4, )" << (length - 1) << R"(
+    li   s5, )" << kWord << R"(
+  synd_inner:
+    mv   a0, s3
+    mv   a1, s2
+    call gf_mul
+    mv   s3, a0
+    add  t1, s5, s4
+    lbu  t2, 0(t1)
+    xor  s3, s3, t2
+    addi s4, s4, -1
+    bge  s4, zero, synd_inner
+    # store S_j
+    slli t0, s0, 1
+    li   t1, )" << (kSynd - 2) << R"(
+    add  t1, t1, t0
+    sh   s3, 0(t1)
+    addi s0, s0, 1
+    bge  s1, s0, synd_outer
+)";
+
+  // ---- Berlekamp-Massey (inversion-free): lambda' = b*lambda + d*x^m*B --
+  src << R"(
+    # init: lambda[0] = B[0] = 1, rest 0
+    li   t0, )" << kLam << R"(
+    li   t1, )" << kBArr << R"(
+    li   t2, 1
+    sh   t2, 0(t0)
+    sh   t2, 0(t1)
+    li   t3, 1
+  bm_clear:
+    slli t4, t3, 1
+    add  t5, t0, t4
+    sh   zero, 0(t5)
+    add  t5, t1, t4
+    sh   zero, 0(t5)
+    addi t3, t3, 1
+    li   t4, )" << t << R"(
+    bge  t4, t3, bm_clear
+    li   s0, 0              # L
+    li   s1, 1              # m
+    li   s2, 1              # b
+    li   s3, 0              # r
+  bm_iter:
+    # d = sum_{i=0..L} lambda[i]*S[r-i]  (lambda[0] != 1 in general:
+    # the inversion-free updates scale the whole polynomial)
+    li   s4, 0              # d
+    li   s5, 0              # i
+  bm_disc:
+    blt  s0, s5, bm_disc_done
+    slli t0, s5, 1
+    li   t1, )" << kLam << R"(
+    add  t1, t1, t0
+    lhu  a0, 0(t1)
+    sub  t2, s3, s5
+    slli t2, t2, 1
+    li   t1, )" << kSynd << R"(
+    add  t1, t1, t2
+    lhu  a1, 0(t1)
+    call gf_mul
+    xor  s4, s4, a0
+    addi s5, s5, 1
+    j    bm_disc
+  bm_disc_done:
+    # NEXT[i] = gf_mul(b, lambda[i]) ^ (i >= m ? gf_mul(d, B[i-m]) : 0)
+    li   s5, 0
+  bm_next:
+    slli t0, s5, 1
+    li   t1, )" << kLam << R"(
+    add  t1, t1, t0
+    lhu  a1, 0(t1)
+    mv   a0, s2
+    call gf_mul
+    mv   s6, a0
+    blt  s5, s1, bm_next_store    # i < m: no B term
+    sub  t2, s5, s1
+    slli t2, t2, 1
+    li   t1, )" << kBArr << R"(
+    add  t1, t1, t2
+    lhu  a1, 0(t1)
+    mv   a0, s4
+    call gf_mul
+    xor  s6, s6, a0
+  bm_next_store:
+    slli t0, s5, 1
+    li   t1, )" << kNext << R"(
+    add  t1, t1, t0
+    sh   s6, 0(t1)
+    addi s5, s5, 1
+    li   t2, )" << t << R"(
+    bge  t2, s5, bm_next
+    # state update: if d != 0 and 2L <= r: B <- lambda, L <- r+1-L, b <- d, m <- 1
+    beq  s4, zero, bm_no_step
+    slli t0, s0, 1
+    blt  s3, t0, bm_no_step
+    # copy lambda -> B
+    li   s5, 0
+  bm_copy:
+    slli t0, s5, 1
+    li   t1, )" << kLam << R"(
+    add  t1, t1, t0
+    lhu  t2, 0(t1)
+    li   t1, )" << kBArr << R"(
+    add  t1, t1, t0
+    sh   t2, 0(t1)
+    addi s5, s5, 1
+    li   t2, )" << t << R"(
+    bge  t2, s5, bm_copy
+    addi t0, s3, 1
+    sub  s0, t0, s0         # L = r+1-L
+    mv   s2, s4             # b = d
+    li   s1, 1              # m = 1
+    j    bm_lam
+  bm_no_step:
+    addi s1, s1, 1
+  bm_lam:
+    # lambda <- NEXT
+    li   s5, 0
+  bm_lamcpy:
+    slli t0, s5, 1
+    li   t1, )" << kNext << R"(
+    add  t1, t1, t0
+    lhu  t2, 0(t1)
+    li   t1, )" << kLam << R"(
+    add  t1, t1, t0
+    sh   t2, 0(t1)
+    addi s5, s5, 1
+    li   t2, )" << t << R"(
+    bge  t2, s5, bm_lamcpy
+    addi s3, s3, 1
+    li   t0, )" << (two_t - 1) << R"(
+    bge  t0, s3, bm_iter
+)";
+
+  // ---- Chien via pq.mul_chien ------------------------------------------
+  // Load the groups: per lane k, value = gf_mul(lambda[k], alpha^(k*first)).
+  for (int g = 0; g < groups; ++g) {
+    // compute four lane values into s4..s7
+    for (int m = 0; m < 4; ++m) {
+      const int k = 4 * g + m + 1;
+      src << "  li t1, " << (kLam + 2 * k) << "\n  lhu a0, 0(t1)\n";
+      src << "  li t1, " << (kAlphaKF + 2 * (k - 1)) << "\n  lhu a1, 0(t1)\n";
+      src << "  call gf_mul\n  mv s" << (4 + m) << ", a0\n";
+    }
+    // pack and issue LOAD_LEFT / LOAD_RIGHT
+    for (int half = 0; half < 2; ++half) {
+      const int k0 = 4 * g + 2 * half + 1;
+      src << "  li t1, " << (kAlphaK + 2 * (k0 - 1)) << "\n  lhu a0, 0(t1)\n";
+      src << "  slli t2, s" << (4 + 2 * half) << ", 9\n  or a0, a0, t2\n";
+      src << "  li t1, " << (kAlphaK + 2 * k0) << "\n  lhu t2, 0(t1)\n";
+      src << "  slli t2, t2, 18\n  or a0, a0, t2\n";
+      src << "  li a1, " << ((half == 1 ? 0x10000000u : 0u) |
+                             static_cast<u32>(g) << 24) << "\n";
+      src << "  or a1, a1, s" << (5 + 2 * half) << "\n";
+      src << "  pq.mul_chien zero, a0, a1\n";
+    }
+  }
+  // compute-control words in s4..s7 (loop bit set)
+  static constexpr const char* kCtrl[4] = {"s4", "s5", "s6", "s7"};
+  for (int g = 0; g < groups; ++g)
+    src << "  li " << kCtrl[g] << ", "
+        << (0x20000000u | 1u | static_cast<u32>(g) << 4) << "\n";
+  src << "  li t1, " << kLam << "\n  lhu s8, 0(t1)   # lambda_0\n";
+  src << "  li s9, " << spec.chien_first << "      # l\n";
+  src << "  li s10, " << spec.chien_last << "\n";
+  src << "point_loop:\n  mv a6, s8\n";
+  for (int g = 0; g < groups; ++g)
+    src << "  pq.mul_chien a0, zero, " << kCtrl[g]
+        << "\n  xor a6, a6, a0\n";
+  src << R"(  bne  a6, zero, not_root
+    # root at alpha^l -> error at degree 511 - l
+    li   t0, 511
+    sub  t0, t0, s9
+    li   t1, )" << length << R"(
+    bge  t0, t1, not_root
+    li   t1, )" << kWord << R"(
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    xori t2, t2, 1
+    sb   t2, 0(t1)
+  not_root:
+    addi s9, s9, 1
+    bge  s10, s9, point_loop
+    ebreak
+)";
+  return src.str();
+}
+
+}  // namespace
+
+IssBchResult iss_bch_decode(const bch::CodeSpec& spec,
+                            const bch::BitVec& received) {
+  LACRV_CHECK(static_cast<int>(received.size()) == spec.length());
+  LACRV_CHECK_MSG(spec.t % 4 == 0, "firmware assumes t multiple of 4");
+
+  rv::Cpu cpu(1 << 20);
+  const rv::Program prog = rv::assemble(decode_firmware(spec));
+  cpu.load_words(0, prog.words);
+
+  cpu.load_bytes(kWord, received);
+  // constant tables (firmware data the toolchain would bake in)
+  Bytes alpha_j(2 * static_cast<std::size_t>(2 * spec.t));
+  for (int j = 1; j <= 2 * spec.t; ++j) {
+    const gf::Element v = gf::alpha_pow(static_cast<u32>(j));
+    alpha_j[2 * static_cast<std::size_t>(j - 1)] = static_cast<u8>(v);
+    alpha_j[2 * static_cast<std::size_t>(j - 1) + 1] = static_cast<u8>(v >> 8);
+  }
+  cpu.load_bytes(kAlphaJ, alpha_j);
+  Bytes alpha_k(2 * static_cast<std::size_t>(spec.t)),
+      alpha_kf(2 * static_cast<std::size_t>(spec.t));
+  for (int k = 1; k <= spec.t; ++k) {
+    const gf::Element ak = gf::alpha_pow(static_cast<u32>(k));
+    // The compute-with-loop issue multiplies by alpha^k *before* the
+    // first readout, so lanes are pre-positioned one exponent early.
+    const gf::Element akf = gf::alpha_pow(
+        static_cast<u32>(k) * static_cast<u32>(spec.chien_first - 1));
+    alpha_k[2 * static_cast<std::size_t>(k - 1)] = static_cast<u8>(ak);
+    alpha_k[2 * static_cast<std::size_t>(k - 1) + 1] = static_cast<u8>(ak >> 8);
+    alpha_kf[2 * static_cast<std::size_t>(k - 1)] = static_cast<u8>(akf);
+    alpha_kf[2 * static_cast<std::size_t>(k - 1) + 1] =
+        static_cast<u8>(akf >> 8);
+  }
+  cpu.load_bytes(kAlphaK, alpha_k);
+  cpu.load_bytes(kAlphaKF, alpha_kf);
+
+  cpu.run(50'000'000);
+  LACRV_CHECK_MSG(cpu.halted(), "decode firmware did not terminate");
+
+  IssBchResult result;
+  result.corrected.resize(received.size());
+  for (std::size_t i = 0; i < received.size(); ++i)
+    result.corrected[i] = cpu.read_byte(kWord + static_cast<u32>(i));
+  result.syndromes.resize(static_cast<std::size_t>(2 * spec.t));
+  for (int j = 0; j < 2 * spec.t; ++j)
+    result.syndromes[static_cast<std::size_t>(j)] = static_cast<gf::Element>(
+        cpu.read_byte(kSynd + static_cast<u32>(2 * j)) |
+        cpu.read_byte(kSynd + static_cast<u32>(2 * j + 1)) << 8);
+  result.cycles = cpu.cycles();
+  result.instructions = cpu.instructions();
+  return result;
+}
+
+}  // namespace lacrv::perf

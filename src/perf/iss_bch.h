@@ -1,0 +1,28 @@
+// The complete optimized BCH decoder as RV32 machine code: software
+// syndromes (shift-and-add GF(2^9) arithmetic in assembly) and
+// Berlekamp-Massey, plus the MUL CHIEN unit via pq.mul_chien for the
+// root search — the exact software/hardware split of the paper's
+// optimized implementation (Sec. IV-B / Table II "BCH Dec." column).
+//
+// This firmware validates *functionality* end to end (its corrected
+// codewords must equal the C++ decoder's); its cycle count is an honest
+// measurement of this particular firmware, not a calibrated model.
+#pragma once
+
+#include "bch/decoder.h"
+#include "common/types.h"
+
+namespace lacrv::perf {
+
+struct IssBchResult {
+  bch::BitVec corrected;  // codeword after in-place correction
+  std::vector<gf::Element> syndromes;
+  u64 cycles = 0;
+  u64 instructions = 0;
+};
+
+/// Run the full decode firmware for the given code on the ISS.
+IssBchResult iss_bch_decode(const bch::CodeSpec& spec,
+                            const bch::BitVec& received);
+
+}  // namespace lacrv::perf

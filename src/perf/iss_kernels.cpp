@@ -1,0 +1,486 @@
+#include "perf/iss_kernels.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "riscv/assembler.h"
+#include "riscv/cpu.h"
+
+namespace lacrv::perf {
+namespace {
+
+constexpr u32 kBBase = 0x10000;   // 515 bytes of general coefficients (padded)
+constexpr u32 kABase = 0x10400;   // 515 bytes of ternary codes (0/1/2, padded)
+constexpr u32 kOutBase = 0x10800; // 512 result bytes
+
+}  // namespace
+
+std::string mul_ter_kernel_source(bool negacyclic) {
+  std::ostringstream src;
+  src << R"(
+    # MUL TER driver: 512 coefficients, 5-per-issue load, 4-per-read out.
+    # t0 = &b, t1 = &a_codes, t2 = chunk counter, t3 = limit
+      li   a5, 0x30000000       # RESET
+      pq.mul_ter zero, zero, a5
+      li   t0, )" << kBBase << R"(
+      li   t1, )" << kABase << R"(
+      li   t2, 0
+      li   t3, 103
+    load_loop:
+      # rs1 = g0..g3
+      lbu  a0, 0(t0)
+      lbu  a1, 1(t0)
+      slli a1, a1, 8
+      or   a0, a0, a1
+      lbu  a1, 2(t0)
+      slli a1, a1, 16
+      or   a0, a0, a1
+      lbu  a1, 3(t0)
+      slli a1, a1, 24
+      or   a0, a0, a1
+      # rs2 = g4 | ternary codes << 8 | chunk << 18   (mode 0)
+      lbu  a2, 4(t0)
+      lbu  a3, 0(t1)
+      slli a3, a3, 8
+      or   a2, a2, a3
+      lbu  a3, 1(t1)
+      slli a3, a3, 10
+      or   a2, a2, a3
+      lbu  a3, 2(t1)
+      slli a3, a3, 12
+      or   a2, a2, a3
+      lbu  a3, 3(t1)
+      slli a3, a3, 14
+      or   a2, a2, a3
+      lbu  a3, 4(t1)
+      slli a3, a3, 16
+      or   a2, a2, a3
+      slli a3, t2, 18
+      or   a2, a2, a3
+      pq.mul_ter zero, a0, a2
+      addi t0, t0, 5
+      addi t1, t1, 5
+      addi t2, t2, 1
+      blt  t2, t3, load_loop
+      # START (mode 1), conv_n in bit 0
+      li   a5, )" << (0x10000000u | (negacyclic ? 1u : 0u)) << R"(
+      pq.mul_ter zero, zero, a5
+      # read back 128 chunks of 4 coefficients
+      li   t0, )" << kOutBase << R"(
+      li   t2, 0
+      li   t3, 128
+      li   a5, 0x20000000
+    read_loop:
+      or   a4, a5, t2           # mode 2 | chunk
+      pq.mul_ter a0, zero, a4
+      sw   a0, 0(t0)
+      addi t0, t0, 4
+      addi t2, t2, 1
+      blt  t2, t3, read_loop
+      ebreak
+  )";
+  return src.str();
+}
+
+IssRunResult iss_mul_ter(const poly::Ternary& a, const poly::Coeffs& b,
+                         bool negacyclic) {
+  LACRV_CHECK(a.size() == 512 && b.size() == 512);
+  rv::Cpu cpu(1 << 20);
+  const rv::Program prog = rv::assemble(mul_ter_kernel_source(negacyclic));
+  cpu.load_words(0, prog.words);
+
+  Bytes b_bytes(515, 0), a_codes(515, 0);
+  for (std::size_t i = 0; i < 512; ++i) {
+    b_bytes[i] = b[i];
+    a_codes[i] = a[i] == 1 ? 1 : a[i] == -1 ? 2 : 0;
+  }
+  cpu.load_bytes(kBBase, b_bytes);
+  cpu.load_bytes(kABase, a_codes);
+
+  cpu.run();
+  LACRV_CHECK_MSG(cpu.halted(), "kernel did not terminate");
+
+  IssRunResult result;
+  result.result.resize(512);
+  for (std::size_t i = 0; i < 512; ++i)
+    result.result[i] = cpu.read_byte(kOutBase + static_cast<u32>(i));
+  result.cycles = cpu.cycles();
+  result.instructions = cpu.instructions();
+  return result;
+}
+
+IssRunResult iss_modq(const std::vector<u16>& values) {
+  std::ostringstream src;
+  src << R"(
+      li   t0, 0x20000          # input (u16 words)
+      li   t1, 0x30000          # output bytes
+      li   t2, 0
+      li   t3, )" << values.size() << R"(
+    loop:
+      lhu  a0, 0(t0)
+      pq.modq a1, a0, zero
+      sb   a1, 0(t1)
+      addi t0, t0, 2
+      addi t1, t1, 1
+      addi t2, t2, 1
+      blt  t2, t3, loop
+      ebreak
+  )";
+  rv::Cpu cpu(1 << 20);
+  const rv::Program prog = rv::assemble(src.str());
+  cpu.load_words(0, prog.words);
+  Bytes input(values.size() * 2);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    input[2 * i] = static_cast<u8>(values[i]);
+    input[2 * i + 1] = static_cast<u8>(values[i] >> 8);
+  }
+  cpu.load_bytes(0x20000, input);
+  cpu.run();
+  LACRV_CHECK_MSG(cpu.halted(), "kernel did not terminate");
+
+  IssRunResult result;
+  result.result.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    result.result[i] = cpu.read_byte(0x30000 + static_cast<u32>(i));
+  result.cycles = cpu.cycles();
+  result.instructions = cpu.instructions();
+  return result;
+}
+
+IssRunResult iss_gen_a(const std::array<u8, 32>& seed, std::size_t count) {
+  // Memory map: the software-prepared padded block template lives at
+  // kBlockBase (seed || counter || 0x80 || zeros || bit-length 288). The
+  // kernel patches the 4 counter bytes, drives the core byte-wise, reads
+  // back the digest and rejection-samples below q = 251.
+  constexpr u32 kBlockBase = 0x20000;
+  constexpr u32 kDigestBase = 0x20100;
+  constexpr u32 kOutBase = 0x21000;
+
+  std::ostringstream src;
+  src << R"(
+    # s2 = counter, s3 = produced count, s4 = target, s5 = out ptr
+      li   s2, 0
+      li   s3, 0
+      li   s4, )" << count << R"(
+      li   s5, )" << kOutBase << R"(
+      li   s6, 251
+    block_loop:
+      # patch counter bytes 32..35 of the template (little endian)
+      li   t0, )" << kBlockBase << R"(
+      sb   s2, 32(t0)
+      srli t1, s2, 8
+      sb   t1, 33(t0)
+      srli t1, s2, 16
+      sb   t1, 34(t0)
+      srli t1, s2, 24
+      sb   t1, 35(t0)
+      # reset chaining state (mode 3)
+      li   t2, 0x30000000
+      pq.sha256 zero, zero, t2
+      # load the 64 block bytes (mode 0 | offset)
+      li   t1, 0
+      li   t3, 64
+    load_loop:
+      add  t4, t0, t1
+      lbu  a0, 0(t4)
+      pq.sha256 zero, a0, t1
+      addi t1, t1, 1
+      blt  t1, t3, load_loop
+      # hash (mode 1)
+      li   t2, 0x10000000
+      pq.sha256 zero, zero, t2
+      # read the 8 digest words (mode 2 | word) to kDigestBase
+      li   t0, )" << kDigestBase << R"(
+      li   t1, 0
+      li   t3, 8
+      li   t2, 0x20000000
+    read_loop:
+      or   a1, t2, t1
+      pq.sha256 a0, zero, a1
+      sw   a0, 0(t0)
+      addi t0, t0, 4
+      addi t1, t1, 1
+      blt  t1, t3, read_loop
+      # rejection-sample the 32 digest bytes
+      li   t0, )" << kDigestBase << R"(
+      li   t1, 0
+      li   t3, 32
+    sample_loop:
+      bge  s3, s4, done
+      add  t4, t0, t1
+      lbu  a0, 0(t4)
+      bgeu a0, s6, reject       # a0 >= 251 -> skip
+      sb   a0, 0(s5)
+      addi s5, s5, 1
+      addi s3, s3, 1
+    reject:
+      addi t1, t1, 1
+      blt  t1, t3, sample_loop
+      addi s2, s2, 1
+      j    block_loop
+    done:
+      ebreak
+  )";
+
+  rv::Cpu cpu(1 << 20);
+  const rv::Program prog = rv::assemble(src.str());
+  cpu.load_words(0, prog.words);
+
+  // Padded single-block template: SHA256 input is seed || ctr (36 bytes).
+  Bytes block(64, 0);
+  std::copy(seed.begin(), seed.end(), block.begin());
+  block[36] = 0x80;
+  block[62] = 0x01;  // 288 bits = 0x0120, big-endian length field
+  block[63] = 0x20;
+  cpu.load_bytes(kBlockBase, block);
+
+  cpu.run();
+  LACRV_CHECK_MSG(cpu.halted(), "gen_a kernel did not terminate");
+
+  IssRunResult result;
+  result.result.resize(count);
+  for (std::size_t i = 0; i < count; ++i)
+    result.result[i] = cpu.read_byte(kOutBase + static_cast<u32>(i));
+  result.cycles = cpu.cycles();
+  result.instructions = cpu.instructions();
+  return result;
+}
+
+namespace {
+
+/// Emit one length-256 cyclic convolution on the unit: reset, load the
+/// 256 significant coefficient pairs (51 full pq.mul_ter chunks plus a
+/// one-coefficient tail so no neighbouring memory leaks into the unit),
+/// start in positive-convolution mode, read the 512-coefficient product.
+void emit_mul256(std::ostringstream& src, int id, u32 a_addr, u32 b_addr,
+                 u32 out_addr) {
+  src << "  # --- unit call " << id << " ---\n";
+  src << "  li t2, 0x30000000\n  pq.mul_ter zero, zero, t2\n";  // reset
+  src << "  li t0, " << b_addr << "\n  li t1, " << a_addr
+      << "\n  li t2, 0\n  li t3, 51\n";
+  src << "mload" << id << ":\n";
+  src << R"(  lbu  a0, 0(t0)
+  lbu  a1, 1(t0)
+  slli a1, a1, 8
+  or   a0, a0, a1
+  lbu  a1, 2(t0)
+  slli a1, a1, 16
+  or   a0, a0, a1
+  lbu  a1, 3(t0)
+  slli a1, a1, 24
+  or   a0, a0, a1
+  lbu  a2, 4(t0)
+  lbu  a3, 0(t1)
+  slli a3, a3, 8
+  or   a2, a2, a3
+  lbu  a3, 1(t1)
+  slli a3, a3, 10
+  or   a2, a2, a3
+  lbu  a3, 2(t1)
+  slli a3, a3, 12
+  or   a2, a2, a3
+  lbu  a3, 3(t1)
+  slli a3, a3, 14
+  or   a2, a2, a3
+  lbu  a3, 4(t1)
+  slli a3, a3, 16
+  or   a2, a2, a3
+  slli a3, t2, 18
+  or   a2, a2, a3
+  pq.mul_ter zero, a0, a2
+  addi t0, t0, 5
+  addi t1, t1, 5
+  addi t2, t2, 1
+)";
+  src << "  blt  t2, t3, mload" << id << "\n";
+  // tail: coefficient 255 alone (chunk 51, lanes 1..4 zero)
+  src << "  lbu  a0, 0(t0)\n  lbu  a2, 0(t1)\n  slli a2, a2, 8\n";
+  src << "  li   a3, " << (51u << 18) << "\n  or   a2, a2, a3\n";
+  src << "  pq.mul_ter zero, a0, a2\n";
+  // start, cyclic mode
+  src << "  li t2, 0x10000000\n  pq.mul_ter zero, zero, t2\n";
+  // read back 128 chunks
+  src << "  li t0, " << out_addr << "\n  li t2, 0\n  li t3, 128\n"
+      << "  li a5, 0x20000000\n";
+  src << "mread" << id << ":\n";
+  src << R"(  or   a4, a5, t2
+  pq.mul_ter a0, zero, a4
+  sw   a0, 0(t0)
+  addi t0, t0, 4
+  addi t2, t2, 1
+)";
+  src << "  blt  t2, t3, mread" << id << "\n";
+}
+
+/// Emit `dst[i] (+|-)= src1[i] (+ src2[i])` over `count` coefficients
+/// with pq.modq reduction. mode: 0 dst=src1, 1 dst+=src1+src2,
+/// 2 dst+=src1, 3 dst-=src1+src2, 4 dst=src1-src2.
+void emit_recombine(std::ostringstream& src, int id, int mode, u32 dst,
+                    u32 src1, u32 src2, u32 count) {
+  src << "  li t0, " << dst << "\n  li t1, " << src1 << "\n";
+  if (mode == 1 || mode == 3 || mode == 4) src << "  li t4, " << src2 << "\n";
+  src << "  li t2, 0\n  li t3, " << count << "\n";
+  src << "rc" << id << ":\n";
+  src << "  lbu a0, 0(t1)\n";
+  if (mode == 1 || mode == 3 || mode == 4) {
+    src << "  lbu a1, 0(t4)\n";
+    src << (mode == 4 ? "  addi a1, a1, -251\n  sub a0, a0, a1\n"
+                      : "  add a0, a0, a1\n");
+    // mode 4: a0 = src1 - src2 + 251  (in [0, 501])
+  }
+  if (mode != 0 && mode != 4) {
+    src << "  lbu a2, 0(t0)\n";
+    if (mode == 3) {
+      // dst - (src1+src2): add 2q to stay positive: dst + 502 - sum
+      src << "  addi a2, a2, 502\n  sub a0, a2, a0\n";
+    } else {
+      src << "  add a0, a0, a2\n";
+    }
+  }
+  if (mode != 0) src << "  pq.modq a0, a0, zero\n";
+  src << "  sb   a0, 0(t0)\n";
+  src << "  addi t0, t0, 1\n  addi t1, t1, 1\n";
+  if (mode == 1 || mode == 3 || mode == 4) src << "  addi t4, t4, 1\n";
+  src << "  addi t2, t2, 1\n";
+  src << "  blt  t2, t3, rc" << id << "\n";
+}
+
+}  // namespace
+
+IssRunResult iss_split_mul_1024(const poly::Ternary& a,
+                                const poly::Coeffs& b) {
+  LACRV_CHECK(a.size() == 1024 && b.size() == 1024);
+  constexpr u32 kA = 0x10000;    // 1024 ternary codes
+  constexpr u32 kB = 0x10800;    // 1024 general coefficients
+  constexpr u32 kLow = 0x11000;  // 4 x 1024-byte Algorithm-2 results
+  constexpr u32 kPart = 0x14000;  // 4 x 512-byte unit outputs
+  constexpr u32 kOut = 0x15000;   // final 1024-byte result
+
+  std::ostringstream src;
+  int id = 0;
+  // Algorithm 1 line 1-2: four split_mul_low calls over the 512-halves
+  // (ll, hh, lh, hl). Algorithm 2 inside each: four length-256 unit calls
+  // plus the three recombination passes.
+  const std::array<std::pair<u32, u32>, 4> pairs = {{
+      {kA, kB},              // al * bl
+      {kA + 512, kB + 512},  // ah * bh
+      {kA, kB + 512},        // al * bh
+      {kA + 512, kB},        // ah * bl
+  }};
+  for (int p = 0; p < 4; ++p) {
+    const auto [xa, xb] = pairs[static_cast<std::size_t>(p)];
+    const u32 low = kLow + static_cast<u32>(p) * 0x400;
+    // four 256-products: (l,l) (h,h) (l,h) (h,l)
+    emit_mul256(src, id++, xa, xb, kPart);                       // ll
+    emit_mul256(src, id++, xa + 256, xb + 256, kPart + 0x200);   // hh
+    emit_mul256(src, id++, xa, xb + 256, kPart + 0x400);         // lh
+    emit_mul256(src, id++, xa + 256, xb, kPart + 0x600);         // hl
+    // Algorithm 2 recombination into `low` (1024 bytes)
+    emit_recombine(src, 100 + 10 * p + 0, 0, low, kPart, 0, 512);
+    emit_recombine(src, 100 + 10 * p + 1, 1, low + 256, kPart + 0x400,
+                   kPart + 0x600, 512);
+    emit_recombine(src, 100 + 10 * p + 2, 2, low + 512, kPart + 0x200, 0,
+                   512);
+  }
+  // Algorithm 1 recombination: c = ll - hh; c[i+512] += lh[i] + hl[i]
+  // (i < 512); c[i-512] -= lh[i] + hl[i] (i >= 512).
+  const u32 ll = kLow, hh = kLow + 0x400, lh = kLow + 0x800,
+            hl = kLow + 0xC00;
+  emit_recombine(src, 200, 4, kOut, ll, hh, 1024);
+  emit_recombine(src, 201, 1, kOut + 512, lh, hl, 512);
+  emit_recombine(src, 202, 3, kOut, lh + 512, hl + 512, 512);
+  src << "  ebreak\n";
+
+  rv::Cpu cpu(1 << 20);
+  const rv::Program prog = rv::assemble(src.str());
+  cpu.load_words(0, prog.words);
+
+  Bytes a_codes(1024), b_bytes(1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    a_codes[i] = a[i] == 1 ? 1 : a[i] == -1 ? 2 : 0;
+    b_bytes[i] = b[i];
+  }
+  cpu.load_bytes(kA, a_codes);
+  cpu.load_bytes(kB, b_bytes);
+  cpu.run();
+  LACRV_CHECK_MSG(cpu.halted(), "split-mul kernel did not terminate");
+
+  IssRunResult result;
+  result.result.resize(1024);
+  for (std::size_t i = 0; i < 1024; ++i)
+    result.result[i] = cpu.read_byte(kOut + static_cast<u32>(i));
+  result.cycles = cpu.cycles();
+  result.instructions = cpu.instructions();
+  return result;
+}
+
+IssChienResult iss_chien(std::span<const gf::Element> lambda, int first,
+                         int last) {
+  const int t = static_cast<int>(lambda.size()) - 1;
+  LACRV_CHECK(t == 8 || t == 16);
+  LACRV_CHECK(first <= last);
+  const int groups = t / 4;
+  constexpr u32 kOutBase2 = 0x40000;
+
+  std::ostringstream src;
+  // Prep: load each group's four (constant, value) pairs. The lane value
+  // is lambda_k * alpha^(first*k) (software prep, as in ChienRtl); the
+  // constant is alpha^k. With the loop-feedback bit clear, the first
+  // compute returns the evaluation at `first + 1`... so we pre-position
+  // the values at exponent (first - 1) and always set the loop bit after
+  // loading: the g-th compute of point i multiplies value by alpha^k.
+  for (int g = 0; g < groups; ++g) {
+    std::array<u32, 4> consts{}, values{};
+    for (int m = 0; m < 4; ++m) {
+      const int k = 4 * g + m + 1;
+      consts[static_cast<std::size_t>(m)] = gf::alpha_pow(static_cast<u32>(k));
+      values[static_cast<std::size_t>(m)] = gf::mul_table(
+          lambda[static_cast<std::size_t>(k)],
+          gf::alpha_pow(static_cast<u32>(k) * static_cast<u32>(first - 1 + 511)));
+    }
+    const u32 rs1_left = consts[0] | values[0] << 9 | consts[1] << 18;
+    const u32 rs2_left = values[1] | static_cast<u32>(g) << 24;
+    const u32 rs1_right = consts[2] | values[2] << 9 | consts[3] << 18;
+    const u32 rs2_right =
+        0x10000000u | values[3] | static_cast<u32>(g) << 24;
+    src << "li a0, " << rs1_left << "\nli a1, " << rs2_left
+        << "\npq.mul_chien zero, a0, a1\n";
+    src << "li a0, " << rs1_right << "\nli a1, " << rs2_right
+        << "\npq.mul_chien zero, a0, a1\n";
+  }
+  // Group compute-control words (mode 2, loop bit set, group select).
+  static constexpr const char* kCtrlRegs[4] = {"s2", "s3", "s4", "s5"};
+  for (int g = 0; g < groups; ++g)
+    src << "li " << kCtrlRegs[g] << ", "
+        << (0x20000000u | 1u | static_cast<u32>(g) << 4) << "\n";
+  src << "li s6, " << static_cast<u32>(lambda[0]) << "   # lambda_0\n";
+  src << "li t0, " << kOutBase2 << "\nli t2, 0\nli t3, "
+      << (last - first + 1) << "\n";
+  src << "point_loop:\n  mv a6, s6\n";
+  for (int g = 0; g < groups; ++g)
+    src << "  pq.mul_chien a0, zero, " << kCtrlRegs[g]
+        << "\n  xor a6, a6, a0\n";
+  src << R"(  sltiu a0, a6, 1
+  sb   a0, 0(t0)
+  addi t0, t0, 1
+  addi t2, t2, 1
+  blt  t2, t3, point_loop
+  ebreak
+)";
+
+  rv::Cpu cpu(1 << 20);
+  const rv::Program prog = rv::assemble(src.str());
+  cpu.load_words(0, prog.words);
+  cpu.run();
+  LACRV_CHECK_MSG(cpu.halted(), "chien kernel did not terminate");
+
+  IssChienResult result;
+  result.root_flags.resize(static_cast<std::size_t>(last - first + 1));
+  for (std::size_t i = 0; i < result.root_flags.size(); ++i)
+    result.root_flags[i] = cpu.read_byte(kOutBase2 + static_cast<u32>(i));
+  result.cycles = cpu.cycles();
+  result.instructions = cpu.instructions();
+  return result;
+}
+
+}  // namespace lacrv::perf

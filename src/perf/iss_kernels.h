@@ -1,0 +1,59 @@
+// Kernels executed as real machine code on the RV32IM ISS with the PQ
+// extension — ground truth for the instruction-level cost model. The
+// assembly performs the software's share of the work exactly as Sec. V
+// describes it: packing five general + five ternary coefficients per
+// pq.mul_ter issue, starting the unit, and unpacking four result
+// coefficients per read.
+#pragma once
+
+#include "common/types.h"
+#include "gf/gf512.h"
+#include "poly/ring.h"
+
+namespace lacrv::perf {
+
+struct IssRunResult {
+  poly::Coeffs result;
+  u64 cycles = 0;
+  u64 instructions = 0;
+};
+
+/// Full length-512 negacyclic (or cyclic) multiplication on the ISS via
+/// pq.mul_ter: load 103 packed chunks, start, read back 128 chunks.
+IssRunResult iss_mul_ter(const poly::Ternary& a, const poly::Coeffs& b,
+                         bool negacyclic);
+
+/// Reduce each 16-bit input word modulo 251 via pq.modq in a loop.
+IssRunResult iss_modq(const std::vector<u16>& values);
+
+/// GenA on the ISS: expand a 32-byte seed into `count` uniform
+/// coefficients below q through pq.sha256 (counter-mode blocks, software
+/// rejection sampling) — must agree byte-for-byte with lac::gen_a.
+IssRunResult iss_gen_a(const std::array<u8, 32>& seed, std::size_t count);
+
+/// The full optimized n=1024 multiplication (LAC-192/256) as machine
+/// code: Algorithms 1 and 2 drive sixteen length-256 cyclic convolutions
+/// on the MUL TER unit and recombine with pq.modq — the complete software
+/// side of the paper's "Multiplication 151,354 cycles" Table II cell.
+IssRunResult iss_split_mul_1024(const poly::Ternary& a, const poly::Coeffs& b);
+
+struct IssChienResult {
+  /// One flag per scanned exponent: 1 iff Lambda(alpha^l) == 0.
+  std::vector<u8> root_flags;
+  u64 cycles = 0;
+  u64 instructions = 0;
+};
+
+/// Full Chien window scan via pq.mul_chien: software preloads the lane
+/// values (lambda_k * alpha^(first*k)) into the unit's groups, then each
+/// point costs one compute issue per group with the loop-feedback bit set
+/// (Sec. V's three operation modes). lambda has t+1 coefficients with t
+/// in {8, 16}; the window is [first, last].
+IssChienResult iss_chien(std::span<const gf::Element> lambda, int first,
+                         int last);
+
+/// The assembly source of the mul_ter kernel (exposed so examples can
+/// show and disassemble it).
+std::string mul_ter_kernel_source(bool negacyclic);
+
+}  // namespace lacrv::perf

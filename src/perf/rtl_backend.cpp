@@ -1,0 +1,87 @@
+#include "perf/rtl_backend.h"
+
+#include <memory>
+
+#include "common/costs.h"
+#include "rtl/chien_unit.h"
+#include "rtl/mul_ter.h"
+
+namespace lacrv::perf {
+namespace {
+
+template <typename Vec>
+std::size_t significant_length(const Vec& v) {
+  std::size_t len = v.size();
+  while (len > 0 && v[len - 1] == 0) --len;
+  return len;
+}
+
+}  // namespace
+
+poly::MulTer512 rtl_mul_ter() {
+  // One persistent unit instance, like the single physical unit in the
+  // PQ-ALU (shared_ptr: MulTer512 is a copyable std::function).
+  auto unit = std::make_shared<rtl::MulTerRtl>(poly::kMulTerLength);
+  return [unit](const poly::Ternary& a, const poly::Coeffs& b,
+                bool negacyclic, CycleLedger* ledger) {
+    const std::size_t n = unit->length();
+    unit->reset();
+    for (std::size_t i = 0; i < n; ++i) {
+      unit->load_a(i, a[i]);
+      unit->load_b(i, b[i]);
+    }
+    unit->start(negacyclic);
+    const u64 compute_cycles = unit->run_to_completion();
+
+    // I/O charged with the pq.mul_ter instruction model; compute charged
+    // with the cycles the RTL actually took.
+    const std::size_t sig =
+        std::max(significant_length(a), significant_length(b));
+    const std::size_t load_chunks =
+        (std::max<std::size_t>(sig, 1) + cost::kMulTerCoeffsPerLoad - 1) /
+        cost::kMulTerCoeffsPerLoad;
+    const std::size_t read_chunks =
+        (n + cost::kMulTerCoeffsPerRead - 1) / cost::kMulTerCoeffsPerRead;
+    charge(ledger, cost::kKernelCallOverhead +
+                       load_chunks * cost::kMulTerLoadChunk +
+                       cost::kMulTerStartOverhead + compute_cycles +
+                       read_chunks * cost::kMulTerReadChunk);
+
+    poly::Coeffs out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = unit->read_c(i);
+    return out;
+  };
+}
+
+bch::ChienStage rtl_chien() {
+  auto unit = std::make_shared<rtl::ChienRtl>();
+  return [unit](const bch::CodeSpec& spec, const bch::Locator& loc,
+                CycleLedger* ledger) {
+    unit->configure(loc.lambda, spec.chien_first);
+    bch::ChienResult result;
+    const int points = spec.chien_last - spec.chien_first + 1;
+    for (int l = spec.chien_first; l <= spec.chien_last; ++l) {
+      if (unit->eval_next() == 0) {
+        ++result.roots_found;
+        const int degree = (gf::kGroupOrder - l) % gf::kGroupOrder;
+        if (degree < spec.length()) result.error_degrees.push_back(degree);
+      }
+    }
+    const u64 groups = static_cast<u64>(unit->group_passes_per_point());
+    charge(ledger,
+           cost::kKernelCallOverhead + groups * cost::kChienHwLambdaLoad +
+               unit->cycles() /* RTL multiplier cycles */ +
+               static_cast<u64>(points) *
+                   (groups * cost::kChienHwGroupControl +
+                    cost::kChienHwPointOverhead));
+    return result;
+  };
+}
+
+lac::Backend rtl_optimized_backend() {
+  lac::Backend backend = lac::Backend::optimized_with(rtl_mul_ter(), rtl_chien());
+  backend.name = "opt-rtl";
+  return backend;
+}
+
+}  // namespace lacrv::perf

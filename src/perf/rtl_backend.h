@@ -1,0 +1,23 @@
+// Optimized backend wired to the cycle-accurate RTL accelerator models.
+//
+// Backend::optimized() uses golden software models with an attached cost
+// model; rtl_optimized_backend() instead drives rtl::MulTerRtl and
+// rtl::ChienRtl clock by clock and charges the *observed* unit cycles
+// plus the pq-instruction I/O model. Results must be bit-identical to the
+// modeled backend (tests enforce this); cycle totals agree by construction
+// because the RTL latencies (n, 9/pass) equal the modeled constants.
+#pragma once
+
+#include "lac/backend.h"
+
+namespace lacrv::perf {
+
+lac::Backend rtl_optimized_backend();
+
+/// The MUL TER callable used by rtl_optimized_backend (exposed for tests
+/// and benches).
+poly::MulTer512 rtl_mul_ter();
+/// The Chien stage driving rtl::ChienRtl (exposed for tests and benches).
+bch::ChienStage rtl_chien();
+
+}  // namespace lacrv::perf

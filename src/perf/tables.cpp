@@ -1,0 +1,307 @@
+#include "perf/tables.h"
+
+#include <iomanip>
+
+#include "common/rng.h"
+#include "lac/sampler.h"
+#include "riscv/pq_alu.h"
+#include "rtl/chien_unit.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace lacrv::perf {
+namespace {
+
+hash::Seed seed_of(u64 x) {
+  hash::Seed s{};
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<u8>(x >> (8 * i));
+  return s;
+}
+
+/// Deterministic noisy word: a valid codeword with `errors` injected bits.
+bch::BitVec noisy_codeword(const bch::CodeSpec& spec, int errors, u64 seed) {
+  Xoshiro256 rng(seed);
+  bch::Message msg;
+  rng.fill(msg.data(), msg.size());
+  bch::BitVec cw = bch::encode(spec, msg);
+  std::vector<int> picked;
+  while (static_cast<int>(picked.size()) < errors) {
+    const int pos = static_cast<int>(rng.next_below(spec.length()));
+    if (std::find(picked.begin(), picked.end(), pos) == picked.end()) {
+      picked.push_back(pos);
+      cw[pos] ^= 1;
+    }
+  }
+  return cw;
+}
+
+Table1Row table1_row_for(const bch::CodeSpec& spec, const std::string& scheme,
+                         bch::Flavor flavor, int errors, u64 paper_decode) {
+  const bch::BitVec word = noisy_codeword(spec, errors, 77 + errors);
+  CycleLedger ledger;
+  bch::decode(spec, word, flavor, &ledger);
+  return {scheme,
+          errors,
+          ledger.section("bch_syndrome"),
+          ledger.section("bch_error_loc"),
+          ledger.section("bch_chien"),
+          ledger.total(),
+          paper_decode};
+}
+
+Table1Row table1_row(const std::string& scheme, bch::Flavor flavor,
+                     int errors, u64 paper_decode) {
+  return table1_row_for(bch::CodeSpec::bch_511_367_16(), scheme, flavor,
+                        errors, paper_decode);
+}
+
+u64 with_ledger(const std::function<void(CycleLedger*)>& fn) {
+  CycleLedger ledger;
+  fn(&ledger);
+  return ledger.total();
+}
+
+struct MeasuredConfig {
+  u64 keygen, encaps, decaps, gen_a, sample, mult, bch_dec;
+};
+
+MeasuredConfig measure(const lac::Params& params, const lac::Backend& backend) {
+  MeasuredConfig m{};
+  const hash::Seed master = seed_of(4242);
+  // Full protocol runs.
+  CycleLedger kg_ledger;
+  const lac::KemKeyPair keys =
+      lac::kem_keygen(params, backend, master, &kg_ledger);
+  m.keygen = kg_ledger.total();
+
+  CycleLedger enc_ledger;
+  const lac::EncapsResult enc =
+      lac::encapsulate(params, backend, keys.pk, seed_of(99), &enc_ledger);
+  m.encaps = enc_ledger.total();
+
+  CycleLedger dec_ledger;
+  lac::decapsulate(params, backend, keys, enc.ct, &dec_ledger);
+  m.decaps = dec_ledger.total();
+
+  // Per-call bottleneck kernels (Table II's right-hand columns).
+  m.gen_a = with_ledger([&](CycleLedger* ledger) {
+    lac::gen_a(keys.pk.seed_a, params, backend.hash_impl, ledger);
+  });
+  m.sample = with_ledger([&](CycleLedger* ledger) {
+    lac::sample_fixed_weight(seed_of(7), params, backend.hash_impl, ledger);
+  });
+  const poly::Coeffs a = lac::gen_a(keys.pk.seed_a, params);
+  m.mult = with_ledger([&](CycleLedger* ledger) {
+    if (backend.kind == lac::Backend::Kind::kOptimized)
+      poly::mul_with_unit(keys.sk.s, a, backend.mul_unit, ledger);
+    else
+      poly::mul_ref(a, keys.sk.s, true, ledger);
+  });
+  m.bch_dec = with_ledger([&](CycleLedger* ledger) {
+    const bch::BitVec word = noisy_codeword(*params.code, 0, 55);
+    if (backend.chien)
+      bch::decode_with_chien(*params.code, word, backend.bch_flavor,
+                             backend.chien, ledger);
+    else
+      bch::decode(*params.code, word, backend.bch_flavor, ledger);
+  });
+  return m;
+}
+
+void format_row(std::ostream& os, const std::string& label, u64 value,
+                std::optional<u64> paper) {
+  os << "  " << std::left << std::setw(16) << label << std::right
+     << std::setw(12) << value;
+  if (paper) {
+    const double err =
+        100.0 * (static_cast<double>(value) - static_cast<double>(*paper)) /
+        static_cast<double>(*paper);
+    os << "   paper " << std::setw(12) << *paper << "  (" << std::showpos
+       << std::fixed << std::setprecision(1) << err << "%" << std::noshowpos
+       << ")";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::vector<Table1Row> table1() {
+  return {
+      table1_row("LAC Subm.", bch::Flavor::kSubmission, 0, 171522),
+      table1_row("LAC Subm.", bch::Flavor::kSubmission, 16, 179798),
+      table1_row("Walters et al.", bch::Flavor::kConstantTime, 0, 514169),
+      table1_row("Walters et al.", bch::Flavor::kConstantTime, 16, 514428),
+  };
+}
+
+std::vector<Table1Row> table1_t8() {
+  const bch::CodeSpec& spec = bch::CodeSpec::bch_511_439_8();
+  return {
+      table1_row_for(spec, "LAC Subm.", bch::Flavor::kSubmission, 0, 0),
+      table1_row_for(spec, "LAC Subm.", bch::Flavor::kSubmission, 8, 0),
+      table1_row_for(spec, "Walters et al.", bch::Flavor::kConstantTime, 0,
+                     0),
+      table1_row_for(spec, "Walters et al.", bch::Flavor::kConstantTime, 8,
+                     0),
+  };
+}
+
+void print_table1(std::ostream& os, const std::vector<Table1Row>& rows) {
+  os << "Cycle count BCH decoding on RISC-V\n";
+  os << std::left << std::setw(16) << "Scheme" << std::setw(7) << "Fails"
+     << std::right << std::setw(10) << "Syndr." << std::setw(12)
+     << "Error Loc." << std::setw(10) << "Chien" << std::setw(10) << "Decode"
+     << std::setw(14) << "paper" << std::setw(9) << "dev%" << "\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(16) << r.scheme << std::setw(7) << r.fails
+       << std::right << std::setw(10) << r.syndrome << std::setw(12)
+       << r.error_loc << std::setw(10) << r.chien << std::setw(10)
+       << r.decode;
+    if (r.paper_decode != 0) {
+      const double err = 100.0 *
+                         (static_cast<double>(r.decode) -
+                          static_cast<double>(r.paper_decode)) /
+                         static_cast<double>(r.paper_decode);
+      os << std::setw(14) << r.paper_decode << std::setw(8) << std::showpos
+         << std::fixed << std::setprecision(1) << err << "%" << std::noshowpos;
+    } else {
+      os << std::setw(22) << "(extension)";
+    }
+    os << "\n";
+  }
+}
+
+std::vector<Table2Row> table2() {
+  std::vector<Table2Row> rows;
+  // External baselines quoted by the paper.
+  rows.push_back({"LAC-128 ref. [4]", "ARM Cortex-M4", "CCA (I)", 2266368,
+                  3979851, 6303717, 0, 0, 0, 0, true, std::nullopt});
+  rows.push_back({"LAC-192 ref. [4]", "ARM Cortex-M4", "CCA (III)", 7532180,
+                  9986506, 17452435, 0, 0, 0, 0, true, std::nullopt});
+  rows.push_back({"LAC-256 ref. [4]", "ARM Cortex-M4", "CCA (V)", 7665769,
+                  13533851, 21125257, 0, 0, 0, 0, true, std::nullopt});
+
+  struct Config {
+    const char* suffix;
+    lac::Backend backend;
+    std::array<std::array<u64, 7>, 3> paper;  // per level: kg,enc,dec,genA,sample,mult,bch
+  };
+  const std::array<Config, 3> configs = {
+      Config{"ref.", lac::Backend::reference(),
+             {{{2980721, 4969233, 7544632, 159097, 190173, 2381843, 161514},
+               {10162116, 13388940, 22984529, 287609, 165092, 9482261, 78584},
+               {10516000, 18165942, 27879782, 287736, 344541, 9482263,
+                171622}}}},
+      Config{"const. BCH", lac::Backend::reference_const_bch(),
+             {{{2981055, 4969238, 7897403, 159192, 190256, 2381843, 514280},
+               {10162502, 13388952, 23126138, 287736, 165185, 9482261,
+                220181},
+               {10515588, 18165040, 28220945, 287609, 344436, 9482263,
+                513687}}}},
+      Config{"opt.", lac::Backend::optimized(),
+             {{{542814, 640237, 839132, 154746, 159134, 6390, 160295},
+               {816635, 1086148, 1324014, 282264, 156320, 151354, 52142},
+               {1086252, 1388366, 1759756, 282264, 291007, 151355,
+                160296}}}}};
+
+  const std::array<const lac::Params*, 3> levels = lac::Params::all();
+  const std::array<const char*, 3> cats = {"CCA (I)", "CCA (III)", "CCA (V)"};
+  for (const Config& config : configs) {
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      const MeasuredConfig m = measure(*levels[i], config.backend);
+      Table2Row row;
+      row.scheme = std::string(levels[i]->name) + " " + config.suffix;
+      row.device = "RISC-V";
+      row.security = cats[i];
+      row.keygen = m.keygen;
+      row.encaps = m.encaps;
+      row.decaps = m.decaps;
+      row.gen_a = m.gen_a;
+      row.sample_poly = m.sample;
+      row.mult = m.mult;
+      row.bch_dec = m.bch_dec;
+      row.paper = {{config.paper[i][0], config.paper[i][1],
+                    config.paper[i][2]}};
+      rows.push_back(std::move(row));
+    }
+  }
+
+  rows.push_back({"NewHope opt. [8]", "RISC-V", "CPA (V)", 357052, 589285,
+                  167647, 42050, 75682, 73827, 0, true, std::nullopt});
+  return rows;
+}
+
+void print_table2(std::ostream& os, const std::vector<Table2Row>& rows) {
+  os << "Table II — cycle counts for the key encapsulation and "
+        "performance bottlenecks\n";
+  for (const auto& r : rows) {
+    os << (r.external ? "[quoted] " : "") << r.scheme << " (" << r.device
+       << ", " << r.security << ")\n";
+    format_row(os, "Key-Generation", r.keygen,
+               r.paper ? std::optional<u64>((*r.paper)[0]) : std::nullopt);
+    format_row(os, "Encapsulation", r.encaps,
+               r.paper ? std::optional<u64>((*r.paper)[1]) : std::nullopt);
+    format_row(os, "Decapsulation", r.decaps,
+               r.paper ? std::optional<u64>((*r.paper)[2]) : std::nullopt);
+    if (r.gen_a || r.sample_poly || r.mult || r.bch_dec) {
+      format_row(os, "GenA", r.gen_a, std::nullopt);
+      format_row(os, "Sample poly", r.sample_poly, std::nullopt);
+      format_row(os, "Multiplication", r.mult, std::nullopt);
+      if (r.bch_dec) format_row(os, "BCH Dec.", r.bch_dec, std::nullopt);
+    }
+  }
+}
+
+Speedups headline_speedups(const std::vector<Table2Row>& rows) {
+  const auto total_of = [&](const std::string& scheme) -> double {
+    for (const auto& r : rows)
+      if (r.scheme == scheme)
+        return static_cast<double>(r.keygen + r.encaps + r.decaps);
+    return 0;
+  };
+  return {total_of("LAC-128 ref.") / total_of("LAC-128 opt."),
+          total_of("LAC-192 ref.") / total_of("LAC-192 opt."),
+          total_of("LAC-256 ref.") / total_of("LAC-256 opt.")};
+}
+
+std::vector<Table3Row> table3() {
+  rv::PqAlu alu;
+  std::vector<Table3Row> rows;
+  rows.push_back({rtl::pulpino_peripherals(), true, {{8769, 7369, 32, 0}}});
+
+  const rtl::AreaReport pq = alu.area();
+  rtl::AreaReport core = rtl::riscy_base_core();
+  core += pq;
+  core.name = "RISC-V core total";
+  rows.push_back({core, false, {{53819, 13928, 0, 10}}});
+  rows.push_back({alu.mul_ter().area(), false, {{31465, 9305, 0, 0}}});
+  rows.push_back({rtl::ChienRtl().area(), false, {{86, 158, 0, 0}}});
+  rows.push_back({alu.sha256().area(), false, {{1031, 1556, 0, 0}}});
+  rows.push_back({alu.barrett().area(), false, {{35, 0, 0, 2}}});
+  rows.push_back(
+      {rtl::AreaReport{"NTT accelerator [8]", 886, 618, 1, 26}, true,
+       std::nullopt});
+  rows.push_back(
+      {rtl::AreaReport{"Keccak accelerator [8]", 10435, 4225, 0, 0}, true,
+       std::nullopt});
+  return rows;
+}
+
+void print_table3(std::ostream& os, const std::vector<Table3Row>& rows) {
+  os << "Table III — resource utilization\n";
+  os << std::left << std::setw(28) << "Component" << std::right
+     << std::setw(8) << "LUTs" << std::setw(11) << "Registers" << std::setw(7)
+     << "BRAMs" << std::setw(6) << "DSPs" << "   (paper LUT/FF)\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(28)
+       << ((r.external ? "[quoted] " : "") + r.area.name) << std::right
+       << std::setw(8) << r.area.luts << std::setw(11) << r.area.registers
+       << std::setw(7) << r.area.brams << std::setw(6) << r.area.dsps;
+    if (r.paper)
+      os << "   " << (*r.paper)[0] << "/" << (*r.paper)[1];
+    os << "\n";
+  }
+}
+
+}  // namespace lacrv::perf

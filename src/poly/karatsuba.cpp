@@ -1,0 +1,67 @@
+#include "poly/karatsuba.h"
+
+#include "common/check.h"
+
+namespace lacrv::poly {
+
+Coeffs mul_general_full(const Coeffs& a, const Coeffs& b) {
+  LACRV_CHECK(!a.empty() && !b.empty());
+  Coeffs c(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const u32 prod = static_cast<u32>(a[i]) * b[j];
+      c[i + j] = add_mod(c[i + j], barrett_reduce(prod));
+    }
+  }
+  return c;
+}
+
+Coeffs karatsuba_full(const Coeffs& a, const Coeffs& b,
+                      std::size_t threshold) {
+  LACRV_CHECK(a.size() == b.size());
+  const std::size_t n = a.size();
+  LACRV_CHECK_MSG((n & (n - 1)) == 0, "operand size must be a power of two");
+  if (n <= threshold || n == 1) return mul_general_full(a, b);
+
+  const std::size_t h = n / 2;
+  const Coeffs al(a.begin(), a.begin() + h), ah(a.begin() + h, a.end());
+  const Coeffs bl(b.begin(), b.begin() + h), bh(b.begin() + h, b.end());
+
+  const Coeffs p0 = karatsuba_full(al, bl, threshold);        // low * low
+  const Coeffs p2 = karatsuba_full(ah, bh, threshold);        // high * high
+  const Coeffs p1 = karatsuba_full(add(al, ah), add(bl, bh),  // middle
+                                   threshold);
+
+  // c = p0 + (p1 - p0 - p2) x^h + p2 x^n
+  Coeffs c(2 * n - 1, 0);
+  for (std::size_t i = 0; i < p0.size(); ++i) c[i] = p0[i];
+  for (std::size_t i = 0; i < p2.size(); ++i)
+    c[i + n] = add_mod(c[i + n], p2[i]);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    u8 mid = sub_mod(p1[i], p0[i]);
+    mid = sub_mod(mid, p2[i]);
+    c[i + h] = add_mod(c[i + h], mid);
+  }
+  return c;
+}
+
+Coeffs reduce_negacyclic(const Coeffs& full, std::size_t n) {
+  LACRV_CHECK(full.size() <= 2 * n);
+  Coeffs c(n, 0);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (i < n)
+      c[i] = add_mod(c[i], full[i]);
+    else
+      c[i - n] = sub_mod(c[i - n], full[i]);
+  }
+  return c;
+}
+
+Coeffs mul_general_negacyclic(const Coeffs& a, const Coeffs& b,
+                              std::size_t threshold) {
+  LACRV_CHECK(a.size() == b.size());
+  return reduce_negacyclic(karatsuba_full(a, b, threshold), a.size());
+}
+
+}  // namespace lacrv::poly

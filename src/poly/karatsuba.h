@@ -1,0 +1,31 @@
+// General (G x G) polynomial multiplication and Karatsuba splitting.
+//
+// The paper discusses (Sec. IV-A) that Karatsuba would cut the four
+// splitting multiplications to three but requires general x general
+// products, which the ternary MUL TER unit cannot compute, and leaves it
+// as future work. We implement it here as the paper's proposed extension
+// so the ablation bench can quantify the trade-off in software.
+#pragma once
+
+#include "common/ledger.h"
+#include "poly/ring.h"
+
+namespace lacrv::poly {
+
+/// Full product (size a.size() + b.size() - 1) of two general polynomials
+/// over Z_q, schoolbook.
+Coeffs mul_general_full(const Coeffs& a, const Coeffs& b);
+
+/// Full product via recursive Karatsuba; falls back to schoolbook below
+/// `threshold`. Operand sizes must be equal powers of two.
+Coeffs karatsuba_full(const Coeffs& a, const Coeffs& b,
+                      std::size_t threshold = 32);
+
+/// Reduce a full product into R_n = Z_q[x]/(x^n + 1) (negacyclic wrap).
+Coeffs reduce_negacyclic(const Coeffs& full, std::size_t n);
+
+/// Negacyclic product of two general polynomials via Karatsuba + reduction.
+Coeffs mul_general_negacyclic(const Coeffs& a, const Coeffs& b,
+                              std::size_t threshold = 32);
+
+}  // namespace lacrv::poly

@@ -1,0 +1,121 @@
+#include "poly/ring.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+
+namespace lacrv::poly {
+
+Coeffs add(const Coeffs& a, const Coeffs& b) {
+  LACRV_CHECK(a.size() == b.size());
+  Coeffs c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = add_mod(a[i], b[i]);
+  return c;
+}
+
+Coeffs sub(const Coeffs& a, const Coeffs& b) {
+  LACRV_CHECK(a.size() == b.size());
+  Coeffs c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = sub_mod(a[i], b[i]);
+  return c;
+}
+
+Coeffs from_ternary(const Ternary& t) {
+  Coeffs c(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i)
+    c[i] = t[i] < 0 ? static_cast<u8>(kQ - 1) : static_cast<u8>(t[i]);
+  return c;
+}
+
+std::size_t weight(const Ternary& t) {
+  std::size_t w = 0;
+  for (i8 v : t) w += (v != 0);
+  return w;
+}
+
+Coeffs mul_ref(const Coeffs& b, const Ternary& s, bool negacyclic,
+               CycleLedger* ledger) {
+  const std::size_t n = b.size();
+  LACRV_CHECK(s.size() == n);
+  Coeffs c(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    // The reference code walks the full row regardless of s[j]; the cycle
+    // model charges accordingly (this is exactly why Table II's reference
+    // multiplication is ~2.4M / ~9.5M cycles).
+    charge(ledger, cost::kRefMultOuterStep + n * cost::kRefMultInnerStep);
+    if (s[j] == 0) continue;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = j + k;
+      const bool wrap = idx >= n;
+      const std::size_t pos = wrap ? idx - n : idx;
+      // sign of the contribution: s[j], negated on wrap for x^n + 1.
+      const bool negative = (s[j] < 0) != (negacyclic && wrap);
+      c[pos] = negative ? sub_mod(c[pos], b[k]) : add_mod(c[pos], b[k]);
+    }
+  }
+  return c;
+}
+
+Coeffs mul_ref_partial(const Coeffs& b, const Ternary& s,
+                       std::size_t out_len, CycleLedger* ledger) {
+  const std::size_t n = b.size();
+  LACRV_CHECK(s.size() == n);
+  LACRV_CHECK(out_len <= n);
+  Coeffs c(out_len, 0);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    charge(ledger, cost::kRefMultOuterStep + n * cost::kRefMultInnerStep);
+    i32 acc = 0;
+    for (std::size_t j = 0; j <= i; ++j) acc += s[j] * b[i - j];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= s[j] * b[n + i - j];
+    acc %= static_cast<i32>(kQ);
+    if (acc < 0) acc += kQ;
+    c[i] = static_cast<u8>(acc);
+  }
+  return c;
+}
+
+Coeffs mul_sparse(const Coeffs& b, const Ternary& s, bool negacyclic) {
+  const std::size_t n = b.size();
+  LACRV_CHECK(s.size() == n);
+  Coeffs c(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (s[j] == 0) continue;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = j + k;
+      const bool wrap = idx >= n;
+      const std::size_t pos = wrap ? idx - n : idx;
+      const bool negative = (s[j] < 0) != (negacyclic && wrap);
+      c[pos] = negative ? sub_mod(c[pos], b[k]) : add_mod(c[pos], b[k]);
+    }
+  }
+  return c;
+}
+
+Coeffs mul_ter_sw(const Ternary& a, const Coeffs& b, bool negacyclic) {
+  const std::size_t n = a.size();
+  LACRV_CHECK(b.size() == n);
+  LACRV_CHECK(n > 0);
+  // Register-rotation schedule of the MUL TER unit (Fig. 2): per cycle
+  // cntr the registers shift left while accumulating a_cntr * b, with the
+  // per-MAU negation muxes active for wrap contributions (sel_i logic).
+  Coeffs c(n, 0);
+  for (std::size_t cntr = 0; cntr < n; ++cntr) {
+    const i8 ai = a[cntr];
+    Coeffs next(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t k = (j + 1) % n;  // source register / b index
+      u8 v = c[k];
+      if (ai != 0) {
+        // negate the contribution when this b-lane wraps past x^n in the
+        // negacyclic mode: k + cntr >= n  (paper: sel_i for i > n-1-cntr).
+        const bool negate = negacyclic && (k + cntr >= n);
+        const bool subtract = (ai < 0) != negate;
+        v = subtract ? sub_mod(v, b[k]) : add_mod(v, b[k]);
+      }
+      next[j] = v;
+    }
+    c.swap(next);
+  }
+  return c;
+}
+
+}  // namespace lacrv::poly

@@ -1,0 +1,91 @@
+// Arithmetic in R_n = Z_q[x] / (x^n ± 1) with q = 251, the polynomial ring
+// of LAC (Sec. IV-A). Coefficients are single bytes in [0, q); secret and
+// error polynomials are ternary ({-1, 0, 1}).
+//
+// The multiplication flavours deliberately mirror the paper's software
+// landscape:
+//  * mul_ref     — the dense n^2 loop of the round-2 reference C code
+//                  (what "LAC ref." rows of Table II execute); charges
+//                  kRefMultInnerStep per coefficient pair when a ledger is
+//                  given.
+//  * mul_sparse  — index-list multiplication over the nonzero ternary
+//                  coefficients only (used for cross-checking and as an
+//                  ablation point).
+//  * mul_ter_sw  — golden software model of the MUL TER hardware unit:
+//                  same operand convention (ternary x general), supports
+//                  both wrapped convolutions, any length.
+#pragma once
+
+#include <vector>
+
+#include "common/ledger.h"
+#include "common/types.h"
+
+namespace lacrv::poly {
+
+inline constexpr u16 kQ = 251;
+
+using Coeffs = std::vector<u8>;   // elements of Z_q
+using Ternary = std::vector<i8>;  // values in {-1, 0, 1}
+
+/// (a + b) mod q for a, b in [0, q).
+constexpr u8 add_mod(u8 a, u8 b) {
+  const u16 s = static_cast<u16>(a) + b;
+  return static_cast<u8>(s >= kQ ? s - kQ : s);
+}
+
+/// (a - b) mod q for a, b in [0, q).
+constexpr u8 sub_mod(u8 a, u8 b) {
+  const i16 d = static_cast<i16>(a) - b;
+  return static_cast<u8>(d < 0 ? d + kQ : d);
+}
+
+/// Barrett reduction of x < 2^16 modulo q = 251 — bit-exact model of the
+/// MOD q datapath (Sec. V): two multiplications (the two DSP slices of
+/// Table III) plus conditional corrections.
+constexpr u8 barrett_reduce(u32 x) {
+  // m = floor(2^16 / 251) = 261
+  constexpr u32 kM = 261;
+  u32 r = x - ((x * kM) >> 16) * kQ;
+  // quotient estimate is off by at most 2
+  r -= (r >= kQ) ? kQ : 0;
+  r -= (r >= kQ) ? kQ : 0;
+  return static_cast<u8>(r);
+}
+
+/// Coefficient-wise sum (mod q); sizes must match.
+Coeffs add(const Coeffs& a, const Coeffs& b);
+/// Coefficient-wise difference (mod q); sizes must match.
+Coeffs sub(const Coeffs& a, const Coeffs& b);
+
+/// Map a ternary polynomial into Z_q representation (-1 -> q-1).
+Coeffs from_ternary(const Ternary& t);
+
+/// Number of nonzero coefficients.
+std::size_t weight(const Ternary& t);
+
+/// Reference dense multiplication c = b * s in Z_q[x]/(x^n -+ 1):
+/// iterates all n^2 coefficient pairs like the round-2 LAC C code and
+/// charges the corresponding cycle model. b general, s ternary.
+Coeffs mul_ref(const Coeffs& b, const Ternary& s, bool negacyclic,
+               CycleLedger* ledger = nullptr);
+
+/// Sparse multiplication over the nonzero positions of s only.
+Coeffs mul_sparse(const Coeffs& b, const Ternary& s, bool negacyclic);
+
+/// Partial reference multiplication: only the first out_len coefficients
+/// of b * s in Z_q[x]/(x^n + 1), computed directly from Eq. (1). The LAC
+/// reference encryption computes v = (b s' + e'')[0..lv) this way — the
+/// Table II cycle counts confirm it (the partial product costs exactly
+/// lv/n of a full one).
+Coeffs mul_ref_partial(const Coeffs& b, const Ternary& s,
+                       std::size_t out_len, CycleLedger* ledger = nullptr);
+
+/// Golden software model of the MUL TER unit: cyclic (x^n - 1) or
+/// negacyclic (x^n + 1) convolution of a ternary a with a general b,
+/// computed with the serialized register-rotation schedule of Fig. 2
+/// (one ternary coefficient per "cycle"). Functionally equal to mul_ref
+/// with swapped operand roles.
+Coeffs mul_ter_sw(const Ternary& a, const Coeffs& b, bool negacyclic);
+
+}  // namespace lacrv::poly

@@ -1,0 +1,164 @@
+#include "poly/split_mul.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+
+namespace lacrv::poly {
+namespace {
+
+constexpr std::size_t kHalfLow = kMulTerLength / 2;  // 256
+
+/// Zero-pad a ternary half to unit length.
+Ternary pad_ternary(const Ternary& src, std::size_t offset, std::size_t len) {
+  Ternary out(kMulTerLength, 0);
+  for (std::size_t i = 0; i < len; ++i) out[i] = src[offset + i];
+  return out;
+}
+
+Coeffs pad_general(const Coeffs& src, std::size_t offset, std::size_t len) {
+  Coeffs out(kMulTerLength, 0);
+  for (std::size_t i = 0; i < len; ++i) out[i] = src[offset + i];
+  return out;
+}
+
+}  // namespace
+
+MulTer512 software_mul_ter() {
+  return [](const Ternary& a, const Coeffs& b, bool negacyclic,
+            CycleLedger*) { return mul_ter_sw(a, b, negacyclic);
+  };
+}
+
+Coeffs split_mul_low(const Ternary& a, const Coeffs& b, const MulTer512& unit,
+                     CycleLedger* ledger) {
+  LACRV_CHECK(a.size() == kMulTerLength && b.size() == kMulTerLength);
+
+  // Line 1-2: four length-256 multiplications, each run as a length-512
+  // positive convolution (no wrap occurs for degree <= 510 products).
+  const Ternary al = pad_ternary(a, 0, kHalfLow);
+  const Ternary ah = pad_ternary(a, kHalfLow, kHalfLow);
+  const Coeffs bl = pad_general(b, 0, kHalfLow);
+  const Coeffs bh = pad_general(b, kHalfLow, kHalfLow);
+
+  const Coeffs cll = unit(al, bl, false, ledger);
+  const Coeffs chh = unit(ah, bh, false, ledger);
+  const Coeffs clh = unit(al, bh, false, ledger);
+  const Coeffs chl = unit(ah, bl, false, ledger);
+
+  // Line 3-7: recombination c = cll + (clh + chl) x^256 + chh x^512,
+  // stored in a length-1024 result (no modular wrap at this level).
+  // The three statements of the paper's loop body must be applied as
+  // sequential passes: the c_i <- c^ll_i initialisation would otherwise
+  // clobber middle-term accumulations made 256 iterations earlier.
+  Coeffs c(2 * kMulTerLength, 0);
+  for (std::size_t i = 0; i < kMulTerLength; ++i) c[i] = cll[i];
+  for (std::size_t i = 0; i < kMulTerLength; ++i)
+    c[i + kHalfLow] = add_mod(c[i + kHalfLow], add_mod(clh[i], chl[i]));
+  for (std::size_t i = 0; i < kMulTerLength; ++i)
+    c[i + kMulTerLength] = add_mod(c[i + kMulTerLength], chh[i]);
+  charge(ledger, kMulTerLength * cost::kSplitRecombineStep * 3);
+  return c;
+}
+
+Coeffs split_mul_high(const Ternary& a, const Coeffs& b,
+                      const MulTer512& unit, CycleLedger* ledger) {
+  constexpr std::size_t kN = 2 * kMulTerLength;  // 1024
+  LACRV_CHECK(a.size() == kN && b.size() == kN);
+
+  const Ternary al(a.begin(), a.begin() + kMulTerLength);
+  const Ternary ah(a.begin() + kMulTerLength, a.end());
+  const Coeffs bl(b.begin(), b.begin() + kMulTerLength);
+  const Coeffs bh(b.begin() + kMulTerLength, b.end());
+
+  // Line 1-2: four full 512x512 products.
+  const Coeffs cll = split_mul_low(al, bl, unit, ledger);
+  const Coeffs chh = split_mul_low(ah, bh, unit, ledger);
+  const Coeffs clh = split_mul_low(al, bh, unit, ledger);
+  const Coeffs chl = split_mul_low(ah, bl, unit, ledger);
+
+  Coeffs c(kN, 0);
+  // Line 3-6: c_i = cll_i - chh_i  (x^1024 wraps negatively).
+  for (std::size_t i = 0; i < kN; ++i) c[i] = sub_mod(cll[i], chh[i]);
+  // Line 7-9: middle terms, lower halves land at + x^512 directly.
+  for (std::size_t i = 0; i < kMulTerLength; ++i)
+    c[i + kMulTerLength] =
+        add_mod(c[i + kMulTerLength], add_mod(clh[i], chl[i]));
+  // Line 10-12: upper halves of the middle terms wrap negatively.
+  for (std::size_t i = kMulTerLength; i < kN; ++i)
+    c[i - kMulTerLength] =
+        sub_mod(c[i - kMulTerLength], add_mod(clh[i], chl[i]));
+  charge(ledger, (kN + kMulTerLength + kMulTerLength) *
+                     cost::kSplitRecombineStep);
+  return c;
+}
+
+Coeffs mul_with_unit(const Ternary& a, const Coeffs& b, const MulTer512& unit,
+                     CycleLedger* ledger) {
+  LACRV_CHECK(a.size() == b.size());
+  if (a.size() == kMulTerLength) return unit(a, b, true, ledger);
+  LACRV_CHECK_MSG(a.size() == 2 * kMulTerLength,
+                  "mul_with_unit supports n = 512 or 1024");
+  return split_mul_high(a, b, unit, ledger);
+}
+
+Coeffs full_product_with_unit(const Ternary& a, const Coeffs& b,
+                              std::size_t unit_len, const MulTer512& unit,
+                              CycleLedger* ledger) {
+  const std::size_t m = a.size();
+  LACRV_CHECK(b.size() == m && m > 0);
+  LACRV_CHECK((unit_len & (unit_len - 1)) == 0);
+  if (2 * m <= unit_len) {
+    // Fits the unit directly: zero-pad and run one cyclic convolution
+    // (a product of degree 2m-2 < L never wraps).
+    Ternary pa(unit_len, 0);
+    Coeffs pb(unit_len, 0);
+    std::copy(a.begin(), a.end(), pa.begin());
+    std::copy(b.begin(), b.end(), pb.begin());
+    Coeffs c = unit(pa, pb, false, ledger);
+    c.resize(2 * m);
+    return c;
+  }
+  LACRV_CHECK_MSG(m % 2 == 0, "operand length must be a power of two");
+  const std::size_t h = m / 2;
+  const Ternary al(a.begin(), a.begin() + h), ah(a.begin() + h, a.end());
+  const Coeffs bl(b.begin(), b.begin() + h), bh(b.begin() + h, b.end());
+
+  const Coeffs cll = full_product_with_unit(al, bl, unit_len, unit, ledger);
+  const Coeffs chh = full_product_with_unit(ah, bh, unit_len, unit, ledger);
+  const Coeffs clh = full_product_with_unit(al, bh, unit_len, unit, ledger);
+  const Coeffs chl = full_product_with_unit(ah, bl, unit_len, unit, ledger);
+
+  Coeffs c(2 * m, 0);
+  for (std::size_t i = 0; i < 2 * h; ++i) c[i] = cll[i];
+  for (std::size_t i = 0; i < 2 * h; ++i)
+    c[i + h] = add_mod(c[i + h], add_mod(clh[i], chl[i]));
+  for (std::size_t i = 0; i < 2 * h; ++i)
+    c[i + m] = add_mod(c[i + m], chh[i]);
+  charge(ledger, 3 * m * cost::kSplitRecombineStep);
+  return c;
+}
+
+Coeffs mul_negacyclic_with_unit(const Ternary& a, const Coeffs& b,
+                                std::size_t unit_len, const MulTer512& unit,
+                                CycleLedger* ledger) {
+  const std::size_t n = a.size();
+  LACRV_CHECK(b.size() == n);
+  if (n == unit_len) {
+    // Direct negacyclic convolution on the unit.
+    return unit(a, b, true, ledger);
+  }
+  // Full product (via the unit, splitting as needed), then reduce by
+  // x^n + 1 in software.
+  const Coeffs full = full_product_with_unit(a, b, unit_len, unit, ledger);
+  Coeffs c(n, 0);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (i < n)
+      c[i] = add_mod(c[i], full[i]);
+    else
+      c[i - n] = sub_mod(c[i - n], full[i]);
+  }
+  charge(ledger, 2 * n * cost::kSplitRecombineStep);
+  return c;
+}
+
+}  // namespace lacrv::poly

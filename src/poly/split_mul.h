@@ -1,0 +1,76 @@
+// Software-based polynomial splitting (Sec. IV-A, Algorithms 1 and 2).
+//
+// The MUL TER hardware unit has a fixed length of 512. LAC-192/256 use
+// n = 1024, so the software splits each length-1024 multiplication into
+// sixteen length-256 multiplications executed on the unit in positive
+// (cyclic) convolution mode: a 256x256 product has degree <= 510, so the
+// length-512 cyclic convolution returns the *full* product without any
+// wrap-around, and the splitting layers reassemble:
+//
+//   Algorithm 2 (split_mul_low):  512 x 512 -> full 1023-coeff product
+//   Algorithm 1 (split_mul_high): 1024 x 1024 mod (x^1024 + 1)
+//
+// The multiplier itself is injected as a callable so the same splitting
+// code drives (a) the golden software model, (b) the cycle-accurate RTL
+// model, and (c) the timing-annotated pq.mul_ter instruction model.
+#pragma once
+
+#include <functional>
+
+#include "common/ledger.h"
+#include "poly/ring.h"
+
+namespace lacrv::poly {
+
+inline constexpr std::size_t kMulTerLength = 512;
+
+/// Interface of a length-512 MUL TER unit: ternary a times general b,
+/// cyclic (negacyclic = false) or negacyclic (true) length-512 convolution.
+/// Operands always have size 512 (callers zero-pad shorter inputs). The
+/// ledger receives whatever cycle model the unit implementation carries
+/// (nothing for the golden software model; pq.mul_ter I/O + n compute
+/// cycles for the accelerator models).
+using MulTer512 = std::function<Coeffs(const Ternary& a, const Coeffs& b,
+                                       bool negacyclic, CycleLedger* ledger)>;
+
+/// A MulTer512 backed by the golden software model (mul_ter_sw).
+MulTer512 software_mul_ter();
+
+/// Algorithm 2: full product of two length-512 polynomials (ternary a,
+/// general b) via four length-256 multiplications on the injected unit.
+/// Returns 1024 coefficients (degree <= 1022; top coefficient zero).
+Coeffs split_mul_low(const Ternary& a, const Coeffs& b, const MulTer512& unit,
+                     CycleLedger* ledger = nullptr);
+
+/// Algorithm 1: c = a * b mod (x^1024 + 1) via four Algorithm-2 calls and
+/// the negative wrap-around recombination of the paper.
+Coeffs split_mul_high(const Ternary& a, const Coeffs& b,
+                      const MulTer512& unit, CycleLedger* ledger = nullptr);
+
+/// Convenience: multiply in R_n for n == 512 (single negacyclic unit call)
+/// or n == 1024 (two-level split), exactly as the optimized implementation
+/// dispatches per security level.
+Coeffs mul_with_unit(const Ternary& a, const Coeffs& b, const MulTer512& unit,
+                     CycleLedger* ledger = nullptr);
+
+// ---- generalized splitting (Sec. IV-A's "larger ... or smaller" units) -----
+// The paper fixes the unit at length 512 but explicitly discusses other
+// lengths as a trade-off knob. The generic splitter serves any power-of-
+// two ring degree n with any power-of-two unit length: operands are
+// recursively halved until a full product fits the unit's cyclic
+// convolution (2m <= L), then recombined level by level; the top level
+// applies the negacyclic wrap of Algorithm 1.
+
+/// Full (unreduced) product of two length-m polynomials on a length-L
+/// unit; returns 2m coefficients (top one zero).
+Coeffs full_product_with_unit(const Ternary& a, const Coeffs& b,
+                              std::size_t unit_len, const MulTer512& unit,
+                              CycleLedger* ledger = nullptr);
+
+/// c = a * b mod (x^n + 1) using a length-L unit, for any power-of-two
+/// n and L (n may be smaller, equal or larger than L).
+Coeffs mul_negacyclic_with_unit(const Ternary& a, const Coeffs& b,
+                                std::size_t unit_len, const MulTer512& unit,
+                                CycleLedger* ledger = nullptr);
+
+}  // namespace lacrv::poly

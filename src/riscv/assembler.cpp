@@ -1,0 +1,531 @@
+#include "riscv/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/check.h"
+#include "riscv/compressed.h"
+#include "riscv/encoding.h"
+
+namespace lacrv::rv {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+/// One source line reduced to mnemonic + comma-separated operands.
+struct Line {
+  int number = 0;
+  std::vector<std::string> labels;
+  std::string mnemonic;  // empty for label-only / blank lines
+  std::vector<std::string> operands;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  LACRV_CHECK_MSG(false, "line " + std::to_string(line) + ": " + msg);
+  __builtin_unreachable();
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<Line> tokenize(const std::string& source) {
+  std::vector<Line> lines;
+  std::istringstream stream(source);
+  std::string raw;
+  int number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    // strip comments
+    for (const char* marker : {"#", ";", "//"}) {
+      const auto pos = raw.find(marker);
+      if (pos != std::string::npos) raw.resize(pos);
+    }
+    Line line;
+    line.number = number;
+    std::string rest = trim(raw);
+    // labels (possibly several) terminated by ':'
+    for (auto colon = rest.find(':'); colon != std::string::npos;
+         colon = rest.find(':')) {
+      const std::string label = trim(rest.substr(0, colon));
+      if (label.empty() || label.find(' ') != std::string::npos) break;
+      line.labels.push_back(label);
+      rest = trim(rest.substr(colon + 1));
+    }
+    if (!rest.empty()) {
+      const auto space = rest.find_first_of(" \t");
+      line.mnemonic = rest.substr(0, space);
+      std::transform(line.mnemonic.begin(), line.mnemonic.end(),
+                     line.mnemonic.begin(), ::tolower);
+      if (space != std::string::npos) {
+        std::string ops = rest.substr(space + 1);
+        std::string current;
+        for (char c : ops) {
+          if (c == ',') {
+            line.operands.push_back(trim(current));
+            current.clear();
+          } else {
+            current.push_back(c);
+          }
+        }
+        if (!trim(current).empty()) line.operands.push_back(trim(current));
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+/// Bytes emitted by a mnemonic (constant per mnemonic: li/la are always
+/// two words so pass 1 can fix addresses before labels resolve; c.*
+/// mnemonics emit one 16-bit parcel).
+std::size_t bytes_for(const Line& line) {
+  const std::string& m = line.mnemonic;
+  if (m.empty()) return 0;
+  if (m == ".word") return 4 * line.operands.size();
+  if (m == ".byte") return line.operands.size();
+  if (m == ".align") return 0;  // handled dynamically: worst case below
+  if (m == "li" || m == "la") return 8;
+  if (m.rfind("c.", 0) == 0) return 2;
+  return 4;
+}
+
+class Assembler {
+ public:
+  Assembler(const std::string& source, u32 base) : base_(base) {
+    lines_ = tokenize(source);
+    // pass 1: label addresses
+    u32 addr = base_;
+    for (const Line& line : lines_) {
+      for (const std::string& label : line.labels) {
+        LACRV_CHECK_MSG(!program_.labels.count(label),
+                        "duplicate label " + label);
+        program_.labels[label] = addr;
+      }
+      addr += static_cast<u32>(bytes_for(line));
+    }
+    program_.base = base_;
+    // pass 2: encode
+    for (const Line& line : lines_) encode_line(line);
+    // pack the byte image into words (zero-padded tail; with the C
+    // extension instructions are only 16-bit aligned)
+    program_.image = image_;
+    while (image_.size() % 4 != 0) image_.push_back(0);
+    program_.words.resize(image_.size() / 4);
+    for (std::size_t i = 0; i < program_.words.size(); ++i)
+      program_.words[i] = load_le32(&image_[4 * i]);
+  }
+
+  Program take() { return std::move(program_); }
+
+ private:
+  int reg_or_fail(const Line& line, const std::string& name) {
+    const auto r = parse_register(name);
+    if (!r) fail(line.number, "bad register '" + name + "'");
+    return *r;
+  }
+
+  /// Numeric immediate or label value.
+  i64 value_of(const Line& line, const std::string& text) {
+    if (!text.empty() &&
+        (std::isdigit(static_cast<unsigned char>(text[0])) || text[0] == '-' ||
+         text[0] == '+')) {
+      try {
+        return std::stoll(text, nullptr, 0);
+      } catch (const std::exception&) {
+        fail(line.number, "bad immediate '" + text + "'");
+      }
+    }
+    const auto it = program_.labels.find(text);
+    if (it == program_.labels.end())
+      fail(line.number, "unknown label '" + text + "'");
+    return it->second;
+  }
+
+  i32 imm_or_fail(const Line& line, const std::string& text, i64 lo, i64 hi) {
+    const i64 v = value_of(line, text);
+    if (v < lo || v > hi)
+      fail(line.number, "immediate " + text + " out of range");
+    return static_cast<i32>(v);
+  }
+
+  /// Parse "imm(rs1)" memory operands.
+  std::pair<i32, int> mem_operand(const Line& line, const std::string& text) {
+    const auto open = text.find('(');
+    const auto close = text.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+      fail(line.number, "expected imm(reg), got '" + text + "'");
+    const std::string imm_text = trim(text.substr(0, open));
+    const i32 imm = imm_text.empty()
+                        ? 0
+                        : imm_or_fail(line, imm_text, -2048, 2047);
+    return {imm, reg_or_fail(line, trim(text.substr(open + 1,
+                                                    close - open - 1)))};
+  }
+
+  void need_operands(const Line& line, std::size_t count) {
+    if (line.operands.size() != count)
+      fail(line.number, line.mnemonic + " expects " + std::to_string(count) +
+                            " operands");
+  }
+
+  void emit(u32 word) {
+    for (int i = 0; i < 4; ++i)
+      image_.push_back(static_cast<u8>(word >> (8 * i)));
+  }
+  void emit16(u16 parcel) {
+    image_.push_back(static_cast<u8>(parcel));
+    image_.push_back(static_cast<u8>(parcel >> 8));
+  }
+  i64 here_addr() const { return base_ + static_cast<i64>(image_.size()); }
+
+  i32 branch_offset(const Line& line, const std::string& target) {
+    const i64 dest = value_of(line, target);
+    const i64 here = here_addr();
+    const i64 offset = dest - here;
+    if (offset < -4096 || offset > 4095 || (offset & 1))
+      fail(line.number, "branch target out of range");
+    return static_cast<i32>(offset);
+  }
+
+  void encode_line(const Line& line) {
+    const std::string& m = line.mnemonic;
+    if (m.empty()) return;
+    const auto& ops = line.operands;
+
+    // ---- data directives ----------------------------------------------
+    if (m == ".word") {
+      for (const auto& op : ops)
+        emit(static_cast<u32>(value_of(line, op)));
+      return;
+    }
+    if (m == ".byte") {
+      for (const auto& op : ops)
+        image_.push_back(static_cast<u8>(value_of(line, op)));
+      return;
+    }
+
+    // ---- pseudo-instructions -------------------------------------------
+    if (m == "nop") {
+      emit(encode_i(kOpImm, 0, 0, 0, 0));
+      return;
+    }
+    if (m == "mv") {
+      need_operands(line, 2);
+      emit(encode_i(kOpImm, static_cast<u32>(reg_or_fail(line, ops[0])), 0,
+                    static_cast<u32>(reg_or_fail(line, ops[1])), 0));
+      return;
+    }
+    if (m == "not") {
+      need_operands(line, 2);
+      emit(encode_i(kOpImm, static_cast<u32>(reg_or_fail(line, ops[0])), 4,
+                    static_cast<u32>(reg_or_fail(line, ops[1])), -1));
+      return;
+    }
+    if (m == "neg") {
+      need_operands(line, 2);
+      emit(encode_r(kOpReg, static_cast<u32>(reg_or_fail(line, ops[0])), 0, 0,
+                    static_cast<u32>(reg_or_fail(line, ops[1])), 0x20));
+      return;
+    }
+    if (m == "li" || m == "la") {
+      need_operands(line, 2);
+      const u32 rd = static_cast<u32>(reg_or_fail(line, ops[0]));
+      const u32 value = static_cast<u32>(value_of(line, ops[1]));
+      // lui+addi with sign correction of the low part.
+      const u32 low = value & 0xFFF;
+      u32 high = value >> 12;
+      if (low >= 0x800) high = (high + 1) & 0xFFFFF;
+      emit(encode_u(kOpLui, rd, high));
+      emit(encode_i(kOpImm, rd, 0, rd,
+                    static_cast<i32>(low << 20) >> 20));
+      return;
+    }
+    if (m == "j") {
+      need_operands(line, 1);
+      const i64 dest = value_of(line, ops[0]);
+      const i64 here = here_addr();
+      emit(encode_j(kOpJal, 0, static_cast<i32>(dest - here)));
+      return;
+    }
+    if (m == "ret") {
+      emit(encode_i(kOpJalr, 0, 0, 1, 0));
+      return;
+    }
+    if (m == "call") {
+      need_operands(line, 1);
+      const i64 dest = value_of(line, ops[0]);
+      const i64 here = here_addr();
+      emit(encode_j(kOpJal, 1, static_cast<i32>(dest - here)));
+      return;
+    }
+    if (m == "rdcycle" || m == "rdinstret") {
+      need_operands(line, 1);
+      const u32 rd = static_cast<u32>(reg_or_fail(line, ops[0]));
+      const i32 csr = m == "rdcycle" ? 0xC00 : 0xC02;
+      emit(encode_i(kOpSystem, rd, 2, 0, csr));
+      return;
+    }
+    if (m == "csrr") {
+      need_operands(line, 2);
+      const u32 rd = static_cast<u32>(reg_or_fail(line, ops[0]));
+      const i32 csr = static_cast<i32>(value_of(line, ops[1]));
+      emit(encode_i(kOpSystem, rd, 2, 0, csr));
+      return;
+    }
+    if (m == "ebreak") {
+      emit(0x00100073);
+      return;
+    }
+    if (m == "ecall") {
+      emit(0x00000073);
+      return;
+    }
+
+    // ---- U / J types -----------------------------------------------------
+    if (m == "lui" || m == "auipc") {
+      need_operands(line, 2);
+      const u32 rd = static_cast<u32>(reg_or_fail(line, ops[0]));
+      const u32 imm = static_cast<u32>(value_of(line, ops[1])) & 0xFFFFF;
+      emit(encode_u(m == "lui" ? kOpLui : kOpAuipc, rd, imm));
+      return;
+    }
+    if (m == "jal") {
+      need_operands(line, 2);
+      const u32 rd = static_cast<u32>(reg_or_fail(line, ops[0]));
+      const i64 dest = value_of(line, ops[1]);
+      const i64 here = here_addr();
+      emit(encode_j(kOpJal, rd, static_cast<i32>(dest - here)));
+      return;
+    }
+    if (m == "jalr") {
+      need_operands(line, 2);
+      const u32 rd = static_cast<u32>(reg_or_fail(line, ops[0]));
+      const auto [imm, rs1] = mem_operand(line, ops[1]);
+      emit(encode_i(kOpJalr, rd, 0, static_cast<u32>(rs1), imm));
+      return;
+    }
+
+    // ---- branches ---------------------------------------------------------
+    static const std::map<std::string, u32> kBranches = {
+        {"beq", 0}, {"bne", 1}, {"blt", 4}, {"bge", 5},
+        {"bltu", 6}, {"bgeu", 7}};
+    if (auto it = kBranches.find(m); it != kBranches.end()) {
+      need_operands(line, 3);
+      emit(encode_b(kOpBranch, it->second,
+                    static_cast<u32>(reg_or_fail(line, ops[0])),
+                    static_cast<u32>(reg_or_fail(line, ops[1])),
+                    branch_offset(line, ops[2])));
+      return;
+    }
+
+    // ---- loads / stores -----------------------------------------------------
+    static const std::map<std::string, u32> kLoads = {
+        {"lb", 0}, {"lh", 1}, {"lw", 2}, {"lbu", 4}, {"lhu", 5}};
+    if (auto it = kLoads.find(m); it != kLoads.end()) {
+      need_operands(line, 2);
+      const u32 rd = static_cast<u32>(reg_or_fail(line, ops[0]));
+      const auto [imm, rs1] = mem_operand(line, ops[1]);
+      emit(encode_i(kOpLoad, rd, it->second, static_cast<u32>(rs1), imm));
+      return;
+    }
+    static const std::map<std::string, u32> kStores = {
+        {"sb", 0}, {"sh", 1}, {"sw", 2}};
+    if (auto it = kStores.find(m); it != kStores.end()) {
+      need_operands(line, 2);
+      const u32 rs2 = static_cast<u32>(reg_or_fail(line, ops[0]));
+      const auto [imm, rs1] = mem_operand(line, ops[1]);
+      emit(encode_s(kOpStore, it->second, static_cast<u32>(rs1), rs2, imm));
+      return;
+    }
+
+    // ---- OP-IMM -------------------------------------------------------------
+    static const std::map<std::string, u32> kOpImms = {
+        {"addi", 0}, {"slti", 2}, {"sltiu", 3}, {"xori", 4},
+        {"ori", 6},  {"andi", 7}};
+    if (auto it = kOpImms.find(m); it != kOpImms.end()) {
+      need_operands(line, 3);
+      emit(encode_i(kOpImm, static_cast<u32>(reg_or_fail(line, ops[0])),
+                    it->second, static_cast<u32>(reg_or_fail(line, ops[1])),
+                    imm_or_fail(line, ops[2], -2048, 2047)));
+      return;
+    }
+    if (m == "slli" || m == "srli" || m == "srai") {
+      need_operands(line, 3);
+      const i32 shamt = imm_or_fail(line, ops[2], 0, 31);
+      const u32 f3 = m == "slli" ? 1u : 5u;
+      const i32 imm = m == "srai" ? (shamt | 0x400) : shamt;
+      emit(encode_i(kOpImm, static_cast<u32>(reg_or_fail(line, ops[0])), f3,
+                    static_cast<u32>(reg_or_fail(line, ops[1])), imm));
+      return;
+    }
+
+    // ---- OP (R-type) ---------------------------------------------------------
+    struct RSpec {
+      u32 funct3, funct7;
+    };
+    static const std::map<std::string, RSpec> kRType = {
+        {"add", {0, 0}},    {"sub", {0, 0x20}}, {"sll", {1, 0}},
+        {"slt", {2, 0}},    {"sltu", {3, 0}},   {"xor", {4, 0}},
+        {"srl", {5, 0}},    {"sra", {5, 0x20}}, {"or", {6, 0}},
+        {"and", {7, 0}},    {"mul", {0, 1}},    {"mulh", {1, 1}},
+        {"mulhsu", {2, 1}}, {"mulhu", {3, 1}},  {"div", {4, 1}},
+        {"divu", {5, 1}},   {"rem", {6, 1}},    {"remu", {7, 1}},
+        {"pq.mul_ter", {pq::kFunct3MulTer, 0}},
+        {"pq.mul_chien", {pq::kFunct3MulChien, 0}},
+        {"pq.sha256", {pq::kFunct3Sha256, 0}},
+        {"pq.modq", {pq::kFunct3Modq, 0}}};
+    if (auto it = kRType.find(m); it != kRType.end()) {
+      need_operands(line, 3);
+      const u32 opcode = m.rfind("pq.", 0) == 0 ? kOpPq : kOpReg;
+      emit(encode_r(opcode, static_cast<u32>(reg_or_fail(line, ops[0])),
+                    it->second.funct3,
+                    static_cast<u32>(reg_or_fail(line, ops[1])),
+                    static_cast<u32>(reg_or_fail(line, ops[2])),
+                    it->second.funct7));
+      return;
+    }
+
+    if (m.rfind("c.", 0) == 0) {
+      encode_compressed(line);
+      return;
+    }
+
+    fail(line.number, "unknown mnemonic '" + m + "'");
+  }
+
+  /// Compressed mnemonics: one 16-bit parcel each. Register constraints
+  /// (x8..x15 for the prime forms, non-zero where the spec demands) are
+  /// enforced by the c_* encoders.
+  void encode_compressed(const Line& line) {
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+    const auto reg = [&](std::size_t i) { return reg_or_fail(line, ops[i]); };
+    const auto imm = [&](std::size_t i, i64 lo, i64 hi) {
+      return imm_or_fail(line, ops[i], lo, hi);
+    };
+    const auto target = [&](std::size_t i) {
+      const i64 dest = value_of(line, ops[i]);
+      return static_cast<i32>(dest - here_addr());
+    };
+    try {
+      if (m == "c.nop") return emit16(c_nop());
+      if (m == "c.ebreak") return emit16(c_ebreak());
+      if (m == "c.li") {
+        need_operands(line, 2);
+        return emit16(c_li(reg(0), imm(1, -32, 31)));
+      }
+      if (m == "c.lui") {
+        need_operands(line, 2);
+        return emit16(c_lui(reg(0), imm(1, -32, 31)));
+      }
+      if (m == "c.addi") {
+        need_operands(line, 2);
+        return emit16(c_addi(reg(0), imm(1, -32, 31)));
+      }
+      if (m == "c.addi16sp") {
+        need_operands(line, 1);
+        return emit16(c_addi16sp(imm(0, -512, 496)));
+      }
+      if (m == "c.addi4spn") {
+        need_operands(line, 2);
+        return emit16(c_addi4spn(reg(0), static_cast<u32>(imm(1, 4, 1020))));
+      }
+      if (m == "c.mv") {
+        need_operands(line, 2);
+        return emit16(c_mv(reg(0), reg(1)));
+      }
+      if (m == "c.add") {
+        need_operands(line, 2);
+        return emit16(c_add(reg(0), reg(1)));
+      }
+      if (m == "c.sub" || m == "c.xor" || m == "c.or" || m == "c.and") {
+        need_operands(line, 2);
+        const int rd = reg(0), rs2 = reg(1);
+        if (m == "c.sub") return emit16(c_sub(rd, rs2));
+        if (m == "c.xor") return emit16(c_xor(rd, rs2));
+        if (m == "c.or") return emit16(c_or(rd, rs2));
+        return emit16(c_and(rd, rs2));
+      }
+      if (m == "c.andi") {
+        need_operands(line, 2);
+        return emit16(c_andi(reg(0), imm(1, -32, 31)));
+      }
+      if (m == "c.slli" || m == "c.srli" || m == "c.srai") {
+        need_operands(line, 2);
+        const u32 shamt = static_cast<u32>(imm(1, 1, 31));
+        if (m == "c.slli") return emit16(c_slli(reg(0), shamt));
+        if (m == "c.srli") return emit16(c_srli(reg(0), shamt));
+        return emit16(c_srai(reg(0), shamt));
+      }
+      if (m == "c.lw" || m == "c.sw") {
+        need_operands(line, 2);
+        const auto [offset, rs1] = mem_operand(line, ops[1]);
+        LACRV_CHECK(offset >= 0);
+        if (m == "c.lw")
+          return emit16(c_lw(reg(0), rs1, static_cast<u32>(offset)));
+        return emit16(c_sw(reg(0), rs1, static_cast<u32>(offset)));
+      }
+      if (m == "c.lwsp" || m == "c.swsp") {
+        need_operands(line, 2);
+        const u32 offset = static_cast<u32>(imm(1, 0, 252));
+        if (m == "c.lwsp") return emit16(c_lwsp(reg(0), offset));
+        return emit16(c_swsp(reg(0), offset));
+      }
+      if (m == "c.j") {
+        need_operands(line, 1);
+        return emit16(c_j(target(0)));
+      }
+      if (m == "c.jal") {
+        need_operands(line, 1);
+        return emit16(c_jal(target(0)));
+      }
+      if (m == "c.beqz") {
+        need_operands(line, 2);
+        return emit16(c_beqz(reg(0), target(1)));
+      }
+      if (m == "c.bnez") {
+        need_operands(line, 2);
+        return emit16(c_bnez(reg(0), target(1)));
+      }
+      if (m == "c.jr") {
+        need_operands(line, 1);
+        return emit16(c_jr(reg(0)));
+      }
+      if (m == "c.jalr") {
+        need_operands(line, 1);
+        return emit16(c_jalr(reg(0)));
+      }
+    } catch (const CheckError& e) {
+      fail(line.number, std::string("bad compressed operand: ") + e.what());
+    }
+    fail(line.number, "unknown compressed mnemonic '" + m + "'");
+  }
+
+  u32 base_;
+  std::vector<Line> lines_;
+  Bytes image_;
+  Program program_;
+};
+
+}  // namespace
+
+u32 Program::label(const std::string& name) const {
+  const auto it = labels.find(name);
+  LACRV_CHECK_MSG(it != labels.end(), "unknown label " + name);
+  return it->second;
+}
+
+Program assemble(const std::string& source, u32 base) {
+  Assembler assembler(source, base);
+  return assembler.take();
+}
+
+}  // namespace lacrv::rv

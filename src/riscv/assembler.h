@@ -1,0 +1,35 @@
+// A small two-pass RV32IMC assembler for the ISS.
+//
+// Supports: all RV32I computational/memory/control instructions used by
+// the kernels, the M extension, the pq.* custom instructions, labels,
+// `.word`/`.byte` data, and the pseudo-instructions nop / mv / li / la /
+// j / ret / not / neg / rdcycle / rdinstret / csrr, and the compressed
+// c.* mnemonics (emitted as 16-bit parcels). `li`/`la` always expand to lui+addi so label
+// addresses are stable across passes. Comments start with '#' or ';'.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lacrv::rv {
+
+struct Program {
+  /// Encoded words (instructions and data), loaded at `base`. The image
+  /// is zero-padded to a word multiple (relevant with c.* mnemonics).
+  std::vector<u32> words;
+  /// Exact byte image (no padding).
+  Bytes image;
+  u32 base = 0;
+  std::map<std::string, u32> labels;
+
+  u32 label(const std::string& name) const;
+};
+
+/// Assemble source text; throws CheckError with a line-numbered message
+/// on syntax errors or unknown mnemonics/labels.
+Program assemble(const std::string& source, u32 base = 0);
+
+}  // namespace lacrv::rv

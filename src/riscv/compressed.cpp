@@ -1,0 +1,342 @@
+#include "riscv/compressed.h"
+
+#include "common/check.h"
+#include "riscv/encoding.h"
+
+namespace lacrv::rv {
+namespace {
+
+constexpr u32 bit(u16 insn, int i) { return (insn >> i) & 1; }
+constexpr u32 bits(u16 insn, int hi, int lo) {
+  return (insn >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+/// rd'/rs' fields address x8..x15.
+constexpr u32 prime_reg(u32 field) { return field + 8; }
+
+int check_prime(int reg) {
+  LACRV_CHECK_MSG(reg >= 8 && reg <= 15, "compressed prime register must be x8..x15");
+  return reg - 8;
+}
+
+i32 sign_extend(u32 value, int width) {
+  const u32 sign = 1u << (width - 1);
+  return static_cast<i32>((value ^ sign) - sign);
+}
+
+// ---- immediate decoders (field scrambles per the RV32C spec) ---------------
+
+u32 imm_addi4spn(u16 c) {
+  return bits(c, 10, 7) << 6 | bits(c, 12, 11) << 4 | bit(c, 5) << 3 |
+         bit(c, 6) << 2;
+}
+u32 imm_clw(u16 c) {
+  return bit(c, 5) << 6 | bits(c, 12, 10) << 3 | bit(c, 6) << 2;
+}
+i32 imm_ci(u16 c) {  // c.addi / c.li / c.andi
+  return sign_extend(bit(c, 12) << 5 | bits(c, 6, 2), 6);
+}
+i32 imm_cj(u16 c) {  // c.jal / c.j
+  const u32 raw = bit(c, 12) << 11 | bit(c, 11) << 4 | bits(c, 10, 9) << 8 |
+                  bit(c, 8) << 10 | bit(c, 7) << 6 | bit(c, 6) << 7 |
+                  bits(c, 5, 3) << 1 | bit(c, 2) << 5;
+  return sign_extend(raw, 12);
+}
+i32 imm_cb(u16 c) {  // c.beqz / c.bnez
+  const u32 raw = bit(c, 12) << 8 | bits(c, 11, 10) << 3 |
+                  bits(c, 6, 5) << 6 | bits(c, 4, 3) << 1 | bit(c, 2) << 5;
+  return sign_extend(raw, 9);
+}
+i32 imm_addi16sp(u16 c) {
+  const u32 raw = bit(c, 12) << 9 | bits(c, 4, 3) << 7 | bit(c, 5) << 6 |
+                  bit(c, 2) << 5 | bit(c, 6) << 4;
+  return sign_extend(raw, 10);
+}
+u32 imm_lwsp(u16 c) {
+  return bits(c, 3, 2) << 6 | bit(c, 12) << 5 | bits(c, 6, 4) << 2;
+}
+u32 imm_swsp(u16 c) { return bits(c, 8, 7) << 6 | bits(c, 12, 9) << 2; }
+
+}  // namespace
+
+u32 expand_compressed(u16 c) {
+  LACRV_CHECK_MSG(c != 0, "illegal compressed instruction 0x0000");
+  const u32 quadrant = c & 3;
+  const u32 funct3 = c >> 13;
+
+  if (quadrant == 0) {
+    const u32 rd_p = prime_reg(bits(c, 4, 2));
+    const u32 rs1_p = prime_reg(bits(c, 9, 7));
+    switch (funct3) {
+      case 0b000: {  // c.addi4spn
+        const u32 imm = imm_addi4spn(c);
+        LACRV_CHECK_MSG(imm != 0, "c.addi4spn with zero immediate");
+        return encode_i(kOpImm, rd_p, 0, 2, static_cast<i32>(imm));
+      }
+      case 0b010:  // c.lw
+        return encode_i(kOpLoad, rd_p, 2, rs1_p,
+                        static_cast<i32>(imm_clw(c)));
+      case 0b110:  // c.sw
+        return encode_s(kOpStore, 2, rs1_p, rd_p,
+                        static_cast<i32>(imm_clw(c)));
+    }
+    LACRV_CHECK_MSG(false, "unsupported compressed quadrant-0 encoding");
+  }
+
+  if (quadrant == 1) {
+    const u32 rd = bits(c, 11, 7);
+    const u32 rd_p = prime_reg(bits(c, 9, 7));
+    const u32 rs2_p = prime_reg(bits(c, 4, 2));
+    switch (funct3) {
+      case 0b000:  // c.addi (c.nop when rd=0)
+        return encode_i(kOpImm, rd, 0, rd, imm_ci(c));
+      case 0b001:  // c.jal (RV32 only)
+        return encode_j(kOpJal, 1, imm_cj(c));
+      case 0b010:  // c.li
+        return encode_i(kOpImm, rd, 0, 0, imm_ci(c));
+      case 0b011:
+        if (rd == 2) {  // c.addi16sp
+          const i32 imm = imm_addi16sp(c);
+          LACRV_CHECK_MSG(imm != 0, "c.addi16sp with zero immediate");
+          return encode_i(kOpImm, 2, 0, 2, imm);
+        }
+        return encode_u(kOpLui, rd, static_cast<u32>(imm_ci(c)) & 0xFFFFF);
+      case 0b100: {
+        const u32 funct2 = bits(c, 11, 10);
+        const u32 shamt = bit(c, 12) << 5 | bits(c, 6, 2);
+        switch (funct2) {
+          case 0b00:  // c.srli
+            LACRV_CHECK_MSG(shamt < 32, "RV32 shift amount");
+            return encode_i(kOpImm, rd_p, 5, rd_p, static_cast<i32>(shamt));
+          case 0b01:  // c.srai
+            LACRV_CHECK_MSG(shamt < 32, "RV32 shift amount");
+            return encode_i(kOpImm, rd_p, 5, rd_p,
+                            static_cast<i32>(shamt | 0x400));
+          case 0b10:  // c.andi
+            return encode_i(kOpImm, rd_p, 7, rd_p, imm_ci(c));
+          default: {  // register-register ops
+            switch (bits(c, 6, 5)) {
+              case 0b00:
+                return encode_r(kOpReg, rd_p, 0, rd_p, rs2_p, 0x20);  // sub
+              case 0b01:
+                return encode_r(kOpReg, rd_p, 4, rd_p, rs2_p, 0);  // xor
+              case 0b10:
+                return encode_r(kOpReg, rd_p, 6, rd_p, rs2_p, 0);  // or
+              default:
+                return encode_r(kOpReg, rd_p, 7, rd_p, rs2_p, 0);  // and
+            }
+          }
+        }
+      }
+      case 0b101:  // c.j
+        return encode_j(kOpJal, 0, imm_cj(c));
+      case 0b110:  // c.beqz
+        return encode_b(kOpBranch, 0, rd_p, 0, imm_cb(c));
+      case 0b111:  // c.bnez
+        return encode_b(kOpBranch, 1, rd_p, 0, imm_cb(c));
+    }
+  }
+
+  // quadrant == 2
+  const u32 rd = bits(c, 11, 7);
+  const u32 rs2 = bits(c, 6, 2);
+  switch (funct3) {
+    case 0b000: {  // c.slli
+      const u32 shamt = bit(c, 12) << 5 | bits(c, 6, 2);
+      LACRV_CHECK_MSG(shamt < 32, "RV32 shift amount");
+      return encode_i(kOpImm, rd, 1, rd, static_cast<i32>(shamt));
+    }
+    case 0b010:  // c.lwsp
+      LACRV_CHECK_MSG(rd != 0, "c.lwsp with rd=0 is reserved");
+      return encode_i(kOpLoad, rd, 2, 2, static_cast<i32>(imm_lwsp(c)));
+    case 0b100:
+      if (bit(c, 12) == 0) {
+        if (rs2 == 0) {  // c.jr
+          LACRV_CHECK_MSG(rd != 0, "c.jr with rs1=0 is reserved");
+          return encode_i(kOpJalr, 0, 0, rd, 0);
+        }
+        return encode_r(kOpReg, rd, 0, 0, rs2, 0);  // c.mv
+      }
+      if (rs2 == 0) {
+        if (rd == 0) return 0x00100073;  // c.ebreak
+        return encode_i(kOpJalr, 1, 0, rd, 0);  // c.jalr
+      }
+      return encode_r(kOpReg, rd, 0, rd, rs2, 0);  // c.add
+    case 0b110:  // c.swsp
+      return encode_s(kOpStore, 2, 2, rs2, static_cast<i32>(imm_swsp(c)));
+  }
+  LACRV_CHECK_MSG(false, "unsupported compressed quadrant-2 encoding");
+}
+
+// ---- encoders ---------------------------------------------------------------
+
+namespace {
+
+u32 scramble_cj(i32 offset) {
+  const u32 u = static_cast<u32>(offset);
+  return (u >> 11 & 1) << 10 | (u >> 4 & 1) << 9 | (u >> 8 & 3) << 7 |
+         (u >> 10 & 1) << 6 | (u >> 6 & 1) << 5 | (u >> 7 & 1) << 4 |
+         (u >> 1 & 7) << 1 | (u >> 5 & 1);
+}
+
+
+}  // namespace
+
+u16 c_addi4spn(int rd_p, u32 nzuimm) {
+  LACRV_CHECK(nzuimm != 0 && nzuimm < 1024 && nzuimm % 4 == 0);
+  const u32 imm = (nzuimm >> 6 & 0xF) << 7 | (nzuimm >> 4 & 3) << 11 |
+                  (nzuimm >> 3 & 1) << 5 | (nzuimm >> 2 & 1) << 6;
+  return static_cast<u16>(0b000 << 13 | imm |
+                          static_cast<u32>(check_prime(rd_p)) << 2 | 0b00);
+}
+
+u16 c_lw(int rd_p, int rs1_p, u32 uimm) {
+  LACRV_CHECK(uimm < 128 && uimm % 4 == 0);
+  const u32 imm = (uimm >> 6 & 1) << 5 | (uimm >> 3 & 7) << 10 |
+                  (uimm >> 2 & 1) << 6;
+  return static_cast<u16>(0b010 << 13 | imm |
+                          static_cast<u32>(check_prime(rs1_p)) << 7 |
+                          static_cast<u32>(check_prime(rd_p)) << 2 | 0b00);
+}
+
+u16 c_sw(int rs2_p, int rs1_p, u32 uimm) {
+  LACRV_CHECK(uimm < 128 && uimm % 4 == 0);
+  const u32 imm = (uimm >> 6 & 1) << 5 | (uimm >> 3 & 7) << 10 |
+                  (uimm >> 2 & 1) << 6;
+  return static_cast<u16>(0b110 << 13 | imm |
+                          static_cast<u32>(check_prime(rs1_p)) << 7 |
+                          static_cast<u32>(check_prime(rs2_p)) << 2 | 0b00);
+}
+
+u16 c_nop() { return 0x0001; }
+
+u16 c_addi(int rd, i32 nzimm) {
+  LACRV_CHECK(rd >= 0 && rd < 32 && nzimm >= -32 && nzimm <= 31);
+  const u32 u = static_cast<u32>(nzimm);
+  return static_cast<u16>(0b000 << 13 | (u >> 5 & 1) << 12 |
+                          static_cast<u32>(rd) << 7 | (u & 0x1F) << 2 | 0b01);
+}
+
+u16 c_jal(i32 offset) {
+  return static_cast<u16>(0b001 << 13 | scramble_cj(offset) << 2 | 0b01);
+}
+
+u16 c_li(int rd, i32 imm) {
+  LACRV_CHECK(rd >= 0 && rd < 32 && imm >= -32 && imm <= 31);
+  const u32 u = static_cast<u32>(imm);
+  return static_cast<u16>(0b010 << 13 | (u >> 5 & 1) << 12 |
+                          static_cast<u32>(rd) << 7 | (u & 0x1F) << 2 | 0b01);
+}
+
+u16 c_addi16sp(i32 nzimm) {
+  LACRV_CHECK(nzimm != 0 && nzimm >= -512 && nzimm <= 496 && nzimm % 16 == 0);
+  const u32 u = static_cast<u32>(nzimm);
+  return static_cast<u16>(0b011 << 13 | (u >> 9 & 1) << 12 | 2u << 7 |
+                          (u >> 4 & 1) << 6 | (u >> 6 & 1) << 5 |
+                          (u >> 7 & 3) << 3 | (u >> 5 & 1) << 2 | 0b01);
+}
+
+u16 c_lui(int rd, i32 nzimm) {
+  LACRV_CHECK(rd != 0 && rd != 2 && nzimm != 0 && nzimm >= -32 && nzimm <= 31);
+  const u32 u = static_cast<u32>(nzimm);
+  return static_cast<u16>(0b011 << 13 | (u >> 5 & 1) << 12 |
+                          static_cast<u32>(rd) << 7 | (u & 0x1F) << 2 | 0b01);
+}
+
+namespace {
+u16 c_shift(u32 funct2, int rd_p, u32 shamt) {
+  LACRV_CHECK(shamt > 0 && shamt < 32);
+  return static_cast<u16>(0b100 << 13 | funct2 << 10 |
+                          static_cast<u32>(check_prime(rd_p)) << 7 |
+                          (shamt & 0x1F) << 2 | 0b01);
+}
+u16 c_alu(u32 funct2, int rd_p, int rs2_p) {
+  return static_cast<u16>(0b100 << 13 | 0b011 << 10 |
+                          static_cast<u32>(check_prime(rd_p)) << 7 |
+                          funct2 << 5 |
+                          static_cast<u32>(check_prime(rs2_p)) << 2 | 0b01);
+}
+}  // namespace
+
+u16 c_srli(int rd_p, u32 shamt) { return c_shift(0b00, rd_p, shamt); }
+u16 c_srai(int rd_p, u32 shamt) { return c_shift(0b01, rd_p, shamt); }
+
+u16 c_andi(int rd_p, i32 imm) {
+  LACRV_CHECK(imm >= -32 && imm <= 31);
+  const u32 u = static_cast<u32>(imm);
+  return static_cast<u16>(0b100 << 13 | (u >> 5 & 1) << 12 | 0b10 << 10 |
+                          static_cast<u32>(check_prime(rd_p)) << 7 |
+                          (u & 0x1F) << 2 | 0b01);
+}
+
+u16 c_sub(int rd_p, int rs2_p) { return c_alu(0b00, rd_p, rs2_p); }
+u16 c_xor(int rd_p, int rs2_p) { return c_alu(0b01, rd_p, rs2_p); }
+u16 c_or(int rd_p, int rs2_p) { return c_alu(0b10, rd_p, rs2_p); }
+u16 c_and(int rd_p, int rs2_p) { return c_alu(0b11, rd_p, rs2_p); }
+
+u16 c_j(i32 offset) {
+  return static_cast<u16>(0b101 << 13 | scramble_cj(offset) << 2 | 0b01);
+}
+
+namespace {
+u16 c_branch(u32 funct3, int rs1_p, i32 offset) {
+  LACRV_CHECK(offset >= -256 && offset <= 254 && offset % 2 == 0);
+  const u32 u = static_cast<u32>(offset);
+  return static_cast<u16>(funct3 << 13 | (u >> 8 & 1) << 12 |
+                          (u >> 3 & 3) << 10 |
+                          static_cast<u32>(check_prime(rs1_p)) << 7 |
+                          (u >> 6 & 3) << 5 | (u >> 1 & 3) << 3 |
+                          (u >> 5 & 1) << 2 | 0b01);
+}
+}  // namespace
+
+u16 c_beqz(int rs1_p, i32 offset) { return c_branch(0b110, rs1_p, offset); }
+u16 c_bnez(int rs1_p, i32 offset) { return c_branch(0b111, rs1_p, offset); }
+
+u16 c_slli(int rd, u32 shamt) {
+  LACRV_CHECK(rd != 0 && shamt > 0 && shamt < 32);
+  return static_cast<u16>(0b000 << 13 | (shamt >> 5 & 1) << 12 |
+                          static_cast<u32>(rd) << 7 | (shamt & 0x1F) << 2 |
+                          0b10);
+}
+
+u16 c_lwsp(int rd, u32 uimm) {
+  LACRV_CHECK(rd != 0 && uimm < 256 && uimm % 4 == 0);
+  return static_cast<u16>(0b010 << 13 | (uimm >> 5 & 1) << 12 |
+                          static_cast<u32>(rd) << 7 | (uimm >> 2 & 7) << 4 |
+                          (uimm >> 6 & 3) << 2 | 0b10);
+}
+
+u16 c_jr(int rs1) {
+  LACRV_CHECK(rs1 != 0);
+  return static_cast<u16>(0b100 << 13 | static_cast<u32>(rs1) << 7 | 0b10);
+}
+
+u16 c_mv(int rd, int rs2) {
+  LACRV_CHECK(rd != 0 && rs2 != 0);
+  return static_cast<u16>(0b100 << 13 | static_cast<u32>(rd) << 7 |
+                          static_cast<u32>(rs2) << 2 | 0b10);
+}
+
+u16 c_ebreak() { return 0x9002; }
+
+u16 c_jalr(int rs1) {
+  LACRV_CHECK(rs1 != 0);
+  return static_cast<u16>(0b100 << 13 | 1u << 12 |
+                          static_cast<u32>(rs1) << 7 | 0b10);
+}
+
+u16 c_add(int rd, int rs2) {
+  LACRV_CHECK(rd != 0 && rs2 != 0);
+  return static_cast<u16>(0b100 << 13 | 1u << 12 | static_cast<u32>(rd) << 7 |
+                          static_cast<u32>(rs2) << 2 | 0b10);
+}
+
+u16 c_swsp(int rs2, u32 uimm) {
+  LACRV_CHECK(uimm < 256 && uimm % 4 == 0);
+  return static_cast<u16>(0b110 << 13 | (uimm >> 2 & 0xF) << 9 |
+                          (uimm >> 6 & 3) << 7 | static_cast<u32>(rs2) << 2 |
+                          0b10);
+}
+
+}  // namespace lacrv::rv

@@ -1,0 +1,51 @@
+// RV32C — the compressed instruction set (the "C" in the paper's RV32IMC
+// RISCY core). The ISS executes compressed code by expanding each 16-bit
+// instruction to its 32-bit equivalent; pc advances by 2 and link
+// registers receive pc + 2 (handled by the CPU's instruction-length
+// plumbing).
+#pragma once
+
+#include "common/types.h"
+
+namespace lacrv::rv {
+
+/// True iff the two low bits select a compressed encoding.
+constexpr bool is_compressed(u32 insn) { return (insn & 3) != 3; }
+
+/// Expand a 16-bit RV32C instruction to its 32-bit equivalent.
+/// Throws CheckError on illegal/unsupported encodings (FP loads/stores
+/// are not implemented — the core has no F extension).
+u32 expand_compressed(u16 insn);
+
+// Encoders for tests and code generators (quadrant/funct fields per the
+// RV32C spec). Register constraints (x8..x15 for the prime forms) are
+// checked.
+u16 c_addi4spn(int rd_p, u32 nzuimm);
+u16 c_lw(int rd_p, int rs1_p, u32 uimm);
+u16 c_sw(int rs2_p, int rs1_p, u32 uimm);
+u16 c_nop();
+u16 c_addi(int rd, i32 nzimm);
+u16 c_jal(i32 offset);
+u16 c_li(int rd, i32 imm);
+u16 c_addi16sp(i32 nzimm);
+u16 c_lui(int rd, i32 nzimm);
+u16 c_srli(int rd_p, u32 shamt);
+u16 c_srai(int rd_p, u32 shamt);
+u16 c_andi(int rd_p, i32 imm);
+u16 c_sub(int rd_p, int rs2_p);
+u16 c_xor(int rd_p, int rs2_p);
+u16 c_or(int rd_p, int rs2_p);
+u16 c_and(int rd_p, int rs2_p);
+u16 c_j(i32 offset);
+u16 c_beqz(int rs1_p, i32 offset);
+u16 c_bnez(int rs1_p, i32 offset);
+u16 c_slli(int rd, u32 shamt);
+u16 c_lwsp(int rd, u32 uimm);
+u16 c_jr(int rs1);
+u16 c_mv(int rd, int rs2);
+u16 c_ebreak();
+u16 c_jalr(int rs1);
+u16 c_add(int rd, int rs2);
+u16 c_swsp(int rs2, u32 uimm);
+
+}  // namespace lacrv::rv

@@ -1,0 +1,295 @@
+#include "riscv/cpu.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+#include "riscv/compressed.h"
+#include "riscv/encoding.h"
+
+namespace lacrv::rv {
+namespace {
+
+// RISCY-like cycle costs (see common/costs.h layer 1).
+constexpr u64 kCycAlu = 1;
+constexpr u64 kCycLoad = 2;   // single-cycle memory + average load-use stall
+constexpr u64 kCycStore = 1;
+constexpr u64 kCycBranchTaken = 3;
+constexpr u64 kCycBranchNotTaken = 1;
+constexpr u64 kCycJump = 2;
+constexpr u64 kCycMul = 1;
+constexpr u64 kCycDiv = 35;
+
+}  // namespace
+
+Cpu::Cpu(std::size_t mem_bytes) : memory_(mem_bytes, 0) {}
+
+void Cpu::load_words(u32 addr, std::span<const u32> words) {
+  for (std::size_t i = 0; i < words.size(); ++i)
+    write_word(addr + static_cast<u32>(4 * i), words[i]);
+}
+
+void Cpu::load_bytes(u32 addr, ByteView bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    write_byte(addr + static_cast<u32>(i), bytes[i]);
+}
+
+void Cpu::set_reg(int index, u32 value) {
+  LACRV_CHECK(index >= 0 && index < 32);
+  if (index != 0) regs_[static_cast<std::size_t>(index)] = value;
+}
+
+u8 Cpu::read_byte(u32 addr) const {
+  if (addr >= memory_.size()) {
+    u32 value = 0;
+    if (mmio_ && mmio_(addr, value, /*store=*/false))
+      return static_cast<u8>(value);
+    LACRV_CHECK_MSG(false, "load address out of range");
+  }
+  return memory_[addr];
+}
+
+u32 Cpu::read_word(u32 addr) const {
+  if (addr + 3 >= memory_.size() || addr + 3 < addr) {
+    u32 value = 0;
+    if (mmio_ && mmio_(addr, value, /*store=*/false)) return value;
+    LACRV_CHECK_MSG(false, "load address out of range");
+  }
+  return load_le32(&memory_[addr]);
+}
+
+void Cpu::write_byte(u32 addr, u8 value) {
+  if (addr >= memory_.size()) {
+    u32 v = value;
+    if (mmio_ && mmio_(addr, v, /*store=*/true)) return;
+    LACRV_CHECK_MSG(false, "store address out of range");
+  }
+  memory_[addr] = value;
+}
+
+void Cpu::write_word(u32 addr, u32 value) {
+  if (addr + 3 >= memory_.size() || addr + 3 < addr) {
+    u32 v = value;
+    if (mmio_ && mmio_(addr, v, /*store=*/true)) return;
+    LACRV_CHECK_MSG(false, "store address out of range");
+  }
+  store_le32(&memory_[addr], value);
+}
+
+void Cpu::step() {
+  LACRV_CHECK_MSG(!halted_, "step() after halt");
+  // RV32IMC: 16-bit parcels whose low bits are not 0b11 are compressed
+  // and expand to their 32-bit equivalent (pc advances by 2).
+  const u32 low = read_byte(pc_) | static_cast<u32>(read_byte(pc_ + 1)) << 8;
+  if (is_compressed(low)) {
+    exec(expand_compressed(static_cast<u16>(low)), 2);
+  } else {
+    exec(read_word(pc_), 4);
+  }
+  ++instructions_;
+}
+
+u64 Cpu::run(u64 max_steps) {
+  u64 steps = 0;
+  while (!halted_ && steps < max_steps) {
+    step();
+    ++steps;
+  }
+  return steps;
+}
+
+void Cpu::exec(u32 insn, u32 ilen) {
+  const u32 op = get_opcode(insn);
+  const int rd = static_cast<int>(get_rd(insn));
+  const int rs1 = static_cast<int>(get_rs1(insn));
+  const int rs2 = static_cast<int>(get_rs2(insn));
+  const u32 f3 = get_funct3(insn);
+  const u32 f7 = get_funct7(insn);
+  const u32 a = reg(rs1);
+  const u32 b = reg(rs2);
+  u32 next_pc = pc_ + ilen;
+
+  switch (op) {
+    case kOpLui:
+      set_reg(rd, static_cast<u32>(imm_u(insn)));
+      cycles_ += kCycAlu;
+      break;
+    case kOpAuipc:
+      set_reg(rd, pc_ + static_cast<u32>(imm_u(insn)));
+      cycles_ += kCycAlu;
+      break;
+    case kOpJal:
+      set_reg(rd, pc_ + ilen);
+      next_pc = pc_ + static_cast<u32>(imm_j(insn));
+      cycles_ += kCycJump;
+      break;
+    case kOpJalr:
+      set_reg(rd, pc_ + ilen);
+      next_pc = (a + static_cast<u32>(imm_i(insn))) & ~1u;
+      cycles_ += kCycJump;
+      break;
+    case kOpBranch: {
+      bool taken = false;
+      switch (f3) {
+        case 0: taken = a == b; break;
+        case 1: taken = a != b; break;
+        case 4: taken = static_cast<i32>(a) < static_cast<i32>(b); break;
+        case 5: taken = static_cast<i32>(a) >= static_cast<i32>(b); break;
+        case 6: taken = a < b; break;
+        case 7: taken = a >= b; break;
+        default:
+          LACRV_CHECK_MSG(false, "illegal branch funct3");
+      }
+      if (taken) next_pc = pc_ + static_cast<u32>(imm_b(insn));
+      cycles_ += taken ? kCycBranchTaken : kCycBranchNotTaken;
+      break;
+    }
+    case kOpLoad: {
+      const u32 addr = a + static_cast<u32>(imm_i(insn));
+      u32 value = 0;
+      switch (f3) {
+        case 0: value = static_cast<u32>(static_cast<i32>(
+                    static_cast<i8>(read_byte(addr)))); break;
+        case 1: value = static_cast<u32>(static_cast<i32>(static_cast<i16>(
+                    read_byte(addr) | read_byte(addr + 1) << 8))); break;
+        case 2: value = read_word(addr); break;
+        case 4: value = read_byte(addr); break;
+        case 5: value = static_cast<u32>(read_byte(addr) |
+                                         read_byte(addr + 1) << 8); break;
+        default:
+          LACRV_CHECK_MSG(false, "illegal load funct3");
+      }
+      set_reg(rd, value);
+      cycles_ += kCycLoad;
+      break;
+    }
+    case kOpStore: {
+      const u32 addr = a + static_cast<u32>(imm_s(insn));
+      switch (f3) {
+        case 0: write_byte(addr, static_cast<u8>(b)); break;
+        case 1:
+          write_byte(addr, static_cast<u8>(b));
+          write_byte(addr + 1, static_cast<u8>(b >> 8));
+          break;
+        case 2: write_word(addr, b); break;
+        default:
+          LACRV_CHECK_MSG(false, "illegal store funct3");
+      }
+      cycles_ += kCycStore;
+      break;
+    }
+    case kOpImm: {
+      const i32 imm = imm_i(insn);
+      const u32 shamt = static_cast<u32>(imm) & 0x1F;
+      u32 value = 0;
+      switch (f3) {
+        case 0: value = a + static_cast<u32>(imm); break;
+        case 1: value = a << shamt; break;
+        case 2: value = static_cast<i32>(a) < imm ? 1 : 0; break;
+        case 3: value = a < static_cast<u32>(imm) ? 1 : 0; break;
+        case 4: value = a ^ static_cast<u32>(imm); break;
+        case 5:
+          value = (static_cast<u32>(imm) & 0x400)
+                      ? static_cast<u32>(static_cast<i32>(a) >>
+                                         static_cast<i32>(shamt))
+                      : a >> shamt;
+          break;
+        case 6: value = a | static_cast<u32>(imm); break;
+        case 7: value = a & static_cast<u32>(imm); break;
+      }
+      set_reg(rd, value);
+      cycles_ += kCycAlu;
+      break;
+    }
+    case kOpReg: {
+      u32 value = 0;
+      u64 cost = kCycAlu;
+      if (f7 == 1) {  // RV32M
+        const i64 sa = static_cast<i32>(a), sb = static_cast<i32>(b);
+        const u64 ua = a, ub = b;
+        switch (f3) {
+          case 0: value = a * b; cost = kCycMul; break;
+          case 1: value = static_cast<u32>((sa * sb) >> 32); cost = kCycMul; break;
+          case 2: value = static_cast<u32>((sa * static_cast<i64>(ub)) >> 32);
+                  cost = kCycMul; break;
+          case 3: value = static_cast<u32>((ua * ub) >> 32); cost = kCycMul; break;
+          case 4:
+            value = b == 0 ? ~0u
+                    : (a == 0x80000000u && b == ~0u)
+                        ? a
+                        : static_cast<u32>(static_cast<i32>(a) /
+                                           static_cast<i32>(b));
+            cost = kCycDiv;
+            break;
+          case 5: value = b == 0 ? ~0u : a / b; cost = kCycDiv; break;
+          case 6:
+            value = b == 0 ? a
+                    : (a == 0x80000000u && b == ~0u)
+                        ? 0
+                        : static_cast<u32>(static_cast<i32>(a) %
+                                           static_cast<i32>(b));
+            cost = kCycDiv;
+            break;
+          case 7: value = b == 0 ? a : a % b; cost = kCycDiv; break;
+        }
+      } else {
+        switch (f3) {
+          case 0: value = (f7 & 0x20) ? a - b : a + b; break;
+          case 1: value = a << (b & 0x1F); break;
+          case 2: value = static_cast<i32>(a) < static_cast<i32>(b) ? 1 : 0; break;
+          case 3: value = a < b ? 1 : 0; break;
+          case 4: value = a ^ b; break;
+          case 5:
+            value = (f7 & 0x20) ? static_cast<u32>(static_cast<i32>(a) >>
+                                                   static_cast<i32>(b & 0x1F))
+                                : a >> (b & 0x1F);
+            break;
+          case 6: value = a | b; break;
+          case 7: value = a & b; break;
+        }
+      }
+      set_reg(rd, value);
+      cycles_ += cost;
+      break;
+    }
+    case kOpPq: {
+      const PqAlu::Result result = pq_.execute(f3, a, b);
+      set_reg(rd, result.rd_value);
+      cycles_ += cost::kPqIssue + result.stall_cycles;
+      break;
+    }
+    case kOpFence:
+      cycles_ += kCycAlu;
+      break;
+    case kOpSystem: {
+      if (f3 == 0) {
+        // ecall / ebreak end the simulation (no OS model).
+        halted_ = true;
+        cycles_ += kCycAlu;
+        break;
+      }
+      // Zicsr subset: read-only performance counters, enough for
+      // rdcycle/rdinstret-style self-measurement (how the paper's
+      // numbers were taken on the FPGA).
+      LACRV_CHECK_MSG(f3 == 2 && rs1 == 0,
+                      "only csrrs rd, csr, x0 (csrr) is supported");
+      const u32 csr = static_cast<u32>(imm_i(insn)) & 0xFFF;
+      u32 value = 0;
+      switch (csr) {
+        case 0xC00: value = static_cast<u32>(cycles_); break;        // cycle
+        case 0xC80: value = static_cast<u32>(cycles_ >> 32); break;  // cycleh
+        case 0xC02: value = static_cast<u32>(instructions_); break;  // instret
+        case 0xC82: value = static_cast<u32>(instructions_ >> 32); break;
+        default:
+          LACRV_CHECK_MSG(false, "unimplemented CSR " + std::to_string(csr));
+      }
+      set_reg(rd, value);
+      cycles_ += kCycAlu;
+      break;
+    }
+    default:
+      LACRV_CHECK_MSG(false, "illegal opcode " + std::to_string(op) +
+                                 " at pc " + std::to_string(pc_));
+  }
+  pc_ = next_pc;
+}
+
+}  // namespace lacrv::rv

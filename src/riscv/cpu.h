@@ -1,0 +1,71 @@
+// RV32IM instruction-set simulator with a RISCY-like cycle model and the
+// PQ-ALU attached under opcode 0x77 (Fig. 5). This is the executable
+// substrate for the ISA-extension kernels: the accelerated routines run
+// as real machine code with the packing conventions of Sec. V, and the
+// cycle counter models the 4-stage in-order pipeline (single-cycle ALU,
+// 2-cycle loads, 3-cycle taken branches, 35-cycle divides, accelerator
+// stalls while a unit computes).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "riscv/pq_alu.h"
+
+namespace lacrv::rv {
+
+class Cpu {
+ public:
+  explicit Cpu(std::size_t mem_bytes = 1 << 20);
+
+  // ---- program / data loading --------------------------------------------
+  void load_words(u32 addr, std::span<const u32> words);
+  void load_bytes(u32 addr, ByteView bytes);
+
+  // ---- architectural state -----------------------------------------------
+  u32 reg(int index) const { return regs_[static_cast<std::size_t>(index)]; }
+  void set_reg(int index, u32 value);
+  u32 pc() const { return pc_; }
+  void set_pc(u32 pc) { pc_ = pc; }
+
+  u8 read_byte(u32 addr) const;
+  u32 read_word(u32 addr) const;
+  void write_byte(u32 addr, u8 value);
+  void write_word(u32 addr, u32 value);
+
+  // ---- execution -----------------------------------------------------------
+  /// Execute one instruction. Throws CheckError on illegal instructions
+  /// or memory faults.
+  void step();
+  /// Run until ebreak/ecall or the step limit; returns instructions
+  /// retired. halted() tells whether the program finished.
+  u64 run(u64 max_steps = 100'000'000);
+  bool halted() const { return halted_; }
+
+  u64 cycles() const { return cycles_; }
+  u64 instructions() const { return instructions_; }
+
+  PqAlu& pq() { return pq_; }
+
+  /// Optional memory-mapped I/O handler, consulted for any access that
+  /// falls outside RAM. Returns true if it claimed the access; `value`
+  /// carries the datum (in for stores, out for loads). Unclaimed
+  /// out-of-range accesses fault as before.
+  using MmioHandler = std::function<bool(u32 addr, u32& value, bool store)>;
+  void set_mmio(MmioHandler handler) { mmio_ = std::move(handler); }
+
+ private:
+  void exec(u32 insn, u32 ilen);
+
+  std::vector<u8> memory_;
+  std::array<u32, 32> regs_{};
+  u32 pc_ = 0;
+  bool halted_ = false;
+  u64 cycles_ = 0;
+  u64 instructions_ = 0;
+  PqAlu pq_;
+  MmioHandler mmio_;
+};
+
+}  // namespace lacrv::rv

@@ -1,0 +1,140 @@
+#include "riscv/encoding.h"
+
+#include <array>
+#include <sstream>
+
+#include "common/check.h"
+#include "riscv/compressed.h"
+
+namespace lacrv::rv {
+namespace {
+
+constexpr std::array<const char*, 32> kAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+}  // namespace
+
+std::optional<int> parse_register(const std::string& name) {
+  for (int i = 0; i < 32; ++i)
+    if (name == kAbiNames[i]) return i;
+  if (name == "fp") return 8;
+  if (name.size() >= 2 && name[0] == 'x') {
+    int idx = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') return std::nullopt;
+      idx = idx * 10 + (name[i] - '0');
+    }
+    if (idx < 32) return idx;
+  }
+  return std::nullopt;
+}
+
+std::string register_name(int index) {
+  if (index < 0 || index >= 32) return "x?";
+  return kAbiNames[static_cast<std::size_t>(index)];
+}
+
+std::string disassemble(u32 insn) {
+  std::ostringstream os;
+  const u32 op = get_opcode(insn);
+  const u32 f3 = get_funct3(insn);
+  const u32 f7 = get_funct7(insn);
+  const std::string rd = register_name(static_cast<int>(get_rd(insn)));
+  const std::string rs1 = register_name(static_cast<int>(get_rs1(insn)));
+  const std::string rs2 = register_name(static_cast<int>(get_rs2(insn)));
+
+  switch (op) {
+    case kOpLui:
+      os << "lui " << rd << ", " << (imm_u(insn) >> 12);
+      break;
+    case kOpAuipc:
+      os << "auipc " << rd << ", " << (imm_u(insn) >> 12);
+      break;
+    case kOpJal:
+      os << "jal " << rd << ", " << imm_j(insn);
+      break;
+    case kOpJalr:
+      os << "jalr " << rd << ", " << imm_i(insn) << "(" << rs1 << ")";
+      break;
+    case kOpBranch: {
+      static constexpr const char* kNames[] = {"beq",  "bne", "?", "?",
+                                               "blt",  "bge", "bltu", "bgeu"};
+      os << kNames[f3] << " " << rs1 << ", " << rs2 << ", " << imm_b(insn);
+      break;
+    }
+    case kOpLoad: {
+      static constexpr const char* kNames[] = {"lb", "lh", "lw", "?",
+                                               "lbu", "lhu"};
+      os << (f3 < 6 ? kNames[f3] : "?") << " " << rd << ", " << imm_i(insn)
+         << "(" << rs1 << ")";
+      break;
+    }
+    case kOpStore: {
+      static constexpr const char* kNames[] = {"sb", "sh", "sw"};
+      os << (f3 < 3 ? kNames[f3] : "?") << " " << rs2 << ", " << imm_s(insn)
+         << "(" << rs1 << ")";
+      break;
+    }
+    case kOpImm: {
+      static constexpr const char* kNames[] = {"addi", "slli", "slti",
+                                               "sltiu", "xori", "sr?i",
+                                               "ori",  "andi"};
+      if (f3 == 5)
+        os << (f7 & 0x20 ? "srai " : "srli ") << rd << ", " << rs1 << ", "
+           << (imm_i(insn) & 0x1F);
+      else if (f3 == 1)
+        os << "slli " << rd << ", " << rs1 << ", " << (imm_i(insn) & 0x1F);
+      else
+        os << kNames[f3] << " " << rd << ", " << rs1 << ", " << imm_i(insn);
+      break;
+    }
+    case kOpReg: {
+      const char* name = "?";
+      if (f7 == 1) {
+        static constexpr const char* kM[] = {"mul",  "mulh", "mulhsu",
+                                             "mulhu", "div",  "divu",
+                                             "rem",  "remu"};
+        name = kM[f3];
+      } else {
+        static constexpr const char* kBase[] = {"add", "sll", "slt", "sltu",
+                                                "xor", "srl", "or",  "and"};
+        name = (f3 == 0 && (f7 & 0x20)) ? "sub"
+               : (f3 == 5 && (f7 & 0x20)) ? "sra"
+                                          : kBase[f3];
+      }
+      os << name << " " << rd << ", " << rs1 << ", " << rs2;
+      break;
+    }
+    case kOpPq: {
+      static constexpr const char* kNames[] = {"pq.mul_ter", "pq.mul_chien",
+                                               "pq.sha256", "pq.modq"};
+      os << (f3 < 4 ? kNames[f3] : "pq.?") << " " << rd << ", " << rs1
+         << ", " << rs2;
+      break;
+    }
+    case kOpSystem:
+      os << (insn == 0x00100073 ? "ebreak" : "ecall");
+      break;
+    case kOpFence:
+      os << "fence";
+      break;
+    default:
+      os << ".word 0x" << std::hex << insn;
+  }
+  return os.str();
+}
+
+std::string disassemble_parcel(u32 raw) {
+  if ((raw & 3) != 3) {
+    try {
+      return "c: " + disassemble(expand_compressed(static_cast<u16>(raw)));
+    } catch (const CheckError&) {
+      return "<illegal>";
+    }
+  }
+  return disassemble(raw);
+}
+
+}  // namespace lacrv::rv

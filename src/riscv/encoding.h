@@ -1,0 +1,154 @@
+// RV32IM instruction encoding plus the paper's post-quantum extension.
+//
+// The four custom instructions (Sec. V) are R-type under opcode 0x77:
+//
+//   31      25 24  20 19  15 14 12 11   7 6     0
+//   [ funct7 ][ rs2 ][ rs1 ][f3 ][  rd  ][0x77   ]
+//
+//   funct3 = 0  pq.mul_ter     funct3 = 2  pq.sha256
+//   funct3 = 1  pq.mul_chien   funct3 = 3  pq.modq
+//
+// "Remaining bits of the input registers ... are used to control the
+// accelerator" — the paper defines the concept but not the exact layouts;
+// the concrete register-value conventions of this implementation are
+// specified here (pq namespace) and implemented by riscv/pq_alu.*.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace lacrv::rv {
+
+// ---- base opcodes ---------------------------------------------------------
+inline constexpr u32 kOpLui = 0b0110111;
+inline constexpr u32 kOpAuipc = 0b0010111;
+inline constexpr u32 kOpJal = 0b1101111;
+inline constexpr u32 kOpJalr = 0b1100111;
+inline constexpr u32 kOpBranch = 0b1100011;
+inline constexpr u32 kOpLoad = 0b0000011;
+inline constexpr u32 kOpStore = 0b0100011;
+inline constexpr u32 kOpImm = 0b0010011;
+inline constexpr u32 kOpReg = 0b0110011;
+inline constexpr u32 kOpFence = 0b0001111;
+inline constexpr u32 kOpSystem = 0b1110011;
+/// The post-quantum extension opcode (Fig. 6).
+inline constexpr u32 kOpPq = 0x77;
+
+// ---- field packers / extractors -------------------------------------------
+constexpr u32 encode_r(u32 opcode, u32 rd, u32 funct3, u32 rs1, u32 rs2,
+                       u32 funct7) {
+  return opcode | rd << 7 | funct3 << 12 | rs1 << 15 | rs2 << 20 |
+         funct7 << 25;
+}
+constexpr u32 encode_i(u32 opcode, u32 rd, u32 funct3, u32 rs1, i32 imm) {
+  return opcode | rd << 7 | funct3 << 12 | rs1 << 15 |
+         (static_cast<u32>(imm) & 0xFFF) << 20;
+}
+constexpr u32 encode_s(u32 opcode, u32 funct3, u32 rs1, u32 rs2, i32 imm) {
+  const u32 u = static_cast<u32>(imm);
+  return opcode | (u & 0x1F) << 7 | funct3 << 12 | rs1 << 15 | rs2 << 20 |
+         (u >> 5 & 0x7F) << 25;
+}
+constexpr u32 encode_b(u32 opcode, u32 funct3, u32 rs1, u32 rs2, i32 imm) {
+  const u32 u = static_cast<u32>(imm);
+  return opcode | (u >> 11 & 1) << 7 | (u >> 1 & 0xF) << 8 | funct3 << 12 |
+         rs1 << 15 | rs2 << 20 | (u >> 5 & 0x3F) << 25 | (u >> 12 & 1) << 31;
+}
+constexpr u32 encode_u(u32 opcode, u32 rd, u32 imm20) {
+  return opcode | rd << 7 | (imm20 & 0xFFFFF) << 12;
+}
+constexpr u32 encode_j(u32 opcode, u32 rd, i32 imm) {
+  const u32 u = static_cast<u32>(imm);
+  return opcode | rd << 7 | (u >> 12 & 0xFF) << 12 | (u >> 11 & 1) << 20 |
+         (u >> 1 & 0x3FF) << 21 | (u >> 20 & 1) << 31;
+}
+
+constexpr u32 get_opcode(u32 insn) { return insn & 0x7F; }
+constexpr u32 get_rd(u32 insn) { return insn >> 7 & 0x1F; }
+constexpr u32 get_funct3(u32 insn) { return insn >> 12 & 0x7; }
+constexpr u32 get_rs1(u32 insn) { return insn >> 15 & 0x1F; }
+constexpr u32 get_rs2(u32 insn) { return insn >> 20 & 0x1F; }
+constexpr u32 get_funct7(u32 insn) { return insn >> 25 & 0x7F; }
+
+constexpr i32 imm_i(u32 insn) { return static_cast<i32>(insn) >> 20; }
+constexpr i32 imm_s(u32 insn) {
+  return (static_cast<i32>(insn) >> 25 << 5) |
+         static_cast<i32>(insn >> 7 & 0x1F);
+}
+constexpr i32 imm_b(u32 insn) {
+  return (static_cast<i32>(insn) >> 31 << 12) |
+         static_cast<i32>((insn >> 7 & 1) << 11 | (insn >> 25 & 0x3F) << 5 |
+                          (insn >> 8 & 0xF) << 1);
+}
+constexpr i32 imm_u(u32 insn) { return static_cast<i32>(insn & 0xFFFFF000); }
+constexpr i32 imm_j(u32 insn) {
+  return (static_cast<i32>(insn) >> 31 << 20) |
+         static_cast<i32>((insn >> 12 & 0xFF) << 12 | (insn >> 20 & 1) << 11 |
+                          (insn >> 21 & 0x3FF) << 1);
+}
+
+// ---- PQ extension register-value conventions ------------------------------
+namespace pq {
+
+inline constexpr u32 kFunct3MulTer = 0;
+inline constexpr u32 kFunct3MulChien = 1;
+inline constexpr u32 kFunct3Sha256 = 2;
+inline constexpr u32 kFunct3Modq = 3;
+
+/// Mode field: rs2[31:28] for all buffered units.
+constexpr u32 mode_of(u32 rs2_value) { return rs2_value >> 28; }
+
+// pq.mul_ter —
+//  mode 0 LOAD:  rs1 = g0..g3 (bytes, little-endian lanes);
+//                rs2[7:0] = g4; rs2[17:8] = t0..t4 (2 bits each:
+//                0 -> 0, 1 -> +1, 2 -> -1); rs2[27:18] = chunk address
+//                (coefficients 5*addr .. 5*addr+4).
+//  mode 1 START: rs2[0] = conv_n (1 = negative wrapped convolution);
+//                the core stalls for the unit's n compute cycles.
+//  mode 2 READ:  rs2[9:0] = chunk address; rd = c[4*addr .. 4*addr+3]
+//                packed as bytes, little-endian lanes.
+//  mode 3 RESET: clear operand and result registers.
+inline constexpr u32 kMulTerLoad = 0, kMulTerStart = 1, kMulTerRead = 2,
+                     kMulTerReset = 3;
+
+// pq.mul_chien —
+//  mode 0 LOAD_LEFT:  multipliers 0/1 of the group in rs2[25:24]:
+//                     const0 = rs1[8:0], value0 = rs1[17:9],
+//                     const1 = rs1[26:18], value1 = rs2[8:0].
+//  mode 1 LOAD_RIGHT: same fields for multipliers 2/3.
+//  mode 2 COMPUTE:    rs2[0] = loop (feed previous products back into the
+//                     second inputs); rs2[5:4] = group select; 9 compute
+//                     cycles; rd = XOR of the four products (9 bits).
+//  mode 3 RESET.
+inline constexpr u32 kChienLoadLeft = 0, kChienLoadRight = 1,
+                     kChienCompute = 2, kChienReset = 3;
+inline constexpr u32 kChienLoopBit = 1u << 0;
+
+// pq.sha256 —
+//  mode 0 LOAD:  block[rs2[5:0]] = rs1[7:0]  (byte-wise input, Sec. V).
+//  mode 1 HASH:  compress the loaded block (65 cycles, core stalls).
+//  mode 2 READ:  rd = digest word rs2[2:0] (big-endian byte order packed
+//                into a little-endian register word).
+//  mode 3 RESET: restore the chaining state to the IV.
+inline constexpr u32 kShaLoad = 0, kShaHash = 1, kShaRead = 2, kShaReset = 3;
+
+// pq.modq — rd = rs1[15:0] mod 251 (Barrett datapath, single cycle).
+
+}  // namespace pq
+
+/// Human-readable disassembly (debugging aid; best effort).
+std::string disassemble(u32 insn);
+
+/// Disassemble a raw parcel: 16-bit compressed instructions are expanded
+/// and prefixed with "c: "; illegal parcels yield "<illegal>".
+std::string disassemble_parcel(u32 raw);
+
+/// ABI/numeric register-name lookup: "x7", "t2", "a0", ... -> index.
+std::optional<int> parse_register(const std::string& name);
+/// Canonical ABI name of a register index.
+std::string register_name(int index);
+
+}  // namespace lacrv::rv

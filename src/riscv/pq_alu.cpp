@@ -1,0 +1,145 @@
+#include "riscv/pq_alu.h"
+
+#include "common/check.h"
+#include "riscv/encoding.h"
+#include "rtl/chien_unit.h"
+
+namespace lacrv::rv {
+
+PqAlu::Result PqAlu::exec_mul_ter(u32 rs1, u32 rs2) {
+  Result result;
+  const std::size_t n = mul_ter_.length();
+  switch (pq::mode_of(rs2)) {
+    case pq::kMulTerLoad: {
+      const u32 addr = rs2 >> 18 & 0x3FF;
+      const u8 general[5] = {
+          static_cast<u8>(rs1), static_cast<u8>(rs1 >> 8),
+          static_cast<u8>(rs1 >> 16), static_cast<u8>(rs1 >> 24),
+          static_cast<u8>(rs2)};
+      for (int lane = 0; lane < 5; ++lane) {
+        const std::size_t idx = 5 * addr + static_cast<std::size_t>(lane);
+        if (idx >= n) break;
+        const u32 tern_code = rs2 >> (8 + 2 * lane) & 0x3;
+        mul_ter_.load_b(idx, static_cast<u8>(general[lane] % poly::kQ));
+        mul_ter_.load_a(idx, tern_code == 1 ? i8{1}
+                             : tern_code == 2 ? i8{-1}
+                                              : i8{0});
+      }
+      break;
+    }
+    case pq::kMulTerStart: {
+      mul_ter_.start(/*negacyclic=*/(rs2 & 1) != 0);
+      result.stall_cycles = mul_ter_.run_to_completion();
+      break;
+    }
+    case pq::kMulTerRead: {
+      const u32 addr = rs2 & 0x3FF;
+      u32 word = 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        const std::size_t idx = 4 * addr + static_cast<std::size_t>(lane);
+        if (idx >= n) break;
+        word |= static_cast<u32>(mul_ter_.read_c(idx)) << (8 * lane);
+      }
+      result.rd_value = word;
+      break;
+    }
+    case pq::kMulTerReset:
+      mul_ter_.reset();
+      break;
+  }
+  return result;
+}
+
+PqAlu::Result PqAlu::exec_chien(u32 rs1, u32 rs2) {
+  Result result;
+  const u32 mode = pq::mode_of(rs2);
+  auto& group = chien_groups_[rs2 >> 24 & 0x3];
+  switch (mode) {
+    case pq::kChienLoadLeft:
+    case pq::kChienLoadRight: {
+      const int base = mode == pq::kChienLoadLeft ? 0 : 2;
+      group[base].constant = static_cast<gf::Element>(rs1 & 0x1FF);
+      group[base].value = static_cast<gf::Element>(rs1 >> 9 & 0x1FF);
+      group[base + 1].constant = static_cast<gf::Element>(rs1 >> 18 & 0x1FF);
+      group[base + 1].value = static_cast<gf::Element>(rs2 & 0x1FF);
+      // Loading also primes the feedback registers, so a compute with the
+      // loop bit set right after a load starts from the loaded values
+      // ("the values are only loaded ... in the first round", Sec. IV-B).
+      group[base].product = group[base].value;
+      group[base + 1].product = group[base + 1].value;
+      break;
+    }
+    case pq::kChienCompute: {
+      auto& grp = chien_groups_[rs2 >> 4 & 0x3];
+      const bool loop = (rs2 & pq::kChienLoopBit) != 0;
+      u64 pass_cycles = 0;
+      gf::Element sum = 0;
+      for (int m = 0; m < 4; ++m) {
+        ChienLane& lane = grp[static_cast<std::size_t>(m)];
+        rtl::GfMulRtl& mul = chien_muls_[static_cast<std::size_t>(m)];
+        mul.reset();
+        mul.load(lane.constant, loop ? lane.product : lane.value);
+        mul.start();
+        pass_cycles = std::max(pass_cycles, mul.run_to_completion());
+        lane.product = mul.result();
+        sum = gf::add(sum, lane.product);
+      }
+      result.rd_value = sum;
+      result.stall_cycles = pass_cycles;  // the four multipliers in lockstep
+      break;
+    }
+    case pq::kChienReset:
+      for (auto& g : chien_groups_)
+        for (auto& lane : g) lane = ChienLane{};
+      break;
+  }
+  return result;
+}
+
+PqAlu::Result PqAlu::exec_sha256(u32 rs1, u32 rs2) {
+  Result result;
+  switch (pq::mode_of(rs2)) {
+    case pq::kShaLoad:
+      sha_.load_byte(rs2 & 0x3F, static_cast<u8>(rs1));
+      break;
+    case pq::kShaHash:
+      sha_.start();
+      result.stall_cycles = sha_.run_to_completion();
+      break;
+    case pq::kShaRead: {
+      const u32 word_idx = rs2 & 0x7;
+      u32 word = 0;
+      for (u32 i = 0; i < 4; ++i)
+        word |= static_cast<u32>(sha_.read_digest_byte(4 * word_idx + i))
+                << (8 * i);
+      result.rd_value = word;
+      break;
+    }
+    case pq::kShaReset:
+      sha_.reset_state();
+      break;
+  }
+  return result;
+}
+
+PqAlu::Result PqAlu::execute(u32 funct3, u32 rs1_value, u32 rs2_value) {
+  switch (funct3) {
+    case pq::kFunct3MulTer:
+      return exec_mul_ter(rs1_value, rs2_value);
+    case pq::kFunct3MulChien:
+      return exec_chien(rs1_value, rs2_value);
+    case pq::kFunct3Sha256:
+      return exec_sha256(rs1_value, rs2_value);
+    case pq::kFunct3Modq:
+      return Result{barrett_.reduce(rs1_value & 0xFFFF), 0};
+  }
+  LACRV_CHECK_MSG(false, "undefined pq funct3");
+}
+
+rtl::AreaReport PqAlu::area() const {
+  return rtl::combine("PQ-ALU",
+                      {mul_ter_.area(), rtl::ChienRtl().area(), sha_.area(),
+                       barrett_.area()});
+}
+
+}  // namespace lacrv::rv

@@ -1,0 +1,55 @@
+// The PQ-ALU (Fig. 5): the four hardware accelerators wrapped with the
+// register-level instruction semantics of the pq.* extension
+// (conventions documented in riscv/encoding.h, namespace pq).
+#pragma once
+
+#include <array>
+
+#include "rtl/barrett_unit.h"
+#include "rtl/gf_mul.h"
+#include "rtl/mul_ter.h"
+#include "rtl/sha256_core.h"
+
+namespace lacrv::rv {
+
+class PqAlu {
+ public:
+  struct Result {
+    u32 rd_value = 0;
+    /// Extra pipeline stall cycles beyond the 1-cycle issue (e.g. the n
+    /// compute cycles of a pq.mul_ter START).
+    u64 stall_cycles = 0;
+  };
+
+  /// Execute one pq.* instruction.
+  Result execute(u32 funct3, u32 rs1_value, u32 rs2_value);
+
+  rtl::MulTerRtl& mul_ter() { return mul_ter_; }
+  rtl::Sha256Rtl& sha256() { return sha_; }
+  rtl::BarrettRtl& barrett() { return barrett_; }
+
+  /// Structural area of the whole PQ-ALU (the accelerator rows of
+  /// Table III).
+  rtl::AreaReport area() const;
+
+ private:
+  Result exec_mul_ter(u32 rs1, u32 rs2);
+  Result exec_chien(u32 rs1, u32 rs2);
+  Result exec_sha256(u32 rs1, u32 rs2);
+
+  rtl::MulTerRtl mul_ter_{512};
+  rtl::Sha256Rtl sha_;
+  rtl::BarrettRtl barrett_;
+
+  // MUL CHIEN state: four multiplier lanes per group, four groups
+  // (enough for t = 16); `product` holds the feedback value.
+  struct ChienLane {
+    gf::Element constant = 0;
+    gf::Element value = 0;
+    gf::Element product = 0;
+  };
+  std::array<std::array<ChienLane, 4>, 4> chien_groups_{};
+  std::array<rtl::GfMulRtl, 4> chien_muls_{};
+};
+
+}  // namespace lacrv::rv

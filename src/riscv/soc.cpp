@@ -1,0 +1,48 @@
+#include "riscv/soc.h"
+
+namespace lacrv::rv {
+
+Soc::Soc(std::size_t ram_bytes) : cpu_(ram_bytes) {
+  cpu_.set_mmio([this](u32 addr, u32& value, bool store) {
+    if (store) {
+      switch (addr) {
+        case kUartTxAddr:
+          uart_.push_back(static_cast<char>(value & 0xFF));
+          return true;
+        case kEocAddr:
+          eoc_ = true;
+          return true;
+      }
+      return false;
+    }
+    switch (addr) {
+      case kCycleLoAddr:
+        value = static_cast<u32>(cpu_.cycles());
+        return true;
+      case kCycleHiAddr:
+        value = static_cast<u32>(cpu_.cycles() >> 32);
+        return true;
+      case kUartTxAddr:  // reading TX: last byte written (or 0)
+        value = uart_.empty() ? 0 : static_cast<u8>(uart_.back());
+        return true;
+    }
+    return false;
+  });
+}
+
+void Soc::load(const Program& program) {
+  cpu_.load_bytes(program.base, program.image);
+}
+
+void Soc::load_data(u32 addr, ByteView bytes) { cpu_.load_bytes(addr, bytes); }
+
+bool Soc::run(u64 max_steps) {
+  u64 steps = 0;
+  while (!cpu_.halted() && !eoc_ && steps < max_steps) {
+    cpu_.step();
+    ++steps;
+  }
+  return cpu_.halted() || eoc_;
+}
+
+}  // namespace lacrv::rv

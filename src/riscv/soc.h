@@ -1,0 +1,54 @@
+// A PULPino-like mini-SoC around the RISCY-style core (the paper's
+// platform, Sec. V): RAM plus a small memory-mapped peripheral block.
+// Programs print through the UART register and signal completion via the
+// end-of-computation register — the way PULPino firmware actually does.
+//
+// Memory map (a simplified PULPino layout):
+//   0x0000_0000  RAM (instructions + data, `ram_bytes`)
+//   0x1A10_0000  UART TX        (write a byte; captured into uart_output)
+//   0x1A10_0004  EOC            (write any value: halt the simulation)
+//   0x1A10_0008  CYCLE_LO       (read: current cycle count, low 32 bits)
+//   0x1A10_000C  CYCLE_HI
+#pragma once
+
+#include <string>
+
+#include "riscv/assembler.h"
+#include "riscv/cpu.h"
+
+namespace lacrv::rv {
+
+inline constexpr u32 kUartTxAddr = 0x1A100000;
+inline constexpr u32 kEocAddr = 0x1A100004;
+inline constexpr u32 kCycleLoAddr = 0x1A100008;
+inline constexpr u32 kCycleHiAddr = 0x1A10000C;
+
+class Soc {
+ public:
+  explicit Soc(std::size_t ram_bytes = 1 << 20);
+
+  /// Load a program image at its base address.
+  void load(const Program& program);
+  /// Load raw data into RAM.
+  void load_data(u32 addr, ByteView bytes);
+
+  /// Run until an EOC write, ebreak, or the step limit. Returns true if
+  /// the program terminated (rather than hitting the limit).
+  bool run(u64 max_steps = 100'000'000);
+
+  /// Everything the program wrote to the UART so far.
+  const std::string& uart_output() const { return uart_; }
+  /// True once the program wrote the EOC register.
+  bool eoc() const { return eoc_; }
+
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+  u64 cycles() const { return cpu_.cycles(); }
+
+ private:
+  Cpu cpu_;
+  std::string uart_;
+  bool eoc_ = false;
+};
+
+}  // namespace lacrv::rv

@@ -1,0 +1,25 @@
+#include "rtl/area.h"
+
+namespace lacrv::rtl {
+
+AreaReport pulpino_peripherals() {
+  // Table III "Peripherals/Memory" row (PULPino platform constant).
+  return {"Peripherals/Memory", 8769, 7369, 32, 0};
+}
+
+AreaReport riscy_base_core() {
+  // RISCY core without the PQ-ALU: Table III core total minus the four
+  // accelerator rows (53,819-32,617 LUTs etc.); DSPs are the RV32M
+  // multiplier blocks.
+  return {"RISCY base core", 21202, 2909, 0, 8};
+}
+
+AreaReport combine(const std::string& name,
+                   const std::vector<AreaReport>& parts) {
+  AreaReport total;
+  total.name = name;
+  for (const auto& part : parts) total += part;
+  return total;
+}
+
+}  // namespace lacrv::rtl

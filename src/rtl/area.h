@@ -1,0 +1,66 @@
+// Structural area model -> Table III.
+//
+// We cannot run Vivado here; instead every RTL model reports its primitive
+// inventory (flip-flop bits, modular arithmetic units, muxes, gates) and
+// this header maps the inventory to UltraScale+ LUT/FF/DSP estimates.
+// Flip-flop counts are exact (they follow from the described architecture:
+// e.g. the ternary multiplier holds 512 8-bit result registers, 512 8-bit
+// operand registers and 512 2-bit ternary registers — 9,216 bits, matching
+// the paper's 9,305 up to control state). LUT factors are calibrated
+// packing rules; the *relations* Table III reports (the ternary multiplier
+// dominating LUTs, the GF multipliers being negligible, the Barrett unit
+// owning the only DSPs) follow from structure, not calibration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lacrv::rtl {
+
+struct AreaReport {
+  std::string name;
+  u64 luts = 0;
+  u64 registers = 0;
+  u64 brams = 0;
+  u64 dsps = 0;
+
+  AreaReport& operator+=(const AreaReport& other) {
+    luts += other.luts;
+    registers += other.registers;
+    brams += other.brams;
+    dsps += other.dsps;
+    return *this;
+  }
+};
+
+// ---- LUT packing rules (6-input LUTs) ------------------------------------
+// 8-bit modular add/subtract unit with mode select (the MAU of Fig. 2):
+// two 8-bit adders, compare-against-q, 3-way output select.
+inline constexpr u64 kLutsPerMau = 56;
+// Per-MAU convolution-select mux + a_i negation path (Fig. 2 muxes).
+inline constexpr u64 kLutsPerConvMux = 3;
+// Readout multiplexing, per register bit routed to the 32-bit output bus.
+inline constexpr double kLutsPerReadoutBit = 0.25;
+// Write-enable decode per addressable chunk.
+inline constexpr u64 kLutsPerWriteChunk = 2;
+// GF(2^9) multiplier cell: 9 AND + 9 XOR + 2 tap XOR + enable (Fig. 3).
+inline constexpr u64 kLutsPerGfMul = 21;
+// SHA-256 round datapath: Sigma/Maj/Ch plus two 32-bit adder chains and
+// the schedule sigma functions.
+inline constexpr u64 kLutsSha256Core = 1010;
+// Barrett correction logic (the multiplies live in DSPs).
+inline constexpr u64 kLutsBarrett = 35;
+
+/// Paper-reported platform baseline (PULPino peripherals/memíory and the
+/// unmodified RISCY core). These are external to our accelerators and are
+/// quoted, not derived — see DESIGN.md substitution table.
+AreaReport pulpino_peripherals();
+AreaReport riscy_base_core();
+
+/// Sum a list of reports under a new name.
+AreaReport combine(const std::string& name,
+                   const std::vector<AreaReport>& parts);
+
+}  // namespace lacrv::rtl

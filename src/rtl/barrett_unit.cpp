@@ -1,0 +1,27 @@
+#include "rtl/barrett_unit.h"
+
+#include "common/check.h"
+
+namespace lacrv::rtl {
+
+u8 BarrettRtl::reduce(u32 x) {
+  LACRV_CHECK_MSG(x < (1u << 16), "datapath width is 16 bits");
+  ++operations_;
+  // DSP #1: x * m with m = floor(2^16 / q) = 261.
+  const u32 quotient_estimate = (x * 261u) >> 16;
+  // DSP #2: quotient * q.
+  u32 r = x - quotient_estimate * poly::kQ;
+  // Correction stage (LUT logic): at most two conditional subtracts,
+  // both always evaluated — constant time.
+  const u32 ge1 = static_cast<u32>(-(static_cast<i32>(r >= poly::kQ)));
+  r -= ge1 & poly::kQ;
+  const u32 ge2 = static_cast<u32>(-(static_cast<i32>(r >= poly::kQ)));
+  r -= ge2 & poly::kQ;
+  return static_cast<u8>(r);
+}
+
+AreaReport BarrettRtl::area() const {
+  return {"Modulo (Barrett)", kLutsBarrett, 0, 0, 2};
+}
+
+}  // namespace lacrv::rtl

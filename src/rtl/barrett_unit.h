@@ -1,0 +1,26 @@
+// Model of the MOD q unit (Sec. V): constant-time Barrett reduction for
+// q = 251 — the pq.modq instruction's datapath. Two multiplications (the
+// two DSP slices of Table III) and a correction stage; single-cycle issue
+// from the core's perspective.
+#pragma once
+
+#include "poly/ring.h"
+#include "rtl/area.h"
+
+namespace lacrv::rtl {
+
+class BarrettRtl {
+ public:
+  /// Reduce x (< 2^16) modulo 251 through the modelled datapath.
+  u8 reduce(u32 x);
+
+  /// Number of reductions performed (each is one pq.modq issue).
+  u64 operations() const { return operations_; }
+
+  AreaReport area() const;
+
+ private:
+  u64 operations_ = 0;
+};
+
+}  // namespace lacrv::rtl

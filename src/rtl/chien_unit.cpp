@@ -1,0 +1,63 @@
+#include "rtl/chien_unit.h"
+
+#include "common/check.h"
+
+namespace lacrv::rtl {
+
+void ChienRtl::configure(std::span<const gf::Element> lambda, int first) {
+  LACRV_CHECK(!lambda.empty());
+  const int t = static_cast<int>(lambda.size()) - 1;
+  LACRV_CHECK_MSG(t % kParallelMultipliers == 0,
+                  "t must be a multiple of the multiplier count");
+  lambda0_ = lambda[0];
+  lanes_.clear();
+  lanes_.reserve(t);
+  for (int k = 1; k <= t; ++k) {
+    Lane lane;
+    lane.constant = gf::alpha_pow(static_cast<u32>(k));
+    // Software preparation: position the lane at the window start.
+    lane.value = gf::mul_table(
+        lambda[k], gf::alpha_pow(static_cast<u32>(k) * first));
+    lanes_.push_back(lane);
+  }
+  cycles_ = 0;
+}
+
+gf::Element ChienRtl::eval_next() {
+  LACRV_CHECK_MSG(!lanes_.empty(), "configure() first");
+  // Combinational XOR tree over the lane registers plus lambda_0.
+  gf::Element sum = lambda0_;
+  for (const Lane& lane : lanes_) sum = gf::add(sum, lane.value);
+
+  // Advance: groups of four lanes share the four multipliers; each group
+  // pass costs the 9 shift-and-add cycles of MUL GF.
+  for (std::size_t g = 0; g < lanes_.size(); g += kParallelMultipliers) {
+    u64 pass_cycles = 0;
+    for (int m = 0; m < kParallelMultipliers; ++m) {
+      Lane& lane = lanes_[g + m];
+      GfMulRtl& mul = multipliers_[m];
+      mul.reset();
+      mul.load(lane.constant, lane.value);  // feedback into second input
+      mul.start();
+      pass_cycles = std::max(pass_cycles, mul.run_to_completion());
+      lane.value = mul.result();
+    }
+    cycles_ += pass_cycles;  // the four multipliers run in lockstep
+  }
+  return sum;
+}
+
+AreaReport ChienRtl::area() const {
+  // Four physical multipliers + the lambda_0 accumulator, feedback
+  // selection and group sequencing state. Matches Table III's
+  // "GF-Multipliers" row (86 LUTs, 158 registers).
+  AreaReport report = GfMulRtl::area_single();
+  report.name = "GF-Multipliers (Chien)";
+  report.luts *= kParallelMultipliers;
+  report.registers *= kParallelMultipliers;
+  report.luts += 2;        // XOR combine tree packing
+  report.registers += 26;  // lambda_0, loop/group control
+  return report;
+}
+
+}  // namespace lacrv::rtl

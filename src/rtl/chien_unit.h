@@ -1,0 +1,51 @@
+// Cycle-accurate model of the MUL CHIEN unit (Fig. 4).
+//
+// Four MUL GF instances evaluate four locator terms in parallel; the
+// locator is processed in groups of four (t=8 -> 2 group passes per point,
+// t=16 -> 4, Eq. (4)). A feedback loop routes each multiplier's output
+// back to its second input, so after the first round the lambda values
+// never have to be re-loaded: lane k holds lambda_k * alpha^(i*k) and is
+// multiplied by the constant alpha^k to advance to the next point.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "rtl/gf_mul.h"
+
+namespace lacrv::rtl {
+
+class ChienRtl {
+ public:
+  static constexpr int kParallelMultipliers = 4;
+
+  /// Configure for locator coefficients lambda[0..t] and evaluation window
+  /// start exponent `first`. t must be a multiple of 4 (the paper's two
+  /// code configurations use t = 8 and t = 16). The software prepares the
+  /// initial lane values lambda_k * alpha^(first*k); from then on the unit
+  /// runs purely on its feedback loop.
+  void configure(std::span<const gf::Element> lambda, int first);
+
+  /// Sum the current point's terms (combinational read), then advance all
+  /// lanes one exponent through the GF multipliers. Returns
+  /// Lambda(alpha^i) for the current i and moves to i+1.
+  gf::Element eval_next();
+
+  /// Clock cycles consumed by the multiplier array so far.
+  u64 cycles() const { return cycles_; }
+  int group_passes_per_point() const { return static_cast<int>(lanes_.size()) / kParallelMultipliers; }
+
+  AreaReport area() const;
+
+ private:
+  struct Lane {
+    gf::Element constant;  // alpha^k, first multiplier input
+    gf::Element value;     // lambda_k * alpha^(i*k), feedback register
+  };
+  gf::Element lambda0_ = 0;
+  std::vector<Lane> lanes_;
+  std::array<GfMulRtl, kParallelMultipliers> multipliers_{};
+  u64 cycles_ = 0;
+};
+
+}  // namespace lacrv::rtl

@@ -1,0 +1,65 @@
+#include "rtl/gf_mul.h"
+
+#include "common/check.h"
+
+namespace lacrv::rtl {
+
+void GfMulRtl::reset() {
+  a_ = b_ = c_ = 0;
+  bit_ = 0;
+  busy_ = false;
+  cycles_ = 0;
+}
+
+void GfMulRtl::load(gf::Element a, gf::Element b) {
+  LACRV_CHECK(a < gf::kFieldSize && b < gf::kFieldSize);
+  LACRV_CHECK_MSG(!busy_, "operand write while computing");
+  a_ = a;
+  b_ = b;
+}
+
+void GfMulRtl::start() {
+  LACRV_CHECK_MSG(!busy_, "start while busy");
+  c_ = 0;                    // rst clears the shift register
+  bit_ = gf::kFieldBits - 1;  // b_8 first
+  busy_ = true;
+}
+
+void GfMulRtl::tick() {
+  ++cycles_;
+  if (!busy_) return;
+  // Shift left; the c_8 output feeds back into c_0 and c_4.
+  const gf::Element feedback =
+      static_cast<gf::Element>(-((c_ >> (gf::kFieldBits - 1)) & 1));
+  c_ = static_cast<gf::Element>(((c_ << 1) & (gf::kFieldSize - 1)) ^
+                                (feedback & gf::kReductionTaps));
+  // AND gates apply b_bit * a, XOR gates accumulate into the register.
+  const gf::Element sel = static_cast<gf::Element>(-((b_ >> bit_) & 1));
+  c_ = static_cast<gf::Element>(c_ ^ (sel & a_));
+  if (--bit_ < 0) busy_ = false;  // control unit deasserts en after 9 cycles
+}
+
+u64 GfMulRtl::run_to_completion() {
+  u64 ticks = 0;
+  while (busy_) {
+    tick();
+    ++ticks;
+  }
+  return ticks;
+}
+
+gf::Element GfMulRtl::result() const {
+  LACRV_CHECK_MSG(!busy_, "result read while computing");
+  return c_;
+}
+
+AreaReport GfMulRtl::area_single() {
+  AreaReport report;
+  report.name = "GF-Multiplier";
+  // c shift register (9) + operand holds (9 + 9) + bit counter & enable.
+  report.registers = 9 + 9 + 9 + 6;
+  report.luts = kLutsPerGfMul;
+  return report;
+}
+
+}  // namespace lacrv::rtl

@@ -1,0 +1,41 @@
+// Cycle-accurate model of the MUL GF unit (Fig. 3): a 9-bit shift-and-add
+// GF(2^9) multiplier with interleaved reduction by p(x) = 1 + x^4 + x^9.
+//
+// Datapath: shift register c_0..c_8 with a feedback tap from c_8 into the
+// inputs of c_0 and c_4 (alpha^9 = 1 + alpha^4); AND gates form b_i * a
+// and XOR gates accumulate it. The control unit serialises b MSB-first
+// (b_8 in the first clock cycle) and stops the shift after m = 9 cycles.
+#pragma once
+
+#include "gf/gf512.h"
+#include "rtl/area.h"
+
+namespace lacrv::rtl {
+
+class GfMulRtl {
+ public:
+  void reset();
+  /// Load operands; a is the parallel input, b is serialised by the
+  /// control unit.
+  void load(gf::Element a, gf::Element b);
+  void start();
+  void tick();
+  bool busy() const { return busy_; }
+  u64 run_to_completion();
+  gf::Element result() const;
+  u64 cycles() const { return cycles_; }
+
+  // ---- probes for waveform tracing ----------------------------------------
+  gf::Element peek_accumulator() const { return c_; }
+  int current_bit() const { return bit_; }
+
+  static AreaReport area_single();
+
+ private:
+  gf::Element a_ = 0, b_ = 0, c_ = 0;
+  int bit_ = 0;  // next b bit index (counts down from 8)
+  bool busy_ = false;
+  u64 cycles_ = 0;
+};
+
+}  // namespace lacrv::rtl

@@ -1,0 +1,106 @@
+#include "rtl/mul_ter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lacrv::rtl {
+
+MulTerRtl::MulTerRtl(std::size_t n) : n_(n), b_(n, 0), a_(n, 0), c_(n, 0) {
+  LACRV_CHECK(n > 0);
+}
+
+void MulTerRtl::reset() {
+  std::fill(b_.begin(), b_.end(), u8{0});
+  std::fill(a_.begin(), a_.end(), i8{0});
+  std::fill(c_.begin(), c_.end(), u8{0});
+  cntr_ = 0;
+  busy_ = false;
+  cycles_ = 0;
+}
+
+void MulTerRtl::load_b(std::size_t idx, u8 coeff) {
+  LACRV_CHECK(idx < n_);
+  LACRV_CHECK(coeff < poly::kQ);
+  LACRV_CHECK_MSG(!busy_, "operand write while computing");
+  b_[idx] = coeff;
+}
+
+void MulTerRtl::load_a(std::size_t idx, i8 tern) {
+  LACRV_CHECK(idx < n_);
+  LACRV_CHECK(tern >= -1 && tern <= 1);
+  LACRV_CHECK_MSG(!busy_, "operand write while computing");
+  a_[idx] = tern;
+}
+
+void MulTerRtl::start(bool negacyclic) {
+  LACRV_CHECK_MSG(!busy_, "start while busy");
+  negacyclic_ = negacyclic;
+  std::fill(c_.begin(), c_.end(), u8{0});
+  cntr_ = 0;
+  busy_ = true;
+}
+
+void MulTerRtl::tick() {
+  ++cycles_;
+  if (!busy_) return;
+  const i8 ai = a_[cntr_];
+  std::vector<u8> next(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t k = (j + 1) % n_;  // source register / b lane
+    u8 v = c_[k];
+    if (ai != 0) {
+      const bool negate = negacyclic_ && (k + cntr_ >= n_);  // sel_i mux
+      const bool subtract = (ai < 0) != negate;              // MAU mode
+      v = subtract ? poly::sub_mod(v, b_[k]) : poly::add_mod(v, b_[k]);
+    }
+    next[j] = v;
+  }
+  c_.swap(next);
+  if (++cntr_ == n_) busy_ = false;
+}
+
+u64 MulTerRtl::run_to_completion() {
+  u64 ticks = 0;
+  while (busy_) {
+    tick();
+    ++ticks;
+  }
+  return ticks;
+}
+
+u8 MulTerRtl::read_c(std::size_t idx) const {
+  LACRV_CHECK(idx < n_);
+  LACRV_CHECK_MSG(!busy_, "result read while computing");
+  return c_[idx];
+}
+
+AreaReport MulTerRtl::area() const {
+  AreaReport report;
+  report.name = "Ternary Multiplier";
+  // Exact flip-flop inventory: 8-bit result + 8-bit operand + 2-bit
+  // ternary register per lane, plus control FSM / bus staging state.
+  constexpr u64 kControlRegs = 89;
+  report.registers = n_ * (8 + 8 + 2) + kControlRegs;
+  const u64 write_chunks = (n_ + 4) / 5;  // 5 coefficients per pq issue
+  report.luts = n_ * kLutsPerMau + n_ * kLutsPerConvMux +
+                static_cast<u64>(std::llround(n_ * 8 * kLutsPerReadoutBit)) +
+                write_chunks * kLutsPerWriteChunk;
+  return report;
+}
+
+poly::Coeffs MulTerRtl::multiply(const poly::Ternary& a, const poly::Coeffs& b,
+                                 bool negacyclic) {
+  LACRV_CHECK(a.size() == n_ && b.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    load_a(i, a[i]);
+    load_b(i, b[i]);
+  }
+  start(negacyclic);
+  run_to_completion();
+  poly::Coeffs out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = read_c(i);
+  return out;
+}
+
+}  // namespace lacrv::rtl

@@ -1,0 +1,76 @@
+// Cycle-accurate model of the MUL TER unit (Fig. 2).
+//
+// Architecture: n result registers c_0..c_{n-1} (8 bit), n Modular
+// Arithmetic Units (add / subtract / forward mod q), per-MAU multiplexers
+// selecting a_i or -a_i for the negative wrapped convolution, and a
+// control unit that serialises one ternary coefficient per clock cycle
+// (a_0 first). After exactly n clock cycles the registers hold
+// c = a * b mod (x^n -+ 1).
+//
+// Per-cycle register update (derived from the rotate-and-accumulate
+// schedule of the Liu/Wu NTRU multiplier the paper extends):
+//   c_j <- c_{(j+1) mod n}  (+/-)  a_cntr * b_{(j+1) mod n}
+// with the contribution negated iff conv_n is set and the b-lane wraps:
+// (j+1) mod n + cntr >= n  — the paper's "sel_i = 1 iff i > n-1-cntr".
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "poly/ring.h"
+#include "rtl/area.h"
+
+namespace lacrv::rtl {
+
+class MulTerRtl {
+ public:
+  explicit MulTerRtl(std::size_t n = 512);
+
+  /// Clear all registers (the control unit's rst): b, a, c, counter.
+  void reset();
+
+  /// Load one general coefficient into operand register b_idx.
+  void load_b(std::size_t idx, u8 coeff);
+  /// Load one ternary coefficient (-1/0/1) into operand register a_idx.
+  void load_a(std::size_t idx, i8 tern);
+
+  /// Assert start with the selected convolution; the unit becomes busy for
+  /// exactly n cycles.
+  void start(bool negacyclic);
+  /// Advance one clock cycle.
+  void tick();
+  bool busy() const { return busy_; }
+  /// Run the started computation to completion; returns cycles consumed.
+  u64 run_to_completion();
+
+  /// Read result register c_idx (valid when !busy()).
+  u8 read_c(std::size_t idx) const;
+
+  // ---- probes for waveform tracing (no busy-state restrictions) ----------
+  u8 peek_c(std::size_t idx) const { return c_[idx]; }
+  std::size_t cntr() const { return cntr_; }
+  i8 current_a() const { return busy_ ? a_[cntr_] : 0; }
+
+  std::size_t length() const { return n_; }
+  /// Total clock cycles ticked since construction/reset.
+  u64 cycles() const { return cycles_; }
+
+  AreaReport area() const;
+
+  /// Convenience wrapper with the golden-model signature: load, run,
+  /// read back. Still fully cycle-accurate internally.
+  poly::Coeffs multiply(const poly::Ternary& a, const poly::Coeffs& b,
+                        bool negacyclic);
+
+ private:
+  std::size_t n_;
+  std::vector<u8> b_;
+  std::vector<i8> a_;
+  std::vector<u8> c_;
+  std::size_t cntr_ = 0;
+  bool negacyclic_ = false;
+  bool busy_ = false;
+  u64 cycles_ = 0;
+};
+
+}  // namespace lacrv::rtl

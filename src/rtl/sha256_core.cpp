@@ -1,0 +1,126 @@
+#include "rtl/sha256_core.h"
+
+#include "common/check.h"
+
+namespace lacrv::rtl {
+namespace {
+
+constexpr std::array<u32, 64> kK = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr u32 rotr(u32 x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+void Sha256Rtl::reset_state() {
+  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  busy_ = false;
+  round_ = 0;
+}
+
+void Sha256Rtl::load_byte(std::size_t offset, u8 value) {
+  LACRV_CHECK(offset < block_.size());
+  LACRV_CHECK_MSG(!busy_, "block write while compressing");
+  block_[offset] = value;
+}
+
+void Sha256Rtl::start() {
+  LACRV_CHECK_MSG(!busy_, "start while busy");
+  for (int t = 0; t < 16; ++t) schedule_[t] = load_be32(&block_[4 * t]);
+  working_ = state_;
+  round_ = 0;
+  busy_ = true;
+}
+
+void Sha256Rtl::tick() {
+  ++cycles_;
+  if (!busy_) return;
+  if (round_ < 64) {
+    // One SHA-256 round per clock; the message schedule advances through
+    // a 16-word rolling window in the same cycle.
+    u32& a = working_[0];
+    u32& e = working_[4];
+    const u32 w = schedule_[round_ % 16];
+    const u32 s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const u32 ch = (e & working_[5]) ^ (~e & working_[6]);
+    const u32 t1 = working_[7] + s1 + ch + kK[round_] + w;
+    const u32 s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const u32 maj = (a & working_[1]) ^ (a & working_[2]) ^
+                    (working_[1] & working_[2]);
+    const u32 t2 = s0 + maj;
+    // schedule extension for round_ + 16
+    const u32 w15 = schedule_[(round_ + 1) % 16];
+    const u32 w2 = schedule_[(round_ + 14) % 16];
+    const u32 sig0 = rotr(w15, 7) ^ rotr(w15, 18) ^ (w15 >> 3);
+    const u32 sig1 = rotr(w2, 17) ^ rotr(w2, 19) ^ (w2 >> 10);
+    schedule_[round_ % 16] =
+        schedule_[round_ % 16] + sig0 + schedule_[(round_ + 9) % 16] + sig1;
+
+    for (int i = 7; i > 0; --i) working_[i] = working_[i - 1];
+    working_[4] += t1;  // e <- (old) d + t1; the shift moved d into slot 4
+    working_[0] = t1 + t2;
+    ++round_;
+  } else {
+    // state-update cycle: H <- H + working
+    for (int i = 0; i < 8; ++i) state_[i] += working_[i];
+    busy_ = false;
+  }
+}
+
+u64 Sha256Rtl::run_to_completion() {
+  u64 ticks = 0;
+  while (busy_) {
+    tick();
+    ++ticks;
+  }
+  return ticks;
+}
+
+u8 Sha256Rtl::read_digest_byte(std::size_t idx) const {
+  LACRV_CHECK(idx < 32);
+  LACRV_CHECK_MSG(!busy_, "digest read while compressing");
+  return static_cast<u8>(state_[idx / 4] >> (24 - 8 * (idx % 4)));
+}
+
+AreaReport Sha256Rtl::area() const {
+  AreaReport report;
+  report.name = "SHA256";
+  // working (256) + rolling schedule (512) + chaining state (256) +
+  // block staging buffer (512) + round counter / FSM (20).
+  report.registers = 256 + 512 + 256 + 512 + 20;
+  report.luts = kLutsSha256Core + 21;  // round datapath + control decode
+  return report;
+}
+
+hash::Digest Sha256Rtl::hash_message(ByteView message) {
+  reset_state();
+  // FIPS padding in software: 0x80, zeros, 64-bit big-endian bit length.
+  Bytes padded(message.begin(), message.end());
+  const u64 bits = static_cast<u64>(message.size()) * 8;
+  padded.push_back(0x80);
+  while (padded.size() % 64 != 56) padded.push_back(0);
+  for (int i = 7; i >= 0; --i) padded.push_back(static_cast<u8>(bits >> (8 * i)));
+
+  for (std::size_t off = 0; off < padded.size(); off += 64) {
+    for (std::size_t i = 0; i < 64; ++i) load_byte(i, padded[off + i]);
+    start();
+    run_to_completion();
+  }
+  hash::Digest digest;
+  for (std::size_t i = 0; i < digest.size(); ++i)
+    digest[i] = read_digest_byte(i);
+  return digest;
+}
+
+}  // namespace lacrv::rtl

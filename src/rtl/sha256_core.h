@@ -1,0 +1,51 @@
+// Cycle-accurate model of the SHA256 accelerator (from the authors' NTRU
+// co-design [7], reused by this paper). Round-per-cycle core: a 64-byte
+// block is loaded byte-wise (the pq.sha256 interface of Sec. V feeds 8
+// bits per instruction), then 64 round cycles plus a state-update cycle
+// produce the new chaining state. Padding is the software's job — the
+// core only compresses blocks, exactly like the real accelerator.
+#pragma once
+
+#include <array>
+
+#include "hash/sha256.h"
+#include "rtl/area.h"
+
+namespace lacrv::rtl {
+
+class Sha256Rtl {
+ public:
+  Sha256Rtl() { reset_state(); }
+
+  /// Reset the chaining state to the SHA-256 IV (the "reset internal
+  /// state" configuration signal).
+  void reset_state();
+  /// Load one message byte into the block buffer (offset 0..63).
+  void load_byte(std::size_t offset, u8 value);
+  /// Start compressing the loaded block ("generate hash" signal).
+  void start();
+  void tick();
+  bool busy() const { return busy_; }
+  u64 run_to_completion();
+  /// Read one byte of the current chaining state (big-endian digest order).
+  u8 read_digest_byte(std::size_t idx) const;
+  u64 cycles() const { return cycles_; }
+
+  AreaReport area() const;
+
+  /// Convenience: hash an arbitrary message through the core, performing
+  /// the FIPS padding in "software". Returns the digest and leaves the
+  /// cycle counter reflecting every core cycle consumed.
+  hash::Digest hash_message(ByteView message);
+
+ private:
+  std::array<u32, 8> state_{};
+  std::array<u32, 8> working_{};
+  std::array<u8, 64> block_{};
+  std::array<u32, 16> schedule_{};  // rolling W window
+  int round_ = 0;
+  bool busy_ = false;
+  u64 cycles_ = 0;
+};
+
+}  // namespace lacrv::rtl

@@ -1,0 +1,97 @@
+#include "rtl/trace.h"
+
+#include "common/check.h"
+#include "rtl/vcd.h"
+
+namespace lacrv::rtl {
+
+poly::Coeffs trace_mul_ter(MulTerRtl& unit, const poly::Ternary& a,
+                           const poly::Coeffs& b, bool negacyclic,
+                           std::ostream& vcd_stream, int probe_registers) {
+  const std::size_t n = unit.length();
+  LACRV_CHECK(a.size() == n && b.size() == n);
+  probe_registers = std::min<int>(probe_registers, static_cast<int>(n));
+
+  VcdWriter vcd(vcd_stream, "mul_ter");
+  const auto clk = vcd.add_signal("clk", 1);
+  const auto busy = vcd.add_signal("busy", 1);
+  const auto conv_n = vcd.add_signal("conv_n", 1);
+  const auto cntr = vcd.add_signal("cntr", 10);
+  const auto a_i = vcd.add_signal("a_i", 2);  // ternary code 0/1/2
+  std::vector<VcdWriter::SignalId> c_probes;
+  for (int i = 0; i < probe_registers; ++i)
+    c_probes.push_back(vcd.add_signal("c" + std::to_string(i), 8));
+  vcd.begin();
+
+  unit.reset();
+  for (std::size_t i = 0; i < n; ++i) {
+    unit.load_a(i, a[i]);
+    unit.load_b(i, b[i]);
+  }
+  unit.start(negacyclic);
+
+  u64 time = 0;
+  const auto sample = [&](int clk_level) {
+    vcd.advance(time++);
+    vcd.change(clk, static_cast<u64>(clk_level));
+    vcd.change(busy, unit.busy());
+    vcd.change(conv_n, negacyclic);
+    vcd.change(cntr, unit.cntr());
+    const i8 ai = unit.current_a();
+    vcd.change(a_i, ai == 1 ? 1u : ai == -1 ? 2u : 0u);
+    for (int i = 0; i < probe_registers; ++i)
+      vcd.change(c_probes[static_cast<std::size_t>(i)],
+                 unit.peek_c(static_cast<std::size_t>(i)));
+  };
+
+  sample(0);
+  while (unit.busy()) {
+    sample(1);  // rising edge: registers update
+    unit.tick();
+    sample(0);
+  }
+  sample(1);
+  vcd.finish(time);
+
+  poly::Coeffs out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = unit.read_c(i);
+  return out;
+}
+
+gf::Element trace_gf_mul(gf::Element a, gf::Element b,
+                         std::ostream& vcd_stream) {
+  VcdWriter vcd(vcd_stream, "mul_gf");
+  const auto clk = vcd.add_signal("clk", 1);
+  const auto busy = vcd.add_signal("busy", 1);
+  const auto a_in = vcd.add_signal("a", 9);
+  const auto b_bit = vcd.add_signal("b_i", 1);
+  const auto acc = vcd.add_signal("c", 9);
+  vcd.begin();
+
+  GfMulRtl unit;
+  unit.load(a, b);
+  unit.start();
+
+  u64 time = 0;
+  const auto sample = [&](int clk_level) {
+    vcd.advance(time++);
+    vcd.change(clk, static_cast<u64>(clk_level));
+    vcd.change(busy, unit.busy());
+    vcd.change(a_in, a);
+    const int bit = unit.current_bit();
+    vcd.change(b_bit, bit >= 0 ? (b >> bit) & 1 : 0u);
+    vcd.change(acc, unit.peek_accumulator());
+  };
+
+  sample(0);
+  while (unit.busy()) {
+    sample(1);
+    unit.tick();
+    sample(0);
+  }
+  sample(1);
+  vcd.finish(time);
+  return unit.result();
+}
+
+}  // namespace lacrv::rtl

@@ -1,0 +1,25 @@
+// Waveform capture for the accelerator models: run a computation clock by
+// clock while dumping a VCD file — open the result in GTKWave to see the
+// Fig. 2 / Fig. 3 dataflows (register rotation, serialized coefficients,
+// shift-and-add reduction) exactly as an RTL engineer would.
+#pragma once
+
+#include <ostream>
+
+#include "rtl/gf_mul.h"
+#include "rtl/mul_ter.h"
+
+namespace lacrv::rtl {
+
+/// Run a MUL TER multiplication, tracing clk/cntr/busy, the serialized
+/// ternary coefficient, and the first `probe_registers` result registers.
+/// Returns the product.
+poly::Coeffs trace_mul_ter(MulTerRtl& unit, const poly::Ternary& a,
+                           const poly::Coeffs& b, bool negacyclic,
+                           std::ostream& vcd, int probe_registers = 8);
+
+/// Run one GF(2^9) multiplication, tracing the shift-register state and
+/// the serialized b bit. Returns the product.
+gf::Element trace_gf_mul(gf::Element a, gf::Element b, std::ostream& vcd);
+
+}  // namespace lacrv::rtl

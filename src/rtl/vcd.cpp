@@ -1,0 +1,88 @@
+#include "rtl/vcd.h"
+
+#include "common/check.h"
+
+namespace lacrv::rtl {
+namespace {
+
+/// Compact VCD identifier codes: printable ASCII 33..126, multi-char.
+std::string code_for(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& os, std::string module)
+    : os_(os), module_(std::move(module)) {}
+
+VcdWriter::SignalId VcdWriter::add_signal(const std::string& name,
+                                          int width) {
+  LACRV_CHECK_MSG(!started_, "declare signals before begin()");
+  LACRV_CHECK(width >= 1 && width <= 64);
+  Signal signal;
+  signal.name = name;
+  signal.width = width;
+  signal.code = code_for(signals_.size());
+  signals_.push_back(std::move(signal));
+  return signals_.size() - 1;
+}
+
+void VcdWriter::begin() {
+  LACRV_CHECK_MSG(!started_, "begin() called twice");
+  started_ = true;
+  os_ << "$timescale 1ns $end\n";
+  os_ << "$scope module " << module_ << " $end\n";
+  for (const Signal& signal : signals_)
+    os_ << "$var wire " << signal.width << " " << signal.code << " "
+        << signal.name << " $end\n";
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+  os_ << "#0\n";
+  time_written_ = true;
+}
+
+void VcdWriter::advance(u64 time) {
+  LACRV_CHECK_MSG(started_, "begin() first");
+  LACRV_CHECK_MSG(time >= time_, "time must not go backwards");
+  if (time != time_) {
+    time_ = time;
+    time_written_ = false;
+  }
+}
+
+void VcdWriter::write_value(const Signal& signal, u64 value) {
+  if (!time_written_) {
+    os_ << "#" << time_ << "\n";
+    time_written_ = true;
+  }
+  if (signal.width == 1) {
+    os_ << (value & 1) << signal.code << "\n";
+    return;
+  }
+  os_ << "b";
+  for (int bit = signal.width - 1; bit >= 0; --bit)
+    os_ << ((value >> bit) & 1);
+  os_ << " " << signal.code << "\n";
+}
+
+void VcdWriter::change(SignalId id, u64 value) {
+  LACRV_CHECK_MSG(started_, "begin() before recording changes");
+  LACRV_CHECK(id < signals_.size());
+  Signal& signal = signals_[id];
+  if (signal.has_value && signal.last == value) return;
+  signal.last = value;
+  signal.has_value = true;
+  write_value(signal, value);
+}
+
+void VcdWriter::finish(u64 end_time) {
+  advance(end_time);
+  if (!time_written_) os_ << "#" << time_ << "\n";
+  time_written_ = true;
+}
+
+}  // namespace lacrv::rtl

@@ -1,0 +1,56 @@
+// Minimal VCD (IEEE 1364 value-change-dump) writer so the cycle-accurate
+// accelerator models can be inspected in GTKWave & friends — the natural
+// debug workflow for the RTL these models stand in for.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lacrv::rtl {
+
+class VcdWriter {
+ public:
+  using SignalId = std::size_t;
+
+  /// The stream must outlive the writer. Declare signals, then call
+  /// begin(); afterwards use advance()/change().
+  explicit VcdWriter(std::ostream& os, std::string module = "lacrv");
+
+  /// Declare a signal of 1..64 bits. Must precede begin().
+  SignalId add_signal(const std::string& name, int width);
+
+  /// Emit the header and the initial (all-X) dump.
+  void begin();
+
+  /// Move time forward to `time` (monotonically increasing).
+  void advance(u64 time);
+
+  /// Record a value change for a signal at the current time.
+  void change(SignalId signal, u64 value);
+
+  /// Emit the final timestamp; the writer must not be used afterwards.
+  void finish(u64 end_time);
+
+ private:
+  struct Signal {
+    std::string name;
+    int width;
+    std::string code;  // VCD identifier code
+    u64 last = ~u64{0};
+    bool has_value = false;
+  };
+
+  std::ostream& os_;
+  std::string module_;
+  std::vector<Signal> signals_;
+  bool started_ = false;
+  u64 time_ = 0;
+  bool time_written_ = false;
+
+  void write_value(const Signal& signal, u64 value);
+};
+
+}  // namespace lacrv::rtl

@@ -1,0 +1,174 @@
+// Property-based sweeps over the BCH codec: exhaustive single-error
+// correction, structured multi-error patterns, burst errors, linearity,
+// and decoder-flavour equivalence on identical inputs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bch/decoder.h"
+#include "common/rng.h"
+
+namespace lacrv::bch {
+namespace {
+
+Message message_of(Xoshiro256& rng) {
+  Message m;
+  rng.fill(m.data(), m.size());
+  return m;
+}
+
+class CodeSweep : public ::testing::TestWithParam<const CodeSpec*> {};
+
+TEST_P(CodeSweep, ExhaustiveSingleErrorCorrection) {
+  // Flip every single transmitted bit once; the decoder must recover the
+  // message in all spec.length() cases (400 / 328 positions).
+  const CodeSpec& spec = *GetParam();
+  Xoshiro256 rng(1);
+  const Message msg = message_of(rng);
+  const BitVec clean = encode(spec, msg);
+  for (int pos = 0; pos < spec.length(); ++pos) {
+    BitVec noisy = clean;
+    noisy[static_cast<std::size_t>(pos)] ^= 1;
+    const DecodeResult r = decode(spec, noisy, Flavor::kConstantTime);
+    ASSERT_TRUE(r.ok) << "position " << pos;
+    ASSERT_EQ(r.message, msg) << "position " << pos;
+  }
+}
+
+TEST_P(CodeSweep, ExactlyTErrorsAlwaysCorrectable) {
+  const CodeSpec& spec = *GetParam();
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Message msg = message_of(rng);
+    BitVec noisy = encode(spec, msg);
+    std::set<int> positions;
+    while (static_cast<int>(positions.size()) < spec.t)
+      positions.insert(static_cast<int>(rng.next_below(spec.length())));
+    for (int p : positions) noisy[static_cast<std::size_t>(p)] ^= 1;
+    const DecodeResult r = decode(spec, noisy, Flavor::kSubmission);
+    ASSERT_TRUE(r.ok) << "trial " << trial;
+    ASSERT_EQ(r.message, msg) << "trial " << trial;
+  }
+}
+
+TEST_P(CodeSweep, BurstErrorsWithinCapability) {
+  // t consecutive bit flips (a worst-case burst for random codes is
+  // routine for BCH as long as the count stays <= t).
+  const CodeSpec& spec = *GetParam();
+  Xoshiro256 rng(3);
+  const Message msg = message_of(rng);
+  const BitVec clean = encode(spec, msg);
+  for (int start : {0, 57, spec.length() - spec.t}) {
+    BitVec noisy = clean;
+    for (int i = 0; i < spec.t; ++i)
+      noisy[static_cast<std::size_t>(start + i)] ^= 1;
+    const DecodeResult r = decode(spec, noisy, Flavor::kConstantTime);
+    ASSERT_TRUE(r.ok) << "burst at " << start;
+    ASSERT_EQ(r.message, msg) << "burst at " << start;
+  }
+}
+
+TEST_P(CodeSweep, CodeIsLinear) {
+  // The XOR of two codewords is a codeword (zero syndromes).
+  const CodeSpec& spec = *GetParam();
+  Xoshiro256 rng(4);
+  const BitVec a = encode(spec, message_of(rng));
+  const BitVec b = encode(spec, message_of(rng));
+  BitVec sum(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) sum[i] = a[i] ^ b[i];
+  EXPECT_TRUE(all_zero(syndromes(spec, sum, Flavor::kSubmission)));
+}
+
+TEST_P(CodeSweep, ExtremeMessagesRoundTrip) {
+  const CodeSpec& spec = *GetParam();
+  for (u8 fill : {u8{0x00}, u8{0xFF}, u8{0xAA}, u8{0x55}}) {
+    Message msg;
+    msg.fill(fill);
+    const BitVec cw = encode(spec, msg);
+    const DecodeResult r = decode(spec, cw, Flavor::kConstantTime);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.message, msg);
+  }
+}
+
+TEST_P(CodeSweep, FlavoursAgreeOnEveryDecodableWord) {
+  const CodeSpec& spec = *GetParam();
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Message msg = message_of(rng);
+    BitVec noisy = encode(spec, msg);
+    const int errors = static_cast<int>(rng.next_below(spec.t + 1));
+    std::set<int> positions;
+    while (static_cast<int>(positions.size()) < errors)
+      positions.insert(static_cast<int>(rng.next_below(spec.length())));
+    for (int p : positions) noisy[static_cast<std::size_t>(p)] ^= 1;
+
+    const DecodeResult sub = decode(spec, noisy, Flavor::kSubmission);
+    const DecodeResult ct = decode(spec, noisy, Flavor::kConstantTime);
+    ASSERT_EQ(sub.ok, ct.ok);
+    ASSERT_EQ(sub.message, ct.message);
+    ASSERT_EQ(sub.errors_corrected, ct.errors_corrected);
+  }
+}
+
+TEST_P(CodeSweep, SyndromesAreLinearInErrors) {
+  // S(c + e) = S(e) for codeword c: syndromes depend only on the error
+  // pattern — the property the whole decoder rests on.
+  const CodeSpec& spec = *GetParam();
+  Xoshiro256 rng(6);
+  const BitVec cw = encode(spec, message_of(rng));
+  BitVec error(cw.size(), 0);
+  for (int i = 0; i < 5; ++i)
+    error[static_cast<std::size_t>(rng.next_below(spec.length()))] = 1;
+  BitVec noisy(cw.size());
+  for (std::size_t i = 0; i < cw.size(); ++i) noisy[i] = cw[i] ^ error[i];
+  EXPECT_EQ(syndromes(spec, noisy, Flavor::kSubmission),
+            syndromes(spec, error, Flavor::kSubmission));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCodes, CodeSweep,
+                         ::testing::Values(&CodeSpec::bch_511_367_16(),
+                                           &CodeSpec::bch_511_439_8()),
+                         [](const auto& info) {
+                           return info.param->t == 16 ? "t16" : "t8";
+                         });
+
+// ---- parameterized error-count sweep ----------------------------------------
+
+class ErrorCountSweep
+    : public ::testing::TestWithParam<std::tuple<const CodeSpec*, int>> {};
+
+TEST_P(ErrorCountSweep, DecodesAndCountsWindowRoots) {
+  const auto [spec, errors] = GetParam();
+  Xoshiro256 rng(100 + errors);
+  const Message msg = [&] {
+    Message m;
+    rng.fill(m.data(), m.size());
+    return m;
+  }();
+  BitVec noisy = encode(*spec, msg);
+  // inject only message-position errors so every root is in the window
+  std::set<int> positions;
+  while (static_cast<int>(positions.size()) < errors)
+    positions.insert(spec->parity_bits() +
+                     static_cast<int>(rng.next_below(spec->msg_bits)));
+  for (int p : positions) noisy[static_cast<std::size_t>(p)] ^= 1;
+
+  const DecodeResult r = decode(*spec, noisy, Flavor::kConstantTime);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.message, msg);
+  EXPECT_EQ(r.errors_corrected, errors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZeroToT, ErrorCountSweep,
+    ::testing::Combine(::testing::Values(&CodeSpec::bch_511_367_16(),
+                                         &CodeSpec::bch_511_439_8()),
+                       ::testing::Values(0, 1, 2, 3, 5, 8)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)->t == 16 ? "t16" : "t8") +
+             "_e" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace lacrv::bch

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bch/decoder.h"
+#include "common/rng.h"
+
+namespace lacrv::bch {
+namespace {
+
+Message random_message(Xoshiro256& rng) {
+  Message m;
+  rng.fill(m.data(), m.size());
+  return m;
+}
+
+/// Flip `count` distinct bits of w, restricted to [lo, hi).
+void inject_errors(Xoshiro256& rng, BitVec& w, int count, int lo, int hi) {
+  std::set<int> positions;
+  while (static_cast<int>(positions.size()) < count)
+    positions.insert(lo + static_cast<int>(rng.next_below(hi - lo)));
+  for (int p : positions) w[p] ^= 1;
+}
+
+TEST(CodeSpec, GeneratorDegrees) {
+  EXPECT_EQ(CodeSpec::bch_511_367_16().generator.size(), 145u);  // deg 144
+  EXPECT_EQ(CodeSpec::bch_511_439_8().generator.size(), 73u);    // deg 72
+  EXPECT_EQ(CodeSpec::bch_511_367_16().length(), 400);
+  EXPECT_EQ(CodeSpec::bch_511_439_8().length(), 328);
+}
+
+TEST(CodeSpec, GeneratorHasDesignedRoots) {
+  // g(alpha^j) must vanish for j = 1..2t (the defining property).
+  for (const CodeSpec* spec :
+       {&CodeSpec::bch_511_367_16(), &CodeSpec::bch_511_439_8()}) {
+    std::vector<gf::Element> g(spec->generator.begin(),
+                               spec->generator.end());
+    for (int j = 1; j <= 2 * spec->t; ++j)
+      EXPECT_EQ(gf::poly_eval(g, gf::alpha_pow(j), gf::MulKind::kTable), 0u)
+          << "j=" << j;
+    // and not for j = 0 (g(1) != 0 would make the code degenerate; the
+    // generator has odd weight so g(1) = 1).
+    EXPECT_NE(gf::poly_eval(g, 1, gf::MulKind::kTable), 0u);
+  }
+}
+
+TEST(CodeSpec, ChienWindowCoversMessagePositions) {
+  for (const CodeSpec* spec :
+       {&CodeSpec::bch_511_367_16(), &CodeSpec::bch_511_439_8()}) {
+    // Window from the paper: alpha^112..368 (t=16), alpha^184..440 (t=8).
+    // Error at degree d corresponds to exponent 511 - d.
+    for (int i = 0; i < spec->msg_bits; ++i) {
+      const int exponent = gf::kGroupOrder - spec->message_degree(i);
+      EXPECT_GE(exponent, spec->chien_first);
+      EXPECT_LE(exponent, spec->chien_last);
+    }
+  }
+}
+
+TEST(Gf2Poly, MulAndMod) {
+  // (x + 1)(x^2 + x + 1) = x^3 + 1 over GF(2)
+  EXPECT_EQ(poly_mul_gf2({1, 1}, {1, 1, 1}), (BitVec{1, 0, 0, 1}));
+  // (x^3 + 1) mod (x + 1) = 0
+  EXPECT_EQ(poly_mod_gf2({1, 0, 0, 1}, {1, 1}), (BitVec{0}));
+  // x^2 mod (x^2 + x + 1) = x + 1
+  EXPECT_EQ(poly_mod_gf2({0, 0, 1}, {1, 1, 1}), (BitVec{1, 1}));
+}
+
+TEST(Encoder, CodewordIsSystematicAndDivisibleByGenerator) {
+  Xoshiro256 rng(1);
+  const CodeSpec& spec = CodeSpec::bch_511_367_16();
+  const Message msg = random_message(rng);
+  const BitVec cw = encode(spec, msg);
+  ASSERT_EQ(static_cast<int>(cw.size()), spec.length());
+  // systematic placement
+  for (int i = 0; i < spec.msg_bits; ++i)
+    EXPECT_EQ(cw[spec.message_degree(i)], get_bit(msg, i));
+  // c(x) mod g(x) == 0
+  const BitVec rem = poly_mod_gf2(cw, spec.generator);
+  EXPECT_TRUE(std::all_of(rem.begin(), rem.end(),
+                          [](u8 b) { return b == 0; }));
+  EXPECT_EQ(extract_message(spec, cw), msg);
+}
+
+
+TEST(Encoder, ConstantTimeVariantMatchesReference) {
+  Xoshiro256 rng(42);
+  for (const CodeSpec* spec :
+       {&CodeSpec::bch_511_367_16(), &CodeSpec::bch_511_439_8()}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const Message msg = random_message(rng);
+      ASSERT_EQ(encode_ct(*spec, msg), encode(*spec, msg))
+          << spec->t << " trial " << trial;
+    }
+    // corner messages
+    Message zeros{}, ones;
+    ones.fill(0xFF);
+    EXPECT_EQ(encode_ct(*spec, zeros), encode(*spec, zeros));
+    EXPECT_EQ(encode_ct(*spec, ones), encode(*spec, ones));
+  }
+}
+
+TEST(Syndromes, ZeroForValidCodeword) {
+  Xoshiro256 rng(2);
+  for (const CodeSpec* spec :
+       {&CodeSpec::bch_511_367_16(), &CodeSpec::bch_511_439_8()}) {
+    const BitVec cw = encode(*spec, random_message(rng));
+    EXPECT_TRUE(all_zero(syndromes(*spec, cw, Flavor::kSubmission)));
+    EXPECT_TRUE(all_zero(syndromes(*spec, cw, Flavor::kConstantTime)));
+  }
+}
+
+TEST(Syndromes, FlavoursAgreeAndDetectErrors) {
+  Xoshiro256 rng(3);
+  const CodeSpec& spec = CodeSpec::bch_511_367_16();
+  BitVec cw = encode(spec, random_message(rng));
+  inject_errors(rng, cw, 3, 0, spec.length());
+  const auto a = syndromes(spec, cw, Flavor::kSubmission);
+  const auto b = syndromes(spec, cw, Flavor::kConstantTime);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(all_zero(a));
+}
+
+TEST(Syndromes, SingleErrorHasPowerStructure) {
+  // One error at degree d: S_j = alpha^(j*d).
+  const CodeSpec& spec = CodeSpec::bch_511_439_8();
+  const int d = 100;
+  BitVec w(spec.length(), 0);
+  w[d] = 1;
+  const auto s = syndromes(spec, w, Flavor::kSubmission);
+  for (int j = 1; j <= 2 * spec.t; ++j)
+    EXPECT_EQ(s[j - 1], gf::alpha_pow(static_cast<u32>(j) * d)) << "j=" << j;
+}
+
+TEST(BerlekampMassey, DegreeEqualsErrorCount) {
+  Xoshiro256 rng(4);
+  const CodeSpec& spec = CodeSpec::bch_511_367_16();
+  for (int errors = 0; errors <= spec.t; ++errors) {
+    BitVec cw = encode(spec, random_message(rng));
+    inject_errors(rng, cw, errors, 0, spec.length());
+    const auto synd = syndromes(spec, cw, Flavor::kSubmission);
+    EXPECT_EQ(berlekamp_massey(spec, synd, Flavor::kSubmission).degree,
+              errors);
+    EXPECT_EQ(berlekamp_massey(spec, synd, Flavor::kConstantTime).degree,
+              errors);
+  }
+}
+
+TEST(BerlekampMassey, CtLocatorIsScalarMultipleOfSubmission) {
+  Xoshiro256 rng(5);
+  const CodeSpec& spec = CodeSpec::bch_511_367_16();
+  BitVec cw = encode(spec, random_message(rng));
+  inject_errors(rng, cw, 7, 0, spec.length());
+  const auto synd = syndromes(spec, cw, Flavor::kSubmission);
+  const Locator a = berlekamp_massey(spec, synd, Flavor::kSubmission);
+  const Locator b = berlekamp_massey(spec, synd, Flavor::kConstantTime);
+  ASSERT_EQ(a.degree, b.degree);
+  ASSERT_NE(a.lambda[0], 0u);
+  ASSERT_NE(b.lambda[0], 0u);
+  // b = scale * a for one field scalar
+  const gf::Element scale = gf::mul_table(b.lambda[0], gf::inv(a.lambda[0]));
+  for (std::size_t i = 0; i < a.lambda.size(); ++i)
+    EXPECT_EQ(b.lambda[i], gf::mul_table(scale, a.lambda[i])) << "i=" << i;
+}
+
+TEST(Chien, FindsInjectedMessageErrors) {
+  Xoshiro256 rng(6);
+  const CodeSpec& spec = CodeSpec::bch_511_367_16();
+  BitVec cw = encode(spec, random_message(rng));
+  BitVec clean = cw;
+  inject_errors(rng, cw, 5, spec.parity_bits(), spec.length());
+  const auto synd = syndromes(spec, cw, Flavor::kConstantTime);
+  const Locator loc = berlekamp_massey(spec, synd, Flavor::kConstantTime);
+  const ChienResult roots = chien_search(spec, loc, Flavor::kConstantTime);
+  EXPECT_EQ(roots.roots_found, 5);
+  for (int d : roots.error_degrees) {
+    EXPECT_NE(cw[d], clean[d]);
+  }
+  EXPECT_EQ(roots.error_degrees.size(), 5u);
+}
+
+class DecodeSweep
+    : public ::testing::TestWithParam<std::tuple<const CodeSpec*, Flavor>> {};
+
+TEST_P(DecodeSweep, CorrectsUpToTErrorsAnywhere) {
+  const auto [spec, flavor] = GetParam();
+  Xoshiro256 rng(7);
+  for (int errors = 0; errors <= spec->t; ++errors) {
+    const Message msg = random_message(rng);
+    BitVec cw = encode(*spec, msg);
+    inject_errors(rng, cw, errors, 0, spec->length());
+    const DecodeResult result = decode(*spec, cw, flavor);
+    EXPECT_TRUE(result.ok) << errors << " errors";
+    EXPECT_EQ(result.message, msg) << errors << " errors";
+  }
+}
+
+TEST_P(DecodeSweep, MessageIntactWithParityOnlyErrors) {
+  const auto [spec, flavor] = GetParam();
+  Xoshiro256 rng(8);
+  const Message msg = random_message(rng);
+  BitVec cw = encode(*spec, msg);
+  inject_errors(rng, cw, spec->t, 0, spec->parity_bits());
+  const DecodeResult result = decode(*spec, cw, flavor);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.message, msg);
+  EXPECT_EQ(result.errors_corrected, 0);  // parity roots are out of window
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodesAndFlavours, DecodeSweep,
+    ::testing::Combine(::testing::Values(&CodeSpec::bch_511_367_16(),
+                                         &CodeSpec::bch_511_439_8()),
+                       ::testing::Values(Flavor::kSubmission,
+                                         Flavor::kConstantTime)),
+    [](const auto& info) {
+      const auto* spec = std::get<0>(info.param);
+      return std::string(spec->t == 16 ? "t16" : "t8") +
+             (std::get<1>(info.param) == Flavor::kSubmission ? "_submission"
+                                                             : "_ct");
+    });
+
+TEST(Decode, RandomizedRoundTripsManySeeds) {
+  const CodeSpec& spec = CodeSpec::bch_511_367_16();
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Message msg = random_message(rng);
+    BitVec cw = encode(spec, msg);
+    const int errors = static_cast<int>(rng.next_below(spec.t + 1));
+    inject_errors(rng, cw, errors, 0, spec.length());
+    const DecodeResult r = decode(spec, cw, Flavor::kConstantTime);
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.message, msg) << "trial " << trial;
+  }
+}
+
+TEST(Decode, BeyondCapacityDoesNotRoundTrip) {
+  // t+heavy error bursts: decoding may fail or miscorrect, but must not
+  // silently return the original message while reporting inconsistency.
+  const CodeSpec& spec = CodeSpec::bch_511_439_8();
+  Xoshiro256 rng(10);
+  int failures = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Message msg = random_message(rng);
+    BitVec cw = encode(spec, msg);
+    inject_errors(rng, cw, 3 * spec.t, 0, spec.length());
+    const DecodeResult r = decode(spec, cw, Flavor::kConstantTime);
+    if (!r.ok || r.message != msg) ++failures;
+  }
+  EXPECT_GT(failures, 15);  // overwhelming majority must not round-trip
+}
+
+// ---- Table I timing shape ------------------------------------------------
+
+struct StageCycles {
+  u64 syndrome, error_loc, chien, total;
+};
+
+StageCycles decode_cycles(const CodeSpec& spec, const BitVec& w,
+                          Flavor flavor) {
+  CycleLedger ledger;
+  decode(spec, w, flavor, &ledger);
+  return {ledger.section("bch_syndrome"), ledger.section("bch_error_loc"),
+          ledger.section("bch_chien"), ledger.total()};
+}
+
+TEST(TimingShape, SubmissionDecoderIsVariableTime) {
+  Xoshiro256 rng(11);
+  const CodeSpec& spec = CodeSpec::bch_511_367_16();
+  const BitVec clean = encode(spec, random_message(rng));
+  BitVec noisy = clean;
+  inject_errors(rng, noisy, spec.t, 0, spec.length());
+
+  const StageCycles c0 = decode_cycles(spec, clean, Flavor::kSubmission);
+  const StageCycles c16 = decode_cycles(spec, noisy, Flavor::kSubmission);
+  // Table I: the error-locator stage leaks the error count hard
+  // (158 vs ~10k cycles).
+  EXPECT_LT(c0.error_loc, 500u);
+  EXPECT_GT(c16.error_loc, 5000u);
+  EXPECT_NE(c0.total, c16.total);
+}
+
+TEST(TimingShape, ConstantTimeDecoderIsNearlyFixed) {
+  Xoshiro256 rng(12);
+  const CodeSpec& spec = CodeSpec::bch_511_367_16();
+  const BitVec clean = encode(spec, random_message(rng));
+  BitVec noisy = clean;
+  inject_errors(rng, noisy, spec.t, 0, spec.length());
+
+  const StageCycles c0 = decode_cycles(spec, clean, Flavor::kConstantTime);
+  const StageCycles c16 = decode_cycles(spec, noisy, Flavor::kConstantTime);
+  // Walters et al.: syndromes and Chien bit-exact equal; BM differs only
+  // by a few cycles (masked-inversion residue), Table I: 33,810 vs 33,867.
+  EXPECT_EQ(c0.syndrome, c16.syndrome);
+  EXPECT_EQ(c0.chien, c16.chien);
+  EXPECT_LE(c16.error_loc - c0.error_loc, 100u);
+  EXPECT_LE(c16.total - c0.total, 100u);
+}
+
+TEST(TimingShape, MagnitudesNearTableI) {
+  Xoshiro256 rng(13);
+  const CodeSpec& spec = CodeSpec::bch_511_367_16();
+  const BitVec clean = encode(spec, random_message(rng));
+  BitVec noisy = clean;
+  inject_errors(rng, noisy, spec.t, 0, spec.length());
+
+  const StageCycles sub0 = decode_cycles(spec, clean, Flavor::kSubmission);
+  const StageCycles sub16 = decode_cycles(spec, noisy, Flavor::kSubmission);
+  const StageCycles ct = decode_cycles(spec, clean, Flavor::kConstantTime);
+
+  // Paper values with a 15% modelling band.
+  EXPECT_NEAR(static_cast<double>(sub0.syndrome), 61994, 61994 * 0.15);
+  EXPECT_NEAR(static_cast<double>(sub16.error_loc), 10172, 10172 * 0.25);
+  EXPECT_NEAR(static_cast<double>(sub0.chien), 107431, 107431 * 0.15);
+  EXPECT_NEAR(static_cast<double>(ct.syndrome), 89335, 89335 * 0.15);
+  EXPECT_NEAR(static_cast<double>(ct.error_loc), 33810, 33810 * 0.15);
+  EXPECT_NEAR(static_cast<double>(ct.chien), 380546, 380546 * 0.15);
+  EXPECT_NEAR(static_cast<double>(ct.total), 514169, 514169 * 0.15);
+}
+
+}  // namespace
+}  // namespace lacrv::bch

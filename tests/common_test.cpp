@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "common/ledger.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace lacrv {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  EXPECT_EQ(to_hex(data), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), data);
+  EXPECT_EQ(from_hex("0001ABFF7E"), data);
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(CtEqual, Basics) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(EndianHelpers, RoundTrip) {
+  u8 buf[4];
+  store_le32(buf, 0x12345678u);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(load_le32(buf), 0x12345678u);
+  store_be32(buf, 0x12345678u);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(load_be32(buf), 0x12345678u);
+}
+
+TEST(Check, ThrowsWithLocation) {
+  try {
+    LACRV_CHECK_MSG(1 == 2, "impossible");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("impossible"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Xoshiro, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(251), 251u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Xoshiro, NextBelowCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<u64> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, FillProducesDifferentTails) {
+  Xoshiro256 rng(1);
+  Bytes a = rng.bytes(33);
+  Bytes b = rng.bytes(33);
+  EXPECT_EQ(a.size(), 33u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Ledger, ChargesIntoInnermostSection) {
+  CycleLedger ledger;
+  ledger.push_section("outer");
+  ledger.charge(10);
+  ledger.push_section("inner");
+  ledger.charge(5);
+  ledger.pop_section();
+  ledger.charge(1);
+  ledger.pop_section();
+  EXPECT_EQ(ledger.total(), 16u);
+  EXPECT_EQ(ledger.section("outer"), 11u);
+  EXPECT_EQ(ledger.section("inner"), 5u);
+  EXPECT_EQ(ledger.section("absent"), 0u);
+}
+
+TEST(Ledger, ScopeIsRaii) {
+  CycleLedger ledger;
+  {
+    LedgerScope scope(&ledger, "s");
+    ledger.charge(3);
+  }
+  ledger.charge(4);
+  EXPECT_EQ(ledger.section("s"), 3u);
+  EXPECT_EQ(ledger.total(), 7u);
+}
+
+TEST(Ledger, NullLedgerScopeIsNoop) {
+  LedgerScope scope(nullptr, "s");
+  charge(nullptr, 100);  // must not crash
+}
+
+TEST(Ledger, ResetClearsEverything) {
+  CycleLedger ledger;
+  ledger.push_section("a");
+  ledger.charge(2);
+  ledger.reset();
+  EXPECT_EQ(ledger.total(), 0u);
+  EXPECT_TRUE(ledger.sections().empty());
+}
+
+}  // namespace
+}  // namespace lacrv

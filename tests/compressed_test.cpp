@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "riscv/compressed.h"
+#include "common/check.h"
+#include "riscv/assembler.h"
+#include "riscv/cpu.h"
+#include "riscv/encoding.h"
+
+namespace lacrv::rv {
+namespace {
+
+/// Load raw 16-bit parcels at address 0 and run to ebreak.
+Cpu run_compressed(const std::vector<u16>& parcels) {
+  Cpu cpu;
+  Bytes bytes;
+  for (u16 p : parcels) {
+    bytes.push_back(static_cast<u8>(p));
+    bytes.push_back(static_cast<u8>(p >> 8));
+  }
+  cpu.load_bytes(0, bytes);
+  cpu.run(100000);
+  EXPECT_TRUE(cpu.halted());
+  return cpu;
+}
+
+// ---- known encodings from the RISC-V spec / binutils ----------------------
+
+TEST(Compressed, WellKnownEncodings) {
+  EXPECT_EQ(c_nop(), 0x0001);
+  EXPECT_EQ(c_ebreak(), 0x9002);
+  EXPECT_EQ(c_jr(1), 0x8082);       // "ret"
+  EXPECT_EQ(c_mv(10, 11), 0x852E);  // mv a0, a1
+  EXPECT_EQ(c_add(10, 11), 0x952E); // add a0, a0, a1
+  EXPECT_EQ(c_li(10, 0), 0x4501);   // li a0, 0
+  EXPECT_EQ(c_addi(10, 1), 0x0505); // addi a0, a0, 1
+}
+
+TEST(Compressed, ExpansionOfWellKnownEncodings) {
+  EXPECT_EQ(expand_compressed(0x0001), encode_i(kOpImm, 0, 0, 0, 0));  // nop
+  EXPECT_EQ(expand_compressed(0x9002), 0x00100073u);                   // ebreak
+  EXPECT_EQ(expand_compressed(0x8082), encode_i(kOpJalr, 0, 0, 1, 0)); // ret
+  EXPECT_EQ(expand_compressed(0x852E), encode_r(kOpReg, 10, 0, 0, 11, 0));
+  EXPECT_EQ(expand_compressed(0x4501), encode_i(kOpImm, 10, 0, 0, 0));
+}
+
+TEST(Compressed, IllegalEncodingsRejected) {
+  EXPECT_ANY_THROW(expand_compressed(0x0000));  // defined illegal
+  // c.addi4spn with zero immediate is reserved (funct3=000, imm=0, rd'=x9)
+  EXPECT_ANY_THROW(expand_compressed(static_cast<u16>(1 << 2)));
+}
+
+// ---- semantic equivalence: run compressed vs expanded 32-bit ---------------
+
+TEST(Compressed, ArithmeticSequence) {
+  const Cpu cpu = run_compressed({
+      c_li(10, 21),      // a0 = 21
+      c_addi(10, 10),    // a0 = 31
+      c_mv(11, 10),      // a1 = 31
+      c_add(11, 10),     // a1 = 62
+      c_ebreak(),
+  });
+  EXPECT_EQ(cpu.reg(10), 31u);
+  EXPECT_EQ(cpu.reg(11), 62u);
+}
+
+TEST(Compressed, PrimeRegisterAluOps) {
+  const Cpu cpu = run_compressed({
+      c_li(8, 0b1100),   // s0
+      c_li(9, 0b1010),   // s1
+      c_mv(12, 8),       // a2 = s0
+      c_and(12, 9),      // a2 = 8
+      c_mv(13, 8),
+      c_or(13, 9),       // a3 = 14
+      c_mv(14, 8),
+      c_xor(14, 9),      // a4 = 6
+      c_mv(15, 8),
+      c_sub(15, 9),      // a5 = 2
+      c_ebreak(),
+  });
+  EXPECT_EQ(cpu.reg(12), 8u);
+  EXPECT_EQ(cpu.reg(13), 14u);
+  EXPECT_EQ(cpu.reg(14), 6u);
+  EXPECT_EQ(cpu.reg(15), 2u);
+}
+
+TEST(Compressed, ShiftsAndAndi) {
+  const Cpu cpu = run_compressed({
+      c_li(8, -2),        // s0 = 0xFFFFFFFE
+      c_srai(8, 1),       // s0 = -1
+      c_li(9, 16),
+      c_slli(9, 3),       // s1 = 128
+      c_srli(9, 2),       // wait: c_srli needs prime reg (9 is prime)
+      c_andi(9, 0x1F),    // s1 = 32 & 31 = 0... see expectations below
+      c_ebreak(),
+  });
+  EXPECT_EQ(cpu.reg(8), 0xFFFFFFFFu);
+  // 16 << 3 = 128; 128 >> 2 = 32; 32 & 31 = 0
+  EXPECT_EQ(cpu.reg(9), 0u);
+}
+
+TEST(Compressed, StackLoadsAndStores) {
+  const Cpu cpu = run_compressed({
+      c_addi(2, 16),        // sp = 16 (was 0)
+      c_li(10, 17),
+      c_swsp(10, 4),        // [sp+4] = 17
+      c_lwsp(11, 4),        // a1 = 17
+      c_addi4spn(8, 4),     // s0 = sp + 4 = 20
+      c_li(12, 5),
+      c_sw(12, 8, 8),       // [s0 + 8] = [28] = 5
+      c_lw(13, 8, 8),       // a3 = 5
+      c_ebreak(),
+  });
+  EXPECT_EQ(cpu.reg(11), 17u);
+  EXPECT_EQ(cpu.reg(8), 20u);
+  EXPECT_EQ(cpu.reg(13), 5u);
+  EXPECT_EQ(cpu.read_word(20 + 8), 5u);
+}
+
+TEST(Compressed, BranchesAndJumps) {
+  // countdown loop with c.bnez and a c.j skip
+  const Cpu cpu = run_compressed({
+      c_li(8, 5),        // s0 = 5
+      c_li(10, 0),       // a0 = 0
+      // loop:
+      c_addi(10, 1),     // a0++
+      c_addi(8, -1),     // s0--
+      c_bnez(8, -4),     // back to loop
+      c_j(4),            // skip the poison below
+      c_li(10, -1),      // (skipped)
+      c_ebreak(),
+  });
+  EXPECT_EQ(cpu.reg(10), 5u);
+}
+
+TEST(Compressed, BeqzTakenAndNotTaken) {
+  const Cpu cpu = run_compressed({
+      c_li(8, 0),
+      c_beqz(8, 4),   // taken: skip next
+      c_li(10, 31),   // skipped
+      c_li(9, 1),
+      c_beqz(9, 4),   // not taken
+      c_li(11, 31),   // executed
+      c_ebreak(),
+  });
+  EXPECT_EQ(cpu.reg(10), 0u);
+  EXPECT_EQ(cpu.reg(11), 31u);
+}
+
+TEST(Compressed, JalLinksPcPlus2) {
+  const Cpu cpu = run_compressed({
+      c_jal(6),        // at pc 0: jump to 6, ra = 2
+      c_ebreak(),      // at pc 2 (return target)
+      c_nop(),         // at pc 4
+      c_li(10, 7),     // at pc 6
+      c_jr(1),         // back to ra = 2
+  });
+  EXPECT_EQ(cpu.reg(10), 7u);
+  EXPECT_EQ(cpu.reg(1), 2u);
+}
+
+TEST(Compressed, JalrLinksAndJumps) {
+  const Cpu cpu = run_compressed({
+      c_li(8, 8),
+      c_jalr(8),       // at pc 2: jump to 8, ra = 4
+      c_ebreak(),      // at pc 4
+      c_nop(),
+      c_li(10, 3),     // at pc 8
+      c_jr(1),
+  });
+  EXPECT_EQ(cpu.reg(10), 3u);
+  EXPECT_EQ(cpu.reg(1), 4u);
+}
+
+TEST(Compressed, LuiAndAddi16Sp) {
+  const Cpu cpu = run_compressed({
+      c_lui(10, 5),        // a0 = 5 << 12
+      c_lui(11, -1),       // a1 = 0xFFFFF000
+      c_addi(2, 16),       // sp = 16
+      c_addi16sp(-16),     // sp = 0
+      c_ebreak(),
+  });
+  EXPECT_EQ(cpu.reg(10), 5u << 12);
+  EXPECT_EQ(cpu.reg(11), 0xFFFFF000u);
+  EXPECT_EQ(cpu.reg(2), 0u);
+}
+
+TEST(Compressed, MixedWith32BitCode) {
+  // 32-bit li (lui+addi) followed by compressed ops — parcel alignment
+  // and mixed fetch must work.
+  Cpu cpu;
+  Bytes bytes;
+  const u32 lui = encode_u(kOpLui, 10, 0x12345);
+  const u32 addi = encode_i(kOpImm, 10, 0, 10, 0x678);
+  for (u32 w : {lui, addi}) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<u8>(w >> (8 * i)));
+  }
+  for (u16 p : {c_mv(11, 10), c_addi(11, 1), c_ebreak()}) {
+    bytes.push_back(static_cast<u8>(p));
+    bytes.push_back(static_cast<u8>(p >> 8));
+  }
+  cpu.load_bytes(0, bytes);
+  cpu.run(100);
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.reg(10), 0x12345678u);
+  EXPECT_EQ(cpu.reg(11), 0x12345679u);
+}
+
+TEST(Compressed, RandomizedAluEquivalence) {
+  // Property: for random operand values, each compressed ALU op must give
+  // exactly the same result as its expanded 32-bit twin run on a second CPU.
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 200; ++trial) {
+    const u32 x = rng.next_u32();
+    const u32 y = rng.next_u32();
+    const int op = static_cast<int>(rng.next_below(4));
+    const u16 comp = op == 0   ? c_sub(8, 9)
+                     : op == 1 ? c_xor(8, 9)
+                     : op == 2 ? c_or(8, 9)
+                               : c_and(8, 9);
+
+    Cpu a;
+    a.set_reg(8, x);
+    a.set_reg(9, y);
+    Bytes bytes = {static_cast<u8>(comp), static_cast<u8>(comp >> 8),
+                   static_cast<u8>(c_ebreak()),
+                   static_cast<u8>(c_ebreak() >> 8)};
+    a.load_bytes(0, bytes);
+    a.run(10);
+
+    Cpu b;
+    b.set_reg(8, x);
+    b.set_reg(9, y);
+    const u32 expanded = expand_compressed(comp);
+    b.load_words(0, std::array<u32, 2>{expanded, 0x00100073});
+    b.run(10);
+
+    ASSERT_EQ(a.reg(8), b.reg(8)) << "trial " << trial << " op " << op;
+  }
+}
+
+TEST(Compressed, CodeSizeHalvesInstructionBytes) {
+  // The point of the C extension: the countdown loop in compressed form
+  // is half the code size of the 32-bit form with identical semantics.
+  const std::vector<u16> compressed = {c_li(8, 30), c_addi(8, -1),
+                                       c_bnez(8, -2), c_ebreak()};
+  const Cpu cpu = run_compressed(compressed);
+  EXPECT_EQ(cpu.reg(8), 0u);
+  EXPECT_EQ(compressed.size() * 2, 8u);  // vs 16 bytes in RV32I
+}
+
+
+// ---- assembler-level c.* support -------------------------------------------
+
+
+TEST(Compressed, ExhaustiveDecoderSweepProducesLegalExpansions) {
+  // Every 16-bit parcel either throws (reserved/unsupported) or expands
+  // to a well-formed 32-bit instruction whose opcode is one we execute.
+  // This sweep pins the decoder against accidental garbage expansions.
+  int expanded = 0, rejected = 0;
+  for (u32 raw = 0; raw < 0x10000; ++raw) {
+    const u16 c = static_cast<u16>(raw);
+    if (!is_compressed(c)) continue;  // quadrant 3 = 32-bit space
+    try {
+      const u32 insn = expand_compressed(c);
+      ++expanded;
+      const u32 op = get_opcode(insn);
+      ASSERT_TRUE(op == kOpImm || op == kOpLui || op == kOpJal ||
+                  op == kOpJalr || op == kOpBranch || op == kOpLoad ||
+                  op == kOpStore || op == kOpReg || insn == 0x00100073)
+          << "parcel 0x" << std::hex << raw << " -> opcode " << op;
+      // expansions must always be uncompressed encodings
+      ASSERT_EQ(insn & 3u, 3u) << "parcel 0x" << std::hex << raw;
+    } catch (const CheckError&) {
+      ++rejected;
+    }
+  }
+  // the supported quadrants cover most of the space
+  EXPECT_GT(expanded, 28000);
+  EXPECT_GT(rejected, 1000);  // FP forms, reserved encodings
+}
+
+TEST(Compressed, EncodersRoundTripThroughDecoder) {
+  // Encode -> expand -> compare against the directly-encoded 32-bit twin
+  // for a representative operand grid of each mnemonic.
+  for (int rd : {8, 9, 15}) {
+    for (i32 imm : {-32, -1, 0, 5, 31}) {
+      EXPECT_EQ(expand_compressed(c_li(rd, imm)),
+                encode_i(kOpImm, static_cast<u32>(rd), 0, 0, imm));
+      if (imm != 0) {
+        EXPECT_EQ(expand_compressed(c_addi(rd, imm)),
+                  encode_i(kOpImm, static_cast<u32>(rd), 0,
+                           static_cast<u32>(rd), imm));
+      }
+    }
+    for (u32 sh : {1u, 7u, 31u}) {
+      EXPECT_EQ(expand_compressed(c_srli(rd, sh)),
+                encode_i(kOpImm, static_cast<u32>(rd), 5,
+                         static_cast<u32>(rd), static_cast<i32>(sh)));
+      EXPECT_EQ(expand_compressed(c_srai(rd, sh)),
+                encode_i(kOpImm, static_cast<u32>(rd), 5,
+                         static_cast<u32>(rd), static_cast<i32>(sh | 0x400)));
+    }
+    for (u32 off : {0u, 4u, 64u, 124u}) {
+      EXPECT_EQ(expand_compressed(c_lw(rd, 8, off)),
+                encode_i(kOpLoad, static_cast<u32>(rd), 2, 8,
+                         static_cast<i32>(off)));
+      EXPECT_EQ(expand_compressed(c_sw(rd, 8, off)),
+                encode_s(kOpStore, 2, 8, static_cast<u32>(rd),
+                         static_cast<i32>(off)));
+    }
+  }
+  for (i32 off : {-256, -2, 0, 2, 254}) {
+    EXPECT_EQ(imm_b(expand_compressed(c_beqz(8, off))), off);
+    EXPECT_EQ(imm_b(expand_compressed(c_bnez(9, off))), off);
+  }
+  for (i32 off : {-2048, -2, 0, 2, 2046}) {
+    EXPECT_EQ(imm_j(expand_compressed(c_j(off))), off);
+    EXPECT_EQ(imm_j(expand_compressed(c_jal(off))), off);
+  }
+}
+
+TEST(CompressedAsm, MixedSourceWithLabels) {
+  const Program prog = assemble(R"(
+      c.li   s0, 6
+      li     a0, 0          # 32-bit pseudo (8 bytes)
+    loop:
+      c.addi a0, 2
+      c.addi s0, -1
+      c.bnez s0, loop
+      c.j    end
+      c.li   a0, -1         # skipped
+    end:
+      c.ebreak
+  )");
+  Cpu cpu;
+  cpu.load_bytes(0, prog.image);
+  cpu.run(1000);
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.reg(10), 12u);
+}
+
+TEST(CompressedAsm, ImageIsDenserThan32BitEquivalent) {
+  const Program compressed = assemble(R"(
+    c.li  a0, 5
+    c.mv  a1, a0
+    c.add a1, a0
+    c.ebreak
+  )");
+  EXPECT_EQ(compressed.image.size(), 8u);  // 4 x 2 bytes
+  const Program wide = assemble(R"(
+    addi a0, zero, 5
+    mv   a1, a0
+    add  a1, a1, a0
+    ebreak
+  )");
+  EXPECT_EQ(wide.image.size(), 16u);
+}
+
+TEST(CompressedAsm, MemoryFormsAndStackForms) {
+  const Program prog = assemble(R"(
+      c.addi  sp, 16
+      c.li    a0, 9
+      c.swsp  a0, 8
+      c.lwsp  a1, 8
+      c.addi4spn s0, 8
+      c.sw    a1, 4(s0)
+      c.lw    a2, 4(s0)
+      c.ebreak
+  )");
+  Cpu cpu;
+  cpu.load_bytes(0, prog.image);
+  cpu.run(100);
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.reg(11), 9u);
+  EXPECT_EQ(cpu.reg(12), 9u);
+}
+
+TEST(CompressedAsm, CallAndReturnViaJalJr) {
+  const Program prog = assemble(R"(
+      c.li   a0, 4
+      c.jal  double
+      c.jal  double
+      c.ebreak
+    double:
+      c.add  a0, a0
+      c.jr   ra
+  )");
+  Cpu cpu;
+  cpu.load_bytes(0, prog.image);
+  cpu.run(100);
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.reg(10), 16u);
+}
+
+TEST(CompressedAsm, DiagnosesBadOperands) {
+  EXPECT_ANY_THROW(assemble("c.li a0, 32"));       // imm out of range
+  EXPECT_ANY_THROW(assemble("c.sub t0, a1"));      // t0 is not x8..x15
+  EXPECT_ANY_THROW(assemble("c.lui sp, 1"));       // rd=2 reserved for sp form
+  EXPECT_ANY_THROW(assemble("c.bogus a0, a1"));
+}
+
+TEST(Disassembly, ParcelAwareHelper) {
+  EXPECT_EQ(disassemble_parcel(c_mv(10, 11)), "c: add a0, zero, a1");
+  EXPECT_EQ(disassemble_parcel(0x0000), "<illegal>");
+  EXPECT_EQ(disassemble_parcel(encode_i(kOpImm, 10, 0, 0, 42)),
+            "addi a0, zero, 42");
+}
+
+}  // namespace
+}  // namespace lacrv::rv

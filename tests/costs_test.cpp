@@ -1,0 +1,67 @@
+// Consistency invariants of the cycle-cost model itself — the relations
+// the paper's tables rest on must hold structurally, independent of the
+// calibrated magnitudes.
+#include <gtest/gtest.h>
+
+#include "common/costs.h"
+#include "lac/gen_a.h"
+
+namespace lacrv {
+namespace {
+
+TEST(CostModel, ConstantTimeStepsCostMoreThanTableDriven) {
+  // Branch-free shift-and-add GF arithmetic is slower per step than the
+  // log/alog table path — the price of constant time (Table I's 3x).
+  EXPECT_GT(cost::kCtSyndromeStep, cost::kSubSyndromeStep);
+  EXPECT_GT(cost::kCtChienTermStep, cost::kSubChienTermStep);
+  EXPECT_GT(cost::kCtBmTermStep, cost::kSubBmTermStep);
+}
+
+TEST(CostModel, AcceleratedHashCheaperThanSoftware) {
+  EXPECT_LT(cost::kHwSha256Block, cost::kSwSha256Block);
+  EXPECT_LT(cost::kHwKeccakBlock, cost::kSwKeccakBlock);
+  // ...and the Keccak core beats the byte-fed SHA-256 interface per byte:
+  // 168-byte blocks vs 32-byte blocks.
+  EXPECT_LT(cost::kHwKeccakBlock / 168.0, cost::kHwSha256Block / 32.0);
+}
+
+TEST(CostModel, PrgBlockCostDispatch) {
+  using lac::HashImpl;
+  using lac::PrgKind;
+  EXPECT_EQ(lac::prg_block_cost(PrgKind::kSha256Ctr, HashImpl::kSoftware),
+            cost::kSwSha256Block);
+  EXPECT_EQ(lac::prg_block_cost(PrgKind::kSha256Ctr, HashImpl::kAccelerated),
+            cost::kHwSha256Block);
+  EXPECT_EQ(lac::prg_block_cost(PrgKind::kShake128, HashImpl::kAccelerated),
+            cost::kHwKeccakBlock);
+  EXPECT_EQ(lac::prg_block_cost(PrgKind::kShake128, HashImpl::kSoftware),
+            cost::kSwKeccakBlock);
+}
+
+TEST(CostModel, ReferenceMultMagnitudeMatchesTableII) {
+  // n rows x (outer + n * inner) must land on the paper's reference
+  // multiplication cells — the anchor the whole layer-2 calibration
+  // hangs off.
+  const auto ref_mult = [](u64 n) {
+    return n * (cost::kRefMultOuterStep + n * cost::kRefMultInnerStep);
+  };
+  EXPECT_NEAR(static_cast<double>(ref_mult(512)), 2381843.0, 25000.0);
+  EXPECT_NEAR(static_cast<double>(ref_mult(1024)), 9482261.0, 50000.0);
+}
+
+TEST(CostModel, MulTerCallNearPaperValue) {
+  const u64 call = cost::kKernelCallOverhead +
+                   103 * cost::kMulTerLoadChunk + cost::kMulTerStartOverhead +
+                   512 + 128 * cost::kMulTerReadChunk;
+  EXPECT_NEAR(static_cast<double>(call), 6390.0, 6390.0 * 0.06);
+}
+
+TEST(CostModel, PipelineCostsAreOrdered) {
+  EXPECT_LT(cost::kAlu, cost::kBranchTaken);
+  EXPECT_LT(cost::kBranchNotTaken, cost::kBranchTaken);
+  EXPECT_GT(cost::kDiv, 10 * cost::kMul);
+  EXPECT_EQ(cost::kPqIssue, cost::kAlu);  // single-issue custom instruction
+}
+
+}  // namespace
+}  // namespace lacrv

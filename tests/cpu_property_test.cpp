@@ -1,0 +1,225 @@
+// Randomized per-instruction semantics of the ISS against host-computed
+// oracles, plus encoder/decoder/disassembler consistency sweeps.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "riscv/assembler.h"
+#include "riscv/cpu.h"
+#include "riscv/encoding.h"
+
+namespace lacrv::rv {
+namespace {
+
+/// Execute a single R-type/I-type instruction with preset registers.
+u32 exec_one(u32 insn, u32 x5, u32 x6) {
+  Cpu cpu;
+  cpu.set_reg(5, x5);
+  cpu.set_reg(6, x6);
+  cpu.load_words(0, std::array<u32, 2>{insn, 0x00100073});
+  cpu.run(4);
+  return cpu.reg(7);  // convention: rd = x7
+}
+
+struct AluCase {
+  const char* name;
+  u32 funct3, funct7;
+  u32 (*oracle)(u32, u32);
+};
+
+constexpr AluCase kAluCases[] = {
+    {"add", 0, 0, [](u32 a, u32 b) { return a + b; }},
+    {"sub", 0, 0x20, [](u32 a, u32 b) { return a - b; }},
+    {"sll", 1, 0, [](u32 a, u32 b) { return a << (b & 31); }},
+    {"slt", 2, 0,
+     [](u32 a, u32 b) {
+       return static_cast<u32>(static_cast<i32>(a) < static_cast<i32>(b));
+     }},
+    {"sltu", 3, 0, [](u32 a, u32 b) { return static_cast<u32>(a < b); }},
+    {"xor", 4, 0, [](u32 a, u32 b) { return a ^ b; }},
+    {"srl", 5, 0, [](u32 a, u32 b) { return a >> (b & 31); }},
+    {"sra", 5, 0x20,
+     [](u32 a, u32 b) {
+       return static_cast<u32>(static_cast<i32>(a) >>
+                               static_cast<i32>(b & 31));
+     }},
+    {"or", 6, 0, [](u32 a, u32 b) { return a | b; }},
+    {"and", 7, 0, [](u32 a, u32 b) { return a & b; }},
+    {"mul", 0, 1, [](u32 a, u32 b) { return a * b; }},
+    {"mulhu", 3, 1,
+     [](u32 a, u32 b) {
+       return static_cast<u32>((static_cast<u64>(a) * b) >> 32);
+     }},
+};
+
+class AluSweep : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSweep, MatchesOracleOnRandomOperands) {
+  const AluCase& c = GetParam();
+  const u32 insn = encode_r(kOpReg, 7, c.funct3, 5, 6, c.funct7);
+  Xoshiro256 rng(static_cast<u64>(c.funct3) * 131 + c.funct7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const u32 a = rng.next_u32();
+    const u32 b = rng.next_u32();
+    ASSERT_EQ(exec_one(insn, a, b), c.oracle(a, b))
+        << c.name << "(" << a << ", " << b << ")";
+  }
+}
+
+TEST_P(AluSweep, EdgeOperands) {
+  const AluCase& c = GetParam();
+  const u32 insn = encode_r(kOpReg, 7, c.funct3, 5, 6, c.funct7);
+  const u32 edges[] = {0, 1, 31, 32, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF};
+  for (u32 a : edges)
+    for (u32 b : edges)
+      ASSERT_EQ(exec_one(insn, a, b), c.oracle(a, b))
+          << c.name << "(" << a << ", " << b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AluSweep, ::testing::ValuesIn(kAluCases),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(CpuSigned, MulhVariants) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const u32 a = rng.next_u32();
+    const u32 b = rng.next_u32();
+    const i64 sa = static_cast<i32>(a), sb = static_cast<i32>(b);
+    EXPECT_EQ(exec_one(encode_r(kOpReg, 7, 1, 5, 6, 1), a, b),
+              static_cast<u32>((sa * sb) >> 32));
+    EXPECT_EQ(exec_one(encode_r(kOpReg, 7, 2, 5, 6, 1), a, b),
+              static_cast<u32>((sa * static_cast<i64>(static_cast<u64>(b))) >>
+                               32));
+  }
+}
+
+TEST(CpuSigned, DivRemRandom) {
+  Xoshiro256 rng(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    const u32 a = rng.next_u32();
+    u32 b = rng.next_u32();
+    if (b == 0) b = 1;
+    if (!(a == 0x80000000u && b == 0xFFFFFFFFu)) {
+      EXPECT_EQ(exec_one(encode_r(kOpReg, 7, 4, 5, 6, 1), a, b),
+                static_cast<u32>(static_cast<i32>(a) / static_cast<i32>(b)));
+      EXPECT_EQ(exec_one(encode_r(kOpReg, 7, 6, 5, 6, 1), a, b),
+                static_cast<u32>(static_cast<i32>(a) % static_cast<i32>(b)));
+    }
+    EXPECT_EQ(exec_one(encode_r(kOpReg, 7, 5, 5, 6, 1), a, b), a / b);
+    EXPECT_EQ(exec_one(encode_r(kOpReg, 7, 7, 5, 6, 1), a, b), a % b);
+  }
+}
+
+TEST(CpuImm, OpImmMatchesOpOnRandomOperands) {
+  // addi/xori/ori/andi/slti/sltiu against the register form.
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const u32 a = rng.next_u32();
+    const i32 imm = static_cast<i32>(rng.next_below(4096)) - 2048;
+    for (u32 f3 : {0u, 2u, 3u, 4u, 6u, 7u}) {
+      const u32 via_imm = exec_one(encode_i(kOpImm, 7, f3, 5, imm), a, 0);
+      const u32 via_reg = exec_one(encode_r(kOpReg, 7, f3, 5, 6, 0), a,
+                                   static_cast<u32>(imm));
+      ASSERT_EQ(via_imm, via_reg) << "f3=" << f3 << " a=" << a
+                                  << " imm=" << imm;
+    }
+  }
+}
+
+TEST(CpuMemory, HalfAndByteStoresArePartial) {
+  Cpu cpu;
+  cpu.write_word(0x100, 0xDDCCBBAA);
+  cpu.set_reg(5, 0x100);
+  cpu.set_reg(6, 0x11223344);
+  // sh x6, 0(x5): only the low half changes
+  cpu.load_words(0, std::array<u32, 2>{encode_s(kOpStore, 1, 5, 6, 0),
+                                       0x00100073});
+  cpu.run(4);
+  EXPECT_EQ(cpu.read_word(0x100), 0xDDCC3344u);
+}
+
+TEST(CpuControl, BranchOffsetsBothDirections) {
+  // forward and backward branch targets across the 12-bit range
+  const Program prog = assemble(R"(
+      li   a0, 0
+      j    fwd
+    back:
+      addi a0, a0, 100
+      j    end
+    fwd:
+      addi a0, a0, 10
+      j    back
+    end:
+      ebreak
+  )");
+  Cpu cpu;
+  cpu.load_words(0, prog.words);
+  cpu.run(100);
+  EXPECT_EQ(cpu.reg(10), 110u);
+}
+
+TEST(Disassembler, CoversEveryMnemonicWeEmit) {
+  // Every instruction the assembler can emit must disassemble to its own
+  // mnemonic (spot consistency between the two directions).
+  const std::map<std::string, std::string> cases = {
+      {"add a0, a1, a2", "add"},     {"sub a0, a1, a2", "sub"},
+      {"mul a0, a1, a2", "mul"},     {"divu a0, a1, a2", "divu"},
+      {"lw a0, 4(a1)", "lw"},        {"sb a0, -1(a1)", "sb"},
+      {"beq a0, a1, 0", "beq"},      {"bgeu a0, a1, 0", "bgeu"},
+      {"lui a0, 5", "lui"},          {"auipc a0, 5", "auipc"},
+      {"jal ra, 0", "jal"},          {"jalr ra, 4(a0)", "jalr"},
+      {"addi a0, a1, -7", "addi"},   {"srai a0, a1, 3", "srai"},
+      {"pq.mul_ter a0, a1, a2", "pq.mul_ter"},
+      {"pq.mul_chien a0, a1, a2", "pq.mul_chien"},
+      {"pq.sha256 a0, a1, a2", "pq.sha256"},
+      {"pq.modq a0, a1, a2", "pq.modq"},
+      {"ebreak", "ebreak"}};
+  for (const auto& [source, mnemonic] : cases) {
+    const Program prog = assemble(source);
+    ASSERT_FALSE(prog.words.empty()) << source;
+    const std::string dis = disassemble(prog.words.back());
+    EXPECT_EQ(dis.substr(0, mnemonic.size()), mnemonic) << source;
+  }
+}
+
+TEST(Assembler, EncodesNegativeBranchExactly) {
+  // two-instruction loop: verify the encoded branch offset is -4.
+  const Program prog = assemble(R"(
+    top:
+      addi a0, a0, 1
+      bne a0, a1, top
+  )");
+  EXPECT_EQ(imm_b(prog.words[1]), -4);
+}
+
+TEST(Assembler, WordDataWithLabelReferences) {
+  const Program prog = assemble(R"(
+      j start
+    table:
+      .word start, table, 42
+    start:
+      ebreak
+  )");
+  EXPECT_EQ(prog.words[1], prog.label("start"));
+  EXPECT_EQ(prog.words[2], prog.label("table"));
+  EXPECT_EQ(prog.words[3], 42u);
+}
+
+TEST(Cpu, RunStopsAtMaxSteps) {
+  const Program prog = assemble("spin: j spin");
+  Cpu cpu;
+  cpu.load_words(0, prog.words);
+  EXPECT_EQ(cpu.run(500), 500u);
+  EXPECT_FALSE(cpu.halted());
+}
+
+TEST(Cpu, InstructionAndCycleCountersAdvance) {
+  Cpu cpu;
+  const Program prog = assemble("nop\nnop\nmul a0, a1, a2\nebreak");
+  cpu.load_words(0, prog.words);
+  cpu.run(10);
+  EXPECT_EQ(cpu.instructions(), 4u);
+  EXPECT_EQ(cpu.cycles(), 4u);  // 3 single-cycle + ebreak
+}
+
+}  // namespace
+}  // namespace lacrv::rv

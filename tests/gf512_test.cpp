@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf/gf512.h"
+
+namespace lacrv::gf {
+namespace {
+
+TEST(Gf512, AlphaPowersMatchPaperExamples) {
+  // Sec. IV-B walks through the vector representation:
+  //   alpha^9  = 1 + alpha^4        -> bits {0,4}
+  //   alpha^10 = alpha + alpha^5    -> bits {1,5}
+  //   alpha^11 = alpha^2 + alpha^6  -> bits {2,6}
+  EXPECT_EQ(alpha_pow(9), (1u << 0) | (1u << 4));
+  EXPECT_EQ(alpha_pow(10), (1u << 1) | (1u << 5));
+  EXPECT_EQ(alpha_pow(11), (1u << 2) | (1u << 6));
+}
+
+TEST(Gf512, GroupOrderIs511) {
+  EXPECT_EQ(alpha_pow(0), 1u);
+  EXPECT_EQ(alpha_pow(511), 1u);  // alpha^(2^m - 1) = 1
+  EXPECT_EQ(alpha_pow(512), alpha_pow(1));
+}
+
+TEST(Gf512, PowersAreDistinct) {
+  std::array<bool, kFieldSize> seen{};
+  for (u32 e = 0; e < kGroupOrder; ++e) {
+    const Element x = alpha_pow(e);
+    ASSERT_NE(x, 0u);
+    ASSERT_FALSE(seen[x]) << "repeat at exponent " << e;
+    seen[x] = true;
+  }
+}
+
+TEST(Gf512, LogInvertsAlphaPow) {
+  for (u32 e = 0; e < kGroupOrder; ++e) EXPECT_EQ(log(alpha_pow(e)), e);
+}
+
+TEST(Gf512, MultiplierFlavoursAgreeExhaustivelyOnSample) {
+  lacrv::Xoshiro256 rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    const Element a = static_cast<Element>(rng.next_below(kFieldSize));
+    const Element b = static_cast<Element>(rng.next_below(kFieldSize));
+    ASSERT_EQ(mul_table(a, b), mul_shift_add(a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Gf512, MulByZeroAndOne) {
+  for (Element a = 0; a < kFieldSize; ++a) {
+    EXPECT_EQ(mul_table(a, 0), 0u);
+    EXPECT_EQ(mul_shift_add(a, 0), 0u);
+    EXPECT_EQ(mul_table(a, 1), a);
+    EXPECT_EQ(mul_shift_add(a, 1), a);
+  }
+}
+
+TEST(Gf512, MulCommutesAndAssociates) {
+  lacrv::Xoshiro256 rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const Element a = static_cast<Element>(rng.next_below(kFieldSize));
+    const Element b = static_cast<Element>(rng.next_below(kFieldSize));
+    const Element c = static_cast<Element>(rng.next_below(kFieldSize));
+    ASSERT_EQ(mul_table(a, b), mul_table(b, a));
+    ASSERT_EQ(mul_table(mul_table(a, b), c), mul_table(a, mul_table(b, c)));
+  }
+}
+
+TEST(Gf512, DistributesOverAddition) {
+  lacrv::Xoshiro256 rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    const Element a = static_cast<Element>(rng.next_below(kFieldSize));
+    const Element b = static_cast<Element>(rng.next_below(kFieldSize));
+    const Element c = static_cast<Element>(rng.next_below(kFieldSize));
+    ASSERT_EQ(mul_table(a, add(b, c)),
+              add(mul_table(a, b), mul_table(a, c)));
+  }
+}
+
+TEST(Gf512, InverseIsCorrectForAllNonzero) {
+  for (Element a = 1; a < kFieldSize; ++a)
+    ASSERT_EQ(mul_table(a, inv(a)), 1u) << "a=" << a;
+  EXPECT_ANY_THROW(inv(0));
+  EXPECT_ANY_THROW(log(0));
+}
+
+TEST(Gf512, PowMatchesRepeatedMultiplication) {
+  const Element x = alpha_pow(5);
+  Element acc = 1;
+  for (u32 e = 0; e < 30; ++e) {
+    EXPECT_EQ(pow(x, e), acc);
+    acc = mul_table(acc, x);
+  }
+  EXPECT_EQ(pow(0, 0), 1u);
+  EXPECT_EQ(pow(0, 5), 0u);
+}
+
+TEST(Gf512, FrobeniusSquaringIsLinear) {
+  // In characteristic 2, (a + b)^2 = a^2 + b^2 — a strong structural check.
+  lacrv::Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const Element a = static_cast<Element>(rng.next_below(kFieldSize));
+    const Element b = static_cast<Element>(rng.next_below(kFieldSize));
+    ASSERT_EQ(pow(add(a, b), 2), add(pow(a, 2), pow(b, 2)));
+  }
+}
+
+TEST(Gf512, PolyEvalHorner) {
+  // f(x) = 1 + x + x^3; f(alpha) = 1 ^ alpha ^ alpha^3.
+  const std::array<Element, 4> coeffs = {1, 1, 0, 1};
+  const Element expected =
+      add(add(Element{1}, alpha_pow(1)), alpha_pow(3));
+  EXPECT_EQ(poly_eval(coeffs, alpha_pow(1), MulKind::kTable), expected);
+  EXPECT_EQ(poly_eval(coeffs, alpha_pow(1), MulKind::kShiftAdd), expected);
+  EXPECT_EQ(poly_eval({}, 5, MulKind::kTable), 0u);
+}
+
+TEST(Gf512, PolyEvalFlavoursAgreeOnRandomPolys) {
+  lacrv::Xoshiro256 rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Element> coeffs(1 + rng.next_below(17));
+    for (auto& c : coeffs) c = static_cast<Element>(rng.next_below(kFieldSize));
+    const Element x = static_cast<Element>(rng.next_below(kFieldSize));
+    ASSERT_EQ(poly_eval(coeffs, x, MulKind::kTable),
+              poly_eval(coeffs, x, MulKind::kShiftAdd));
+  }
+}
+
+}  // namespace
+}  // namespace lacrv::gf

@@ -1,0 +1,79 @@
+// Exhaustive verification of GF(2^9): all 262,144 products of the two
+// multiplier flavours against an independent carry-less reference, plus
+// field axioms checked over the full field.
+#include <gtest/gtest.h>
+
+#include "gf/gf512.h"
+
+namespace lacrv::gf {
+namespace {
+
+/// Independent reference: schoolbook carry-less multiplication followed
+/// by explicit reduction by p(x) = x^9 + x^4 + 1.
+Element reference_mul(Element a, Element b) {
+  u32 product = 0;
+  for (int i = 0; i < kFieldBits; ++i)
+    if (b >> i & 1) product ^= static_cast<u32>(a) << i;
+  for (int i = 2 * kFieldBits - 2; i >= kFieldBits; --i)
+    if (product >> i & 1) product ^= static_cast<u32>(kPrimitivePoly)
+                                     << (i - kFieldBits);
+  return static_cast<Element>(product & (kFieldSize - 1));
+}
+
+TEST(GfExhaustive, AllProductsAgainstCarrylessReference) {
+  for (u32 a = 0; a < kFieldSize; ++a) {
+    for (u32 b = 0; b < kFieldSize; ++b) {
+      const Element expected =
+          reference_mul(static_cast<Element>(a), static_cast<Element>(b));
+      ASSERT_EQ(mul_table(static_cast<Element>(a), static_cast<Element>(b)),
+                expected)
+          << a << " * " << b;
+      ASSERT_EQ(
+          mul_shift_add(static_cast<Element>(a), static_cast<Element>(b)),
+          expected)
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(GfExhaustive, EveryNonzeroElementHasOrderDividing511) {
+  // x^511 = 1 for all nonzero x (Lagrange); 511 = 7 * 73 so element
+  // orders are in {1, 7, 73, 511}.
+  for (Element x = 1; x < kFieldSize; ++x) {
+    ASSERT_EQ(pow(x, 511), 1u) << "x=" << x;
+    const u16 order_candidates[] = {1, 7, 73, 511};
+    bool found = false;
+    for (u16 d : order_candidates)
+      if (pow(x, d) == 1) {
+        found = true;
+        break;
+      }
+    ASSERT_TRUE(found) << "x=" << x;
+  }
+}
+
+TEST(GfExhaustive, TraceMapIsGf2Linear) {
+  // Tr(x) = sum x^(2^i) maps to GF(2) and is linear — a deep structural
+  // property that any multiplication bug would break.
+  const auto trace = [](Element x) {
+    Element acc = 0;
+    Element power = x;
+    for (int i = 0; i < kFieldBits; ++i) {
+      acc = add(acc, power);
+      power = mul_table(power, power);
+    }
+    return acc;
+  };
+  for (Element x = 0; x < kFieldSize; ++x)
+    ASSERT_LE(trace(x), 1u) << "trace not in GF(2) for x=" << x;
+  for (Element x = 0; x < 64; ++x)
+    for (Element y = 0; y < 64; ++y)
+      ASSERT_EQ(trace(add(x, y)), add(trace(x), trace(y)));
+}
+
+TEST(GfExhaustive, InversePairsAreInvolutive) {
+  for (Element x = 1; x < kFieldSize; ++x) ASSERT_EQ(inv(inv(x)), x);
+}
+
+}  // namespace
+}  // namespace lacrv::gf

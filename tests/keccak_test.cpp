@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hash/keccak.h"
+
+namespace lacrv::hash {
+namespace {
+
+ByteView view(const std::string& s) {
+  return ByteView(reinterpret_cast<const u8*>(s.data()), s.size());
+}
+
+TEST(KeccakF, ZeroStateKnownAnswer) {
+  // Keccak-f[1600] applied to the all-zero state: first lane of the
+  // reference test vector.
+  KeccakState state{};
+  keccak_f1600(state);
+  EXPECT_EQ(state[0], 0xF1258F7940E1DDE7ULL);
+  EXPECT_EQ(state[1], 0x84D5CCF933C0478AULL);
+}
+
+TEST(KeccakF, IsAPermutation) {
+  // distinct inputs stay distinct
+  KeccakState a{}, b{};
+  b[7] = 1;
+  keccak_f1600(a);
+  keccak_f1600(b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Sha3_256, StandardVectors) {
+  EXPECT_EQ(to_hex(ByteView(sha3_256({}).data(), 32)),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+  EXPECT_EQ(to_hex(ByteView(sha3_256(view("abc")).data(), 32)),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
+}
+
+TEST(Sha3_256, RateBoundaryLengths) {
+  // lengths around the 136-byte rate: self-consistency across calls
+  Xoshiro256 rng(1);
+  for (std::size_t len : {135u, 136u, 137u, 272u}) {
+    const Bytes msg = rng.bytes(len);
+    EXPECT_EQ(sha3_256(msg), sha3_256(msg));
+    Bytes tweaked = msg;
+    tweaked[0] ^= 1;
+    EXPECT_NE(sha3_256(msg), sha3_256(tweaked));
+  }
+}
+
+TEST(Shake128, EmptyInputKnownAnswer) {
+  Shake128 xof(ByteView{});
+  std::array<u8, 32> out;
+  xof.fill(out.data(), out.size());
+  EXPECT_EQ(to_hex(ByteView(out.data(), out.size())),
+            "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26");
+}
+
+TEST(Shake128, StreamingMatchesBulk) {
+  const std::string seed = "lac-keccak-ablation";
+  Shake128 bulk(view(seed));
+  std::array<u8, 500> expected;  // spans 3 rate blocks
+  bulk.fill(expected.data(), expected.size());
+
+  Shake128 stream(view(seed));
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_EQ(stream.next_byte(), expected[i]) << "byte " << i;
+}
+
+TEST(Shake128, PermutationAccountingPerRateBlock) {
+  Shake128 xof(view("x"));
+  EXPECT_EQ(xof.permutations(), 0u);
+  xof.next_byte();
+  EXPECT_EQ(xof.permutations(), 1u);
+  std::array<u8, Shake128::kRate> rest;
+  xof.fill(rest.data(), rest.size() - 1);  // finish block 1
+  EXPECT_EQ(xof.permutations(), 1u);
+  xof.next_byte();  // first byte of block 2
+  EXPECT_EQ(xof.permutations(), 2u);
+}
+
+TEST(Shake128, NextBelowUniformish) {
+  Shake128 xof(view("distribution"));
+  std::array<int, 251> histogram{};
+  for (int i = 0; i < 251 * 30; ++i) ++histogram[xof.next_below(251)];
+  const auto [lo, hi] = std::minmax_element(histogram.begin(), histogram.end());
+  EXPECT_GT(*lo, 0);
+  EXPECT_LT(*hi, 30 * 4);
+}
+
+TEST(Shake128, DistinctSeedsDistinctStreams) {
+  Shake128 a(view("seed-a")), b(view("seed-b"));
+  Bytes xa(64), xb(64);
+  a.fill(xa.data(), xa.size());
+  b.fill(xb.data(), xb.size());
+  EXPECT_NE(xa, xb);
+}
+
+}  // namespace
+}  // namespace lacrv::hash

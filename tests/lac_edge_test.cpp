@@ -1,0 +1,175 @@
+// Edge cases and failure injection for the scheme layer: malformed wire
+// data, codec boundaries, D2 combining, robustness of decapsulation under
+// targeted corruption.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "lac/kem.h"
+#include "lac/sampler.h"
+
+namespace lacrv::lac {
+namespace {
+
+hash::Seed seed_of(u64 x) {
+  hash::Seed s{};
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<u8>(x >> (8 * i));
+  return s;
+}
+
+TEST(WireFormat, RejectsWrongSizes) {
+  const Params& params = Params::lac128();
+  EXPECT_ANY_THROW(deserialize_pk(params, Bytes(10)));
+  EXPECT_ANY_THROW(deserialize_pk(params, Bytes(params.pk_bytes() + 1)));
+  EXPECT_ANY_THROW(deserialize_ct(params, Bytes(params.ct_bytes() - 1)));
+  EXPECT_ANY_THROW(deserialize_ct(Params::lac256(),
+                                  Bytes(Params::lac128().ct_bytes())));
+}
+
+TEST(WireFormat, CrossLevelSizesAreDistinct) {
+  std::set<std::size_t> ct_sizes, pk_sizes;
+  for (const Params* p : Params::all()) {
+    ct_sizes.insert(p->ct_bytes());
+    pk_sizes.insert(p->pk_bytes());
+  }
+  EXPECT_EQ(ct_sizes.size(), 3u);
+  // LAC-192 and LAC-256 share n = 1024, hence the same public-key size.
+  EXPECT_EQ(pk_sizes.size(), 2u);
+}
+
+TEST(Codec, CompressIsMonotoneAndOnto) {
+  // compress4 must be a monotone step function covering all 16 buckets
+  // (with the wrap value 251 -> 0 at the top).
+  int last = 0;
+  std::set<u8> seen;
+  for (int v = 0; v < poly::kQ; ++v) {
+    const u8 c = compress4(static_cast<u8>(v));
+    seen.insert(c);
+    if (v < 244) {  // before the wrap-around region
+      EXPECT_GE(c, last) << "v=" << v;
+      last = c;
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Codec, DecompressInverseWithinHalfStep) {
+  for (u8 c = 0; c < 16; ++c) {
+    const u8 v = decompress4(c);
+    EXPECT_LT(v, poly::kQ);
+    EXPECT_EQ(compress4(v), c);  // fixed point of the round trip
+  }
+}
+
+TEST(Codec, D2CombiningOutvotesOneBadCoefficient) {
+  // With D2, one of the two copies being badly corrupted must not flip
+  // the decoded bit if the other copy is clean.
+  const Params& params = Params::lac256();
+  Xoshiro256 rng(1);
+  bch::Message msg;
+  rng.fill(msg.data(), msg.size());
+  poly::Coeffs w = encode_payload(params, msg);
+  // corrupt first-copy coefficients 0..9 all the way to the opposite symbol
+  for (std::size_t i = 0; i < 10; ++i)
+    w[i] = w[i] == 0 ? kHalfQ : 0;
+  // the duplicates w[L + i] are intact -> distances tie; corrupt slightly
+  // less than the tie-break so the clean copy wins
+  for (std::size_t i = 0; i < 10; ++i)
+    w[i] = poly::add_mod(w[i], poly::kQ - 20);  // pull back towards truth
+  const auto decoded = decode_payload(params, Backend::reference(), w);
+  EXPECT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.message, msg);
+}
+
+TEST(Codec, WithoutD2SameCorruptionBreaksBitsButBchRecovers) {
+  const Params& params = Params::lac128();
+  Xoshiro256 rng(2);
+  bch::Message msg;
+  rng.fill(msg.data(), msg.size());
+  poly::Coeffs w = encode_payload(params, msg);
+  // flip 10 coefficients to the opposite symbol (payload area only)
+  for (std::size_t i = 0; i < 10; ++i)
+    w[params.code->parity_bits() + 3 * i] ^= 0;  // index into message bits
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::size_t idx = params.code->parity_bits() + 3 * i;
+    w[idx] = w[idx] == 0 ? kHalfQ : 0;
+  }
+  const auto decoded = decode_payload(params, Backend::reference(), w);
+  EXPECT_TRUE(decoded.ok);  // 10 < t = 16
+  EXPECT_EQ(decoded.message, msg);
+}
+
+TEST(Decaps, RobustAgainstEveryRegionOfCorruption) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_of(1));
+  const EncapsResult enc = encapsulate(params, backend, keys.pk, seed_of(2));
+  const Bytes good = serialize(params, enc.ct);
+
+  // corrupt one byte in u, in v, first byte, last byte — all must yield
+  // implicit rejection, never a crash or the real key.
+  for (std::size_t pos : {std::size_t{0}, params.n / 2, params.n + 1,
+                          good.size() - 1}) {
+    Bytes bad = good;
+    bad[pos] ^= 0xFF;
+    const Ciphertext ct = deserialize_ct(params, bad);
+    const SharedKey key = decapsulate(params, backend, keys, ct);
+    EXPECT_NE(key, enc.key) << "corrupt byte " << pos;
+  }
+}
+
+TEST(Decaps, VNibbleTamperingDetectedDespiteBchCorrection) {
+  // Flipping a couple of v nibbles still *decrypts* to the right message
+  // (BCH fixes it) — but the FO re-encryption check must still reject,
+  // because the ciphertext no longer matches the re-encryption.
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference_const_bch();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_of(3));
+  const EncapsResult enc = encapsulate(params, backend, keys.pk, seed_of(4));
+
+  Ciphertext tampered = enc.ct;
+  tampered.v[5] ^= 0x8;
+  const DecryptResult dec = decrypt(params, backend, keys.sk, tampered);
+  EXPECT_TRUE(dec.ok);  // BCH absorbed the flip at the PKE level
+  const SharedKey key = decapsulate(params, backend, keys, tampered);
+  EXPECT_NE(key, enc.key);  // but CCA decapsulation rejects
+}
+
+TEST(Sampler, RejectsInvalidWeights) {
+  EXPECT_ANY_THROW(sample_fixed_weight_raw(seed_of(1), 16, 17));  // > n
+  EXPECT_ANY_THROW(sample_fixed_weight_raw(seed_of(1), 16, 3));   // odd
+}
+
+TEST(Sampler, FullWeightAndZeroWeight) {
+  const poly::Ternary full = sample_fixed_weight_raw(seed_of(2), 16, 16);
+  EXPECT_EQ(poly::weight(full), 16u);
+  const poly::Ternary empty = sample_fixed_weight_raw(seed_of(2), 16, 0);
+  EXPECT_EQ(poly::weight(empty), 0u);
+}
+
+TEST(Keys, DistinctMastersGiveDistinctKeys) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  const KeyPair a = keygen(params, backend, seed_of(10));
+  const KeyPair b = keygen(params, backend, seed_of(11));
+  EXPECT_NE(a.pk.b, b.pk.b);
+  EXPECT_NE(a.sk.s, b.sk.s);
+}
+
+TEST(Pke, SameMessageDifferentCoinsDifferentCiphertexts) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  const KeyPair kp = keygen(params, backend, seed_of(20));
+  bch::Message msg{};
+  msg[0] = 1;
+  const Ciphertext a = encrypt(params, backend, kp.pk, msg, seed_of(21));
+  const Ciphertext b = encrypt(params, backend, kp.pk, msg, seed_of(22));
+  EXPECT_NE(a.u, b.u);
+  EXPECT_NE(a.v, b.v);
+  EXPECT_EQ(decrypt(params, backend, kp.sk, a).message, msg);
+  EXPECT_EQ(decrypt(params, backend, kp.sk, b).message, msg);
+}
+
+}  // namespace
+}  // namespace lacrv::lac

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lac/kem.h"
+#include "lac/sampler.h"
+
+namespace lacrv::lac {
+namespace {
+
+hash::Seed seed_of(u64 x) {
+  hash::Seed s{};
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<u8>(x >> (8 * i));
+  return s;
+}
+
+bch::Message random_msg(Xoshiro256& rng) {
+  bch::Message m;
+  rng.fill(m.data(), m.size());
+  return m;
+}
+
+TEST(Params, WireSizesMatchPaper) {
+  // Sec. VI: LAC-256 has ||pk|| ~ 1054, ||sk|| = 1024, ||ct|| = 1424.
+  EXPECT_EQ(Params::lac256().pk_bytes(), 1056u);  // 32-byte seed + 1024
+  EXPECT_EQ(Params::lac256().sk_bytes(), 1024u);
+  EXPECT_EQ(Params::lac256().ct_bytes(), 1424u);
+  EXPECT_EQ(Params::lac128().pk_bytes(), 544u);
+  EXPECT_EQ(Params::lac128().ct_bytes(), 712u);
+  EXPECT_EQ(Params::lac192().ct_bytes(), 1188u);
+}
+
+TEST(Params, StructuralConsistency) {
+  for (const Params* p : Params::all()) {
+    EXPECT_EQ(p->code->msg_bits, 256);
+    EXPECT_TRUE(p->n == 512 || p->n == 1024);
+    EXPECT_LE(p->weight, p->n);
+    EXPECT_EQ(p->v_len(), p->cw_bits() * (p->d2 ? 2u : 1u));
+  }
+  EXPECT_EQ(Params::lac192().code->t, 8);
+  EXPECT_EQ(Params::lac256().code->t, 16);
+}
+
+TEST(GenA, DeterministicUniformInRange) {
+  const auto a1 = gen_a(seed_of(1), Params::lac128());
+  const auto a2 = gen_a(seed_of(1), Params::lac128());
+  const auto a3 = gen_a(seed_of(2), Params::lac128());
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+  EXPECT_EQ(a1.size(), 512u);
+  for (u8 c : a1) EXPECT_LT(c, poly::kQ);
+  // crude uniformity: mean of Z_251 uniform is 125
+  double mean = 0;
+  for (u8 c : a1) mean += c;
+  mean /= static_cast<double>(a1.size());
+  EXPECT_NEAR(mean, 125.0, 12.0);
+}
+
+TEST(GenA, HardwareHashSameValuesFewerCycles) {
+  CycleLedger sw, hw;
+  const auto a1 = gen_a(seed_of(3), Params::lac128(), HashImpl::kSoftware, &sw);
+  const auto a2 =
+      gen_a(seed_of(3), Params::lac128(), HashImpl::kAccelerated, &hw);
+  EXPECT_EQ(a1, a2);
+  EXPECT_LT(hw.total(), sw.total());
+  // Table II: GenA gains only a few thousand cycles from the accelerator.
+  EXPECT_LT(sw.total() - hw.total(), 20000u);
+}
+
+TEST(Sampler, ExactWeightAndBalance) {
+  for (const Params* p : Params::all()) {
+    const poly::Ternary t = sample_fixed_weight(seed_of(7), *p);
+    ASSERT_EQ(t.size(), p->n);
+    std::size_t plus = 0, minus = 0;
+    for (i8 v : t) {
+      plus += (v == 1);
+      minus += (v == -1);
+    }
+    EXPECT_EQ(plus, p->weight / 2) << p->name;
+    EXPECT_EQ(minus, p->weight / 2) << p->name;
+  }
+}
+
+TEST(Sampler, DeterministicPerSeedDistinctAcrossSeeds) {
+  const Params& p = Params::lac128();
+  EXPECT_EQ(sample_fixed_weight(seed_of(1), p),
+            sample_fixed_weight(seed_of(1), p));
+  EXPECT_NE(sample_fixed_weight(seed_of(1), p),
+            sample_fixed_weight(seed_of(2), p));
+}
+
+TEST(Sampler, PositionsLookUniform) {
+  // Aggregate over many seeds: every position should be hit sometimes.
+  const std::size_t n = 128, w = 32;
+  std::vector<int> hits(n, 0);
+  for (u64 s = 0; s < 200; ++s) {
+    const poly::Ternary t = sample_fixed_weight_raw(seed_of(s), n, w);
+    for (std::size_t i = 0; i < n; ++i) hits[i] += (t[i] != 0);
+  }
+  const auto [lo, hi] = std::minmax_element(hits.begin(), hits.end());
+  EXPECT_GT(*lo, 10);   // expected 50
+  EXPECT_LT(*hi, 120);
+}
+
+TEST(Codec, Compress4RoundTripErrorBounded) {
+  for (int v = 0; v < poly::kQ; ++v) {
+    const u8 c = compress4(static_cast<u8>(v));
+    ASSERT_LT(c, 16);
+    const u8 back = decompress4(c);
+    EXPECT_LE(ring_distance(static_cast<u8>(v), back), 8) << "v=" << v;
+  }
+}
+
+TEST(Codec, RingDistanceSymmetricBounded) {
+  for (int a = 0; a < poly::kQ; a += 7)
+    for (int b = 0; b < poly::kQ; b += 11) {
+      const u16 d = ring_distance(static_cast<u8>(a), static_cast<u8>(b));
+      EXPECT_EQ(d, ring_distance(static_cast<u8>(b), static_cast<u8>(a)));
+      EXPECT_LE(d, poly::kQ / 2);
+    }
+  EXPECT_EQ(ring_distance(0, 250), 1);  // wraparound
+  EXPECT_EQ(ring_distance(0, 125), 125);
+}
+
+TEST(Codec, PayloadRoundTripNoiseless) {
+  Xoshiro256 rng(5);
+  for (const Params* p : Params::all()) {
+    const bch::Message msg = random_msg(rng);
+    const poly::Coeffs payload = encode_payload(*p, msg);
+    ASSERT_EQ(payload.size(), p->v_len());
+    const auto decoded = decode_payload(*p, Backend::reference(), payload);
+    EXPECT_TRUE(decoded.ok) << p->name;
+    EXPECT_EQ(decoded.message, msg) << p->name;
+  }
+}
+
+class SchemeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<SecurityLevel, int>> {
+ protected:
+  static Backend backend_for(int kind) {
+    switch (kind) {
+      case 0:
+        return Backend::reference();
+      case 1:
+        return Backend::reference_const_bch();
+      default:
+        return Backend::optimized();
+    }
+  }
+};
+
+TEST_P(SchemeRoundTrip, PkeEncryptDecrypt) {
+  const auto [level, kind] = GetParam();
+  const Params& params = Params::get(level);
+  const Backend backend = backend_for(kind);
+  Xoshiro256 rng(42 + kind);
+  const KeyPair kp = keygen(params, backend, seed_of(100));
+  for (int trial = 0; trial < 3; ++trial) {
+    const bch::Message msg = random_msg(rng);
+    const Ciphertext ct =
+        encrypt(params, backend, kp.pk, msg, seed_of(200 + trial));
+    const DecryptResult dec = decrypt(params, backend, kp.sk, ct);
+    ASSERT_TRUE(dec.ok);
+    ASSERT_EQ(dec.message, msg);
+  }
+}
+
+TEST_P(SchemeRoundTrip, KemSharedSecretAgreement) {
+  const auto [level, kind] = GetParam();
+  const Params& params = Params::get(level);
+  const Backend backend = backend_for(kind);
+  const KemKeyPair keys = kem_keygen(params, backend, seed_of(7));
+  const EncapsResult enc = encapsulate(params, backend, keys.pk, seed_of(8));
+  const SharedKey dec_key = decapsulate(params, backend, keys, enc.ct);
+  EXPECT_EQ(enc.key, dec_key);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LevelsAndBackends, SchemeRoundTrip,
+    ::testing::Combine(::testing::Values(SecurityLevel::kLac128,
+                                         SecurityLevel::kLac192,
+                                         SecurityLevel::kLac256),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto& info) {
+      const char* level = std::get<0>(info.param) == SecurityLevel::kLac128
+                              ? "Lac128"
+                              : std::get<0>(info.param) ==
+                                        SecurityLevel::kLac192
+                                    ? "Lac192"
+                                    : "Lac256";
+      const char* kind = std::get<1>(info.param) == 0
+                             ? "Ref"
+                             : std::get<1>(info.param) == 1 ? "CtBch" : "Opt";
+      return std::string(level) + kind;
+    });
+
+TEST(Backends, FunctionallyIdenticalCiphertexts) {
+  // The co-design changes cost, never values: all three backends must
+  // produce byte-identical keys and ciphertexts from the same seeds.
+  const Params& params = Params::lac192();
+  Xoshiro256 rng(9);
+  const bch::Message msg = random_msg(rng);
+  const Backend ref = Backend::reference();
+  const Backend ct_bch = Backend::reference_const_bch();
+  const Backend opt = Backend::optimized();
+
+  const KeyPair kp_ref = keygen(params, ref, seed_of(1));
+  const KeyPair kp_ct = keygen(params, ct_bch, seed_of(1));
+  const KeyPair kp_opt = keygen(params, opt, seed_of(1));
+  EXPECT_EQ(kp_ref.pk.b, kp_ct.pk.b);
+  EXPECT_EQ(kp_ref.pk.b, kp_opt.pk.b);
+  EXPECT_EQ(kp_ref.sk.s, kp_opt.sk.s);
+
+  const Ciphertext c_ref = encrypt(params, ref, kp_ref.pk, msg, seed_of(2));
+  const Ciphertext c_opt = encrypt(params, opt, kp_opt.pk, msg, seed_of(2));
+  EXPECT_EQ(c_ref.u, c_opt.u);
+  EXPECT_EQ(c_ref.v, c_opt.v);
+}
+
+TEST(Kem, TamperedCiphertextYieldsImplicitRejection) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference_const_bch();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_of(11));
+  const EncapsResult enc = encapsulate(params, backend, keys.pk, seed_of(12));
+
+  Ciphertext tampered = enc.ct;
+  tampered.u[0] = poly::add_mod(tampered.u[0], 100);
+  const SharedKey k1 = decapsulate(params, backend, keys, tampered);
+  EXPECT_NE(k1, enc.key);
+
+  // Deterministic implicit rejection: same tampered ct -> same key.
+  const SharedKey k2 = decapsulate(params, backend, keys, tampered);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(Kem, DistinctEntropyDistinctKeys) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_of(13));
+  const EncapsResult a = encapsulate(params, backend, keys.pk, seed_of(14));
+  const EncapsResult b = encapsulate(params, backend, keys.pk, seed_of(15));
+  EXPECT_NE(a.key, b.key);
+  EXPECT_NE(serialize(params, a.ct), serialize(params, b.ct));
+}
+
+TEST(Serialization, RoundTrips) {
+  const Params& params = Params::lac256();
+  const Backend backend = Backend::reference();
+  const KeyPair kp = keygen(params, backend, seed_of(21));
+  const Bytes pk_bytes = serialize(params, kp.pk);
+  EXPECT_EQ(pk_bytes.size(), params.pk_bytes());
+  const PublicKey pk2 = deserialize_pk(params, pk_bytes);
+  EXPECT_EQ(pk2.seed_a, kp.pk.seed_a);
+  EXPECT_EQ(pk2.b, kp.pk.b);
+
+  Xoshiro256 rng(1);
+  const bch::Message msg = random_msg(rng);
+  const Ciphertext ct = encrypt(params, backend, kp.pk, msg, seed_of(22));
+  const Bytes ct_bytes = serialize(params, ct);
+  EXPECT_EQ(ct_bytes.size(), params.ct_bytes());
+  const Ciphertext ct2 = deserialize_ct(params, ct_bytes);
+  EXPECT_EQ(ct2.u, ct.u);
+  EXPECT_EQ(ct2.v, ct.v);
+}
+
+TEST(Robustness, ManySeedsNeverFailDecryption) {
+  // Decryption-failure probability must be negligible at LAC parameters;
+  // a correctness bug (noise model, codec thresholds) shows up here fast.
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  Xoshiro256 rng(31);
+  for (u64 s = 0; s < 10; ++s) {
+    const KeyPair kp = keygen(params, backend, seed_of(1000 + s));
+    const bch::Message msg = random_msg(rng);
+    const Ciphertext ct =
+        encrypt(params, backend, kp.pk, msg, seed_of(2000 + s));
+    const DecryptResult dec = decrypt(params, backend, kp.sk, ct);
+    ASSERT_TRUE(dec.ok) << "seed " << s;
+    ASSERT_EQ(dec.message, msg) << "seed " << s;
+  }
+}
+
+}  // namespace
+}  // namespace lacrv::lac

@@ -1,0 +1,103 @@
+// Invariants of the measurement methodology itself: the Table II section
+// decomposition must be internally consistent — sections are disjoint,
+// sum to the total, and match standalone per-call measurements.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lac/kem.h"
+#include "lac/sampler.h"
+
+namespace lacrv::lac {
+namespace {
+
+hash::Seed seed_of(u64 x) {
+  hash::Seed s{};
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<u8>(x >> (8 * i));
+  return s;
+}
+
+TEST(LedgerSections, SectionsSumToTotal) {
+  for (const Backend& backend :
+       {Backend::reference(), Backend::optimized()}) {
+    CycleLedger ledger;
+    const KemKeyPair keys =
+        kem_keygen(Params::lac192(), backend, seed_of(1), &ledger);
+    const EncapsResult enc = encapsulate(Params::lac192(), backend, keys.pk,
+                                         seed_of(2), &ledger);
+    decapsulate(Params::lac192(), backend, keys, enc.ct, &ledger);
+
+    u64 sum = 0;
+    for (const auto& [name, cycles] : ledger.sections()) sum += cycles;
+    // sections cover everything except unsectioned scheme glue
+    EXPECT_LE(sum, ledger.total());
+    EXPECT_GT(sum, ledger.total() / 2) << backend.name;
+  }
+}
+
+TEST(LedgerSections, KeygenDecomposition) {
+  // keygen = 1 GenA + 2 samples + 1 mult (+ glue): the sections must
+  // match standalone calls of the same primitives exactly.
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  CycleLedger ledger;
+  const KemKeyPair keys = kem_keygen(params, backend, seed_of(3), &ledger);
+
+  CycleLedger ga;
+  gen_a(keys.pk.seed_a, params, backend.hash_impl, &ga);
+  EXPECT_EQ(ledger.section("gen_a"), ga.total());
+
+  CycleLedger sp;
+  sample_fixed_weight(seed_of(99), params, backend.hash_impl, &sp);
+  EXPECT_EQ(ledger.section("sample_poly"), 2 * sp.total());
+
+  CycleLedger mult;
+  poly::mul_ref(poly::Coeffs(params.n, 1), keys.sk.s, true, &mult);
+  EXPECT_EQ(ledger.section("mult"), mult.total());
+}
+
+TEST(LedgerSections, EncapsContainsThreeSamplesAndPartialMult) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_of(4));
+  CycleLedger ledger;
+  encapsulate(params, backend, keys.pk, seed_of(5), &ledger);
+
+  // samples: s' and e' full-length, e'' lv-length with scaled weight
+  CycleLedger full, epp;
+  sample_fixed_weight(seed_of(1), params, backend.hash_impl, &full);
+  const std::size_t lv = params.v_len();
+  sample_fixed_weight_raw(seed_of(1), lv,
+                          (params.weight * lv / params.n) & ~1u,
+                          backend.hash_impl, &epp);
+  EXPECT_EQ(ledger.section("sample_poly"), 2 * full.total() + epp.total());
+
+  // mult: one full + one partial (lv rows)
+  CycleLedger fullm, partm;
+  poly::mul_ref(poly::Coeffs(params.n, 1), keys.sk.s, true, &fullm);
+  poly::mul_ref_partial(poly::Coeffs(params.n, 1), keys.sk.s, lv, &partm);
+  EXPECT_EQ(ledger.section("mult"), fullm.total() + partm.total());
+}
+
+TEST(LedgerSections, BchSectionsOnlyInDecapsulation) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference_const_bch();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_of(6));
+  CycleLedger enc_ledger;
+  const EncapsResult enc =
+      encapsulate(params, backend, keys.pk, seed_of(7), &enc_ledger);
+  EXPECT_EQ(enc_ledger.section("bch_dec"), 0u);
+
+  CycleLedger dec_ledger;
+  decapsulate(params, backend, keys, enc.ct, &dec_ledger);
+  // All decode work is attributed to the three innermost stage sections
+  // (the enclosing "bch_dec" scope has no direct charges of its own).
+  const u64 stages = dec_ledger.section("bch_syndrome") +
+                     dec_ledger.section("bch_error_loc") +
+                     dec_ledger.section("bch_chien");
+  EXPECT_GT(stages, 0u);
+  EXPECT_NEAR(static_cast<double>(stages), 514169.0, 514169.0 * 0.15);
+}
+
+}  // namespace
+}  // namespace lacrv::lac

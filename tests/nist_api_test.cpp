@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lac/nist_api.h"
+
+namespace lacrv::lac::nist {
+namespace {
+
+/// Deterministic randombytes for KAT-style driving.
+RandomBytes drbg(u64 seed) {
+  auto rng = std::make_shared<Xoshiro256>(seed);
+  return [rng](u8* out, std::size_t len) { rng->fill(out, len); };
+}
+
+class NistApiSweep : public ::testing::TestWithParam<SecurityLevel> {};
+
+TEST_P(NistApiSweep, KeypairEncDecRoundTrip) {
+  const Params& params = Params::get(GetParam());
+  const Backend backend = Backend::optimized();
+  const Sizes sz = sizes(params);
+
+  Bytes pk(sz.public_key), sk(sz.secret_key), ct(sz.ciphertext);
+  Bytes ss_enc(sz.shared_secret), ss_dec(sz.shared_secret);
+
+  crypto_kem_keypair(params, backend, pk.data(), sk.data(), drbg(1));
+  crypto_kem_enc(params, backend, ct.data(), ss_enc.data(), pk.data(),
+                 drbg(2));
+  crypto_kem_dec(params, backend, ss_dec.data(), ct.data(), sk.data());
+  EXPECT_EQ(ss_enc, ss_dec);
+}
+
+TEST_P(NistApiSweep, DeterministicUnderFixedDrbg) {
+  const Params& params = Params::get(GetParam());
+  const Backend backend = Backend::reference();
+  const Sizes sz = sizes(params);
+  Bytes pk1(sz.public_key), sk1(sz.secret_key);
+  Bytes pk2(sz.public_key), sk2(sz.secret_key);
+  crypto_kem_keypair(params, backend, pk1.data(), sk1.data(), drbg(7));
+  crypto_kem_keypair(params, backend, pk2.data(), sk2.data(), drbg(7));
+  EXPECT_EQ(pk1, pk2);
+  EXPECT_EQ(sk1, sk2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, NistApiSweep,
+                         ::testing::Values(SecurityLevel::kLac128,
+                                           SecurityLevel::kLac192,
+                                           SecurityLevel::kLac256),
+                         [](const auto& info) {
+                           return std::string(Params::get(info.param).name)
+                               .substr(4);
+                         });
+
+TEST(NistApi, SizesMatchParams) {
+  const Sizes sz = sizes(Params::lac256());
+  EXPECT_EQ(sz.public_key, 1056u);
+  EXPECT_EQ(sz.ciphertext, 1424u);
+  EXPECT_EQ(sz.secret_key, 1024u + 32u + 1056u);
+  EXPECT_EQ(sz.shared_secret, 32u);
+}
+
+TEST(NistApi, TamperedCiphertextRejectsImplicitly) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  const Sizes sz = sizes(params);
+  Bytes pk(sz.public_key), sk(sz.secret_key), ct(sz.ciphertext);
+  Bytes ss(sz.shared_secret), ss_bad(sz.shared_secret);
+  crypto_kem_keypair(params, backend, pk.data(), sk.data(), drbg(3));
+  crypto_kem_enc(params, backend, ct.data(), ss.data(), pk.data(), drbg(4));
+  ct[17] ^= 0x40;
+  crypto_kem_dec(params, backend, ss_bad.data(), ct.data(), sk.data());
+  EXPECT_NE(ss, ss_bad);
+}
+
+TEST(NistApi, NullArgumentsRejected) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  Bytes buf(8192);
+  EXPECT_ANY_THROW(
+      crypto_kem_keypair(params, backend, nullptr, buf.data(), drbg(1)));
+  EXPECT_ANY_THROW(
+      crypto_kem_dec(params, backend, buf.data(), buf.data(), nullptr));
+}
+
+}  // namespace
+}  // namespace lacrv::lac::nist

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "perf/iss_kernels.h"
+#include "perf/rtl_backend.h"
+#include "lac/gen_a.h"
+#include "perf/tables.h"
+
+namespace lacrv::perf {
+namespace {
+
+hash::Seed seed_of(u64 x) {
+  hash::Seed s{};
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<u8>(x >> (8 * i));
+  return s;
+}
+
+// ---- RTL-backed backend ----------------------------------------------------
+
+TEST(RtlBackend, MatchesModeledBackendBitExactly) {
+  const lac::Params& params = lac::Params::lac192();
+  const lac::Backend modeled = lac::Backend::optimized();
+  const lac::Backend rtl = rtl_optimized_backend();
+
+  const lac::KeyPair kp_m = lac::keygen(params, modeled, seed_of(1));
+  const lac::KeyPair kp_r = lac::keygen(params, rtl, seed_of(1));
+  EXPECT_EQ(kp_m.pk.b, kp_r.pk.b);
+
+  Xoshiro256 rng(2);
+  bch::Message msg;
+  rng.fill(msg.data(), msg.size());
+  const lac::Ciphertext ct_m =
+      lac::encrypt(params, modeled, kp_m.pk, msg, seed_of(3));
+  const lac::Ciphertext ct_r =
+      lac::encrypt(params, rtl, kp_r.pk, msg, seed_of(3));
+  EXPECT_EQ(ct_m.u, ct_r.u);
+  EXPECT_EQ(ct_m.v, ct_r.v);
+
+  EXPECT_EQ(lac::decrypt(params, rtl, kp_r.sk, ct_r).message, msg);
+}
+
+TEST(RtlBackend, CycleChargesAgreeWithModeledBackend) {
+  // The modeled unit charges n compute cycles from a constant; the RTL
+  // unit charges the observed latency. They must coincide.
+  const lac::Params& params = lac::Params::lac128();
+  CycleLedger modeled, rtl;
+  lac::keygen(params, lac::Backend::optimized(), seed_of(9), &modeled);
+  lac::keygen(params, rtl_optimized_backend(), seed_of(9), &rtl);
+  EXPECT_EQ(modeled.section("mult"), rtl.section("mult"));
+}
+
+TEST(RtlBackend, KemRoundTripAllLevels) {
+  for (const lac::Params* params : lac::Params::all()) {
+    const lac::Backend backend = rtl_optimized_backend();
+    const lac::KemKeyPair keys =
+        lac::kem_keygen(*params, backend, seed_of(11));
+    const lac::EncapsResult enc =
+        lac::encapsulate(*params, backend, keys.pk, seed_of(12));
+    EXPECT_EQ(lac::decapsulate(*params, backend, keys, enc.ct), enc.key)
+        << params->name;
+  }
+}
+
+// ---- ISS kernels -----------------------------------------------------------
+
+TEST(IssKernels, MulTerKernelComputesCorrectProduct) {
+  Xoshiro256 rng(5);
+  poly::Ternary a(512);
+  poly::Coeffs b(512);
+  for (auto& v : a)
+    v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+  for (auto& v : b) v = static_cast<u8>(rng.next_below(poly::kQ));
+
+  for (bool negacyclic : {true, false}) {
+    const IssRunResult run = iss_mul_ter(a, b, negacyclic);
+    EXPECT_EQ(run.result, poly::mul_ter_sw(a, b, negacyclic))
+        << "negacyclic=" << negacyclic;
+  }
+}
+
+TEST(IssKernels, MulTerKernelCyclesNearInstructionModel) {
+  // The instruction-level cost model says ~6.2k cycles for a full n=512
+  // call (Table II: 6,390). The machine-code kernel must land in the same
+  // regime — the packing loop is the dominant term in both.
+  Xoshiro256 rng(6);
+  poly::Ternary a(512);
+  poly::Coeffs b(512);
+  for (auto& v : a)
+    v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+  for (auto& v : b) v = static_cast<u8>(rng.next_below(poly::kQ));
+  const IssRunResult run = iss_mul_ter(a, b, true);
+  EXPECT_GT(run.cycles, 4000u);
+  EXPECT_LT(run.cycles, 13000u);
+  // compute phase alone is 512 cycles of the total
+  EXPECT_GT(run.cycles, 512u);
+}
+
+TEST(IssKernels, ModqKernelReducesEveryValue) {
+  std::vector<u16> values;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 200; ++i)
+    values.push_back(static_cast<u16>(rng.next_below(1u << 16)));
+  const IssRunResult run = iss_modq(values);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(run.result[i], values[i] % poly::kQ) << i;
+  // lhu(2) + pq(1) + sb(1) + 3 addi + blt(3) = 10 per element + setup
+  EXPECT_NEAR(static_cast<double>(run.cycles), 10.0 * values.size(), 100.0);
+}
+
+
+
+
+TEST(IssKernels, SplitMul1024MatchesOracle) {
+  // The complete optimized LAC-192/256 multiplication as machine code:
+  // Algorithms 1 + 2 with sixteen pq.mul_ter convolutions and pq.modq
+  // recombination. Must equal the negacyclic product exactly.
+  Xoshiro256 rng(42);
+  poly::Ternary a(1024);
+  poly::Coeffs b(1024);
+  for (auto& v : a)
+    v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+  for (auto& v : b) v = static_cast<u8>(rng.next_below(poly::kQ));
+
+  const IssRunResult run = iss_split_mul_1024(a, b);
+  EXPECT_EQ(run.result, poly::mul_ter_sw(a, b, true));
+  // Table II pins the optimized n=1024 multiplication at 151,354 cycles;
+  // the machine-code kernel must land in the same regime.
+  EXPECT_GT(run.cycles, 80000u);
+  EXPECT_LT(run.cycles, 260000u);
+}
+
+TEST(IssKernels, GenAKernelMatchesLibraryGenA) {
+  hash::Seed seed{};
+  for (std::size_t i = 0; i < seed.size(); ++i) seed[i] = static_cast<u8>(i * 7 + 1);
+  const IssRunResult run = iss_gen_a(seed, 512);
+  const poly::Coeffs expected = lac::gen_a(seed, lac::Params::lac128());
+  EXPECT_EQ(run.result, expected);
+}
+
+
+TEST(IssKernels, GenAKernelLargerCount) {
+  hash::Seed seed{};
+  seed.fill(0x31);
+  const IssRunResult run = iss_gen_a(seed, 1024);
+  const poly::Coeffs expected = lac::gen_a(seed, lac::Params::lac192());
+  EXPECT_EQ(run.result, expected);
+}
+
+TEST(IssKernels, GenAKernelCyclesShowSamplingGlueDominating) {
+  // The paper's surprising GenA result (Table II: the SHA-256 accelerator
+  // saves only ~3%) traces to exactly this: per 32-byte block the kernel
+  // spends ~65 cycles hashing but hundreds on byte-wise operand loading
+  // and rejection-sampling software.
+  hash::Seed seed{};
+  seed.fill(9);
+  const IssRunResult run = iss_gen_a(seed, 512);
+  // ~17 blocks; each block: 64 loads x ~8 cycles + 65 hash + read/sample.
+  EXPECT_GT(run.cycles, 17u * 65u * 2);  // far more than the pure hash time
+  EXPECT_LT(run.cycles, 60000u);
+  EXPECT_GT(run.instructions, 5000u);
+}
+
+TEST(IssKernels, ChienKernelMatchesSoftwareSearch) {
+  // Locator with two known roots inside the t=16 window.
+  const int e1 = 180, e2 = 330;
+  const gf::Element x1 = gf::alpha_pow(e1), x2 = gf::alpha_pow(e2);
+  std::vector<gf::Element> lambda(17, 0);
+  lambda[0] = 1;
+  lambda[1] = gf::add(x1, x2);
+  lambda[2] = gf::mul_table(x1, x2);
+
+  const IssChienResult run = iss_chien(lambda, 112, 368);
+  ASSERT_EQ(run.root_flags.size(), 257u);
+  std::vector<int> roots;
+  for (int l = 112; l <= 368; ++l)
+    if (run.root_flags[static_cast<std::size_t>(l - 112)]) roots.push_back(l);
+  EXPECT_EQ(roots, (std::vector<int>{511 - e2, 511 - e1}));
+}
+
+TEST(IssKernels, ChienKernelBothCodeConfigs) {
+  // Random locators: the kernel must agree point-by-point with direct
+  // polynomial evaluation, for both t = 8 and t = 16.
+  Xoshiro256 rng(77);
+  for (int t : {8, 16}) {
+    std::vector<gf::Element> lambda(static_cast<std::size_t>(t) + 1);
+    for (auto& c : lambda)
+      c = static_cast<gf::Element>(rng.next_below(gf::kFieldSize));
+    const int first = t == 16 ? 112 : 184;
+    const int last = first + 60;
+    const IssChienResult run = iss_chien(lambda, first, last);
+    for (int l = first; l <= last; ++l) {
+      const bool is_root =
+          gf::poly_eval(lambda, gf::alpha_pow(static_cast<u32>(l)),
+                        gf::MulKind::kTable) == 0;
+      ASSERT_EQ(run.root_flags[static_cast<std::size_t>(l - first)],
+                is_root ? 1 : 0)
+          << "t=" << t << " l=" << l;
+    }
+  }
+}
+
+TEST(IssKernels, ChienKernelCyclesInModelRegime) {
+  std::vector<gf::Element> lambda(17, 1);
+  const IssChienResult run = iss_chien(lambda, 112, 368);
+  // model: 257 points x (4 groups x (9+12) + 16) = 25.7k; the machine
+  // code achieves ~55 cycles/point (tighter control than the model's
+  // conservative per-group constants) — same regime.
+  EXPECT_GT(run.cycles, 10000u);
+  EXPECT_LT(run.cycles, 40000u);
+}
+
+// ---- Table I ---------------------------------------------------------------
+
+TEST(Table1, ShapeMatchesPaper) {
+  const auto rows = table1();
+  ASSERT_EQ(rows.size(), 4u);
+  // submission: error-locator leaks; walters: near-constant
+  EXPECT_LT(rows[0].error_loc, 500u);
+  EXPECT_GT(rows[1].error_loc, 5000u);
+  EXPECT_EQ(rows[2].syndrome, rows[3].syndrome);
+  EXPECT_EQ(rows[2].chien, rows[3].chien);
+  EXPECT_LE(rows[3].decode - rows[2].decode, 100u);
+  // each decode within 15% of the paper value
+  for (const auto& r : rows)
+    EXPECT_NEAR(static_cast<double>(r.decode),
+                static_cast<double>(r.paper_decode),
+                static_cast<double>(r.paper_decode) * 0.15)
+        << r.scheme << " " << r.fails;
+}
+
+// ---- Table II --------------------------------------------------------------
+
+class Table2Fixture : public ::testing::Test {
+ protected:
+  static const std::vector<Table2Row>& rows() {
+    static const std::vector<Table2Row> r = table2();
+    return r;
+  }
+  static const Table2Row& row(const std::string& scheme) {
+    for (const auto& r : rows())
+      if (r.scheme == scheme) return r;
+    throw std::runtime_error("row not found: " + scheme);
+  }
+};
+
+TEST_F(Table2Fixture, HasAllConfigurations) {
+  EXPECT_EQ(rows().size(), 3u + 9u + 1u);
+}
+
+TEST_F(Table2Fixture, MeasuredRowsWithin20PercentOfPaper) {
+  for (const auto& r : rows()) {
+    if (!r.paper) continue;
+    const std::array<u64, 3> paper = *r.paper;
+    const std::array<u64, 3> mine = {r.keygen, r.encaps, r.decaps};
+    for (int i = 0; i < 3; ++i)
+      EXPECT_NEAR(static_cast<double>(mine[static_cast<std::size_t>(i)]),
+                  static_cast<double>(paper[static_cast<std::size_t>(i)]),
+                  static_cast<double>(paper[static_cast<std::size_t>(i)]) *
+                      0.20)
+          << r.scheme << " column " << i;
+  }
+}
+
+TEST_F(Table2Fixture, HeadlineSpeedupsNearPaper) {
+  const Speedups s = headline_speedups(rows());
+  EXPECT_NEAR(s.lac128, 7.66, 7.66 * 0.2);
+  EXPECT_NEAR(s.lac192, 14.42, 14.42 * 0.2);
+  EXPECT_NEAR(s.lac256, 13.36, 13.36 * 0.2);
+  // ordering: 192 fastest relative gain, 128 smallest
+  EXPECT_GT(s.lac192, s.lac256);
+  EXPECT_GT(s.lac256, s.lac128);
+}
+
+TEST_F(Table2Fixture, OptimizedMultiplicationMassivelyFaster) {
+  EXPECT_GT(row("LAC-128 ref.").mult / row("LAC-128 opt.").mult, 100u);
+  EXPECT_GT(row("LAC-192 ref.").mult / row("LAC-192 opt.").mult, 30u);
+}
+
+TEST_F(Table2Fixture, OptMultiplicationCheaperThanGenA) {
+  // The paper's argument for not enlarging MUL TER: the accelerated
+  // multiplication is already cheaper than polynomial generation.
+  EXPECT_LT(row("LAC-128 opt.").mult, row("LAC-128 opt.").gen_a);
+  EXPECT_LT(row("LAC-192 opt.").mult, row("LAC-192 opt.").gen_a);
+  EXPECT_LT(row("LAC-256 opt.").mult, row("LAC-256 opt.").gen_a);
+}
+
+TEST_F(Table2Fixture, BchDecodeImprovementFactorsNearPaper) {
+  // Paper: 3.21x for the 128/256 categories, 4.22x for 192
+  // (const-BCH software vs accelerated Chien).
+  const double f128 =
+      static_cast<double>(row("LAC-128 const. BCH").bch_dec) /
+      static_cast<double>(row("LAC-128 opt.").bch_dec);
+  const double f192 =
+      static_cast<double>(row("LAC-192 const. BCH").bch_dec) /
+      static_cast<double>(row("LAC-192 opt.").bch_dec);
+  EXPECT_NEAR(f128, 3.21, 3.21 * 0.25);
+  EXPECT_NEAR(f192, 4.22, 4.22 * 0.35);
+}
+
+TEST_F(Table2Fixture, ConstBchSlowsOnlyDecapsulation) {
+  const Table2Row& ref = row("LAC-128 ref.");
+  const Table2Row& ct = row("LAC-128 const. BCH");
+  EXPECT_NEAR(static_cast<double>(ct.keygen), static_cast<double>(ref.keygen),
+              static_cast<double>(ref.keygen) * 0.01);
+  EXPECT_NEAR(static_cast<double>(ct.encaps), static_cast<double>(ref.encaps),
+              static_cast<double>(ref.encaps) * 0.01);
+  EXPECT_GT(ct.decaps, ref.decaps + 200000);  // + (514k - 161k) BCH delta
+}
+
+// ---- Table III -------------------------------------------------------------
+
+TEST(Table3, RowsWithinFivePercentOfPaper) {
+  for (const auto& r : table3()) {
+    if (!r.paper || r.external) continue;
+    EXPECT_NEAR(static_cast<double>(r.area.luts),
+                static_cast<double>((*r.paper)[0]),
+                std::max(5.0, static_cast<double>((*r.paper)[0]) * 0.05))
+        << r.area.name;
+    EXPECT_NEAR(static_cast<double>(r.area.registers),
+                static_cast<double>((*r.paper)[1]),
+                std::max(5.0, static_cast<double>((*r.paper)[1]) * 0.05))
+        << r.area.name;
+    EXPECT_EQ(r.area.brams, (*r.paper)[2]) << r.area.name;
+    EXPECT_EQ(r.area.dsps, (*r.paper)[3]) << r.area.name;
+  }
+}
+
+TEST(Table3, TernaryMultiplierDominatesAcceleratorLuts) {
+  const auto rows = table3();
+  u64 mul_ter = 0, others = 0;
+  for (const auto& r : rows) {
+    if (r.external || r.area.name == "RISC-V core total") continue;
+    if (r.area.name == "Ternary Multiplier")
+      mul_ter = r.area.luts;
+    else
+      others += r.area.luts;
+  }
+  EXPECT_GT(mul_ter, 10 * others);
+}
+
+TEST(Printers, ProduceNonEmptyOutput) {
+  std::ostringstream os;
+  print_table1(os, table1());
+  print_table3(os, table3());
+  EXPECT_NE(os.str().find("Table I"), std::string::npos);
+  EXPECT_NE(os.str().find("Ternary Multiplier"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lacrv::perf

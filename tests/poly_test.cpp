@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "poly/karatsuba.h"
+#include "poly/ring.h"
+#include "poly/split_mul.h"
+
+namespace lacrv::poly {
+namespace {
+
+Ternary random_ternary(Xoshiro256& rng, std::size_t n) {
+  Ternary t(n);
+  for (auto& v : t) v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+  return t;
+}
+
+Coeffs random_coeffs(Xoshiro256& rng, std::size_t n) {
+  Coeffs c(n);
+  for (auto& v : c) v = static_cast<u8>(rng.next_below(kQ));
+  return c;
+}
+
+TEST(ModArith, AddSubRoundTrip) {
+  for (int a = 0; a < kQ; ++a)
+    for (int b = 0; b < kQ; ++b) {
+      const u8 s = add_mod(static_cast<u8>(a), static_cast<u8>(b));
+      ASSERT_LT(s, kQ);
+      ASSERT_EQ(sub_mod(s, static_cast<u8>(b)), a);
+    }
+}
+
+TEST(ModArith, BarrettMatchesOperatorPercentExhaustively) {
+  for (u32 x = 0; x < (1u << 16); ++x)
+    ASSERT_EQ(barrett_reduce(x), x % kQ) << "x=" << x;
+}
+
+TEST(PolyOps, AddSubInverse) {
+  Xoshiro256 rng(1);
+  const Coeffs a = random_coeffs(rng, 64), b = random_coeffs(rng, 64);
+  EXPECT_EQ(sub(add(a, b), b), a);
+}
+
+TEST(PolyOps, FromTernaryMapsMinusOne) {
+  const Ternary t = {1, 0, -1};
+  const Coeffs c = from_ternary(t);
+  EXPECT_EQ(c, (Coeffs{1, 0, 250}));
+  EXPECT_EQ(weight(t), 2u);
+}
+
+// Schoolbook model used as an independent oracle for all multipliers:
+// plain Eq. (1) evaluation.
+Coeffs oracle_mul(const Coeffs& b, const Ternary& s, bool negacyclic) {
+  const std::size_t n = b.size();
+  Coeffs c(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    i32 acc = 0;
+    for (std::size_t j = 0; j <= i; ++j) acc += s[j] * b[i - j];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const i32 term = s[j] * b[n + i - j];
+      acc += negacyclic ? -term : term;
+    }
+    acc %= kQ;
+    if (acc < 0) acc += kQ;
+    c[i] = static_cast<u8>(acc);
+  }
+  return c;
+}
+
+class MulAgreement : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(MulAgreement, AllMultipliersMatchOracle) {
+  const auto [n, negacyclic] = GetParam();
+  Xoshiro256 rng(n * 2 + negacyclic);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Ternary s = random_ternary(rng, n);
+    const Coeffs b = random_coeffs(rng, n);
+    const Coeffs expected = oracle_mul(b, s, negacyclic);
+    ASSERT_EQ(mul_ref(b, s, negacyclic), expected);
+    ASSERT_EQ(mul_sparse(b, s, negacyclic), expected);
+    ASSERT_EQ(mul_ter_sw(s, b, negacyclic), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndModes, MulAgreement,
+    ::testing::Combine(::testing::Values(4, 8, 16, 64, 512),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_negacyclic" : "_cyclic");
+    });
+
+TEST(MulRef, ChargesReferenceCycleModel) {
+  Xoshiro256 rng(3);
+  const std::size_t n = 512;
+  CycleLedger ledger;
+  mul_ref(random_coeffs(rng, n), random_ternary(rng, n), true, &ledger);
+  // n outer rows x (12 + 9n): the Table II reference magnitude (~2.38M).
+  EXPECT_EQ(ledger.total(), n * (12 + 9 * n));
+  EXPECT_NEAR(static_cast<double>(ledger.total()), 2381843.0, 25000.0);
+}
+
+TEST(MulRef, N1024ChargeNearPaperValue) {
+  Xoshiro256 rng(4);
+  const std::size_t n = 1024;
+  CycleLedger ledger;
+  mul_ref(random_coeffs(rng, n), random_ternary(rng, n), true, &ledger);
+  EXPECT_NEAR(static_cast<double>(ledger.total()), 9482261.0, 50000.0);
+}
+
+TEST(SplitMul, LowLevelMatchesFullProduct) {
+  Xoshiro256 rng(5);
+  const Ternary a = random_ternary(rng, 512);
+  const Coeffs b = random_coeffs(rng, 512);
+  const Coeffs got = split_mul_low(a, b, software_mul_ter());
+  const Coeffs full = mul_general_full(from_ternary(a), b);  // 1023 coeffs
+  ASSERT_EQ(got.size(), 1024u);
+  for (std::size_t i = 0; i < full.size(); ++i)
+    ASSERT_EQ(got[i], full[i]) << "coeff " << i;
+  EXPECT_EQ(got[1023], 0);
+}
+
+TEST(SplitMul, HighLevelMatchesNegacyclicOracle) {
+  Xoshiro256 rng(6);
+  const Ternary a = random_ternary(rng, 1024);
+  const Coeffs b = random_coeffs(rng, 1024);
+  EXPECT_EQ(split_mul_high(a, b, software_mul_ter()),
+            oracle_mul(b, a, /*negacyclic=*/true));
+}
+
+TEST(SplitMul, MulWithUnitDispatchesBySize) {
+  Xoshiro256 rng(7);
+  {
+    const Ternary a = random_ternary(rng, 512);
+    const Coeffs b = random_coeffs(rng, 512);
+    EXPECT_EQ(mul_with_unit(a, b, software_mul_ter()),
+              oracle_mul(b, a, true));
+  }
+  {
+    const Ternary a = random_ternary(rng, 1024);
+    const Coeffs b = random_coeffs(rng, 1024);
+    EXPECT_EQ(mul_with_unit(a, b, software_mul_ter()),
+              oracle_mul(b, a, true));
+  }
+  const Ternary bad(100, 0);
+  const Coeffs badb(100, 0);
+  EXPECT_ANY_THROW(mul_with_unit(bad, badb, software_mul_ter()));
+}
+
+TEST(SplitMul, UnitOnlySeesLength512PositiveConvolutions) {
+  // Algorithm 2 must drive the unit exclusively with zero-padded length-256
+  // operands in cyclic mode — the whole point of the two-level split.
+  Xoshiro256 rng(8);
+  const Ternary a = random_ternary(rng, 1024);
+  const Coeffs b = random_coeffs(rng, 1024);
+  int calls = 0;
+  MulTer512 spy = [&](const Ternary& ta, const Coeffs& tb, bool negacyclic,
+                      CycleLedger*) {
+    ++calls;
+    EXPECT_EQ(ta.size(), 512u);
+    EXPECT_EQ(tb.size(), 512u);
+    EXPECT_FALSE(negacyclic);
+    for (std::size_t i = 256; i < 512; ++i) {
+      EXPECT_EQ(ta[i], 0);
+      EXPECT_EQ(tb[i], 0);
+    }
+    return mul_ter_sw(ta, tb, negacyclic);
+  };
+  split_mul_high(a, b, spy);
+  EXPECT_EQ(calls, 16);
+}
+
+
+class GenericSplit
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GenericSplit, MatchesNegacyclicOracleForAnyUnitLength) {
+  const auto [n, unit_len] = GetParam();
+  Xoshiro256 rng(static_cast<u64>(n) * 31 + static_cast<u64>(unit_len));
+  const Ternary a = random_ternary(rng, static_cast<std::size_t>(n));
+  const Coeffs b = random_coeffs(rng, static_cast<std::size_t>(n));
+  const Coeffs got = mul_negacyclic_with_unit(
+      a, b, static_cast<std::size_t>(unit_len), software_mul_ter());
+  ASSERT_EQ(got, oracle_mul(b, a, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeByUnit, GenericSplit,
+    ::testing::Values(std::make_tuple(512, 512), std::make_tuple(512, 256),
+                      std::make_tuple(512, 1024), std::make_tuple(1024, 512),
+                      std::make_tuple(1024, 256), std::make_tuple(1024, 2048),
+                      std::make_tuple(256, 128), std::make_tuple(128, 512)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_L" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(GenericSplit, FullProductMatchesSchoolbook) {
+  Xoshiro256 rng(77);
+  for (std::size_t m : {64u, 128u, 512u}) {
+    const Ternary a = random_ternary(rng, m);
+    const Coeffs b = random_coeffs(rng, m);
+    const Coeffs got =
+        full_product_with_unit(a, b, 256, software_mul_ter());
+    const Coeffs expected = mul_general_full(from_ternary(a), b);
+    ASSERT_EQ(got.size(), 2 * m);
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      ASSERT_EQ(got[i], expected[i]) << "m=" << m << " i=" << i;
+    ASSERT_EQ(got.back(), 0);
+  }
+}
+
+TEST(GenericSplit, AgreesWithAlgorithm1SpecialCase) {
+  // n=1024 with a length-512 unit is exactly the paper's configuration;
+  // the generic splitter and Algorithms 1+2 must agree bit for bit.
+  Xoshiro256 rng(78);
+  const Ternary a = random_ternary(rng, 1024);
+  const Coeffs b = random_coeffs(rng, 1024);
+  EXPECT_EQ(mul_negacyclic_with_unit(a, b, 512, software_mul_ter()),
+            split_mul_high(a, b, software_mul_ter()));
+}
+
+TEST(Karatsuba, MatchesSchoolbookFullProduct) {
+  Xoshiro256 rng(9);
+  for (std::size_t n : {2u, 8u, 64u, 256u}) {
+    const Coeffs a = random_coeffs(rng, n), b = random_coeffs(rng, n);
+    ASSERT_EQ(karatsuba_full(a, b, 4), mul_general_full(a, b)) << "n=" << n;
+  }
+}
+
+TEST(Karatsuba, NegacyclicMatchesTernaryOracleWhenOperandTernary) {
+  Xoshiro256 rng(10);
+  const Ternary s = random_ternary(rng, 256);
+  const Coeffs b = random_coeffs(rng, 256);
+  EXPECT_EQ(mul_general_negacyclic(from_ternary(s), b),
+            oracle_mul(b, s, true));
+}
+
+TEST(Karatsuba, RejectsNonPowerOfTwo) {
+  const Coeffs a(24, 1), b(24, 1);
+  EXPECT_ANY_THROW(karatsuba_full(a, b, 4));
+}
+
+TEST(ReduceNegacyclic, WrapsWithSignFlip) {
+  // full = 1 + x^n  ->  reduces to 1 - 1 = 0 at coefficient 0.
+  const std::size_t n = 8;
+  Coeffs full(2 * n - 1, 0);
+  full[0] = 1;
+  full[n] = 3;
+  const Coeffs red = reduce_negacyclic(full, n);
+  EXPECT_EQ(red[0], sub_mod(1, 3));
+  for (std::size_t i = 1; i < n; ++i) EXPECT_EQ(red[i], 0);
+}
+
+}  // namespace
+}  // namespace lacrv::poly

@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf/gf512.h"
+#include "riscv/assembler.h"
+#include "riscv/cpu.h"
+#include "riscv/encoding.h"
+
+namespace lacrv::rv {
+namespace {
+
+/// Assemble, load at 0, run to ebreak, return the CPU for inspection.
+Cpu run_program(const std::string& source, u64 max_steps = 1'000'000) {
+  const Program prog = assemble(source);
+  Cpu cpu;
+  cpu.load_words(0, prog.words);
+  cpu.run(max_steps);
+  EXPECT_TRUE(cpu.halted()) << "program did not reach ebreak";
+  return cpu;
+}
+
+TEST(Encoding, FieldRoundTrips) {
+  const u32 r = encode_r(kOpReg, 5, 3, 7, 9, 0x20);
+  EXPECT_EQ(get_opcode(r), kOpReg);
+  EXPECT_EQ(get_rd(r), 5u);
+  EXPECT_EQ(get_funct3(r), 3u);
+  EXPECT_EQ(get_rs1(r), 7u);
+  EXPECT_EQ(get_rs2(r), 9u);
+  EXPECT_EQ(get_funct7(r), 0x20u);
+
+  for (i32 imm : {-2048, -1, 0, 1, 2047}) {
+    EXPECT_EQ(imm_i(encode_i(kOpImm, 1, 0, 2, imm)), imm);
+    EXPECT_EQ(imm_s(encode_s(kOpStore, 2, 1, 2, imm)), imm);
+  }
+  for (i32 imm : {-4096, -2, 0, 2, 4094})
+    EXPECT_EQ(imm_b(encode_b(kOpBranch, 0, 1, 2, imm)), imm);
+  for (i32 imm : {-1048576, -2, 0, 2, 1048574})
+    EXPECT_EQ(imm_j(encode_j(kOpJal, 1, imm)), imm);
+}
+
+TEST(Encoding, RegisterNames) {
+  EXPECT_EQ(parse_register("zero"), 0);
+  EXPECT_EQ(parse_register("x0"), 0);
+  EXPECT_EQ(parse_register("ra"), 1);
+  EXPECT_EQ(parse_register("sp"), 2);
+  EXPECT_EQ(parse_register("a0"), 10);
+  EXPECT_EQ(parse_register("t6"), 31);
+  EXPECT_EQ(parse_register("fp"), 8);
+  EXPECT_EQ(parse_register("x31"), 31);
+  EXPECT_FALSE(parse_register("x32").has_value());
+  EXPECT_FALSE(parse_register("q1").has_value());
+}
+
+TEST(Encoding, DisassembleSmoke) {
+  EXPECT_EQ(disassemble(encode_r(kOpPq, 10, 0, 11, 12, 0)),
+            "pq.mul_ter a0, a1, a2");
+  EXPECT_EQ(disassemble(encode_i(kOpImm, 10, 0, 0, 42)),
+            "addi a0, zero, 42");
+}
+
+TEST(Assembler, ArithmeticProgram) {
+  const Cpu cpu = run_program(R"(
+    li   a0, 100
+    li   a1, 23
+    add  a2, a0, a1     # 123
+    sub  a3, a0, a1     # 77
+    mul  a4, a0, a1     # 2300
+    div  a5, a0, a1     # 4
+    rem  a6, a0, a1     # 8
+    ebreak
+  )");
+  EXPECT_EQ(cpu.reg(12), 123u);
+  EXPECT_EQ(cpu.reg(13), 77u);
+  EXPECT_EQ(cpu.reg(14), 2300u);
+  EXPECT_EQ(cpu.reg(15), 4u);
+  EXPECT_EQ(cpu.reg(16), 8u);
+}
+
+TEST(Assembler, LiHandlesFullRange) {
+  const Cpu cpu = run_program(R"(
+    li a0, 0x12345678
+    li a1, -1
+    li a2, -2048
+    li a3, 0x800
+    li a4, 2047
+    ebreak
+  )");
+  EXPECT_EQ(cpu.reg(10), 0x12345678u);
+  EXPECT_EQ(cpu.reg(11), 0xFFFFFFFFu);
+  EXPECT_EQ(cpu.reg(12), static_cast<u32>(-2048));
+  EXPECT_EQ(cpu.reg(13), 0x800u);
+  EXPECT_EQ(cpu.reg(14), 2047u);
+}
+
+TEST(Assembler, LoopWithBranchesAndMemory) {
+  // Sum data[0..9] stored via .word, classic loop.
+  const Cpu cpu = run_program(R"(
+      li   a0, 0        # sum
+      la   a1, data
+      li   a2, 10       # count
+    loop:
+      beq  a2, zero, done
+      lw   a3, 0(a1)
+      add  a0, a0, a3
+      addi a1, a1, 4
+      addi a2, a2, -1
+      j    loop
+    done:
+      ebreak
+    data:
+      .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+  )");
+  EXPECT_EQ(cpu.reg(10), 55u);
+}
+
+TEST(Assembler, ByteAndHalfAccess) {
+  const Cpu cpu = run_program(R"(
+    li   a1, 0x200
+    li   a0, 0x81
+    sb   a0, 0(a1)
+    lb   a2, 0(a1)    # sign-extended
+    lbu  a3, 0(a1)    # zero-extended
+    li   a0, 0x8001
+    sh   a0, 4(a1)
+    lh   a4, 4(a1)
+    lhu  a5, 4(a1)
+    ebreak
+  )");
+  EXPECT_EQ(cpu.reg(12), 0xFFFFFF81u);
+  EXPECT_EQ(cpu.reg(13), 0x81u);
+  EXPECT_EQ(cpu.reg(14), 0xFFFF8001u);
+  EXPECT_EQ(cpu.reg(15), 0x8001u);
+}
+
+TEST(Assembler, FunctionCallAndReturn) {
+  const Cpu cpu = run_program(R"(
+      li   a0, 7
+      call square
+      mv   s0, a0
+      li   a0, 9
+      call square
+      add  a0, a0, s0   # 49 + 81
+      ebreak
+    square:
+      mul  a0, a0, a0
+      ret
+  )");
+  EXPECT_EQ(cpu.reg(10), 130u);
+}
+
+TEST(Assembler, ErrorsAreDiagnosed) {
+  EXPECT_ANY_THROW(assemble("bogus a0, a1"));
+  EXPECT_ANY_THROW(assemble("addi a0, a1, 5000"));  // imm out of range
+  EXPECT_ANY_THROW(assemble("lw a0, a1"));          // not imm(reg)
+  EXPECT_ANY_THROW(assemble("beq a0, a1, nowhere"));
+  EXPECT_ANY_THROW(assemble("x: nop\nx: nop"));     // duplicate label
+}
+
+TEST(Cpu, ShiftAndCompareSemantics) {
+  const Cpu cpu = run_program(R"(
+    li   a0, -16
+    srai a1, a0, 2    # -4
+    srli a2, a0, 28   # 15
+    slti a3, a0, 0    # 1
+    sltiu a4, a0, 0   # 0 (unsigned huge)
+    li   a5, 3
+    sll  a6, a5, a5   # 24
+    ebreak
+  )");
+  EXPECT_EQ(cpu.reg(11), static_cast<u32>(-4));
+  EXPECT_EQ(cpu.reg(12), 15u);
+  EXPECT_EQ(cpu.reg(13), 1u);
+  EXPECT_EQ(cpu.reg(14), 0u);
+  EXPECT_EQ(cpu.reg(16), 24u);
+}
+
+TEST(Cpu, DivisionEdgeCases) {
+  const Cpu cpu = run_program(R"(
+    li   a0, 10
+    li   a1, 0
+    div  a2, a0, a1    # -1 by spec
+    rem  a3, a0, a1    # dividend
+    li   a0, 0x80000000
+    li   a1, -1
+    div  a4, a0, a1    # overflow -> dividend
+    rem  a5, a0, a1    # 0
+    ebreak
+  )");
+  EXPECT_EQ(cpu.reg(12), 0xFFFFFFFFu);
+  EXPECT_EQ(cpu.reg(13), 10u);
+  EXPECT_EQ(cpu.reg(14), 0x80000000u);
+  EXPECT_EQ(cpu.reg(15), 0u);
+}
+
+TEST(Cpu, X0IsHardwiredZero) {
+  const Cpu cpu = run_program(R"(
+    li   t0, 99
+    add  zero, t0, t0
+    mv   a0, zero
+    ebreak
+  )");
+  EXPECT_EQ(cpu.reg(0), 0u);
+  EXPECT_EQ(cpu.reg(10), 0u);
+}
+
+TEST(Cpu, CycleModelChargesTakenBranchesMore) {
+  // 100 taken back-edges vs the same loop with fall-through exits.
+  const Cpu taken = run_program(R"(
+      li   a0, 100
+    loop:
+      addi a0, a0, -1
+      bne  a0, zero, loop
+      ebreak
+  )");
+  // 1 li (2 words, 2 cycles) + 100*(addi 1) + 99 taken(3) + 1 not(1)
+  EXPECT_EQ(taken.cycles(), 2u + 100u + 99u * 3u + 1u + 1u);
+}
+
+TEST(Cpu, MemoryFaultsThrow) {
+  Cpu cpu;
+  EXPECT_ANY_THROW(cpu.read_word(1u << 30));
+  const Program prog = assemble(R"(
+    li a0, 0x7fffffff
+    lw a1, 0(a0)
+  )");
+  cpu.load_words(0, prog.words);
+  EXPECT_ANY_THROW(cpu.run());
+}
+
+
+TEST(Csr, RdcycleAndRdinstret) {
+  const Cpu cpu = run_program(R"(
+    rdcycle  s0      # cycles so far
+    nop
+    nop
+    mul a0, a1, a2
+    rdcycle  s1
+    rdinstret s2
+    csrr s3, 0xC00
+    ebreak
+  )");
+  // between the two rdcycle reads: rdcycle(1) + 2 nops + mul = 4 cycles
+  EXPECT_EQ(cpu.reg(9) - cpu.reg(8), 4u);
+  EXPECT_EQ(cpu.reg(18), 5u);         // instret before the 6th instruction
+  EXPECT_GE(cpu.reg(19), cpu.reg(9)); // csrr 0xC00 == later rdcycle
+}
+
+TEST(Csr, UnknownCsrRejected) {
+  const rv::Program prog = assemble("csrr a0, 0x345\nebreak");
+  Cpu cpu;
+  cpu.load_words(0, prog.words);
+  EXPECT_ANY_THROW(cpu.run(10));
+}
+
+// ---- PQ instructions -------------------------------------------------------
+
+TEST(PqInstructions, ModqReducesThroughBarrett) {
+  const Cpu cpu = run_program(R"(
+    li      a0, 62001   # 249^2
+    pq.modq a1, a0, zero
+    li      a0, 250
+    pq.modq a2, a0, zero
+    li      a0, 251
+    pq.modq a3, a0, zero
+    ebreak
+  )");
+  EXPECT_EQ(cpu.reg(11), 62001u % 251u);
+  EXPECT_EQ(cpu.reg(12), 250u);
+  EXPECT_EQ(cpu.reg(13), 0u);
+}
+
+TEST(PqInstructions, Sha256AbcThroughInstructions) {
+  // Hash the padded one-block message "abc" through pq.sha256 and compare
+  // with the software digest.
+  std::ostringstream src;
+  src << "li t2, 0\n";
+  // reset state: rs2 mode 3
+  src << "li t0, 0x30000000\n";
+  src << "pq.sha256 zero, zero, t0\n";
+  // load padded block bytes
+  std::array<u8, 64> block{};
+  block[0] = 'a';
+  block[1] = 'b';
+  block[2] = 'c';
+  block[3] = 0x80;
+  block[63] = 24;  // bit length
+  for (int i = 0; i < 64; ++i) {
+    src << "li t0, " << static_cast<int>(block[static_cast<std::size_t>(i)])
+        << "\n";
+    src << "li t1, " << i << "\n";  // mode 0 | offset
+    src << "pq.sha256 zero, t0, t1\n";
+  }
+  src << "li t0, 0x10000000\n";  // mode 1: hash
+  src << "pq.sha256 zero, zero, t0\n";
+  // read digest words 0..7 into a0..a7 (x10..x17): mode 2 | word index
+  for (int w = 0; w < 8; ++w) {
+    src << "li t0, " << (0x20000000 + w) << "\n";
+    src << "pq.sha256 x" << (10 + w) << ", zero, t0\n";
+  }
+  src << "ebreak\n";
+  const Cpu cpu = run_program(src.str());
+
+  const hash::Digest expected = hash::sha256(
+      ByteView(reinterpret_cast<const u8*>("abc"), 3));
+  for (int w = 0; w < 8; ++w) {
+    const u32 got = cpu.reg(10 + w);
+    for (int i = 0; i < 4; ++i)
+      EXPECT_EQ(static_cast<u8>(got >> (8 * i)),
+                expected[static_cast<std::size_t>(4 * w + i)])
+          << "word " << w;
+  }
+}
+
+TEST(PqInstructions, MulTerSmallConvolutionViaInstructions) {
+  // Drive the unit for a tiny case we can check by hand. The unit is
+  // length-512; we use coefficients 0..4 only (one LOAD chunk) with the
+  // rest zero: a = [1, -1, 0, 0, 1...0], b = [3, 5, 7, ...0], negacyclic.
+  // Expected: c = a * b mod (x^512 + 1) restricted to low coefficients.
+  const poly::Ternary a_full = [] {
+    poly::Ternary t(512, 0);
+    t[0] = 1;
+    t[1] = -1;
+    t[4] = 1;
+    return t;
+  }();
+  const poly::Coeffs b_full = [] {
+    poly::Coeffs c(512, 0);
+    c[0] = 3;
+    c[1] = 5;
+    c[2] = 7;
+    return c;
+  }();
+  const poly::Coeffs expected = poly::mul_ter_sw(a_full, b_full, true);
+
+  // LOAD chunk 0: g = {3,5,7,0,0}; ternary codes {1,2,0,0,1}.
+  const u32 rs1 = 3u | 5u << 8 | 7u << 16;
+  const u32 tern = 1u | 2u << 2 | 1u << 8;  // lanes 0,1,4
+  const u32 rs2_load = tern << 8;           // mode 0, addr 0
+  std::ostringstream src;
+  src << "li t0, 0x30000000\npq.mul_ter zero, zero, t0\n";  // reset
+  src << "li a0, " << rs1 << "\nli a1, " << rs2_load << "\n";
+  src << "pq.mul_ter zero, a0, a1\n";
+  src << "li a1, 0x10000001\npq.mul_ter zero, zero, a1\n";  // start, conv_n=1
+  src << "li a1, 0x20000000\npq.mul_ter a2, zero, a1\n";    // read chunk 0
+  src << "li a1, 0x20000001\npq.mul_ter a3, zero, a1\n";    // read chunk 1
+  src << "ebreak\n";
+  const Cpu cpu = run_program(src.str());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<u8>(cpu.reg(12) >> (8 * i)), expected[i]) << i;
+    EXPECT_EQ(static_cast<u8>(cpu.reg(13) >> (8 * i)), expected[4 + i]) << i;
+  }
+}
+
+TEST(PqInstructions, MulTerStartStallsNCycles) {
+  const Program prog = assemble(R"(
+    li a1, 0x10000001
+    pq.mul_ter zero, zero, a1
+    ebreak
+  )");
+  Cpu cpu;
+  cpu.load_words(0, prog.words);
+  cpu.run();
+  // 2 (li) + 1 issue + 512 stall + 1 ebreak
+  EXPECT_EQ(cpu.cycles(), 2u + 1u + 512u + 1u);
+}
+
+TEST(PqInstructions, ChienComputeMatchesFieldArithmetic) {
+  // Load group 0 with constants a_i and values b_i; one compute returns
+  // XOR of the four products and 9 stall cycles.
+  const gf::Element c0 = 17, v0 = 100, c1 = 255, v1 = 7, c2 = 300, v2 = 450,
+                    c3 = 33, v3 = 210;
+  const u32 rs1_left = static_cast<u32>(c0) | static_cast<u32>(v0) << 9 |
+                       static_cast<u32>(c1) << 18;
+  const u32 rs2_left = static_cast<u32>(v1);  // mode 0, group 0
+  const u32 rs1_right = static_cast<u32>(c2) | static_cast<u32>(v2) << 9 |
+                        static_cast<u32>(c3) << 18;
+  const u32 rs2_right = 0x10000000u | static_cast<u32>(v3);  // mode 1
+  std::ostringstream src;
+  src << "li a0, " << rs1_left << "\nli a1, " << rs2_left << "\n";
+  src << "pq.mul_chien zero, a0, a1\n";
+  src << "li a0, " << rs1_right << "\nli a1, " << rs2_right << "\n";
+  src << "pq.mul_chien zero, a0, a1\n";
+  src << "li a1, 0x20000000\n";  // compute, loop=0, group 0
+  src << "pq.mul_chien a2, zero, a1\n";
+  src << "pq.mul_chien a3, zero, a1\n";  // recompute without loop: same
+  src << "li a1, 0x20000001\n";          // compute with loop
+  src << "pq.mul_chien a4, zero, a1\n";
+  src << "ebreak\n";
+  const Cpu cpu = run_program(src.str());
+
+  const gf::Element once =
+      gf::add(gf::add(gf::mul_table(c0, v0), gf::mul_table(c1, v1)),
+              gf::add(gf::mul_table(c2, v2), gf::mul_table(c3, v3)));
+  EXPECT_EQ(cpu.reg(12), once);
+  EXPECT_EQ(cpu.reg(13), once);
+  // loop pass multiplies the previous products by the constants again
+  const gf::Element twice = gf::add(
+      gf::add(gf::mul_table(c0, gf::mul_table(c0, v0)),
+              gf::mul_table(c1, gf::mul_table(c1, v1))),
+      gf::add(gf::mul_table(c2, gf::mul_table(c2, v2)),
+              gf::mul_table(c3, gf::mul_table(c3, v3))));
+  EXPECT_EQ(cpu.reg(14), twice);
+}
+
+TEST(PqAlu, AreaAggregatesAccelerators) {
+  PqAlu alu;
+  const rtl::AreaReport area = alu.area();
+  EXPECT_NEAR(static_cast<double>(area.luts), 32617, 32617 * 0.05);
+  EXPECT_NEAR(static_cast<double>(area.registers), 11019, 11019 * 0.05);
+  EXPECT_EQ(area.dsps, 2u);
+}
+
+}  // namespace
+}  // namespace lacrv::rv

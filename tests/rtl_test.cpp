@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtl/barrett_unit.h"
+#include "rtl/chien_unit.h"
+#include "rtl/gf_mul.h"
+#include "poly/karatsuba.h"
+#include "rtl/mul_ter.h"
+#include "rtl/sha256_core.h"
+
+namespace lacrv::rtl {
+namespace {
+
+poly::Ternary random_ternary(Xoshiro256& rng, std::size_t n) {
+  poly::Ternary t(n);
+  for (auto& v : t)
+    v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+  return t;
+}
+
+poly::Coeffs random_coeffs(Xoshiro256& rng, std::size_t n) {
+  poly::Coeffs c(n);
+  for (auto& v : c) v = static_cast<u8>(rng.next_below(poly::kQ));
+  return c;
+}
+
+// ---- MUL TER --------------------------------------------------------------
+
+TEST(MulTerRtl, MatchesGoldenModelBothConvolutions) {
+  Xoshiro256 rng(1);
+  for (std::size_t n : {8u, 64u, 512u}) {
+    MulTerRtl unit(n);
+    for (bool negacyclic : {false, true}) {
+      const poly::Ternary a = random_ternary(rng, n);
+      const poly::Coeffs b = random_coeffs(rng, n);
+      unit.reset();
+      EXPECT_EQ(unit.multiply(a, b, negacyclic),
+                poly::mul_ter_sw(a, b, negacyclic))
+          << "n=" << n << " negacyclic=" << negacyclic;
+    }
+  }
+}
+
+TEST(MulTerRtl, TakesExactlyNCycles) {
+  Xoshiro256 rng(2);
+  MulTerRtl unit(512);
+  const poly::Ternary a = random_ternary(rng, 512);
+  const poly::Coeffs b = random_coeffs(rng, 512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    unit.load_a(i, a[i]);
+    unit.load_b(i, b[i]);
+  }
+  unit.start(true);
+  EXPECT_TRUE(unit.busy());
+  EXPECT_EQ(unit.run_to_completion(), 512u);
+  EXPECT_FALSE(unit.busy());
+}
+
+TEST(MulTerRtl, PaddedLength256OperandsGiveFullProduct) {
+  // The splitting layers rely on this: a cyclic length-512 convolution of
+  // two length-256 operands equals the unreduced full product.
+  Xoshiro256 rng(3);
+  poly::Ternary a(512, 0);
+  poly::Coeffs b(512, 0);
+  for (int i = 0; i < 256; ++i) {
+    a[i] = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+    b[i] = static_cast<u8>(rng.next_below(poly::kQ));
+  }
+  MulTerRtl unit(512);
+  const poly::Coeffs got = unit.multiply(a, b, false);
+  const poly::Coeffs full = poly::mul_general_full(
+      poly::from_ternary(poly::Ternary(a.begin(), a.begin() + 256)),
+      poly::Coeffs(b.begin(), b.begin() + 256));
+  for (std::size_t i = 0; i < full.size(); ++i)
+    ASSERT_EQ(got[i], full[i]) << "coeff " << i;
+  for (std::size_t i = full.size(); i < 512; ++i) ASSERT_EQ(got[i], 0);
+}
+
+TEST(MulTerRtl, OperandAccessGuards) {
+  MulTerRtl unit(16);
+  EXPECT_ANY_THROW(unit.load_b(16, 1));
+  EXPECT_ANY_THROW(unit.load_b(0, 251));
+  EXPECT_ANY_THROW(unit.load_a(0, 2));
+  unit.start(false);
+  EXPECT_ANY_THROW(unit.load_b(0, 1));
+  EXPECT_ANY_THROW(unit.read_c(0));
+  EXPECT_ANY_THROW(unit.start(true));
+  unit.run_to_completion();
+  EXPECT_NO_THROW(unit.read_c(0));
+}
+
+TEST(MulTerRtl, AreaNearTableIII) {
+  const AreaReport area = MulTerRtl(512).area();
+  EXPECT_NEAR(static_cast<double>(area.luts), 31465, 31465 * 0.05);
+  EXPECT_NEAR(static_cast<double>(area.registers), 9305, 9305 * 0.02);
+  EXPECT_EQ(area.dsps, 0u);
+  EXPECT_EQ(area.brams, 0u);
+}
+
+
+TEST(MulTerRtl, ArbitraryLengthsIncludingOdd) {
+  // The register-rotation schedule is length-agnostic; the paper's unit
+  // is 512 but nothing in the architecture requires a power of two.
+  Xoshiro256 rng(77);
+  for (std::size_t n : {3u, 7u, 12u, 100u}) {
+    MulTerRtl unit(n);
+    const poly::Ternary a = random_ternary(rng, n);
+    const poly::Coeffs b = random_coeffs(rng, n);
+    for (bool negacyclic : {false, true}) {
+      unit.reset();
+      ASSERT_EQ(unit.multiply(a, b, negacyclic),
+                poly::mul_ter_sw(a, b, negacyclic))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(MulTerRtl, ResetClearsEverything) {
+  MulTerRtl unit(8);
+  unit.load_a(0, 1);
+  unit.load_b(0, 99);
+  unit.start(false);
+  unit.run_to_completion();
+  EXPECT_EQ(unit.read_c(0), 99);
+  unit.reset();
+  EXPECT_EQ(unit.cycles(), 0u);
+  unit.start(false);
+  unit.run_to_completion();
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(unit.read_c(i), 0);
+}
+
+// ---- MUL GF ---------------------------------------------------------------
+
+TEST(GfMulRtl, MatchesFieldMultiplicationExhaustiveSample) {
+  Xoshiro256 rng(4);
+  GfMulRtl unit;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto a = static_cast<gf::Element>(rng.next_below(gf::kFieldSize));
+    const auto b = static_cast<gf::Element>(rng.next_below(gf::kFieldSize));
+    unit.reset();
+    unit.load(a, b);
+    unit.start();
+    ASSERT_EQ(unit.run_to_completion(), 9u);  // m = 9 clock cycles
+    ASSERT_EQ(unit.result(), gf::mul_table(a, b)) << a << "*" << b;
+  }
+}
+
+TEST(GfMulRtl, NineCyclesAlways) {
+  GfMulRtl unit;
+  unit.load(0, 0);
+  unit.start();
+  EXPECT_EQ(unit.run_to_completion(), 9u);
+  EXPECT_EQ(unit.result(), 0u);
+}
+
+// ---- MUL CHIEN ------------------------------------------------------------
+
+TEST(ChienRtl, EvaluatesLocatorAlongWindow) {
+  Xoshiro256 rng(5);
+  for (int t : {8, 16}) {
+    std::vector<gf::Element> lambda(t + 1);
+    for (auto& c : lambda)
+      c = static_cast<gf::Element>(rng.next_below(gf::kFieldSize));
+    const int first = t == 16 ? 112 : 184;
+    ChienRtl unit;
+    unit.configure(lambda, first);
+    for (int i = first; i < first + 40; ++i) {
+      const gf::Element expected =
+          gf::poly_eval(lambda, gf::alpha_pow(static_cast<u32>(i)),
+                        gf::MulKind::kTable);
+      ASSERT_EQ(unit.eval_next(), expected) << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(ChienRtl, GroupPassesAndCyclesMatchEq4) {
+  std::vector<gf::Element> lambda16(17, 1), lambda8(9, 1);
+  ChienRtl unit;
+  unit.configure(lambda16, 112);
+  EXPECT_EQ(unit.group_passes_per_point(), 4);  // t=16 -> four parts
+  unit.eval_next();
+  EXPECT_EQ(unit.cycles(), 4u * 9u);
+
+  unit.configure(lambda8, 184);
+  EXPECT_EQ(unit.group_passes_per_point(), 2);  // t=8 -> two parts
+  unit.eval_next();
+  EXPECT_EQ(unit.cycles(), 2u * 9u);
+}
+
+TEST(ChienRtl, FindsRootsOfConstructedLocator) {
+  // Build Lambda(x) = (1 - alpha^e1 x)(1 - alpha^e2 x): roots at
+  // alpha^(-e1), alpha^(-e2) -> window exponents 511-e1, 511-e2.
+  const int e1 = 200, e2 = 300;  // inside the t=16 window after negation
+  const gf::Element x1 = gf::alpha_pow(e1), x2 = gf::alpha_pow(e2);
+  std::vector<gf::Element> lambda(17, 0);
+  lambda[0] = 1;
+  lambda[1] = gf::add(x1, x2);
+  lambda[2] = gf::mul_table(x1, x2);
+
+  ChienRtl unit;
+  unit.configure(lambda, 112);
+  std::vector<int> roots;
+  for (int i = 112; i <= 368; ++i)
+    if (unit.eval_next() == 0) roots.push_back(i);
+  EXPECT_EQ(roots, (std::vector<int>{511 - e2, 511 - e1}));
+}
+
+TEST(ChienRtl, RejectsNonMultipleOfFourT) {
+  std::vector<gf::Element> lambda(6, 1);  // t = 5
+  ChienRtl unit;
+  EXPECT_ANY_THROW(unit.configure(lambda, 112));
+}
+
+TEST(ChienRtl, AreaNearTableIII) {
+  const AreaReport area = ChienRtl().area();
+  EXPECT_NEAR(static_cast<double>(area.luts), 86, 5);
+  EXPECT_NEAR(static_cast<double>(area.registers), 158, 5);
+  EXPECT_EQ(area.dsps, 0u);
+}
+
+// ---- SHA256 ---------------------------------------------------------------
+
+TEST(Sha256Rtl, MatchesSoftwareSha256) {
+  Xoshiro256 rng(6);
+  Sha256Rtl core;
+  for (std::size_t len : {0u, 1u, 3u, 55u, 56u, 64u, 100u, 200u}) {
+    const Bytes msg = rng.bytes(len);
+    EXPECT_EQ(core.hash_message(msg), hash::sha256(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256Rtl, SixtyFiveCyclesPerBlock) {
+  Sha256Rtl core;
+  core.reset_state();
+  for (std::size_t i = 0; i < 64; ++i) core.load_byte(i, 0);
+  core.start();
+  EXPECT_EQ(core.run_to_completion(), 65u);  // 64 rounds + state update
+}
+
+TEST(Sha256Rtl, AreaNearTableIII) {
+  const AreaReport area = Sha256Rtl().area();
+  EXPECT_NEAR(static_cast<double>(area.luts), 1031, 1031 * 0.05);
+  EXPECT_NEAR(static_cast<double>(area.registers), 1556, 1556 * 0.05);
+}
+
+// ---- Barrett --------------------------------------------------------------
+
+TEST(BarrettRtl, ExhaustiveAgainstModulo) {
+  BarrettRtl unit;
+  for (u32 x = 0; x < (1u << 16); ++x)
+    ASSERT_EQ(unit.reduce(x), x % poly::kQ) << x;
+  EXPECT_EQ(unit.operations(), u64{1} << 16);
+  EXPECT_ANY_THROW(unit.reduce(1u << 16));
+}
+
+TEST(BarrettRtl, AreaMatchesTableIII) {
+  const AreaReport area = BarrettRtl().area();
+  EXPECT_EQ(area.luts, 35u);
+  EXPECT_EQ(area.registers, 0u);
+  EXPECT_EQ(area.dsps, 2u);  // the only DSP slices of the PQ-ALU
+}
+
+// ---- Aggregate (Table III accelerator block) ------------------------------
+
+TEST(Area, AcceleratorTotalsNearPaperAbstract) {
+  // Abstract: 32,617 LUTs and 11,019 registers for the PQ extension.
+  const AreaReport total = combine(
+      "PQ-ALU", {MulTerRtl(512).area(), ChienRtl().area(),
+                 Sha256Rtl().area(), BarrettRtl().area()});
+  EXPECT_NEAR(static_cast<double>(total.luts), 32617, 32617 * 0.05);
+  EXPECT_NEAR(static_cast<double>(total.registers), 11019, 11019 * 0.05);
+  EXPECT_EQ(total.dsps, 2u);
+  EXPECT_EQ(total.brams, 0u);
+}
+
+}  // namespace
+}  // namespace lacrv::rtl

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "hash/sha256.h"
+
+namespace lacrv::hash {
+namespace {
+
+std::string hex_of(const Digest& d) { return to_hex(ByteView(d.data(), d.size())); }
+
+ByteView view(const std::string& s) {
+  return ByteView(reinterpret_cast<const u8*>(s.data()), s.size());
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(sha256(ByteView{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(sha256(view("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256(view(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(view(chunk));
+  EXPECT_EQ(hex_of(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly and at odd "
+      "buffer boundaries to exercise the block buffer.";
+  const Digest expected = sha256(view(msg));
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(view(msg.substr(0, split)));
+    h.update(view(msg.substr(split)));
+    EXPECT_EQ(h.finalize(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha256, TwoPartHelperMatchesConcatenation) {
+  const std::string a = "first part|";
+  const std::string b = "second part";
+  EXPECT_EQ(sha256(view(a), view(b)), sha256(view(a + b)));
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 55/56/64 padding edges must each hash correctly.
+  // Reference digests computed from the FIPS algorithm via the one-shot
+  // path are checked for self-consistency across chunked updates.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'x');
+    const Digest expected = sha256(view(msg));
+    Sha256 h;
+    for (char c : msg) h.update(ByteView(reinterpret_cast<const u8*>(&c), 1));
+    EXPECT_EQ(h.finalize(), expected) << "len " << len;
+  }
+}
+
+TEST(Sha256, CompressionCountMatchesPaddedLength) {
+  Sha256 h;
+  h.update(view(std::string(55, 'a')));  // fits one padded block
+  h.finalize();
+  EXPECT_EQ(h.compressions(), 1u);
+
+  Sha256 h2;
+  h2.update(view(std::string(56, 'a')));  // padding overflows to 2nd block
+  h2.finalize();
+  EXPECT_EQ(h2.compressions(), 2u);
+
+  Sha256 h3;
+  h3.update(view(std::string(128, 'a')));
+  h3.finalize();
+  EXPECT_EQ(h3.compressions(), 3u);
+}
+
+TEST(Sha256, UpdateAfterFinalizeRejected) {
+  Sha256 h;
+  h.update(view("abc"));
+  h.finalize();
+  EXPECT_ANY_THROW(h.update(view("more")));
+  EXPECT_ANY_THROW(h.finalize());
+  h.reset();
+  EXPECT_EQ(hex_of(h.finalize()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+}  // namespace
+}  // namespace lacrv::hash

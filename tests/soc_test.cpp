@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "riscv/soc.h"
+
+namespace lacrv::rv {
+namespace {
+
+TEST(Soc, UartPrintsAndEocTerminates) {
+  // "hi!\n" through the UART register, then EOC.
+  Soc soc;
+  const Program prog = assemble(R"(
+      li   t0, 0x1A100000   # UART
+      li   a0, 104          # 'h'
+      sb   a0, 0(t0)
+      li   a0, 105          # 'i'
+      sb   a0, 0(t0)
+      li   a0, 33           # '!'
+      sb   a0, 0(t0)
+      li   a0, 10           # '\n'
+      sb   a0, 0(t0)
+      li   a0, 1
+      sw   a0, 4(t0)        # EOC
+      nop                   # must never execute
+      nop
+  )");
+  soc.load(prog);
+  EXPECT_TRUE(soc.run());
+  EXPECT_TRUE(soc.eoc());
+  EXPECT_EQ(soc.uart_output(), "hi!\n");
+  EXPECT_FALSE(soc.cpu().halted());  // EOC, not ebreak
+}
+
+TEST(Soc, PrintStringLoop) {
+  Soc soc;
+  const Program prog = assemble(R"(
+      li   t0, 0x1A100000
+      la   t1, text
+    print:
+      lbu  a0, 0(t1)
+      beq  a0, zero, done
+      sb   a0, 0(t0)
+      addi t1, t1, 1
+      j    print
+    done:
+      sw   zero, 4(t0)
+    text:
+      .byte 80, 81, 45, 65, 76, 85, 0   # "PQ-ALU"
+  )");
+  soc.load(prog);
+  EXPECT_TRUE(soc.run());
+  EXPECT_EQ(soc.uart_output(), "PQ-ALU");
+}
+
+TEST(Soc, CycleCounterMmioMatchesCoreCounter) {
+  Soc soc;
+  const Program prog = assemble(R"(
+      li   t0, 0x1A100008   # CYCLE_LO
+      lw   s0, 0(t0)
+      nop
+      nop
+      nop
+      lw   s1, 0(t0)
+      ebreak
+  )");
+  soc.load(prog);
+  EXPECT_TRUE(soc.run());
+  // between the two reads: load(2) + 3 nops = 5 cycles
+  EXPECT_EQ(soc.cpu().reg(9) - soc.cpu().reg(8), 5u);
+  EXPECT_EQ(soc.cpu().reg(9), static_cast<u32>(0) + soc.cpu().reg(9));
+}
+
+TEST(Soc, PqInstructionsWorkThroughTheSoc) {
+  Soc soc;
+  const Program prog = assemble(R"(
+      li      a0, 50000
+      pq.modq a1, a0, zero
+      li      t0, 0x1A100000
+      # print the result as two decimal digits (50000 % 251 = 49 -> "49")
+      li      a2, 10
+      divu    a3, a1, a2    # tens
+      remu    a4, a1, a2    # ones
+      addi    a3, a3, 48
+      addi    a4, a4, 48
+      sb      a3, 0(t0)
+      sb      a4, 0(t0)
+      sw      zero, 4(t0)
+  )");
+  soc.load(prog);
+  EXPECT_TRUE(soc.run());
+  EXPECT_EQ(soc.uart_output(), std::to_string(50000 % 251));
+}
+
+TEST(Soc, UnmappedPeripheralAddressFaults) {
+  Soc soc;
+  const Program prog = assemble(R"(
+      li t0, 0x1A100040    # not a mapped register
+      lw a0, 0(t0)
+  )");
+  soc.load(prog);
+  EXPECT_ANY_THROW(soc.run());
+}
+
+TEST(Soc, StepLimitReported) {
+  Soc soc;
+  const Program prog = assemble("spin: j spin");
+  soc.load(prog);
+  EXPECT_FALSE(soc.run(100));
+}
+
+TEST(Soc, CompressedCodeRunsOnTheSoc) {
+  Soc soc;
+  const Program prog = assemble(R"(
+      c.li  s0, 10
+      c.li  a0, 0
+    loop:
+      c.addi a0, 3
+      c.addi s0, -1
+      c.bnez s0, loop
+      li   t0, 0x1A100004
+      sw   zero, 0(t0)
+  )");
+  soc.load(prog);
+  EXPECT_TRUE(soc.run());
+  EXPECT_EQ(soc.cpu().reg(10), 30u);
+}
+
+}  // namespace
+}  // namespace lacrv::rv

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "rtl/trace.h"
+#include "rtl/vcd.h"
+
+namespace lacrv::rtl {
+namespace {
+
+TEST(VcdWriter, HeaderAndChanges) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  const auto clk = vcd.add_signal("clk", 1);
+  const auto bus = vcd.add_signal("data", 8);
+  vcd.begin();
+  vcd.change(clk, 0);
+  vcd.change(bus, 0xA5);
+  vcd.advance(1);
+  vcd.change(clk, 1);
+  vcd.change(bus, 0xA5);  // unchanged: must not emit a record
+  vcd.finish(2);
+
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 8 \" data $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(out.find("b10100101 \""), std::string::npos);
+  EXPECT_NE(out.find("#0"), std::string::npos);
+  EXPECT_NE(out.find("#1"), std::string::npos);
+  EXPECT_NE(out.find("#2"), std::string::npos);
+  // the unchanged bus value at t=1 appears exactly once
+  EXPECT_EQ(out.find("b10100101 \""), out.rfind("b10100101 \""));
+}
+
+TEST(VcdWriter, GuardsMisuse) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  const auto sig = vcd.add_signal("x", 1);
+  EXPECT_ANY_THROW(vcd.change(sig, 1));  // begin() not called
+  vcd.begin();
+  EXPECT_ANY_THROW(vcd.add_signal("late", 1));
+  vcd.advance(5);
+  EXPECT_ANY_THROW(vcd.advance(4));  // time reversal
+  EXPECT_ANY_THROW(vcd.change(99, 1));
+}
+
+TEST(Trace, MulTerTraceProducesCorrectResultAndWaveform) {
+  Xoshiro256 rng(1);
+  poly::Ternary a(16);
+  poly::Coeffs b(16);
+  for (auto& v : a)
+    v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+  for (auto& v : b) v = static_cast<u8>(rng.next_below(poly::kQ));
+
+  std::ostringstream vcd;
+  MulTerRtl unit(16);
+  const poly::Coeffs result = trace_mul_ter(unit, a, b, true, vcd, 4);
+  EXPECT_EQ(result, poly::mul_ter_sw(a, b, true));
+
+  const std::string out = vcd.str();
+  EXPECT_NE(out.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(out.find(" cntr $end"), std::string::npos);
+  EXPECT_NE(out.find(" c0 $end"), std::string::npos);
+  EXPECT_NE(out.find(" c3 $end"), std::string::npos);
+  EXPECT_EQ(out.find(" c4 $end"), std::string::npos);  // only 4 probes
+  // 16 compute cycles -> 2 samples each plus boundaries: >= 33 time marks
+  std::size_t marks = 0;
+  for (std::size_t pos = out.find('#'); pos != std::string::npos;
+       pos = out.find('#', pos + 1))
+    ++marks;
+  EXPECT_GE(marks, 33u);
+}
+
+TEST(Trace, GfMulTraceMatchesFieldProduct) {
+  std::ostringstream vcd;
+  const gf::Element product = trace_gf_mul(gf::alpha_pow(5), gf::alpha_pow(9), vcd);
+  EXPECT_EQ(product, gf::alpha_pow(14));
+  EXPECT_NE(vcd.str().find("$var wire 9 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lacrv::rtl
