@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chien.dir/ablation_chien.cpp.o"
+  "CMakeFiles/ablation_chien.dir/ablation_chien.cpp.o.d"
+  "ablation_chien"
+  "ablation_chien.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chien.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_karatsuba.dir/ablation_karatsuba.cpp.o"
+  "CMakeFiles/ablation_karatsuba.dir/ablation_karatsuba.cpp.o.d"
+  "ablation_karatsuba"
+  "ablation_karatsuba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_karatsuba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_keccak.dir/ablation_keccak.cpp.o"
+  "CMakeFiles/ablation_keccak.dir/ablation_keccak.cpp.o.d"
+  "ablation_keccak"
+  "ablation_keccak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_keccak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_profile.dir/noise_profile.cpp.o"
+  "CMakeFiles/noise_profile.dir/noise_profile.cpp.o.d"
+  "noise_profile"
+  "noise_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

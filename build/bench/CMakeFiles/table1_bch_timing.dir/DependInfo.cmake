@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_bch_timing.cpp" "bench/CMakeFiles/table1_bch_timing.dir/table1_bch_timing.cpp.o" "gcc" "bench/CMakeFiles/table1_bch_timing.dir/table1_bch_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacrv_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_lac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_bch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_kem_cycles.dir/table2_kem_cycles.cpp.o"
+  "CMakeFiles/table2_kem_cycles.dir/table2_kem_cycles.cpp.o.d"
+  "table2_kem_cycles"
+  "table2_kem_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kem_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

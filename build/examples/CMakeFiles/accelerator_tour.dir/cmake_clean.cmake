@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_tour.dir/accelerator_tour.cpp.o"
+  "CMakeFiles/accelerator_tour.dir/accelerator_tour.cpp.o.d"
+  "accelerator_tour"
+  "accelerator_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_extension_demo.dir/isa_extension_demo.cpp.o"
+  "CMakeFiles/isa_extension_demo.dir/isa_extension_demo.cpp.o.d"
+  "isa_extension_demo"
+  "isa_extension_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_extension_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lac_keytool.dir/lac_keytool.cpp.o"
+  "CMakeFiles/lac_keytool.dir/lac_keytool.cpp.o.d"
+  "lac_keytool"
+  "lac_keytool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lac_keytool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

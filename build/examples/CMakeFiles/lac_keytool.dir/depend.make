@@ -1,0 +1,2 @@
+# Empty dependencies file for lac_keytool.
+# This may be replaced when dependencies are built.

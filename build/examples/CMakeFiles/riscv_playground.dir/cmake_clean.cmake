@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_playground.dir/riscv_playground.cpp.o"
+  "CMakeFiles/riscv_playground.dir/riscv_playground.cpp.o.d"
+  "riscv_playground"
+  "riscv_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

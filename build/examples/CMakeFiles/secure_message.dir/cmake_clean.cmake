@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_message.dir/secure_message.cpp.o"
+  "CMakeFiles/secure_message.dir/secure_message.cpp.o.d"
+  "secure_message"
+  "secure_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_leak_demo.dir/timing_leak_demo.cpp.o"
+  "CMakeFiles/timing_leak_demo.dir/timing_leak_demo.cpp.o.d"
+  "timing_leak_demo"
+  "timing_leak_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_leak_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bch/berlekamp.cpp" "src/CMakeFiles/lacrv_bch.dir/bch/berlekamp.cpp.o" "gcc" "src/CMakeFiles/lacrv_bch.dir/bch/berlekamp.cpp.o.d"
+  "/root/repo/src/bch/chien.cpp" "src/CMakeFiles/lacrv_bch.dir/bch/chien.cpp.o" "gcc" "src/CMakeFiles/lacrv_bch.dir/bch/chien.cpp.o.d"
+  "/root/repo/src/bch/code.cpp" "src/CMakeFiles/lacrv_bch.dir/bch/code.cpp.o" "gcc" "src/CMakeFiles/lacrv_bch.dir/bch/code.cpp.o.d"
+  "/root/repo/src/bch/decoder.cpp" "src/CMakeFiles/lacrv_bch.dir/bch/decoder.cpp.o" "gcc" "src/CMakeFiles/lacrv_bch.dir/bch/decoder.cpp.o.d"
+  "/root/repo/src/bch/encoder.cpp" "src/CMakeFiles/lacrv_bch.dir/bch/encoder.cpp.o" "gcc" "src/CMakeFiles/lacrv_bch.dir/bch/encoder.cpp.o.d"
+  "/root/repo/src/bch/syndrome.cpp" "src/CMakeFiles/lacrv_bch.dir/bch/syndrome.cpp.o" "gcc" "src/CMakeFiles/lacrv_bch.dir/bch/syndrome.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacrv_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacrv_bch.dir/bch/berlekamp.cpp.o"
+  "CMakeFiles/lacrv_bch.dir/bch/berlekamp.cpp.o.d"
+  "CMakeFiles/lacrv_bch.dir/bch/chien.cpp.o"
+  "CMakeFiles/lacrv_bch.dir/bch/chien.cpp.o.d"
+  "CMakeFiles/lacrv_bch.dir/bch/code.cpp.o"
+  "CMakeFiles/lacrv_bch.dir/bch/code.cpp.o.d"
+  "CMakeFiles/lacrv_bch.dir/bch/decoder.cpp.o"
+  "CMakeFiles/lacrv_bch.dir/bch/decoder.cpp.o.d"
+  "CMakeFiles/lacrv_bch.dir/bch/encoder.cpp.o"
+  "CMakeFiles/lacrv_bch.dir/bch/encoder.cpp.o.d"
+  "CMakeFiles/lacrv_bch.dir/bch/syndrome.cpp.o"
+  "CMakeFiles/lacrv_bch.dir/bch/syndrome.cpp.o.d"
+  "liblacrv_bch.a"
+  "liblacrv_bch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacrv_bch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

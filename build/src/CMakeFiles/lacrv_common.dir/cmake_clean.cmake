@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacrv_common.dir/common/rng.cpp.o"
+  "CMakeFiles/lacrv_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/lacrv_common.dir/common/types.cpp.o"
+  "CMakeFiles/lacrv_common.dir/common/types.cpp.o.d"
+  "liblacrv_common.a"
+  "liblacrv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacrv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

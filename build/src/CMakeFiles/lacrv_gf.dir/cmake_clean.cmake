@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacrv_gf.dir/gf/gf512.cpp.o"
+  "CMakeFiles/lacrv_gf.dir/gf/gf512.cpp.o.d"
+  "liblacrv_gf.a"
+  "liblacrv_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacrv_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

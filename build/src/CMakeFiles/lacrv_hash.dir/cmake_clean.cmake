@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacrv_hash.dir/hash/keccak.cpp.o"
+  "CMakeFiles/lacrv_hash.dir/hash/keccak.cpp.o.d"
+  "CMakeFiles/lacrv_hash.dir/hash/prg.cpp.o"
+  "CMakeFiles/lacrv_hash.dir/hash/prg.cpp.o.d"
+  "CMakeFiles/lacrv_hash.dir/hash/sha256.cpp.o"
+  "CMakeFiles/lacrv_hash.dir/hash/sha256.cpp.o.d"
+  "liblacrv_hash.a"
+  "liblacrv_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacrv_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

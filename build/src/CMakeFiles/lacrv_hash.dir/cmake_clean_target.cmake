@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblacrv_hash.a"
+)

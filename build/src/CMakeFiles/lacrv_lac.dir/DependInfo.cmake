@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lac/backend.cpp" "src/CMakeFiles/lacrv_lac.dir/lac/backend.cpp.o" "gcc" "src/CMakeFiles/lacrv_lac.dir/lac/backend.cpp.o.d"
+  "/root/repo/src/lac/codec.cpp" "src/CMakeFiles/lacrv_lac.dir/lac/codec.cpp.o" "gcc" "src/CMakeFiles/lacrv_lac.dir/lac/codec.cpp.o.d"
+  "/root/repo/src/lac/gen_a.cpp" "src/CMakeFiles/lacrv_lac.dir/lac/gen_a.cpp.o" "gcc" "src/CMakeFiles/lacrv_lac.dir/lac/gen_a.cpp.o.d"
+  "/root/repo/src/lac/kem.cpp" "src/CMakeFiles/lacrv_lac.dir/lac/kem.cpp.o" "gcc" "src/CMakeFiles/lacrv_lac.dir/lac/kem.cpp.o.d"
+  "/root/repo/src/lac/nist_api.cpp" "src/CMakeFiles/lacrv_lac.dir/lac/nist_api.cpp.o" "gcc" "src/CMakeFiles/lacrv_lac.dir/lac/nist_api.cpp.o.d"
+  "/root/repo/src/lac/params.cpp" "src/CMakeFiles/lacrv_lac.dir/lac/params.cpp.o" "gcc" "src/CMakeFiles/lacrv_lac.dir/lac/params.cpp.o.d"
+  "/root/repo/src/lac/pke.cpp" "src/CMakeFiles/lacrv_lac.dir/lac/pke.cpp.o" "gcc" "src/CMakeFiles/lacrv_lac.dir/lac/pke.cpp.o.d"
+  "/root/repo/src/lac/sampler.cpp" "src/CMakeFiles/lacrv_lac.dir/lac/sampler.cpp.o" "gcc" "src/CMakeFiles/lacrv_lac.dir/lac/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacrv_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_bch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

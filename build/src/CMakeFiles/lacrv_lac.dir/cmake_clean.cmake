@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacrv_lac.dir/lac/backend.cpp.o"
+  "CMakeFiles/lacrv_lac.dir/lac/backend.cpp.o.d"
+  "CMakeFiles/lacrv_lac.dir/lac/codec.cpp.o"
+  "CMakeFiles/lacrv_lac.dir/lac/codec.cpp.o.d"
+  "CMakeFiles/lacrv_lac.dir/lac/gen_a.cpp.o"
+  "CMakeFiles/lacrv_lac.dir/lac/gen_a.cpp.o.d"
+  "CMakeFiles/lacrv_lac.dir/lac/kem.cpp.o"
+  "CMakeFiles/lacrv_lac.dir/lac/kem.cpp.o.d"
+  "CMakeFiles/lacrv_lac.dir/lac/nist_api.cpp.o"
+  "CMakeFiles/lacrv_lac.dir/lac/nist_api.cpp.o.d"
+  "CMakeFiles/lacrv_lac.dir/lac/params.cpp.o"
+  "CMakeFiles/lacrv_lac.dir/lac/params.cpp.o.d"
+  "CMakeFiles/lacrv_lac.dir/lac/pke.cpp.o"
+  "CMakeFiles/lacrv_lac.dir/lac/pke.cpp.o.d"
+  "CMakeFiles/lacrv_lac.dir/lac/sampler.cpp.o"
+  "CMakeFiles/lacrv_lac.dir/lac/sampler.cpp.o.d"
+  "liblacrv_lac.a"
+  "liblacrv_lac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacrv_lac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

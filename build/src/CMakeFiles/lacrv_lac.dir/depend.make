@@ -1,0 +1,2 @@
+# Empty dependencies file for lacrv_lac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/iss_bch.cpp" "src/CMakeFiles/lacrv_perf.dir/perf/iss_bch.cpp.o" "gcc" "src/CMakeFiles/lacrv_perf.dir/perf/iss_bch.cpp.o.d"
+  "/root/repo/src/perf/iss_kernels.cpp" "src/CMakeFiles/lacrv_perf.dir/perf/iss_kernels.cpp.o" "gcc" "src/CMakeFiles/lacrv_perf.dir/perf/iss_kernels.cpp.o.d"
+  "/root/repo/src/perf/rtl_backend.cpp" "src/CMakeFiles/lacrv_perf.dir/perf/rtl_backend.cpp.o" "gcc" "src/CMakeFiles/lacrv_perf.dir/perf/rtl_backend.cpp.o.d"
+  "/root/repo/src/perf/tables.cpp" "src/CMakeFiles/lacrv_perf.dir/perf/tables.cpp.o" "gcc" "src/CMakeFiles/lacrv_perf.dir/perf/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacrv_lac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_bch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

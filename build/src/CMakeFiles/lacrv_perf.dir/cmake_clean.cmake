@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacrv_perf.dir/perf/iss_bch.cpp.o"
+  "CMakeFiles/lacrv_perf.dir/perf/iss_bch.cpp.o.d"
+  "CMakeFiles/lacrv_perf.dir/perf/iss_kernels.cpp.o"
+  "CMakeFiles/lacrv_perf.dir/perf/iss_kernels.cpp.o.d"
+  "CMakeFiles/lacrv_perf.dir/perf/rtl_backend.cpp.o"
+  "CMakeFiles/lacrv_perf.dir/perf/rtl_backend.cpp.o.d"
+  "CMakeFiles/lacrv_perf.dir/perf/tables.cpp.o"
+  "CMakeFiles/lacrv_perf.dir/perf/tables.cpp.o.d"
+  "liblacrv_perf.a"
+  "liblacrv_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacrv_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/karatsuba.cpp" "src/CMakeFiles/lacrv_poly.dir/poly/karatsuba.cpp.o" "gcc" "src/CMakeFiles/lacrv_poly.dir/poly/karatsuba.cpp.o.d"
+  "/root/repo/src/poly/ring.cpp" "src/CMakeFiles/lacrv_poly.dir/poly/ring.cpp.o" "gcc" "src/CMakeFiles/lacrv_poly.dir/poly/ring.cpp.o.d"
+  "/root/repo/src/poly/split_mul.cpp" "src/CMakeFiles/lacrv_poly.dir/poly/split_mul.cpp.o" "gcc" "src/CMakeFiles/lacrv_poly.dir/poly/split_mul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacrv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

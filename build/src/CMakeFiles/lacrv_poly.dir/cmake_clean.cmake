@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacrv_poly.dir/poly/karatsuba.cpp.o"
+  "CMakeFiles/lacrv_poly.dir/poly/karatsuba.cpp.o.d"
+  "CMakeFiles/lacrv_poly.dir/poly/ring.cpp.o"
+  "CMakeFiles/lacrv_poly.dir/poly/ring.cpp.o.d"
+  "CMakeFiles/lacrv_poly.dir/poly/split_mul.cpp.o"
+  "CMakeFiles/lacrv_poly.dir/poly/split_mul.cpp.o.d"
+  "liblacrv_poly.a"
+  "liblacrv_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacrv_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

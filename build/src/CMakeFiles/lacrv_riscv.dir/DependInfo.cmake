@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/riscv/assembler.cpp" "src/CMakeFiles/lacrv_riscv.dir/riscv/assembler.cpp.o" "gcc" "src/CMakeFiles/lacrv_riscv.dir/riscv/assembler.cpp.o.d"
+  "/root/repo/src/riscv/compressed.cpp" "src/CMakeFiles/lacrv_riscv.dir/riscv/compressed.cpp.o" "gcc" "src/CMakeFiles/lacrv_riscv.dir/riscv/compressed.cpp.o.d"
+  "/root/repo/src/riscv/cpu.cpp" "src/CMakeFiles/lacrv_riscv.dir/riscv/cpu.cpp.o" "gcc" "src/CMakeFiles/lacrv_riscv.dir/riscv/cpu.cpp.o.d"
+  "/root/repo/src/riscv/encoding.cpp" "src/CMakeFiles/lacrv_riscv.dir/riscv/encoding.cpp.o" "gcc" "src/CMakeFiles/lacrv_riscv.dir/riscv/encoding.cpp.o.d"
+  "/root/repo/src/riscv/pq_alu.cpp" "src/CMakeFiles/lacrv_riscv.dir/riscv/pq_alu.cpp.o" "gcc" "src/CMakeFiles/lacrv_riscv.dir/riscv/pq_alu.cpp.o.d"
+  "/root/repo/src/riscv/soc.cpp" "src/CMakeFiles/lacrv_riscv.dir/riscv/soc.cpp.o" "gcc" "src/CMakeFiles/lacrv_riscv.dir/riscv/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacrv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacrv_riscv.dir/riscv/assembler.cpp.o"
+  "CMakeFiles/lacrv_riscv.dir/riscv/assembler.cpp.o.d"
+  "CMakeFiles/lacrv_riscv.dir/riscv/compressed.cpp.o"
+  "CMakeFiles/lacrv_riscv.dir/riscv/compressed.cpp.o.d"
+  "CMakeFiles/lacrv_riscv.dir/riscv/cpu.cpp.o"
+  "CMakeFiles/lacrv_riscv.dir/riscv/cpu.cpp.o.d"
+  "CMakeFiles/lacrv_riscv.dir/riscv/encoding.cpp.o"
+  "CMakeFiles/lacrv_riscv.dir/riscv/encoding.cpp.o.d"
+  "CMakeFiles/lacrv_riscv.dir/riscv/pq_alu.cpp.o"
+  "CMakeFiles/lacrv_riscv.dir/riscv/pq_alu.cpp.o.d"
+  "CMakeFiles/lacrv_riscv.dir/riscv/soc.cpp.o"
+  "CMakeFiles/lacrv_riscv.dir/riscv/soc.cpp.o.d"
+  "liblacrv_riscv.a"
+  "liblacrv_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacrv_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/area.cpp" "src/CMakeFiles/lacrv_rtl.dir/rtl/area.cpp.o" "gcc" "src/CMakeFiles/lacrv_rtl.dir/rtl/area.cpp.o.d"
+  "/root/repo/src/rtl/barrett_unit.cpp" "src/CMakeFiles/lacrv_rtl.dir/rtl/barrett_unit.cpp.o" "gcc" "src/CMakeFiles/lacrv_rtl.dir/rtl/barrett_unit.cpp.o.d"
+  "/root/repo/src/rtl/chien_unit.cpp" "src/CMakeFiles/lacrv_rtl.dir/rtl/chien_unit.cpp.o" "gcc" "src/CMakeFiles/lacrv_rtl.dir/rtl/chien_unit.cpp.o.d"
+  "/root/repo/src/rtl/gf_mul.cpp" "src/CMakeFiles/lacrv_rtl.dir/rtl/gf_mul.cpp.o" "gcc" "src/CMakeFiles/lacrv_rtl.dir/rtl/gf_mul.cpp.o.d"
+  "/root/repo/src/rtl/mul_ter.cpp" "src/CMakeFiles/lacrv_rtl.dir/rtl/mul_ter.cpp.o" "gcc" "src/CMakeFiles/lacrv_rtl.dir/rtl/mul_ter.cpp.o.d"
+  "/root/repo/src/rtl/sha256_core.cpp" "src/CMakeFiles/lacrv_rtl.dir/rtl/sha256_core.cpp.o" "gcc" "src/CMakeFiles/lacrv_rtl.dir/rtl/sha256_core.cpp.o.d"
+  "/root/repo/src/rtl/trace.cpp" "src/CMakeFiles/lacrv_rtl.dir/rtl/trace.cpp.o" "gcc" "src/CMakeFiles/lacrv_rtl.dir/rtl/trace.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/CMakeFiles/lacrv_rtl.dir/rtl/vcd.cpp.o" "gcc" "src/CMakeFiles/lacrv_rtl.dir/rtl/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lacrv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lacrv_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

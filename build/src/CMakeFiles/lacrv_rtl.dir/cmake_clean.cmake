@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacrv_rtl.dir/rtl/area.cpp.o"
+  "CMakeFiles/lacrv_rtl.dir/rtl/area.cpp.o.d"
+  "CMakeFiles/lacrv_rtl.dir/rtl/barrett_unit.cpp.o"
+  "CMakeFiles/lacrv_rtl.dir/rtl/barrett_unit.cpp.o.d"
+  "CMakeFiles/lacrv_rtl.dir/rtl/chien_unit.cpp.o"
+  "CMakeFiles/lacrv_rtl.dir/rtl/chien_unit.cpp.o.d"
+  "CMakeFiles/lacrv_rtl.dir/rtl/gf_mul.cpp.o"
+  "CMakeFiles/lacrv_rtl.dir/rtl/gf_mul.cpp.o.d"
+  "CMakeFiles/lacrv_rtl.dir/rtl/mul_ter.cpp.o"
+  "CMakeFiles/lacrv_rtl.dir/rtl/mul_ter.cpp.o.d"
+  "CMakeFiles/lacrv_rtl.dir/rtl/sha256_core.cpp.o"
+  "CMakeFiles/lacrv_rtl.dir/rtl/sha256_core.cpp.o.d"
+  "CMakeFiles/lacrv_rtl.dir/rtl/trace.cpp.o"
+  "CMakeFiles/lacrv_rtl.dir/rtl/trace.cpp.o.d"
+  "CMakeFiles/lacrv_rtl.dir/rtl/vcd.cpp.o"
+  "CMakeFiles/lacrv_rtl.dir/rtl/vcd.cpp.o.d"
+  "liblacrv_rtl.a"
+  "liblacrv_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacrv_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

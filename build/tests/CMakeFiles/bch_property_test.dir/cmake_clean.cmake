@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bch_property_test.dir/bch_property_test.cpp.o"
+  "CMakeFiles/bch_property_test.dir/bch_property_test.cpp.o.d"
+  "bch_property_test"
+  "bch_property_test.pdb"
+  "bch_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bch_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf512_test.dir/gf512_test.cpp.o"
+  "CMakeFiles/gf512_test.dir/gf512_test.cpp.o.d"
+  "gf512_test"
+  "gf512_test.pdb"
+  "gf512_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf512_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iss_bch_test.dir/iss_bch_test.cpp.o"
+  "CMakeFiles/iss_bch_test.dir/iss_bch_test.cpp.o.d"
+  "iss_bch_test"
+  "iss_bch_test.pdb"
+  "iss_bch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iss_bch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kat_test.dir/kat_test.cpp.o"
+  "CMakeFiles/kat_test.dir/kat_test.cpp.o.d"
+  "kat_test"
+  "kat_test.pdb"
+  "kat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keccak_test.dir/keccak_test.cpp.o"
+  "CMakeFiles/keccak_test.dir/keccak_test.cpp.o.d"
+  "keccak_test"
+  "keccak_test.pdb"
+  "keccak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keccak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lac_edge_test.dir/lac_edge_test.cpp.o"
+  "CMakeFiles/lac_edge_test.dir/lac_edge_test.cpp.o.d"
+  "lac_edge_test"
+  "lac_edge_test.pdb"
+  "lac_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lac_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lac_shake_test.dir/lac_shake_test.cpp.o"
+  "CMakeFiles/lac_shake_test.dir/lac_shake_test.cpp.o.d"
+  "lac_shake_test"
+  "lac_shake_test.pdb"
+  "lac_shake_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lac_shake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledger_sections_test.dir/ledger_sections_test.cpp.o"
+  "CMakeFiles/ledger_sections_test.dir/ledger_sections_test.cpp.o.d"
+  "ledger_sections_test"
+  "ledger_sections_test.pdb"
+  "ledger_sections_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledger_sections_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

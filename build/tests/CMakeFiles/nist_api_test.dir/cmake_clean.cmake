@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nist_api_test.dir/nist_api_test.cpp.o"
+  "CMakeFiles/nist_api_test.dir/nist_api_test.cpp.o.d"
+  "nist_api_test"
+  "nist_api_test.pdb"
+  "nist_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nist_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prg_test.dir/prg_test.cpp.o"
+  "CMakeFiles/prg_test.dir/prg_test.cpp.o.d"
+  "prg_test"
+  "prg_test.pdb"
+  "prg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_test.dir/riscv_test.cpp.o"
+  "CMakeFiles/riscv_test.dir/riscv_test.cpp.o.d"
+  "riscv_test"
+  "riscv_test.pdb"
+  "riscv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

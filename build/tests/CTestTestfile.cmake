@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sha256_test[1]_include.cmake")
+include("/root/repo/build/tests/prg_test[1]_include.cmake")
+include("/root/repo/build/tests/gf512_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_test[1]_include.cmake")
+include("/root/repo/build/tests/bch_test[1]_include.cmake")
+include("/root/repo/build/tests/lac_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/riscv_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/leakage_test[1]_include.cmake")
+include("/root/repo/build/tests/compressed_test[1]_include.cmake")
+include("/root/repo/build/tests/kat_test[1]_include.cmake")
+include("/root/repo/build/tests/bch_property_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_property_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/lac_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/keccak_test[1]_include.cmake")
+include("/root/repo/build/tests/soc_test[1]_include.cmake")
+include("/root/repo/build/tests/vcd_test[1]_include.cmake")
+include("/root/repo/build/tests/iss_bch_test[1]_include.cmake")
+include("/root/repo/build/tests/nist_api_test[1]_include.cmake")
+include("/root/repo/build/tests/lac_shake_test[1]_include.cmake")
+include("/root/repo/build/tests/costs_test[1]_include.cmake")
+include("/root/repo/build/tests/ledger_sections_test[1]_include.cmake")
