@@ -90,11 +90,12 @@ int main(int argc, char** argv) {
 
   rv::Cpu cpu;
   cpu.load_words(0, program.words);
-  try {
-    cpu.run(50'000'000);
-  } catch (const std::exception& e) {
-    std::cerr << "runtime fault at pc=0x" << std::hex << cpu.pc() << ": "
-              << e.what() << "\n";
+  cpu.run(50'000'000);
+  if (cpu.trapped()) {
+    std::cerr << "trap: " << rv::trap_cause_name(cpu.trap_cause())
+              << " at pc=0x" << std::hex << cpu.mepc() << " (mtval=0x"
+              << cpu.mtval() << std::dec << ") after " << cpu.instructions()
+              << " instructions\n";
     return 1;
   }
   std::cout << "\n" << (cpu.halted() ? "halted" : "step limit reached")

@@ -29,11 +29,26 @@ DecodeResult decode_with_chien(const CodeSpec& spec, const BitVec& received,
   DecodeResult result;
   result.message = extract_message(spec, corrected);
   result.errors_corrected = static_cast<int>(roots.error_degrees.size());
-  // Decodability: BM found a locator of degree <= t. The Chien window only
-  // scans message positions (parity-bit errors are deliberately left
-  // uncorrected — they do not affect the extracted message), so the root
-  // count may legitimately be smaller than the locator degree.
-  result.ok = loc.degree <= spec.t;
+  // Decodability: BM found a locator of degree <= t, AND the locator
+  // splits into exactly that many distinct roots over the whole group.
+  // The second half is the miscorrection guard: with more than t channel
+  // errors, the (capped) BM recursion still emits some degree-<=t
+  // polynomial, but a genuine error locator factors completely into
+  // distinct roots of GF(2^9)^* — a garbage one almost never does.
+  // Counting over all 511 exponents (not just the Chien message window)
+  // keeps parity-bit errors decodable: their roots lie outside the window
+  // and are deliberately left uncorrected, but they still count here.
+  // Fixed trip count + shift-add multiplication keeps this constant-time;
+  // no ledger charge, since the guard is host-side validation and not
+  // part of the paper's measured decoder.
+  int full_roots = 0;
+  for (u32 l = 0; l < gf::kGroupOrder; ++l) {
+    const gf::Element v =
+        gf::poly_eval(loc.lambda, gf::alpha_pow(l), gf::MulKind::kShiftAdd);
+    full_roots += v == 0 ? 1 : 0;
+  }
+  result.ok = loc.degree <= spec.t && full_roots == loc.degree;
+  result.status = result.ok ? Status::kOk : Status::kDecodeFailure;
   return result;
 }
 

@@ -11,6 +11,7 @@
 
 #include "bch/chien.h"
 #include "bch/encoder.h"
+#include "common/status.h"
 
 namespace lacrv::bch {
 
@@ -19,6 +20,10 @@ struct DecodeResult {
   /// True iff the word decoded to a consistent codeword (all located
   /// errors corrected; root count matches the locator degree).
   bool ok = false;
+  /// Typed mirror of `ok`: Status::kOk, or Status::kDecodeFailure when
+  /// the error locator degree exceeds the capacity t (more than t
+  /// channel errors — the word is undecodable and `message` untrusted).
+  Status status = Status::kDecodeFailure;
   int errors_corrected = 0;
 };
 

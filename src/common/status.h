@@ -1,0 +1,96 @@
+// Typed error codes for the hardened public API. The robustness layer
+// (docs/robustness.md) routes every recoverable failure — tampered
+// ciphertexts, BCH decode failure beyond t, accelerator self-test
+// mismatches — through these codes instead of exceptions, so a faulted
+// accelerator degrades the stack gracefully rather than aborting it.
+// CheckError remains reserved for caller bugs (violated preconditions).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lacrv {
+
+enum class Status {
+  kOk = 0,
+  /// FO re-encryption mismatch in decapsulation: the implicit-rejection
+  /// key was returned. Diagnostic only — callers that expose this bit to
+  /// the network re-open the CCA oracle implicit rejection closes.
+  kRejected,
+  /// BCH decoding failed (error locator degree beyond capacity t).
+  kDecodeFailure,
+  /// An accelerator failed its known-answer self-test and the operation
+  /// fell back to (or must be retried on) the software path.
+  kSelfTestFailure,
+  /// A caller-supplied buffer/argument was null or malformed.
+  kBadArgument,
+  /// An unexpected internal invariant failure was contained at the API
+  /// boundary instead of propagating as an exception.
+  kInternalError,
+};
+
+const char* status_name(Status s);
+
+/// Minimal result wrapper: a Status plus a value that is meaningful iff
+/// ok(). Kept deliberately small — no exception machinery, trivially
+/// usable from the NIST-style flat API.
+template <typename T>
+struct Result {
+  Status status = Status::kOk;
+  T value{};
+
+  bool ok() const { return status == Status::kOk; }
+
+  static Result success(T v) { return {Status::kOk, std::move(v)}; }
+  static Result failure(Status s) { return {s, T{}}; }
+};
+
+/// Record of accelerator units that failed their construction-time KAT
+/// self-test and were replaced by the software fallback (the degradation
+/// ladder optimized -> reference of docs/robustness.md).
+struct DegradeReport {
+  struct Entry {
+    const char* unit;     // "mul_ter", "chien", "sha256", ...
+    Status status;        // why the unit was benched
+    std::string detail;   // human-readable diagnosis
+  };
+  std::vector<Entry> entries;
+
+  bool degraded() const { return !entries.empty(); }
+  void add(const char* unit, Status status, std::string detail) {
+    entries.push_back({unit, status, std::move(detail)});
+  }
+  std::string to_string() const;
+};
+
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kDecodeFailure: return "decode-failure";
+    case Status::kSelfTestFailure: return "self-test-failure";
+    case Status::kBadArgument: return "bad-argument";
+    case Status::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+inline std::string DegradeReport::to_string() const {
+  if (entries.empty()) return "all accelerator self-tests passed";
+  std::string out;
+  for (const Entry& e : entries) {
+    if (!out.empty()) out += "; ";
+    out += e.unit;
+    out += ": ";
+    out += status_name(e.status);
+    if (!e.detail.empty()) {
+      out += " (";
+      out += e.detail;
+      out += ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace lacrv

@@ -1,0 +1,185 @@
+#include "fault/campaign.h"
+
+#include <memory>
+#include <sstream>
+
+#include "common/check.h"
+#include "fault/selftest.h"
+#include "perf/rtl_backend.h"
+
+namespace lacrv::fault {
+namespace {
+
+hash::Seed draw_seed(u64& state) {
+  hash::Seed seed{};
+  for (std::size_t i = 0; i < seed.size(); i += 8) {
+    const u64 w = splitmix64(state);
+    for (std::size_t j = 0; j < 8; ++j)
+      seed[i + j] = static_cast<u8>(w >> (8 * j));
+  }
+  return seed;
+}
+
+TrialVerdict classify(const TrialResult& trial, bool keys_agree) {
+  if (trial.enc_status != Status::kOk ||
+      trial.dec_status == Status::kInternalError)
+    return TrialVerdict::kInternalError;
+  if (trial.dec_status != Status::kOk) return TrialVerdict::kRejected;
+  if (!keys_agree) return TrialVerdict::kKeyMismatch;
+  return (trial.report.degraded() || trial.hash_fault_detected)
+             ? TrialVerdict::kAgreedDegraded
+             : TrialVerdict::kAgreed;
+}
+
+/// keygen -> encapsulate -> (optional wire tamper) -> decapsulate, all
+/// through the checked entry points, classified against the campaign
+/// property.
+TrialResult run_round_trip(const lac::Params& params,
+                           const lac::Backend& backend, TrialResult trial,
+                           u64& state, const FaultPlan* tamper_plan) {
+  const lac::KemKeyPair keys =
+      lac::kem_keygen(params, backend, draw_seed(state));
+  const lac::EncapsOutcome enc =
+      lac::encapsulate_checked(params, backend, keys.pk, draw_seed(state));
+  trial.enc_status = enc.status;
+  if (enc.status != Status::kOk) {
+    trial.verdict = TrialVerdict::kInternalError;
+    return trial;
+  }
+
+  lac::Ciphertext ct = enc.result.ct;
+  if (tamper_plan) {
+    Bytes wire = lac::serialize(params, ct);
+    tamper_plan->tamper(Unit::kCiphertext, wire);
+    try {
+      ct = lac::deserialize_ct(params, wire);
+    } catch (const CheckError&) {
+      // The flip produced an unparseable wire image (e.g. a coefficient
+      // out of range): rejected with a typed status at the parse
+      // boundary, before any secret-dependent work.
+      trial.dec_status = Status::kBadArgument;
+      trial.verdict = TrialVerdict::kRejected;
+      return trial;
+    }
+  }
+
+  const lac::DecapsOutcome dec =
+      lac::decapsulate_checked(params, backend, keys, ct);
+  trial.dec_status = dec.status;
+  trial.hash_fault_detected =
+      enc.hash_fault_detected || dec.hash_fault_detected;
+  trial.verdict = classify(trial, dec.key == enc.result.key);
+  return trial;
+}
+
+}  // namespace
+
+const char* verdict_name(TrialVerdict verdict) {
+  switch (verdict) {
+    case TrialVerdict::kAgreed: return "agreed";
+    case TrialVerdict::kAgreedDegraded: return "agreed-degraded";
+    case TrialVerdict::kRejected: return "rejected";
+    case TrialVerdict::kInternalError: return "internal-error";
+    case TrialVerdict::kKeyMismatch: return "KEY-MISMATCH";
+  }
+  return "unknown";
+}
+
+TrialResult run_fault_trial(const lac::Params& params, u64 seed) {
+  u64 state = seed;
+  FaultPlan plan = FaultPlan::random(splitmix64(state), 1);
+  return run_planned_trial(params, std::move(plan), splitmix64(state));
+}
+
+TrialResult run_planned_trial(const lac::Params& params, FaultPlan plan,
+                              u64 seed) {
+  u64 state = seed;
+  TrialResult trial;
+  if (!plan.faults().empty()) trial.fault = plan.faults().front();
+
+  // A private set of accelerator units for this trial, armed before the
+  // backend runs its construction KATs — a permanently faulty unit is
+  // benched right there, a transient survives into the round trip.
+  auto mul = std::make_shared<rtl::MulTerRtl>(poly::kMulTerLength);
+  auto chien = std::make_shared<rtl::ChienRtl>();
+  auto sha = std::make_shared<rtl::Sha256Rtl>();
+  rtl::BarrettRtl barrett;
+  plan.arm(*mul);
+  plan.arm(*chien);
+  plan.arm(*sha);
+  plan.arm(barrett);
+
+  lac::Backend backend = lac::Backend::optimized_with(
+      perf::rtl_mul_ter(mul), perf::rtl_chien(chien), &trial.report);
+  backend.with_hasher(perf::rtl_sha256(sha), /*verify=*/true, &trial.report);
+  // Barrett is not on the functional KEM path; its faults are covered by
+  // the standalone self-test (degradation report only).
+  std::string detail;
+  if (!selftest_barrett(barrett, &detail))
+    trial.report.add("barrett", Status::kSelfTestFailure, detail);
+
+  return run_round_trip(params, backend, std::move(trial), state, nullptr);
+}
+
+TrialResult run_tamper_trial(const lac::Params& params, u64 seed) {
+  u64 state = seed;
+  FaultPlan plan;
+  Fault f;
+  f.unit = Unit::kCiphertext;
+  f.kind = FaultKind::kBitFlip;
+  f.lane = static_cast<u32>(splitmix64(state));
+  f.bit = static_cast<u32>(splitmix64(state) % 8);
+  plan.add(f);
+
+  TrialResult trial;
+  trial.fault = f;
+  // Fault-free software backend: this trial targets the wire, not the
+  // accelerators.
+  const lac::Backend backend = lac::Backend::optimized();
+  return run_round_trip(params, backend, std::move(trial), state, &plan);
+}
+
+CampaignResult run_campaign(const lac::Params& params,
+                            const CampaignConfig& config) {
+  CampaignResult result;
+  u64 state = config.seed;
+  for (int t = 0; t < config.trials; ++t) {
+    const u64 trial_seed = splitmix64(state);
+    const bool tamper =
+        static_cast<int>(splitmix64(state) % 100) < config.tamper_percent;
+    TrialResult trial;
+    try {
+      trial = tamper ? run_tamper_trial(params, trial_seed)
+                     : run_fault_trial(params, trial_seed);
+    } catch (...) {
+      ++result.uncaught_exceptions;
+      ++result.trials;
+      continue;
+    }
+    ++result.trials;
+    switch (trial.verdict) {
+      case TrialVerdict::kAgreed: ++result.agreed; break;
+      case TrialVerdict::kAgreedDegraded: ++result.agreed_degraded; break;
+      case TrialVerdict::kRejected: ++result.rejected; break;
+      case TrialVerdict::kInternalError: ++result.internal_errors; break;
+      case TrialVerdict::kKeyMismatch: ++result.key_mismatches; break;
+    }
+    if (trial.hash_fault_detected) ++result.hash_faults_detected;
+    if (trial.report.degraded()) ++result.degraded_trials;
+  }
+  return result;
+}
+
+std::string CampaignResult::to_string() const {
+  std::ostringstream os;
+  os << "campaign: " << trials << " trials | agreed " << agreed
+     << " | agreed-degraded " << agreed_degraded << " | rejected " << rejected
+     << " | internal-error " << internal_errors << " | KEY-MISMATCH "
+     << key_mismatches << " | uncaught " << uncaught_exceptions
+     << " | hash-faults-caught " << hash_faults_detected
+     << " | degraded-trials " << degraded_trials
+     << (sound() ? " | SOUND" : " | UNSOUND");
+  return os.str();
+}
+
+}  // namespace lacrv::fault

@@ -1,0 +1,96 @@
+// Randomized fault campaigns over the full KEM stack.
+//
+// Each trial derives a fresh fault plan from the campaign seed, arms it
+// on a private set of RTL accelerator units, builds a hardened optimized
+// backend on top of them (construction KATs + per-digest hash
+// verification — see docs/robustness.md), and runs a complete
+// keygen -> encapsulate -> decapsulate round trip through the checked
+// KEM entry points. The acceptance property the campaign enforces:
+//
+//   under any single injected fault, the two sides either agree on the
+//   shared key or decapsulation returns a typed rejection status —
+//   never a silent key mismatch, never an uncaught exception.
+//
+// Wire-tamper trials additionally flip ciphertext bits between
+// encapsulation and decapsulation and demand the typed implicit-
+// rejection path.
+#pragma once
+
+#include <string>
+
+#include "fault/plan.h"
+#include "lac/kem.h"
+
+namespace lacrv::fault {
+
+/// How one fault-injection round trip ended.
+enum class TrialVerdict {
+  /// Keys agree; every accelerator survived its self-tests.
+  kAgreed,
+  /// Keys agree because a faulty unit was benched at construction (or a
+  /// faulty digest was caught and corrected by the hash cross-check).
+  kAgreedDegraded,
+  /// Decapsulation returned a typed non-kOk status (FO rejection or BCH
+  /// decode failure) — the defended failure mode.
+  kRejected,
+  /// A CheckError surfaced as a typed kInternalError status.
+  kInternalError,
+  /// Keys disagree with kOk statuses — the one outcome the defenses must
+  /// prevent. A nonzero count fails the campaign.
+  kKeyMismatch,
+};
+
+const char* verdict_name(TrialVerdict verdict);
+
+struct TrialResult {
+  Fault fault;                 // the single fault this trial injected
+  DegradeReport report;        // construction-time degradations
+  Status enc_status = Status::kOk;
+  Status dec_status = Status::kOk;
+  bool hash_fault_detected = false;
+  TrialVerdict verdict = TrialVerdict::kAgreed;
+};
+
+/// One complete round trip under a single randomly drawn RTL fault.
+TrialResult run_fault_trial(const lac::Params& params, u64 seed);
+
+/// Round trip under a caller-supplied plan, armed on a private set of
+/// units (directed injection — the seed only drives key/entropy draws).
+TrialResult run_planned_trial(const lac::Params& params, FaultPlan plan,
+                              u64 seed);
+
+/// One round trip with a fault-free backend but a tampered ciphertext
+/// (single bit flip at a seed-derived position on the wire).
+TrialResult run_tamper_trial(const lac::Params& params, u64 seed);
+
+struct CampaignConfig {
+  u64 seed = 1;
+  int trials = 1000;
+  /// Fraction (percent) of trials that tamper the wire instead of
+  /// injecting an RTL fault.
+  int tamper_percent = 20;
+};
+
+struct CampaignResult {
+  int trials = 0;
+  int agreed = 0;
+  int agreed_degraded = 0;
+  int rejected = 0;
+  int internal_errors = 0;
+  int key_mismatches = 0;   // must stay 0
+  int uncaught_exceptions = 0;  // must stay 0
+  int hash_faults_detected = 0;
+  int degraded_trials = 0;  // trials where at least one unit was benched
+
+  /// The campaign property: no silent mismatch, no escaped exception.
+  bool sound() const {
+    return key_mismatches == 0 && uncaught_exceptions == 0;
+  }
+  std::string to_string() const;
+};
+
+/// Run `config.trials` randomized single-fault trials on LAC-128.
+CampaignResult run_campaign(const lac::Params& params,
+                            const CampaignConfig& config);
+
+}  // namespace lacrv::fault

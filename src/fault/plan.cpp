@@ -1,0 +1,105 @@
+#include "fault/plan.h"
+
+namespace lacrv::fault {
+
+const char* unit_name(Unit unit) {
+  switch (unit) {
+    case Unit::kMulTer: return "mul_ter";
+    case Unit::kGfMul: return "gf_mul";
+    case Unit::kChien: return "chien";
+    case Unit::kSha256: return "sha256";
+    case Unit::kBarrett: return "barrett";
+    case Unit::kCiphertext: return "ciphertext";
+    case Unit::kSecretKey: return "secret-key";
+    case Unit::kPublicKey: return "public-key";
+  }
+  return "unknown";
+}
+
+u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+/// Rough per-unit edge budget of one LAC-128 KEM round trip; transient
+/// fault edges are drawn below these so most faults land inside the run
+/// (a draw past the end models a fault that misses the window).
+u64 edge_range(Unit unit) {
+  switch (unit) {
+    case Unit::kMulTer: return 6'000;    // ~8 multiplies x 512 edges
+    case Unit::kGfMul: return 40'000;    // 257 points x 4 passes x 9 ticks
+    case Unit::kChien: return 300;       // 257 window points
+    case Unit::kSha256: return 5'000;    // ~60 blocks x 65 round cycles
+    case Unit::kBarrett: return 100;
+    default: return 1;                   // wire faults ignore the edge
+  }
+}
+
+}  // namespace
+
+void FaultPlan::bind_hooks() {
+  for (std::size_t i = 0; i < hooks_.size(); ++i)
+    hooks_[i].bind(this, kRtlUnits[i]);
+}
+
+rtl::FaultHook* FaultPlan::hook(Unit unit) {
+  for (std::size_t i = 0; i < kRtlUnits.size(); ++i)
+    if (kRtlUnits[i] == unit) return &hooks_[i];
+  return nullptr;  // wire boundaries have no clock to hook
+}
+
+bool FaultPlan::UnitHook::on_edge(u64 /*cycle*/, rtl::FaultEdit* edit) {
+  const u64 e = edges_++;
+  for (const Fault& f : plan_->faults_) {
+    if (f.unit != unit_) continue;
+    const bool stuck = f.kind == FaultKind::kStuckAtZero ||
+                       f.kind == FaultKind::kStuckAtOne;
+    if (!stuck && f.edge != e) continue;
+    edit->kind = f.kind;
+    edit->lane = f.lane;
+    edit->bit = f.bit;
+    return true;
+  }
+  return false;
+}
+
+void FaultPlan::tamper(Unit boundary, Bytes& bytes) const {
+  if (bytes.empty()) return;
+  for (const Fault& f : faults_) {
+    if (f.unit != boundary) continue;
+    u8& byte = bytes[f.lane % bytes.size()];
+    const u8 mask = static_cast<u8>(1u << (f.bit % 8));
+    switch (f.kind) {
+      case FaultKind::kBitFlip: byte = static_cast<u8>(byte ^ mask); break;
+      case FaultKind::kStuckAtZero: byte = static_cast<u8>(byte & ~mask); break;
+      case FaultKind::kStuckAtOne: byte = static_cast<u8>(byte | mask); break;
+      case FaultKind::kCycleSkew: break;  // meaningless on a wire
+    }
+  }
+}
+
+FaultPlan FaultPlan::random(u64 seed, std::size_t count) {
+  return random(seed, count, kRtlUnits);
+}
+
+FaultPlan FaultPlan::random(u64 seed, std::size_t count,
+                            std::span<const Unit> units) {
+  FaultPlan plan;
+  u64 state = seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    Fault f;
+    f.unit = units[splitmix64(state) % units.size()];
+    f.kind = static_cast<FaultKind>(splitmix64(state) % 4);
+    f.edge = splitmix64(state) % edge_range(f.unit);
+    f.lane = static_cast<u32>(splitmix64(state));
+    f.bit = static_cast<u32>(splitmix64(state));
+    plan.add(f);
+  }
+  return plan;
+}
+
+}  // namespace lacrv::fault

@@ -1,0 +1,131 @@
+// Deterministic, seedable fault plans — the adversarial half of the
+// robustness subsystem (docs/robustness.md).
+//
+// A FaultPlan is a list of faults, each naming a target unit, a fault
+// kind from the rtl::FaultKind taxonomy and (for transients) the global
+// edge index at which it fires. The plan exposes one rtl::FaultHook per
+// RTL unit; arming a unit attaches the matching hook. Hooks count edges
+// themselves (monotonically across resets), so "fire at edge 1234" means
+// the 1234th clock edge the unit ever executes in this plan's lifetime —
+// reproducible run to run for a fixed seed.
+//
+// Byte-level faults (kCiphertext / kSecretKey / kPublicKey) model
+// tampering at the KEM wire boundary and are applied with tamper().
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "rtl/barrett_unit.h"
+#include "rtl/chien_unit.h"
+#include "rtl/fault_hook.h"
+#include "rtl/mul_ter.h"
+#include "rtl/sha256_core.h"
+
+namespace lacrv::fault {
+
+using rtl::FaultKind;
+
+enum class Unit : u8 {
+  kMulTer,
+  kGfMul,
+  kChien,
+  kSha256,
+  kBarrett,
+  kCiphertext,
+  kSecretKey,
+  kPublicKey,
+};
+
+const char* unit_name(Unit unit);
+
+/// The five RTL accelerator models (hook-armable targets).
+inline constexpr std::array<Unit, 5> kRtlUnits = {
+    Unit::kMulTer, Unit::kGfMul, Unit::kChien, Unit::kSha256, Unit::kBarrett};
+
+struct Fault {
+  Unit unit = Unit::kMulTer;
+  FaultKind kind = FaultKind::kBitFlip;
+  /// Transient faults (bit-flip, cycle-skew): the global edge index at
+  /// which the fault fires, counted per unit from arming. Stuck-at faults
+  /// fire on every edge and ignore this field.
+  u64 edge = 0;
+  /// Register lane (RTL units) or byte offset (wire boundaries); reduced
+  /// modulo the target's size.
+  u32 lane = 0;
+  /// Bit position within the lane/byte; reduced modulo the width.
+  u32 bit = 0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() { bind_hooks(); }
+
+  // Hooks hold back-pointers into this plan, so copying is forbidden and
+  // moving rebinds fresh hooks — arm units only after the plan has
+  // reached its final location.
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+  FaultPlan(FaultPlan&& other) noexcept : faults_(std::move(other.faults_)) {
+    bind_hooks();
+  }
+  FaultPlan& operator=(FaultPlan&& other) noexcept {
+    faults_ = std::move(other.faults_);
+    bind_hooks();
+    return *this;
+  }
+
+  /// Deterministic random plan: `count` faults drawn from `seed`,
+  /// targeting the given units (default: the five RTL accelerators).
+  static FaultPlan random(u64 seed, std::size_t count);
+  static FaultPlan random(u64 seed, std::size_t count,
+                          std::span<const Unit> units);
+
+  void add(const Fault& fault) { faults_.push_back(fault); }
+  const std::vector<Fault>& faults() const { return faults_; }
+
+  /// The injection hook for one RTL unit; valid while the plan is alive.
+  rtl::FaultHook* hook(Unit unit);
+
+  /// Attach this plan's hooks to concrete units. Arming a ChienRtl also
+  /// routes kGfMul faults into its four internal GF multipliers.
+  void arm(rtl::MulTerRtl& u) { u.set_fault_hook(hook(Unit::kMulTer)); }
+  void arm(rtl::GfMulRtl& u) { u.set_fault_hook(hook(Unit::kGfMul)); }
+  void arm(rtl::ChienRtl& u) {
+    u.set_fault_hook(hook(Unit::kChien));
+    u.set_gf_fault_hook(hook(Unit::kGfMul));
+  }
+  void arm(rtl::Sha256Rtl& u) { u.set_fault_hook(hook(Unit::kSha256)); }
+  void arm(rtl::BarrettRtl& u) { u.set_fault_hook(hook(Unit::kBarrett)); }
+
+  /// Apply every byte-level fault targeting `boundary` to `bytes` (bit
+  /// `bit` of byte `lane % size`). No-op for plans without such faults.
+  void tamper(Unit boundary, Bytes& bytes) const;
+
+ private:
+  class UnitHook final : public rtl::FaultHook {
+   public:
+    void bind(FaultPlan* plan, Unit unit) {
+      plan_ = plan;
+      unit_ = unit;
+    }
+    bool on_edge(u64 cycle, rtl::FaultEdit* edit) override;
+
+   private:
+    FaultPlan* plan_ = nullptr;
+    Unit unit_ = Unit::kMulTer;
+    u64 edges_ = 0;  // edges observed so far (monotonic across resets)
+  };
+
+  void bind_hooks();
+
+  std::vector<Fault> faults_;
+  std::array<UnitHook, kRtlUnits.size()> hooks_;
+};
+
+/// splitmix64 — the deterministic generator behind FaultPlan::random,
+/// exposed for campaign drivers that need reproducible auxiliary draws.
+u64 splitmix64(u64& state);
+
+}  // namespace lacrv::fault

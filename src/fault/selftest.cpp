@@ -1,0 +1,123 @@
+#include "fault/selftest.h"
+
+#include "gf/gf512.h"
+#include "hash/sha256.h"
+#include "poly/ring.h"
+
+namespace lacrv::fault {
+namespace {
+
+void describe(std::string* detail, const std::string& message) {
+  if (detail) *detail = message;
+}
+
+}  // namespace
+
+bool selftest_mul_ter(rtl::MulTerRtl& unit, std::string* detail) {
+  const std::size_t n = unit.length();
+  poly::Ternary a(n);
+  poly::Coeffs b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<i8>(static_cast<int>(i % 3) - 1);
+    b[i] = static_cast<u8>((7 * i + 3) % poly::kQ);
+  }
+  for (const bool negacyclic : {true, false}) {
+    unit.reset();
+    const poly::Coeffs got = unit.multiply(a, b, negacyclic);
+    const poly::Coeffs expected = poly::mul_ter_sw(a, b, negacyclic);
+    if (got != expected) {
+      describe(detail, negacyclic ? "negacyclic convolution KAT mismatch"
+                                  : "cyclic convolution KAT mismatch");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool selftest_gf_mul(rtl::GfMulRtl& unit, std::string* detail) {
+  // A handful of pairs covering 0, 1, alpha powers and dense operands.
+  constexpr gf::Element kOperands[] = {0, 1, 2, 0x0AA, 0x155, 0x1FF, 0x123};
+  for (gf::Element a : kOperands) {
+    for (gf::Element b : kOperands) {
+      unit.reset();
+      unit.load(a, b);
+      unit.start();
+      unit.run_to_completion();
+      if (unit.result() != gf::mul_shift_add(a, b)) {
+        describe(detail, "GF(2^9) product KAT mismatch");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool selftest_chien(rtl::ChienRtl& unit, std::string* detail) {
+  // Locator with known roots: lambda(x) = (1 - alpha^5 x)(1 - alpha^9 x)
+  // padded to degree 8 (t = 8, a multiple of the four hardware lanes).
+  // Expected evaluations come from Horner evaluation in software.
+  std::vector<gf::Element> lambda(9, 0);
+  const gf::Element r1 = gf::alpha_pow(5), r2 = gf::alpha_pow(9);
+  lambda[0] = 1;
+  lambda[1] = gf::add(r1, r2);
+  lambda[2] = gf::mul_shift_add(r1, r2);
+  constexpr int kFirst = 500;  // window wraps past the group order
+  unit.configure(lambda, kFirst);
+  for (int l = kFirst; l < kFirst + 20; ++l) {
+    const gf::Element point = gf::alpha_pow(static_cast<u32>(l));
+    const gf::Element expected =
+        gf::poly_eval(lambda, point, gf::MulKind::kShiftAdd);
+    if (unit.eval_next() != expected) {
+      describe(detail, "locator evaluation KAT mismatch at exponent " +
+                           std::to_string(l));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool selftest_sha256(rtl::Sha256Rtl& unit, std::string* detail) {
+  // One short and one multi-block message, compared to the software hash.
+  Bytes message;
+  for (int i = 0; i < 200; ++i) message.push_back(static_cast<u8>(i * 31));
+  const Bytes short_msg = {'a', 'b', 'c'};
+  for (const Bytes& m : {short_msg, message}) {
+    if (unit.hash_message(m) != hash::sha256(m)) {
+      describe(detail, "digest KAT mismatch");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool selftest_barrett(rtl::BarrettRtl& unit, std::string* detail) {
+  constexpr u32 kInputs[] = {0,   1,    250,  251,   252,  502,
+                             503, 1000, 4096, 62750, 65535};
+  for (u32 x : kInputs) {
+    if (unit.reduce(x) != x % poly::kQ) {
+      describe(detail, "reduction KAT mismatch at x = " + std::to_string(x));
+      return false;
+    }
+  }
+  return true;
+}
+
+DegradeReport selftest_all(rtl::MulTerRtl& mul_ter, rtl::GfMulRtl& gf_mul,
+                           rtl::ChienRtl& chien, rtl::Sha256Rtl& sha256,
+                           rtl::BarrettRtl& barrett) {
+  DegradeReport report;
+  std::string detail;
+  if (!selftest_mul_ter(mul_ter, &detail))
+    report.add("mul_ter", Status::kSelfTestFailure, detail);
+  if (!selftest_gf_mul(gf_mul, &detail))
+    report.add("gf_mul", Status::kSelfTestFailure, detail);
+  if (!selftest_chien(chien, &detail))
+    report.add("chien", Status::kSelfTestFailure, detail);
+  if (!selftest_sha256(sha256, &detail))
+    report.add("sha256", Status::kSelfTestFailure, detail);
+  if (!selftest_barrett(barrett, &detail))
+    report.add("barrett", Status::kSelfTestFailure, detail);
+  return report;
+}
+
+}  // namespace lacrv::fault

@@ -1,0 +1,31 @@
+// Accelerator known-answer self-tests. Each test drives one RTL unit
+// through a small deterministic computation and compares against the
+// golden software model — the check a production firmware would run at
+// boot (and that Backend::optimized_with runs on its injected callables)
+// before trusting an accelerator. A unit with a stuck-at fault fails its
+// KAT; a unit with a single transient fault generally passes it and is
+// caught later by the FO / BCH runtime defenses instead.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "rtl/barrett_unit.h"
+#include "rtl/chien_unit.h"
+#include "rtl/mul_ter.h"
+#include "rtl/sha256_core.h"
+
+namespace lacrv::fault {
+
+bool selftest_mul_ter(rtl::MulTerRtl& unit, std::string* detail = nullptr);
+bool selftest_gf_mul(rtl::GfMulRtl& unit, std::string* detail = nullptr);
+bool selftest_chien(rtl::ChienRtl& unit, std::string* detail = nullptr);
+bool selftest_sha256(rtl::Sha256Rtl& unit, std::string* detail = nullptr);
+bool selftest_barrett(rtl::BarrettRtl& unit, std::string* detail = nullptr);
+
+/// Run every unit's KAT; failing units are recorded in the report.
+DegradeReport selftest_all(rtl::MulTerRtl& mul_ter, rtl::GfMulRtl& gf_mul,
+                           rtl::ChienRtl& chien, rtl::Sha256Rtl& sha256,
+                           rtl::BarrettRtl& barrett);
+
+}  // namespace lacrv::fault

@@ -77,6 +77,7 @@ void Sha256::compress(const u8 block[kSha256BlockSize]) {
 
 void Sha256::update(ByteView data) {
   LACRV_CHECK_MSG(!finalized_, "update() after finalize(); call reset()");
+  if (data.empty()) return;  // empty views may carry a null data()
   length_bits_ += static_cast<u64>(data.size()) * 8;
   std::size_t offset = 0;
   if (buffered_ > 0) {

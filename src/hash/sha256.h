@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 
 #include "common/types.h"
 
@@ -47,5 +48,10 @@ Digest sha256(ByteView data);
 /// One-shot SHA-256 over the concatenation a || b (saves a buffer copy at
 /// call sites like H(m || ct) in the KEM).
 Digest sha256(ByteView a, ByteView b);
+
+/// A pluggable one-shot SHA-256 implementation (e.g. the RTL accelerator
+/// core). Implementations must be bit-identical to sha256(); the hardened
+/// KEM path can cross-check them against the software hash at runtime.
+using HashFn = std::function<Digest(ByteView)>;
 
 }  // namespace lacrv::hash

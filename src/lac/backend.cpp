@@ -1,5 +1,6 @@
 #include "lac/backend.h"
 
+#include "bch/berlekamp.h"
 #include "common/costs.h"
 
 namespace lacrv::lac {
@@ -13,6 +14,57 @@ std::size_t significant_length(const Vec& v) {
   std::size_t len = v.size();
   while (len > 0 && v[len - 1] == 0) --len;
   return len;
+}
+
+/// Construction-time KAT for an injected MUL TER implementation: both
+/// convolution variants on a dense deterministic operand pair must match
+/// the golden software convolution bit for bit.
+bool mul_ter_kat(const poly::MulTer512& unit) {
+  constexpr std::size_t kN = 512;
+  poly::Ternary a(kN);
+  poly::Coeffs b(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    a[i] = static_cast<i8>(static_cast<int>((i * 5 + 1) % 3) - 1);
+    b[i] = static_cast<u8>((13 * i + 7) % poly::kQ);
+  }
+  for (const bool negacyclic : {true, false}) {
+    if (unit(a, b, negacyclic, nullptr) != poly::mul_ter_sw(a, b, negacyclic))
+      return false;
+  }
+  return true;
+}
+
+/// Construction-time KAT for an injected Chien stage: corrupt a known
+/// codeword of the t=16 code, run the software syndromes + BM, and demand
+/// the injected stage locates exactly the errors the software search does.
+bool chien_kat(const bch::ChienStage& stage) {
+  const bch::CodeSpec& spec = bch::CodeSpec::bch_511_367_16();
+  bch::Message msg{};
+  for (std::size_t i = 0; i < msg.size(); ++i)
+    msg[i] = static_cast<u8>(0xA5u ^ (i * 29));
+  bch::BitVec word = bch::encode(spec, msg);
+  // Flip a handful of message bits spread over the Chien window.
+  for (int i : {0, 17, 80, 133, 200, 255}) word[spec.message_degree(i)] ^= 1;
+
+  const auto synd = bch::syndromes(spec, word, bch::Flavor::kConstantTime);
+  const bch::Locator loc =
+      bch::berlekamp_massey(spec, synd, bch::Flavor::kConstantTime);
+  const bch::ChienResult expected =
+      bch::chien_search(spec, loc, bch::Flavor::kConstantTime, nullptr);
+  const bch::ChienResult got = stage(spec, loc, nullptr);
+  return got.error_degrees == expected.error_degrees;
+}
+
+/// Hasher KAT: a short and a multi-block message must round-trip against
+/// the software SHA-256.
+bool hasher_kat(const hash::HashFn& fn) {
+  const Bytes short_msg = {'l', 'a', 'c'};
+  Bytes long_msg;
+  for (int i = 0; i < 150; ++i) long_msg.push_back(static_cast<u8>(i * 37));
+  for (const Bytes& m : {short_msg, long_msg}) {
+    if (fn(m) != hash::sha256(m)) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -78,15 +130,42 @@ Backend Backend::optimized() {
 }
 
 Backend Backend::optimized_with(poly::MulTer512 mul_unit,
-                                bch::ChienStage chien) {
+                                bch::ChienStage chien,
+                                DegradeReport* report) {
   Backend b;
   b.kind = Kind::kOptimized;
   b.name = "opt";
   b.hash_impl = HashImpl::kAccelerated;
   b.bch_flavor = bch::Flavor::kConstantTime;
-  b.mul_unit = std::move(mul_unit);
-  b.chien = std::move(chien);
+  if (mul_ter_kat(mul_unit)) {
+    b.mul_unit = std::move(mul_unit);
+  } else {
+    b.mul_unit = modeled_mul_ter();
+    if (report)
+      report->add("mul_ter", Status::kSelfTestFailure,
+                  "construction KAT failed; using modeled software unit");
+  }
+  if (chien_kat(chien)) {
+    b.chien = std::move(chien);
+  } else {
+    b.chien = modeled_chien();
+    if (report)
+      report->add("chien", Status::kSelfTestFailure,
+                  "construction KAT failed; using modeled software unit");
+  }
   return b;
+}
+
+Backend& Backend::with_hasher(hash::HashFn hasher, bool verify,
+                              DegradeReport* report) {
+  if (hasher_kat(hasher)) {
+    this->hasher = std::move(hasher);
+    this->verify_hash = verify;
+  } else if (report) {
+    report->add("sha256", Status::kSelfTestFailure,
+                "construction KAT failed; keeping software hash");
+  }
+  return *this;
 }
 
 }  // namespace lacrv::lac

@@ -18,6 +18,8 @@
 #pragma once
 
 #include "bch/decoder.h"
+#include "common/status.h"
+#include "hash/sha256.h"
 #include "lac/gen_a.h"
 #include "poly/split_mul.h"
 
@@ -34,14 +36,33 @@ struct Backend {
   poly::MulTer512 mul_unit;
   /// Set iff kind == kOptimized: the MUL CHIEN stage (cost model included).
   bch::ChienStage chien;
+  /// Optional functional hash implementation (e.g. the RTL SHA-256 core).
+  /// Null means the software hash::Sha256 computes digests (the default;
+  /// hash_impl then only selects the cycle model).
+  hash::HashFn hasher;
+  /// Hardened mode: every hasher digest is cross-checked against the
+  /// software hash; on mismatch the KEM uses the software digest and the
+  /// *_checked entry points report the detected fault.
+  bool verify_hash = false;
 
   static Backend reference();
   static Backend reference_const_bch();
   static Backend optimized();
   /// Optimized backend with caller-provided accelerator implementations
-  /// (e.g. the RTL models driven through the ISS conventions).
+  /// (e.g. the RTL models driven through the ISS conventions). Each
+  /// injected unit must pass a known-answer self-test against the golden
+  /// software model at construction; a failing unit is replaced by the
+  /// modeled software implementation and recorded in `report` (the
+  /// degradation ladder of docs/robustness.md).
   static Backend optimized_with(poly::MulTer512 mul_unit,
-                                bch::ChienStage chien);
+                                bch::ChienStage chien,
+                                DegradeReport* report = nullptr);
+
+  /// Install a functional hash implementation after a KAT self-test; a
+  /// failing hasher is discarded (software hash keeps serving, recorded
+  /// in `report`). `verify` enables the per-digest hardened cross-check.
+  Backend& with_hasher(hash::HashFn hasher, bool verify = false,
+                       DegradeReport* report = nullptr);
 };
 
 /// MUL TER model used by optimized(): computes with mul_ter_sw and charges

@@ -18,8 +18,35 @@ hash::Seed to_seed(const hash::Digest& d) {
 }
 
 /// H(tag || a || b), charging the backend's per-block hash cost.
+///
+/// When the backend carries a functional hasher (e.g. the RTL SHA-256
+/// core) the digest comes from it; with verify_hash set, the digest is
+/// cross-checked against the software hash (the classic recompute-and-
+/// compare fault countermeasure). A mismatch is reported through
+/// `hash_fault` and the software digest is used — the KEM self-corrects
+/// instead of silently deriving a wrong shared key.
 hash::Digest tagged_hash(u8 tag, ByteView a, ByteView b,
-                         const Backend& backend, CycleLedger* ledger) {
+                         const Backend& backend, CycleLedger* ledger,
+                         bool* hash_fault = nullptr) {
+  if (backend.hasher) {
+    Bytes buf;
+    buf.reserve(1 + a.size() + b.size());
+    buf.push_back(tag);
+    buf.insert(buf.end(), a.begin(), a.end());
+    buf.insert(buf.end(), b.begin(), b.end());
+    hash::Digest d = backend.hasher(buf);
+    const u64 blocks =
+        (buf.size() + 8) / hash::kSha256BlockSize + 1;  // incl. padding block
+    charge(ledger, blocks * hash_block_cost(backend.hash_impl));
+    if (backend.verify_hash) {
+      const hash::Digest check = hash::sha256(buf);
+      if (d != check) {
+        if (hash_fault) *hash_fault = true;
+        d = check;
+      }
+    }
+    return d;
+  }
   hash::Sha256 h;
   h.update(ByteView(&tag, 1));
   h.update(a);
@@ -42,52 +69,57 @@ KemKeyPair kem_keygen(const Params& params, const Backend& backend,
   return keys;
 }
 
-EncapsResult encapsulate(const Params& params, const Backend& backend,
-                         const PublicKey& pk, const hash::Seed& entropy,
-                         CycleLedger* ledger) {
+namespace {
+
+EncapsResult encapsulate_impl(const Params& params, const Backend& backend,
+                              const PublicKey& pk, const hash::Seed& entropy,
+                              CycleLedger* ledger, bool* hash_fault) {
   // m <- PRG(entropy): a uniform 256-bit message.
   const hash::Seed m = derive_seed(entropy, kTagMessage);
   charge(ledger, 2 * hash_block_cost(backend.hash_impl));
 
   const Bytes pk_bytes = serialize(params, pk);
   const hash::Digest pk_hash =
-      tagged_hash(0x00, pk_bytes, {}, backend, ledger);
+      tagged_hash(0x00, pk_bytes, {}, backend, ledger, hash_fault);
 
   bch::Message msg;
   std::copy(m.begin(), m.end(), msg.begin());
   const hash::Seed coins = to_seed(tagged_hash(
       kTagCoins, ByteView(m.data(), m.size()),
-      ByteView(pk_hash.data(), pk_hash.size()), backend, ledger));
+      ByteView(pk_hash.data(), pk_hash.size()), backend, ledger, hash_fault));
   const hash::Digest key_bar = tagged_hash(
       kTagKeyBar, ByteView(m.data(), m.size()),
-      ByteView(pk_hash.data(), pk_hash.size()), backend, ledger);
+      ByteView(pk_hash.data(), pk_hash.size()), backend, ledger, hash_fault);
 
   EncapsResult result;
   result.ct = encrypt(params, backend, pk, msg, coins, ledger);
 
   const Bytes ct_bytes = serialize(params, result.ct);
-  const hash::Digest ct_hash = tagged_hash(0x00, ct_bytes, {}, backend, ledger);
+  const hash::Digest ct_hash =
+      tagged_hash(0x00, ct_bytes, {}, backend, ledger, hash_fault);
   result.key = tagged_hash(0x00, ByteView(key_bar.data(), key_bar.size()),
                            ByteView(ct_hash.data(), ct_hash.size()), backend,
-                           ledger);
+                           ledger, hash_fault);
   return result;
 }
 
-SharedKey decapsulate(const Params& params, const Backend& backend,
-                      const KemKeyPair& keys, const Ciphertext& ct,
-                      CycleLedger* ledger) {
+SharedKey decapsulate_impl(const Params& params, const Backend& backend,
+                           const KemKeyPair& keys, const Ciphertext& ct,
+                           CycleLedger* ledger, Status* status,
+                           bool* hash_fault) {
   const DecryptResult dec = decrypt(params, backend, keys.sk, ct, ledger);
 
   const Bytes pk_bytes = serialize(params, keys.pk);
   const hash::Digest pk_hash =
-      tagged_hash(0x00, pk_bytes, {}, backend, ledger);
+      tagged_hash(0x00, pk_bytes, {}, backend, ledger, hash_fault);
 
   const ByteView m_view(dec.message.data(), dec.message.size());
   const ByteView pk_hash_view(pk_hash.data(), pk_hash.size());
-  const hash::Seed coins =
-      to_seed(tagged_hash(kTagCoins, m_view, pk_hash_view, backend, ledger));
-  const hash::Digest key_bar =
-      tagged_hash(kTagKeyBar, m_view, pk_hash_view, backend, ledger);
+  const hash::Seed coins = to_seed(
+      tagged_hash(kTagCoins, m_view, pk_hash_view, backend, ledger,
+                  hash_fault));
+  const hash::Digest key_bar = tagged_hash(kTagKeyBar, m_view, pk_hash_view,
+                                           backend, ledger, hash_fault);
 
   // Re-encrypt and compare (the CCA step Table II's decapsulation times).
   const Ciphertext ct2 =
@@ -97,16 +129,65 @@ SharedKey decapsulate(const Params& params, const Backend& backend,
   const Bytes ct2_bytes = serialize(params, ct2);
   const bool match = dec.ok && ct_equal(ct_bytes, ct2_bytes);
   charge(ledger, ct_bytes.size() * cost::kAlu);  // constant-time compare
+  if (status) {
+    *status = match ? Status::kOk
+                    : (dec.ok ? Status::kRejected : Status::kDecodeFailure);
+  }
 
-  const hash::Digest ct_hash = tagged_hash(0x00, ct_bytes, {}, backend, ledger);
+  const hash::Digest ct_hash =
+      tagged_hash(0x00, ct_bytes, {}, backend, ledger, hash_fault);
   if (match)
     return tagged_hash(0x00, ByteView(key_bar.data(), key_bar.size()),
                        ByteView(ct_hash.data(), ct_hash.size()), backend,
-                       ledger);
+                       ledger, hash_fault);
   // Implicit rejection.
   return tagged_hash(0x00, ByteView(keys.z.data(), keys.z.size()),
                      ByteView(ct_hash.data(), ct_hash.size()), backend,
-                     ledger);
+                     ledger, hash_fault);
+}
+
+}  // namespace
+
+EncapsResult encapsulate(const Params& params, const Backend& backend,
+                         const PublicKey& pk, const hash::Seed& entropy,
+                         CycleLedger* ledger) {
+  return encapsulate_impl(params, backend, pk, entropy, ledger, nullptr);
+}
+
+SharedKey decapsulate(const Params& params, const Backend& backend,
+                      const KemKeyPair& keys, const Ciphertext& ct,
+                      CycleLedger* ledger) {
+  return decapsulate_impl(params, backend, keys, ct, ledger, nullptr, nullptr);
+}
+
+EncapsOutcome encapsulate_checked(const Params& params, const Backend& backend,
+                                  const PublicKey& pk,
+                                  const hash::Seed& entropy,
+                                  CycleLedger* ledger) {
+  EncapsOutcome out;
+  try {
+    out.result = encapsulate_impl(params, backend, pk, entropy, ledger,
+                                  &out.hash_fault_detected);
+    out.status = Status::kOk;
+  } catch (const CheckError& e) {
+    out.status = Status::kInternalError;
+    out.detail = e.what();
+  }
+  return out;
+}
+
+DecapsOutcome decapsulate_checked(const Params& params, const Backend& backend,
+                                  const KemKeyPair& keys, const Ciphertext& ct,
+                                  CycleLedger* ledger) {
+  DecapsOutcome out;
+  try {
+    out.key = decapsulate_impl(params, backend, keys, ct, ledger, &out.status,
+                               &out.hash_fault_detected);
+  } catch (const CheckError& e) {
+    out.status = Status::kInternalError;
+    out.detail = e.what();
+  }
+  return out;
 }
 
 std::size_t kem_sk_bytes(const Params& params) {

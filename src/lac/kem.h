@@ -4,6 +4,8 @@
 // random implicit-rejection key derived from the secret value z).
 #pragma once
 
+#include <string>
+
 #include "lac/pke.h"
 
 namespace lacrv::lac {
@@ -22,6 +24,35 @@ struct EncapsResult {
   SharedKey key{};
 };
 
+// ---- checked entry points --------------------------------------------------
+// Status-typed variants for callers that must never see an exception (the
+// fault campaign, embedded-style hosts). The FO semantics are unchanged:
+// decapsulation always produces a key; `status` explains which kind.
+
+struct EncapsOutcome {
+  EncapsResult result;
+  Status status = Status::kOk;
+  /// True iff the hardened hash cross-check caught (and corrected) a
+  /// faulty accelerator digest during this operation.
+  bool hash_fault_detected = false;
+  /// Human-readable diagnostic, set when status == kInternalError.
+  std::string detail;
+};
+
+struct DecapsOutcome {
+  /// Always a usable 256-bit key: the real shared secret when status is
+  /// kOk, the implicit-rejection key otherwise (valid even on
+  /// kDecodeFailure — FO hashes z with the ciphertext regardless).
+  SharedKey key{};
+  /// kOk: re-encryption matched. kRejected: BCH decoded but the FO
+  /// comparison failed (tampered or malformed ciphertext). kDecodeFailure:
+  /// more than t errors reached the decoder. kInternalError: a CheckError
+  /// escaped the computation (key is all-zero in that case only).
+  Status status = Status::kOk;
+  bool hash_fault_detected = false;
+  std::string detail;
+};
+
 KemKeyPair kem_keygen(const Params& params, const Backend& backend,
                       const hash::Seed& master, CycleLedger* ledger = nullptr);
 
@@ -36,6 +67,20 @@ EncapsResult encapsulate(const Params& params, const Backend& backend,
 SharedKey decapsulate(const Params& params, const Backend& backend,
                       const KemKeyPair& keys, const Ciphertext& ct,
                       CycleLedger* ledger = nullptr);
+
+/// encapsulate() that reports faults as typed statuses instead of
+/// exceptions. Never throws CheckError.
+EncapsOutcome encapsulate_checked(const Params& params, const Backend& backend,
+                                  const PublicKey& pk,
+                                  const hash::Seed& entropy,
+                                  CycleLedger* ledger = nullptr);
+
+/// decapsulate() with a typed verdict (see DecapsOutcome::status). Never
+/// throws CheckError; implicit rejection remains observably silent — the
+/// status is for the *owner* of the secret key, not the wire.
+DecapsOutcome decapsulate_checked(const Params& params, const Backend& backend,
+                                  const KemKeyPair& keys, const Ciphertext& ct,
+                                  CycleLedger* ledger = nullptr);
 
 // ---- secret-key wire format ------------------------------------------------
 // The paper counts ||sk|| = n bytes (the ternary s). A deployable

@@ -19,38 +19,56 @@ Sizes sizes(const Params& params) {
   return {params.pk_bytes(), kem_sk_bytes(params), params.ct_bytes(), 32};
 }
 
-void crypto_kem_keypair(const Params& params, const Backend& backend,
-                        u8* pk, u8* sk, const RandomBytes& randombytes) {
-  LACRV_CHECK(pk != nullptr && sk != nullptr && randombytes);
-  const KemKeyPair keys =
-      kem_keygen(params, backend, draw_seed(randombytes));
-  const Bytes pk_bytes = serialize(params, keys.pk);
-  const Bytes sk_bytes = serialize_kem_sk(params, keys);
-  std::memcpy(pk, pk_bytes.data(), pk_bytes.size());
-  std::memcpy(sk, sk_bytes.data(), sk_bytes.size());
+Status crypto_kem_keypair(const Params& params, const Backend& backend,
+                          u8* pk, u8* sk, const RandomBytes& randombytes) {
+  if (pk == nullptr || sk == nullptr || !randombytes)
+    return Status::kBadArgument;
+  try {
+    const KemKeyPair keys =
+        kem_keygen(params, backend, draw_seed(randombytes));
+    const Bytes pk_bytes = serialize(params, keys.pk);
+    const Bytes sk_bytes = serialize_kem_sk(params, keys);
+    std::memcpy(pk, pk_bytes.data(), pk_bytes.size());
+    std::memcpy(sk, sk_bytes.data(), sk_bytes.size());
+  } catch (const CheckError&) {
+    return Status::kBadArgument;
+  }
+  return Status::kOk;
 }
 
-void crypto_kem_enc(const Params& params, const Backend& backend, u8* ct,
-                    u8* ss, const u8* pk, const RandomBytes& randombytes) {
-  LACRV_CHECK(ct != nullptr && ss != nullptr && pk != nullptr && randombytes);
-  const PublicKey pub =
-      deserialize_pk(params, ByteView(pk, params.pk_bytes()));
-  const EncapsResult result =
-      encapsulate(params, backend, pub, draw_seed(randombytes));
-  const Bytes ct_bytes = serialize(params, result.ct);
-  std::memcpy(ct, ct_bytes.data(), ct_bytes.size());
-  std::memcpy(ss, result.key.data(), result.key.size());
+Status crypto_kem_enc(const Params& params, const Backend& backend, u8* ct,
+                      u8* ss, const u8* pk, const RandomBytes& randombytes) {
+  if (ct == nullptr || ss == nullptr || pk == nullptr || !randombytes)
+    return Status::kBadArgument;
+  try {
+    const PublicKey pub =
+        deserialize_pk(params, ByteView(pk, params.pk_bytes()));
+    const EncapsResult result =
+        encapsulate(params, backend, pub, draw_seed(randombytes));
+    const Bytes ct_bytes = serialize(params, result.ct);
+    std::memcpy(ct, ct_bytes.data(), ct_bytes.size());
+    std::memcpy(ss, result.key.data(), result.key.size());
+  } catch (const CheckError&) {
+    return Status::kBadArgument;
+  }
+  return Status::kOk;
 }
 
-void crypto_kem_dec(const Params& params, const Backend& backend, u8* ss,
-                    const u8* ct, const u8* sk) {
-  LACRV_CHECK(ss != nullptr && ct != nullptr && sk != nullptr);
-  const KemKeyPair keys =
-      deserialize_kem_sk(params, ByteView(sk, kem_sk_bytes(params)));
-  const Ciphertext cipher =
-      deserialize_ct(params, ByteView(ct, params.ct_bytes()));
-  const SharedKey key = decapsulate(params, backend, keys, cipher);
-  std::memcpy(ss, key.data(), key.size());
+Status crypto_kem_dec(const Params& params, const Backend& backend, u8* ss,
+                      const u8* ct, const u8* sk) {
+  if (ss == nullptr || ct == nullptr || sk == nullptr)
+    return Status::kBadArgument;
+  try {
+    const KemKeyPair keys =
+        deserialize_kem_sk(params, ByteView(sk, kem_sk_bytes(params)));
+    const Ciphertext cipher =
+        deserialize_ct(params, ByteView(ct, params.ct_bytes()));
+    const SharedKey key = decapsulate(params, backend, keys, cipher);
+    std::memcpy(ss, key.data(), key.size());
+  } catch (const CheckError&) {
+    return Status::kBadArgument;
+  }
+  return Status::kOk;
 }
 
 }  // namespace lacrv::lac::nist

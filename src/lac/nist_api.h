@@ -28,17 +28,23 @@ struct Sizes {
 };
 Sizes sizes(const Params& params);
 
+// All three calls return a typed Status and never throw: null buffers or
+// malformed serialized inputs yield Status::kBadArgument with the output
+// buffers untouched (the SUPERCOP convention of nonzero-on-error, made
+// explicit). Decapsulation keeps implicit rejection: a tampered ct still
+// returns kOk with the pseudo-random rejection key in ss.
+
 /// Generate a key pair into pk / sk (buffers of sizes(params) lengths).
-void crypto_kem_keypair(const Params& params, const Backend& backend,
-                        u8* pk, u8* sk, const RandomBytes& randombytes);
+Status crypto_kem_keypair(const Params& params, const Backend& backend,
+                          u8* pk, u8* sk, const RandomBytes& randombytes);
 
 /// Encapsulate: writes ct and the 32-byte shared secret ss.
-void crypto_kem_enc(const Params& params, const Backend& backend, u8* ct,
-                    u8* ss, const u8* pk, const RandomBytes& randombytes);
+Status crypto_kem_enc(const Params& params, const Backend& backend, u8* ct,
+                      u8* ss, const u8* pk, const RandomBytes& randombytes);
 
 /// Decapsulate: writes the 32-byte shared secret ss (implicit rejection
 /// on malformed ciphertexts — never fails observably).
-void crypto_kem_dec(const Params& params, const Backend& backend, u8* ss,
-                    const u8* ct, const u8* sk);
+Status crypto_kem_dec(const Params& params, const Backend& backend, u8* ss,
+                      const u8* ct, const u8* sk);
 
 }  // namespace lacrv::lac::nist

@@ -21,7 +21,10 @@ std::size_t significant_length(const Vec& v) {
 poly::MulTer512 rtl_mul_ter() {
   // One persistent unit instance, like the single physical unit in the
   // PQ-ALU (shared_ptr: MulTer512 is a copyable std::function).
-  auto unit = std::make_shared<rtl::MulTerRtl>(poly::kMulTerLength);
+  return rtl_mul_ter(std::make_shared<rtl::MulTerRtl>(poly::kMulTerLength));
+}
+
+poly::MulTer512 rtl_mul_ter(std::shared_ptr<rtl::MulTerRtl> unit) {
   return [unit](const poly::Ternary& a, const poly::Coeffs& b,
                 bool negacyclic, CycleLedger* ledger) {
     const std::size_t n = unit->length();
@@ -54,7 +57,10 @@ poly::MulTer512 rtl_mul_ter() {
 }
 
 bch::ChienStage rtl_chien() {
-  auto unit = std::make_shared<rtl::ChienRtl>();
+  return rtl_chien(std::make_shared<rtl::ChienRtl>());
+}
+
+bch::ChienStage rtl_chien(std::shared_ptr<rtl::ChienRtl> unit) {
   return [unit](const bch::CodeSpec& spec, const bch::Locator& loc,
                 CycleLedger* ledger) {
     unit->configure(loc.lambda, spec.chien_first);
@@ -78,8 +84,13 @@ bch::ChienStage rtl_chien() {
   };
 }
 
-lac::Backend rtl_optimized_backend() {
-  lac::Backend backend = lac::Backend::optimized_with(rtl_mul_ter(), rtl_chien());
+hash::HashFn rtl_sha256(std::shared_ptr<rtl::Sha256Rtl> unit) {
+  return [unit](ByteView data) { return unit->hash_message(data); };
+}
+
+lac::Backend rtl_optimized_backend(DegradeReport* report) {
+  lac::Backend backend =
+      lac::Backend::optimized_with(rtl_mul_ter(), rtl_chien(), report);
   backend.name = "opt-rtl";
   return backend;
 }

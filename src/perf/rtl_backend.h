@@ -8,16 +8,32 @@
 // because the RTL latencies (n, 9/pass) equal the modeled constants.
 #pragma once
 
+#include <memory>
+
 #include "lac/backend.h"
+#include "rtl/chien_unit.h"
+#include "rtl/mul_ter.h"
+#include "rtl/sha256_core.h"
 
 namespace lacrv::perf {
 
-lac::Backend rtl_optimized_backend();
+/// Construction runs the accelerator self-test KATs; a failing unit is
+/// benched in favour of the modeled software implementation and recorded
+/// in `report` (null: silent degradation).
+lac::Backend rtl_optimized_backend(DegradeReport* report = nullptr);
 
 /// The MUL TER callable used by rtl_optimized_backend (exposed for tests
 /// and benches).
 poly::MulTer512 rtl_mul_ter();
 /// The Chien stage driving rtl::ChienRtl (exposed for tests and benches).
 bch::ChienStage rtl_chien();
+
+// Overloads on caller-owned units, so a harness can keep a handle to the
+// physical unit (e.g. to arm a fault::FaultPlan) while the backend drives
+// it through the same ISS conventions.
+poly::MulTer512 rtl_mul_ter(std::shared_ptr<rtl::MulTerRtl> unit);
+bch::ChienStage rtl_chien(std::shared_ptr<rtl::ChienRtl> unit);
+/// Functional one-shot hasher over rtl::Sha256Rtl, for Backend::with_hasher.
+hash::HashFn rtl_sha256(std::shared_ptr<rtl::Sha256Rtl> unit);
 
 }  // namespace lacrv::perf

@@ -104,8 +104,8 @@ class Assembler {
     u32 addr = base_;
     for (const Line& line : lines_) {
       for (const std::string& label : line.labels) {
-        LACRV_CHECK_MSG(!program_.labels.count(label),
-                        "duplicate label " + label);
+        if (program_.labels.count(label))
+          fail(line.number, "duplicate label " + label);
         program_.labels[label] = addr;
       }
       addr += static_cast<u32>(bytes_for(line));

@@ -20,6 +20,18 @@ constexpr u64 kCycDiv = 35;
 
 }  // namespace
 
+const char* trap_cause_name(TrapCause cause) {
+  switch (cause) {
+    case TrapCause::kNone: return "none";
+    case TrapCause::kInstructionFault: return "instruction access fault";
+    case TrapCause::kIllegalInstruction: return "illegal instruction";
+    case TrapCause::kLoadFault: return "load access fault";
+    case TrapCause::kStoreFault: return "store access fault";
+    case TrapCause::kPqUnit: return "pq-alu fault";
+  }
+  return "unknown";
+}
+
 Cpu::Cpu(std::size_t mem_bytes) : memory_(mem_bytes, 0) {}
 
 void Cpu::load_words(u32 addr, std::span<const u32> words) {
@@ -74,24 +86,122 @@ void Cpu::write_word(u32 addr, u32 value) {
   store_le32(&memory_[addr], value);
 }
 
+void Cpu::raise_trap(TrapCause cause, u32 mtval) {
+  trapped_ = true;
+  trap_cause_ = cause;
+  mepc_ = pc_;
+  mtval_ = mtval;
+}
+
+void Cpu::clear_trap() {
+  // mcause/mepc/mtval persist (like the real CSRs) so handler code can
+  // still read them after the acknowledge; only the pending flag clears.
+  trapped_ = false;
+}
+
+bool Cpu::mem_load(u32 addr, u32 size_log2, bool sign, u32* value) {
+  const auto rb = [&](u32 a, u8* out) {
+    if (a < memory_.size()) {
+      *out = memory_[a];
+      return true;
+    }
+    u32 v = 0;
+    if (mmio_ && mmio_(a, v, /*store=*/false)) {
+      *out = static_cast<u8>(v);
+      return true;
+    }
+    return false;
+  };
+  switch (size_log2) {
+    case 0: {
+      u8 b0 = 0;
+      if (!rb(addr, &b0)) return false;
+      *value = sign ? static_cast<u32>(static_cast<i32>(static_cast<i8>(b0)))
+                    : b0;
+      return true;
+    }
+    case 1: {
+      u8 b0 = 0, b1 = 0;
+      if (!rb(addr, &b0) || !rb(addr + 1, &b1)) return false;
+      const u32 h = static_cast<u32>(b0) | static_cast<u32>(b1) << 8;
+      *value = sign ? static_cast<u32>(static_cast<i32>(static_cast<i16>(h)))
+                    : h;
+      return true;
+    }
+    default: {
+      if (addr + 3 < memory_.size() && addr + 3 >= addr) {
+        *value = load_le32(&memory_[addr]);
+        return true;
+      }
+      u32 v = 0;
+      if (mmio_ && mmio_(addr, v, /*store=*/false)) {
+        *value = v;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+bool Cpu::mem_store(u32 addr, u32 size_log2, u32 value) {
+  const auto wb = [&](u32 a, u8 byte) {
+    if (a < memory_.size()) {
+      memory_[a] = byte;
+      return true;
+    }
+    u32 v = byte;
+    return mmio_ && mmio_(a, v, /*store=*/true);
+  };
+  switch (size_log2) {
+    case 0:
+      return wb(addr, static_cast<u8>(value));
+    case 1:
+      return wb(addr, static_cast<u8>(value)) &&
+             wb(addr + 1, static_cast<u8>(value >> 8));
+    default: {
+      if (addr + 3 < memory_.size() && addr + 3 >= addr) {
+        store_le32(&memory_[addr], value);
+        return true;
+      }
+      u32 v = value;
+      return mmio_ && mmio_(addr, v, /*store=*/true);
+    }
+  }
+}
+
 void Cpu::step() {
   LACRV_CHECK_MSG(!halted_, "step() after halt");
+  LACRV_CHECK_MSG(!trapped_, "step() with a pending trap");
   // RV32IMC: 16-bit parcels whose low bits are not 0b11 are compressed
   // and expand to their 32-bit equivalent (pc advances by 2).
-  const u32 low = read_byte(pc_) | static_cast<u32>(read_byte(pc_ + 1)) << 8;
-  if (is_compressed(low)) {
-    exec(expand_compressed(static_cast<u16>(low)), 2);
-  } else {
-    exec(read_word(pc_), 4);
+  u32 low = 0;
+  if (!mem_load(pc_, 1, /*sign=*/false, &low)) {
+    raise_trap(TrapCause::kInstructionFault, pc_);
+    return;
   }
-  ++instructions_;
+  u32 insn = 0, ilen = 4;
+  if (is_compressed(low)) {
+    try {
+      insn = expand_compressed(static_cast<u16>(low));
+    } catch (const CheckError&) {
+      raise_trap(TrapCause::kIllegalInstruction, low);
+      return;
+    }
+    ilen = 2;
+  } else if (!mem_load(pc_, 2, /*sign=*/false, &insn)) {
+    raise_trap(TrapCause::kInstructionFault, pc_);
+    return;
+  }
+  exec(insn, ilen);
+  // A faulting instruction does not retire.
+  if (!trapped_) ++instructions_;
 }
 
 u64 Cpu::run(u64 max_steps) {
   u64 steps = 0;
-  while (!halted_ && steps < max_steps) {
+  while (!halted_ && !trapped_ && steps < max_steps) {
     step();
-    ++steps;
+    if (!trapped_) ++steps;
   }
   return steps;
 }
@@ -136,7 +246,8 @@ void Cpu::exec(u32 insn, u32 ilen) {
         case 6: taken = a < b; break;
         case 7: taken = a >= b; break;
         default:
-          LACRV_CHECK_MSG(false, "illegal branch funct3");
+          raise_trap(TrapCause::kIllegalInstruction, insn);
+          return;
       }
       if (taken) next_pc = pc_ + static_cast<u32>(imm_b(insn));
       cycles_ += taken ? kCycBranchTaken : kCycBranchNotTaken;
@@ -145,17 +256,20 @@ void Cpu::exec(u32 insn, u32 ilen) {
     case kOpLoad: {
       const u32 addr = a + static_cast<u32>(imm_i(insn));
       u32 value = 0;
+      bool ok = false;
       switch (f3) {
-        case 0: value = static_cast<u32>(static_cast<i32>(
-                    static_cast<i8>(read_byte(addr)))); break;
-        case 1: value = static_cast<u32>(static_cast<i32>(static_cast<i16>(
-                    read_byte(addr) | read_byte(addr + 1) << 8))); break;
-        case 2: value = read_word(addr); break;
-        case 4: value = read_byte(addr); break;
-        case 5: value = static_cast<u32>(read_byte(addr) |
-                                         read_byte(addr + 1) << 8); break;
+        case 0: ok = mem_load(addr, 0, /*sign=*/true, &value); break;
+        case 1: ok = mem_load(addr, 1, /*sign=*/true, &value); break;
+        case 2: ok = mem_load(addr, 2, /*sign=*/false, &value); break;
+        case 4: ok = mem_load(addr, 0, /*sign=*/false, &value); break;
+        case 5: ok = mem_load(addr, 1, /*sign=*/false, &value); break;
         default:
-          LACRV_CHECK_MSG(false, "illegal load funct3");
+          raise_trap(TrapCause::kIllegalInstruction, insn);
+          return;
+      }
+      if (!ok) {
+        raise_trap(TrapCause::kLoadFault, addr);
+        return;
       }
       set_reg(rd, value);
       cycles_ += kCycLoad;
@@ -163,15 +277,18 @@ void Cpu::exec(u32 insn, u32 ilen) {
     }
     case kOpStore: {
       const u32 addr = a + static_cast<u32>(imm_s(insn));
+      bool ok = false;
       switch (f3) {
-        case 0: write_byte(addr, static_cast<u8>(b)); break;
-        case 1:
-          write_byte(addr, static_cast<u8>(b));
-          write_byte(addr + 1, static_cast<u8>(b >> 8));
-          break;
-        case 2: write_word(addr, b); break;
+        case 0: ok = mem_store(addr, 0, b); break;
+        case 1: ok = mem_store(addr, 1, b); break;
+        case 2: ok = mem_store(addr, 2, b); break;
         default:
-          LACRV_CHECK_MSG(false, "illegal store funct3");
+          raise_trap(TrapCause::kIllegalInstruction, insn);
+          return;
+      }
+      if (!ok) {
+        raise_trap(TrapCause::kStoreFault, addr);
+        return;
       }
       cycles_ += kCycStore;
       break;
@@ -251,7 +368,17 @@ void Cpu::exec(u32 insn, u32 ilen) {
       break;
     }
     case kOpPq: {
-      const PqAlu::Result result = pq_.execute(f3, a, b);
+      // The PQ-ALU reports protocol violations (undefined funct3, bad
+      // operand encodings, out-of-sequence unit use) as CheckError; at
+      // the core boundary those become a custom machine trap rather than
+      // a C++ exception escaping the guest.
+      PqAlu::Result result;
+      try {
+        result = pq_.execute(f3, a, b);
+      } catch (const CheckError&) {
+        raise_trap(TrapCause::kPqUnit, insn);
+        return;
+      }
       set_reg(rd, result.rd_value);
       cycles_ += cost::kPqIssue + result.stall_cycles;
       break;
@@ -266,11 +393,13 @@ void Cpu::exec(u32 insn, u32 ilen) {
         cycles_ += kCycAlu;
         break;
       }
-      // Zicsr subset: read-only performance counters, enough for
-      // rdcycle/rdinstret-style self-measurement (how the paper's
-      // numbers were taken on the FPGA).
-      LACRV_CHECK_MSG(f3 == 2 && rs1 == 0,
-                      "only csrrs rd, csr, x0 (csrr) is supported");
+      // Zicsr subset: read-only performance counters plus the machine
+      // trap registers, enough for rdcycle/rdinstret-style
+      // self-measurement and host trap inspection.
+      if (f3 != 2 || rs1 != 0) {  // only csrrs rd, csr, x0 (csrr)
+        raise_trap(TrapCause::kIllegalInstruction, insn);
+        return;
+      }
       const u32 csr = static_cast<u32>(imm_i(insn)) & 0xFFF;
       u32 value = 0;
       switch (csr) {
@@ -278,16 +407,20 @@ void Cpu::exec(u32 insn, u32 ilen) {
         case 0xC80: value = static_cast<u32>(cycles_ >> 32); break;  // cycleh
         case 0xC02: value = static_cast<u32>(instructions_); break;  // instret
         case 0xC82: value = static_cast<u32>(instructions_ >> 32); break;
+        case 0x341: value = mepc_; break;                            // mepc
+        case 0x342: value = static_cast<u32>(trap_cause_); break;    // mcause
+        case 0x343: value = mtval_; break;                           // mtval
         default:
-          LACRV_CHECK_MSG(false, "unimplemented CSR " + std::to_string(csr));
+          raise_trap(TrapCause::kIllegalInstruction, insn);
+          return;
       }
       set_reg(rd, value);
       cycles_ += kCycAlu;
       break;
     }
     default:
-      LACRV_CHECK_MSG(false, "illegal opcode " + std::to_string(op) +
-                                 " at pc " + std::to_string(pc_));
+      raise_trap(TrapCause::kIllegalInstruction, insn);
+      return;
   }
   pc_ = next_pc;
 }

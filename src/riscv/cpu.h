@@ -15,6 +15,20 @@
 
 namespace lacrv::rv {
 
+/// Machine trap causes (mcause encoding of the privileged spec, plus a
+/// custom cause for PQ-ALU protocol faults — causes >= 24 are designated
+/// for custom use).
+enum class TrapCause : u32 {
+  kNone = 0xFFFFFFFFu,       // sentinel: no trap pending
+  kInstructionFault = 1,      // fetch outside RAM / unclaimed MMIO
+  kIllegalInstruction = 2,
+  kLoadFault = 5,
+  kStoreFault = 7,
+  kPqUnit = 24,               // PQ-ALU rejected the operation (custom)
+};
+
+const char* trap_cause_name(TrapCause cause);
+
 class Cpu {
  public:
   explicit Cpu(std::size_t mem_bytes = 1 << 20);
@@ -35,13 +49,34 @@ class Cpu {
   void write_word(u32 addr, u32 value);
 
   // ---- execution -----------------------------------------------------------
-  /// Execute one instruction. Throws CheckError on illegal instructions
-  /// or memory faults.
+  /// Execute one instruction. Illegal instructions, memory faults and
+  /// PQ-ALU protocol violations do not throw: they raise a machine trap
+  /// (trapped() becomes true; mepc/mcause/mtval describe the fault) and
+  /// the faulting instruction does not retire. Calling step() while a
+  /// trap is pending is a host programming error (CheckError).
   void step();
-  /// Run until ebreak/ecall or the step limit; returns instructions
-  /// retired. halted() tells whether the program finished.
+  /// Run until ebreak/ecall, a trap, or the step limit; returns
+  /// instructions retired. halted() tells whether the program finished;
+  /// trapped() whether it died on a fault instead.
   u64 run(u64 max_steps = 100'000'000);
   bool halted() const { return halted_; }
+
+  // ---- trap state ----------------------------------------------------------
+  /// True iff execution stopped on an unhandled machine trap (there is no
+  /// OS model, so traps are terminal until the host clears them).
+  bool trapped() const { return trapped_; }
+  /// Cause of the pending (or, after clear_trap(), most recent) trap;
+  /// kNone if no trap was ever raised.
+  TrapCause trap_cause() const { return trap_cause_; }
+  /// PC of the faulting instruction (mepc semantics).
+  u32 mepc() const { return mepc_; }
+  /// Faulting address (memory faults) or instruction bits (illegal
+  /// instruction / PQ faults) — mtval semantics.
+  u32 mtval() const { return mtval_; }
+  /// Acknowledge the trap so the host can patch state and resume (the
+  /// moral equivalent of an mret from a host-provided handler). The pc is
+  /// left at mepc; set_pc() to skip or redirect.
+  void clear_trap();
 
   u64 cycles() const { return cycles_; }
   u64 instructions() const { return instructions_; }
@@ -57,11 +92,22 @@ class Cpu {
 
  private:
   void exec(u32 insn, u32 ilen);
+  void raise_trap(TrapCause cause, u32 mtval);
+
+  // Non-throwing memory paths for the execution pipeline (the public
+  // accessors keep LACRV_CHECK for host debugging). Return false on an
+  // access that neither RAM nor MMIO claims; the caller raises the trap.
+  bool mem_load(u32 addr, u32 size_log2, bool sign, u32* value);
+  bool mem_store(u32 addr, u32 size_log2, u32 value);
 
   std::vector<u8> memory_;
   std::array<u32, 32> regs_{};
   u32 pc_ = 0;
   bool halted_ = false;
+  bool trapped_ = false;
+  TrapCause trap_cause_ = TrapCause::kNone;
+  u32 mepc_ = 0;
+  u32 mtval_ = 0;
   u64 cycles_ = 0;
   u64 instructions_ = 0;
   PqAlu pq_;

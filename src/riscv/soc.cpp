@@ -38,10 +38,11 @@ void Soc::load_data(u32 addr, ByteView bytes) { cpu_.load_bytes(addr, bytes); }
 
 bool Soc::run(u64 max_steps) {
   u64 steps = 0;
-  while (!cpu_.halted() && !eoc_ && steps < max_steps) {
+  while (!cpu_.halted() && !cpu_.trapped() && !eoc_ && steps < max_steps) {
     cpu_.step();
     ++steps;
   }
+  // A trap is an abnormal stop: the program did not terminate.
   return cpu_.halted() || eoc_;
 }
 

@@ -6,18 +6,32 @@ namespace lacrv::rtl {
 
 u8 BarrettRtl::reduce(u32 x) {
   LACRV_CHECK_MSG(x < (1u << 16), "datapath width is 16 bits");
+  FaultEdit edit;
+  const bool faulted = fault_ && fault_->on_edge(operations_, &edit);
   ++operations_;
   // DSP #1: x * m with m = floor(2^16 / q) = 261.
   const u32 quotient_estimate = (x * 261u) >> 16;
   // DSP #2: quotient * q.
   u32 r = x - quotient_estimate * poly::kQ;
+  if (faulted && edit.kind == FaultKind::kCycleSkew)
+    return static_cast<u8>(r);  // correction stage skipped, raw readback
   // Correction stage (LUT logic): at most two conditional subtracts,
   // both always evaluated — constant time.
   const u32 ge1 = static_cast<u32>(-(static_cast<i32>(r >= poly::kQ)));
   r -= ge1 & poly::kQ;
   const u32 ge2 = static_cast<u32>(-(static_cast<i32>(r >= poly::kQ)));
   r -= ge2 & poly::kQ;
-  return static_cast<u8>(r);
+  u8 out = static_cast<u8>(r);
+  if (faulted) {
+    const u8 mask = static_cast<u8>(1u << (edit.bit % 8));
+    switch (edit.kind) {
+      case FaultKind::kBitFlip: out = static_cast<u8>(out ^ mask); break;
+      case FaultKind::kStuckAtZero: out = static_cast<u8>(out & ~mask); break;
+      case FaultKind::kStuckAtOne: out = static_cast<u8>(out | mask); break;
+      case FaultKind::kCycleSkew: break;  // handled above
+    }
+  }
+  return out;
 }
 
 AreaReport BarrettRtl::area() const {

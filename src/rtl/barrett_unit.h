@@ -6,6 +6,7 @@
 
 #include "poly/ring.h"
 #include "rtl/area.h"
+#include "rtl/fault_hook.h"
 
 namespace lacrv::rtl {
 
@@ -19,8 +20,15 @@ class BarrettRtl {
 
   AreaReport area() const;
 
+  /// Attach a fault hook (non-owning; null detaches); consulted once per
+  /// reduce() with the operation counter as the "cycle". Bit faults land
+  /// in the 8-bit result register; cycle-skew skips the correction stage
+  /// (the readback truncates the uncorrected remainder to 8 bits).
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+
  private:
   u64 operations_ = 0;
+  FaultHook* fault_ = nullptr;
 };
 
 }  // namespace lacrv::rtl

@@ -21,13 +21,38 @@ void ChienRtl::configure(std::span<const gf::Element> lambda, int first) {
     lanes_.push_back(lane);
   }
   cycles_ = 0;
+  points_ = 0;
 }
 
 gf::Element ChienRtl::eval_next() {
   LACRV_CHECK_MSG(!lanes_.empty(), "configure() first");
+  FaultEdit edit;
+  const bool faulted = fault_ && fault_->on_edge(points_++, &edit);
+  if (faulted && edit.kind != FaultKind::kCycleSkew) {
+    gf::Element& value = lanes_[edit.lane % lanes_.size()].value;
+    const gf::Element mask =
+        static_cast<gf::Element>(1u << (edit.bit % gf::kFieldBits));
+    switch (edit.kind) {
+      case FaultKind::kBitFlip:
+        value = static_cast<gf::Element>(value ^ mask);
+        break;
+      case FaultKind::kStuckAtZero:
+        value = static_cast<gf::Element>(value & ~mask);
+        break;
+      case FaultKind::kStuckAtOne:
+        value = static_cast<gf::Element>(value | mask);
+        break;
+      case FaultKind::kCycleSkew: break;
+    }
+  }
   // Combinational XOR tree over the lane registers plus lambda_0.
   gf::Element sum = lambda0_;
   for (const Lane& lane : lanes_) sum = gf::add(sum, lane.value);
+  if (faulted && edit.kind == FaultKind::kCycleSkew) {
+    // The advance edge is swallowed: the lanes keep their values, so the
+    // next point re-evaluates the same exponent (timing skew).
+    return sum;
+  }
 
   // Advance: groups of four lanes share the four multipliers; each group
   // pass costs the 9 shift-and-add cycles of MUL GF.

@@ -37,6 +37,15 @@ class ChienRtl {
 
   AreaReport area() const;
 
+  /// Attach a fault hook to the lane feedback registers (non-owning; null
+  /// detaches). Bit faults corrupt one lane's 9-bit value; cycle-skew
+  /// freezes the lane advance so the next point re-evaluates stale values.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  /// Attach a fault hook to the four shared GF multipliers.
+  void set_gf_fault_hook(FaultHook* hook) {
+    for (GfMulRtl& m : multipliers_) m.set_fault_hook(hook);
+  }
+
  private:
   struct Lane {
     gf::Element constant;  // alpha^k, first multiplier input
@@ -46,6 +55,8 @@ class ChienRtl {
   std::vector<Lane> lanes_;
   std::array<GfMulRtl, kParallelMultipliers> multipliers_{};
   u64 cycles_ = 0;
+  u64 points_ = 0;  // eval_next() invocations since configure()
+  FaultHook* fault_ = nullptr;
 };
 
 }  // namespace lacrv::rtl

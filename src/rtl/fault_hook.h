@@ -1,0 +1,46 @@
+// Thin fault-injection hook shared by all cycle-accurate accelerator
+// models. Each unit consults its (optional) hook once per clock edge and
+// applies the returned edit to its own register file — the unit knows its
+// register widths and value domains, the hook only decides *when* and
+// *where* a fault fires. A null hook is the fault-free fast path.
+//
+// The fault taxonomy matches docs/robustness.md:
+//   kBitFlip      — transient single-event upset: one register bit XORed
+//                   on exactly the edge the hook fires.
+//   kStuckAtZero/ — permanent defect: the targeted bit is forced to 0/1
+//   kStuckAtOne     on every edge the hook fires (hooks typically fire
+//                   these unconditionally).
+//   kCycleSkew    — clock/timing fault: the edge's state update is
+//                   swallowed (a serialised coefficient, b-bit or hash
+//                   round is dropped) while control state still advances.
+#pragma once
+
+#include "common/types.h"
+
+namespace lacrv::rtl {
+
+enum class FaultKind : u8 {
+  kBitFlip,
+  kStuckAtZero,
+  kStuckAtOne,
+  kCycleSkew,
+};
+
+struct FaultEdit {
+  FaultKind kind = FaultKind::kBitFlip;
+  /// Register lane index; units reduce it modulo their lane count.
+  u32 lane = 0;
+  /// Bit position within the lane; units reduce it modulo their width.
+  u32 bit = 0;
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  /// Consulted once per clock edge (or per operation for combinational
+  /// units). `cycle` is the unit's local cycle/operation counter. Returns
+  /// true iff a fault fires on this edge, filling *edit.
+  virtual bool on_edge(u64 cycle, FaultEdit* edit) = 0;
+};
+
+}  // namespace lacrv::rtl

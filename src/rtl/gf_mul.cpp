@@ -28,6 +28,13 @@ void GfMulRtl::start() {
 void GfMulRtl::tick() {
   ++cycles_;
   if (!busy_) return;
+  FaultEdit edit;
+  const bool faulted = fault_ && fault_->on_edge(cycles_, &edit);
+  if (faulted && edit.kind == FaultKind::kCycleSkew) {
+    // Swallowed edge: this b-bit never reaches the AND gates.
+    if (--bit_ < 0) busy_ = false;
+    return;
+  }
   // Shift left; the c_8 output feeds back into c_0 and c_4.
   const gf::Element feedback =
       static_cast<gf::Element>(-((c_ >> (gf::kFieldBits - 1)) & 1));
@@ -36,6 +43,20 @@ void GfMulRtl::tick() {
   // AND gates apply b_bit * a, XOR gates accumulate into the register.
   const gf::Element sel = static_cast<gf::Element>(-((b_ >> bit_) & 1));
   c_ = static_cast<gf::Element>(c_ ^ (sel & a_));
+  if (faulted) {
+    const gf::Element mask =
+        static_cast<gf::Element>(1u << (edit.bit % gf::kFieldBits));
+    switch (edit.kind) {
+      case FaultKind::kBitFlip: c_ = static_cast<gf::Element>(c_ ^ mask); break;
+      case FaultKind::kStuckAtZero:
+        c_ = static_cast<gf::Element>(c_ & ~mask);
+        break;
+      case FaultKind::kStuckAtOne:
+        c_ = static_cast<gf::Element>(c_ | mask);
+        break;
+      case FaultKind::kCycleSkew: break;  // handled above
+    }
+  }
   if (--bit_ < 0) busy_ = false;  // control unit deasserts en after 9 cycles
 }
 

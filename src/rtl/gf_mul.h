@@ -9,6 +9,7 @@
 
 #include "gf/gf512.h"
 #include "rtl/area.h"
+#include "rtl/fault_hook.h"
 
 namespace lacrv::rtl {
 
@@ -31,11 +32,16 @@ class GfMulRtl {
 
   static AreaReport area_single();
 
+  /// Attach a fault-injection hook (non-owning; null detaches). Bit faults
+  /// land in the 9-bit accumulator; cycle-skew drops one serialised b-bit.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+
  private:
   gf::Element a_ = 0, b_ = 0, c_ = 0;
   int bit_ = 0;  // next b bit index (counts down from 8)
   bool busy_ = false;
   u64 cycles_ = 0;
+  FaultHook* fault_ = nullptr;
 };
 
 }  // namespace lacrv::rtl

@@ -6,7 +6,8 @@
 
 namespace lacrv::rtl {
 
-MulTerRtl::MulTerRtl(std::size_t n) : n_(n), b_(n, 0), a_(n, 0), c_(n, 0) {
+MulTerRtl::MulTerRtl(std::size_t n)
+    : n_(n), b_(n, 0), a_(n, 0), c_(n, 0), scratch_(n, 0) {
   LACRV_CHECK(n > 0);
 }
 
@@ -44,8 +45,15 @@ void MulTerRtl::start(bool negacyclic) {
 void MulTerRtl::tick() {
   ++cycles_;
   if (!busy_) return;
+  FaultEdit edit;
+  const bool faulted = fault_ && fault_->on_edge(cycles_, &edit);
+  if (faulted && edit.kind == FaultKind::kCycleSkew) {
+    // The clock edge is swallowed: coefficient a_cntr never reaches the
+    // MAUs, but the control counter still advances.
+    if (++cntr_ == n_) busy_ = false;
+    return;
+  }
   const i8 ai = a_[cntr_];
-  std::vector<u8> next(n_);
   for (std::size_t j = 0; j < n_; ++j) {
     const std::size_t k = (j + 1) % n_;  // source register / b lane
     u8 v = c_[k];
@@ -54,9 +62,23 @@ void MulTerRtl::tick() {
       const bool subtract = (ai < 0) != negate;              // MAU mode
       v = subtract ? poly::sub_mod(v, b_[k]) : poly::add_mod(v, b_[k]);
     }
-    next[j] = v;
+    scratch_[j] = v;
   }
-  c_.swap(next);
+  c_.swap(scratch_);
+  if (faulted) {
+    u8& reg = c_[edit.lane % n_];
+    const u8 mask = static_cast<u8>(1u << (edit.bit % 8));
+    switch (edit.kind) {
+      case FaultKind::kBitFlip: reg = static_cast<u8>(reg ^ mask); break;
+      case FaultKind::kStuckAtZero: reg = static_cast<u8>(reg & ~mask); break;
+      case FaultKind::kStuckAtOne: reg = static_cast<u8>(reg | mask); break;
+      case FaultKind::kCycleSkew: break;  // handled above
+    }
+    // The MAU forwards every register through its mod-q correction stage,
+    // so an injected out-of-range value is re-normalised next edge; model
+    // that here to keep the Z_q invariant downstream code relies on.
+    reg = static_cast<u8>(reg % poly::kQ);
+  }
   if (++cntr_ == n_) busy_ = false;
 }
 

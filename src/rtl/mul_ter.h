@@ -19,6 +19,7 @@
 #include "common/types.h"
 #include "poly/ring.h"
 #include "rtl/area.h"
+#include "rtl/fault_hook.h"
 
 namespace lacrv::rtl {
 
@@ -55,6 +56,11 @@ class MulTerRtl {
   /// Total clock cycles ticked since construction/reset.
   u64 cycles() const { return cycles_; }
 
+  /// Attach a fault-injection hook (non-owning; null detaches). Bit faults
+  /// land in the result registers c and are re-normalised mod q by the
+  /// MAU correction stage; cycle-skew swallows one serialised coefficient.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+
   AreaReport area() const;
 
   /// Convenience wrapper with the golden-model signature: load, run,
@@ -67,10 +73,12 @@ class MulTerRtl {
   std::vector<u8> b_;
   std::vector<i8> a_;
   std::vector<u8> c_;
+  std::vector<u8> scratch_;  // next-state buffer reused across ticks
   std::size_t cntr_ = 0;
   bool negacyclic_ = false;
   bool busy_ = false;
   u64 cycles_ = 0;
+  FaultHook* fault_ = nullptr;
 };
 
 }  // namespace lacrv::rtl

@@ -46,6 +46,14 @@ void Sha256Rtl::start() {
 void Sha256Rtl::tick() {
   ++cycles_;
   if (!busy_) return;
+  FaultEdit edit;
+  const bool faulted = fault_ && fault_->on_edge(cycles_, &edit);
+  if (faulted && edit.kind == FaultKind::kCycleSkew && round_ < 64) {
+    // Swallowed edge: the round counter advances but the datapath does
+    // not compute — one compression round is dropped.
+    ++round_;
+    return;
+  }
   if (round_ < 64) {
     // One SHA-256 round per clock; the message schedule advances through
     // a 16-word rolling window in the same cycle.
@@ -70,6 +78,16 @@ void Sha256Rtl::tick() {
     for (int i = 7; i > 0; --i) working_[i] = working_[i - 1];
     working_[4] += t1;  // e <- (old) d + t1; the shift moved d into slot 4
     working_[0] = t1 + t2;
+    if (faulted && edit.kind != FaultKind::kCycleSkew) {
+      u32& reg = working_[edit.lane % working_.size()];
+      const u32 mask = 1u << (edit.bit % 32);
+      switch (edit.kind) {
+        case FaultKind::kBitFlip: reg ^= mask; break;
+        case FaultKind::kStuckAtZero: reg &= ~mask; break;
+        case FaultKind::kStuckAtOne: reg |= mask; break;
+        case FaultKind::kCycleSkew: break;
+      }
+    }
     ++round_;
   } else {
     // state-update cycle: H <- H + working

@@ -10,6 +10,7 @@
 
 #include "hash/sha256.h"
 #include "rtl/area.h"
+#include "rtl/fault_hook.h"
 
 namespace lacrv::rtl {
 
@@ -38,6 +39,10 @@ class Sha256Rtl {
   /// cycle counter reflecting every core cycle consumed.
   hash::Digest hash_message(ByteView message);
 
+  /// Attach a fault hook (non-owning; null detaches). Bit faults land in
+  /// the 32-bit working registers a..h; cycle-skew drops one round.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+
  private:
   std::array<u32, 8> state_{};
   std::array<u32, 8> working_{};
@@ -46,6 +51,7 @@ class Sha256Rtl {
   int round_ = 0;
   bool busy_ = false;
   u64 cycles_ = 0;
+  FaultHook* fault_ = nullptr;
 };
 
 }  // namespace lacrv::rtl

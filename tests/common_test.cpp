@@ -27,6 +27,32 @@ TEST(Hex, RejectsMalformed) {
   EXPECT_THROW(from_hex("zz"), std::invalid_argument);
 }
 
+// The diagnostics must name the problem: odd length vs. which character
+// was not a hex digit.
+TEST(Hex, MalformedInputDiagnostics) {
+  try {
+    from_hex("abc");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("odd length"), std::string::npos)
+        << e.what();
+  }
+  try {
+    from_hex("0g");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invalid hex digit"), std::string::npos) << what;
+    EXPECT_NE(what.find('g'), std::string::npos) << what;
+  }
+  // Characters adjacent to the accepted ranges must still be rejected.
+  EXPECT_THROW(from_hex("0/"), std::invalid_argument);  // '0' - 1
+  EXPECT_THROW(from_hex("0:"), std::invalid_argument);  // '9' + 1
+  EXPECT_THROW(from_hex("0`"), std::invalid_argument);  // 'a' - 1
+  EXPECT_THROW(from_hex("0G"), std::invalid_argument);  // 'F' + 1
+  EXPECT_THROW(from_hex(" 00"), std::invalid_argument);
+}
+
 TEST(CtEqual, Basics) {
   const Bytes a = {1, 2, 3};
   const Bytes b = {1, 2, 3};

@@ -75,10 +75,29 @@ TEST(NistApi, NullArgumentsRejected) {
   const Params& params = Params::lac128();
   const Backend backend = Backend::reference();
   Bytes buf(8192);
-  EXPECT_ANY_THROW(
-      crypto_kem_keypair(params, backend, nullptr, buf.data(), drbg(1)));
-  EXPECT_ANY_THROW(
-      crypto_kem_dec(params, backend, buf.data(), buf.data(), nullptr));
+  EXPECT_EQ(Status::kBadArgument,
+            crypto_kem_keypair(params, backend, nullptr, buf.data(), drbg(1)));
+  EXPECT_EQ(Status::kBadArgument,
+            crypto_kem_enc(params, backend, buf.data(), buf.data(), nullptr,
+                           drbg(2)));
+  EXPECT_EQ(Status::kBadArgument,
+            crypto_kem_dec(params, backend, buf.data(), buf.data(), nullptr));
+  // A null randombytes callable is also a bad argument, not a crash.
+  EXPECT_EQ(Status::kBadArgument,
+            crypto_kem_keypair(params, backend, buf.data(), buf.data(),
+                               RandomBytes()));
+}
+
+TEST(NistApi, MalformedSecretKeyRejected) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::reference();
+  const Sizes sz = sizes(params);
+  Bytes ct(sz.ciphertext), ss(sz.shared_secret);
+  // A secret key with an out-of-range ternary coefficient must surface as
+  // kBadArgument (typed), never as an uncaught exception.
+  Bytes sk(sz.secret_key, 0x7F);
+  EXPECT_EQ(Status::kBadArgument,
+            crypto_kem_dec(params, backend, ss.data(), ct.data(), sk.data()));
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "gf/gf512.h"
 #include "riscv/assembler.h"
@@ -156,6 +157,46 @@ TEST(Assembler, ErrorsAreDiagnosed) {
   EXPECT_ANY_THROW(assemble("x: nop\nx: nop"));     // duplicate label
 }
 
+namespace {
+// Returns the diagnostic raised by assembling `source`, or "" if it
+// unexpectedly succeeded.
+std::string assemble_error(const std::string& source) {
+  try {
+    assemble(source);
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  return "";
+}
+}  // namespace
+
+// Diagnostics must carry the (1-based) source line and name the offending
+// token, so a failing kernel build points straight at the bad statement.
+TEST(Assembler, ErrorMessagesNameLineAndToken) {
+  struct Case {
+    const char* source;
+    const char* expect_line;
+    const char* expect_token;
+  };
+  const Case cases[] = {
+      {"bogus a0, a1", "line 1", "unknown mnemonic 'bogus'"},
+      {"nop\naddi a0, a1, 5000", "line 2", "immediate 5000 out of range"},
+      {"lw a0, a1", "line 1", "expected imm(reg), got 'a1'"},
+      {"beq a0, a1, nowhere", "line 1", "unknown label 'nowhere'"},
+      {"x: nop\nnop\nx: nop", "line 3", "duplicate label x"},
+      {"addi q9, a1, 0", "line 1", "bad register 'q9'"},
+      {"addi a0, a1, zebra", "line 1", "unknown label 'zebra'"},
+  };
+  for (const Case& c : cases) {
+    const std::string what = assemble_error(c.source);
+    ASSERT_FALSE(what.empty()) << "assembled without error: " << c.source;
+    EXPECT_NE(what.find(c.expect_line), std::string::npos)
+        << c.source << " -> " << what;
+    EXPECT_NE(what.find(c.expect_token), std::string::npos)
+        << c.source << " -> " << what;
+  }
+}
+
 TEST(Cpu, ShiftAndCompareSemantics) {
   const Cpu cpu = run_program(R"(
     li   a0, -16
@@ -216,15 +257,66 @@ TEST(Cpu, CycleModelChargesTakenBranchesMore) {
   EXPECT_EQ(taken.cycles(), 2u + 100u + 99u * 3u + 1u + 1u);
 }
 
-TEST(Cpu, MemoryFaultsThrow) {
+TEST(Cpu, MemoryFaultsTrap) {
   Cpu cpu;
+  // The host accessor still throws (debugging convenience)...
   EXPECT_ANY_THROW(cpu.read_word(1u << 30));
   const Program prog = assemble(R"(
     li a0, 0x7fffffff
     lw a1, 0(a0)
   )");
   cpu.load_words(0, prog.words);
-  EXPECT_ANY_THROW(cpu.run());
+  // ...but guest execution raises a machine trap instead of a C++
+  // exception: run() stops with mcause/mepc/mtval describing the fault.
+  cpu.run();
+  EXPECT_FALSE(cpu.halted());
+  ASSERT_TRUE(cpu.trapped());
+  EXPECT_EQ(cpu.trap_cause(), TrapCause::kLoadFault);
+  EXPECT_EQ(cpu.mtval(), 0x7fffffffu);
+  EXPECT_EQ(cpu.mepc(), cpu.pc());  // pc left at the faulting lw
+  // The faulting instruction did not retire (li = 2 parcels).
+  EXPECT_EQ(cpu.instructions(), 2u);
+  // A trap is terminal until acknowledged; then the host may skip it.
+  EXPECT_ANY_THROW(cpu.step());
+  cpu.clear_trap();
+  EXPECT_FALSE(cpu.trapped());
+  // mcause persists after the acknowledge, like the hardware CSR.
+  EXPECT_EQ(cpu.trap_cause(), TrapCause::kLoadFault);
+}
+
+TEST(Cpu, IllegalOpcodeTraps) {
+  Cpu cpu;
+  cpu.load_words(0, std::array<u32, 1>{0x0000007Bu});  // unassigned opcode
+  cpu.run(4);
+  ASSERT_TRUE(cpu.trapped());
+  EXPECT_EQ(cpu.trap_cause(), TrapCause::kIllegalInstruction);
+  EXPECT_EQ(cpu.mtval(), 0x0000007Bu);
+  EXPECT_EQ(cpu.mepc(), 0u);
+}
+
+TEST(Cpu, TrapCsrsReadableAfterRecovery) {
+  // Fault on a wild store, have the host acknowledge and skip it, then
+  // read mcause/mepc/mtval from guest code via csrr.
+  Cpu cpu;
+  const Program prog = assemble(R"(
+    li t0, 0x40000000
+    sw t0, 0(t0)
+    csrr a0, 0x342   # mcause
+    csrr a1, 0x341   # mepc
+    csrr a2, 0x343   # mtval
+    ebreak
+  )");
+  cpu.load_words(0, prog.words);
+  cpu.run();
+  ASSERT_TRUE(cpu.trapped());
+  EXPECT_EQ(cpu.trap_cause(), TrapCause::kStoreFault);
+  cpu.clear_trap();
+  cpu.set_pc(cpu.mepc() + 4);  // host handler: skip the faulting store
+  cpu.run();
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.reg(10), static_cast<u32>(TrapCause::kStoreFault));
+  EXPECT_EQ(cpu.reg(11), 8u);            // mepc: the sw after the 2-word li
+  EXPECT_EQ(cpu.reg(12), 0x40000000u);   // mtval: faulting address
 }
 
 
@@ -245,11 +337,13 @@ TEST(Csr, RdcycleAndRdinstret) {
   EXPECT_GE(cpu.reg(19), cpu.reg(9)); // csrr 0xC00 == later rdcycle
 }
 
-TEST(Csr, UnknownCsrRejected) {
+TEST(Csr, UnknownCsrTraps) {
   const rv::Program prog = assemble("csrr a0, 0x345\nebreak");
   Cpu cpu;
   cpu.load_words(0, prog.words);
-  EXPECT_ANY_THROW(cpu.run(10));
+  cpu.run(10);
+  ASSERT_TRUE(cpu.trapped());
+  EXPECT_EQ(cpu.trap_cause(), TrapCause::kIllegalInstruction);
 }
 
 // ---- PQ instructions -------------------------------------------------------
@@ -400,6 +494,18 @@ TEST(PqInstructions, ChienComputeMatchesFieldArithmetic) {
       gf::add(gf::mul_table(c2, gf::mul_table(c2, v2)),
               gf::mul_table(c3, gf::mul_table(c3, v3))));
   EXPECT_EQ(cpu.reg(14), twice);
+}
+
+TEST(PqInstructions, UndefinedFunct3TrapsAsPqFault) {
+  // funct3 4..7 are unassigned in the pq opcode space: the ALU rejects
+  // them and the core converts that into the custom PQ-unit trap.
+  Cpu cpu;
+  const u32 insn = encode_r(kOpPq, 10, 7, 0, 0, 0);
+  cpu.load_words(0, std::array<u32, 1>{insn});
+  cpu.run(4);
+  ASSERT_TRUE(cpu.trapped());
+  EXPECT_EQ(cpu.trap_cause(), TrapCause::kPqUnit);
+  EXPECT_EQ(cpu.mtval(), insn);
 }
 
 TEST(PqAlu, AreaAggregatesAccelerators) {

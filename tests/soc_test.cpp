@@ -97,7 +97,10 @@ TEST(Soc, UnmappedPeripheralAddressFaults) {
       lw a0, 0(t0)
   )");
   soc.load(prog);
-  EXPECT_ANY_THROW(soc.run());
+  EXPECT_FALSE(soc.run());  // abnormal stop, not a termination
+  ASSERT_TRUE(soc.cpu().trapped());
+  EXPECT_EQ(soc.cpu().trap_cause(), TrapCause::kLoadFault);
+  EXPECT_EQ(soc.cpu().mtval(), 0x1A100040u);
 }
 
 TEST(Soc, StepLimitReported) {
