@@ -2,20 +2,141 @@
 // Decaps) and the four bottleneck kernels for LAC-128/192/256 on the
 // reference, constant-time-BCH and ISA-extension implementations, plus
 // the external baselines the paper quotes. Also prints the headline
-// speedups from the abstract (7.66 / 14.42 / 13.36).
+// speedups from the abstract (7.66 / 14.42 / 13.36) and a host
+// wall-clock throughput column measured through the concurrent
+// KemService (the cycle model says what the hardware would cost; the
+// service column says what this model sustains end to end).
+//
+//   table2_kem_cycles [--json]   # --json: machine-readable dump only
+#include <chrono>
+#include <cstring>
+#include <future>
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "common/rng.h"
 #include "perf/iss_kernels.h"
 #include "perf/tables.h"
+#include "service/service.h"
 
-int main() {
-  using namespace lacrv;
+namespace {
+
+using namespace lacrv;
+
+struct Throughput {
+  const char* level;
+  double encaps_ops_per_sec = 0.0;
+  double decaps_ops_per_sec = 0.0;
+};
+
+/// Wall-clock ops/sec through a KemService worker pool: one burst of
+/// concurrent encapsulations, then one of the paired decapsulations.
+Throughput service_throughput(const lac::Params& params, const char* level,
+                              std::size_t ops) {
+  service::ServiceConfig cfg;
+  cfg.params = &params;
+  cfg.workers = 4;
+  cfg.queue_capacity = ops + 8;
+  cfg.enable_prober = false;  // measure the pool, not the prober
+  service::KemService svc(cfg);
+
+  Throughput t;
+  t.level = level;
+  using clock = std::chrono::steady_clock;
+
+  std::vector<std::future<service::KemResponse>> futures;
+  futures.reserve(ops);
+  auto start = clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    hash::Seed entropy{};
+    entropy[0] = static_cast<u8>(i);
+    entropy[1] = static_cast<u8>(i >> 8);
+    futures.push_back(svc.submit(
+        {service::OpKind::kEncaps, entropy, {}, service::kNoDeadline}));
+  }
+  std::vector<lac::Ciphertext> cts;
+  cts.reserve(ops);
+  for (auto& f : futures) cts.push_back(f.get().encaps.ct);
+  double secs = std::chrono::duration<double>(clock::now() - start).count();
+  t.encaps_ops_per_sec = secs > 0 ? static_cast<double>(ops) / secs : 0;
+
+  futures.clear();
+  start = clock::now();
+  for (auto& ct : cts) {
+    service::KemRequest req;
+    req.op = service::OpKind::kDecaps;
+    req.ct = std::move(ct);
+    futures.push_back(svc.submit(std::move(req)));
+  }
+  for (auto& f : futures) (void)f.get();
+  secs = std::chrono::duration<double>(clock::now() - start).count();
+  t.decaps_ops_per_sec = secs > 0 ? static_cast<double>(ops) / secs : 0;
+  return t;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s)
+    if (c == '"' || c == '\\')
+      (out += '\\') += c;
+    else
+      out += c;
+  return out;
+}
+
+/// Machine-readable dump of everything this binary measures: the Table
+/// II rows, the headline speedups and the service throughput column.
+void print_json(std::ostream& os, const std::vector<perf::Table2Row>& rows,
+                const perf::Speedups& s,
+                const std::vector<Throughput>& throughput) {
+  os << "{\n  \"table2\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const perf::Table2Row& r = rows[i];
+    os << "    {\"scheme\": \"" << json_escape(r.scheme) << "\", \"device\": \""
+       << json_escape(r.device) << "\", \"security\": \""
+       << json_escape(r.security) << "\", \"keygen\": " << r.keygen
+       << ", \"encaps\": " << r.encaps << ", \"decaps\": " << r.decaps
+       << ", \"gen_a\": " << r.gen_a << ", \"sample_poly\": " << r.sample_poly
+       << ", \"mult\": " << r.mult << ", \"bch_dec\": " << r.bch_dec
+       << ", \"external\": " << (r.external ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"headline_speedups\": {\"lac128\": " << s.lac128
+     << ", \"lac192\": " << s.lac192 << ", \"lac256\": " << s.lac256
+     << "},\n  \"service_throughput\": [\n";
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    os << "    {\"level\": \"" << throughput[i].level
+       << "\", \"encaps_ops_per_sec\": " << throughput[i].encaps_ops_per_sec
+       << ", \"decaps_ops_per_sec\": " << throughput[i].decaps_ops_per_sec
+       << "}" << (i + 1 < throughput.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
   const auto rows = perf::table2();
+  const perf::Speedups s = perf::headline_speedups(rows);
+
+  constexpr std::size_t kThroughputOps = 32;
+  std::vector<Throughput> throughput;
+  throughput.push_back(
+      service_throughput(lac::Params::lac128(), "LAC-128", kThroughputOps));
+  throughput.push_back(
+      service_throughput(lac::Params::lac192(), "LAC-192", kThroughputOps));
+  throughput.push_back(
+      service_throughput(lac::Params::lac256(), "LAC-256", kThroughputOps));
+
+  if (json) {
+    print_json(std::cout, rows, s, throughput);
+    return 0;
+  }
+
   perf::print_table2(std::cout, rows);
 
-  const perf::Speedups s = perf::headline_speedups(rows);
   std::cout << "\nHeadline speedups (opt vs unprotected reference, "
                "KeyGen+Encaps+Decaps):\n"
             << std::fixed << std::setprecision(2)
@@ -71,5 +192,15 @@ int main() {
               << "  n=1024: " << m1024.cycles
               << " cycles (model 146,112; paper 151,354)\n";
   }
+  // Host wall-clock throughput through the concurrent KemService (4
+  // workers, modeled accelerator rigs). Not a paper number — it sizes
+  // what this repository's model sustains as a running service.
+  std::cout << "\nService throughput (wall-clock, 4 workers, "
+            << kThroughputOps << " concurrent ops/burst):\n"
+            << std::fixed << std::setprecision(1);
+  for (const Throughput& t : throughput)
+    std::cout << "  " << t.level << ": encaps " << t.encaps_ops_per_sec
+              << " ops/s, decaps " << t.decaps_ops_per_sec << " ops/s\n";
+  std::cout << "(run with --json for a machine-readable dump)\n";
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <random>
 
+#include "common/status.h"
 #include "lac/kem.h"
 
 namespace {
@@ -65,12 +66,16 @@ int encaps(const lac::Params& params, const std::string& pubfile,
            const std::string& ctfile) {
   const lac::Backend backend = lac::Backend::optimized();
   const lac::PublicKey pk = lac::deserialize_pk(params, read_file(pubfile));
-  const lac::EncapsResult result =
-      lac::encapsulate(params, backend, pk, os_entropy());
-  write_file(ctfile, lac::serialize(params, result.ct));
+  const lac::EncapsOutcome out =
+      lac::encapsulate_checked(params, backend, pk, os_entropy());
+  print_status(std::cout, "keytool", out.status, out.detail);
+  if (out.status != Status::kOk) return 1;
+  write_file(ctfile, lac::serialize(params, out.result.ct));
   std::cout << "ciphertext: " << ctfile << " (" << params.ct_bytes()
             << " bytes)\nshared key: "
-            << to_hex(ByteView(result.key.data(), result.key.size())) << "\n";
+            << to_hex(
+                   ByteView(out.result.key.data(), out.result.key.size()))
+            << "\n";
   return 0;
 }
 
@@ -80,9 +85,14 @@ int decaps(const lac::Params& params, const std::string& keyfile,
   const lac::KemKeyPair keys =
       lac::deserialize_kem_sk(params, read_file(keyfile));
   const lac::Ciphertext ct = lac::deserialize_ct(params, read_file(ctfile));
-  const lac::SharedKey key = lac::decapsulate(params, backend, keys, ct);
-  std::cout << "shared key: " << to_hex(ByteView(key.data(), key.size()))
-            << "\n";
+  // The checked entry point makes the verdict visible on the CLI; the
+  // printed key is still always usable (implicit rejection on non-kOk),
+  // exactly as the FO transform prescribes.
+  const lac::DecapsOutcome out =
+      lac::decapsulate_checked(params, backend, keys, ct);
+  print_status(std::cout, "keytool", out.status, out.detail);
+  std::cout << "shared key: "
+            << to_hex(ByteView(out.key.data(), out.key.size())) << "\n";
   return 0;
 }
 
@@ -111,7 +121,8 @@ int main(int argc, char** argv) {
     std::cerr << "usage: lac_keytool keygen|encaps|decaps <level> <a> <b>\n";
     return 2;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    lacrv::print_status(std::cerr, "keytool", lacrv::Status::kBadArgument,
+                        e.what());
     return 1;
   }
 }

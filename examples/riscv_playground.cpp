@@ -12,6 +12,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/status.h"
 #include "riscv/assembler.h"
 #include "riscv/cpu.h"
 #include "riscv/encoding.h"
@@ -57,7 +58,8 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     std::ifstream file(argv[1]);
     if (!file) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+      print_status(std::cerr, "riscv-playground", Status::kBadArgument,
+                   std::string("cannot open ") + argv[1]);
       return 1;
     }
     std::stringstream buffer;
@@ -73,7 +75,8 @@ int main(int argc, char** argv) {
   try {
     program = rv::assemble(source);
   } catch (const std::exception& e) {
-    std::cerr << "assembly error: " << e.what() << "\n";
+    print_status(std::cerr, "riscv-playground", Status::kBadArgument,
+                 std::string("assembly error: ") + e.what());
     return 1;
   }
   std::cout << "assembled " << program.words.size() << " words";
@@ -92,10 +95,12 @@ int main(int argc, char** argv) {
   cpu.load_words(0, program.words);
   cpu.run(50'000'000);
   if (cpu.trapped()) {
-    std::cerr << "trap: " << rv::trap_cause_name(cpu.trap_cause())
-              << " at pc=0x" << std::hex << cpu.mepc() << " (mtval=0x"
-              << cpu.mtval() << std::dec << ") after " << cpu.instructions()
-              << " instructions\n";
+    std::ostringstream what;
+    what << "trap: " << rv::trap_cause_name(cpu.trap_cause()) << " at pc=0x"
+         << std::hex << cpu.mepc() << " (mtval=0x" << cpu.mtval() << std::dec
+         << ") after " << cpu.instructions() << " instructions";
+    print_status(std::cerr, "riscv-playground", Status::kInternalError,
+                 what.str());
     return 1;
   }
   std::cout << "\n" << (cpu.halted() ? "halted" : "step limit reached")

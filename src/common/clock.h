@@ -1,0 +1,102 @@
+// Injectable monotonic time authority for the service layer.
+//
+// Everything deadline- or backoff-shaped in src/service/ asks a Clock
+// for "now" and for "wait until", never std::chrono directly, so the
+// deadline/backoff/breaker tests can run on a ManualClock where waiting
+// is free and time only moves when the test (or a virtual sleep) says so
+// — no real sleeps, no flaky timing assertions. This is the wall-clock
+// sibling of the CycleLedger: the ledger counts modeled hardware cycles,
+// the Clock orders service events.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/types.h"
+
+namespace lacrv {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds since an arbitrary epoch.
+  virtual u64 now_micros() = 0;
+
+  /// Block until now_micros() >= deadline_micros or *cancel becomes true
+  /// (cancel may be null). A ManualClock returns immediately, advancing
+  /// virtual time instead of waiting.
+  virtual void sleep_until(u64 deadline_micros,
+                           const std::atomic<bool>* cancel = nullptr) = 0;
+
+  void sleep_for(u64 micros, const std::atomic<bool>* cancel = nullptr) {
+    sleep_until(now_micros() + micros, cancel);
+  }
+};
+
+/// std::chrono::steady_clock, sliced into short real sleeps so a cancel
+/// flag (service shutdown) is honoured within ~1ms.
+class RealClock final : public Clock {
+ public:
+  u64 now_micros() override {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+  }
+
+  void sleep_until(u64 deadline_micros,
+                   const std::atomic<bool>* cancel = nullptr) override {
+    constexpr u64 kSliceMicros = 1000;
+    for (;;) {
+      if (cancel && cancel->load(std::memory_order_acquire)) return;
+      const u64 now = now_micros();
+      if (now >= deadline_micros) return;
+      const u64 wait = std::min(deadline_micros - now, kSliceMicros);
+      std::this_thread::sleep_for(std::chrono::microseconds(wait));
+    }
+  }
+
+  /// Process-wide instance for services constructed without an injected
+  /// clock.
+  static RealClock& instance() {
+    static RealClock clock;
+    return clock;
+  }
+};
+
+/// Virtual time for deterministic tests. sleep_until() never blocks: it
+/// advances the virtual now to the requested deadline, so retry backoff
+/// and prober cadence consume virtual time only. advance() lets a test
+/// expire a queued request's deadline from the outside.
+class ManualClock final : public Clock {
+ public:
+  /// Start well past zero so a deadline of 0 ("already expired") is in
+  /// the past from the first tick.
+  explicit ManualClock(u64 start_micros = 1'000'000)
+      : now_(start_micros) {}
+
+  u64 now_micros() override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void sleep_until(u64 deadline_micros,
+                   const std::atomic<bool>* /*cancel*/ = nullptr) override {
+    // Monotonic ratchet: concurrent sleepers only ever move time forward.
+    u64 now = now_.load(std::memory_order_acquire);
+    while (now < deadline_micros &&
+           !now_.compare_exchange_weak(now, deadline_micros,
+                                       std::memory_order_acq_rel)) {
+    }
+  }
+
+  void advance(u64 micros) {
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<u64> now_;
+};
+
+}  // namespace lacrv

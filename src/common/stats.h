@@ -1,10 +1,14 @@
 // Small statistics helpers for the leakage-assessment tests (the
 // Welch t-test methodology of the TVLA-style evaluation Walters & Roy
-// [15] ran on their constant-time decoder) and for the noise-profile
-// experiment.
+// [15] ran on their constant-time decoder), the noise-profile
+// experiment, and the service layer's latency accounting.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -40,5 +44,63 @@ inline double welch_t(const std::vector<double>& a,
 }
 
 inline constexpr double kTvlaThreshold = 4.5;
+
+/// Lock-free log2-bucketed histogram for per-operation latencies
+/// (micros) in the concurrent KEM service. Bucket i counts samples in
+/// [2^i, 2^(i+1)); percentile() reports the upper bound of the bucket
+/// the requested rank lands in, which is the right fidelity for "p99
+/// under 2ms"-style service objectives.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void record(u64 micros) {
+    int b = 0;
+    while ((u64{1} << (b + 1)) <= micros && b + 1 < kBuckets - 1) ++b;
+    if (micros == 0) b = 0;
+    buckets_[static_cast<std::size_t>(b)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+
+  double mean_micros() const {
+    const u64 n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  /// Upper bound of the bucket holding the p-th percentile sample
+  /// (0 < p <= 100). Returns 0 on an empty histogram.
+  u64 percentile_micros(double p) const {
+    const u64 n = count();
+    if (n == 0) return 0;
+    const u64 rank = static_cast<u64>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    u64 seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets_[static_cast<std::size_t>(b)].load(
+          std::memory_order_relaxed);
+      if (seen >= rank) return u64{1} << (b + 1);
+    }
+    return u64{1} << kBuckets;
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << count() << " samples | mean " << static_cast<u64>(mean_micros())
+       << "us | p50 " << percentile_micros(50) << "us | p99 "
+       << percentile_micros(99) << "us";
+    return os.str();
+  }
+
+ private:
+  std::array<std::atomic<u64>, kBuckets> buckets_{};
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+};
 
 }  // namespace lacrv::stats

@@ -6,6 +6,7 @@
 // CheckError remains reserved for caller bugs (violated preconditions).
 #pragma once
 
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +29,15 @@ enum class Status {
   /// An unexpected internal invariant failure was contained at the API
   /// boundary instead of propagating as an exception.
   kInternalError,
+  /// The service's bounded submission queue was full — backpressure, not
+  /// failure: the request was never executed and may be resubmitted.
+  kOverloaded,
+  /// The request's deadline expired before (or between) execution
+  /// attempts; the work was shed without completing.
+  kDeadlineExceeded,
+  /// The service (or an accelerator unit) is not currently serving:
+  /// shutdown drained the request, or a circuit breaker is open.
+  kUnavailable,
 };
 
 const char* status_name(Status s);
@@ -72,8 +82,21 @@ inline const char* status_name(Status s) {
     case Status::kSelfTestFailure: return "self-test-failure";
     case Status::kBadArgument: return "bad-argument";
     case Status::kInternalError: return "internal-error";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kUnavailable: return "unavailable";
   }
   return "unknown";
+}
+
+/// Uniform status line for the CLI surfaces (keytool, playground,
+/// kem_server): `[component] status-name: detail`. Keeping every binary
+/// on one formatter means operators can grep one pattern across logs.
+inline void print_status(std::ostream& os, const char* component, Status s,
+                         const std::string& detail = {}) {
+  os << "[" << component << "] " << status_name(s);
+  if (!detail.empty()) os << ": " << detail;
+  os << "\n";
 }
 
 inline std::string DegradeReport::to_string() const {

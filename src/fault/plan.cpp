@@ -53,7 +53,7 @@ rtl::FaultHook* FaultPlan::hook(Unit unit) {
 }
 
 bool FaultPlan::UnitHook::on_edge(u64 /*cycle*/, rtl::FaultEdit* edit) {
-  const u64 e = edges_++;
+  const u64 e = edges_.fetch_add(1, std::memory_order_relaxed);
   for (const Fault& f : plan_->faults_) {
     if (f.unit != unit_) continue;
     const bool stuck = f.kind == FaultKind::kStuckAtZero ||

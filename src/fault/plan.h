@@ -11,9 +11,19 @@
 //
 // Byte-level faults (kCiphertext / kSecretKey / kPublicKey) model
 // tampering at the KEM wire boundary and are applied with tamper().
+//
+// Thread safety: arming and disarming go through the units' atomic
+// FaultHookSlot, so a plan may be attached to or cleared from a *live*
+// multi-threaded service (src/service/) while operations are in flight.
+// The per-unit edge counters are atomic; when one plan is armed on
+// several unit instances (one per worker), the counter interleaves
+// across them and a transient fires once, on whichever instance reaches
+// the drawn edge first. add() is NOT safe while the plan is armed —
+// finish building the fault list first.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -99,6 +109,18 @@ class FaultPlan {
   void arm(rtl::Sha256Rtl& u) { u.set_fault_hook(hook(Unit::kSha256)); }
   void arm(rtl::BarrettRtl& u) { u.set_fault_hook(hook(Unit::kBarrett)); }
 
+  /// Detach any plan's hooks from a unit (safe while the unit is mid-
+  /// operation on another thread — the current edge completes with
+  /// whichever hook it loaded).
+  static void disarm(rtl::MulTerRtl& u) { u.set_fault_hook(nullptr); }
+  static void disarm(rtl::GfMulRtl& u) { u.set_fault_hook(nullptr); }
+  static void disarm(rtl::ChienRtl& u) {
+    u.set_fault_hook(nullptr);
+    u.set_gf_fault_hook(nullptr);
+  }
+  static void disarm(rtl::Sha256Rtl& u) { u.set_fault_hook(nullptr); }
+  static void disarm(rtl::BarrettRtl& u) { u.set_fault_hook(nullptr); }
+
   /// Apply every byte-level fault targeting `boundary` to `bytes` (bit
   /// `bit` of byte `lane % size`). No-op for plans without such faults.
   void tamper(Unit boundary, Bytes& bytes) const;
@@ -115,7 +137,9 @@ class FaultPlan {
    private:
     FaultPlan* plan_ = nullptr;
     Unit unit_ = Unit::kMulTer;
-    u64 edges_ = 0;  // edges observed so far (monotonic across resets)
+    /// Edges observed so far (monotonic across resets, shared across all
+    /// unit instances this hook is armed on — hence atomic).
+    std::atomic<u64> edges_{0};
   };
 
   void bind_hooks();

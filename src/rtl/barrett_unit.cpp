@@ -7,7 +7,7 @@ namespace lacrv::rtl {
 u8 BarrettRtl::reduce(u32 x) {
   LACRV_CHECK_MSG(x < (1u << 16), "datapath width is 16 bits");
   FaultEdit edit;
-  const bool faulted = fault_ && fault_->on_edge(operations_, &edit);
+  const bool faulted = fault_.consult(operations_, &edit);
   ++operations_;
   // DSP #1: x * m with m = floor(2^16 / q) = 261.
   const u32 quotient_estimate = (x * 261u) >> 16;

@@ -24,11 +24,11 @@ class BarrettRtl {
   /// reduce() with the operation counter as the "cycle". Bit faults land
   /// in the 8-bit result register; cycle-skew skips the correction stage
   /// (the readback truncates the uncorrected remainder to 8 bits).
-  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  void set_fault_hook(FaultHook* hook) { fault_.set(hook); }
 
  private:
   u64 operations_ = 0;
-  FaultHook* fault_ = nullptr;
+  FaultHookSlot fault_;
 };
 
 }  // namespace lacrv::rtl

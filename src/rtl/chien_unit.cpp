@@ -27,7 +27,7 @@ void ChienRtl::configure(std::span<const gf::Element> lambda, int first) {
 gf::Element ChienRtl::eval_next() {
   LACRV_CHECK_MSG(!lanes_.empty(), "configure() first");
   FaultEdit edit;
-  const bool faulted = fault_ && fault_->on_edge(points_++, &edit);
+  const bool faulted = fault_.consult(points_++, &edit);
   if (faulted && edit.kind != FaultKind::kCycleSkew) {
     gf::Element& value = lanes_[edit.lane % lanes_.size()].value;
     const gf::Element mask =

@@ -40,7 +40,7 @@ class ChienRtl {
   /// Attach a fault hook to the lane feedback registers (non-owning; null
   /// detaches). Bit faults corrupt one lane's 9-bit value; cycle-skew
   /// freezes the lane advance so the next point re-evaluates stale values.
-  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  void set_fault_hook(FaultHook* hook) { fault_.set(hook); }
   /// Attach a fault hook to the four shared GF multipliers.
   void set_gf_fault_hook(FaultHook* hook) {
     for (GfMulRtl& m : multipliers_) m.set_fault_hook(hook);
@@ -56,7 +56,7 @@ class ChienRtl {
   std::array<GfMulRtl, kParallelMultipliers> multipliers_{};
   u64 cycles_ = 0;
   u64 points_ = 0;  // eval_next() invocations since configure()
-  FaultHook* fault_ = nullptr;
+  FaultHookSlot fault_;
 };
 
 }  // namespace lacrv::rtl

@@ -15,6 +15,8 @@
 //                   round is dropped) while control state still advances.
 #pragma once
 
+#include <atomic>
+
 #include "common/types.h"
 
 namespace lacrv::rtl {
@@ -39,8 +41,42 @@ class FaultHook {
   virtual ~FaultHook() = default;
   /// Consulted once per clock edge (or per operation for combinational
   /// units). `cycle` is the unit's local cycle/operation counter. Returns
-  /// true iff a fault fires on this edge, filling *edit.
+  /// true iff a fault fires on this edge, filling *edit. Implementations
+  /// must be safe to call from several units on different threads when
+  /// the same hook is armed on more than one unit instance (the live-
+  /// service campaign case).
   virtual bool on_edge(u64 cycle, FaultEdit* edit) = 0;
+};
+
+/// Atomic hook attachment point held by every RTL unit. A fault campaign
+/// may arm or clear a plan while worker threads are mid-operation on the
+/// unit (the KemService chaos path), so installation is a release store
+/// and every per-edge consult is an acquire load — a unit observes either
+/// the old hook, the new hook, or none, never a torn pointer. The null
+/// slot stays the fault-free fast path.
+class FaultHookSlot {
+ public:
+  FaultHookSlot() = default;
+  // Copying a unit copies the current attachment (atomics are not
+  // copyable by default; the slot's value semantics are just a pointer).
+  FaultHookSlot(const FaultHookSlot& other) : hook_(other.get()) {}
+  FaultHookSlot& operator=(const FaultHookSlot& other) {
+    set(other.get());
+    return *this;
+  }
+
+  void set(FaultHook* hook) { hook_.store(hook, std::memory_order_release); }
+  FaultHook* get() const { return hook_.load(std::memory_order_acquire); }
+
+  /// One edge: returns true iff a hook is installed and fires, filling
+  /// *edit.
+  bool consult(u64 cycle, FaultEdit* edit) const {
+    FaultHook* hook = hook_.load(std::memory_order_acquire);
+    return hook != nullptr && hook->on_edge(cycle, edit);
+  }
+
+ private:
+  std::atomic<FaultHook*> hook_{nullptr};
 };
 
 }  // namespace lacrv::rtl

@@ -29,7 +29,7 @@ void GfMulRtl::tick() {
   ++cycles_;
   if (!busy_) return;
   FaultEdit edit;
-  const bool faulted = fault_ && fault_->on_edge(cycles_, &edit);
+  const bool faulted = fault_.consult(cycles_, &edit);
   if (faulted && edit.kind == FaultKind::kCycleSkew) {
     // Swallowed edge: this b-bit never reaches the AND gates.
     if (--bit_ < 0) busy_ = false;

@@ -34,14 +34,14 @@ class GfMulRtl {
 
   /// Attach a fault-injection hook (non-owning; null detaches). Bit faults
   /// land in the 9-bit accumulator; cycle-skew drops one serialised b-bit.
-  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  void set_fault_hook(FaultHook* hook) { fault_.set(hook); }
 
  private:
   gf::Element a_ = 0, b_ = 0, c_ = 0;
   int bit_ = 0;  // next b bit index (counts down from 8)
   bool busy_ = false;
   u64 cycles_ = 0;
-  FaultHook* fault_ = nullptr;
+  FaultHookSlot fault_;
 };
 
 }  // namespace lacrv::rtl

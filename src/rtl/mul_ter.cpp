@@ -46,7 +46,7 @@ void MulTerRtl::tick() {
   ++cycles_;
   if (!busy_) return;
   FaultEdit edit;
-  const bool faulted = fault_ && fault_->on_edge(cycles_, &edit);
+  const bool faulted = fault_.consult(cycles_, &edit);
   if (faulted && edit.kind == FaultKind::kCycleSkew) {
     // The clock edge is swallowed: coefficient a_cntr never reaches the
     // MAUs, but the control counter still advances.

@@ -59,7 +59,7 @@ class MulTerRtl {
   /// Attach a fault-injection hook (non-owning; null detaches). Bit faults
   /// land in the result registers c and are re-normalised mod q by the
   /// MAU correction stage; cycle-skew swallows one serialised coefficient.
-  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  void set_fault_hook(FaultHook* hook) { fault_.set(hook); }
 
   AreaReport area() const;
 
@@ -78,7 +78,7 @@ class MulTerRtl {
   bool negacyclic_ = false;
   bool busy_ = false;
   u64 cycles_ = 0;
-  FaultHook* fault_ = nullptr;
+  FaultHookSlot fault_;
 };
 
 }  // namespace lacrv::rtl

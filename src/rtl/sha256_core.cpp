@@ -47,7 +47,7 @@ void Sha256Rtl::tick() {
   ++cycles_;
   if (!busy_) return;
   FaultEdit edit;
-  const bool faulted = fault_ && fault_->on_edge(cycles_, &edit);
+  const bool faulted = fault_.consult(cycles_, &edit);
   if (faulted && edit.kind == FaultKind::kCycleSkew && round_ < 64) {
     // Swallowed edge: the round counter advances but the datapath does
     // not compute — one compression round is dropped.

@@ -41,7 +41,7 @@ class Sha256Rtl {
 
   /// Attach a fault hook (non-owning; null detaches). Bit faults land in
   /// the 32-bit working registers a..h; cycle-skew drops one round.
-  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  void set_fault_hook(FaultHook* hook) { fault_.set(hook); }
 
  private:
   std::array<u32, 8> state_{};
@@ -51,7 +51,7 @@ class Sha256Rtl {
   int round_ = 0;
   bool busy_ = false;
   u64 cycles_ = 0;
-  FaultHook* fault_ = nullptr;
+  FaultHookSlot fault_;
 };
 
 }  // namespace lacrv::rtl

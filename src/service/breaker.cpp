@@ -1,0 +1,98 @@
+#include "service/breaker.h"
+
+#include <sstream>
+
+namespace lacrv::service {
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::allow() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ != BreakerState::kOpen;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+void CircuitBreaker::transition_locked(BreakerState to,
+                                       const std::string& detail) {
+  const BreakerState from = state_;
+  if (from == to) return;
+  state_ = to;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  if (on_transition_) on_transition_(unit_, from, to, detail);
+}
+
+void CircuitBreaker::record_failure(const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= policy_.failure_threshold) {
+        std::ostringstream os;
+        os << "tripped after " << consecutive_failures_
+           << " consecutive failures (" << detail
+           << "); traffic rerouted to software fallback";
+        transition_locked(BreakerState::kOpen, os.str());
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // The recovery trial failed — a new (or still-present) fault raced
+      // the half-open window. Back to open; only a fresh probe pass
+      // re-opens the trial.
+      transition_locked(BreakerState::kOpen,
+                        "half-open trial failed (" + detail + ")");
+      break;
+    case BreakerState::kOpen:
+      break;  // already rerouted
+  }
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++half_open_successes_ >= policy_.half_open_successes)
+        transition_locked(BreakerState::kClosed,
+                          "recovered; accelerator traffic restored");
+      break;
+    case BreakerState::kOpen:
+      break;  // fallback successes say nothing about the unit
+  }
+}
+
+void CircuitBreaker::probe_passed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kOpen:
+      transition_locked(BreakerState::kHalfOpen,
+                        "health probe KAT passed; trialing accelerator");
+      break;
+    case BreakerState::kHalfOpen:
+      if (++half_open_successes_ >= policy_.half_open_successes)
+        transition_locked(BreakerState::kClosed,
+                          "recovered; accelerator traffic restored");
+      break;
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+  }
+}
+
+void CircuitBreaker::probe_failed(const std::string& detail) {
+  record_failure("probe: " + detail);
+}
+
+}  // namespace lacrv::service

@@ -1,0 +1,95 @@
+// Per-accelerator-unit circuit breaker.
+//
+// State machine (docs/robustness.md, "Runtime resilience"):
+//
+//   closed ──(consecutive failures >= threshold)──> open
+//   open ──(health probe KAT passes)──> half-open
+//   half-open ──(successes >= half_open_successes)──> closed
+//   half-open ──(any failure)──> open
+//
+// While the breaker is not closed-or-half-open, allow() is false and the
+// switched backend callables route the unit's traffic to the modeled
+// software fallback — the degradation ladder's construction-time
+// benching, re-applied at runtime and reversible. Transitions are
+// reported through a callback so the service can append them to its
+// DegradeReport and bump trip/recovery counters atomically with the
+// state change.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lacrv::service {
+
+enum class BreakerState : u8 { kClosed, kOpen, kHalfOpen };
+
+const char* breaker_state_name(BreakerState s);
+
+struct BreakerPolicy {
+  /// Consecutive attributed failures (traffic or probe) that trip a
+  /// closed breaker.
+  int failure_threshold = 3;
+  /// Successes (traffic through the unit, or passing probes) needed in
+  /// half-open before the breaker closes again.
+  int half_open_successes = 2;
+};
+
+class CircuitBreaker {
+ public:
+  /// `on_transition(unit, from, to, detail)` fires inside the state
+  /// change (under the breaker mutex) — keep it cheap and non-reentrant.
+  using TransitionFn = std::function<void(
+      const char* unit, BreakerState from, BreakerState to,
+      const std::string& detail)>;
+
+  CircuitBreaker() = default;
+
+  /// A mutex makes breakers unmovable, so arrays of them are default-
+  /// constructed and configured in place — call before any concurrent
+  /// use.
+  void configure(const char* unit, BreakerPolicy policy,
+                 TransitionFn on_transition) {
+    unit_ = unit;
+    policy_ = policy;
+    on_transition_ = std::move(on_transition);
+  }
+
+  /// May the unit's hardware path serve the next operation? True in
+  /// closed and half-open (half-open traffic is the trial that decides
+  /// recovery), false in open.
+  bool allow() const;
+
+  BreakerState state() const;
+
+  /// An operation attributed to this unit failed (a per-unit KAT run
+  /// after a fault-indicating status came back red).
+  void record_failure(const std::string& detail);
+  /// An operation served through the unit's hardware path completed
+  /// cleanly.
+  void record_success();
+  /// Background health probe outcomes. A passing probe half-opens an
+  /// open breaker and counts toward closing a half-open one; a failing
+  /// probe re-opens a half-open breaker and counts as a failure on a
+  /// closed one (catching faults on units that current traffic cannot
+  /// observe failing, e.g. a stuck-at multiplier that only corrupts
+  /// encapsulations).
+  void probe_passed();
+  void probe_failed(const std::string& detail);
+
+ private:
+  void transition_locked(BreakerState to, const std::string& detail);
+
+  const char* unit_ = "?";
+  BreakerPolicy policy_;
+  TransitionFn on_transition_;
+
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+};
+
+}  // namespace lacrv::service

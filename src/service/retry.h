@@ -1,0 +1,67 @@
+// Retry policy for fault-indicating KEM statuses: capped exponential
+// backoff with deterministic jitter.
+//
+// The jitter draw is a splitmix64 stream keyed on (policy seed, request
+// id, attempt), so a given request retries on exactly the same virtual-
+// time schedule in every run — the service tests pin backoff arithmetic
+// without ever sleeping for real.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+#include "fault/plan.h"
+
+namespace lacrv::service {
+
+struct RetryPolicy {
+  /// Total execution attempts per request, including the first. 1 means
+  /// "never retry".
+  int max_attempts = 3;
+  /// Backoff before retry k (1-based) is min(base << (k-1), cap), plus
+  /// jitter.
+  u64 base_backoff_micros = 1'000;
+  u64 max_backoff_micros = 64'000;
+  /// Jitter amplitude as a fraction of the capped backoff, in percent.
+  /// The draw is uniform in [0, jitter_percent] and always added (never
+  /// subtracted), keeping the backoff a monotone lower bound.
+  u32 jitter_percent = 25;
+  u64 jitter_seed = 0x1ac5eed;
+
+  /// Virtual-time delay before 1-based retry `retry_index` of request
+  /// `request_id`.
+  u64 backoff_micros(int retry_index, u64 request_id) const {
+    const int shift = std::min(retry_index - 1, 62);
+    // Saturate instead of shifting into overflow: once base << shift
+    // would pass the cap, the capped value IS the cap.
+    const u64 capped =
+        (base_backoff_micros <= (max_backoff_micros >> shift))
+            ? std::max(base_backoff_micros << shift, base_backoff_micros)
+            : std::max(max_backoff_micros, base_backoff_micros);
+    if (jitter_percent == 0) return capped;
+    u64 state = jitter_seed ^ (request_id * 0x9E3779B97F4A7C15ull) ^
+                static_cast<u64>(retry_index);
+    const u64 amplitude = capped * jitter_percent / 100;
+    const u64 jitter =
+        amplitude == 0 ? 0 : fault::splitmix64(state) % (amplitude + 1);
+    return capped + jitter;
+  }
+};
+
+/// Statuses the service treats as fault-indicating and retries: the
+/// typed failures a transient accelerator fault (or a tampered wire)
+/// surfaces through the checked KEM path. kOk and the service-level
+/// verdicts (overload, deadline, unavailable) are final.
+inline bool retryable(Status s) {
+  switch (s) {
+    case Status::kRejected:
+    case Status::kDecodeFailure:
+    case Status::kSelfTestFailure:
+    case Status::kInternalError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace lacrv::service

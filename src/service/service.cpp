@@ -1,0 +1,394 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "fault/selftest.h"
+#include "lac/backend.h"
+#include "perf/rtl_backend.h"
+
+namespace lacrv::service {
+namespace {
+
+constexpr const char* kUnitNames[] = {"mul_ter", "chien", "sha256"};
+
+}  // namespace
+
+KemService::KemService(ServiceConfig config)
+    : config_(config),
+      params_(config.params ? config.params : &lac::Params::lac128()),
+      clock_(config.clock ? config.clock : &RealClock::instance()),
+      queue_(config.queue_capacity) {
+  // Provisioning: the service keypair is generated on the golden
+  // software backend, so a faulted accelerator can corrupt requests but
+  // never the long-lived key material.
+  keys_ = lac::kem_keygen(*params_, lac::Backend::optimized(),
+                          config_.key_seed);
+
+  auto on_transition = [this](const char* unit, BreakerState from,
+                              BreakerState to, const std::string& detail) {
+    if (to == BreakerState::kOpen)
+      counters_.breaker_trips.fetch_add(1, std::memory_order_relaxed);
+    if (from == BreakerState::kHalfOpen && to == BreakerState::kClosed)
+      counters_.breaker_recoveries.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    report_.add(unit,
+                to == BreakerState::kOpen ? Status::kUnavailable : Status::kOk,
+                std::string(breaker_state_name(from)) + " -> " +
+                    breaker_state_name(to) + ": " + detail);
+  };
+  for (std::size_t i = 0; i < kNumUnits; ++i)
+    breakers_[i].configure(kUnitNames[i], config_.breaker, on_transition);
+
+  const std::size_t workers = std::max<std::size_t>(1, config_.workers);
+  rigs_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    rigs_.push_back(std::make_unique<Rig>());
+    build_rig(*rigs_.back());
+  }
+  prober_rig_ = std::make_unique<Rig>();
+  build_rig(*prober_rig_);
+
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+  if (config_.enable_prober) prober_ = std::thread([this] { prober_main(); });
+}
+
+KemService::~KemService() { stop(); }
+
+void KemService::build_rig(Rig& rig) {
+  rig.mul = std::make_shared<rtl::MulTerRtl>(poly::kMulTerLength);
+  rig.chien = std::make_shared<rtl::ChienRtl>();
+  rig.sha = std::make_shared<rtl::Sha256Rtl>();
+
+  // Breaker-switched callables: each consults its unit's breaker at
+  // call time, so an open breaker reroutes every worker's very next
+  // operation — no backend rebuild, no lock on the hot path beyond the
+  // breaker's own.
+  lac::Backend b;
+  b.kind = lac::Backend::Kind::kOptimized;
+  b.name = "service";
+  b.hash_impl = lac::HashImpl::kAccelerated;
+  b.bch_flavor = bch::Flavor::kConstantTime;
+
+  const poly::MulTer512 rtl_mul = perf::rtl_mul_ter(rig.mul);
+  const poly::MulTer512 sw_mul = lac::modeled_mul_ter();
+  b.mul_unit = [this, &rig, rtl_mul, sw_mul](
+                   const poly::Ternary& a, const poly::Coeffs& coeffs,
+                   bool negacyclic, CycleLedger* ledger) {
+    if (breakers_[kMulIdx].allow()) {
+      rig.rtl_used[kMulIdx] = true;
+      return rtl_mul(a, coeffs, negacyclic, ledger);
+    }
+    rig.fallback_used[kMulIdx] = true;
+    return sw_mul(a, coeffs, negacyclic, ledger);
+  };
+
+  const bch::ChienStage rtl_chien = perf::rtl_chien(rig.chien);
+  const bch::ChienStage sw_chien = lac::modeled_chien();
+  b.chien = [this, &rig, rtl_chien, sw_chien](const bch::CodeSpec& spec,
+                                              const bch::Locator& loc,
+                                              CycleLedger* ledger) {
+    if (breakers_[kChienIdx].allow()) {
+      rig.rtl_used[kChienIdx] = true;
+      return rtl_chien(spec, loc, ledger);
+    }
+    rig.fallback_used[kChienIdx] = true;
+    return sw_chien(spec, loc, ledger);
+  };
+
+  const hash::HashFn rtl_sha = perf::rtl_sha256(rig.sha);
+  b.hasher = [this, &rig, rtl_sha](ByteView data) {
+    if (breakers_[kShaIdx].allow()) {
+      rig.rtl_used[kShaIdx] = true;
+      return rtl_sha(data);
+    }
+    rig.fallback_used[kShaIdx] = true;
+    return hash::sha256(data);
+  };
+  // The per-digest software cross-check stays on: it is the only
+  // defense that catches a transient SHA fault mid-operation.
+  b.verify_hash = true;
+
+  rig.backend = std::move(b);
+}
+
+std::future<KemResponse> KemService::submit(KemRequest request) {
+  const OpKind op = request.op;
+  Job job;
+  if (op == OpKind::kEncaps) {
+    job = [this, entropy = request.entropy](lac::Backend& backend) {
+      KemResponse r;
+      lac::EncapsOutcome out =
+          lac::encapsulate_checked(*params_, backend, keys_.pk, entropy);
+      r.status = out.status;
+      r.encaps = std::move(out.result);
+      r.hash_fault_detected = out.hash_fault_detected;
+      r.detail = std::move(out.detail);
+      return r;
+    };
+  } else {
+    job = [this, ct = std::move(request.ct)](lac::Backend& backend) {
+      KemResponse r;
+      lac::DecapsOutcome out =
+          lac::decapsulate_checked(*params_, backend, keys_, ct);
+      r.status = out.status;
+      r.key = out.key;
+      r.hash_fault_detected = out.hash_fault_detected;
+      r.detail = std::move(out.detail);
+      return r;
+    };
+  }
+  return enqueue(std::move(job), op, request.deadline_micros);
+}
+
+std::future<KemResponse> KemService::submit_job(Job job, u64 deadline_micros) {
+  return enqueue(std::move(job), OpKind::kGeneric, deadline_micros);
+}
+
+std::future<KemResponse> KemService::enqueue(Job job, OpKind op,
+                                             u64 deadline_micros) {
+  Task task;
+  task.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  task.op = op;
+  task.job = std::move(job);
+  task.deadline_micros = deadline_micros;
+  task.submitted_micros = clock_->now_micros();
+  std::future<KemResponse> future = task.promise.get_future();
+
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (stopping_.load(std::memory_order_acquire)) {
+    counters_.shed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
+    KemResponse r;
+    r.status = Status::kUnavailable;
+    r.detail = "service stopped";
+    task.promise.set_value(std::move(r));
+    return future;
+  }
+  if (!queue_.try_push(std::move(task))) {
+    counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    KemResponse r;
+    r.status = Status::kOverloaded;
+    r.detail = "submission queue full";
+    task.promise.set_value(std::move(r));
+  }
+  return future;
+}
+
+void KemService::worker_main(std::size_t index) {
+  Rig& rig = *rigs_[index];
+  while (auto task = queue_.pop()) process(std::move(*task), rig);
+}
+
+void KemService::process(Task task, Rig& rig) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    counters_.shed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
+    KemResponse r;
+    r.status = Status::kUnavailable;
+    r.detail = "service stopping";
+    task.promise.set_value(std::move(r));
+    return;
+  }
+  if (expired(task.deadline_micros)) {
+    // Shed while queued: the deadline passed before any execution.
+    counters_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+    KemResponse r;
+    r.status = Status::kDeadlineExceeded;
+    r.detail = "deadline expired while queued";
+    task.promise.set_value(std::move(r));
+    return;
+  }
+
+  KemResponse response;
+  int attempt = 0;
+  bool deadline_hit = false;
+  for (;;) {
+    ++attempt;
+    rig.rtl_used = {};
+    rig.fallback_used = {};
+    // The checked KEM entry points already contain CheckError; this
+    // last-resort net turns anything else a faulted unit provokes into
+    // a typed, retryable status — a worker thread must never die.
+    try {
+      response = task.job(rig.backend);
+    } catch (const std::exception& e) {
+      response = KemResponse{};
+      response.status = Status::kInternalError;
+      response.detail = std::string("uncaught exception: ") + e.what();
+    } catch (...) {
+      response = KemResponse{};
+      response.status = Status::kInternalError;
+      response.detail = "uncaught non-standard exception";
+    }
+    response.attempts = attempt;
+    response.served_by_fallback =
+        rig.fallback_used[kMulIdx] || rig.fallback_used[kChienIdx] ||
+        rig.fallback_used[kShaIdx];
+    if (response.hash_fault_detected) {
+      counters_.hash_faults_corrected.fetch_add(1, std::memory_order_relaxed);
+      breakers_[kShaIdx].record_failure("runtime hash cross-check mismatch");
+    }
+
+    if (!retryable(response.status)) {
+      record_successes(rig, response.hash_fault_detected);
+      break;
+    }
+
+    counters_.failed_attempts.fetch_add(1, std::memory_order_relaxed);
+    attribute_failure(rig, response.status);
+    if (attempt >= config_.retry.max_attempts) break;
+
+    const u64 delay = config_.retry.backoff_micros(attempt, task.id);
+    if (task.deadline_micros != kNoDeadline &&
+        clock_->now_micros() + delay >= task.deadline_micros) {
+      // The next attempt could only start past the deadline: shed now
+      // (deadline expired while executing).
+      deadline_hit = true;
+      break;
+    }
+    counters_.retries.fetch_add(1, std::memory_order_relaxed);
+    clock_->sleep_for(delay, &stopping_);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (expired(task.deadline_micros)) {
+      deadline_hit = true;
+      break;
+    }
+  }
+
+  if (deadline_hit) {
+    counters_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+    KemResponse r;
+    r.status = Status::kDeadlineExceeded;
+    r.attempts = attempt;
+    r.detail = "deadline expired during retry backoff after " +
+               std::string(status_name(response.status));
+    response = std::move(r);
+  }
+  finish(task, std::move(response));
+}
+
+void KemService::attribute_failure(Rig& rig, Status status) {
+  const std::string why = std::string("after ") + status_name(status);
+  std::string detail;
+  if (breakers_[kMulIdx].allow()) {
+    if (!fault::selftest_mul_ter(*rig.mul, &detail))
+      breakers_[kMulIdx].record_failure(detail + " " + why);
+  }
+  if (breakers_[kChienIdx].allow()) {
+    if (!fault::selftest_chien(*rig.chien, &detail))
+      breakers_[kChienIdx].record_failure(detail + " " + why);
+  }
+  if (breakers_[kShaIdx].allow()) {
+    if (!fault::selftest_sha256(*rig.sha, &detail))
+      breakers_[kShaIdx].record_failure(detail + " " + why);
+  }
+}
+
+void KemService::record_successes(const Rig& rig, bool hash_fault) {
+  if (rig.rtl_used[kMulIdx]) breakers_[kMulIdx].record_success();
+  if (rig.rtl_used[kChienIdx]) breakers_[kChienIdx].record_success();
+  // A corrected digest is not a sha256 success even though the op
+  // completed — the failure was already recorded.
+  if (rig.rtl_used[kShaIdx] && !hash_fault) breakers_[kShaIdx].record_success();
+}
+
+void KemService::finish(Task& task, KemResponse response) {
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  if (response.status == Status::kOk)
+    counters_.ok.fetch_add(1, std::memory_order_relaxed);
+  if (response.served_by_fallback)
+    counters_.served_degraded.fetch_add(1, std::memory_order_relaxed);
+  const u64 latency = clock_->now_micros() - task.submitted_micros;
+  if (task.op == OpKind::kEncaps) counters_.encaps_latency.record(latency);
+  if (task.op == OpKind::kDecaps) counters_.decaps_latency.record(latency);
+  task.promise.set_value(std::move(response));
+}
+
+bool KemService::probe_now() {
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  counters_.probes.fetch_add(1, std::memory_order_relaxed);
+  bool all_passed = true;
+  std::string detail;
+  if (fault::selftest_mul_ter(*prober_rig_->mul, &detail)) {
+    breakers_[kMulIdx].probe_passed();
+  } else {
+    breakers_[kMulIdx].probe_failed(detail);
+    all_passed = false;
+  }
+  if (fault::selftest_chien(*prober_rig_->chien, &detail)) {
+    breakers_[kChienIdx].probe_passed();
+  } else {
+    breakers_[kChienIdx].probe_failed(detail);
+    all_passed = false;
+  }
+  if (fault::selftest_sha256(*prober_rig_->sha, &detail)) {
+    breakers_[kShaIdx].probe_passed();
+  } else {
+    breakers_[kShaIdx].probe_failed(detail);
+    all_passed = false;
+  }
+  return all_passed;
+}
+
+void KemService::prober_main() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    clock_->sleep_for(config_.probe_interval_micros, &stopping_);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    probe_now();
+  }
+}
+
+void KemService::arm_faults(fault::FaultPlan& plan) {
+  for (auto& rig : rigs_) {
+    plan.arm(*rig->mul);
+    plan.arm(*rig->chien);
+    plan.arm(*rig->sha);
+  }
+  plan.arm(*prober_rig_->mul);
+  plan.arm(*prober_rig_->chien);
+  plan.arm(*prober_rig_->sha);
+}
+
+void KemService::clear_faults() {
+  for (auto& rig : rigs_) {
+    fault::FaultPlan::disarm(*rig->mul);
+    fault::FaultPlan::disarm(*rig->chien);
+    fault::FaultPlan::disarm(*rig->sha);
+  }
+  fault::FaultPlan::disarm(*prober_rig_->mul);
+  fault::FaultPlan::disarm(*prober_rig_->chien);
+  fault::FaultPlan::disarm(*prober_rig_->sha);
+}
+
+void KemService::stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  if (prober_.joinable()) prober_.join();
+  // Anything the workers did not reach is shed with a typed status.
+  while (auto task = queue_.try_pop()) {
+    counters_.shed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
+    KemResponse r;
+    r.status = Status::kUnavailable;
+    r.detail = "service stopped before execution";
+    task->promise.set_value(std::move(r));
+  }
+}
+
+DegradeReport KemService::degrade_report() const {
+  std::lock_guard<std::mutex> lock(report_mutex_);
+  return report_;
+}
+
+BreakerState KemService::breaker_state(fault::Unit unit) const {
+  switch (unit) {
+    case fault::Unit::kMulTer: return breakers_[kMulIdx].state();
+    case fault::Unit::kChien: return breakers_[kChienIdx].state();
+    case fault::Unit::kSha256: return breakers_[kShaIdx].state();
+    default: return BreakerState::kClosed;
+  }
+}
+
+}  // namespace lacrv::service

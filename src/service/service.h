@@ -1,0 +1,225 @@
+// KemService — a resilient, concurrent front door over the PQ-ALU
+// backends.
+//
+// A fixed worker pool consumes a bounded MPMC queue of KEM requests;
+// when the queue is full, submission is rejected with a typed
+// Status::kOverloaded (backpressure, never unbounded growth). Each
+// request may carry an absolute deadline in the service clock's domain;
+// work whose deadline has passed is shed with kDeadlineExceeded before
+// execution and between retry attempts. Operations that come back with
+// a fault-indicating Status are retried under RetryPolicy (capped
+// exponential backoff, deterministic jitter); each failed attempt is
+// *attributed* by re-running the per-unit self-test KATs on the
+// worker's own accelerator units, and attributed failures feed per-unit
+// circuit breakers. A tripped breaker atomically reroutes that unit's
+// traffic — on every worker — to the modeled software fallback (the
+// construction-time degradation ladder of docs/robustness.md, applied
+// at runtime and reversible); a background health prober re-runs the
+// KATs and walks the breaker back through half-open to closed when the
+// unit recovers. Every transition lands in the service-level
+// DegradeReport; every behaviour is countable via ServiceCounters.
+//
+// Threading model: each worker owns a private set of RTL units (one
+// "physical PQ-ALU" per hardware thread), so units never race; the only
+// cross-thread state is the breakers (mutex), the queue (mutex), the
+// counters (atomics) and the fault-hook slots (atomic pointers — see
+// rtl::FaultHookSlot), which is what lets a fault campaign arm and
+// clear plans against a *live* service.
+#pragma once
+
+#include <array>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "fault/plan.h"
+#include "lac/kem.h"
+#include "service/breaker.h"
+#include "service/counters.h"
+#include "service/queue.h"
+#include "service/retry.h"
+
+namespace lacrv::service {
+
+/// Absolute deadline value meaning "no deadline".
+inline constexpr u64 kNoDeadline = ~u64{0};
+
+enum class OpKind : u8 { kEncaps, kDecaps, kGeneric };
+
+/// One KEM request against the service keypair: clients encapsulate to
+/// the service's public key, the service decapsulates ciphertexts — the
+/// two halves of a KEM handshake terminator.
+struct KemRequest {
+  OpKind op = OpKind::kEncaps;
+  /// Encapsulation entropy (caller-provided for determinism).
+  hash::Seed entropy{};
+  /// Ciphertext to decapsulate (op == kDecaps).
+  lac::Ciphertext ct;
+  /// Absolute deadline in the service clock's now_micros() domain.
+  u64 deadline_micros = kNoDeadline;
+};
+
+struct KemResponse {
+  /// Final typed verdict. kOk/kRejected/kDecodeFailure come from the
+  /// checked KEM path; kOverloaded/kDeadlineExceeded/kUnavailable are
+  /// service verdicts (the request was shed, not executed to
+  /// completion).
+  Status status = Status::kOk;
+  /// Ciphertext + shared key (op == kEncaps, status == kOk).
+  lac::EncapsResult encaps;
+  /// Decapsulated key (op == kDecaps): the real shared secret on kOk,
+  /// the implicit-rejection key on kRejected/kDecodeFailure — the FO
+  /// contract survives the service layer.
+  lac::SharedKey key{};
+  /// Execution attempts consumed (0 if shed before the first).
+  int attempts = 0;
+  /// True iff any accelerator unit's traffic was served by the modeled
+  /// software fallback during the final attempt.
+  bool served_by_fallback = false;
+  /// True iff the runtime hash cross-check caught (and corrected) a
+  /// faulty accelerator digest.
+  bool hash_fault_detected = false;
+  std::string detail;
+};
+
+struct ServiceConfig {
+  /// Parameter set (null: LAC-128).
+  const lac::Params* params = nullptr;
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 128;
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  /// Spawn the background health prober (tests that drive probes
+  /// manually via probe_now() turn this off for determinism).
+  bool enable_prober = true;
+  u64 probe_interval_micros = 20'000;
+  /// Injected time authority (null: the process-wide RealClock).
+  Clock* clock = nullptr;
+  /// Seed for the service keypair (generated on the golden software
+  /// backend — provisioning runs on verified hardware).
+  hash::Seed key_seed{};
+};
+
+class KemService {
+ public:
+  explicit KemService(ServiceConfig config = {});
+  ~KemService();
+
+  KemService(const KemService&) = delete;
+  KemService& operator=(const KemService&) = delete;
+
+  /// Enqueue a request. The returned future always completes with a
+  /// typed status: immediately with kOverloaded when the queue is full
+  /// (backpressure) or kUnavailable after stop(); otherwise when a
+  /// worker finishes or sheds the request.
+  std::future<KemResponse> submit(KemRequest request);
+
+  /// Low-level submission of an arbitrary job, executed on a worker
+  /// thread with the worker's breaker-switched backend and the same
+  /// deadline/retry machinery. Exists for the service tests (gate jobs,
+  /// synthetic failures); production traffic uses submit().
+  using Job = std::function<KemResponse(lac::Backend& backend)>;
+  std::future<KemResponse> submit_job(Job job,
+                                      u64 deadline_micros = kNoDeadline);
+
+  /// Arm `plan` on every worker's and the prober's accelerator units —
+  /// safe while requests are in flight (atomic hook installation). The
+  /// plan must outlive the service or a clear_faults() call.
+  void arm_faults(fault::FaultPlan& plan);
+  /// Detach all fault hooks (ends the campaign; units heal unless the
+  /// fault corrupted persistent unit state).
+  void clear_faults();
+
+  /// One synchronous health-probe pass: re-run the per-unit self-test
+  /// KATs on the prober's units and feed the breakers. Returns true iff
+  /// every KAT passed. The background prober calls exactly this.
+  bool probe_now();
+
+  /// Stop accepting work, cancel in-flight backoffs, join all threads
+  /// and shed everything still queued with kUnavailable. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  const lac::Params& params() const { return *params_; }
+  /// The service keypair (pk is what clients encapsulate against).
+  const lac::KemKeyPair& keys() const { return keys_; }
+  Clock& clock() { return *clock_; }
+
+  CountersSnapshot counters() const {
+    return counters_.snapshot(queue_.depth());
+  }
+  const ServiceCounters& raw_counters() const { return counters_; }
+  /// Copy of the service-level transition log (breaker trips and
+  /// recoveries).
+  DegradeReport degrade_report() const;
+  /// Breaker state for one of the three KEM-path units (kMulTer,
+  /// kChien, kSha256); other units report kClosed (no breaker).
+  BreakerState breaker_state(fault::Unit unit) const;
+
+ private:
+  static constexpr std::size_t kMulIdx = 0;
+  static constexpr std::size_t kChienIdx = 1;
+  static constexpr std::size_t kShaIdx = 2;
+  static constexpr std::size_t kNumUnits = 3;
+
+  /// One worker's private PQ-ALU: RTL unit instances plus the
+  /// breaker-switched backend that drives them. Usage flags are written
+  /// only by the owning worker thread, inside one attempt.
+  struct Rig {
+    std::shared_ptr<rtl::MulTerRtl> mul;
+    std::shared_ptr<rtl::ChienRtl> chien;
+    std::shared_ptr<rtl::Sha256Rtl> sha;
+    std::array<bool, kNumUnits> rtl_used{};
+    std::array<bool, kNumUnits> fallback_used{};
+    lac::Backend backend;
+  };
+
+  struct Task {
+    u64 id = 0;
+    OpKind op = OpKind::kGeneric;
+    Job job;
+    u64 deadline_micros = kNoDeadline;
+    u64 submitted_micros = 0;
+    std::promise<KemResponse> promise;
+  };
+
+  std::future<KemResponse> enqueue(Job job, OpKind op, u64 deadline_micros);
+  void build_rig(Rig& rig);
+  void worker_main(std::size_t index);
+  void prober_main();
+  void process(Task task, Rig& rig);
+  /// Run per-unit KATs on the rig after a fault-indicating status and
+  /// feed attributed failures to the breakers.
+  void attribute_failure(Rig& rig, Status status);
+  void record_successes(const Rig& rig, bool hash_fault);
+  bool expired(u64 deadline_micros) {
+    return deadline_micros != kNoDeadline &&
+           clock_->now_micros() >= deadline_micros;
+  }
+  void finish(Task& task, KemResponse response);
+
+  ServiceConfig config_;
+  const lac::Params* params_;
+  Clock* clock_;
+  lac::KemKeyPair keys_;
+
+  std::array<CircuitBreaker, kNumUnits> breakers_;
+  mutable std::mutex report_mutex_;
+  DegradeReport report_;
+
+  ServiceCounters counters_;
+  BoundedQueue<Task> queue_;
+  std::atomic<u64> next_id_{1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::vector<std::unique_ptr<Rig>> rigs_;  // one per worker
+  std::unique_ptr<Rig> prober_rig_;
+  std::mutex probe_mutex_;  // probe_now() may race the prober thread
+  std::vector<std::thread> workers_;
+  std::thread prober_;
+};
+
+}  // namespace lacrv::service

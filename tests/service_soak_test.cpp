@@ -1,0 +1,211 @@
+// Chaos soak for the concurrent KEM service: thousands of in-flight
+// requests while a single-fault campaign is live-armed, live-swapped and
+// finally cleared against the running worker pool. The invariant under
+// test is absolute: every request ends in key agreement or a typed
+// rejection — never a silent shared-secret mismatch, never a hang,
+// never a crash.
+//
+// LACRV_SOAK_TRIALS overrides the handshake count (CI sanitizer jobs run
+// a shorter deterministic slice; the default is the full 1000-request
+// soak demanded by the acceptance criteria).
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "fault/plan.h"
+#include "lac/backend.h"
+#include "lac/kem.h"
+#include "service/service.h"
+
+namespace lacrv::service {
+namespace {
+
+std::size_t soak_trials() {
+  if (const char* env = std::getenv("LACRV_SOAK_TRIALS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 1000;
+}
+
+hash::Seed entropy_for(u64 i) {
+  hash::Seed s{};
+  u64 state = 0x50a4'0000 ^ i;
+  for (std::size_t b = 0; b < s.size(); b += 8) {
+    const u64 draw = fault::splitmix64(state);
+    for (std::size_t k = 0; k < 8; ++k)
+      s[b + k] = static_cast<u8>(draw >> (8 * k));
+  }
+  return s;
+}
+
+/// Hang check: a future that is not ready by the global deadline fails
+/// the test instead of blocking it forever.
+KemResponse reap(std::future<KemResponse>& f,
+                 std::chrono::steady_clock::time_point deadline) {
+  if (f.wait_until(deadline) != std::future_status::ready) {
+    ADD_FAILURE() << "request hung past the soak deadline";
+    return KemResponse{};
+  }
+  return f.get();
+}
+
+bool typed(Status s) {
+  switch (s) {
+    case Status::kOk:
+    case Status::kRejected:
+    case Status::kDecodeFailure:
+    case Status::kSelfTestFailure:
+    case Status::kInternalError:
+    case Status::kOverloaded:
+    case Status::kDeadlineExceeded:
+    case Status::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TEST(KemServiceSoakTest, ChaosCampaignNeverYieldsSilentMismatch) {
+  const std::size_t trials = soak_trials();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(10);
+
+  // Phase A fault: a stuck-at bit in the ternary multiplier datapath.
+  fault::FaultPlan mul_plan;
+  mul_plan.add({fault::Unit::kMulTer, rtl::FaultKind::kStuckAtOne, 0, 5, 3});
+  // Phase B fault: a stuck-at bit in the SHA-256 state registers — the
+  // runtime hash cross-check corrects these, so the breaker has to be
+  // tripped by the corrected-digest signal and the prober, not by
+  // rejections.
+  fault::FaultPlan sha_plan;
+  sha_plan.add({fault::Unit::kSha256, rtl::FaultKind::kStuckAtOne, 0, 2, 7});
+
+  ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = trials + 16;  // bounded, sized so the full burst fits
+  cfg.probe_interval_micros = 5'000;
+  cfg.enable_prober = true;  // the real background prober drives recovery
+  KemService svc(cfg);
+
+  // ---- Phase A: burst all encapsulations with the multiplier faulted,
+  // live-swapping the campaign to the SHA fault mid-flight.
+  svc.arm_faults(mul_plan);
+  std::vector<std::future<KemResponse>> enc_futures;
+  enc_futures.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    enc_futures.push_back(
+        svc.submit({OpKind::kEncaps, entropy_for(i), {}, kNoDeadline}));
+    if (i == trials / 2) {
+      // Campaign swap against a live pool: atomic hook clear + re-arm
+      // while workers are mid-operation.
+      svc.clear_faults();
+      svc.arm_faults(sha_plan);
+    }
+  }
+
+  std::size_t enc_ok = 0, enc_shed = 0, enc_failed = 0;
+  std::vector<lac::EncapsResult> handshakes;
+  handshakes.reserve(trials);
+  for (auto& f : enc_futures) {
+    KemResponse r = reap(f, deadline);
+    ASSERT_TRUE(typed(r.status)) << status_name(r.status);
+    if (r.status == Status::kOk) {
+      ++enc_ok;
+      handshakes.push_back(r.encaps);
+    } else if (r.status == Status::kOverloaded ||
+               r.status == Status::kUnavailable) {
+      ++enc_shed;
+    } else {
+      ++enc_failed;
+    }
+  }
+  EXPECT_EQ(enc_shed, 0u);  // the queue was sized for the burst
+  EXPECT_GT(enc_ok, 0u);
+
+  // ---- Phase B: decapsulate every successful handshake, still under
+  // the SHA fault. kOk responses must agree with the encapsulated key;
+  // anything else must be a typed rejection.
+  std::vector<std::future<KemResponse>> dec_futures;
+  dec_futures.reserve(handshakes.size());
+  for (const lac::EncapsResult& h : handshakes) {
+    KemRequest req;
+    req.op = OpKind::kDecaps;
+    req.ct = h.ct;
+    dec_futures.push_back(svc.submit(std::move(req)));
+  }
+  std::size_t dec_ok = 0, dec_rejected = 0, silent_mismatches = 0;
+  for (std::size_t i = 0; i < dec_futures.size(); ++i) {
+    KemResponse r = reap(dec_futures[i], deadline);
+    ASSERT_TRUE(typed(r.status)) << status_name(r.status);
+    if (r.status == Status::kOk) {
+      ++dec_ok;
+      if (r.key != handshakes[i].key) ++silent_mismatches;
+    } else {
+      ++dec_rejected;
+    }
+  }
+  // THE invariant: kOk always means key agreement.
+  EXPECT_EQ(silent_mismatches, 0u);
+  EXPECT_EQ(dec_ok + dec_rejected, handshakes.size());
+  EXPECT_GT(dec_ok, 0u);
+
+  // The campaign must have left marks: the stuck-at faults trip at
+  // least one breaker (via attribution or the prober), and the SHA
+  // phase exercises the corrected-digest path.
+  CountersSnapshot mid = svc.counters();
+  EXPECT_GE(mid.breaker_trips, 1u);
+  EXPECT_GE(mid.probes, 1u);
+
+  // ---- Recovery: end the campaign; the background prober must walk
+  // every breaker back to closed (bounded real-time wait on the prober's
+  // 5ms cadence, far inside the soak deadline).
+  svc.clear_faults();
+  const auto recovery_deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(2);
+  auto all_closed = [&svc] {
+    return svc.breaker_state(fault::Unit::kMulTer) == BreakerState::kClosed &&
+           svc.breaker_state(fault::Unit::kChien) == BreakerState::kClosed &&
+           svc.breaker_state(fault::Unit::kSha256) == BreakerState::kClosed;
+  };
+  while (!all_closed() &&
+         std::chrono::steady_clock::now() < recovery_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(all_closed()) << "prober failed to recover breakers";
+
+  // Healed service: a fresh batch of handshakes runs entirely on the
+  // accelerators and agrees end to end.
+  std::vector<std::future<KemResponse>> final_encs;
+  for (std::size_t i = 0; i < 8; ++i)
+    final_encs.push_back(svc.submit(
+        {OpKind::kEncaps, entropy_for(0xf17a1 + i), {}, kNoDeadline}));
+  for (auto& f : final_encs) {
+    KemResponse enc = reap(f, deadline);
+    ASSERT_EQ(enc.status, Status::kOk);
+    EXPECT_FALSE(enc.served_by_fallback);
+    KemRequest req;
+    req.op = OpKind::kDecaps;
+    req.ct = enc.encaps.ct;
+    auto dec_f = svc.submit(std::move(req));
+    KemResponse dec = reap(dec_f, deadline);
+    ASSERT_EQ(dec.status, Status::kOk);
+    EXPECT_EQ(dec.key, enc.encaps.key);
+  }
+
+  svc.stop();
+  CountersSnapshot snap = svc.counters();
+  // Every submission is accounted for — nothing dropped on the floor.
+  EXPECT_EQ(snap.completed + snap.rejected_overload + snap.rejected_deadline +
+                snap.shed_at_shutdown,
+            snap.submitted);
+  EXPECT_EQ(snap.queue_depth, 0u);
+  SUCCEED() << snap.to_string();
+}
+
+}  // namespace
+}  // namespace lacrv::service

@@ -1,0 +1,433 @@
+// Deterministic tests for the resilient KEM service: deadline and
+// backoff edge cases on an injected ManualClock (no real sleeps, no
+// timing assertions), breaker trip/recovery driven by explicit probes,
+// and backpressure semantics of the bounded submission queue. The
+// concurrent chaos coverage lives in service_soak_test.cpp.
+#include <future>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "fault/plan.h"
+#include "lac/backend.h"
+#include "lac/kem.h"
+#include "service/queue.h"
+#include "service/retry.h"
+#include "service/service.h"
+
+namespace lacrv::service {
+namespace {
+
+hash::Seed seed_from(u8 tag) {
+  hash::Seed s{};
+  s[0] = tag;
+  s[31] = static_cast<u8>(tag ^ 0xa5);
+  return s;
+}
+
+KemResponse ok_response() {
+  KemResponse r;
+  r.status = Status::kOk;
+  return r;
+}
+
+KemResponse rejected_response() {
+  KemResponse r;
+  r.status = Status::kRejected;
+  r.detail = "synthetic fault-indicating status";
+  return r;
+}
+
+/// A job that parks its worker until the test opens the gate, and
+/// reports (via `started`) that the worker has actually picked it up —
+/// the only synchronization the concurrency-free tests need.
+KemService::Job gate_job(std::promise<void>& started,
+                         std::shared_future<void> open) {
+  return [&started, open](lac::Backend&) {
+    started.set_value();
+    open.wait();
+    return ok_response();
+  };
+}
+
+ServiceConfig manual_config(ManualClock& clock) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.clock = &clock;
+  cfg.enable_prober = false;  // probes driven explicitly via probe_now()
+  cfg.retry.jitter_percent = 0;
+  return cfg;
+}
+
+TEST(KemServiceTest, RoundTripKeyAgreementThroughThePool) {
+  ManualClock clock;
+  ServiceConfig cfg = manual_config(clock);
+  cfg.workers = 2;
+  KemService svc(cfg);
+
+  auto enc_future = svc.submit({OpKind::kEncaps, seed_from(1), {}, kNoDeadline});
+  KemResponse enc = enc_future.get();
+  ASSERT_EQ(enc.status, Status::kOk);
+  EXPECT_EQ(enc.attempts, 1);
+  EXPECT_FALSE(enc.served_by_fallback);
+
+  // The service's own decapsulation and a golden software decapsulation
+  // must both land on the encapsulated key.
+  KemRequest dec_req;
+  dec_req.op = OpKind::kDecaps;
+  dec_req.ct = enc.encaps.ct;
+  KemResponse dec = svc.submit(std::move(dec_req)).get();
+  ASSERT_EQ(dec.status, Status::kOk);
+  EXPECT_EQ(dec.key, enc.encaps.key);
+  EXPECT_EQ(lac::decapsulate(svc.params(), lac::Backend::optimized(),
+                             svc.keys(), enc.encaps.ct),
+            enc.encaps.key);
+
+  CountersSnapshot snap = svc.counters();
+  EXPECT_EQ(snap.submitted, 2u);
+  EXPECT_EQ(snap.completed, 2u);
+  EXPECT_EQ(snap.ok, 2u);
+  EXPECT_EQ(snap.retries, 0u);
+  EXPECT_EQ(svc.raw_counters().encaps_latency.count(), 1u);
+  EXPECT_EQ(svc.raw_counters().decaps_latency.count(), 1u);
+}
+
+TEST(KemServiceTest, FullQueueRejectsWithTypedOverload) {
+  ManualClock clock;
+  ServiceConfig cfg = manual_config(clock);
+  cfg.queue_capacity = 1;
+  KemService svc(cfg);
+
+  std::promise<void> started, open;
+  auto busy = svc.submit_job(gate_job(started, open.get_future().share()));
+  started.get_future().wait();  // worker is parked, queue is empty
+
+  auto queued = svc.submit_job([](lac::Backend&) { return ok_response(); });
+  auto shed = svc.submit_job([](lac::Backend&) { return ok_response(); });
+
+  // Backpressure is immediate: the overloaded future is already ready.
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  KemResponse r = shed.get();
+  EXPECT_EQ(r.status, Status::kOverloaded);
+  EXPECT_EQ(r.attempts, 0);
+  EXPECT_EQ(svc.counters().rejected_overload, 1u);
+
+  open.set_value();
+  EXPECT_EQ(busy.get().status, Status::kOk);
+  EXPECT_EQ(queued.get().status, Status::kOk);
+  EXPECT_EQ(svc.counters().rejected_overload, 1u);
+}
+
+TEST(KemServiceTest, SubmitAfterStopIsUnavailable) {
+  ManualClock clock;
+  KemService svc(manual_config(clock));
+  svc.stop();
+  KemResponse r = svc.submit({OpKind::kEncaps, seed_from(2), {}, kNoDeadline})
+                      .get();
+  EXPECT_EQ(r.status, Status::kUnavailable);
+  EXPECT_EQ(svc.counters().shed_at_shutdown, 1u);
+}
+
+TEST(KemServiceTest, ZeroDeadlineIsShedBeforeExecution) {
+  ManualClock clock;
+  KemService svc(manual_config(clock));
+  bool executed = false;
+  KemResponse r = svc.submit_job(
+                         [&executed](lac::Backend&) {
+                           executed = true;
+                           return ok_response();
+                         },
+                         /*deadline_micros=*/0)
+                      .get();
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+  EXPECT_EQ(r.attempts, 0);
+  EXPECT_FALSE(executed);
+  EXPECT_EQ(svc.counters().rejected_deadline, 1u);
+}
+
+TEST(KemServiceTest, DeadlineExpiringWhileQueuedShedsWithoutExecution) {
+  ManualClock clock;
+  KemService svc(manual_config(clock));
+
+  std::promise<void> started, open;
+  auto busy = svc.submit_job(gate_job(started, open.get_future().share()));
+  started.get_future().wait();
+
+  bool executed = false;
+  auto target = svc.submit_job(
+      [&executed](lac::Backend&) {
+        executed = true;
+        return ok_response();
+      },
+      clock.now_micros() + 1'000);
+
+  // The deadline passes while the request sits in the queue behind the
+  // gated job; the worker must shed it without running it.
+  clock.advance(2'000);
+  open.set_value();
+
+  EXPECT_EQ(busy.get().status, Status::kOk);
+  KemResponse r = target.get();
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+  EXPECT_EQ(r.attempts, 0);
+  EXPECT_FALSE(executed);
+  EXPECT_NE(r.detail.find("while queued"), std::string::npos);
+}
+
+TEST(KemServiceTest, DeadlineExpiringDuringBackoffEndsTheRetryLoop) {
+  ManualClock clock;
+  ServiceConfig cfg = manual_config(clock);
+  cfg.retry.max_attempts = 5;
+  cfg.retry.base_backoff_micros = 1'000;
+  KemService svc(cfg);
+
+  int runs = 0;
+  // First backoff (1000us) already overshoots the 500us budget: exactly
+  // one attempt executes, then the request is shed mid-retry.
+  KemResponse r = svc.submit_job(
+                         [&runs](lac::Backend&) {
+                           ++runs;
+                           return rejected_response();
+                         },
+                         clock.now_micros() + 500)
+                      .get();
+  EXPECT_EQ(r.status, Status::kDeadlineExceeded);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(runs, 1);
+  EXPECT_NE(r.detail.find("during retry backoff"), std::string::npos);
+  EXPECT_NE(r.detail.find("rejected"), std::string::npos);
+  EXPECT_EQ(svc.counters().retries, 0u);
+  EXPECT_EQ(svc.counters().rejected_deadline, 1u);
+}
+
+TEST(KemServiceTest, RetryBudgetExhaustionReturnsTheLastTypedStatus) {
+  ManualClock clock;
+  ServiceConfig cfg = manual_config(clock);
+  cfg.retry.max_attempts = 3;
+  KemService svc(cfg);
+
+  const u64 before = clock.now_micros();
+  int runs = 0;
+  KemResponse r = svc.submit_job([&runs](lac::Backend&) {
+                       ++runs;
+                       return rejected_response();
+                     }).get();
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_EQ(runs, 3);
+
+  CountersSnapshot snap = svc.counters();
+  EXPECT_EQ(snap.failed_attempts, 3u);
+  EXPECT_EQ(snap.retries, 2u);
+  EXPECT_EQ(snap.ok, 0u);
+  EXPECT_EQ(snap.completed, 1u);
+  // Backoffs consumed virtual time only: 1000 + 2000 microseconds.
+  EXPECT_EQ(clock.now_micros() - before, 3'000u);
+}
+
+TEST(RetryPolicyTest, BackoffIsCappedMonotoneAndDeterministic) {
+  RetryPolicy p;
+  p.base_backoff_micros = 1'000;
+  p.max_backoff_micros = 8'000;
+  p.jitter_percent = 0;
+  EXPECT_EQ(p.backoff_micros(1, 7), 1'000u);
+  EXPECT_EQ(p.backoff_micros(2, 7), 2'000u);
+  EXPECT_EQ(p.backoff_micros(3, 7), 4'000u);
+  EXPECT_EQ(p.backoff_micros(4, 7), 8'000u);
+  EXPECT_EQ(p.backoff_micros(5, 7), 8'000u);   // capped
+  EXPECT_EQ(p.backoff_micros(63, 7), 8'000u);  // shift saturates safely
+
+  p.jitter_percent = 25;
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    const u64 base = RetryPolicy{p.max_attempts, p.base_backoff_micros,
+                                 p.max_backoff_micros, 0, p.jitter_seed}
+                         .backoff_micros(attempt, 42);
+    const u64 jittered = p.backoff_micros(attempt, 42);
+    EXPECT_GE(jittered, base);                    // jitter only adds
+    EXPECT_LE(jittered, base + base / 4);         // bounded amplitude
+    EXPECT_EQ(jittered, p.backoff_micros(attempt, 42));  // reproducible
+  }
+  // Different requests draw different jitter streams.
+  EXPECT_NE(p.backoff_micros(1, 1), p.backoff_micros(1, 2));
+}
+
+TEST(KemServiceTest, AttributedFaultTripsBreakerAndReroutesToFallback) {
+  fault::FaultPlan plan;
+  plan.add({fault::Unit::kMulTer, rtl::FaultKind::kStuckAtOne, 0, 5, 3});
+
+  ManualClock clock;
+  ServiceConfig cfg = manual_config(clock);
+  cfg.retry.max_attempts = 3;  // one request = three attributed failures
+  KemService svc(cfg);
+  svc.arm_faults(plan);
+
+  EXPECT_EQ(svc.breaker_state(fault::Unit::kMulTer), BreakerState::kClosed);
+  KemResponse r = svc.submit_job([](lac::Backend&) {
+                       return rejected_response();
+                     }).get();
+  EXPECT_EQ(r.status, Status::kRejected);
+
+  // Each failed attempt re-ran the per-unit KATs; only the faulted
+  // multiplier failed them, so only its breaker tripped.
+  EXPECT_EQ(svc.breaker_state(fault::Unit::kMulTer), BreakerState::kOpen);
+  EXPECT_EQ(svc.breaker_state(fault::Unit::kChien), BreakerState::kClosed);
+  EXPECT_EQ(svc.breaker_state(fault::Unit::kSha256), BreakerState::kClosed);
+  EXPECT_EQ(svc.counters().breaker_trips, 1u);
+
+  DegradeReport report = svc.degrade_report();
+  ASSERT_TRUE(report.degraded());
+  EXPECT_STREQ(report.entries[0].unit, "mul_ter");
+  EXPECT_EQ(report.entries[0].status, Status::kUnavailable);
+  EXPECT_NE(report.entries[0].detail.find("closed -> open"),
+            std::string::npos);
+
+  // With the breaker open the stuck-at multiplier is out of the path:
+  // encapsulation succeeds on the software fallback and still agrees
+  // with a golden decapsulation.
+  KemResponse enc =
+      svc.submit({OpKind::kEncaps, seed_from(9), {}, kNoDeadline}).get();
+  ASSERT_EQ(enc.status, Status::kOk);
+  EXPECT_TRUE(enc.served_by_fallback);
+  EXPECT_EQ(lac::decapsulate(svc.params(), lac::Backend::optimized(),
+                             svc.keys(), enc.encaps.ct),
+            enc.encaps.key);
+  EXPECT_GE(svc.counters().served_degraded, 1u);
+}
+
+TEST(KemServiceTest, ProbeWalksBreakerThroughHalfOpenToClosed) {
+  fault::FaultPlan plan;
+  plan.add({fault::Unit::kMulTer, rtl::FaultKind::kStuckAtOne, 0, 5, 3});
+
+  ManualClock clock;
+  KemService svc(manual_config(clock));
+  svc.arm_faults(plan);
+  (void)svc.submit_job([](lac::Backend&) { return rejected_response(); })
+      .get();
+  ASSERT_EQ(svc.breaker_state(fault::Unit::kMulTer), BreakerState::kOpen);
+
+  // While the fault is present the probe keeps the breaker open.
+  EXPECT_FALSE(svc.probe_now());
+  EXPECT_EQ(svc.breaker_state(fault::Unit::kMulTer), BreakerState::kOpen);
+
+  // Fault cleared: first passing probe half-opens, the next ones close.
+  svc.clear_faults();
+  EXPECT_TRUE(svc.probe_now());
+  EXPECT_EQ(svc.breaker_state(fault::Unit::kMulTer), BreakerState::kHalfOpen);
+  EXPECT_TRUE(svc.probe_now());
+  EXPECT_EQ(svc.breaker_state(fault::Unit::kMulTer), BreakerState::kHalfOpen);
+  EXPECT_TRUE(svc.probe_now());
+  EXPECT_EQ(svc.breaker_state(fault::Unit::kMulTer), BreakerState::kClosed);
+  EXPECT_EQ(svc.counters().breaker_recoveries, 1u);
+
+  // Recovered: accelerator traffic restored, no fallback involved.
+  KemResponse enc =
+      svc.submit({OpKind::kEncaps, seed_from(11), {}, kNoDeadline}).get();
+  ASSERT_EQ(enc.status, Status::kOk);
+  EXPECT_FALSE(enc.served_by_fallback);
+}
+
+TEST(KemServiceTest, HalfOpenRacingANewFaultReopensTheBreaker) {
+  fault::FaultPlan plan;
+  plan.add({fault::Unit::kMulTer, rtl::FaultKind::kStuckAtOne, 0, 5, 3});
+
+  ManualClock clock;
+  KemService svc(manual_config(clock));
+  svc.arm_faults(plan);
+  (void)svc.submit_job([](lac::Backend&) { return rejected_response(); })
+      .get();
+  svc.clear_faults();
+  ASSERT_TRUE(svc.probe_now());
+  ASSERT_EQ(svc.breaker_state(fault::Unit::kMulTer), BreakerState::kHalfOpen);
+
+  // The fault returns inside the half-open trial window. The next
+  // attributed failure must re-open immediately (no threshold grace).
+  svc.arm_faults(plan);
+  (void)svc.submit_job([](lac::Backend&) { return rejected_response(); })
+      .get();
+  EXPECT_EQ(svc.breaker_state(fault::Unit::kMulTer), BreakerState::kOpen);
+  EXPECT_EQ(svc.counters().breaker_trips, 2u);
+
+  DegradeReport report = svc.degrade_report();
+  bool saw_half_open_failure = false;
+  for (const auto& e : report.entries)
+    if (e.detail.find("half-open trial failed") != std::string::npos)
+      saw_half_open_failure = true;
+  EXPECT_TRUE(saw_half_open_failure);
+}
+
+TEST(KemServiceTest, StopShedsQueuedWorkWithTypedStatus) {
+  ManualClock clock;
+  ServiceConfig cfg = manual_config(clock);
+  cfg.queue_capacity = 4;
+  KemService svc(cfg);
+
+  std::promise<void> started;
+  std::promise<void> open;
+  auto busy = svc.submit_job(gate_job(started, open.get_future().share()));
+  started.get_future().wait();
+  auto queued = svc.submit_job([](lac::Backend&) { return ok_response(); });
+
+  // stop() closes the queue and joins; release the gate from another
+  // thread so the parked worker can finish its in-flight job.
+  std::thread releaser([&open] { open.set_value(); });
+  svc.stop();
+  releaser.join();
+
+  EXPECT_EQ(busy.get().status, Status::kOk);
+  // The queued job was either executed before the stop flag landed or
+  // shed with a typed status — never dropped, never untyped.
+  KemResponse r = queued.get();
+  EXPECT_TRUE(r.status == Status::kOk || r.status == Status::kUnavailable);
+}
+
+TEST(BoundedQueueTest, BackpressureAndCloseSemantics) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  int spill = 3;
+  EXPECT_FALSE(q.try_push(std::move(spill)));
+  EXPECT_EQ(spill, 3);  // rejected item is not consumed
+  EXPECT_EQ(q.depth(), 2u);
+
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_TRUE(q.try_push(3));
+  q.close();
+  EXPECT_FALSE(q.try_push(std::move(spill)));  // closed queue rejects
+  EXPECT_EQ(q.pop(), std::optional<int>(2));   // drains what it holds
+  EXPECT_EQ(q.pop(), std::optional<int>(3));
+  EXPECT_EQ(q.pop(), std::nullopt);            // closed and empty
+}
+
+TEST(LatencyHistogramTest, BucketsCountsAndPercentiles) {
+  stats::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  for (int i = 0; i < 90; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(100'000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_GT(h.mean_micros(), 10.0);
+  // p50 sits in the 10us bucket, p99 in the 100ms-ish tail bucket.
+  EXPECT_LE(h.percentile_micros(50), 16u);
+  EXPECT_GE(h.percentile_micros(99), 100'000u / 2);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+TEST(PrintStatusTest, UniformStatusLineFormat) {
+  std::ostringstream os;
+  print_status(os, "kem-server", Status::kOverloaded, "queue full");
+  EXPECT_EQ(os.str(), "[kem-server] overloaded: queue full\n");
+  os.str("");
+  print_status(os, "keytool", Status::kOk);
+  EXPECT_EQ(os.str(), "[keytool] ok\n");
+  // The service-layer statuses have stable names for log grepping.
+  EXPECT_STREQ(status_name(Status::kDeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(status_name(Status::kUnavailable), "unavailable");
+}
+
+}  // namespace
+}  // namespace lacrv::service
