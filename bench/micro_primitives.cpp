@@ -3,7 +3,13 @@
 // for comparing the algorithmic flavours (table vs shift-and-add GF
 // multiplication, dense vs sparse vs split polynomial multiplication,
 // submission vs constant-time BCH decoding) on real hardware.
+//
+//   micro_primitives [--json]   # --json: google-benchmark JSON output
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "hash/keccak.h"
@@ -193,4 +199,23 @@ BENCHMARK(BM_IssMulTerKernel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the table binaries take
+// `--json` for their machine-readable dump, so this one does too —
+// translated to google-benchmark's own --benchmark_format=json.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string json_flag = "--benchmark_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      args.push_back(json_flag.data());
+    else
+      args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,28 +3,75 @@
 // decoder, at 0 and 16 injected errors, split into the three decoder
 // stages. The experiment demonstrates the timing side-channel: the
 // submission decoder's error-locator stage leaks the error count.
+//
+//   table1_bch_timing [--json]   # --json: machine-readable dump only
+#include <cstring>
 #include <iostream>
+#include <vector>
 
+#include "obs/json.h"
 #include "perf/tables.h"
 
-int main() {
+namespace {
+
+using namespace lacrv;
+
+u64 abs_delta(u64 a, u64 b) { return a > b ? a - b : b - a; }
+
+void print_rows_json(std::ostream& os,
+                     const std::vector<perf::Table1Row>& rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const perf::Table1Row& r = rows[i];
+    os << "    {\"scheme\": \"" << obs::json::escape(r.scheme)
+       << "\", \"fails\": " << r.fails << ", \"syndrome\": " << r.syndrome
+       << ", \"error_loc\": " << r.error_loc << ", \"chien\": " << r.chien
+       << ", \"decode\": " << r.decode
+       << ", \"paper_decode\": " << r.paper_decode << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+}
+
+/// Machine-readable dump: the Table I rows (t=16 and the t=8 extension)
+/// plus the leakage deltas — the same object-of-arrays shape
+/// table2_kem_cycles --json emits.
+void print_json(std::ostream& os, const std::vector<perf::Table1Row>& rows,
+                const std::vector<perf::Table1Row>& rows_t8, u64 sub_delta,
+                u64 ct_delta) {
+  os << "{\n  \"table1\": [\n";
+  print_rows_json(os, rows);
+  os << "  ],\n  \"table1_t8\": [\n";
+  print_rows_json(os, rows_t8);
+  os << "  ],\n  \"leakage\": {\"submission_delta\": " << sub_delta
+     << ", \"constant_time_delta\": " << ct_delta
+     << ", \"paper_submission_delta\": 8276"
+     << ", \"paper_constant_time_delta\": 259}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lacrv;
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
   const auto rows = perf::table1();
+  const auto rows_t8 = perf::table1_t8();
+  const u64 sub_delta = abs_delta(rows[1].decode, rows[0].decode);
+  const u64 ct_delta = abs_delta(rows[3].decode, rows[2].decode);
+
+  if (json) {
+    print_json(std::cout, rows, rows_t8, sub_delta, ct_delta);
+    return 0;
+  }
+
   perf::print_table1(std::cout, rows);
   std::cout << "\nExtension (not in the paper): the same experiment for "
                "LAC-192's BCH(511,439,8):\n";
-  perf::print_table1(std::cout, perf::table1_t8());
+  perf::print_table1(std::cout, rows_t8);
 
   std::cout << "\nLeakage summary:\n";
-  const u64 sub_delta = rows[1].decode > rows[0].decode
-                            ? rows[1].decode - rows[0].decode
-                            : rows[0].decode - rows[1].decode;
-  const u64 ct_delta = rows[3].decode > rows[2].decode
-                           ? rows[3].decode - rows[2].decode
-                           : rows[2].decode - rows[3].decode;
   std::cout << "  submission decoder 0-vs-16-error cycle delta: " << sub_delta
             << " (exploitable; paper: 8,276)\n";
   std::cout << "  constant-time decoder 0-vs-16-error cycle delta: "
             << ct_delta << " (paper: 259)\n";
+  std::cout << "(run with --json for a machine-readable dump)\n";
   return 0;
 }

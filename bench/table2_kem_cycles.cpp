@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/json.h"
 #include "perf/iss_kernels.h"
 #include "perf/tables.h"
+#include "riscv/profiler.h"
 #include "service/service.h"
 
 namespace {
@@ -75,27 +77,28 @@ Throughput service_throughput(const lac::Params& params, const char* level,
   return t;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s)
-    if (c == '"' || c == '\\')
-      (out += '\\') += c;
-    else
-      out += c;
-  return out;
-}
+/// One profiled ISS kernel run: the measured cycles plus the profiler's
+/// attribution of them to the pq.* extension vs the base ISA.
+struct IssProfile {
+  const char* kernel;
+  perf::IssRunResult run;
+  rv::IssProfiler profiler;
+};
 
 /// Machine-readable dump of everything this binary measures: the Table
-/// II rows, the headline speedups and the service throughput column.
+/// II rows, the headline speedups, the ISS profiler cross-check and the
+/// service throughput column.
 void print_json(std::ostream& os, const std::vector<perf::Table2Row>& rows,
                 const perf::Speedups& s,
+                const std::vector<IssProfile>& profiles,
                 const std::vector<Throughput>& throughput) {
+  using obs::json::escape;
   os << "{\n  \"table2\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const perf::Table2Row& r = rows[i];
-    os << "    {\"scheme\": \"" << json_escape(r.scheme) << "\", \"device\": \""
-       << json_escape(r.device) << "\", \"security\": \""
-       << json_escape(r.security) << "\", \"keygen\": " << r.keygen
+    os << "    {\"scheme\": \"" << escape(r.scheme) << "\", \"device\": \""
+       << escape(r.device) << "\", \"security\": \""
+       << escape(r.security) << "\", \"keygen\": " << r.keygen
        << ", \"encaps\": " << r.encaps << ", \"decaps\": " << r.decaps
        << ", \"gen_a\": " << r.gen_a << ", \"sample_poly\": " << r.sample_poly
        << ", \"mult\": " << r.mult << ", \"bch_dec\": " << r.bch_dec
@@ -104,7 +107,18 @@ void print_json(std::ostream& os, const std::vector<perf::Table2Row>& rows,
   }
   os << "  ],\n  \"headline_speedups\": {\"lac128\": " << s.lac128
      << ", \"lac192\": " << s.lac192 << ", \"lac256\": " << s.lac256
-     << "},\n  \"service_throughput\": [\n";
+     << "},\n  \"iss_profile\": [\n";
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const IssProfile& p = profiles[i];
+    os << "    {\"kernel\": \"" << escape(p.kernel)
+       << "\", \"cycles\": " << p.run.cycles
+       << ", \"instructions\": " << p.run.instructions
+       << ", \"profiled_cycles\": " << p.profiler.total_cycles()
+       << ", \"pq_cycles\": " << p.profiler.pq_cycles()
+       << ", \"base_cycles\": " << p.profiler.base_cycles() << "}"
+       << (i + 1 < profiles.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"service_throughput\": [\n";
   for (std::size_t i = 0; i < throughput.size(); ++i) {
     os << "    {\"level\": \"" << throughput[i].level
        << "\", \"encaps_ops_per_sec\": " << throughput[i].encaps_ops_per_sec
@@ -130,8 +144,31 @@ int main(int argc, char** argv) {
   throughput.push_back(
       service_throughput(lac::Params::lac256(), "LAC-256", kThroughputOps));
 
+  // Cross-check: the Multiplication column measured as real machine code
+  // on the ISS (independent of the layer-2 cost model), with the
+  // profiler attributing every retired cycle to the pq.* extension or
+  // the base ISA.
+  std::vector<IssProfile> profiles(2);
+  {
+    Xoshiro256 rng(3);
+    poly::Ternary a512(512), a1024(1024);
+    poly::Coeffs b512(512), b1024(1024);
+    for (auto& v : a512)
+      v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+    for (auto& v : a1024)
+      v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
+    for (auto& v : b512) v = static_cast<u8>(rng.next_below(poly::kQ));
+    for (auto& v : b1024) v = static_cast<u8>(rng.next_below(poly::kQ));
+    profiles[0].kernel = "mul_ter_512";
+    profiles[0].run =
+        perf::iss_mul_ter(a512, b512, true, &profiles[0].profiler);
+    profiles[1].kernel = "split_mul_1024";
+    profiles[1].run =
+        perf::iss_split_mul_1024(a1024, b1024, &profiles[1].profiler);
+  }
+
   if (json) {
-    print_json(std::cout, rows, s, throughput);
+    print_json(std::cout, rows, s, profiles, throughput);
     return 0;
   }
 
@@ -171,26 +208,22 @@ int main(int argc, char** argv) {
               << cca_dec.total() - cpa_dec.total() << " cycles\n"
               << "  NewHope CPA (V) decapsulation [8]: 167,647 cycles\n";
   }
-  // Cross-check: the Multiplication column measured as real machine code
-  // on the ISS (independent of the layer-2 cost model).
-  {
-    Xoshiro256 rng(3);
-    poly::Ternary a512(512), a1024(1024);
-    poly::Coeffs b512(512), b1024(1024);
-    for (auto& v : a512)
-      v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
-    for (auto& v : a1024)
-      v = static_cast<i8>(static_cast<int>(rng.next_below(3)) - 1);
-    for (auto& v : b512) v = static_cast<u8>(rng.next_below(poly::kQ));
-    for (auto& v : b1024) v = static_cast<u8>(rng.next_below(poly::kQ));
-    const perf::IssRunResult m512 = perf::iss_mul_ter(a512, b512, true);
-    const perf::IssRunResult m1024 = perf::iss_split_mul_1024(a1024, b1024);
-    std::cout << "\nMultiplication column, measured as machine code on the "
-                 "RV32IMC ISS:\n"
-              << "  n=512:  " << m512.cycles
-              << " cycles (model 6,156; paper 6,390)\n"
-              << "  n=1024: " << m1024.cycles
-              << " cycles (model 146,112; paper 151,354)\n";
+  std::cout << "\nMultiplication column, measured as machine code on the "
+               "RV32IMC ISS:\n"
+            << "  n=512:  " << profiles[0].run.cycles
+            << " cycles (model 6,156; paper 6,390)\n"
+            << "  n=1024: " << profiles[1].run.cycles
+            << " cycles (model 146,112; paper 151,354)\n";
+  std::cout << "\nProfiler attribution of those cycles (pq.* vs base ISA):\n";
+  for (const IssProfile& p : profiles) {
+    const rv::IssProfiler& prof = p.profiler;
+    const double pct = prof.total_cycles()
+                           ? 100.0 * static_cast<double>(prof.pq_cycles()) /
+                                 static_cast<double>(prof.total_cycles())
+                           : 0.0;
+    std::cout << "  " << p.kernel << ": pq.* " << prof.pq_cycles()
+              << " cycles (" << std::setprecision(1) << pct
+              << "%), base ISA " << prof.base_cycles() << " cycles\n";
   }
   // Host wall-clock throughput through the concurrent KemService (4
   // workers, modeled accelerator rigs). Not a paper number — it sizes

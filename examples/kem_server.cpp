@@ -13,8 +13,15 @@
 // After each act it prints the service counters; at the end, the latency
 // histograms and the DegradeReport (the service's incident log).
 //
-//   ./build/examples/kem_server [handshakes-per-act]   (default 64)
+//   kem_server [handshakes-per-act] [--trace t.json] [--metrics m.prom]
+//
+// --trace installs a process-wide tracer and writes a Chrome
+// trace-event / Perfetto JSON timeline of every request (queue wait,
+// attempts, KEM phases, RTL busy windows, breaker transitions).
+// --metrics dumps the unified Prometheus-style exposition after every
+// act (on demand) and again at shutdown.
 #include <chrono>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <string>
@@ -23,6 +30,8 @@
 
 #include "common/status.h"
 #include "fault/plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/service.h"
 
 namespace {
@@ -98,7 +107,21 @@ void report(const char* act, const ActTally& t,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 64;
+  std::size_t n = 64;
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc)
+      trace_path = argv[++i];
+    else if (arg == "--metrics" && i + 1 < argc)
+      metrics_path = argv[++i];
+    else
+      n = std::stoul(arg);
+  }
+
+  // The tracer outlives the service: workers record spans until stop().
+  obs::Tracer tracer;
+  if (!trace_path.empty()) tracer.install();
 
   service::ServiceConfig cfg;
   cfg.workers = 4;
@@ -108,8 +131,32 @@ int main(int argc, char** argv) {
   std::cout << "kem_server: " << cfg.workers << " workers, queue capacity "
             << cfg.queue_capacity << ", " << svc.params().name << "\n\n";
 
+  obs::MetricsRegistry registry;
+  svc.register_metrics(registry);
+  // The modeled cycle breakdown of one handshake on the golden software
+  // backend — the CycleLedger channel in the same exposition.
+  CycleLedger model_ledger;
+  {
+    const lac::Backend golden = lac::Backend::optimized();
+    const lac::EncapsResult enc = lac::encapsulate(
+        svc.params(), golden, svc.keys().pk, entropy_for(0), &model_ledger);
+    lac::decapsulate(svc.params(), golden, svc.keys(), enc.ct, &model_ledger);
+  }
+  registry.add_ledger("lacrv_kem_model_cycles",
+                      "Modeled cycle cost of one handshake per pipeline "
+                      "section (golden backend)",
+                      &model_ledger);
+  const auto dump_metrics = [&](const char* stage) {
+    if (metrics_path.empty()) return;
+    std::ofstream out(metrics_path);
+    registry.expose(out);
+    std::cout << "  [metrics] " << registry.families() << " families -> "
+              << metrics_path << " (" << stage << ")\n";
+  };
+
   std::cout << "[act 1] healthy accelerators\n";
   report("healthy", run_act(svc, n, 1), svc);
+  dump_metrics("act 1");
 
   std::cout << "[act 2] fault campaign: stuck-at-1 bit in the ternary "
                "multiplier datapath\n";
@@ -117,6 +164,7 @@ int main(int argc, char** argv) {
   plan.add({fault::Unit::kMulTer, rtl::FaultKind::kStuckAtOne, 0, 5, 3});
   svc.arm_faults(plan);
   report("under fault", run_act(svc, n, 2), svc);
+  dump_metrics("act 2");
   print_status(std::cout, "kem-server",
                svc.breaker_state(fault::Unit::kMulTer) ==
                        service::BreakerState::kOpen
@@ -140,6 +188,7 @@ int main(int argc, char** argv) {
                    service::breaker_state_name(
                        svc.breaker_state(fault::Unit::kMulTer)));
   report("recovered", run_act(svc, n, 3), svc);
+  dump_metrics("act 3");
 
   std::cout << "latency (encaps):\n"
             << svc.raw_counters().encaps_latency.to_string()
@@ -148,5 +197,13 @@ int main(int argc, char** argv) {
             << "\nincident log:\n  " << svc.degrade_report().to_string()
             << "\n";
   svc.stop();
+  dump_metrics("shutdown");
+  if (!trace_path.empty()) {
+    obs::Tracer::uninstall();
+    std::ofstream out(trace_path);
+    tracer.write_chrome_json(out);
+    std::cout << "trace: " << tracer.size() << " events ("
+              << tracer.dropped() << " dropped) -> " << trace_path << "\n";
+  }
   return 0;
 }

@@ -2,8 +2,11 @@
 // file, run it, and dump registers and counters. Useful for exploring the
 // ISA extension interactively:
 //
-//   ./build/examples/riscv_playground program.s
+//   ./build/examples/riscv_playground [--profile] [program.s]
 //   ./build/examples/riscv_playground            # runs a built-in demo
+//
+// --profile attaches the ISS hot-spot profiler and prints the ranked
+// per-PC-range report (cycles per opcode class, pq.* vs base ISA split).
 //
 // The built-in demo times a modular-reduction loop twice — once with
 // div/rem software arithmetic, once with pq.modq — and prints the
@@ -16,6 +19,7 @@
 #include "riscv/assembler.h"
 #include "riscv/cpu.h"
 #include "riscv/encoding.h"
+#include "riscv/profiler.h"
 
 namespace {
 
@@ -54,12 +58,21 @@ constexpr const char* kDemo = R"(
 int main(int argc, char** argv) {
   using namespace lacrv;
 
+  bool profile = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--profile")
+      profile = true;
+    else
+      path = argv[i];
+  }
+
   std::string source;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  if (path) {
+    std::ifstream file(path);
     if (!file) {
       print_status(std::cerr, "riscv-playground", Status::kBadArgument,
-                   std::string("cannot open ") + argv[1]);
+                   std::string("cannot open ") + path);
       return 1;
     }
     std::stringstream buffer;
@@ -92,6 +105,8 @@ int main(int argc, char** argv) {
               << rv::disassemble(program.words[i]) << "\n";
 
   rv::Cpu cpu;
+  rv::IssProfiler profiler;
+  if (profile) cpu.set_profiler(&profiler);
   cpu.load_words(0, program.words);
   cpu.run(50'000'000);
   if (cpu.trapped()) {
@@ -112,10 +127,14 @@ int main(int argc, char** argv) {
               << " (0x" << std::hex << cpu.reg(i) << std::dec << ")\n";
   }
 
-  if (argc <= 1) {
+  if (!path) {
     std::cout << "\nmodular reduction of 2000 values:\n"
               << "  rem (35-cycle divider): " << cpu.reg(8) << " cycles\n"
               << "  pq.modq (Barrett unit): " << cpu.reg(9) << " cycles\n";
+  }
+  if (profile) {
+    std::cout << "\n";
+    profiler.report(std::cout);
   }
   return 0;
 }

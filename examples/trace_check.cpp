@@ -1,0 +1,225 @@
+// trace_check — validator for the observability artifacts kem_server
+// emits. Exits 0 iff the trace (and, if given, the metrics dump) are
+// well-formed AND at least one request's spans connect across every
+// layer through a shared trace id: the CI trace-smoke job runs this
+// against a live kem_server run.
+//
+//   trace_check trace.json [metrics.prom]
+//
+// Trace checks: parses as JSON, has a non-empty traceEvents array of
+// well-formed Chrome trace events, and some trace id links
+// service.queued -> service.attempt -> a kem.* phase -> an RTL unit
+// busy window. Metrics checks: Prometheus text shape (HELP/TYPE
+// headers, numeric samples) and the required service families.
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/json.h"
+
+namespace {
+
+using namespace lacrv;
+
+int failures = 0;
+
+void fail(const std::string& what) {
+  std::cerr << "FAIL: " << what << "\n";
+  ++failures;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    fail("cannot open " + path);
+    return {};
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---- trace ----------------------------------------------------------------
+
+bool is_rtl_busy(const std::string& name) {
+  return name == "mul_ter.busy" || name == "chien.busy" ||
+         name == "sha256.busy" || name == "sha256.hash_message";
+}
+
+void check_trace(const std::string& path) {
+  const std::string text = read_file(path);
+  if (text.empty()) return;
+
+  obs::json::Value doc;
+  std::string error;
+  if (!obs::json::parse(text, &doc, &error)) {
+    fail(path + ": " + error);
+    return;
+  }
+  if (!doc.is_object()) return fail(path + ": top level is not an object");
+  const obs::json::Value* events = doc.find("traceEvents");
+  if (!events || !events->is_array())
+    return fail(path + ": no traceEvents array");
+  if (events->array.empty()) return fail(path + ": traceEvents is empty");
+
+  // Per trace id, the set of span/instant names recorded under it.
+  std::map<u64, std::set<std::string>> by_id;
+  std::size_t complete = 0, instants = 0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const obs::json::Value& e = events->array[i];
+    const std::string where = path + ": event " + std::to_string(i);
+    if (!e.is_object()) {
+      fail(where + " is not an object");
+      continue;
+    }
+    const obs::json::Value* name = e.find("name");
+    const obs::json::Value* ph = e.find("ph");
+    const obs::json::Value* ts = e.find("ts");
+    if (!name || !name->is_string()) fail(where + ": missing name");
+    if (!ph || !ph->is_string() || (ph->str != "X" && ph->str != "i"))
+      fail(where + ": ph must be \"X\" or \"i\"");
+    if (!ts || !ts->is_number()) fail(where + ": missing numeric ts");
+    if (ph && ph->is_string() && ph->str == "X") {
+      ++complete;
+      const obs::json::Value* dur = e.find("dur");
+      if (!dur || !dur->is_number())
+        fail(where + ": complete event without numeric dur");
+    } else {
+      ++instants;
+    }
+    const obs::json::Value* args = e.find("args");
+    if (!args || !args->is_object()) {
+      fail(where + ": missing args object");
+      continue;
+    }
+    const obs::json::Value* trace_id = args->find("trace_id");
+    if (trace_id && trace_id->is_number() && name && name->is_string())
+      by_id[static_cast<u64>(trace_id->number)].insert(name->str);
+  }
+
+  // The acceptance chain: one request id carrying every layer.
+  std::size_t connected = 0;
+  for (const auto& [id, names] : by_id) {
+    if (!names.count("service.queued") || !names.count("service.attempt"))
+      continue;
+    bool has_kem = false, has_rtl = false;
+    for (const std::string& n : names) {
+      if (starts_with(n, "kem.")) has_kem = true;
+      if (is_rtl_busy(n)) has_rtl = true;
+    }
+    if (has_kem && has_rtl) ++connected;
+  }
+  if (connected == 0)
+    fail(path +
+         ": no trace id connects service.queued -> service.attempt -> "
+         "kem.* -> RTL busy window");
+
+  std::cout << "trace: " << events->array.size() << " events (" << complete
+            << " spans, " << instants << " instants), " << by_id.size()
+            << " trace ids, " << connected
+            << " fully connected service->kem->rtl chains\n";
+}
+
+// ---- metrics --------------------------------------------------------------
+
+void check_metrics(const std::string& path) {
+  const std::string text = read_file(path);
+  if (text.empty()) return;
+
+  std::set<std::string> families;
+  std::set<std::string> typed;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const std::string where = path + ":" + std::to_string(lineno);
+    if (line.empty()) continue;
+    if (starts_with(line, "# HELP ") || starts_with(line, "# TYPE ")) {
+      std::istringstream fields(line);
+      std::string hash, kind, name;
+      fields >> hash >> kind >> name;
+      if (name.empty()) fail(where + ": malformed " + kind + " line");
+      if (kind == "TYPE") {
+        std::string type;
+        fields >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram")
+          fail(where + ": unknown metric type " + type);
+        typed.insert(name);
+      }
+      continue;
+    }
+    if (line[0] == '#') {
+      fail(where + ": unrecognized comment line");
+      continue;
+    }
+    // Sample: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      fail(where + ": sample without value");
+      continue;
+    }
+    const std::string name =
+        line.substr(0, brace == std::string::npos ? space
+                                                  : std::min(brace, space));
+    if (name.empty() ||
+        !(std::isalpha(static_cast<unsigned char>(name[0])) ||
+          name[0] == '_'))
+      fail(where + ": bad metric name");
+    if (brace != std::string::npos) {
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos || close > line.rfind(' '))
+        fail(where + ": unterminated label set");
+    }
+    const std::string value = line.substr(line.rfind(' ') + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+      fail(where + ": non-numeric sample value " + value);
+    families.insert(name);
+  }
+
+  const char* required[] = {
+      "lacrv_service_requests_submitted_total",
+      "lacrv_service_requests_completed_total",
+      "lacrv_service_queue_depth",
+      "lacrv_service_breaker_state",
+      "lacrv_service_latency_micros_bucket",
+      "lacrv_service_latency_micros_sum",
+      "lacrv_service_latency_micros_count",
+  };
+  for (const char* name : required)
+    if (!families.count(name)) fail(path + ": missing family " + name);
+
+  std::cout << "metrics: " << families.size() << " sample families, "
+            << typed.size() << " TYPE headers\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: trace_check trace.json [metrics.prom]\n";
+    return 2;
+  }
+  check_trace(argv[1]);
+  if (argc > 2) check_metrics(argv[2]);
+  if (failures > 0) {
+    std::cerr << failures << " check(s) failed\n";
+    return 1;
+  }
+  std::cout << "all checks passed\n";
+  return 0;
+}

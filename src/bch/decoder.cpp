@@ -1,6 +1,7 @@
 #include "bch/decoder.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lacrv::bch {
 
@@ -8,6 +9,8 @@ DecodeResult decode_with_chien(const CodeSpec& spec, const BitVec& received,
                                Flavor flavor, const ChienStage& chien,
                                CycleLedger* ledger) {
   LACRV_CHECK(static_cast<int>(received.size()) == spec.length());
+  obs::TraceSpan span("bch.decode", "bch");
+  span.arg("t", static_cast<u64>(spec.t));
   LedgerScope scope(ledger, "bch_dec");
 
   const auto synd = [&] {

@@ -65,6 +65,19 @@ class LatencyHistogram {
   }
 
   u64 count() const { return count_.load(std::memory_order_relaxed); }
+  u64 sum_micros() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Samples in bucket b, i.e. latencies in [2^b, 2^(b+1)) micros
+  /// (bucket 0 additionally holds 0- and 1-micro samples; the last
+  /// bucket holds everything from 2^(kBuckets-1) up).
+  u64 bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket b in micros (the Prometheus `le` edge).
+  static constexpr u64 bucket_upper_micros(int b) {
+    return u64{1} << (b + 1);
+  }
 
   double mean_micros() const {
     const u64 n = count();

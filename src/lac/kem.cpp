@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/costs.h"
+#include "obs/trace.h"
 
 namespace lacrv::lac {
 namespace {
@@ -60,6 +61,7 @@ hash::Digest tagged_hash(u8 tag, ByteView a, ByteView b,
 
 KemKeyPair kem_keygen(const Params& params, const Backend& backend,
                       const hash::Seed& master, CycleLedger* ledger) {
+  obs::TraceSpan span("kem.keygen", "kem");
   const KeyPair kp = keygen(params, backend, master, ledger);
   KemKeyPair keys;
   keys.pk = kp.pk;
@@ -74,6 +76,7 @@ namespace {
 EncapsResult encapsulate_impl(const Params& params, const Backend& backend,
                               const PublicKey& pk, const hash::Seed& entropy,
                               CycleLedger* ledger, bool* hash_fault) {
+  obs::TraceSpan span("kem.encaps", "kem");
   // m <- PRG(entropy): a uniform 256-bit message.
   const hash::Seed m = derive_seed(entropy, kTagMessage);
   charge(ledger, 2 * hash_block_cost(backend.hash_impl));
@@ -107,6 +110,7 @@ SharedKey decapsulate_impl(const Params& params, const Backend& backend,
                            const KemKeyPair& keys, const Ciphertext& ct,
                            CycleLedger* ledger, Status* status,
                            bool* hash_fault) {
+  obs::TraceSpan span("kem.decaps", "kem");
   const DecryptResult dec = decrypt(params, backend, keys.sk, ct, ledger);
 
   const Bytes pk_bytes = serialize(params, keys.pk);
@@ -122,8 +126,10 @@ SharedKey decapsulate_impl(const Params& params, const Backend& backend,
                                            backend, ledger, hash_fault);
 
   // Re-encrypt and compare (the CCA step Table II's decapsulation times).
-  const Ciphertext ct2 =
-      encrypt(params, backend, keys.pk, dec.message, coins, ledger);
+  const Ciphertext ct2 = [&] {
+    obs::TraceSpan reenc("kem.reencrypt", "kem");
+    return encrypt(params, backend, keys.pk, dec.message, coins, ledger);
+  }();
 
   const Bytes ct_bytes = serialize(params, ct);
   const Bytes ct2_bytes = serialize(params, ct2);

@@ -1,0 +1,46 @@
+// Minimal JSON support for the observability layer: an escaper shared by
+// every machine-readable dump (the tracer, the bench --json records) and
+// a small recursive-descent parser used by the trace/metrics checker and
+// the end-to-end tests to validate what those dumps actually emit.
+//
+// Deliberately tiny — no DOM mutation, no serialization of parsed
+// values, numbers as double (every value this repo emits fits).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lacrv::obs::json {
+
+/// Escape a string for inclusion inside JSON double quotes.
+std::string escape(std::string_view s);
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  /// Insertion-ordered key/value pairs (duplicate keys kept as-is).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First value under `key` (objects only); null if absent.
+  const Value* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document. Returns false (with a position-
+/// annotated message in `error`, if given) on malformed input or
+/// trailing garbage.
+bool parse(std::string_view text, Value* out, std::string* error = nullptr);
+
+}  // namespace lacrv::obs::json

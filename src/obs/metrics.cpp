@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace lacrv::obs {
+namespace {
+
+void write_sample(std::ostream& os, const std::string& name,
+                  const std::string& labels, double value) {
+  os << name;
+  if (!labels.empty()) os << "{" << labels << "}";
+  // Counters and cycle totals are integral; render them without the
+  // scientific notation a plain double stream would pick.
+  if (value == static_cast<double>(static_cast<long long>(value)))
+    os << " " << static_cast<long long>(value) << "\n";
+  else
+    os << " " << value << "\n";
+}
+
+std::string join_labels(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "," + b;
+}
+
+}  // namespace
+
+void MetricsRegistry::add_counter(std::string name, std::string help,
+                                  const std::atomic<u64>* value,
+                                  std::string labels) {
+  Entry e;
+  e.kind = Entry::Kind::kCounter;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.counter = value;
+  add(std::move(e));
+}
+
+void MetricsRegistry::add_gauge(std::string name, std::string help,
+                                std::function<double()> value,
+                                std::string labels) {
+  Entry e;
+  e.kind = Entry::Kind::kGauge;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.gauge = std::move(value);
+  add(std::move(e));
+}
+
+void MetricsRegistry::add_histogram(std::string name, std::string help,
+                                    const stats::LatencyHistogram* histogram,
+                                    std::string labels) {
+  Entry e;
+  e.kind = Entry::Kind::kHistogram;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.histogram = histogram;
+  add(std::move(e));
+}
+
+void MetricsRegistry::add_ledger(std::string name, std::string help,
+                                 const CycleLedger* ledger,
+                                 std::string labels) {
+  Entry e;
+  e.kind = Entry::Kind::kLedger;
+  e.name = std::move(name);
+  e.help = std::move(help);
+  e.labels = std::move(labels);
+  e.ledger = ledger;
+  add(std::move(e));
+}
+
+void MetricsRegistry::add(Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsRegistry::expose_one(std::ostream& os, const Entry& e) {
+  switch (e.kind) {
+    case Entry::Kind::kCounter:
+      write_sample(os, e.name, e.labels,
+                   static_cast<double>(
+                       e.counter->load(std::memory_order_relaxed)));
+      break;
+    case Entry::Kind::kGauge:
+      write_sample(os, e.name, e.labels, e.gauge());
+      break;
+    case Entry::Kind::kHistogram: {
+      const stats::LatencyHistogram& h = *e.histogram;
+      u64 cumulative = 0;
+      for (int b = 0; b < stats::LatencyHistogram::kBuckets; ++b) {
+        cumulative += h.bucket(b);
+        write_sample(
+            os, e.name + "_bucket",
+            join_labels(e.labels,
+                        "le=\"" +
+                            std::to_string(
+                                stats::LatencyHistogram::bucket_upper_micros(
+                                    b)) +
+                            "\""),
+            static_cast<double>(cumulative));
+      }
+      write_sample(os, e.name + "_bucket", join_labels(e.labels, "le=\"+Inf\""),
+                   static_cast<double>(h.count()));
+      write_sample(os, e.name + "_sum", e.labels,
+                   static_cast<double>(h.sum_micros()));
+      write_sample(os, e.name + "_count", e.labels,
+                   static_cast<double>(h.count()));
+      break;
+    }
+    case Entry::Kind::kLedger: {
+      for (const auto& [section, cycles] : e.ledger->sections())
+        write_sample(os, e.name,
+                     join_labels(e.labels, "section=\"" + section + "\""),
+                     static_cast<double>(cycles));
+      write_sample(os, e.name + "_total", e.labels,
+                   static_cast<double>(e.ledger->total()));
+      break;
+    }
+  }
+}
+
+void MetricsRegistry::expose(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One HELP/TYPE header per family even when several label sets were
+  // registered under the same name (e.g. per-op latency histograms).
+  std::map<std::string, bool> header_written;
+  for (const Entry& e : entries_) {
+    if (!header_written[e.name]) {
+      header_written[e.name] = true;
+      const char* type = e.kind == Entry::Kind::kCounter ? "counter"
+                         : e.kind == Entry::Kind::kHistogram ? "histogram"
+                                                             : "gauge";
+      os << "# HELP " << e.name << " " << e.help << "\n";
+      os << "# TYPE " << e.name << " " << type << "\n";
+    }
+    expose_one(os, e);
+  }
+}
+
+std::string MetricsRegistry::expose_text() const {
+  std::ostringstream os;
+  expose(os);
+  return os.str();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t MetricsRegistry::families() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace lacrv::obs

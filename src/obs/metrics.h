@@ -1,0 +1,80 @@
+// Unified metrics registry with Prometheus-style text exposition.
+//
+// The repo grew three observability channels independently: the atomic
+// ServiceCounters in src/service/, the lock-free LatencyHistogram in
+// common/stats.h, and the CycleLedger section breakdown the paper tables
+// are built from. This registry puts all three behind one interface: a
+// producer registers its sources once (non-owning pointers / callbacks),
+// and expose() renders a consistent snapshot in the Prometheus text
+// format — the same dump whether it is requested mid-run ("on demand")
+// or at shutdown.
+//
+// Sources are read at expose() time, so registration is cheap and the
+// hot paths keep their existing lock-free counters; nothing is copied
+// until somebody asks. Registered pointers must outlive the registry or
+// be removed with clear().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/ledger.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace lacrv::obs {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter read from an atomic the producer keeps bumping.
+  /// `labels` is the rendered label set without braces, e.g.
+  /// `op="encaps"` (empty: no labels).
+  void add_counter(std::string name, std::string help,
+                   const std::atomic<u64>* value, std::string labels = {});
+
+  /// Gauge evaluated at exposition time (queue depths, breaker states).
+  void add_gauge(std::string name, std::string help,
+                 std::function<double()> value, std::string labels = {});
+
+  /// Log2-bucketed latency histogram, exposed with cumulative `le`
+  /// buckets plus _sum and _count.
+  void add_histogram(std::string name, std::string help,
+                     const stats::LatencyHistogram* histogram,
+                     std::string labels = {});
+
+  /// CycleLedger breakdown: one `name{section="..."}` gauge per section
+  /// plus `name_total`. The ledger is not thread-safe — register only
+  /// ledgers that are quiescent whenever expose() runs.
+  void add_ledger(std::string name, std::string help,
+                  const CycleLedger* ledger, std::string labels = {});
+
+  /// Render every registered family in the Prometheus text format.
+  /// Families with the same name share one # HELP/# TYPE header.
+  void expose(std::ostream& os) const;
+  std::string expose_text() const;
+
+  void clear();
+  std::size_t families() const;
+
+ private:
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram, kLedger } kind;
+    std::string name, help, labels;
+    const std::atomic<u64>* counter = nullptr;
+    std::function<double()> gauge;
+    const stats::LatencyHistogram* histogram = nullptr;
+    const CycleLedger* ledger = nullptr;
+  };
+
+  void add(Entry entry);
+  static void expose_one(std::ostream& os, const Entry& e);
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lacrv::obs

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/json.h"
+
+namespace lacrv::obs {
+namespace {
+
+u64 steady_micros() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+}
+
+thread_local u64 tls_trace_id = 0;
+
+/// Small dense thread ids for the trace (std::thread::id is opaque).
+u32 this_thread_tid() {
+  static std::atomic<u32> next{1};
+  thread_local u32 tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+u64 thread_trace_id() { return tls_trace_id; }
+void set_thread_trace_id(u64 id) { tls_trace_id = id; }
+
+std::atomic<Tracer*> Tracer::active_{nullptr};
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity), epoch_micros_(steady_micros()) {}
+
+u64 Tracer::now_micros() const { return steady_micros() - epoch_micros_; }
+
+void Tracer::record(TraceEvent event) {
+  event.tid = this_thread_tid();
+  if (event.trace_id == 0) event.trace_id = tls_trace_id;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void Tracer::complete_event(
+    const char* name, const char* category, u64 ts_micros, u64 dur_micros,
+    std::vector<std::pair<const char*, u64>> num_args,
+    std::vector<std::pair<const char*, std::string>> str_args) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'X';
+  e.ts_micros = ts_micros;
+  e.dur_micros = dur_micros;
+  e.num_args = std::move(num_args);
+  e.str_args = std::move(str_args);
+  record(std::move(e));
+}
+
+void Tracer::instant_event(
+    const char* name, const char* category,
+    std::vector<std::pair<const char*, u64>> num_args,
+    std::vector<std::pair<const char*, std::string>> str_args) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'i';
+  e.ts_micros = now_micros();
+  e.num_args = std::move(num_args);
+  e.str_args = std::move(str_args);
+  record(std::move(e));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    os << "{\"name\": \"" << json::escape(e.name) << "\", \"cat\": \""
+       << json::escape(e.category) << "\", \"ph\": \"" << e.phase
+       << "\", \"ts\": " << e.ts_micros;
+    if (e.phase == 'X') os << ", \"dur\": " << e.dur_micros;
+    if (e.phase == 'i') os << ", \"s\": \"t\"";  // thread-scoped instant
+    os << ", \"pid\": 1, \"tid\": " << e.tid << ", \"args\": {";
+    bool first = true;
+    if (e.trace_id != 0) {
+      os << "\"trace_id\": " << e.trace_id;
+      first = false;
+    }
+    for (const auto& [key, value] : e.num_args) {
+      os << (first ? "" : ", ") << "\"" << json::escape(key)
+         << "\": " << value;
+      first = false;
+    }
+    for (const auto& [key, value] : e.str_args) {
+      os << (first ? "" : ", ") << "\"" << json::escape(key) << "\": \""
+         << json::escape(value) << "\"";
+      first = false;
+    }
+    os << "}}" << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  os << "]}\n";
+}
+
+}  // namespace lacrv::obs

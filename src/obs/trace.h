@@ -1,0 +1,185 @@
+// Cross-layer span tracer emitting Chrome trace-event / Perfetto JSON.
+//
+// One Tracer instance can be installed process-wide; every instrumented
+// layer (service requests, KEM phases, BCH decode, RTL unit busy
+// windows) then records spans into it. Spans carry the thread-local
+// *trace id* — the service sets it to the request id before running a
+// job, so a single timeline connects a request's queue wait, retry and
+// breaker events, KEM phase, and the accelerator busy windows that
+// served it.
+//
+// Cost model: with no tracer installed, every instrumentation site is
+// one relaxed atomic load (the TraceSpan constructor checks active()
+// and stores null). Defining LACRV_NO_TRACING compiles the sites out
+// entirely — TraceSpan and instant() become empty inline stubs. The
+// Tracer class itself always exists so tools and tests can link it.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lacrv::obs {
+
+// ---- thread-local trace context -------------------------------------------
+
+/// Trace id every event recorded on this thread is stamped with
+/// (0: no request context).
+u64 thread_trace_id();
+void set_thread_trace_id(u64 id);
+
+/// RAII: set the thread's trace id for a scope, restore the previous one
+/// on exit (nesting-safe).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(u64 id) : saved_(thread_trace_id()) {
+    set_thread_trace_id(id);
+  }
+  ~TraceContextScope() { set_thread_trace_id(saved_); }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  u64 saved_;
+};
+
+// ---- events ----------------------------------------------------------------
+
+/// One trace event. `name` and `category` must be string literals (or
+/// otherwise outlive the tracer) — the hot path never copies them.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  char phase = 'X';   // 'X' complete, 'i' instant
+  u64 ts_micros = 0;  // relative to the tracer's epoch
+  u64 dur_micros = 0;
+  u64 trace_id = 0;
+  u32 tid = 0;
+  std::vector<std::pair<const char*, u64>> num_args;
+  std::vector<std::pair<const char*, std::string>> str_args;
+};
+
+class Tracer {
+ public:
+  /// `capacity` bounds memory: events beyond it are dropped (and
+  /// counted), never reallocated unboundedly under load.
+  explicit Tracer(std::size_t capacity = 1 << 20);
+
+  /// The process-wide active tracer (null: tracing disabled). One
+  /// relaxed atomic load — this is the whole disabled-path cost.
+  static Tracer* active() {
+    return active_.load(std::memory_order_acquire);
+  }
+  /// Make this tracer the active one. The caller keeps ownership and
+  /// must uninstall() before destroying it.
+  void install() { active_.store(this, std::memory_order_release); }
+  static void uninstall() { active_.store(nullptr, std::memory_order_release); }
+
+  /// Microseconds since this tracer's construction (the trace epoch).
+  u64 now_micros() const;
+
+  /// Record a fully-formed event. Fills tid and, if the event carries
+  /// none, the thread-local trace id. Thread-safe.
+  void record(TraceEvent event);
+
+  /// Convenience recorders (no-ops when capacity is exhausted).
+  void complete_event(
+      const char* name, const char* category, u64 ts_micros, u64 dur_micros,
+      std::vector<std::pair<const char*, u64>> num_args = {},
+      std::vector<std::pair<const char*, std::string>> str_args = {});
+  void instant_event(
+      const char* name, const char* category,
+      std::vector<std::pair<const char*, u64>> num_args = {},
+      std::vector<std::pair<const char*, std::string>> str_args = {});
+
+  std::size_t size() const;
+  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Snapshot of all recorded events (copy under the lock).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}); loads directly in
+  /// Perfetto / chrome://tracing.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  static std::atomic<Tracer*> active_;
+
+  const std::size_t capacity_;
+  const u64 epoch_micros_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::atomic<u64> dropped_{0};
+};
+
+// ---- instrumentation sites --------------------------------------------------
+
+#ifndef LACRV_NO_TRACING
+
+/// RAII span: captures the active tracer and a start timestamp on
+/// construction, emits one complete ('X') event on destruction. When no
+/// tracer is installed the constructor is a single atomic load and every
+/// other method is a null check.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : tracer_(Tracer::active()) {
+    if (tracer_) {
+      event_.name = name;
+      event_.category = category;
+      event_.ts_micros = tracer_->now_micros();
+    }
+  }
+  ~TraceSpan() {
+    if (tracer_) {
+      event_.dur_micros = tracer_->now_micros() - event_.ts_micros;
+      tracer_->record(std::move(event_));
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void arg(const char* key, u64 value) {
+    if (tracer_) event_.num_args.emplace_back(key, value);
+  }
+  void arg(const char* key, std::string value) {
+    if (tracer_) event_.str_args.emplace_back(key, std::move(value));
+  }
+  bool enabled() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  TraceEvent event_;
+};
+
+/// Instant event at "now" on the active tracer (no-op when disabled).
+inline void instant(const char* name, const char* category,
+                    std::vector<std::pair<const char*, u64>> num_args = {},
+                    std::vector<std::pair<const char*, std::string>> str_args =
+                        {}) {
+  if (Tracer* t = Tracer::active())
+    t->instant_event(name, category, std::move(num_args),
+                     std::move(str_args));
+}
+
+#else  // LACRV_NO_TRACING: the sites compile to nothing.
+
+class TraceSpan {
+ public:
+  TraceSpan(const char*, const char*) {}
+  void arg(const char*, u64) {}
+  void arg(const char*, std::string) {}
+  bool enabled() const { return false; }
+};
+
+inline void instant(const char*, const char*,
+                    std::vector<std::pair<const char*, u64>> = {},
+                    std::vector<std::pair<const char*, std::string>> = {}) {}
+
+#endif  // LACRV_NO_TRACING
+
+}  // namespace lacrv::obs

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "riscv/assembler.h"
 #include "riscv/cpu.h"
+#include "riscv/profiler.h"
 
 namespace lacrv::perf {
 namespace {
@@ -83,9 +84,10 @@ std::string mul_ter_kernel_source(bool negacyclic) {
 }
 
 IssRunResult iss_mul_ter(const poly::Ternary& a, const poly::Coeffs& b,
-                         bool negacyclic) {
+                         bool negacyclic, rv::IssProfiler* profiler) {
   LACRV_CHECK(a.size() == 512 && b.size() == 512);
   rv::Cpu cpu(1 << 20);
+  cpu.set_profiler(profiler);
   const rv::Program prog = rv::assemble(mul_ter_kernel_source(negacyclic));
   cpu.load_words(0, prog.words);
 
@@ -109,7 +111,8 @@ IssRunResult iss_mul_ter(const poly::Ternary& a, const poly::Coeffs& b,
   return result;
 }
 
-IssRunResult iss_modq(const std::vector<u16>& values) {
+IssRunResult iss_modq(const std::vector<u16>& values,
+                      rv::IssProfiler* profiler) {
   std::ostringstream src;
   src << R"(
       li   t0, 0x20000          # input (u16 words)
@@ -127,6 +130,7 @@ IssRunResult iss_modq(const std::vector<u16>& values) {
       ebreak
   )";
   rv::Cpu cpu(1 << 20);
+  cpu.set_profiler(profiler);
   const rv::Program prog = rv::assemble(src.str());
   cpu.load_words(0, prog.words);
   Bytes input(values.size() * 2);
@@ -147,7 +151,8 @@ IssRunResult iss_modq(const std::vector<u16>& values) {
   return result;
 }
 
-IssRunResult iss_gen_a(const std::array<u8, 32>& seed, std::size_t count) {
+IssRunResult iss_gen_a(const std::array<u8, 32>& seed, std::size_t count,
+                       rv::IssProfiler* profiler) {
   // Memory map: the software-prepared padded block template lives at
   // kBlockBase (seed || counter || 0x80 || zeros || bit-length 288). The
   // kernel patches the 4 counter bytes, drives the core byte-wise, reads
@@ -223,6 +228,7 @@ IssRunResult iss_gen_a(const std::array<u8, 32>& seed, std::size_t count) {
   )";
 
   rv::Cpu cpu(1 << 20);
+  cpu.set_profiler(profiler);
   const rv::Program prog = rv::assemble(src.str());
   cpu.load_words(0, prog.words);
 
@@ -347,8 +353,8 @@ void emit_recombine(std::ostringstream& src, int id, int mode, u32 dst,
 
 }  // namespace
 
-IssRunResult iss_split_mul_1024(const poly::Ternary& a,
-                                const poly::Coeffs& b) {
+IssRunResult iss_split_mul_1024(const poly::Ternary& a, const poly::Coeffs& b,
+                                rv::IssProfiler* profiler) {
   LACRV_CHECK(a.size() == 1024 && b.size() == 1024);
   constexpr u32 kA = 0x10000;    // 1024 ternary codes
   constexpr u32 kB = 0x10800;    // 1024 general coefficients
@@ -392,6 +398,7 @@ IssRunResult iss_split_mul_1024(const poly::Ternary& a,
   src << "  ebreak\n";
 
   rv::Cpu cpu(1 << 20);
+  cpu.set_profiler(profiler);
   const rv::Program prog = rv::assemble(src.str());
   cpu.load_words(0, prog.words);
 
@@ -415,7 +422,7 @@ IssRunResult iss_split_mul_1024(const poly::Ternary& a,
 }
 
 IssChienResult iss_chien(std::span<const gf::Element> lambda, int first,
-                         int last) {
+                         int last, rv::IssProfiler* profiler) {
   const int t = static_cast<int>(lambda.size()) - 1;
   LACRV_CHECK(t == 8 || t == 16);
   LACRV_CHECK(first <= last);
@@ -469,6 +476,7 @@ IssChienResult iss_chien(std::span<const gf::Element> lambda, int first,
 )";
 
   rv::Cpu cpu(1 << 20);
+  cpu.set_profiler(profiler);
   const rv::Program prog = rv::assemble(src.str());
   cpu.load_words(0, prog.words);
   cpu.run();

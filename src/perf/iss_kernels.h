@@ -10,6 +10,10 @@
 #include "gf/gf512.h"
 #include "poly/ring.h"
 
+namespace lacrv::rv {
+class IssProfiler;
+}  // namespace lacrv::rv
+
 namespace lacrv::perf {
 
 struct IssRunResult {
@@ -18,24 +22,31 @@ struct IssRunResult {
   u64 instructions = 0;
 };
 
+// Every kernel takes an optional profiler: when non-null it is attached
+// to the ISS for the run, attributing retired cycles per PC and per
+// opcode class (see riscv/profiler.h).
+
 /// Full length-512 negacyclic (or cyclic) multiplication on the ISS via
 /// pq.mul_ter: load 103 packed chunks, start, read back 128 chunks.
 IssRunResult iss_mul_ter(const poly::Ternary& a, const poly::Coeffs& b,
-                         bool negacyclic);
+                         bool negacyclic, rv::IssProfiler* profiler = nullptr);
 
 /// Reduce each 16-bit input word modulo 251 via pq.modq in a loop.
-IssRunResult iss_modq(const std::vector<u16>& values);
+IssRunResult iss_modq(const std::vector<u16>& values,
+                      rv::IssProfiler* profiler = nullptr);
 
 /// GenA on the ISS: expand a 32-byte seed into `count` uniform
 /// coefficients below q through pq.sha256 (counter-mode blocks, software
 /// rejection sampling) — must agree byte-for-byte with lac::gen_a.
-IssRunResult iss_gen_a(const std::array<u8, 32>& seed, std::size_t count);
+IssRunResult iss_gen_a(const std::array<u8, 32>& seed, std::size_t count,
+                       rv::IssProfiler* profiler = nullptr);
 
 /// The full optimized n=1024 multiplication (LAC-192/256) as machine
 /// code: Algorithms 1 and 2 drive sixteen length-256 cyclic convolutions
 /// on the MUL TER unit and recombine with pq.modq — the complete software
 /// side of the paper's "Multiplication 151,354 cycles" Table II cell.
-IssRunResult iss_split_mul_1024(const poly::Ternary& a, const poly::Coeffs& b);
+IssRunResult iss_split_mul_1024(const poly::Ternary& a, const poly::Coeffs& b,
+                                rv::IssProfiler* profiler = nullptr);
 
 struct IssChienResult {
   /// One flag per scanned exponent: 1 iff Lambda(alpha^l) == 0.
@@ -50,7 +61,7 @@ struct IssChienResult {
 /// (Sec. V's three operation modes). lambda has t+1 coefficients with t
 /// in {8, 16}; the window is [first, last].
 IssChienResult iss_chien(std::span<const gf::Element> lambda, int first,
-                         int last);
+                         int last, rv::IssProfiler* profiler = nullptr);
 
 /// The assembly source of the mul_ter kernel (exposed so examples can
 /// show and disassemble it).

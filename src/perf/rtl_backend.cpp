@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/costs.h"
+#include "obs/trace.h"
 #include "rtl/chien_unit.h"
 #include "rtl/mul_ter.h"
 
@@ -63,9 +64,13 @@ bch::ChienStage rtl_chien() {
 bch::ChienStage rtl_chien(std::shared_ptr<rtl::ChienRtl> unit) {
   return [unit](const bch::CodeSpec& spec, const bch::Locator& loc,
                 CycleLedger* ledger) {
-    unit->configure(loc.lambda, spec.chien_first);
+    // The Chien unit has no single busy signal (it advances lane by
+    // lane); the busy window of one full locator scan is the trace span.
+    obs::TraceSpan span("chien.busy", "rtl");
+    unit->configure(loc.lambda, spec.chien_first);  // resets unit cycles
     bch::ChienResult result;
     const int points = spec.chien_last - spec.chien_first + 1;
+    span.arg("points", static_cast<u64>(points));
     for (int l = spec.chien_first; l <= spec.chien_last; ++l) {
       if (unit->eval_next() == 0) {
         ++result.roots_found;
@@ -80,6 +85,7 @@ bch::ChienStage rtl_chien(std::shared_ptr<rtl::ChienRtl> unit) {
                static_cast<u64>(points) *
                    (groups * cost::kChienHwGroupControl +
                     cost::kChienHwPointOverhead));
+    span.arg("cycles", unit->cycles());
     return result;
   };
 }

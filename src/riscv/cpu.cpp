@@ -4,6 +4,7 @@
 #include "common/costs.h"
 #include "riscv/compressed.h"
 #include "riscv/encoding.h"
+#include "riscv/profiler.h"
 
 namespace lacrv::rv {
 namespace {
@@ -192,9 +193,15 @@ void Cpu::step() {
     raise_trap(TrapCause::kInstructionFault, pc_);
     return;
   }
+  const u32 fetch_pc = pc_;
+  const u64 cycles_before = cycles_;
   exec(insn, ilen);
   // A faulting instruction does not retire.
-  if (!trapped_) ++instructions_;
+  if (!trapped_) {
+    ++instructions_;
+    if (profiler_)
+      profiler_->on_retire(fetch_pc, insn, cycles_ - cycles_before);
+  }
 }
 
 u64 Cpu::run(u64 max_steps) {

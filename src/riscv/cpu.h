@@ -15,6 +15,8 @@
 
 namespace lacrv::rv {
 
+class IssProfiler;
+
 /// Machine trap causes (mcause encoding of the privileged spec, plus a
 /// custom cause for PQ-ALU protocol faults — causes >= 24 are designated
 /// for custom use).
@@ -83,6 +85,11 @@ class Cpu {
 
   PqAlu& pq() { return pq_; }
 
+  /// Attach a hot-spot profiler (riscv/profiler.h); every retired
+  /// instruction reports its PC, bits and cycle cost. Null detaches;
+  /// the detached cost is one branch per instruction.
+  void set_profiler(IssProfiler* profiler) { profiler_ = profiler; }
+
   /// Optional memory-mapped I/O handler, consulted for any access that
   /// falls outside RAM. Returns true if it claimed the access; `value`
   /// carries the datum (in for stores, out for loads). Unclaimed
@@ -112,6 +119,7 @@ class Cpu {
   u64 instructions_ = 0;
   PqAlu pq_;
   MmioHandler mmio_;
+  IssProfiler* profiler_ = nullptr;
 };
 
 }  // namespace lacrv::rv

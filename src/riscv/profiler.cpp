@@ -1,0 +1,148 @@
+#include "riscv/profiler.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "riscv/encoding.h"
+
+namespace lacrv::rv {
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kAlu: return "alu";
+    case OpClass::kMulDiv: return "mul/div";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kJump: return "jump";
+    case OpClass::kSystem: return "system";
+    case OpClass::kPqMulTer: return "pq.mul_ter";
+    case OpClass::kPqMulChien: return "pq.mul_chien";
+    case OpClass::kPqSha256: return "pq.sha256";
+    case OpClass::kPqModq: return "pq.modq";
+    case OpClass::kCount: break;
+  }
+  return "?";
+}
+
+OpClass classify_insn(u32 insn) {
+  switch (get_opcode(insn)) {
+    case kOpLoad: return OpClass::kLoad;
+    case kOpStore: return OpClass::kStore;
+    case kOpBranch: return OpClass::kBranch;
+    case kOpJal:
+    case kOpJalr: return OpClass::kJump;
+    case kOpSystem: return OpClass::kSystem;
+    case kOpReg:
+      if (get_funct7(insn) == 1) return OpClass::kMulDiv;
+      return OpClass::kAlu;
+    case kOpPq:
+      switch (get_funct3(insn)) {
+        case pq::kFunct3MulTer: return OpClass::kPqMulTer;
+        case pq::kFunct3MulChien: return OpClass::kPqMulChien;
+        case pq::kFunct3Sha256: return OpClass::kPqSha256;
+        default: return OpClass::kPqModq;
+      }
+    default: return OpClass::kAlu;  // lui/auipc/op-imm/fence
+  }
+}
+
+void IssProfiler::on_retire(u32 pc, u32 insn, u64 cycles) {
+  PcStat& stat = pcs_[pc];
+  stat.cycles += cycles;
+  ++stat.count;
+  stat.insn = insn;
+  const auto c = static_cast<std::size_t>(classify_insn(insn));
+  class_cycles_[c] += cycles;
+  ++class_instructions_[c];
+  total_cycles_ += cycles;
+  ++total_instructions_;
+}
+
+u64 IssProfiler::pq_cycles() const {
+  u64 sum = 0;
+  for (std::size_t c = static_cast<std::size_t>(OpClass::kPqMulTer);
+       c <= static_cast<std::size_t>(OpClass::kPqModq); ++c)
+    sum += class_cycles_[c];
+  return sum;
+}
+
+std::vector<IssProfiler::HotRange> IssProfiler::hot_ranges(
+    u32 max_gap_bytes) const {
+  std::vector<u32> pcs;
+  pcs.reserve(pcs_.size());
+  for (const auto& [pc, stat] : pcs_) pcs.push_back(pc);
+  std::sort(pcs.begin(), pcs.end());
+
+  std::vector<HotRange> ranges;
+  for (std::size_t i = 0; i < pcs.size(); ++i) {
+    const PcStat& stat = pcs_.at(pcs[i]);
+    if (ranges.empty() || pcs[i] - ranges.back().last_pc > max_gap_bytes) {
+      HotRange r;
+      r.first_pc = r.last_pc = r.top_pc = pcs[i];
+      ranges.push_back(r);
+    }
+    HotRange& r = ranges.back();
+    r.last_pc = pcs[i];
+    r.cycles += stat.cycles;
+    r.instructions += stat.count;
+    if (stat.cycles > r.top_cycles) {
+      r.top_cycles = stat.cycles;
+      r.top_pc = pcs[i];
+      r.top_insn = stat.insn;
+    }
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const HotRange& a, const HotRange& b) {
+              return a.cycles > b.cycles;
+            });
+  return ranges;
+}
+
+void IssProfiler::report(std::ostream& os, std::size_t top_n) const {
+  const auto pct = [this](u64 cycles) {
+    return total_cycles_ == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(cycles) /
+                     static_cast<double>(total_cycles_);
+  };
+
+  os << "ISS hot-spot profile: " << total_instructions_
+     << " instructions retired, " << total_cycles_ << " cycles\n";
+  os << std::fixed << std::setprecision(1);
+  os << "cycle split: pq.* " << pq_cycles() << " (" << pct(pq_cycles())
+     << "%) | base ISA " << base_cycles() << " (" << pct(base_cycles())
+     << "%)\n\nper-class breakdown:\n";
+  for (std::size_t c = 0; c < static_cast<std::size_t>(OpClass::kCount);
+       ++c) {
+    if (class_instructions_[c] == 0) continue;
+    os << "  " << std::setw(12) << std::left
+       << op_class_name(static_cast<OpClass>(c)) << std::right
+       << std::setw(12) << class_cycles_[c] << " cycles  (" << std::setw(5)
+       << pct(class_cycles_[c]) << "%)  " << class_instructions_[c]
+       << " insns\n";
+  }
+
+  const std::vector<HotRange> ranges = hot_ranges();
+  os << "\nhot ranges (top " << std::min(top_n, ranges.size()) << " of "
+     << ranges.size() << "):\n";
+  for (std::size_t i = 0; i < ranges.size() && i < top_n; ++i) {
+    const HotRange& r = ranges[i];
+    os << "  #" << i + 1 << " [0x" << std::hex << r.first_pc << ", 0x"
+       << r.last_pc << "]" << std::dec << "  " << r.cycles << " cycles ("
+       << pct(r.cycles) << "%), " << r.instructions
+       << " insns\n      hottest: 0x" << std::hex << r.top_pc << std::dec
+       << "  " << disassemble(r.top_insn) << "  (" << r.top_cycles
+       << " cycles)\n";
+  }
+}
+
+void IssProfiler::reset() {
+  pcs_.clear();
+  class_cycles_.fill(0);
+  class_instructions_.fill(0);
+  total_cycles_ = 0;
+  total_instructions_ = 0;
+}
+
+}  // namespace lacrv::rv

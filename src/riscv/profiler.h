@@ -1,0 +1,105 @@
+// ISS hot-spot profiler: per-PC and per-opcode-class attribution of
+// retired cycles.
+//
+// Attach an IssProfiler to a Cpu and every retired instruction is
+// charged to (a) its PC — later coalesced into contiguous hot ranges, a
+// poor man's loop detector that works because the kernels are straight
+// loops — and (b) its opcode class, splitting base-ISA work from the
+// four pq.* custom instructions. The class split reproduces Table II's
+// accelerator-vs-software story automatically: for an accelerated
+// kernel the pq.* share is the accelerator time (issue + stall cycles),
+// everything else is the software packing/control the paper's Sec. V
+// accounts to the CPU.
+//
+// Cost: one branch per retired instruction when detached; one hash-map
+// update when attached. The profiler is not thread-safe — use one per
+// Cpu (the Cpu itself is single-threaded).
+#pragma once
+
+#include <array>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lacrv::rv {
+
+/// Opcode classes for cycle attribution. The four pq.* entries mirror
+/// the funct3 assignment of encoding.h.
+enum class OpClass : u8 {
+  kAlu = 0,     // lui/auipc/op-imm/op (non-M), fence
+  kMulDiv,      // RV32M
+  kLoad,
+  kStore,
+  kBranch,
+  kJump,        // jal/jalr
+  kSystem,      // ecall/ebreak/csr
+  kPqMulTer,
+  kPqMulChien,
+  kPqSha256,
+  kPqModq,
+  kCount,
+};
+
+const char* op_class_name(OpClass c);
+OpClass classify_insn(u32 insn);
+inline bool is_pq_class(OpClass c) {
+  return c >= OpClass::kPqMulTer && c <= OpClass::kPqModq;
+}
+
+class IssProfiler {
+ public:
+  /// Called by the Cpu for every retired instruction with the cycles it
+  /// consumed (including accelerator stall cycles for pq.* issues).
+  void on_retire(u32 pc, u32 insn, u64 cycles);
+
+  u64 total_cycles() const { return total_cycles_; }
+  u64 total_instructions() const { return total_instructions_; }
+  u64 class_cycles(OpClass c) const {
+    return class_cycles_[static_cast<std::size_t>(c)];
+  }
+  u64 class_instructions(OpClass c) const {
+    return class_instructions_[static_cast<std::size_t>(c)];
+  }
+  /// Cycles retired by the four pq.* instructions (the accelerator
+  /// share: issue + stalls while a unit computes).
+  u64 pq_cycles() const;
+  /// Cycles retired by base-ISA instructions (the software share).
+  u64 base_cycles() const { return total_cycles_ - pq_cycles(); }
+
+  /// A contiguous run of executed PCs (gaps of at most `max_gap_bytes`
+  /// between neighbouring sampled PCs), ranked by cycles.
+  struct HotRange {
+    u32 first_pc = 0;
+    u32 last_pc = 0;   // inclusive
+    u64 cycles = 0;
+    u64 instructions = 0;
+    u32 top_pc = 0;    // hottest single PC in the range
+    u64 top_cycles = 0;
+    u32 top_insn = 0;  // instruction bits at top_pc (for disassembly)
+  };
+  std::vector<HotRange> hot_ranges(u32 max_gap_bytes = 4) const;
+
+  /// Ranked hot-loop report: cycle totals, the pq-vs-base split, the
+  /// per-class table, and the top `top_n` hot ranges with the hottest
+  /// instruction of each disassembled.
+  void report(std::ostream& os, std::size_t top_n = 8) const;
+
+  void reset();
+
+ private:
+  struct PcStat {
+    u64 cycles = 0;
+    u64 count = 0;
+    u32 insn = 0;
+  };
+  std::unordered_map<u32, PcStat> pcs_;
+  std::array<u64, static_cast<std::size_t>(OpClass::kCount)> class_cycles_{};
+  std::array<u64, static_cast<std::size_t>(OpClass::kCount)>
+      class_instructions_{};
+  u64 total_cycles_ = 0;
+  u64 total_instructions_ = 0;
+};
+
+}  // namespace lacrv::rv

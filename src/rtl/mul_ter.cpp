@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lacrv::rtl {
 
@@ -83,11 +84,16 @@ void MulTerRtl::tick() {
 }
 
 u64 MulTerRtl::run_to_completion() {
+  // One busy window per started computation: exactly the interval the
+  // unit's busy signal is high, with the cycle count as a span arg.
+  obs::TraceSpan span("mul_ter.busy", "rtl");
   u64 ticks = 0;
   while (busy_) {
     tick();
     ++ticks;
   }
+  span.arg("cycles", ticks);
+  span.arg("n", static_cast<u64>(n_));
   return ticks;
 }
 

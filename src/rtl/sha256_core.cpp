@@ -1,6 +1,7 @@
 #include "rtl/sha256_core.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lacrv::rtl {
 namespace {
@@ -97,11 +98,14 @@ void Sha256Rtl::tick() {
 }
 
 u64 Sha256Rtl::run_to_completion() {
+  // Busy window of one block compression (64 rounds + state update).
+  obs::TraceSpan span("sha256.busy", "rtl");
   u64 ticks = 0;
   while (busy_) {
     tick();
     ++ticks;
   }
+  span.arg("cycles", ticks);
   return ticks;
 }
 
@@ -122,6 +126,9 @@ AreaReport Sha256Rtl::area() const {
 }
 
 hash::Digest Sha256Rtl::hash_message(ByteView message) {
+  obs::TraceSpan span("sha256.hash_message", "rtl");
+  span.arg("bytes", static_cast<u64>(message.size()));
+  const u64 cycles_before = cycles_;
   reset_state();
   // FIPS padding in software: 0x80, zeros, 64-bit big-endian bit length.
   Bytes padded(message.begin(), message.end());
@@ -138,6 +145,7 @@ hash::Digest Sha256Rtl::hash_message(ByteView message) {
   hash::Digest digest;
   for (std::size_t i = 0; i < digest.size(); ++i)
     digest[i] = read_digest_byte(i);
+  span.arg("cycles", cycles_ - cycles_before);
   return digest;
 }
 

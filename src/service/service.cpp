@@ -4,12 +4,23 @@
 
 #include "fault/selftest.h"
 #include "lac/backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/rtl_backend.h"
 
 namespace lacrv::service {
 namespace {
 
 constexpr const char* kUnitNames[] = {"mul_ter", "chien", "sha256"};
+
+constexpr const char* op_name(OpKind op) {
+  switch (op) {
+    case OpKind::kEncaps: return "encaps";
+    case OpKind::kDecaps: return "decaps";
+    case OpKind::kGeneric: return "generic";
+  }
+  return "?";
+}
 
 }  // namespace
 
@@ -30,6 +41,13 @@ KemService::KemService(ServiceConfig config)
       counters_.breaker_trips.fetch_add(1, std::memory_order_relaxed);
     if (from == BreakerState::kHalfOpen && to == BreakerState::kClosed)
       counters_.breaker_recoveries.fetch_add(1, std::memory_order_relaxed);
+    // The transition fires on whatever thread recorded the deciding
+    // failure/probe, so the thread-local trace id links it to the
+    // request that tripped (0 for prober-driven transitions).
+    obs::instant("breaker.transition", "breaker", {},
+                 {{"unit", std::string(unit)},
+                  {"from", std::string(breaker_state_name(from))},
+                  {"to", std::string(breaker_state_name(to))}});
     std::lock_guard<std::mutex> lock(report_mutex_);
     report_.add(unit,
                 to == BreakerState::kOpen ? Status::kUnavailable : Status::kOk,
@@ -165,8 +183,10 @@ std::future<KemResponse> KemService::enqueue(Job job, OpKind op,
     task.promise.set_value(std::move(r));
     return future;
   }
+  const u64 task_id = task.id;
   if (!queue_.try_push(std::move(task))) {
     counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    obs::instant("service.overloaded", "service", {{"request", task_id}});
     KemResponse r;
     r.status = Status::kOverloaded;
     r.detail = "submission queue full";
@@ -181,6 +201,10 @@ void KemService::worker_main(std::size_t index) {
 }
 
 void KemService::process(Task task, Rig& rig) {
+  // Every event this worker records while serving the request — service
+  // spans, KEM phases, RTL busy windows, breaker transitions — carries
+  // the request id as its trace id.
+  obs::TraceContextScope trace_ctx(task.id);
   if (stopping_.load(std::memory_order_acquire)) {
     counters_.shed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
     KemResponse r;
@@ -192,11 +216,23 @@ void KemService::process(Task task, Rig& rig) {
   if (expired(task.deadline_micros)) {
     // Shed while queued: the deadline passed before any execution.
     counters_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+    obs::instant("service.deadline_shed", "service",
+                 {{"request", task.id}});
     KemResponse r;
     r.status = Status::kDeadlineExceeded;
     r.detail = "deadline expired while queued";
     task.promise.set_value(std::move(r));
     return;
+  }
+  if (obs::Tracer* tracer = obs::Tracer::active()) {
+    // Queue wait, reconstructed backwards: the service clock knows the
+    // wait duration, the tracer's own clock anchors the end at "now".
+    const u64 wait = clock_->now_micros() - task.submitted_micros;
+    const u64 now = tracer->now_micros();
+    tracer->complete_event("service.queued", "service",
+                           now > wait ? now - wait : 0, wait,
+                           {{"request", task.id}},
+                           {{"op", op_name(task.op)}});
   }
 
   KemResponse response;
@@ -206,24 +242,31 @@ void KemService::process(Task task, Rig& rig) {
     ++attempt;
     rig.rtl_used = {};
     rig.fallback_used = {};
-    // The checked KEM entry points already contain CheckError; this
-    // last-resort net turns anything else a faulted unit provokes into
-    // a typed, retryable status — a worker thread must never die.
-    try {
-      response = task.job(rig.backend);
-    } catch (const std::exception& e) {
-      response = KemResponse{};
-      response.status = Status::kInternalError;
-      response.detail = std::string("uncaught exception: ") + e.what();
-    } catch (...) {
-      response = KemResponse{};
-      response.status = Status::kInternalError;
-      response.detail = "uncaught non-standard exception";
+    {
+      obs::TraceSpan attempt_span("service.attempt", "service");
+      attempt_span.arg("request", task.id);
+      attempt_span.arg("attempt", static_cast<u64>(attempt));
+      // The checked KEM entry points already contain CheckError; this
+      // last-resort net turns anything else a faulted unit provokes into
+      // a typed, retryable status — a worker thread must never die.
+      try {
+        response = task.job(rig.backend);
+      } catch (const std::exception& e) {
+        response = KemResponse{};
+        response.status = Status::kInternalError;
+        response.detail = std::string("uncaught exception: ") + e.what();
+      } catch (...) {
+        response = KemResponse{};
+        response.status = Status::kInternalError;
+        response.detail = "uncaught non-standard exception";
+      }
+      response.attempts = attempt;
+      response.served_by_fallback =
+          rig.fallback_used[kMulIdx] || rig.fallback_used[kChienIdx] ||
+          rig.fallback_used[kShaIdx];
+      attempt_span.arg("status", std::string(status_name(response.status)));
+      if (response.served_by_fallback) attempt_span.arg("fallback", u64{1});
     }
-    response.attempts = attempt;
-    response.served_by_fallback =
-        rig.fallback_used[kMulIdx] || rig.fallback_used[kChienIdx] ||
-        rig.fallback_used[kShaIdx];
     if (response.hash_fault_detected) {
       counters_.hash_faults_corrected.fetch_add(1, std::memory_order_relaxed);
       breakers_[kShaIdx].record_failure("runtime hash cross-check mismatch");
@@ -247,6 +290,8 @@ void KemService::process(Task task, Rig& rig) {
       break;
     }
     counters_.retries.fetch_add(1, std::memory_order_relaxed);
+    obs::instant("service.retry_backoff", "service",
+                 {{"request", task.id}, {"delay_micros", delay}});
     clock_->sleep_for(delay, &stopping_);
     if (stopping_.load(std::memory_order_acquire)) break;
     if (expired(task.deadline_micros)) {
@@ -257,6 +302,8 @@ void KemService::process(Task task, Rig& rig) {
 
   if (deadline_hit) {
     counters_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+    obs::instant("service.deadline_shed", "service",
+                 {{"request", task.id}, {"attempts", static_cast<u64>(attempt)}});
     KemResponse r;
     r.status = Status::kDeadlineExceeded;
     r.attempts = attempt;
@@ -375,6 +422,67 @@ void KemService::stop() {
     r.detail = "service stopped before execution";
     task->promise.set_value(std::move(r));
   }
+}
+
+void KemService::register_metrics(obs::MetricsRegistry& registry) {
+  const struct {
+    const char* name;
+    const char* help;
+    const std::atomic<u64>* value;
+  } kCounters[] = {
+      {"lacrv_service_requests_submitted_total", "Requests submitted",
+       &counters_.submitted},
+      {"lacrv_service_requests_completed_total",
+       "Requests fulfilled after execution (any final status)",
+       &counters_.completed},
+      {"lacrv_service_requests_ok_total", "Requests completed with kOk",
+       &counters_.ok},
+      {"lacrv_service_rejected_overload_total",
+       "Submissions rejected with a full queue", &counters_.rejected_overload},
+      {"lacrv_service_rejected_deadline_total",
+       "Requests shed past their deadline", &counters_.rejected_deadline},
+      {"lacrv_service_shed_at_shutdown_total",
+       "Requests shed by stop()", &counters_.shed_at_shutdown},
+      {"lacrv_service_retries_total", "Backoff-delayed re-executions",
+       &counters_.retries},
+      {"lacrv_service_failed_attempts_total",
+       "Attempts that returned a retryable status",
+       &counters_.failed_attempts},
+      {"lacrv_service_served_degraded_total",
+       "Requests served by >= 1 software fallback",
+       &counters_.served_degraded},
+      {"lacrv_service_hash_faults_corrected_total",
+       "Accelerator digests caught by the software cross-check",
+       &counters_.hash_faults_corrected},
+      {"lacrv_service_breaker_trips_total", "Breaker closed/half-open -> open",
+       &counters_.breaker_trips},
+      {"lacrv_service_breaker_recoveries_total",
+       "Breaker half-open -> closed", &counters_.breaker_recoveries},
+      {"lacrv_service_probes_total", "Health-probe passes",
+       &counters_.probes},
+  };
+  for (const auto& c : kCounters)
+    registry.add_counter(c.name, c.help, c.value);
+
+  registry.add_gauge("lacrv_service_queue_depth",
+                     "Requests waiting in the submission queue",
+                     [this] { return static_cast<double>(queue_.depth()); });
+  for (std::size_t i = 0; i < kNumUnits; ++i) {
+    registry.add_gauge(
+        "lacrv_service_breaker_state",
+        "Per-unit breaker state (0 closed, 1 open, 2 half-open)",
+        [this, i] {
+          return static_cast<double>(
+              static_cast<int>(breakers_[i].state()));
+        },
+        std::string("unit=\"") + kUnitNames[i] + "\"");
+  }
+  registry.add_histogram("lacrv_service_latency_micros",
+                         "End-to-end request latency (submit -> completion)",
+                         &counters_.encaps_latency, "op=\"encaps\"");
+  registry.add_histogram("lacrv_service_latency_micros",
+                         "End-to-end request latency (submit -> completion)",
+                         &counters_.decaps_latency, "op=\"decaps\"");
 }
 
 DegradeReport KemService::degrade_report() const {

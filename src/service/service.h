@@ -41,6 +41,10 @@
 #include "service/queue.h"
 #include "service/retry.h"
 
+namespace lacrv::obs {
+class MetricsRegistry;
+}  // namespace lacrv::obs
+
 namespace lacrv::service {
 
 /// Absolute deadline value meaning "no deadline".
@@ -150,6 +154,11 @@ class KemService {
   CountersSnapshot counters() const {
     return counters_.snapshot(queue_.depth());
   }
+  /// Register every service counter, the queue-depth and per-unit
+  /// breaker-state gauges, and the per-op latency histograms with
+  /// `registry` (non-owning: the service must outlive the registry's
+  /// expose() calls).
+  void register_metrics(obs::MetricsRegistry& registry);
   const ServiceCounters& raw_counters() const { return counters_; }
   /// Copy of the service-level transition log (breaker trips and
   /// recoveries).

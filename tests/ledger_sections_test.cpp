@@ -17,6 +17,71 @@ hash::Seed seed_of(u64 x) {
   return s;
 }
 
+TEST(LedgerNesting, InnermostSectionGetsTheCharge) {
+  CycleLedger ledger;
+  ledger.charge(3);  // before any section: total only
+  ledger.push_section("outer");
+  ledger.charge(10);
+  ledger.push_section("inner");
+  ledger.charge(5);
+  ledger.pop_section();
+  ledger.charge(7);  // back in outer
+  ledger.pop_section();
+  ledger.charge(2);  // unsectioned again
+
+  EXPECT_EQ(ledger.section("outer"), 17u);
+  EXPECT_EQ(ledger.section("inner"), 5u);
+  EXPECT_EQ(ledger.total(), 27u);
+  u64 sum = 0;
+  for (const auto& [name, cycles] : ledger.sections()) sum += cycles;
+  EXPECT_EQ(sum, 22u);  // disjoint sections; total additionally has glue
+}
+
+TEST(LedgerNesting, ReenteredSectionAccumulates) {
+  CycleLedger ledger;
+  for (int i = 0; i < 3; ++i) {
+    LedgerScope scope(&ledger, "stage");
+    ledger.charge(4);
+  }
+  EXPECT_EQ(ledger.section("stage"), 12u);
+  EXPECT_EQ(ledger.total(), 12u);
+}
+
+TEST(LedgerNesting, RecursiveSameNameSectionIsOneBucket) {
+  CycleLedger ledger;
+  ledger.push_section("rec");
+  ledger.charge(1);
+  ledger.push_section("rec");
+  ledger.charge(2);
+  ledger.pop_section();
+  ledger.charge(4);
+  ledger.pop_section();
+  EXPECT_EQ(ledger.section("rec"), 7u);
+  EXPECT_EQ(ledger.total(), 7u);
+}
+
+TEST(LedgerNesting, PopOnEmptyStackIsSafeAndResetClears) {
+  CycleLedger ledger;
+  ledger.pop_section();  // must not crash or underflow
+  ledger.push_section("a");
+  ledger.charge(9);
+  ledger.pop_section();
+  ledger.pop_section();  // extra pop after balanced use
+  ledger.charge(1);
+  EXPECT_EQ(ledger.section("a"), 9u);
+  EXPECT_EQ(ledger.total(), 10u);
+
+  ledger.reset();
+  EXPECT_EQ(ledger.total(), 0u);
+  EXPECT_EQ(ledger.section("a"), 0u);
+  EXPECT_TRUE(ledger.sections().empty());
+}
+
+TEST(LedgerNesting, NullLedgerScopeIsNoOp) {
+  LedgerScope scope(nullptr, "ghost");  // must not dereference
+  charge(nullptr, 100);
+}
+
 TEST(LedgerSections, SectionsSumToTotal) {
   for (const Backend& backend :
        {Backend::reference(), Backend::optimized()}) {

@@ -1,0 +1,273 @@
+// The observability layer in isolation: span recording and trace-id
+// propagation, Chrome-JSON emission (validated with the bundled JSON
+// parser), the JSON parser itself, and the Prometheus-style metrics
+// exposition.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lacrv::obs {
+namespace {
+
+class TracerInstall {
+ public:
+  explicit TracerInstall(Tracer& t) { t.install(); }
+  ~TracerInstall() { Tracer::uninstall(); }
+};
+
+TEST(Tracer, DisabledSpanRecordsNothing) {
+  ASSERT_EQ(Tracer::active(), nullptr);
+  {
+    TraceSpan span("noop", "test");
+    span.arg("k", u64{1});
+    EXPECT_FALSE(span.enabled());
+  }
+  instant("noop", "test");
+  Tracer tracer;
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, SpanCapturesNameCategoryArgsAndDuration) {
+  Tracer tracer;
+  TracerInstall guard(tracer);
+  {
+    TraceSpan span("work", "unit");
+    EXPECT_TRUE(span.enabled());
+    span.arg("cycles", u64{123});
+    span.arg("mode", std::string("negacyclic"));
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "work");
+  EXPECT_STREQ(events[0].category, "unit");
+  EXPECT_EQ(events[0].phase, 'X');
+  ASSERT_EQ(events[0].num_args.size(), 1u);
+  EXPECT_EQ(events[0].num_args[0].second, 123u);
+  ASSERT_EQ(events[0].str_args.size(), 1u);
+  EXPECT_EQ(events[0].str_args[0].second, "negacyclic");
+}
+
+TEST(Tracer, ThreadTraceIdStampsEventsAndRestores) {
+  Tracer tracer;
+  TracerInstall guard(tracer);
+  EXPECT_EQ(thread_trace_id(), 0u);
+  {
+    TraceContextScope ctx(42);
+    EXPECT_EQ(thread_trace_id(), 42u);
+    {
+      TraceContextScope nested(7);
+      instant("inner", "test");
+    }
+    instant("outer", "test");
+  }
+  EXPECT_EQ(thread_trace_id(), 0u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 7u);
+  EXPECT_EQ(events[1].trace_id, 42u);
+}
+
+TEST(Tracer, TraceIdIsThreadLocal) {
+  Tracer tracer;
+  TracerInstall guard(tracer);
+  TraceContextScope ctx(1);
+  std::thread other([] {
+    EXPECT_EQ(thread_trace_id(), 0u);
+    TraceContextScope ctx2(2);
+    instant("from_other", "test");
+  });
+  other.join();
+  instant("from_main", "test");
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 2u);
+  EXPECT_EQ(events[1].trace_id, 1u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(Tracer, CapacityBoundsMemoryAndCountsDrops) {
+  Tracer tracer(4);
+  TracerInstall guard(tracer);
+  for (int i = 0; i < 10; ++i) instant("e", "test");
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(Tracer, ChromeJsonIsValidAndCarriesEvents) {
+  Tracer tracer;
+  TracerInstall guard(tracer);
+  {
+    TraceContextScope ctx(9);
+    TraceSpan span("alpha \"quoted\"", "cat");
+    span.arg("n", u64{512});
+  }
+  instant("beta", "cat");
+  Tracer::uninstall();
+
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(os.str(), &doc, &error)) << error;
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+
+  const json::Value& span = events->array[0];
+  EXPECT_EQ(span.find("name")->str, "alpha \"quoted\"");
+  EXPECT_EQ(span.find("ph")->str, "X");
+  EXPECT_TRUE(span.find("dur")->is_number());
+  EXPECT_EQ(span.find("args")->find("trace_id")->number, 9.0);
+  EXPECT_EQ(span.find("args")->find("n")->number, 512.0);
+
+  const json::Value& inst = events->array[1];
+  EXPECT_EQ(inst.find("ph")->str, "i");
+  EXPECT_EQ(inst.find("s")->str, "t");
+}
+
+TEST(Tracer, ConcurrentRecordingIsSafe) {
+  Tracer tracer;
+  TracerInstall guard(tracer);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([t] {
+      TraceContextScope ctx(static_cast<u64>(t + 1));
+      for (int i = 0; i < 250; ++i) TraceSpan span("s", "mt");
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.size(), 1000u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// ---- json -----------------------------------------------------------------
+
+TEST(Json, EscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json::escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+  json::Value v;
+  ASSERT_TRUE(json::parse(R"({"a": [1, -2.5, true, null, "x\n"], "b": {}})",
+                          &v));
+  ASSERT_TRUE(v.is_object());
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 5u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].number, -2.5);
+  EXPECT_TRUE(a->array[2].boolean);
+  EXPECT_TRUE(a->array[3].is_null());
+  EXPECT_EQ(a->array[4].str, "x\n");
+  EXPECT_TRUE(v.find("b")->is_object());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  json::Value v;
+  std::string error;
+  EXPECT_FALSE(json::parse("", &v, &error));
+  EXPECT_FALSE(json::parse("{", &v, &error));
+  EXPECT_FALSE(json::parse("[1,]", &v, &error));
+  EXPECT_FALSE(json::parse("{\"a\": 1} trailing", &v, &error));
+  EXPECT_FALSE(json::parse("\"unterminated", &v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, DecodesUnicodeEscapes) {
+  json::Value v;
+  ASSERT_TRUE(json::parse(R"("Aé")", &v));
+  EXPECT_EQ(v.str, "A\xc3\xa9");
+}
+
+// ---- metrics --------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeExposition) {
+  MetricsRegistry registry;
+  std::atomic<u64> hits{3};
+  registry.add_counter("app_hits_total", "Total hits", &hits);
+  registry.add_gauge("app_depth", "Queue depth", [] { return 1.5; });
+
+  const std::string text = registry.expose_text();
+  EXPECT_NE(text.find("# HELP app_hits_total Total hits\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_hits_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("app_hits_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("app_depth 1.5\n"), std::string::npos);
+
+  hits.store(4);  // read at exposition time, not registration time
+  EXPECT_NE(registry.expose_text().find("app_hits_total 4\n"),
+            std::string::npos);
+}
+
+TEST(Metrics, HistogramCumulativeBuckets) {
+  MetricsRegistry registry;
+  stats::LatencyHistogram h;
+  h.record(1);    // bucket 0 (le 2)
+  h.record(3);    // bucket 1 (le 4)
+  h.record(3);
+  registry.add_histogram("lat_micros", "Latency", &h, "op=\"enc\"");
+
+  const std::string text = registry.expose_text();
+  EXPECT_NE(text.find("# TYPE lat_micros histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_micros_bucket{op=\"enc\",le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_micros_bucket{op=\"enc\",le=\"4\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_micros_bucket{op=\"enc\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_micros_sum{op=\"enc\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_micros_count{op=\"enc\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(Metrics, SharedFamilyNameGetsOneHeader) {
+  MetricsRegistry registry;
+  stats::LatencyHistogram enc, dec;
+  registry.add_histogram("lat", "Latency", &enc, "op=\"enc\"");
+  registry.add_histogram("lat", "Latency", &dec, "op=\"dec\"");
+  const std::string text = registry.expose_text();
+  std::size_t headers = 0, pos = 0;
+  while ((pos = text.find("# TYPE lat histogram", pos)) != std::string::npos) {
+    ++headers;
+    ++pos;
+  }
+  EXPECT_EQ(headers, 1u);
+}
+
+TEST(Metrics, LedgerSectionsExposedAsLabelledGauges) {
+  MetricsRegistry registry;
+  CycleLedger ledger;
+  ledger.push_section("mult");
+  ledger.charge(100);
+  ledger.pop_section();
+  ledger.charge(11);
+  registry.add_ledger("kem_cycles", "Modeled cycles", &ledger);
+
+  const std::string text = registry.expose_text();
+  EXPECT_NE(text.find("kem_cycles{section=\"mult\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kem_cycles_total 111\n"), std::string::npos);
+}
+
+TEST(Metrics, ClearEmptiesTheRegistry) {
+  MetricsRegistry registry;
+  registry.add_gauge("g", "gauge", [] { return 0.0; });
+  EXPECT_EQ(registry.families(), 1u);
+  registry.clear();
+  EXPECT_EQ(registry.families(), 0u);
+  EXPECT_EQ(registry.expose_text(), "");
+}
+
+}  // namespace
+}  // namespace lacrv::obs

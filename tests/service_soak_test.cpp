@@ -7,9 +7,13 @@
 //
 // LACRV_SOAK_TRIALS overrides the handshake count (CI sanitizer jobs run
 // a shorter deterministic slice; the default is the full 1000-request
-// soak demanded by the acceptance criteria).
+// soak demanded by the acceptance criteria). LACRV_SOAK_TRACE=<path>
+// additionally installs a process-wide tracer for the soak and writes
+// the Chrome trace JSON there — the CI trace-smoke job uses it to
+// exercise tracing under maximum worker contention.
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <vector>
 
@@ -19,6 +23,7 @@
 #include "fault/plan.h"
 #include "lac/backend.h"
 #include "lac/kem.h"
+#include "obs/trace.h"
 #include "service/service.h"
 
 namespace lacrv::service {
@@ -72,6 +77,10 @@ bool typed(Status s) {
 
 TEST(KemServiceSoakTest, ChaosCampaignNeverYieldsSilentMismatch) {
   const std::size_t trials = soak_trials();
+  // Env-gated tracing: soak the tracer along with the service.
+  const char* trace_path = std::getenv("LACRV_SOAK_TRACE");
+  obs::Tracer tracer(1u << 20);
+  if (trace_path) tracer.install();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::minutes(10);
 
@@ -198,6 +207,13 @@ TEST(KemServiceSoakTest, ChaosCampaignNeverYieldsSilentMismatch) {
   }
 
   svc.stop();
+  if (trace_path) {
+    obs::Tracer::uninstall();
+    std::ofstream out(trace_path);
+    tracer.write_chrome_json(out);
+    ASSERT_TRUE(out.good()) << "failed to write " << trace_path;
+    EXPECT_GT(tracer.size(), 0u);
+  }
   CountersSnapshot snap = svc.counters();
   // Every submission is accounted for — nothing dropped on the floor.
   EXPECT_EQ(snap.completed + snap.rejected_overload + snap.rejected_deadline +

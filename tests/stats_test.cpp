@@ -1,0 +1,102 @@
+// LatencyHistogram edge cases: the bucket map and percentile behaviour
+// at 0 samples, 1 sample, zero-latency samples and the max-u64 extreme
+// — the values the metrics exposition (obs::MetricsRegistry) renders as
+// cumulative Prometheus buckets.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace lacrv::stats {
+namespace {
+
+u64 bucket_sum(const LatencyHistogram& h) {
+  u64 sum = 0;
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) sum += h.bucket(b);
+  return sum;
+}
+
+TEST(LatencyHistogram, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_micros(), 0u);
+  EXPECT_EQ(h.mean_micros(), 0.0);
+  EXPECT_EQ(h.percentile_micros(50), 0u);
+  EXPECT_EQ(h.percentile_micros(100), 0u);
+  EXPECT_EQ(bucket_sum(h), 0u);
+}
+
+TEST(LatencyHistogram, SingleSampleEveryPercentileIsItsBucket) {
+  LatencyHistogram h;
+  h.record(1000);  // [512, 1024) is bucket 9 -> upper edge 1024
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum_micros(), 1000u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(bucket_sum(h), 1u);
+  EXPECT_EQ(h.percentile_micros(1), 1024u);
+  EXPECT_EQ(h.percentile_micros(50), 1024u);
+  EXPECT_EQ(h.percentile_micros(99), 1024u);
+  EXPECT_EQ(h.percentile_micros(100), 1024u);
+}
+
+TEST(LatencyHistogram, ZeroAndOneMicroLandInBucketZero) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum_micros(), 1u);
+  // Bucket 0's upper edge is 2 micros.
+  EXPECT_EQ(h.percentile_micros(100),
+            LatencyHistogram::bucket_upper_micros(0));
+}
+
+TEST(LatencyHistogram, BucketBoundariesArePowerOfTwoHalfOpen) {
+  LatencyHistogram h;
+  h.record(2);  // [2, 4) -> bucket 1
+  h.record(3);
+  h.record(4);  // [4, 8) -> bucket 2
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_micros(1), 4u);
+  EXPECT_EQ(LatencyHistogram::bucket_upper_micros(2), 8u);
+}
+
+TEST(LatencyHistogram, MaxU64SampleIsCountedOnce) {
+  LatencyHistogram h;
+  h.record(~u64{0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum_micros(), ~u64{0});
+  // The capped search puts every astronomic sample in the last reachable
+  // bucket; whatever that bucket is, the sample must be counted exactly
+  // once and the percentile must land on its edge.
+  EXPECT_EQ(bucket_sum(h), 1u);
+  EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets - 2), 1u);
+  EXPECT_EQ(h.percentile_micros(100),
+            LatencyHistogram::bucket_upper_micros(
+                LatencyHistogram::kBuckets - 2));
+}
+
+TEST(LatencyHistogram, PercentilesSplitAcrossBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(10);     // bucket 3, edge 16
+  h.record(1 << 20);                             // bucket 20, edge 2^21
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile_micros(50), 16u);
+  EXPECT_EQ(h.percentile_micros(99), 16u);
+  EXPECT_EQ(h.percentile_micros(100), u64{1} << 21);
+}
+
+TEST(LatencyHistogram, BucketsSumToCountUnderLoad) {
+  LatencyHistogram h;
+  u64 v = 1;
+  for (int i = 0; i < 1000; ++i) {
+    h.record(v);
+    v = v * 2862933555777941757ull + 3037000493ull;  // any spread of values
+    v >>= 24;
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(bucket_sum(h), 1000u);
+}
+
+}  // namespace
+}  // namespace lacrv::stats
