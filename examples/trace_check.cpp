@@ -9,8 +9,12 @@
 // Trace checks: parses as JSON, has a non-empty traceEvents array of
 // well-formed Chrome trace events, and some trace id links
 // service.queued -> service.attempt -> a kem.* phase -> an RTL unit
-// busy window. Metrics checks: Prometheus text shape (HELP/TYPE
-// headers, numeric samples) and the required service families.
+// busy window. Batch checks: at least one service.batch span exists and
+// every service.attempt span is time-contained in a service.batch span
+// on the same worker thread (batch spans cover several requests so they
+// carry no trace id -- containment by tid + time is the nesting proof).
+// Metrics checks: Prometheus text shape (HELP/TYPE headers, numeric
+// samples) and the required service families.
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
@@ -19,6 +23,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -75,6 +80,14 @@ void check_trace(const std::string& path) {
 
   // Per trace id, the set of span/instant names recorded under it.
   std::map<u64, std::set<std::string>> by_id;
+  // Worker micro-batch nesting: [ts, ts+dur] windows per tid. Batch
+  // spans carry no trace id (they cover several requests), so the
+  // containment proof is per-thread time intervals.
+  struct Window {
+    double begin, end;
+  };
+  std::map<u64, std::vector<Window>> batches_by_tid;
+  std::vector<std::pair<u64, Window>> attempts;
   std::size_t complete = 0, instants = 0;
   for (std::size_t i = 0; i < events->array.size(); ++i) {
     const obs::json::Value& e = events->array[i];
@@ -95,6 +108,16 @@ void check_trace(const std::string& path) {
       const obs::json::Value* dur = e.find("dur");
       if (!dur || !dur->is_number())
         fail(where + ": complete event without numeric dur");
+      const obs::json::Value* tid = e.find("tid");
+      if (name && name->is_string() && ts && ts->is_number() && dur &&
+          dur->is_number() && tid && tid->is_number()) {
+        const Window w{ts->number, ts->number + dur->number};
+        const u64 thread = static_cast<u64>(tid->number);
+        if (name->str == "service.batch")
+          batches_by_tid[thread].push_back(w);
+        else if (name->str == "service.attempt")
+          attempts.emplace_back(thread, w);
+      }
     } else {
       ++instants;
     }
@@ -125,10 +148,36 @@ void check_trace(const std::string& path) {
          ": no trace id connects service.queued -> service.attempt -> "
          "kem.* -> RTL busy window");
 
+  // Every attempt must execute inside a worker micro-batch span on the
+  // same thread (inclusive bounds: a batch of one has identical edges).
+  std::size_t batch_spans = 0;
+  for (const auto& [tid, windows] : batches_by_tid)
+    batch_spans += windows.size();
+  if (batch_spans == 0) fail(path + ": no service.batch span recorded");
+  std::size_t orphaned = 0;
+  for (const auto& [tid, attempt] : attempts) {
+    bool nested = false;
+    const auto it = batches_by_tid.find(tid);
+    if (it != batches_by_tid.end())
+      for (const Window& batch : it->second)
+        if (batch.begin <= attempt.begin && attempt.end <= batch.end) {
+          nested = true;
+          break;
+        }
+    if (!nested) ++orphaned;
+  }
+  if (orphaned > 0)
+    fail(path + ": " + std::to_string(orphaned) + " of " +
+         std::to_string(attempts.size()) +
+         " service.attempt spans are not nested in a service.batch span "
+         "on their thread");
+
   std::cout << "trace: " << events->array.size() << " events (" << complete
             << " spans, " << instants << " instants), " << by_id.size()
             << " trace ids, " << connected
-            << " fully connected service->kem->rtl chains\n";
+            << " fully connected service->kem->rtl chains, "
+            << attempts.size() << " attempts nested in " << batch_spans
+            << " micro-batches\n";
 }
 
 // ---- metrics --------------------------------------------------------------

@@ -18,7 +18,11 @@ struct Tables {
       x = static_cast<Element>(x << 1);
       if (x & kFieldSize) x = static_cast<Element>((x ^ kPrimitivePoly) & (kFieldSize - 1));
     }
-    log[0] = 0;  // unused sentinel
+    // 0 has no discrete log; use an out-of-band sentinel. log values live
+    // in [0, kGroupOrder), so kGroupOrder can never be confused with a
+    // real exponent — the old `log[0] = 0` aliased log[1] and would have
+    // masked a missing zero-check as a silent multiply-by-alpha^0.
+    log[0] = kLogZeroSentinel;
   }
 };
 

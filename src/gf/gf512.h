@@ -28,6 +28,11 @@ inline constexpr u16 kGroupOrder = kFieldSize - 1;   // 511
 inline constexpr u16 kPrimitivePoly = 0x211;
 /// Reduction taps: alpha^9 = alpha^4 + 1.
 inline constexpr u16 kReductionTaps = 0x011;
+/// Out-of-band value stored in the log table for the element 0, which has
+/// no discrete log. Real logs occupy [0, kGroupOrder); reading the
+/// sentinel through any arithmetic path is a bug that `log()` guards
+/// against (the check fires before the table is consulted).
+inline constexpr u16 kLogZeroSentinel = kGroupOrder;
 
 using Element = u16;  // 9 significant bits
 

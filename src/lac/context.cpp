@@ -1,0 +1,145 @@
+#include "lac/context.h"
+
+#include "common/check.h"
+#include "common/costs.h"
+#include "obs/trace.h"
+
+namespace lacrv::lac {
+
+KeyContext build_key_context(const Params& params, const Backend& backend,
+                             const PublicKey& pk, CycleLedger* ledger) {
+  obs::TraceSpan span("kem.context_build", "kem");
+  LACRV_CHECK(pk.b.size() == params.n);
+  KeyContext ctx;
+  ctx.params = params;
+  ctx.pk = pk;
+  // Charge into a private ledger first: build_cycles must capture exactly
+  // what the per-request path would have spent (gen_a + H(pk) blocks), so
+  // the caller's ledger sees one clean "context_build" section instead of
+  // per-request "gen_a" attribution.
+  CycleLedger build;
+  ctx.a = gen_a(pk.seed_a, params, backend.hash_impl, &build);
+  ctx.pk_bytes = serialize(params, pk);
+  bool fault = false;
+  ctx.pk_hash = tagged_hash(0x00, ctx.pk_bytes, {}, backend, &build, &fault);
+  ctx.hash_fault_detected = fault;
+  ctx.build_cycles = build.total();
+  LedgerScope scope(ledger, "context_build");
+  charge(ledger, ctx.build_cycles);
+  return ctx;
+}
+
+KeyContext build_kem_context(const Params& params, const Backend& backend,
+                             const KemKeyPair& keys, CycleLedger* ledger) {
+  KeyContext ctx = build_key_context(params, backend, keys.pk, ledger);
+  LACRV_CHECK(keys.sk.s.size() == params.n);
+  ctx.has_secret = true;
+  ctx.s = keys.sk.s;
+  ctx.z = keys.z;
+  // Sparse index form for mul_ref_indexed. Free in the cycle model — the
+  // paper's reference multiplication walks the dense rows regardless, and
+  // the indexed multiply keeps charging that same model.
+  for (std::size_t j = 0; j < ctx.s.size(); ++j) {
+    if (ctx.s[j] == 1) ctx.s_plus.push_back(static_cast<u16>(j));
+    if (ctx.s[j] == -1) ctx.s_minus.push_back(static_cast<u16>(j));
+  }
+  return ctx;
+}
+
+Ciphertext encrypt(const Params& params, const Backend& backend,
+                   const KeyContext& ctx, const bch::Message& msg,
+                   const hash::Seed& coins, CycleLedger* ledger) {
+  LACRV_CHECK_MSG(ctx.params.n == params.n && ctx.params.prg == params.prg,
+                  "KeyContext built for different parameters");
+  return encrypt_with_a(params, backend, ctx.pk, ctx.a, msg, coins, ledger);
+}
+
+DecryptResult decrypt(const Params& params, const Backend& backend,
+                      const KeyContext& ctx, const Ciphertext& ct,
+                      CycleLedger* ledger) {
+  LACRV_CHECK_MSG(ctx.has_secret, "KeyContext lacks the secret key");
+  LACRV_CHECK(ct.u.size() == params.n);
+  LACRV_CHECK(ct.v.size() == params.v_len());
+  // Mirrors pke.cpp decrypt() exactly (full product, Table II semantics);
+  // the reference path runs from the precomputed index lists instead of
+  // re-scanning the dense ternary vector. Bit-identical, same charges.
+  poly::Coeffs us;
+  {
+    LedgerScope scope(ledger, "mult");
+    if (backend.kind == Backend::Kind::kOptimized) {
+      us = poly::mul_with_unit(ctx.s, ct.u, backend.mul_unit, ledger);
+    } else {
+      us = poly::mul_ref_indexed(ct.u, ctx.s_plus, ctx.s_minus,
+                                 /*negacyclic=*/true, ledger);
+    }
+  }
+  const std::size_t lv = params.v_len();
+  poly::Coeffs w(lv);
+  for (std::size_t i = 0; i < lv; ++i)
+    w[i] = poly::sub_mod(decompress4(ct.v[i]), us[i]);
+  charge(ledger, lv * cost::kCodecCoeffStep);
+
+  const bch::DecodeResult decoded = decode_payload(params, backend, w, ledger);
+  return DecryptResult{decoded.message, decoded.ok};
+}
+
+// ---- ContextCache ----------------------------------------------------------
+
+ContextCache::ContextCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t ContextCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::shared_ptr<const KeyContext> ContextCache::lookup_or_insert(
+    const Params& params, const hash::Seed& seed_a, bool need_secret,
+    const std::function<KeyContext()>& build) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->seed_a == seed_a && it->n == params.n && it->prg == params.prg &&
+        (!need_secret || it->ctx->has_secret)) {
+      entries_.splice(entries_.begin(), entries_, it);  // promote to MRU
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return entries_.front().ctx;
+    }
+  }
+  // Build under the lock: concurrent first-touch workers then build the
+  // shared key's context exactly once instead of racing N expansions.
+  auto ctx = std::make_shared<const KeyContext>(build());
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  entries_.push_front(Entry{seed_a, params.n, params.prg, ctx});
+  // A secret-bearing context supersedes a secretless one for the same key.
+  for (auto it = std::next(entries_.begin()); it != entries_.end();) {
+    if (it->seed_a == seed_a && it->n == params.n && it->prg == params.prg &&
+        !it->ctx->has_secret && ctx->has_secret) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ctx;
+}
+
+std::shared_ptr<const KeyContext> ContextCache::get_or_build(
+    const Params& params, const Backend& backend, const PublicKey& pk,
+    CycleLedger* ledger) {
+  return lookup_or_insert(params, pk.seed_a, /*need_secret=*/false, [&] {
+    return build_key_context(params, backend, pk, ledger);
+  });
+}
+
+std::shared_ptr<const KeyContext> ContextCache::get_or_build(
+    const Params& params, const Backend& backend, const KemKeyPair& keys,
+    CycleLedger* ledger) {
+  return lookup_or_insert(params, keys.pk.seed_a, /*need_secret=*/true, [&] {
+    return build_kem_context(params, backend, keys, ledger);
+  });
+}
+
+}  // namespace lacrv::lac

@@ -1,0 +1,157 @@
+// Per-key precomputed contexts (the amortization layer of ROADMAP's
+// caching/batching lever). Table II's per-operation budget re-derives two
+// key-invariant quantities on every request: the expanded public
+// polynomial a = GenA(seed_a) (once per encaps, once more inside the FO
+// re-encryption of every decaps) and the public-key digest H(pk). A
+// KeyContext hoists both out of the hot path: it is built once per key,
+// charged to its own "context_build" ledger section, and then threaded
+// through the pke/kem entry points so warmed requests perform zero seed
+// expansions.
+//
+// Accounting invariant (pinned by tests/context_test.cpp): for any key,
+// backend and parameter set,
+//
+//   uncached_op_cycles == cached_op_cycles + context_build_cycles
+//
+// for both encaps and decaps — the build charges exactly the gen_a and
+// H(pk) blocks the per-request path would have, nothing more. The
+// paper-faithful columns of table2_kem_cycles are therefore unchanged;
+// the amortized columns simply report the cached_op term.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+
+#include "lac/kem.h"
+
+namespace lacrv::lac {
+
+/// Precomputed, key-invariant state shared by every operation under one
+/// key. Immutable after build — safe to share across threads by
+/// shared_ptr<const KeyContext> (the KemService workers do).
+struct KeyContext {
+  Params params;
+  PublicKey pk;
+  /// a = GenA(pk.seed_a) — the per-request expansion this layer removes.
+  poly::Coeffs a;
+  /// serialize(params, pk), reused by every FO hash of the key.
+  Bytes pk_bytes;
+  /// H(0x00 || pk) — the FO transform hashes it into coins and K-bar.
+  hash::Digest pk_hash{};
+  /// Cycles charged to build this context (gen_a + H(pk) blocks).
+  u64 build_cycles = 0;
+  /// True iff hardened hash verification caught a faulty digest during
+  /// the build (mirrors the *_checked outcome flags).
+  bool hash_fault_detected = false;
+
+  // ---- decapsulation extras (has_secret == true) ----
+  bool has_secret = false;
+  poly::Ternary s;
+  /// Indices j with s[j] == +1 / -1: the sparse form mul_ref_indexed
+  /// consumes. Construction charges nothing (it is not in the paper's
+  /// model) and the indexed multiply charges the identical dense model.
+  std::vector<u16> s_plus, s_minus;
+  hash::Seed z{};
+};
+
+/// Build an encapsulation-only context (no secret material). Charges
+/// `build_cycles` to `ledger` under the "context_build" section.
+KeyContext build_key_context(const Params& params, const Backend& backend,
+                             const PublicKey& pk,
+                             CycleLedger* ledger = nullptr);
+
+/// Build a full KEM context (encaps + decaps) from a decapsulation key.
+KeyContext build_kem_context(const Params& params, const Backend& backend,
+                             const KemKeyPair& keys,
+                             CycleLedger* ledger = nullptr);
+
+/// Small thread-safe LRU of shared KeyContexts, keyed by (seed_a, n, prg,
+/// secret-bearing). One per KemService covers the long-lived service key
+/// plus a handful of client keys; the linear scan is intentional — the
+/// capacity is single-digit, a hash map would be slower.
+class ContextCache {
+ public:
+  explicit ContextCache(std::size_t capacity = 8);
+
+  /// Return the cached context for pk's key, building (and inserting) it
+  /// on a miss. A secret-bearing cached entry also serves secretless
+  /// lookups for the same key.
+  std::shared_ptr<const KeyContext> get_or_build(const Params& params,
+                                                 const Backend& backend,
+                                                 const PublicKey& pk,
+                                                 CycleLedger* ledger = nullptr);
+  /// As above for a decapsulation key; only entries that carry the secret
+  /// satisfy this lookup.
+  std::shared_ptr<const KeyContext> get_or_build(const Params& params,
+                                                 const Backend& backend,
+                                                 const KemKeyPair& keys,
+                                                 CycleLedger* ledger = nullptr);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Monotonic counters, exposed by reference so MetricsRegistry can
+  /// sample them without locking the cache.
+  const std::atomic<u64>& hits() const { return hits_; }
+  const std::atomic<u64>& builds() const { return builds_; }
+  const std::atomic<u64>& evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    hash::Seed seed_a{};
+    std::size_t n = 0;
+    PrgKind prg = PrgKind::kSha256Ctr;
+    std::shared_ptr<const KeyContext> ctx;
+  };
+
+  std::shared_ptr<const KeyContext> lookup_or_insert(
+      const Params& params, const hash::Seed& seed_a, bool need_secret,
+      const std::function<KeyContext()>& build);
+
+  mutable std::mutex mu_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::size_t capacity_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> builds_{0};
+  std::atomic<u64> evictions_{0};
+};
+
+// ---- context-aware scheme entry points -------------------------------------
+// Bit-identical to their keyed counterparts (pke.h / kem.h) — only the
+// ledger attribution moves: gen_a and H(pk) are charged at build time, not
+// per request. tests/context_test.cpp pins the equality across all
+// parameter sets, PRG kinds and backends.
+
+/// Deterministic encryption using ctx.a instead of re-expanding seed_a.
+Ciphertext encrypt(const Params& params, const Backend& backend,
+                   const KeyContext& ctx, const bch::Message& msg,
+                   const hash::Seed& coins, CycleLedger* ledger = nullptr);
+
+/// Decryption from the context's sparse secret form (requires
+/// ctx.has_secret).
+DecryptResult decrypt(const Params& params, const Backend& backend,
+                      const KeyContext& ctx, const Ciphertext& ct,
+                      CycleLedger* ledger = nullptr);
+
+EncapsResult encapsulate(const Params& params, const Backend& backend,
+                         const KeyContext& ctx, const hash::Seed& entropy,
+                         CycleLedger* ledger = nullptr);
+
+/// Decapsulation through the context (requires ctx.has_secret).
+SharedKey decapsulate(const Params& params, const Backend& backend,
+                      const KeyContext& ctx, const Ciphertext& ct,
+                      CycleLedger* ledger = nullptr);
+
+EncapsOutcome encapsulate_checked(const Params& params, const Backend& backend,
+                                  const KeyContext& ctx,
+                                  const hash::Seed& entropy,
+                                  CycleLedger* ledger = nullptr);
+
+DecapsOutcome decapsulate_checked(const Params& params, const Backend& backend,
+                                  const KeyContext& ctx, const Ciphertext& ct,
+                                  CycleLedger* ledger = nullptr);
+
+}  // namespace lacrv::lac

@@ -1,9 +1,18 @@
 #include "lac/gen_a.h"
 
+#include <atomic>
+
 #include "common/costs.h"
 #include "hash/keccak.h"
 
 namespace lacrv::lac {
+namespace {
+std::atomic<u64> g_gen_a_expansions{0};
+}  // namespace
+
+u64 gen_a_expansions() {
+  return g_gen_a_expansions.load(std::memory_order_relaxed);
+}
 
 u64 hash_block_cost(HashImpl impl) {
   return impl == HashImpl::kSoftware ? cost::kSwSha256Block
@@ -20,6 +29,7 @@ u64 prg_block_cost(PrgKind prg, HashImpl impl) {
 poly::Coeffs gen_a(const hash::Seed& seed, const Params& params,
                    HashImpl hash_impl, CycleLedger* ledger) {
   LedgerScope scope(ledger, "gen_a");
+  g_gen_a_expansions.fetch_add(1, std::memory_order_relaxed);
   poly::Coeffs a(params.n);
   u64 blocks = 0;
   if (params.prg == PrgKind::kShake128) {

@@ -19,6 +19,11 @@ poly::Coeffs gen_a(const hash::Seed& seed, const Params& params,
                    HashImpl hash_impl = HashImpl::kSoftware,
                    CycleLedger* ledger = nullptr);
 
+/// Process-wide count of gen_a seed expansions performed so far. Used by
+/// tests (and benches) to pin that a warmed KeyContext path performs zero
+/// expansions per request. Monotonic; never reset.
+u64 gen_a_expansions();
+
 /// Per-block cycle cost of the selected hash implementation (shared by
 /// the samplers and the KEM hashing glue).
 u64 hash_block_cost(HashImpl impl);

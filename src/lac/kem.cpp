@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/costs.h"
+#include "lac/context.h"
 #include "obs/trace.h"
 
 namespace lacrv::lac {
@@ -18,6 +19,8 @@ hash::Seed to_seed(const hash::Digest& d) {
   return s;
 }
 
+}  // namespace
+
 /// H(tag || a || b), charging the backend's per-block hash cost.
 ///
 /// When the backend carries a functional hasher (e.g. the RTL SHA-256
@@ -28,7 +31,7 @@ hash::Seed to_seed(const hash::Digest& d) {
 /// instead of silently deriving a wrong shared key.
 hash::Digest tagged_hash(u8 tag, ByteView a, ByteView b,
                          const Backend& backend, CycleLedger* ledger,
-                         bool* hash_fault = nullptr) {
+                         bool* hash_fault) {
   if (backend.hasher) {
     Bytes buf;
     buf.reserve(1 + a.size() + b.size());
@@ -57,8 +60,6 @@ hash::Digest tagged_hash(u8 tag, ByteView a, ByteView b,
   return d;
 }
 
-}  // namespace
-
 KemKeyPair kem_keygen(const Params& params, const Backend& backend,
                       const hash::Seed& master, CycleLedger* ledger) {
   obs::TraceSpan span("kem.keygen", "kem");
@@ -73,17 +74,25 @@ KemKeyPair kem_keygen(const Params& params, const Backend& backend,
 
 namespace {
 
+/// Core encapsulation. `ctx`, when non-null, supplies the precomputed
+/// expansion of a and H(pk) — those charges then live in the context's
+/// build, not here (the amortized path). `pk` is ignored if ctx is set.
 EncapsResult encapsulate_impl(const Params& params, const Backend& backend,
-                              const PublicKey& pk, const hash::Seed& entropy,
-                              CycleLedger* ledger, bool* hash_fault) {
+                              const PublicKey& pk, const KeyContext* ctx,
+                              const hash::Seed& entropy, CycleLedger* ledger,
+                              bool* hash_fault) {
   obs::TraceSpan span("kem.encaps", "kem");
   // m <- PRG(entropy): a uniform 256-bit message.
   const hash::Seed m = derive_seed(entropy, kTagMessage);
   charge(ledger, 2 * hash_block_cost(backend.hash_impl));
 
-  const Bytes pk_bytes = serialize(params, pk);
-  const hash::Digest pk_hash =
-      tagged_hash(0x00, pk_bytes, {}, backend, ledger, hash_fault);
+  hash::Digest pk_hash;
+  if (ctx) {
+    pk_hash = ctx->pk_hash;
+  } else {
+    const Bytes pk_bytes = serialize(params, pk);
+    pk_hash = tagged_hash(0x00, pk_bytes, {}, backend, ledger, hash_fault);
+  }
 
   bch::Message msg;
   std::copy(m.begin(), m.end(), msg.begin());
@@ -95,7 +104,8 @@ EncapsResult encapsulate_impl(const Params& params, const Backend& backend,
       ByteView(pk_hash.data(), pk_hash.size()), backend, ledger, hash_fault);
 
   EncapsResult result;
-  result.ct = encrypt(params, backend, pk, msg, coins, ledger);
+  result.ct = ctx ? encrypt(params, backend, *ctx, msg, coins, ledger)
+                  : encrypt(params, backend, pk, msg, coins, ledger);
 
   const Bytes ct_bytes = serialize(params, result.ct);
   const hash::Digest ct_hash =
@@ -106,16 +116,26 @@ EncapsResult encapsulate_impl(const Params& params, const Backend& backend,
   return result;
 }
 
+/// Core decapsulation. Exactly one of `keys` / `ctx` must be non-null;
+/// the context carries the secret in sparse index form plus the hoisted
+/// a-expansion and H(pk) for the FO re-encryption.
 SharedKey decapsulate_impl(const Params& params, const Backend& backend,
-                           const KemKeyPair& keys, const Ciphertext& ct,
-                           CycleLedger* ledger, Status* status,
-                           bool* hash_fault) {
+                           const KemKeyPair* keys, const KeyContext* ctx,
+                           const Ciphertext& ct, CycleLedger* ledger,
+                           Status* status, bool* hash_fault) {
   obs::TraceSpan span("kem.decaps", "kem");
-  const DecryptResult dec = decrypt(params, backend, keys.sk, ct, ledger);
+  const DecryptResult dec = ctx
+                                ? decrypt(params, backend, *ctx, ct, ledger)
+                                : decrypt(params, backend, keys->sk, ct,
+                                          ledger);
 
-  const Bytes pk_bytes = serialize(params, keys.pk);
-  const hash::Digest pk_hash =
-      tagged_hash(0x00, pk_bytes, {}, backend, ledger, hash_fault);
+  hash::Digest pk_hash;
+  if (ctx) {
+    pk_hash = ctx->pk_hash;
+  } else {
+    const Bytes pk_bytes = serialize(params, keys->pk);
+    pk_hash = tagged_hash(0x00, pk_bytes, {}, backend, ledger, hash_fault);
+  }
 
   const ByteView m_view(dec.message.data(), dec.message.size());
   const ByteView pk_hash_view(pk_hash.data(), pk_hash.size());
@@ -128,7 +148,9 @@ SharedKey decapsulate_impl(const Params& params, const Backend& backend,
   // Re-encrypt and compare (the CCA step Table II's decapsulation times).
   const Ciphertext ct2 = [&] {
     obs::TraceSpan reenc("kem.reencrypt", "kem");
-    return encrypt(params, backend, keys.pk, dec.message, coins, ledger);
+    return ctx ? encrypt(params, backend, *ctx, dec.message, coins, ledger)
+               : encrypt(params, backend, keys->pk, dec.message, coins,
+                         ledger);
   }();
 
   const Bytes ct_bytes = serialize(params, ct);
@@ -147,7 +169,8 @@ SharedKey decapsulate_impl(const Params& params, const Backend& backend,
                        ByteView(ct_hash.data(), ct_hash.size()), backend,
                        ledger, hash_fault);
   // Implicit rejection.
-  return tagged_hash(0x00, ByteView(keys.z.data(), keys.z.size()),
+  const hash::Seed& z = ctx ? ctx->z : keys->z;
+  return tagged_hash(0x00, ByteView(z.data(), z.size()),
                      ByteView(ct_hash.data(), ct_hash.size()), backend,
                      ledger, hash_fault);
 }
@@ -157,13 +180,29 @@ SharedKey decapsulate_impl(const Params& params, const Backend& backend,
 EncapsResult encapsulate(const Params& params, const Backend& backend,
                          const PublicKey& pk, const hash::Seed& entropy,
                          CycleLedger* ledger) {
-  return encapsulate_impl(params, backend, pk, entropy, ledger, nullptr);
+  return encapsulate_impl(params, backend, pk, nullptr, entropy, ledger,
+                          nullptr);
+}
+
+EncapsResult encapsulate(const Params& params, const Backend& backend,
+                         const KeyContext& ctx, const hash::Seed& entropy,
+                         CycleLedger* ledger) {
+  return encapsulate_impl(params, backend, ctx.pk, &ctx, entropy, ledger,
+                          nullptr);
 }
 
 SharedKey decapsulate(const Params& params, const Backend& backend,
                       const KemKeyPair& keys, const Ciphertext& ct,
                       CycleLedger* ledger) {
-  return decapsulate_impl(params, backend, keys, ct, ledger, nullptr, nullptr);
+  return decapsulate_impl(params, backend, &keys, nullptr, ct, ledger,
+                          nullptr, nullptr);
+}
+
+SharedKey decapsulate(const Params& params, const Backend& backend,
+                      const KeyContext& ctx, const Ciphertext& ct,
+                      CycleLedger* ledger) {
+  return decapsulate_impl(params, backend, nullptr, &ctx, ct, ledger,
+                          nullptr, nullptr);
 }
 
 EncapsOutcome encapsulate_checked(const Params& params, const Backend& backend,
@@ -172,8 +211,24 @@ EncapsOutcome encapsulate_checked(const Params& params, const Backend& backend,
                                   CycleLedger* ledger) {
   EncapsOutcome out;
   try {
-    out.result = encapsulate_impl(params, backend, pk, entropy, ledger,
-                                  &out.hash_fault_detected);
+    out.result = encapsulate_impl(params, backend, pk, nullptr, entropy,
+                                  ledger, &out.hash_fault_detected);
+    out.status = Status::kOk;
+  } catch (const CheckError& e) {
+    out.status = Status::kInternalError;
+    out.detail = e.what();
+  }
+  return out;
+}
+
+EncapsOutcome encapsulate_checked(const Params& params, const Backend& backend,
+                                  const KeyContext& ctx,
+                                  const hash::Seed& entropy,
+                                  CycleLedger* ledger) {
+  EncapsOutcome out;
+  try {
+    out.result = encapsulate_impl(params, backend, ctx.pk, &ctx, entropy,
+                                  ledger, &out.hash_fault_detected);
     out.status = Status::kOk;
   } catch (const CheckError& e) {
     out.status = Status::kInternalError;
@@ -187,8 +242,22 @@ DecapsOutcome decapsulate_checked(const Params& params, const Backend& backend,
                                   CycleLedger* ledger) {
   DecapsOutcome out;
   try {
-    out.key = decapsulate_impl(params, backend, keys, ct, ledger, &out.status,
-                               &out.hash_fault_detected);
+    out.key = decapsulate_impl(params, backend, &keys, nullptr, ct, ledger,
+                               &out.status, &out.hash_fault_detected);
+  } catch (const CheckError& e) {
+    out.status = Status::kInternalError;
+    out.detail = e.what();
+  }
+  return out;
+}
+
+DecapsOutcome decapsulate_checked(const Params& params, const Backend& backend,
+                                  const KeyContext& ctx, const Ciphertext& ct,
+                                  CycleLedger* ledger) {
+  DecapsOutcome out;
+  try {
+    out.key = decapsulate_impl(params, backend, nullptr, &ctx, ct, ledger,
+                               &out.status, &out.hash_fault_detected);
   } catch (const CheckError& e) {
     out.status = Status::kInternalError;
     out.detail = e.what();

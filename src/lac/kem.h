@@ -53,6 +53,17 @@ struct DecapsOutcome {
   std::string detail;
 };
 
+/// H(tag || a || b) with the backend's hasher (if any), charging its
+/// per-block cost and applying the hardened recompute-and-compare
+/// countermeasure when `verify_hash` is set. Exposed so the KeyContext
+/// build (context.h) charges exactly the blocks the per-request path
+/// would have — the amortization invariant depends on it.
+hash::Digest tagged_hash(u8 tag, ByteView a, ByteView b,
+                         const Backend& backend, CycleLedger* ledger,
+                         bool* hash_fault = nullptr);
+
+struct KeyContext;  // context.h — per-key precomputed state
+
 KemKeyPair kem_keygen(const Params& params, const Backend& backend,
                       const hash::Seed& master, CycleLedger* ledger = nullptr);
 

@@ -74,8 +74,16 @@ KeyPair keygen(const Params& params, const Backend& backend,
 Ciphertext encrypt(const Params& params, const Backend& backend,
                    const PublicKey& pk, const bch::Message& msg,
                    const hash::Seed& coins, CycleLedger* ledger) {
-  LACRV_CHECK(pk.b.size() == params.n);
   const poly::Coeffs a = gen_a(pk.seed_a, params, backend.hash_impl, ledger);
+  return encrypt_with_a(params, backend, pk, a, msg, coins, ledger);
+}
+
+Ciphertext encrypt_with_a(const Params& params, const Backend& backend,
+                          const PublicKey& pk, const poly::Coeffs& a,
+                          const bch::Message& msg, const hash::Seed& coins,
+                          CycleLedger* ledger) {
+  LACRV_CHECK(pk.b.size() == params.n);
+  LACRV_CHECK(a.size() == params.n);
   const poly::Ternary sp = sample_fixed_weight(
       derive_seed(coins, kTagEncSecret), params, backend.hash_impl, ledger);
   const poly::Ternary ep = sample_fixed_weight(

@@ -42,6 +42,15 @@ Ciphertext encrypt(const Params& params, const Backend& backend,
                    const PublicKey& pk, const bch::Message& msg,
                    const hash::Seed& coins, CycleLedger* ledger = nullptr);
 
+/// encrypt() with a caller-supplied expansion of the public polynomial
+/// (a == GenA(pk.seed_a)); no gen_a work is performed or charged. This is
+/// the KeyContext hook (lac/context.h): amortized callers pay the
+/// expansion once at context-build time instead of per request.
+Ciphertext encrypt_with_a(const Params& params, const Backend& backend,
+                          const PublicKey& pk, const poly::Coeffs& a,
+                          const bch::Message& msg, const hash::Seed& coins,
+                          CycleLedger* ledger = nullptr);
+
 struct DecryptResult {
   bch::Message message{};
   /// BCH decoder consistency flag (false on an undecodable word).

@@ -3,6 +3,7 @@
 #include <iomanip>
 
 #include "common/rng.h"
+#include "lac/context.h"
 #include "lac/sampler.h"
 #include "riscv/pq_alu.h"
 #include "rtl/chien_unit.h"
@@ -64,6 +65,7 @@ u64 with_ledger(const std::function<void(CycleLedger*)>& fn) {
 
 struct MeasuredConfig {
   u64 keygen, encaps, decaps, gen_a, sample, mult, bch_dec;
+  u64 encaps_amortized, decaps_amortized, context_build;
 };
 
 MeasuredConfig measure(const lac::Params& params, const lac::Backend& backend) {
@@ -83,6 +85,18 @@ MeasuredConfig measure(const lac::Params& params, const lac::Backend& backend) {
   CycleLedger dec_ledger;
   lac::decapsulate(params, backend, keys, enc.ct, &dec_ledger);
   m.decaps = dec_ledger.total();
+
+  // Amortized-context runs: same operations through a prebuilt
+  // KeyContext. The paper-faithful numbers above are untouched; these
+  // satisfy op == op_amortized + context_build by construction.
+  const lac::KeyContext ctx = lac::build_kem_context(params, backend, keys);
+  m.context_build = ctx.build_cycles;
+  CycleLedger enc_am;
+  lac::encapsulate(params, backend, ctx, seed_of(99), &enc_am);
+  m.encaps_amortized = enc_am.total();
+  CycleLedger dec_am;
+  lac::decapsulate(params, backend, ctx, enc.ct, &dec_am);
+  m.decaps_amortized = dec_am.total();
 
   // Per-call bottleneck kernels (Table II's right-hand columns).
   m.gen_a = with_ledger([&](CycleLedger* ledger) {
@@ -176,11 +190,11 @@ std::vector<Table2Row> table2() {
   std::vector<Table2Row> rows;
   // External baselines quoted by the paper.
   rows.push_back({"LAC-128 ref. [4]", "ARM Cortex-M4", "CCA (I)", 2266368,
-                  3979851, 6303717, 0, 0, 0, 0, true, std::nullopt});
+                  3979851, 6303717, 0, 0, 0, 0, 0, 0, 0, true, std::nullopt});
   rows.push_back({"LAC-192 ref. [4]", "ARM Cortex-M4", "CCA (III)", 7532180,
-                  9986506, 17452435, 0, 0, 0, 0, true, std::nullopt});
+                  9986506, 17452435, 0, 0, 0, 0, 0, 0, 0, true, std::nullopt});
   rows.push_back({"LAC-256 ref. [4]", "ARM Cortex-M4", "CCA (V)", 7665769,
-                  13533851, 21125257, 0, 0, 0, 0, true, std::nullopt});
+                  13533851, 21125257, 0, 0, 0, 0, 0, 0, 0, true, std::nullopt});
 
   struct Config {
     const char* suffix;
@@ -221,6 +235,9 @@ std::vector<Table2Row> table2() {
       row.sample_poly = m.sample;
       row.mult = m.mult;
       row.bch_dec = m.bch_dec;
+      row.encaps_amortized = m.encaps_amortized;
+      row.decaps_amortized = m.decaps_amortized;
+      row.context_build = m.context_build;
       row.paper = {{config.paper[i][0], config.paper[i][1],
                     config.paper[i][2]}};
       rows.push_back(std::move(row));
@@ -228,7 +245,7 @@ std::vector<Table2Row> table2() {
   }
 
   rows.push_back({"NewHope opt. [8]", "RISC-V", "CPA (V)", 357052, 589285,
-                  167647, 42050, 75682, 73827, 0, true, std::nullopt});
+                  167647, 42050, 75682, 73827, 0, 0, 0, 0, true, std::nullopt});
   return rows;
 }
 
@@ -249,6 +266,13 @@ void print_table2(std::ostream& os, const std::vector<Table2Row>& rows) {
       format_row(os, "Sample poly", r.sample_poly, std::nullopt);
       format_row(os, "Multiplication", r.mult, std::nullopt);
       if (r.bch_dec) format_row(os, "BCH Dec.", r.bch_dec, std::nullopt);
+    }
+    if (r.context_build) {
+      // Amortized view (not in the paper): per-op cycles once the key's
+      // GenA + H(pk) live in a one-time context build.
+      format_row(os, "Context build", r.context_build, std::nullopt);
+      format_row(os, "Encaps (warm)", r.encaps_amortized, std::nullopt);
+      format_row(os, "Decaps (warm)", r.decaps_amortized, std::nullopt);
     }
   }
 }

@@ -40,6 +40,12 @@ struct Table2Row {
   u64 keygen = 0, encaps = 0, decaps = 0;
   // per-call bottleneck kernels (0 = not reported by the source row)
   u64 gen_a = 0, sample_poly = 0, mult = 0, bch_dec = 0;
+  // Amortized-context columns (lac/context.h): per-op cycles once the
+  // key's GenA expansion and H(pk) are hoisted into a one-time
+  // context_build. Invariant: encaps == encaps_amortized + context_build
+  // (same for decaps). 0 on external rows; the paper-faithful columns
+  // above are unaffected.
+  u64 encaps_amortized = 0, decaps_amortized = 0, context_build = 0;
   bool external = false;
   /// Paper values for keygen/encaps/decaps when the row reproduces a
   /// measured configuration.

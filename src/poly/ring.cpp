@@ -73,6 +73,29 @@ Coeffs mul_ref_partial(const Coeffs& b, const Ternary& s,
   return c;
 }
 
+Coeffs mul_ref_indexed(const Coeffs& b, const std::vector<u16>& plus,
+                       const std::vector<u16>& minus, bool negacyclic,
+                       CycleLedger* ledger) {
+  const std::size_t n = b.size();
+  // Same total as mul_ref's n outer rows — the model still walks every
+  // row; only the host-side work is sparse.
+  charge(ledger, n * (cost::kRefMultOuterStep + n * cost::kRefMultInnerStep));
+  Coeffs c(n, 0);
+  const auto accumulate = [&](u16 j, bool minus_sign) {
+    LACRV_CHECK(j < n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = j + k;
+      const bool wrap = idx >= n;
+      const std::size_t pos = wrap ? idx - n : idx;
+      const bool negative = minus_sign != (negacyclic && wrap);
+      c[pos] = negative ? sub_mod(c[pos], b[k]) : add_mod(c[pos], b[k]);
+    }
+  };
+  for (u16 j : plus) accumulate(j, false);
+  for (u16 j : minus) accumulate(j, true);
+  return c;
+}
+
 Coeffs mul_sparse(const Coeffs& b, const Ternary& s, bool negacyclic) {
   const std::size_t n = b.size();
   LACRV_CHECK(s.size() == n);
@@ -97,10 +120,12 @@ Coeffs mul_ter_sw(const Ternary& a, const Coeffs& b, bool negacyclic) {
   // Register-rotation schedule of the MUL TER unit (Fig. 2): per cycle
   // cntr the registers shift left while accumulating a_cntr * b, with the
   // per-MAU negation muxes active for wrap contributions (sel_i logic).
+  // Two buffers, swapped each cycle — `next` is fully rewritten per cntr,
+  // so it can be reused instead of reallocated n times per multiply.
   Coeffs c(n, 0);
+  Coeffs next(n);
   for (std::size_t cntr = 0; cntr < n; ++cntr) {
     const i8 ai = a[cntr];
-    Coeffs next(n);
     for (std::size_t j = 0; j < n; ++j) {
       const std::size_t k = (j + 1) % n;  // source register / b index
       u8 v = c[k];

@@ -73,6 +73,16 @@ Coeffs mul_ref(const Coeffs& b, const Ternary& s, bool negacyclic,
 /// Sparse multiplication over the nonzero positions of s only.
 Coeffs mul_sparse(const Coeffs& b, const Ternary& s, bool negacyclic);
 
+/// Reference multiplication from a precomputed sparse index form of s:
+/// `plus` / `minus` list the indices j with s[j] == +1 / -1 (a KeyContext
+/// stores the secret this way). Bit-identical to mul_ref — modular add/sub
+/// commute, so accumulation order doesn't matter — and charges the same
+/// dense n^2 cycle model: the index form saves host allocations and
+/// branches, not modeled cycles.
+Coeffs mul_ref_indexed(const Coeffs& b, const std::vector<u16>& plus,
+                       const std::vector<u16>& minus, bool negacyclic,
+                       CycleLedger* ledger = nullptr);
+
 /// Partial reference multiplication: only the first out_len coefficients
 /// of b * s in Z_q[x]/(x^n + 1), computed directly from Eq. (1). The LAC
 /// reference encryption computes v = (b s' + e'')[0..lv) this way — the

@@ -106,7 +106,18 @@ Coeffs full_product_with_unit(const Ternary& a, const Coeffs& b,
                               CycleLedger* ledger) {
   const std::size_t m = a.size();
   LACRV_CHECK(b.size() == m && m > 0);
-  LACRV_CHECK((unit_len & (unit_len - 1)) == 0);
+  // unit_len = 0 would pass the classic power-of-two test (0 & -1 == 0);
+  // demand a real unit length up front.
+  LACRV_CHECK_MSG(unit_len >= 2 && (unit_len & (unit_len - 1)) == 0,
+                  "unit_len must be a power of two >= 2");
+  // The recursion halves m until 2m <= unit_len; validate the whole
+  // descent here so an unsplittable length (e.g. m = 12 with a length-4
+  // unit, which reaches an odd m = 3 two levels down) fails at the entry
+  // point with an accurate message instead of deep in the recursion.
+  for (std::size_t t = m; 2 * t > unit_len; t /= 2)
+    LACRV_CHECK_MSG(t % 2 == 0,
+                    "operand length must halve evenly down to the unit "
+                    "length");
   if (2 * m <= unit_len) {
     // Fits the unit directly: zero-pad and run one cyclic convolution
     // (a product of degree 2m-2 < L never wraps).
@@ -118,8 +129,7 @@ Coeffs full_product_with_unit(const Ternary& a, const Coeffs& b,
     c.resize(2 * m);
     return c;
   }
-  LACRV_CHECK_MSG(m % 2 == 0, "operand length must be a power of two");
-  const std::size_t h = m / 2;
+  const std::size_t h = m / 2;  // m is even: checked by the entry loop
   const Ternary al(a.begin(), a.begin() + h), ah(a.begin() + h, a.end());
   const Coeffs bl(b.begin(), b.begin() + h), bh(b.begin() + h, b.end());
 

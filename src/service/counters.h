@@ -29,6 +29,10 @@ struct CountersSnapshot {
   u64 breaker_trips = 0;
   u64 breaker_recoveries = 0;
   u64 probes = 0;
+  u64 batch_submissions = 0;  // submit_batch() calls
+  u64 micro_batches = 0;      // worker-side batches popped (any size)
+  u64 context_builds = 0;     // KeyContext cache misses (expansions run)
+  u64 context_hits = 0;       // KeyContext cache hits (expansions saved)
   std::size_t queue_depth = 0;
 
   std::string to_string() const {
@@ -41,6 +45,8 @@ struct CountersSnapshot {
        << served_degraded << " | hash-faults-corrected "
        << hash_faults_corrected << " | breaker trips " << breaker_trips
        << " / recoveries " << breaker_recoveries << " | probes " << probes
+       << " | batches " << batch_submissions << " / micro " << micro_batches
+       << " | ctx builds " << context_builds << " / hits " << context_hits
        << " | queue depth " << queue_depth;
     return os.str();
   }
@@ -61,6 +67,8 @@ class ServiceCounters {
   std::atomic<u64> breaker_trips{0};
   std::atomic<u64> breaker_recoveries{0};
   std::atomic<u64> probes{0};
+  std::atomic<u64> batch_submissions{0};
+  std::atomic<u64> micro_batches{0};
 
   /// End-to-end latency (submit -> completion), one histogram per op.
   stats::LatencyHistogram encaps_latency;
@@ -82,6 +90,10 @@ class ServiceCounters {
     s.breaker_trips = breaker_trips.load(std::memory_order_relaxed);
     s.breaker_recoveries = breaker_recoveries.load(std::memory_order_relaxed);
     s.probes = probes.load(std::memory_order_relaxed);
+    s.batch_submissions = batch_submissions.load(std::memory_order_relaxed);
+    s.micro_batches = micro_batches.load(std::memory_order_relaxed);
+    // context_builds / context_hits live in the service's ContextCache;
+    // KemService::counters() fills them after this snapshot.
     s.queue_depth = queue_depth;
     return s;
   }

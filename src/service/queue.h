@@ -7,11 +7,13 @@
 // closed; close() wakes every waiter so shutdown never hangs a worker.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace lacrv::service {
 
@@ -32,6 +34,25 @@ class BoundedQueue {
     return true;
   }
 
+  /// Push a prefix of `items` under a single lock acquisition (the
+  /// batched-submission fast path: one mutex round-trip admits B
+  /// requests). Returns how many were accepted — the first `accepted`
+  /// elements are moved-from; the caller sheds the rest with its typed
+  /// overload status. Accepts nothing once closed.
+  std::size_t push_many(std::vector<T>& items) {
+    std::size_t accepted = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return 0;
+      while (accepted < items.size() && items_.size() < capacity_) {
+        items_.push_back(std::move(items[accepted]));
+        ++accepted;
+      }
+    }
+    if (accepted > 0) not_empty_.notify_all();
+    return accepted;
+  }
+
   /// Blocks until an item is available or the queue is closed; nullopt
   /// means closed-and-empty (worker should exit).
   std::optional<T> pop() {
@@ -41,6 +62,22 @@ class BoundedQueue {
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
+  }
+
+  /// Blocking micro-batch pop: waits like pop(), then drains up to `max`
+  /// already-queued items in the same lock acquisition. An empty vector
+  /// means closed-and-empty. Never waits for a batch to fill — batching
+  /// only amortizes lock traffic that is already there.
+  std::vector<T> pop_batch(std::size_t max) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    std::vector<T> out;
+    out.reserve(std::min(max, items_.size()));
+    while (!items_.empty() && out.size() < max) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
   }
 
   /// Non-blocking drain, used at shutdown to shed queued work with a

@@ -28,6 +28,7 @@ KemService::KemService(ServiceConfig config)
     : config_(config),
       params_(config.params ? config.params : &lac::Params::lac128()),
       clock_(config.clock ? config.clock : &RealClock::instance()),
+      ctx_cache_(config.context_cache_capacity),
       queue_(config.queue_capacity) {
   // Provisioning: the service keypair is generated on the golden
   // software backend, so a faulted accelerator can corrupt requests but
@@ -65,6 +66,14 @@ KemService::KemService(ServiceConfig config)
   }
   prober_rig_ = std::make_unique<Rig>();
   build_rig(*prober_rig_);
+
+  if (config_.use_key_context) {
+    // The service key's context: first call builds (one gen_a + one
+    // H(pk) for the whole service lifetime), the rest hit the cache and
+    // share the same immutable object.
+    for (auto& rig : rigs_)
+      rig->key_ctx = ctx_cache_.get_or_build(*params_, rig->backend, keys_);
+  }
 
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
@@ -131,47 +140,97 @@ void KemService::build_rig(Rig& rig) {
   rig.backend = std::move(b);
 }
 
-std::future<KemResponse> KemService::submit(KemRequest request) {
-  const OpKind op = request.op;
-  Job job;
-  if (op == OpKind::kEncaps) {
-    job = [this, entropy = request.entropy](lac::Backend& backend) {
-      KemResponse r;
-      lac::EncapsOutcome out =
-          lac::encapsulate_checked(*params_, backend, keys_.pk, entropy);
-      r.status = out.status;
-      r.encaps = std::move(out.result);
-      r.hash_fault_detected = out.hash_fault_detected;
-      r.detail = std::move(out.detail);
-      return r;
-    };
+KemService::Task KemService::make_kem_task(KemRequest request) {
+  Task task;
+  task.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  task.op = request.op;
+  task.deadline_micros = request.deadline_micros;
+  task.submitted_micros = clock_->now_micros();
+  task.request = std::move(request);
+  return task;
+}
+
+KemResponse KemService::execute_kem(const KemRequest& request, Rig& rig) {
+  const lac::KeyContext* ctx = rig.key_ctx.get();
+  KemResponse r;
+  if (request.op == OpKind::kEncaps) {
+    lac::EncapsOutcome out =
+        ctx ? lac::encapsulate_checked(*params_, rig.backend, *ctx,
+                                       request.entropy)
+            : lac::encapsulate_checked(*params_, rig.backend, keys_.pk,
+                                       request.entropy);
+    r.status = out.status;
+    r.encaps = std::move(out.result);
+    r.hash_fault_detected = out.hash_fault_detected;
+    r.detail = std::move(out.detail);
   } else {
-    job = [this, ct = std::move(request.ct)](lac::Backend& backend) {
-      KemResponse r;
-      lac::DecapsOutcome out =
-          lac::decapsulate_checked(*params_, backend, keys_, ct);
-      r.status = out.status;
-      r.key = out.key;
-      r.hash_fault_detected = out.hash_fault_detected;
-      r.detail = std::move(out.detail);
-      return r;
-    };
+    lac::DecapsOutcome out =
+        ctx ? lac::decapsulate_checked(*params_, rig.backend, *ctx,
+                                       request.ct)
+            : lac::decapsulate_checked(*params_, rig.backend, keys_,
+                                       request.ct);
+    r.status = out.status;
+    r.key = out.key;
+    r.hash_fault_detected = out.hash_fault_detected;
+    r.detail = std::move(out.detail);
   }
-  return enqueue(std::move(job), op, request.deadline_micros);
+  return r;
+}
+
+std::future<KemResponse> KemService::submit(KemRequest request) {
+  return enqueue_task(make_kem_task(std::move(request)));
+}
+
+std::vector<std::future<KemResponse>> KemService::submit_batch(
+    std::vector<KemRequest> requests) {
+  counters_.batch_submissions.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Task> tasks;
+  tasks.reserve(requests.size());
+  std::vector<std::future<KemResponse>> futures;
+  futures.reserve(requests.size());
+  for (KemRequest& request : requests) {
+    tasks.push_back(make_kem_task(std::move(request)));
+    futures.push_back(tasks.back().promise.get_future());
+  }
+  counters_.submitted.fetch_add(tasks.size(), std::memory_order_relaxed);
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    for (Task& task : tasks) {
+      counters_.shed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
+      KemResponse r;
+      r.status = Status::kUnavailable;
+      r.detail = "service stopped";
+      task.promise.set_value(std::move(r));
+    }
+    return futures;
+  }
+
+  // One lock round-trip admits the whole burst; whatever exceeds the
+  // queue's remaining capacity is rejected per request, exactly like a
+  // lone submit() racing a full queue.
+  const std::size_t accepted = queue_.push_many(tasks);
+  for (std::size_t i = accepted; i < tasks.size(); ++i) {
+    counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    obs::instant("service.overloaded", "service", {{"request", tasks[i].id}});
+    KemResponse r;
+    r.status = Status::kOverloaded;
+    r.detail = "submission queue full";
+    tasks[i].promise.set_value(std::move(r));
+  }
+  return futures;
 }
 
 std::future<KemResponse> KemService::submit_job(Job job, u64 deadline_micros) {
-  return enqueue(std::move(job), OpKind::kGeneric, deadline_micros);
-}
-
-std::future<KemResponse> KemService::enqueue(Job job, OpKind op,
-                                             u64 deadline_micros) {
   Task task;
   task.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  task.op = op;
+  task.op = OpKind::kGeneric;
   task.job = std::move(job);
   task.deadline_micros = deadline_micros;
   task.submitted_micros = clock_->now_micros();
+  return enqueue_task(std::move(task));
+}
+
+std::future<KemResponse> KemService::enqueue_task(Task task) {
   std::future<KemResponse> future = task.promise.get_future();
 
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
@@ -197,7 +256,18 @@ std::future<KemResponse> KemService::enqueue(Job job, OpKind op,
 
 void KemService::worker_main(std::size_t index) {
   Rig& rig = *rigs_[index];
-  while (auto task = queue_.pop()) process(std::move(*task), rig);
+  const std::size_t max_batch = std::max<std::size_t>(1, config_.max_batch);
+  for (;;) {
+    std::vector<Task> batch = queue_.pop_batch(max_batch);
+    if (batch.empty()) return;  // closed and drained
+    counters_.micro_batches.fetch_add(1, std::memory_order_relaxed);
+    // The batch span deliberately has no request trace id (it covers
+    // several); trace_check matches attempts into batches by tid + time
+    // containment.
+    obs::TraceSpan batch_span("service.batch", "service");
+    batch_span.arg("size", static_cast<u64>(batch.size()));
+    for (Task& task : batch) process(std::move(task), rig);
+  }
 }
 
 void KemService::process(Task task, Rig& rig) {
@@ -250,7 +320,8 @@ void KemService::process(Task task, Rig& rig) {
       // last-resort net turns anything else a faulted unit provokes into
       // a typed, retryable status — a worker thread must never die.
       try {
-        response = task.job(rig.backend);
+        response = task.job ? task.job(rig.backend)
+                            : execute_kem(task.request, rig);
       } catch (const std::exception& e) {
         response = KemResponse{};
         response.status = Status::kInternalError;
@@ -460,6 +531,16 @@ void KemService::register_metrics(obs::MetricsRegistry& registry) {
        "Breaker half-open -> closed", &counters_.breaker_recoveries},
       {"lacrv_service_probes_total", "Health-probe passes",
        &counters_.probes},
+      {"lacrv_service_batch_submissions_total", "submit_batch() calls",
+       &counters_.batch_submissions},
+      {"lacrv_service_micro_batches_total",
+       "Worker-side micro-batches popped", &counters_.micro_batches},
+      {"lacrv_service_context_builds_total",
+       "KeyContext cache misses (seed expansions run)",
+       &ctx_cache_.builds()},
+      {"lacrv_service_context_hits_total",
+       "KeyContext cache hits (seed expansions amortized away)",
+       &ctx_cache_.hits()},
   };
   for (const auto& c : kCounters)
     registry.add_counter(c.name, c.help, c.value);

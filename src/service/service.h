@@ -35,6 +35,7 @@
 
 #include "common/clock.h"
 #include "fault/plan.h"
+#include "lac/context.h"
 #include "lac/kem.h"
 #include "service/breaker.h"
 #include "service/counters.h"
@@ -104,6 +105,16 @@ struct ServiceConfig {
   /// Seed for the service keypair (generated on the golden software
   /// backend — provisioning runs on verified hardware).
   hash::Seed key_seed{};
+  /// Serve KEM requests from per-key precomputed contexts (lac/context.h):
+  /// the service key's expansion of a and H(pk) are built once per worker
+  /// start instead of re-derived on every request. False restores the
+  /// paper-faithful per-request path (the bench's baseline column).
+  bool use_key_context = true;
+  /// Worker-side micro-batch limit: one queue lock round-trip drains up
+  /// to this many already-queued requests. 1 disables batching.
+  std::size_t max_batch = 8;
+  /// Capacity of the KeyContext LRU (the service key plus client keys).
+  std::size_t context_cache_capacity = 8;
 };
 
 class KemService {
@@ -119,6 +130,13 @@ class KemService {
   /// (backpressure) or kUnavailable after stop(); otherwise when a
   /// worker finishes or sheds the request.
   std::future<KemResponse> submit(KemRequest request);
+
+  /// Enqueue a whole burst under one queue lock acquisition. Futures are
+  /// returned in request order; requests that do not fit the queue's
+  /// remaining capacity complete immediately with kOverloaded (the same
+  /// backpressure contract as submit(), decided per request).
+  std::vector<std::future<KemResponse>> submit_batch(
+      std::vector<KemRequest> requests);
 
   /// Low-level submission of an arbitrary job, executed on a worker
   /// thread with the worker's breaker-switched backend and the same
@@ -152,8 +170,14 @@ class KemService {
   Clock& clock() { return *clock_; }
 
   CountersSnapshot counters() const {
-    return counters_.snapshot(queue_.depth());
+    CountersSnapshot s = counters_.snapshot(queue_.depth());
+    s.context_builds =
+        ctx_cache_.builds().load(std::memory_order_relaxed);
+    s.context_hits = ctx_cache_.hits().load(std::memory_order_relaxed);
+    return s;
   }
+  /// The per-key context LRU (service key + client keys).
+  const lac::ContextCache& context_cache() const { return ctx_cache_; }
   /// Register every service counter, the queue-depth and per-unit
   /// breaker-state gauges, and the per-op latency histograms with
   /// `registry` (non-owning: the service must outlive the registry's
@@ -183,18 +207,33 @@ class KemService {
     std::array<bool, kNumUnits> rtl_used{};
     std::array<bool, kNumUnits> fallback_used{};
     lac::Backend backend;
+    /// The service key's precomputed context (null when
+    /// config.use_key_context is off): shared, immutable, read-only on
+    /// the hot path.
+    std::shared_ptr<const lac::KeyContext> key_ctx;
   };
 
   struct Task {
     u64 id = 0;
     OpKind op = OpKind::kGeneric;
+    /// Generic payload (submit_job). KEM traffic leaves this empty and
+    /// runs through execute_kem() so workers can use their cached
+    /// KeyContext — the Job signature predates the context layer.
     Job job;
+    KemRequest request;
     u64 deadline_micros = kNoDeadline;
     u64 submitted_micros = 0;
     std::promise<KemResponse> promise;
   };
 
-  std::future<KemResponse> enqueue(Job job, OpKind op, u64 deadline_micros);
+  Task make_kem_task(KemRequest request);
+  /// Stamp id/clock, handle the stopping_ fast path, try_push, resolve
+  /// the overload rejection — the single-submission tail shared by
+  /// submit() and submit_job().
+  std::future<KemResponse> enqueue_task(Task task);
+  /// Run one KEM request on the rig's breaker-switched backend, through
+  /// the rig's KeyContext when enabled.
+  KemResponse execute_kem(const KemRequest& request, Rig& rig);
   void build_rig(Rig& rig);
   void worker_main(std::size_t index);
   void prober_main();
@@ -219,6 +258,7 @@ class KemService {
   DegradeReport report_;
 
   ServiceCounters counters_;
+  lac::ContextCache ctx_cache_;
   BoundedQueue<Task> queue_;
   std::atomic<u64> next_id_{1};
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,405 @@
+// The per-key precomputed context layer (lac/context.h) and its service
+// integration. Three properties are pinned here:
+//
+//  1. Coherence — context-served operations are bit-identical to the
+//     per-request path across every parameter set, PRG kind and backend
+//     (a KAT-style sweep: same inputs, byte-equal ct / keys).
+//  2. Accounting — for any key, uncached_op == cached_op + build_cycles,
+//     exactly: the build charges precisely the gen_a and H(pk) blocks
+//     the hot path no longer pays, so the paper-faithful Table II
+//     columns are provably unchanged by the amortization.
+//  3. Amortization — a warmed KemService performs zero seed expansions
+//     per request (counter-pinned via lac::gen_a_expansions()).
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "lac/context.h"
+#include "lac/gen_a.h"
+#include "lac/kem.h"
+#include "service/service.h"
+
+namespace lacrv::lac {
+namespace {
+
+hash::Seed seed_from(u8 tag) {
+  hash::Seed s{};
+  s[0] = tag;
+  s[31] = static_cast<u8>(tag ^ 0x5a);
+  return s;
+}
+
+/// Every (params, backend) configuration the scheme ships: the paper's
+/// three levels plus the SHAKE variants, on the reference and optimized
+/// backends.
+std::vector<std::pair<const Params*, Backend>> all_configs() {
+  std::vector<std::pair<const Params*, Backend>> configs;
+  for (const Params* p : Params::all()) {
+    configs.emplace_back(p, Backend::reference());
+    configs.emplace_back(p, Backend::optimized());
+  }
+  for (const Params* p : Params::all_shake())
+    configs.emplace_back(p, Backend::optimized());
+  return configs;
+}
+
+TEST(KeyContext, CachedOperationsAreBitIdenticalToUncached) {
+  for (const auto& [params, backend] : all_configs()) {
+    const KemKeyPair keys = kem_keygen(*params, backend, seed_from(1));
+    const KeyContext ctx = build_kem_context(*params, backend, keys);
+    ASSERT_TRUE(ctx.has_secret);
+
+    const hash::Seed entropy = seed_from(2);
+    const EncapsResult plain = encapsulate(*params, backend, keys.pk, entropy);
+    const EncapsResult cached = encapsulate(*params, backend, ctx, entropy);
+    ASSERT_EQ(plain.ct.u, cached.ct.u) << params->name;
+    ASSERT_EQ(plain.ct.v, cached.ct.v) << params->name;
+    ASSERT_EQ(plain.key, cached.key) << params->name;
+
+    const SharedKey dec_plain = decapsulate(*params, backend, keys, plain.ct);
+    const SharedKey dec_cached = decapsulate(*params, backend, ctx, plain.ct);
+    ASSERT_EQ(dec_plain, dec_cached) << params->name;
+    ASSERT_EQ(dec_cached, plain.key) << params->name;
+  }
+}
+
+TEST(KeyContext, ImplicitRejectionSurvivesTheContextPath) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::optimized();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_from(3));
+  const KeyContext ctx = build_kem_context(params, backend, keys);
+
+  EncapsResult enc = encapsulate(params, backend, ctx, seed_from(4));
+  enc.ct.v[0] ^= 0x0f;  // tamper -> FO comparison must fail identically
+  const SharedKey plain = decapsulate(params, backend, keys, enc.ct);
+  const SharedKey cached = decapsulate(params, backend, ctx, enc.ct);
+  EXPECT_EQ(plain, cached);
+  EXPECT_NE(cached, enc.key);
+
+  const DecapsOutcome outcome =
+      decapsulate_checked(params, backend, ctx, enc.ct);
+  EXPECT_NE(outcome.status, Status::kOk);
+  EXPECT_EQ(outcome.key, cached);
+}
+
+TEST(KeyContext, BuildPlusCachedOpEqualsUncachedOpExactly) {
+  for (const auto& [params, backend] : all_configs()) {
+    const KemKeyPair keys = kem_keygen(*params, backend, seed_from(5));
+    CycleLedger build_ledger;
+    const KeyContext ctx =
+        build_kem_context(*params, backend, keys, &build_ledger);
+    // The caller's ledger sees the whole build under one section.
+    ASSERT_GT(ctx.build_cycles, 0u) << params->name;
+    ASSERT_EQ(build_ledger.total(), ctx.build_cycles) << params->name;
+    ASSERT_EQ(build_ledger.section("context_build"), ctx.build_cycles)
+        << params->name;
+
+    const hash::Seed entropy = seed_from(6);
+    CycleLedger enc_plain, enc_cached;
+    const EncapsResult enc =
+        encapsulate(*params, backend, keys.pk, entropy, &enc_plain);
+    encapsulate(*params, backend, ctx, entropy, &enc_cached);
+    ASSERT_EQ(enc_plain.total(), enc_cached.total() + ctx.build_cycles)
+        << params->name << ": encaps amortization leaks cycles";
+    // The cached path must charge no seed expansion at all.
+    ASSERT_EQ(enc_cached.section("gen_a"), 0u) << params->name;
+
+    CycleLedger dec_plain, dec_cached;
+    decapsulate(*params, backend, keys, enc.ct, &dec_plain);
+    decapsulate(*params, backend, ctx, enc.ct, &dec_cached);
+    ASSERT_EQ(dec_plain.total(), dec_cached.total() + ctx.build_cycles)
+        << params->name << ": decaps amortization leaks cycles";
+    ASSERT_EQ(dec_cached.section("gen_a"), 0u) << params->name;
+  }
+}
+
+TEST(KeyContext, EncapsOnlyContextCarriesNoSecret) {
+  const Params& params = Params::lac192();
+  const Backend backend = Backend::reference();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_from(7));
+  const KeyContext ctx = build_key_context(params, backend, keys.pk);
+  EXPECT_FALSE(ctx.has_secret);
+  EXPECT_TRUE(ctx.s.empty());
+  EXPECT_TRUE(ctx.s_plus.empty() && ctx.s_minus.empty());
+
+  const EncapsResult enc = encapsulate(params, backend, ctx, seed_from(8));
+  EXPECT_EQ(decapsulate(params, backend, keys, enc.ct), enc.key);
+}
+
+TEST(KeyContext, SparseSecretIndicesMatchTheTernary) {
+  const Params& params = Params::lac256();
+  const Backend backend = Backend::reference();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_from(9));
+  const KeyContext ctx = build_kem_context(params, backend, keys);
+  ASSERT_EQ(ctx.s.size(), params.n);
+  std::size_t plus = 0, minus = 0;
+  for (std::size_t j = 0; j < ctx.s.size(); ++j) {
+    if (ctx.s[j] == 1) ++plus;
+    if (ctx.s[j] == -1) ++minus;
+  }
+  EXPECT_EQ(ctx.s_plus.size(), plus);
+  EXPECT_EQ(ctx.s_minus.size(), minus);
+  for (u16 j : ctx.s_plus) EXPECT_EQ(ctx.s[j], 1) << "j=" << j;
+  for (u16 j : ctx.s_minus) EXPECT_EQ(ctx.s[j], -1) << "j=" << j;
+}
+
+// ---- ContextCache ----------------------------------------------------------
+
+TEST(ContextCache, SecondLookupHitsWithoutRebuilding) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::optimized();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_from(10));
+
+  ContextCache cache(4);
+  const auto first = cache.get_or_build(params, backend, keys);
+  const auto second = cache.get_or_build(params, backend, keys);
+  EXPECT_EQ(first.get(), second.get());  // shared, not rebuilt
+  EXPECT_EQ(cache.builds().load(), 1u);
+  EXPECT_EQ(cache.hits().load(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ContextCache, SecretBearingEntryServesSecretlessLookups) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::optimized();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_from(11));
+
+  ContextCache cache(4);
+  const auto full = cache.get_or_build(params, backend, keys);
+  const auto pk_only = cache.get_or_build(params, backend, keys.pk);
+  EXPECT_EQ(full.get(), pk_only.get());
+  EXPECT_EQ(cache.builds().load(), 1u);
+  EXPECT_EQ(cache.hits().load(), 1u);
+}
+
+TEST(ContextCache, SecretlessEntryIsSupersededBySecretBearingBuild) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::optimized();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_from(12));
+
+  ContextCache cache(4);
+  const auto pk_only = cache.get_or_build(params, backend, keys.pk);
+  EXPECT_FALSE(pk_only->has_secret);
+  // A decaps lookup cannot be served by the secretless entry: it builds
+  // the full context and replaces the stale one instead of duplicating.
+  const auto full = cache.get_or_build(params, backend, keys);
+  EXPECT_TRUE(full->has_secret);
+  EXPECT_EQ(cache.builds().load(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  // From now on both lookup flavours hit the secret-bearing entry.
+  EXPECT_EQ(cache.get_or_build(params, backend, keys.pk).get(), full.get());
+}
+
+TEST(ContextCache, EvictsLeastRecentlyUsedAtCapacity) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::optimized();
+  ContextCache cache(2);
+  const KemKeyPair k1 = kem_keygen(params, backend, seed_from(13));
+  const KemKeyPair k2 = kem_keygen(params, backend, seed_from(14));
+  const KemKeyPair k3 = kem_keygen(params, backend, seed_from(15));
+
+  cache.get_or_build(params, backend, k1);
+  cache.get_or_build(params, backend, k2);
+  cache.get_or_build(params, backend, k1);  // k1 now MRU, k2 LRU
+  cache.get_or_build(params, backend, k3);  // evicts k2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions().load(), 1u);
+  cache.get_or_build(params, backend, k1);  // still cached
+  EXPECT_EQ(cache.builds().load(), 3u);
+  cache.get_or_build(params, backend, k2);  // rebuilt after eviction
+  EXPECT_EQ(cache.builds().load(), 4u);
+}
+
+TEST(ContextCache, DistinguishesParameterSetsUnderOneSeed) {
+  // Same seed_a but different (n, prg) must not alias.
+  const Backend backend = Backend::optimized();
+  const hash::Seed master = seed_from(16);
+  const KemKeyPair k128 = kem_keygen(Params::lac128(), backend, master);
+  const KemKeyPair k192 = kem_keygen(Params::lac192(), backend, master);
+
+  ContextCache cache(4);
+  const auto c128 = cache.get_or_build(Params::lac128(), backend, k128);
+  const auto c192 = cache.get_or_build(Params::lac192(), backend, k192);
+  EXPECT_NE(c128.get(), c192.get());
+  EXPECT_EQ(c128->a.size(), Params::lac128().n);
+  EXPECT_EQ(c192->a.size(), Params::lac192().n);
+  EXPECT_EQ(cache.builds().load(), 2u);
+}
+
+}  // namespace
+}  // namespace lacrv::lac
+
+namespace lacrv::service {
+namespace {
+
+hash::Seed entropy_of(u8 tag) {
+  hash::Seed s{};
+  s[0] = tag;
+  s[1] = 0xc3;
+  return s;
+}
+
+ServiceConfig quiet_config() {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  cfg.enable_prober = false;
+  return cfg;
+}
+
+TEST(KemServiceContext, WarmedServicePerformsZeroSeedExpansions) {
+  KemService svc(quiet_config());
+  // Worker start-up built the service key's context (one build, shared
+  // by every rig); everything after this snapshot is steady state.
+  const u64 warm = lac::gen_a_expansions();
+
+  constexpr std::size_t kRequests = 16;
+  std::vector<std::future<KemResponse>> encs;
+  for (std::size_t i = 0; i < kRequests; ++i)
+    encs.push_back(svc.submit({OpKind::kEncaps,
+                               entropy_of(static_cast<u8>(i)),
+                               {},
+                               kNoDeadline}));
+  std::vector<lac::EncapsResult> done;
+  for (auto& f : encs) {
+    KemResponse r = f.get();
+    ASSERT_EQ(r.status, Status::kOk);
+    done.push_back(r.encaps);
+  }
+  for (const lac::EncapsResult& e : done) {
+    KemRequest req;
+    req.op = OpKind::kDecaps;
+    req.ct = e.ct;
+    KemResponse r = svc.submit(std::move(req)).get();
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_EQ(r.key, e.key);
+  }
+  // The amortization claim, counter-pinned: 16 encaps + 16 decaps (each
+  // decaps internally re-encrypts) and not a single GenA expansion.
+  EXPECT_EQ(lac::gen_a_expansions(), warm);
+
+  const CountersSnapshot s = svc.counters();
+  EXPECT_EQ(s.context_builds, 1u);
+  EXPECT_GE(s.context_hits, quiet_config().workers - 1);
+}
+
+TEST(KemServiceContext, DisabledContextMatchesEnabledBitForBit) {
+  ServiceConfig with = quiet_config();
+  ServiceConfig without = quiet_config();
+  without.use_key_context = false;
+  without.max_batch = 1;
+  // Same key_seed -> same service keypair in both services.
+  KemService a(with), b(without);
+  EXPECT_EQ(b.counters().context_builds, 0u);
+
+  const u64 before = lac::gen_a_expansions();
+  KemResponse ra =
+      a.submit({OpKind::kEncaps, entropy_of(7), {}, kNoDeadline}).get();
+  KemResponse rb =
+      b.submit({OpKind::kEncaps, entropy_of(7), {}, kNoDeadline}).get();
+  ASSERT_EQ(ra.status, Status::kOk);
+  ASSERT_EQ(rb.status, Status::kOk);
+  EXPECT_EQ(ra.encaps.ct.u, rb.encaps.ct.u);
+  EXPECT_EQ(ra.encaps.ct.v, rb.encaps.ct.v);
+  EXPECT_EQ(ra.encaps.key, rb.encaps.key);
+  // Only the paper-faithful service expanded the seed.
+  EXPECT_EQ(lac::gen_a_expansions(), before + 1);
+}
+
+TEST(KemServiceBatch, SubmitBatchPreservesOrderAndKeyAgreement) {
+  KemService svc(quiet_config());
+  constexpr std::size_t kBurst = 12;
+  std::vector<KemRequest> burst;
+  for (std::size_t i = 0; i < kBurst; ++i)
+    burst.push_back({OpKind::kEncaps, entropy_of(static_cast<u8>(0x40 + i)),
+                     {}, kNoDeadline});
+  auto futures = svc.submit_batch(std::move(burst));
+  ASSERT_EQ(futures.size(), kBurst);
+
+  std::vector<lac::EncapsResult> encs;
+  for (auto& f : futures) {
+    KemResponse r = f.get();
+    ASSERT_EQ(r.status, Status::kOk);
+    encs.push_back(r.encaps);
+  }
+  // Futures map to requests in order: resubmitting the same entropies
+  // one at a time reproduces the same ciphertexts positionally.
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    KemResponse r = svc.submit({OpKind::kEncaps,
+                                entropy_of(static_cast<u8>(0x40 + i)),
+                                {},
+                                kNoDeadline})
+                        .get();
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_EQ(r.encaps.ct.u, encs[i].ct.u) << "position " << i;
+  }
+
+  std::vector<KemRequest> dec_burst;
+  for (const lac::EncapsResult& e : encs) {
+    KemRequest req;
+    req.op = OpKind::kDecaps;
+    req.ct = e.ct;
+    dec_burst.push_back(std::move(req));
+  }
+  auto decs = svc.submit_batch(std::move(dec_burst));
+  for (std::size_t i = 0; i < decs.size(); ++i) {
+    KemResponse r = decs[i].get();
+    ASSERT_EQ(r.status, Status::kOk);
+    ASSERT_EQ(r.key, encs[i].key) << "position " << i;
+  }
+
+  const CountersSnapshot s = svc.counters();
+  EXPECT_GE(s.batch_submissions, 2u);
+  EXPECT_GE(s.micro_batches, 1u);
+}
+
+TEST(KemServiceBatch, OverflowingBatchRejectsExactlyTheTail) {
+  ServiceConfig cfg = quiet_config();
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  KemService svc(cfg);
+
+  // Park the single worker so queue occupancy is deterministic.
+  std::promise<void> started;
+  std::promise<void> open;
+  auto gate = svc.submit_job([&](lac::Backend&) {
+    started.set_value();
+    open.get_future().wait();
+    KemResponse r;
+    r.status = Status::kOk;
+    return r;
+  });
+  started.get_future().wait();
+
+  std::vector<KemRequest> burst;
+  for (std::size_t i = 0; i < cfg.queue_capacity + 3; ++i)
+    burst.push_back({OpKind::kEncaps, entropy_of(static_cast<u8>(0x60 + i)),
+                     {}, kNoDeadline});
+  auto futures = svc.submit_batch(std::move(burst));
+  ASSERT_EQ(futures.size(), cfg.queue_capacity + 3);
+
+  // The tail that did not fit resolves immediately with kOverloaded.
+  for (std::size_t i = cfg.queue_capacity; i < futures.size(); ++i)
+    EXPECT_EQ(futures[i].get().status, Status::kOverloaded) << "i=" << i;
+
+  open.set_value();
+  ASSERT_EQ(gate.get().status, Status::kOk);
+  for (std::size_t i = 0; i < cfg.queue_capacity; ++i)
+    EXPECT_EQ(futures[i].get().status, Status::kOk) << "i=" << i;
+}
+
+TEST(KemServiceBatch, BatchAfterStopResolvesUnavailable) {
+  KemService svc(quiet_config());
+  svc.stop();
+  std::vector<KemRequest> burst(3);
+  auto futures = svc.submit_batch(std::move(burst));
+  ASSERT_EQ(futures.size(), 3u);
+  for (auto& f : futures)
+    EXPECT_EQ(f.get().status, Status::kUnavailable);
+}
+
+}  // namespace
+}  // namespace lacrv::service

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "gf/gf512.h"
 
@@ -34,6 +35,34 @@ TEST(Gf512, PowersAreDistinct) {
 
 TEST(Gf512, LogInvertsAlphaPow) {
   for (u32 e = 0; e < kGroupOrder; ++e) EXPECT_EQ(log(alpha_pow(e)), e);
+}
+
+TEST(Gf512, LogZeroSentinelIsOutOfBand) {
+  // The log table stores kLogZeroSentinel for 0 (which has no discrete
+  // log); it must be unreachable as a real exponent so a missed
+  // zero-check can never masquerade as log(1) = 0, the value the old
+  // table aliased.
+  static_assert(kLogZeroSentinel >= kGroupOrder);
+  for (u32 e = 0; e < kGroupOrder; ++e)
+    ASSERT_NE(log(alpha_pow(e)), kLogZeroSentinel) << "e=" << e;
+}
+
+TEST(Gf512, ZeroHasNoLogOrInverse) {
+  EXPECT_THROW(log(0), lacrv::CheckError);
+  EXPECT_THROW(inv(0), lacrv::CheckError);
+  EXPECT_THROW(log(kFieldSize), lacrv::CheckError);  // out of field too
+}
+
+TEST(Gf512, MulTableShortCircuitsZeroBeforeTheTable) {
+  // Both multipliers must agree that 0 annihilates — mul_table never
+  // consults the log table for a zero operand, so the sentinel entry is
+  // unreachable through arithmetic.
+  for (Element a = 0; a < kFieldSize; ++a) {
+    ASSERT_EQ(mul_table(0, a), 0u);
+    ASSERT_EQ(mul_table(a, 0), 0u);
+  }
+  EXPECT_EQ(pow(0, 3), 0u);
+  EXPECT_EQ(pow(0, 0), 1u);  // empty product convention
 }
 
 TEST(Gf512, MultiplierFlavoursAgreeExhaustivelyOnSample) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "poly/karatsuba.h"
 #include "poly/ring.h"
@@ -108,6 +109,82 @@ TEST(MulRef, N1024ChargeNearPaperValue) {
   EXPECT_NEAR(static_cast<double>(ledger.total()), 9482261.0, 50000.0);
 }
 
+TEST(MulTerSw, ReusedRotationBufferStaysExactOnSparseOperands) {
+  // Regression for the per-cycle buffer allocation fix: the rotation
+  // buffer is now rewritten in place each cntr step, so any lane the
+  // rewrite skipped would leak the previous cycle's value. Sparse `a`
+  // maximizes the ai == 0 copy-through lanes that a partial rewrite
+  // would corrupt.
+  Xoshiro256 rng(41);
+  for (const bool negacyclic : {false, true}) {
+    for (const std::size_t n : {8u, 64u, 512u}) {
+      Ternary a(n, 0);
+      a[0] = 1;
+      a[n / 2] = -1;
+      a[n - 1] = 1;
+      const Coeffs b = random_coeffs(rng, n);
+      ASSERT_EQ(mul_ter_sw(a, b, negacyclic), oracle_mul(b, a, negacyclic))
+          << "n=" << n << " negacyclic=" << negacyclic;
+    }
+  }
+}
+
+TEST(MulTerSw, RepeatedCallsAreDeterministic) {
+  Xoshiro256 rng(42);
+  const Ternary a = random_ternary(rng, 512);
+  const Coeffs b = random_coeffs(rng, 512);
+  const Coeffs first = mul_ter_sw(a, b, true);
+  for (int i = 0; i < 3; ++i) ASSERT_EQ(mul_ter_sw(a, b, true), first);
+}
+
+/// Split a ternary polynomial into the sparse index lists
+/// mul_ref_indexed consumes (the KeyContext precomputation).
+void split_indices(const Ternary& s, std::vector<u16>& plus,
+                   std::vector<u16>& minus) {
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    if (s[j] == 1) plus.push_back(static_cast<u16>(j));
+    if (s[j] == -1) minus.push_back(static_cast<u16>(j));
+  }
+}
+
+TEST(MulRefIndexed, MatchesMulRefBitForBit) {
+  Xoshiro256 rng(43);
+  for (const bool negacyclic : {false, true}) {
+    for (const std::size_t n : {16u, 512u, 1024u}) {
+      const Ternary s = random_ternary(rng, n);
+      const Coeffs b = random_coeffs(rng, n);
+      std::vector<u16> plus, minus;
+      split_indices(s, plus, minus);
+      ASSERT_EQ(mul_ref_indexed(b, plus, minus, negacyclic),
+                mul_ref(b, s, negacyclic))
+          << "n=" << n << " negacyclic=" << negacyclic;
+    }
+  }
+}
+
+TEST(MulRefIndexed, ChargesTheDenseReferenceModel) {
+  // The sparse form is a memory-layout optimization, not a cycle-count
+  // one: the paper's reference multiplier walks all n rows regardless,
+  // so the indexed variant must charge the identical dense model.
+  Xoshiro256 rng(44);
+  const std::size_t n = 512;
+  const Ternary s = random_ternary(rng, n);
+  const Coeffs b = random_coeffs(rng, n);
+  std::vector<u16> plus, minus;
+  split_indices(s, plus, minus);
+  CycleLedger dense, indexed;
+  mul_ref(b, s, true, &dense);
+  mul_ref_indexed(b, plus, minus, true, &indexed);
+  EXPECT_EQ(indexed.total(), dense.total());
+}
+
+TEST(MulRefIndexed, RejectsOutOfRangeIndex) {
+  const Coeffs b(16, 1);
+  const std::vector<u16> bad = {16};  // one past the end
+  EXPECT_THROW(mul_ref_indexed(b, bad, {}, true), CheckError);
+  EXPECT_THROW(mul_ref_indexed(b, {}, bad, true), CheckError);
+}
+
 TEST(SplitMul, LowLevelMatchesFullProduct) {
   Xoshiro256 rng(5);
   const Ternary a = random_ternary(rng, 512);
@@ -208,6 +285,42 @@ TEST(GenericSplit, FullProductMatchesSchoolbook) {
       ASSERT_EQ(got[i], expected[i]) << "m=" << m << " i=" << i;
     ASSERT_EQ(got.back(), 0);
   }
+}
+
+TEST(GenericSplit, RejectsDegenerateUnitLengthsAtEntry) {
+  const Ternary a(64, 1);
+  const Coeffs b(64, 1);
+  // unit_len = 0 used to slip through the classic power-of-two test
+  // (0 & -1 == 0) and recurse forever; 1 and non-powers are equally
+  // meaningless unit shapes.
+  for (const std::size_t bad : {0u, 1u, 3u, 24u})
+    EXPECT_THROW(full_product_with_unit(a, b, bad, software_mul_ter()),
+                 CheckError)
+        << "unit_len=" << bad;
+}
+
+TEST(GenericSplit, RejectsOddDescentBeforeTouchingTheUnit) {
+  // m = 12 with a length-4 unit reaches an odd m = 3 two levels down the
+  // recursion; the entry-point validation must catch it with the unit
+  // never invoked.
+  const Ternary a(12, 1);
+  const Coeffs b(12, 1);
+  int calls = 0;
+  MulTer512 spy = [&](const Ternary& ta, const Coeffs& tb, bool negacyclic,
+                      CycleLedger*) {
+    ++calls;
+    return mul_ter_sw(ta, tb, negacyclic);
+  };
+  EXPECT_THROW(full_product_with_unit(a, b, 4, spy), CheckError);
+  EXPECT_EQ(calls, 0);
+  // The same length splits fine against a unit it reaches evenly.
+  const Coeffs got = full_product_with_unit(a, b, 8, spy);
+  EXPECT_GT(calls, 0);
+  const Coeffs expected = mul_general_full(from_ternary(a), b);  // 2m-1 coeffs
+  ASSERT_EQ(got.size(), 2 * a.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_EQ(got[i], expected[i]) << "i=" << i;
+  EXPECT_EQ(got.back(), 0);
 }
 
 TEST(GenericSplit, AgreesWithAlgorithm1SpecialCase) {
