@@ -197,6 +197,60 @@ void BM_IssMulTerKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_IssMulTerKernel);
 
+// ---- per-slot modeled cycle counts -----------------------------------------
+// One benchmark per kernel registry slot, named after the slot's
+// canonical name ("BM_PqSlotCycles/<slot>"). Each run reports the
+// pq-instruction cycle model's per-call cost as the `model_cycles`
+// counter in the --json dump, so a regression in the cost model shows up
+// keyed by the same name used for trace spans, breaker labels and --mix
+// flags.
+void run_pq_slot(benchmark::State& state, lac::Slot slot) {
+  Xoshiro256 rng(20);
+  const poly::Ternary a = random_ternary(rng, 512);
+  const poly::Coeffs b = random_coeffs(rng, 512);
+  const bch::CodeSpec& spec = bch::CodeSpec::bch_511_367_16();
+  bch::Message msg{};
+  rng.fill(msg.data(), msg.size());
+  bch::BitVec word = bch::encode(spec, msg);
+  for (int i = 0; i < 16; ++i) word[static_cast<std::size_t>(5 + 11 * i)] ^= 1;
+  const auto synd = bch::syndromes(spec, word, bch::Flavor::kConstantTime);
+  const bch::Locator loc =
+      bch::berlekamp_massey(spec, synd, bch::Flavor::kConstantTime);
+  const Bytes data = rng.bytes(1024);
+
+  CycleLedger ledger;
+  u64 calls = 0;
+  for (auto _ : state) {
+    ++calls;
+    switch (slot) {
+      case lac::Slot::kMulTer:
+        benchmark::DoNotOptimize(lac::modeled_mul_ter()(a, b, true, &ledger));
+        break;
+      case lac::Slot::kChien:
+        benchmark::DoNotOptimize(lac::modeled_chien()(spec, loc, &ledger));
+        break;
+      case lac::Slot::kSha256: {
+        // The sha256 slot's callable is purely functional; its cycle
+        // model is charged by the caller per compression block.
+        hash::Sha256 h;
+        h.update(data);
+        benchmark::DoNotOptimize(h.finalize());
+        charge(&ledger, h.compressions() *
+                            lac::hash_block_cost(lac::HashImpl::kAccelerated));
+        break;
+      }
+      case lac::Slot::kModq:
+        benchmark::DoNotOptimize(
+            lac::modeled_modq()(static_cast<u32>(rng.next_below(65536)),
+                                &ledger));
+        break;
+    }
+  }
+  state.counters["model_cycles"] = benchmark::Counter(
+      calls ? static_cast<double>(ledger.total()) / static_cast<double>(calls)
+            : 0.0);
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): the table binaries take
@@ -210,6 +264,13 @@ int main(int argc, char** argv) {
       args.push_back(json_flag.data());
     else
       args.push_back(argv[i]);
+  }
+  // One benchmark per kernel registry slot, keyed by canonical slot name.
+  for (lacrv::lac::Slot slot : lacrv::lac::kAllSlots) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_PqSlotCycles/") + lacrv::lac::slot_name(slot))
+            .c_str(),
+        [slot](benchmark::State& state) { run_pq_slot(state, slot); });
   }
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());

@@ -7,12 +7,18 @@
 // KemService (the cycle model says what the hardware would cost; the
 // service column says what this model sustains end to end).
 //
-//   table2_kem_cycles [--json]   # --json: machine-readable dump only
+//   table2_kem_cycles [--json]     # --json: machine-readable dump only
+//   table2_kem_cycles --mix <spec> # per-slot implementation mix, e.g.
+//                                  #   --mix mul_ter=rtl,sha256=sw
+//                                  # (slots: mul_ter, chien, sha256, modq;
+//                                  # unlisted slots stay on the modeled
+//                                  # software implementation)
 #include <chrono>
 #include <cstring>
 #include <future>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -20,6 +26,7 @@
 #include "common/rng.h"
 #include "obs/json.h"
 #include "perf/iss_kernels.h"
+#include "perf/rtl_backend.h"
 #include "perf/tables.h"
 #include "riscv/profiler.h"
 #include "service/service.h"
@@ -145,12 +152,9 @@ struct IssProfile {
 /// Machine-readable dump of everything this binary measures: the Table
 /// II rows, the headline speedups, the ISS profiler cross-check and the
 /// service throughput column.
-void print_json(std::ostream& os, const std::vector<perf::Table2Row>& rows,
-                const perf::Speedups& s,
-                const std::vector<IssProfile>& profiles,
-                const std::vector<Throughput>& throughput) {
+void print_rows_json(std::ostream& os,
+                     const std::vector<perf::Table2Row>& rows) {
   using obs::json::escape;
-  os << "{\n  \"table2\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const perf::Table2Row& r = rows[i];
     os << "    {\"scheme\": \"" << escape(r.scheme) << "\", \"device\": \""
@@ -165,6 +169,15 @@ void print_json(std::ostream& os, const std::vector<perf::Table2Row>& rows,
        << ", \"external\": " << (r.external ? "true" : "false") << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
+}
+
+void print_json(std::ostream& os, const std::vector<perf::Table2Row>& rows,
+                const perf::Speedups& s,
+                const std::vector<IssProfile>& profiles,
+                const std::vector<Throughput>& throughput) {
+  using obs::json::escape;
+  os << "{\n  \"table2\": [\n";
+  print_rows_json(os, rows);
   os << "  ],\n  \"headline_speedups\": {\"lac128\": " << s.lac128
      << ", \"lac192\": " << s.lac192 << ", \"lac256\": " << s.lac256
      << "},\n  \"iss_profile\": [\n";
@@ -192,10 +205,59 @@ void print_json(std::ostream& os, const std::vector<perf::Table2Row>& rows,
   os << "  ]\n}\n";
 }
 
+/// Build the --mix backend: every slot the spec marks `rtl` gets the
+/// cycle-accurate RTL callable injected through the registry's KAT-gated
+/// path; the rest keep the modeled software implementation. All sixteen
+/// mixes are bit-identical by construction (tests enforce it); the rows
+/// exist to attribute cycle deltas per primitive.
+int run_mix(const std::string& spec, bool json) {
+  std::array<bool, lac::kNumSlots> use_rtl{};
+  std::string error;
+  if (!lac::parse_slot_mix(spec, &use_rtl, &error)) {
+    std::cerr << "--mix: " << error << "\n";
+    return 1;
+  }
+  auto registry =
+      std::make_shared<lac::KernelRegistry>(lac::KernelRegistry::modeled());
+  if (use_rtl[0]) registry->inject_mul_ter(perf::rtl_mul_ter());
+  if (use_rtl[1]) registry->inject_chien(perf::rtl_chien());
+  if (use_rtl[2])
+    registry->inject_sha256(
+        perf::rtl_sha256(std::make_shared<rtl::Sha256Rtl>()));
+  if (use_rtl[3]) registry->inject_modq(perf::rtl_modq());
+  const lac::Backend backend = lac::Backend::optimized_from(registry);
+
+  std::vector<perf::Table2Row> rows;
+  for (const lac::Params* params : lac::Params::all())
+    rows.push_back(perf::table2_row(
+        *params, backend, std::string(params->name) + " opt."));
+  if (json) {
+    std::cout << "{\n  \"mix\": \"" << obs::json::escape(spec)
+              << "\",\n  \"table2\": [\n";
+    print_rows_json(std::cout, rows);
+    std::cout << "  ]\n}\n";
+  } else {
+    std::cout << "Per-slot implementation mix: " << spec
+              << " (unlisted slots: modeled software)\n";
+    perf::print_table2(std::cout, rows);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  bool json = false;
+  std::string mix_spec;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
+    else if (std::strcmp(argv[i], "--mix") == 0 && i + 1 < argc)
+      mix_spec = argv[++i];
+    else if (std::strncmp(argv[i], "--mix=", 6) == 0)
+      mix_spec = argv[i] + 6;
+  }
+  if (!mix_spec.empty()) return run_mix(mix_spec, json);
   const auto rows = perf::table2();
   const perf::Speedups s = perf::headline_speedups(rows);
 

@@ -14,6 +14,11 @@
 // histograms and the DegradeReport (the service's incident log).
 //
 //   kem_server [handshakes-per-act] [--trace t.json] [--metrics m.prom]
+//              [--mix mul_ter=rtl,sha256=sw,...]
+//
+// --mix selects the per-slot implementation mix of the worker rigs
+// (slots: mul_ter, chien, sha256, modq; unlisted slots run the modeled
+// software implementation).
 //
 // --trace installs a process-wide tracer and writes a Chrome
 // trace-event / Perfetto JSON timeline of every request (queue wait,
@@ -115,13 +120,15 @@ void report(const char* act, const ActTally& t,
 
 int main(int argc, char** argv) {
   std::size_t n = 64;
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, mix_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc)
       trace_path = argv[++i];
     else if (arg == "--metrics" && i + 1 < argc)
       metrics_path = argv[++i];
+    else if (arg == "--mix" && i + 1 < argc)
+      mix_spec = argv[++i];
     else
       n = std::stoul(arg);
   }
@@ -134,9 +141,18 @@ int main(int argc, char** argv) {
   cfg.workers = 4;
   cfg.queue_capacity = 2 * n + 8;
   cfg.probe_interval_micros = 5'000;
+  if (!mix_spec.empty()) {
+    std::string error;
+    if (!lac::parse_slot_mix(mix_spec, &cfg.slot_use_rtl, &error)) {
+      std::cerr << "--mix: " << error << "\n";
+      return 1;
+    }
+  }
   service::KemService svc(cfg);
   std::cout << "kem_server: " << cfg.workers << " workers, queue capacity "
-            << cfg.queue_capacity << ", " << svc.params().name << "\n\n";
+            << cfg.queue_capacity << ", " << svc.params().name;
+  if (!mix_spec.empty()) std::cout << ", mix " << mix_spec;
+  std::cout << "\n\n";
 
   obs::MetricsRegistry registry;
   svc.register_metrics(registry);

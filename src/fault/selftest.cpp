@@ -1,8 +1,10 @@
 #include "fault/selftest.h"
 
+#include <memory>
+
 #include "gf/gf512.h"
-#include "hash/sha256.h"
-#include "poly/ring.h"
+#include "lac/registry.h"
+#include "perf/rtl_backend.h"
 
 namespace lacrv::fault {
 namespace {
@@ -11,30 +13,23 @@ void describe(std::string* detail, const std::string& message) {
   if (detail) *detail = message;
 }
 
+// Non-owning handle onto a caller-owned unit: the KATs drive the unit
+// through the same perf::rtl_* adapters the production backends use,
+// while the caller keeps the unit to arm fault plans against it.
+template <typename Unit>
+std::shared_ptr<Unit> borrow(Unit& unit) {
+  return std::shared_ptr<Unit>(std::shared_ptr<void>(), &unit);
+}
+
 }  // namespace
 
 bool selftest_mul_ter(rtl::MulTerRtl& unit, std::string* detail) {
-  const std::size_t n = unit.length();
-  poly::Ternary a(n);
-  poly::Coeffs b(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    a[i] = static_cast<i8>(static_cast<int>(i % 3) - 1);
-    b[i] = static_cast<u8>((7 * i + 3) % poly::kQ);
-  }
-  for (const bool negacyclic : {true, false}) {
-    unit.reset();
-    const poly::Coeffs got = unit.multiply(a, b, negacyclic);
-    const poly::Coeffs expected = poly::mul_ter_sw(a, b, negacyclic);
-    if (got != expected) {
-      describe(detail, negacyclic ? "negacyclic convolution KAT mismatch"
-                                  : "cyclic convolution KAT mismatch");
-      return false;
-    }
-  }
-  return true;
+  return lac::mul_ter_kat(perf::rtl_mul_ter(borrow(unit)), detail);
 }
 
 bool selftest_gf_mul(rtl::GfMulRtl& unit, std::string* detail) {
+  // Not a registry slot: the GF(2^9) multiplier is an internal building
+  // block of the Chien unit, not a pq.* primitive, so its KAT stays here.
   // A handful of pairs covering 0, 1, alpha powers and dense operands.
   constexpr gf::Element kOperands[] = {0, 1, 2, 0x0AA, 0x155, 0x1FF, 0x123};
   for (gf::Element a : kOperands) {
@@ -53,53 +48,17 @@ bool selftest_gf_mul(rtl::GfMulRtl& unit, std::string* detail) {
 }
 
 bool selftest_chien(rtl::ChienRtl& unit, std::string* detail) {
-  // Locator with known roots: lambda(x) = (1 - alpha^5 x)(1 - alpha^9 x)
-  // padded to degree 8 (t = 8, a multiple of the four hardware lanes).
-  // Expected evaluations come from Horner evaluation in software.
-  std::vector<gf::Element> lambda(9, 0);
-  const gf::Element r1 = gf::alpha_pow(5), r2 = gf::alpha_pow(9);
-  lambda[0] = 1;
-  lambda[1] = gf::add(r1, r2);
-  lambda[2] = gf::mul_shift_add(r1, r2);
-  constexpr int kFirst = 500;  // window wraps past the group order
-  unit.configure(lambda, kFirst);
-  for (int l = kFirst; l < kFirst + 20; ++l) {
-    const gf::Element point = gf::alpha_pow(static_cast<u32>(l));
-    const gf::Element expected =
-        gf::poly_eval(lambda, point, gf::MulKind::kShiftAdd);
-    if (unit.eval_next() != expected) {
-      describe(detail, "locator evaluation KAT mismatch at exponent " +
-                           std::to_string(l));
-      return false;
-    }
-  }
-  return true;
+  return lac::chien_kat(perf::rtl_chien(borrow(unit)), detail);
 }
 
 bool selftest_sha256(rtl::Sha256Rtl& unit, std::string* detail) {
-  // One short and one multi-block message, compared to the software hash.
-  Bytes message;
-  for (int i = 0; i < 200; ++i) message.push_back(static_cast<u8>(i * 31));
-  const Bytes short_msg = {'a', 'b', 'c'};
-  for (const Bytes& m : {short_msg, message}) {
-    if (unit.hash_message(m) != hash::sha256(m)) {
-      describe(detail, "digest KAT mismatch");
-      return false;
-    }
-  }
-  return true;
+  return lac::sha256_kat(
+      [&unit](ByteView data) { return unit.hash_message(data); }, detail);
 }
 
 bool selftest_barrett(rtl::BarrettRtl& unit, std::string* detail) {
-  constexpr u32 kInputs[] = {0,   1,    250,  251,   252,  502,
-                             503, 1000, 4096, 62750, 65535};
-  for (u32 x : kInputs) {
-    if (unit.reduce(x) != x % poly::kQ) {
-      describe(detail, "reduction KAT mismatch at x = " + std::to_string(x));
-      return false;
-    }
-  }
-  return true;
+  return lac::modq_kat(
+      [&unit](u32 x, CycleLedger*) { return unit.reduce(x); }, detail);
 }
 
 DegradeReport selftest_all(rtl::MulTerRtl& mul_ter, rtl::GfMulRtl& gf_mul,

@@ -1,10 +1,15 @@
 // Accelerator known-answer self-tests. Each test drives one RTL unit
 // through a small deterministic computation and compares against the
 // golden software model — the check a production firmware would run at
-// boot (and that Backend::optimized_with runs on its injected callables)
+// boot (and that the kernel registry runs on every injected callable)
 // before trusting an accelerator. A unit with a stuck-at fault fails its
 // KAT; a unit with a single transient fault generally passes it and is
 // caught later by the FO / BCH runtime defenses instead.
+//
+// The KAT logic itself lives in lac/registry.cpp (one implementation per
+// pq.* slot); these helpers only adapt a raw RTL unit onto the slot's
+// callable interface. selftest_gf_mul is the exception: the GF multiplier
+// is not a registry slot, so its KAT is defined here.
 #pragma once
 
 #include <string>

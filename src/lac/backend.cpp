@@ -1,110 +1,17 @@
 #include "lac/backend.h"
 
-#include "bch/berlekamp.h"
-#include "common/costs.h"
-
 namespace lacrv::lac {
-namespace {
 
-/// Number of trailing all-zero coefficients the software would not bother
-/// transferring (the split path loads only the 256 significant
-/// coefficients of each padded half).
-template <typename Vec>
-std::size_t significant_length(const Vec& v) {
-  std::size_t len = v.size();
-  while (len > 0 && v[len - 1] == 0) --len;
-  return len;
-}
-
-/// Construction-time KAT for an injected MUL TER implementation: both
-/// convolution variants on a dense deterministic operand pair must match
-/// the golden software convolution bit for bit.
-bool mul_ter_kat(const poly::MulTer512& unit) {
-  constexpr std::size_t kN = 512;
-  poly::Ternary a(kN);
-  poly::Coeffs b(kN);
-  for (std::size_t i = 0; i < kN; ++i) {
-    a[i] = static_cast<i8>(static_cast<int>((i * 5 + 1) % 3) - 1);
-    b[i] = static_cast<u8>((13 * i + 7) % poly::kQ);
-  }
-  for (const bool negacyclic : {true, false}) {
-    if (unit(a, b, negacyclic, nullptr) != poly::mul_ter_sw(a, b, negacyclic))
-      return false;
-  }
-  return true;
-}
-
-/// Construction-time KAT for an injected Chien stage: corrupt a known
-/// codeword of the t=16 code, run the software syndromes + BM, and demand
-/// the injected stage locates exactly the errors the software search does.
-bool chien_kat(const bch::ChienStage& stage) {
-  const bch::CodeSpec& spec = bch::CodeSpec::bch_511_367_16();
-  bch::Message msg{};
-  for (std::size_t i = 0; i < msg.size(); ++i)
-    msg[i] = static_cast<u8>(0xA5u ^ (i * 29));
-  bch::BitVec word = bch::encode(spec, msg);
-  // Flip a handful of message bits spread over the Chien window.
-  for (int i : {0, 17, 80, 133, 200, 255}) word[spec.message_degree(i)] ^= 1;
-
-  const auto synd = bch::syndromes(spec, word, bch::Flavor::kConstantTime);
-  const bch::Locator loc =
-      bch::berlekamp_massey(spec, synd, bch::Flavor::kConstantTime);
-  const bch::ChienResult expected =
-      bch::chien_search(spec, loc, bch::Flavor::kConstantTime, nullptr);
-  const bch::ChienResult got = stage(spec, loc, nullptr);
-  return got.error_degrees == expected.error_degrees;
-}
-
-/// Hasher KAT: a short and a multi-block message must round-trip against
-/// the software SHA-256.
-bool hasher_kat(const hash::HashFn& fn) {
-  const Bytes short_msg = {'l', 'a', 'c'};
-  Bytes long_msg;
-  for (int i = 0; i < 150; ++i) long_msg.push_back(static_cast<u8>(i * 37));
-  for (const Bytes& m : {short_msg, long_msg}) {
-    if (fn(m) != hash::sha256(m)) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-poly::MulTer512 modeled_mul_ter() {
-  return [](const poly::Ternary& a, const poly::Coeffs& b, bool negacyclic,
-            CycleLedger* ledger) {
-    const std::size_t n = a.size();
-    // Operand transfer: 5 general + 5 ternary coefficients per pq.mul_ter
-    // issue; only the significant prefix is loaded (split calls transfer
-    // 256 coefficients into the zero-initialised unit).
-    const std::size_t sig =
-        std::max(significant_length(a), significant_length(b));
-    const std::size_t load_chunks =
-        (std::max<std::size_t>(sig, 1) + cost::kMulTerCoeffsPerLoad - 1) /
-        cost::kMulTerCoeffsPerLoad;
-    const std::size_t read_chunks =
-        (n + cost::kMulTerCoeffsPerRead - 1) / cost::kMulTerCoeffsPerRead;
-    charge(ledger, cost::kKernelCallOverhead +
-                       load_chunks * cost::kMulTerLoadChunk +
-                       cost::kMulTerStartOverhead + n /* compute cycles */ +
-                       read_chunks * cost::kMulTerReadChunk);
-    return poly::mul_ter_sw(a, b, negacyclic);
-  };
-}
-
-bch::ChienStage modeled_chien() {
-  return [](const bch::CodeSpec& spec, const bch::Locator& loc,
-            CycleLedger* ledger) {
-    const u64 points = static_cast<u64>(spec.chien_last - spec.chien_first + 1);
-    const u64 groups = static_cast<u64>(spec.t) / 4;  // 4 for t=16, 2 for t=8
-    charge(ledger,
-           cost::kKernelCallOverhead + groups * cost::kChienHwLambdaLoad +
-               points * (groups * (cost::kChienHwGroupCompute +
-                                   cost::kChienHwGroupControl) +
-                         cost::kChienHwPointOverhead));
-    // Functional result identical to the software search; only the cycle
-    // model differs. Pass a null ledger so no software costs are charged.
-    return bch::chien_search(spec, loc, bch::Flavor::kConstantTime, nullptr);
-  };
+void Backend::sync_from_registry() {
+  if (!registry) return;
+  mul_unit = registry->mul_ter().active();
+  chien = registry->chien().active();
+  // The software hash serves unless an implementation was injected: a
+  // null hasher keeps the KEM on the plain hash::sha256 path and
+  // hash_impl selects the cycle model alone.
+  hasher = registry->sha256().injected() ? registry->sha256().active()
+                                         : hash::HashFn{};
+  modq = registry->modq().active();
 }
 
 Backend Backend::reference() {
@@ -113,6 +20,8 @@ Backend Backend::reference() {
   b.name = "ref";
   b.hash_impl = HashImpl::kSoftware;
   b.bch_flavor = bch::Flavor::kSubmission;
+  // Reference rows never dispatch through the kernel slots (pke/codec
+  // gate on kind and null callables), so no registry profile is built.
   return b;
 }
 
@@ -125,45 +34,38 @@ Backend Backend::reference_const_bch() {
   return b;
 }
 
-Backend Backend::optimized() {
-  return optimized_with(modeled_mul_ter(), modeled_chien());
-}
-
-Backend Backend::optimized_with(poly::MulTer512 mul_unit,
-                                bch::ChienStage chien,
-                                DegradeReport* report) {
+Backend Backend::optimized_from(std::shared_ptr<KernelRegistry> registry) {
   Backend b;
   b.kind = Kind::kOptimized;
   b.name = "opt";
   b.hash_impl = HashImpl::kAccelerated;
   b.bch_flavor = bch::Flavor::kConstantTime;
-  if (mul_ter_kat(mul_unit)) {
-    b.mul_unit = std::move(mul_unit);
-  } else {
-    b.mul_unit = modeled_mul_ter();
-    if (report)
-      report->add("mul_ter", Status::kSelfTestFailure,
-                  "construction KAT failed; using modeled software unit");
-  }
-  if (chien_kat(chien)) {
-    b.chien = std::move(chien);
-  } else {
-    b.chien = modeled_chien();
-    if (report)
-      report->add("chien", Status::kSelfTestFailure,
-                  "construction KAT failed; using modeled software unit");
-  }
+  b.registry = std::move(registry);
+  b.sync_from_registry();
   return b;
+}
+
+Backend Backend::optimized() {
+  return optimized_from(
+      std::make_shared<KernelRegistry>(KernelRegistry::modeled()));
+}
+
+Backend Backend::optimized_with(poly::MulTer512 mul_unit,
+                                bch::ChienStage chien,
+                                DegradeReport* report) {
+  auto registry = std::make_shared<KernelRegistry>(KernelRegistry::modeled());
+  registry->inject_mul_ter(std::move(mul_unit), report);
+  registry->inject_chien(std::move(chien), report);
+  return optimized_from(std::move(registry));
 }
 
 Backend& Backend::with_hasher(hash::HashFn hasher, bool verify,
                               DegradeReport* report) {
-  if (hasher_kat(hasher)) {
-    this->hasher = std::move(hasher);
+  if (!registry)
+    registry = std::make_shared<KernelRegistry>(KernelRegistry::modeled());
+  if (registry->inject_sha256(std::move(hasher), report) == Status::kOk) {
+    this->hasher = registry->sha256().active();
     this->verify_hash = verify;
-  } else if (report) {
-    report->add("sha256", Status::kSelfTestFailure,
-                "construction KAT failed; keeping software hash");
   }
   return *this;
 }

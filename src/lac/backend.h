@@ -9,18 +9,27 @@
 //  * optimized()            — the paper's co-design: MUL TER via pq.mul_ter
 //                             (with the two-level split for n = 1024),
 //                             constant-time syndromes/BM plus the MUL CHIEN
-//                             unit, and the pq.sha256 hash path.
+//                             unit, the pq.sha256 hash path and the pq.modq
+//                             Barrett slot.
 //
-// optimized() uses golden software models of the accelerators with the
-// pq-instruction cycle model attached; optimized_with() lets the perf/rtl
-// layer substitute cycle-accurate RTL-backed callables (results must be
-// bit-identical — tests enforce it).
+// Every Backend is a thin facade over a lac::KernelRegistry profile
+// (lac/registry.h): the factory builds (or adopts) a registry, and the
+// slot's active callables are copied into the legacy fields below so the
+// scheme layer keeps consuming plain std::functions. optimized() serves
+// the modeled profile (golden software + pq cycle model);
+// optimized_with()/with_hasher()/optimized_from() inject implementations
+// through the registry's KAT-gated substitution path (e.g. the
+// cycle-accurate RTL callables of perf/rtl_backend — results must be
+// bit-identical; tests enforce it).
 #pragma once
+
+#include <memory>
 
 #include "bch/decoder.h"
 #include "common/status.h"
 #include "hash/sha256.h"
 #include "lac/gen_a.h"
+#include "lac/registry.h"
 #include "poly/split_mul.h"
 
 namespace lacrv::lac {
@@ -44,6 +53,14 @@ struct Backend {
   /// software hash; on mismatch the KEM uses the software digest and the
   /// *_checked entry points report the detected fault.
   bool verify_hash = false;
+  /// Set iff kind == kOptimized: the MOD q reduction slot (pq.modq).
+  /// Not on the KEM hot path (which reduces with add_mod/sub_mod), but
+  /// drives the poly/ring general-multiplication reduction path and is
+  /// injectable/breaker-tracked exactly like the other three units.
+  poly::ModqFn modq;
+  /// The registry profile behind the fields above (null for the
+  /// reference backends, which never dispatch through the slots).
+  std::shared_ptr<KernelRegistry> registry;
 
   static Backend reference();
   static Backend reference_const_bch();
@@ -57,19 +74,21 @@ struct Backend {
   static Backend optimized_with(poly::MulTer512 mul_unit,
                                 bch::ChienStage chien,
                                 DegradeReport* report = nullptr);
+  /// Optimized backend over an explicit registry profile whose slots the
+  /// caller already populated through KernelRegistry::inject_* (the
+  /// per-slot mix path of the matrix test, the fault campaign and the
+  /// --mix bench flags).
+  static Backend optimized_from(std::shared_ptr<KernelRegistry> registry);
 
   /// Install a functional hash implementation after a KAT self-test; a
   /// failing hasher is discarded (software hash keeps serving, recorded
   /// in `report`). `verify` enables the per-digest hardened cross-check.
   Backend& with_hasher(hash::HashFn hasher, bool verify = false,
                        DegradeReport* report = nullptr);
-};
 
-/// MUL TER model used by optimized(): computes with mul_ter_sw and charges
-/// the pq.mul_ter I/O + n compute cycles of Sec. V.
-poly::MulTer512 modeled_mul_ter();
-/// MUL CHIEN model used by optimized(): computes the window search and
-/// charges per-point group compute/control/readback costs (Fig. 4).
-bch::ChienStage modeled_chien();
+  /// Re-copy the registry slots' active callables into the legacy
+  /// fields (after direct slot mutation through registry).
+  void sync_from_registry();
+};
 
 }  // namespace lacrv::lac

@@ -1,0 +1,251 @@
+#include "lac/registry.h"
+
+#include "bch/berlekamp.h"
+#include "common/costs.h"
+
+namespace lacrv::lac {
+namespace {
+
+/// Number of trailing all-zero coefficients the software would not bother
+/// transferring (the split path loads only the 256 significant
+/// coefficients of each padded half).
+template <typename Vec>
+std::size_t significant_length(const Vec& v) {
+  std::size_t len = v.size();
+  while (len > 0 && v[len - 1] == 0) --len;
+  return len;
+}
+
+void describe(std::string* detail, std::string message) {
+  if (detail) *detail = std::move(message);
+}
+
+}  // namespace
+
+// ---- modeled implementations -----------------------------------------------
+
+poly::MulTer512 modeled_mul_ter() {
+  return [](const poly::Ternary& a, const poly::Coeffs& b, bool negacyclic,
+            CycleLedger* ledger) {
+    const std::size_t n = a.size();
+    // Operand transfer: 5 general + 5 ternary coefficients per pq.mul_ter
+    // issue; only the significant prefix is loaded (split calls transfer
+    // 256 coefficients into the zero-initialised unit).
+    const std::size_t sig =
+        std::max(significant_length(a), significant_length(b));
+    const std::size_t load_chunks =
+        (std::max<std::size_t>(sig, 1) + cost::kMulTerCoeffsPerLoad - 1) /
+        cost::kMulTerCoeffsPerLoad;
+    const std::size_t read_chunks =
+        (n + cost::kMulTerCoeffsPerRead - 1) / cost::kMulTerCoeffsPerRead;
+    charge(ledger, cost::kKernelCallOverhead +
+                       load_chunks * cost::kMulTerLoadChunk +
+                       cost::kMulTerStartOverhead + n /* compute cycles */ +
+                       read_chunks * cost::kMulTerReadChunk);
+    return poly::mul_ter_sw(a, b, negacyclic);
+  };
+}
+
+bch::ChienStage modeled_chien() {
+  return [](const bch::CodeSpec& spec, const bch::Locator& loc,
+            CycleLedger* ledger) {
+    const u64 points = static_cast<u64>(spec.chien_last - spec.chien_first + 1);
+    const u64 groups = static_cast<u64>(spec.t) / 4;  // 4 for t=16, 2 for t=8
+    charge(ledger,
+           cost::kKernelCallOverhead + groups * cost::kChienHwLambdaLoad +
+               points * (groups * (cost::kChienHwGroupCompute +
+                                   cost::kChienHwGroupControl) +
+                         cost::kChienHwPointOverhead));
+    // Functional result identical to the software search; only the cycle
+    // model differs. Pass a null ledger so no software costs are charged.
+    return bch::chien_search(spec, loc, bch::Flavor::kConstantTime, nullptr);
+  };
+}
+
+poly::ModqFn modeled_modq() {
+  return [](u32 x, CycleLedger* ledger) {
+    charge(ledger, cost::kHwModq);  // single-cycle pq.modq issue
+    return poly::barrett_reduce(x);
+  };
+}
+
+// ---- known-answer self-tests -----------------------------------------------
+
+bool mul_ter_kat(const poly::MulTer512& unit, std::string* detail) {
+  // Both convolution variants on a dense deterministic operand pair must
+  // match the golden software convolution bit for bit.
+  constexpr std::size_t kN = 512;
+  poly::Ternary a(kN);
+  poly::Coeffs b(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    a[i] = static_cast<i8>(static_cast<int>((i * 5 + 1) % 3) - 1);
+    b[i] = static_cast<u8>((13 * i + 7) % poly::kQ);
+  }
+  for (const bool negacyclic : {true, false}) {
+    if (unit(a, b, negacyclic, nullptr) != poly::mul_ter_sw(a, b, negacyclic)) {
+      describe(detail, negacyclic ? "negacyclic convolution KAT mismatch"
+                                  : "cyclic convolution KAT mismatch");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool chien_kat(const bch::ChienStage& stage, std::string* detail) {
+  // Corrupt a known codeword of the t=16 code, run the software
+  // syndromes + BM, and demand the stage locates exactly the errors the
+  // software search does.
+  const bch::CodeSpec& spec = bch::CodeSpec::bch_511_367_16();
+  bch::Message msg{};
+  for (std::size_t i = 0; i < msg.size(); ++i)
+    msg[i] = static_cast<u8>(0xA5u ^ (i * 29));
+  bch::BitVec word = bch::encode(spec, msg);
+  // Flip a handful of message bits spread over the Chien window.
+  for (int i : {0, 17, 80, 133, 200, 255}) word[spec.message_degree(i)] ^= 1;
+
+  const auto synd = bch::syndromes(spec, word, bch::Flavor::kConstantTime);
+  const bch::Locator loc =
+      bch::berlekamp_massey(spec, synd, bch::Flavor::kConstantTime);
+  const bch::ChienResult expected =
+      bch::chien_search(spec, loc, bch::Flavor::kConstantTime, nullptr);
+  const bch::ChienResult got = stage(spec, loc, nullptr);
+  if (got.error_degrees != expected.error_degrees) {
+    describe(detail, "locator evaluation KAT mismatch");
+    return false;
+  }
+  return true;
+}
+
+bool sha256_kat(const hash::HashFn& fn, std::string* detail) {
+  // One short and one multi-block message against the software SHA-256.
+  // Deliberately capped at 200 bytes: the runtime per-digest cross-check
+  // (Backend::verify_hash) exists precisely for faults the construction
+  // KAT cannot see, and a test pins that division of labour.
+  const Bytes short_msg = {'l', 'a', 'c'};
+  Bytes long_msg;
+  for (int i = 0; i < 200; ++i) long_msg.push_back(static_cast<u8>(i * 31));
+  for (const Bytes& m : {short_msg, long_msg}) {
+    if (fn(m) != hash::sha256(m)) {
+      describe(detail, "digest KAT mismatch");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool modq_kat(const poly::ModqFn& fn, std::string* detail) {
+  // Inputs straddling every correction boundary of the Barrett datapath.
+  constexpr u32 kInputs[] = {0,   1,    250,  251,   252,  502,
+                             503, 1000, 4096, 62750, 65535};
+  for (u32 x : kInputs) {
+    if (fn(x, nullptr) != x % poly::kQ) {
+      describe(detail, "reduction KAT mismatch at x = " + std::to_string(x));
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- the registry ----------------------------------------------------------
+
+KernelRegistry KernelRegistry::modeled() {
+  KernelRegistry r;
+  r.mul_ter_ =
+      PqUnit<poly::MulTer512>(Slot::kMulTer, modeled_mul_ter(), &mul_ter_kat,
+                              "construction KAT failed; using modeled "
+                              "software unit");
+  r.chien_ =
+      PqUnit<bch::ChienStage>(Slot::kChien, modeled_chien(), &chien_kat,
+                              "construction KAT failed; using modeled "
+                              "software unit");
+  // The sha256 slot's golden model is the software hash itself: callers
+  // charge hash cycles through Backend::hash_impl, so the callable stays
+  // purely functional.
+  r.sha256_ = PqUnit<hash::HashFn>(
+      Slot::kSha256, [](ByteView data) { return hash::sha256(data); },
+      &sha256_kat, "construction KAT failed; keeping software hash");
+  r.modq_ = PqUnit<poly::ModqFn>(Slot::kModq, modeled_modq(), &modq_kat,
+                                 "construction KAT failed; using modeled "
+                                 "software unit");
+  return r;
+}
+
+Status KernelRegistry::inject_modq(poly::ModqFn impl, u32 modulus,
+                                   DegradeReport* report) {
+  if (modulus != poly::kQ) {
+    if (report)
+      report->add(slot_name(Slot::kModq), Status::kBadArgument,
+                  "unit modulus " + std::to_string(modulus) +
+                      " != q = " + std::to_string(poly::kQ) +
+                      "; rejected at injection");
+    return Status::kBadArgument;
+  }
+  return modq_.inject(std::move(impl), report);
+}
+
+std::vector<KernelRegistry::SlotView> KernelRegistry::slots() const {
+  return {
+      {mul_ter_.slot(), mul_ter_.name(), mul_ter_.injected(),
+       [this](std::string* d) { return mul_ter_.self_test(d); }},
+      {chien_.slot(), chien_.name(), chien_.injected(),
+       [this](std::string* d) { return chien_.self_test(d); }},
+      {sha256_.slot(), sha256_.name(), sha256_.injected(),
+       [this](std::string* d) { return sha256_.self_test(d); }},
+      {modq_.slot(), modq_.name(), modq_.injected(),
+       [this](std::string* d) { return modq_.self_test(d); }},
+  };
+}
+
+DegradeReport KernelRegistry::self_test_all() const {
+  DegradeReport report;
+  std::string detail;
+  for (const SlotView& view : slots())
+    if (!view.self_test(&detail))
+      report.add(view.name, Status::kSelfTestFailure, detail);
+  return report;
+}
+
+bool parse_slot_mix(const std::string& spec,
+                    std::array<bool, kNumSlots>* use_rtl, std::string* error) {
+  use_rtl->fill(false);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      if (error) *error = "expected <slot>=<rtl|sw>, got \"" + item + "\"";
+      return false;
+    }
+    const std::string name = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    bool rtl;
+    if (value == "rtl")
+      rtl = true;
+    else if (value == "sw")
+      rtl = false;
+    else {
+      if (error) *error = "unknown implementation \"" + value + "\" for " +
+                          name + " (want rtl or sw)";
+      return false;
+    }
+    bool found = false;
+    for (std::size_t i = 0; i < kNumSlots; ++i) {
+      if (name == slot_name(kAllSlots[i])) {
+        (*use_rtl)[i] = rtl;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (error) *error = "unknown slot \"" + name + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lacrv::lac

@@ -1,0 +1,205 @@
+// The PQ-ALU kernel registry: one pluggable slot per accelerator
+// primitive of the ISA extension (Sec. V) — MUL TER, MUL CHIEN, SHA-256
+// and MOD q.
+//
+// Each PqUnit<Fn> bundles everything four PRs of growth had scattered
+// into parallel per-unit copies:
+//   * the golden software model with the pq-instruction cycle model
+//     attached (the `modeled` implementation Backend::optimized() runs),
+//   * an optionally injected implementation (RTL-backed callables from
+//     perf/rtl_backend, or anything else with the same signature),
+//   * the construction-time known-answer self-test that gates injection
+//     (the single home of per-unit KAT logic — a guard test asserts no
+//     other file constructs one),
+//   * the degradation record wording of docs/robustness.md, and
+//   * the canonical slot name used for trace spans, metric labels,
+//     bench keys and `--mix` flags.
+//
+// A KernelRegistry holds the four slots; lac::Backend profiles are thin
+// facades copying each slot's active callable into the legacy Backend
+// fields, so every existing call site keeps compiling while fault
+// campaigns, service breakers and health probes iterate registry slots
+// instead of hand-kept unit lists.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bch/decoder.h"
+#include "common/status.h"
+#include "hash/sha256.h"
+#include "poly/karatsuba.h"
+#include "poly/split_mul.h"
+
+namespace lacrv::lac {
+
+/// The four PQ-ALU primitives, in funct3 order (docs/isa.md).
+enum class Slot : u8 { kMulTer = 0, kChien = 1, kSha256 = 2, kModq = 3 };
+
+inline constexpr std::size_t kNumSlots = 4;
+inline constexpr std::array<Slot, kNumSlots> kAllSlots = {
+    Slot::kMulTer, Slot::kChien, Slot::kSha256, Slot::kModq};
+
+/// Canonical slot name: the one string used for trace spans
+/// ("<name>.busy"), breaker metric labels (unit="<name>"), bench keys
+/// and --mix flags. (The fault campaign's DegradeReport keeps its
+/// historical "barrett" wording for the MOD q unit — see fault/plan.h.)
+constexpr const char* slot_name(Slot slot) {
+  switch (slot) {
+    case Slot::kMulTer: return "mul_ter";
+    case Slot::kChien: return "chien";
+    case Slot::kSha256: return "sha256";
+    case Slot::kModq: return "modq";
+  }
+  return "?";
+}
+
+// ---- modeled implementations (golden software + pq cycle model) ------------
+
+/// MUL TER model used by optimized(): computes with mul_ter_sw and charges
+/// the pq.mul_ter I/O + n compute cycles of Sec. V.
+poly::MulTer512 modeled_mul_ter();
+/// MUL CHIEN model used by optimized(): computes the window search and
+/// charges per-point group compute/control/readback costs (Fig. 4).
+bch::ChienStage modeled_chien();
+/// MOD q model: barrett_reduce plus the single pq.modq issue cycle.
+poly::ModqFn modeled_modq();
+
+// ---- known-answer self-tests -----------------------------------------------
+// The construction-time KATs that gate injection and feed the runtime
+// health probes (fault::selftest_* adapt the raw RTL units onto these).
+// Exactly one implementation per primitive lives in registry.cpp.
+
+bool mul_ter_kat(const poly::MulTer512& unit, std::string* detail = nullptr);
+bool chien_kat(const bch::ChienStage& stage, std::string* detail = nullptr);
+bool sha256_kat(const hash::HashFn& fn, std::string* detail = nullptr);
+bool modq_kat(const poly::ModqFn& fn, std::string* detail = nullptr);
+
+// ---- the kernel slot -------------------------------------------------------
+
+/// One pluggable kernel slot. Fn is the callable interface the scheme
+/// layer consumes (poly::MulTer512, bch::ChienStage, hash::HashFn,
+/// poly::ModqFn).
+template <typename Fn>
+class PqUnit {
+ public:
+  using Kat = bool (*)(const Fn&, std::string*);
+
+  PqUnit() = default;
+  PqUnit(Slot slot, Fn modeled, Kat kat, const char* degrade_detail)
+      : slot_(slot),
+        modeled_(std::move(modeled)),
+        active_(modeled_),
+        kat_(kat),
+        degrade_detail_(degrade_detail) {}
+
+  Slot slot() const { return slot_; }
+  const char* name() const { return slot_name(slot_); }
+  /// The implementation the backend serves with (modeled until a
+  /// successful inject()/install()).
+  const Fn& active() const { return active_; }
+  const Fn& modeled() const { return modeled_; }
+  bool injected() const { return injected_; }
+
+  /// Gate an implementation behind the slot's KAT. On failure the slot
+  /// keeps serving the modeled implementation and the degradation is
+  /// recorded in `report` with the docs/robustness.md wording.
+  Status inject(Fn impl, DegradeReport* report = nullptr) {
+    if (!kat_(impl, nullptr)) {
+      if (report)
+        report->add(name(), Status::kSelfTestFailure, degrade_detail_);
+      return Status::kSelfTestFailure;
+    }
+    active_ = std::move(impl);
+    injected_ = true;
+    return Status::kOk;
+  }
+
+  /// Unchecked installation, for compositions that cannot pass a KAT as
+  /// a whole (e.g. the service's breaker-switched callables, which
+  /// change behaviour at runtime by design). The caller owns validation.
+  void install(Fn impl) {
+    active_ = std::move(impl);
+    injected_ = true;
+  }
+
+  /// Re-run the KAT against the active implementation (health probing).
+  bool self_test(std::string* detail = nullptr) const {
+    return kat_(active_, detail);
+  }
+
+ private:
+  Slot slot_ = Slot::kMulTer;
+  Fn modeled_;
+  Fn active_;
+  Kat kat_ = nullptr;
+  const char* degrade_detail_ = "";
+  bool injected_ = false;
+};
+
+// ---- the registry ----------------------------------------------------------
+
+class KernelRegistry {
+ public:
+  /// The paper's co-design profile: every slot backed by its golden
+  /// software model with the pq-instruction cycle model attached —
+  /// what Backend::optimized() serves before any injection.
+  static KernelRegistry modeled();
+
+  PqUnit<poly::MulTer512>& mul_ter() { return mul_ter_; }
+  PqUnit<bch::ChienStage>& chien() { return chien_; }
+  PqUnit<hash::HashFn>& sha256() { return sha256_; }
+  PqUnit<poly::ModqFn>& modq() { return modq_; }
+  const PqUnit<poly::MulTer512>& mul_ter() const { return mul_ter_; }
+  const PqUnit<bch::ChienStage>& chien() const { return chien_; }
+  const PqUnit<hash::HashFn>& sha256() const { return sha256_; }
+  const PqUnit<poly::ModqFn>& modq() const { return modq_; }
+
+  Status inject_mul_ter(poly::MulTer512 impl, DegradeReport* report = nullptr) {
+    return mul_ter_.inject(std::move(impl), report);
+  }
+  Status inject_chien(bch::ChienStage impl, DegradeReport* report = nullptr) {
+    return chien_.inject(std::move(impl), report);
+  }
+  Status inject_sha256(hash::HashFn impl, DegradeReport* report = nullptr) {
+    return sha256_.inject(std::move(impl), report);
+  }
+  /// MOD q injection validates the unit's configuration before the KAT
+  /// runs: a unit built for a modulus other than q = 251 is rejected
+  /// with kBadArgument at injection time instead of silently computing
+  /// garbage (the same entry-validation posture as
+  /// poly::full_product_with_unit's operand checks).
+  Status inject_modq(poly::ModqFn impl, u32 modulus = poly::kQ,
+                     DegradeReport* report = nullptr);
+
+  /// Type-erased view of one slot, for code that iterates all four
+  /// (fault campaigns, health probes, metric registration).
+  struct SlotView {
+    Slot slot;
+    const char* name;
+    bool injected;
+    std::function<bool(std::string*)> self_test;
+  };
+  std::vector<SlotView> slots() const;
+
+  /// Run every slot's KAT against its active implementation; failing
+  /// slots are recorded under their canonical name.
+  DegradeReport self_test_all() const;
+
+ private:
+  PqUnit<poly::MulTer512> mul_ter_;
+  PqUnit<bch::ChienStage> chien_;
+  PqUnit<hash::HashFn> sha256_;
+  PqUnit<poly::ModqFn> modq_;
+};
+
+/// Parse a per-slot implementation mix of the form
+/// "mul_ter=rtl,sha256=sw,..." into a use-RTL flag per slot (unlisted
+/// slots stay on the modeled software implementation). Returns false
+/// and fills *error on an unknown slot name or value.
+bool parse_slot_mix(const std::string& spec,
+                    std::array<bool, kNumSlots>* use_rtl, std::string* error);
+
+}  // namespace lacrv::lac

@@ -62,11 +62,16 @@ bch::ChienStage rtl_chien() {
 }
 
 bch::ChienStage rtl_chien(std::shared_ptr<rtl::ChienRtl> unit) {
+  // Span name derived from the slot's canonical registry name, like the
+  // rtl-internal "mul_ter.busy"/"sha256.busy" spans (a registry test
+  // pins the correspondence).
+  static const std::string kSpanName =
+      std::string(lac::slot_name(lac::Slot::kChien)) + ".busy";
   return [unit](const bch::CodeSpec& spec, const bch::Locator& loc,
                 CycleLedger* ledger) {
     // The Chien unit has no single busy signal (it advances lane by
     // lane); the busy window of one full locator scan is the trace span.
-    obs::TraceSpan span("chien.busy", "rtl");
+    obs::TraceSpan span(kSpanName.c_str(), "rtl");
     unit->configure(loc.lambda, spec.chien_first);  // resets unit cycles
     bch::ChienResult result;
     const int points = spec.chien_last - spec.chien_first + 1;
@@ -94,9 +99,24 @@ hash::HashFn rtl_sha256(std::shared_ptr<rtl::Sha256Rtl> unit) {
   return [unit](ByteView data) { return unit->hash_message(data); };
 }
 
+poly::ModqFn rtl_modq() {
+  return rtl_modq(std::make_shared<rtl::BarrettRtl>());
+}
+
+poly::ModqFn rtl_modq(std::shared_ptr<rtl::BarrettRtl> unit) {
+  return [unit](u32 x, CycleLedger* ledger) {
+    charge(ledger, cost::kHwModq);  // single-cycle pq.modq issue
+    return unit->reduce(x);
+  };
+}
+
 lac::Backend rtl_optimized_backend(DegradeReport* report) {
-  lac::Backend backend =
-      lac::Backend::optimized_with(rtl_mul_ter(), rtl_chien(), report);
+  auto registry = std::make_shared<lac::KernelRegistry>(
+      lac::KernelRegistry::modeled());
+  registry->inject_mul_ter(rtl_mul_ter(), report);
+  registry->inject_chien(rtl_chien(), report);
+  registry->inject_modq(rtl_modq(), poly::kQ, report);
+  lac::Backend backend = lac::Backend::optimized_from(std::move(registry));
   backend.name = "opt-rtl";
   return backend;
 }

@@ -11,13 +11,15 @@
 #include <memory>
 
 #include "lac/backend.h"
+#include "rtl/barrett_unit.h"
 #include "rtl/chien_unit.h"
 #include "rtl/mul_ter.h"
 #include "rtl/sha256_core.h"
 
 namespace lacrv::perf {
 
-/// Construction runs the accelerator self-test KATs; a failing unit is
+/// Construction injects the RTL callables of all four kernel slots
+/// through the registry's KAT-gated substitution path; a failing unit is
 /// benched in favour of the modeled software implementation and recorded
 /// in `report` (null: silent degradation).
 lac::Backend rtl_optimized_backend(DegradeReport* report = nullptr);
@@ -27,13 +29,17 @@ lac::Backend rtl_optimized_backend(DegradeReport* report = nullptr);
 poly::MulTer512 rtl_mul_ter();
 /// The Chien stage driving rtl::ChienRtl (exposed for tests and benches).
 bch::ChienStage rtl_chien();
+/// The MOD q reduction driving rtl::BarrettRtl.
+poly::ModqFn rtl_modq();
 
 // Overloads on caller-owned units, so a harness can keep a handle to the
 // physical unit (e.g. to arm a fault::FaultPlan) while the backend drives
 // it through the same ISS conventions.
 poly::MulTer512 rtl_mul_ter(std::shared_ptr<rtl::MulTerRtl> unit);
 bch::ChienStage rtl_chien(std::shared_ptr<rtl::ChienRtl> unit);
-/// Functional one-shot hasher over rtl::Sha256Rtl, for Backend::with_hasher.
+/// Functional one-shot hasher over rtl::Sha256Rtl, for the sha256 slot
+/// (Backend::with_hasher / KernelRegistry::inject_sha256).
 hash::HashFn rtl_sha256(std::shared_ptr<rtl::Sha256Rtl> unit);
+poly::ModqFn rtl_modq(std::shared_ptr<rtl::BarrettRtl> unit);
 
 }  // namespace lacrv::perf

@@ -186,6 +186,25 @@ void print_table1(std::ostream& os, const std::vector<Table1Row>& rows) {
   }
 }
 
+Table2Row table2_row(const lac::Params& params, const lac::Backend& backend,
+                     const std::string& scheme) {
+  const MeasuredConfig m = measure(params, backend);
+  Table2Row row;
+  row.scheme = scheme;
+  row.device = "RISC-V";
+  row.keygen = m.keygen;
+  row.encaps = m.encaps;
+  row.decaps = m.decaps;
+  row.gen_a = m.gen_a;
+  row.sample_poly = m.sample;
+  row.mult = m.mult;
+  row.bch_dec = m.bch_dec;
+  row.encaps_amortized = m.encaps_amortized;
+  row.decaps_amortized = m.decaps_amortized;
+  row.context_build = m.context_build;
+  return row;
+}
+
 std::vector<Table2Row> table2() {
   std::vector<Table2Row> rows;
   // External baselines quoted by the paper.
@@ -223,21 +242,10 @@ std::vector<Table2Row> table2() {
   const std::array<const char*, 3> cats = {"CCA (I)", "CCA (III)", "CCA (V)"};
   for (const Config& config : configs) {
     for (std::size_t i = 0; i < levels.size(); ++i) {
-      const MeasuredConfig m = measure(*levels[i], config.backend);
-      Table2Row row;
-      row.scheme = std::string(levels[i]->name) + " " + config.suffix;
-      row.device = "RISC-V";
+      Table2Row row =
+          table2_row(*levels[i], config.backend,
+                     std::string(levels[i]->name) + " " + config.suffix);
       row.security = cats[i];
-      row.keygen = m.keygen;
-      row.encaps = m.encaps;
-      row.decaps = m.decaps;
-      row.gen_a = m.gen_a;
-      row.sample_poly = m.sample;
-      row.mult = m.mult;
-      row.bch_dec = m.bch_dec;
-      row.encaps_amortized = m.encaps_amortized;
-      row.decaps_amortized = m.decaps_amortized;
-      row.context_build = m.context_build;
       row.paper = {{config.paper[i][0], config.paper[i][1],
                     config.paper[i][2]}};
       rows.push_back(std::move(row));

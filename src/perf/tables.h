@@ -54,6 +54,14 @@ struct Table2Row {
 std::vector<Table2Row> table2();
 void print_table2(std::ostream& os, const std::vector<Table2Row>& rows);
 
+/// One measured Table II row for an arbitrary backend profile — e.g. a
+/// per-slot implementation mix built through lac::KernelRegistry (the
+/// --mix flag of bench/table2_kem_cycles). Same measurement harness as
+/// table2(); `scheme` becomes the row label, security and paper columns
+/// are left for the caller.
+Table2Row table2_row(const lac::Params& params, const lac::Backend& backend,
+                     const std::string& scheme);
+
 /// Headline speedups (abstract): opt vs unprotected reference over
 /// KeyGen + Encaps + Decaps. Paper: 7.66 / 14.42 / 13.36.
 struct Speedups {

@@ -4,34 +4,37 @@
 
 namespace lacrv::poly {
 
-Coeffs mul_general_full(const Coeffs& a, const Coeffs& b) {
+Coeffs mul_general_full(const Coeffs& a, const Coeffs& b, const ModqFn* modq,
+                        CycleLedger* ledger) {
   LACRV_CHECK(!a.empty() && !b.empty());
   Coeffs c(a.size() + b.size() - 1, 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] == 0) continue;
     for (std::size_t j = 0; j < b.size(); ++j) {
       const u32 prod = static_cast<u32>(a[i]) * b[j];
-      c[i + j] = add_mod(c[i + j], barrett_reduce(prod));
+      c[i + j] = add_mod(c[i + j],
+                         modq ? (*modq)(prod, ledger) : barrett_reduce(prod));
     }
   }
   return c;
 }
 
 Coeffs karatsuba_full(const Coeffs& a, const Coeffs& b,
-                      std::size_t threshold) {
+                      std::size_t threshold, const ModqFn* modq,
+                      CycleLedger* ledger) {
   LACRV_CHECK(a.size() == b.size());
   const std::size_t n = a.size();
   LACRV_CHECK_MSG((n & (n - 1)) == 0, "operand size must be a power of two");
-  if (n <= threshold || n == 1) return mul_general_full(a, b);
+  if (n <= threshold || n == 1) return mul_general_full(a, b, modq, ledger);
 
   const std::size_t h = n / 2;
   const Coeffs al(a.begin(), a.begin() + h), ah(a.begin() + h, a.end());
   const Coeffs bl(b.begin(), b.begin() + h), bh(b.begin() + h, b.end());
 
-  const Coeffs p0 = karatsuba_full(al, bl, threshold);        // low * low
-  const Coeffs p2 = karatsuba_full(ah, bh, threshold);        // high * high
+  const Coeffs p0 = karatsuba_full(al, bl, threshold, modq, ledger);
+  const Coeffs p2 = karatsuba_full(ah, bh, threshold, modq, ledger);
   const Coeffs p1 = karatsuba_full(add(al, ah), add(bl, bh),  // middle
-                                   threshold);
+                                   threshold, modq, ledger);
 
   // c = p0 + (p1 - p0 - p2) x^h + p2 x^n
   Coeffs c(2 * n - 1, 0);
@@ -59,9 +62,11 @@ Coeffs reduce_negacyclic(const Coeffs& full, std::size_t n) {
 }
 
 Coeffs mul_general_negacyclic(const Coeffs& a, const Coeffs& b,
-                              std::size_t threshold) {
+                              std::size_t threshold, const ModqFn* modq,
+                              CycleLedger* ledger) {
   LACRV_CHECK(a.size() == b.size());
-  return reduce_negacyclic(karatsuba_full(a, b, threshold), a.size());
+  return reduce_negacyclic(karatsuba_full(a, b, threshold, modq, ledger),
+                           a.size());
 }
 
 }  // namespace lacrv::poly

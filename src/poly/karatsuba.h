@@ -13,19 +13,27 @@
 namespace lacrv::poly {
 
 /// Full product (size a.size() + b.size() - 1) of two general polynomials
-/// over Z_q, schoolbook.
-Coeffs mul_general_full(const Coeffs& a, const Coeffs& b);
+/// over Z_q, schoolbook. Every coefficient product is reduced through the
+/// MOD q slot: `modq` null runs the inline barrett_reduce (bit-identical
+/// to an injected Barrett unit, which only adds its cycle model).
+Coeffs mul_general_full(const Coeffs& a, const Coeffs& b,
+                        const ModqFn* modq = nullptr,
+                        CycleLedger* ledger = nullptr);
 
 /// Full product via recursive Karatsuba; falls back to schoolbook below
 /// `threshold`. Operand sizes must be equal powers of two.
 Coeffs karatsuba_full(const Coeffs& a, const Coeffs& b,
-                      std::size_t threshold = 32);
+                      std::size_t threshold = 32,
+                      const ModqFn* modq = nullptr,
+                      CycleLedger* ledger = nullptr);
 
 /// Reduce a full product into R_n = Z_q[x]/(x^n + 1) (negacyclic wrap).
 Coeffs reduce_negacyclic(const Coeffs& full, std::size_t n);
 
 /// Negacyclic product of two general polynomials via Karatsuba + reduction.
 Coeffs mul_general_negacyclic(const Coeffs& a, const Coeffs& b,
-                              std::size_t threshold = 32);
+                              std::size_t threshold = 32,
+                              const ModqFn* modq = nullptr,
+                              CycleLedger* ledger = nullptr);
 
 }  // namespace lacrv::poly

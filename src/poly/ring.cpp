@@ -19,6 +19,10 @@ Coeffs sub(const Coeffs& a, const Coeffs& b) {
   return c;
 }
 
+ModqFn software_modq() {
+  return [](u32 x, CycleLedger*) { return barrett_reduce(x); };
+}
+
 Coeffs from_ternary(const Ternary& t) {
   Coeffs c(t.size());
   for (std::size_t i = 0; i < t.size(); ++i)

@@ -16,6 +16,7 @@
 //                  both wrapped convolutions, any length.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/ledger.h"
@@ -52,6 +53,15 @@ constexpr u8 barrett_reduce(u32 x) {
   r -= (r >= kQ) ? kQ : 0;
   return static_cast<u8>(r);
 }
+
+/// Interface of a MOD q reduction unit (the pq.modq slot): reduce an
+/// x < 2^16 modulo q = 251. The ledger receives whatever cycle model the
+/// implementation carries (nothing for the golden software model; the
+/// single pq.modq issue cycle for the accelerator models).
+using ModqFn = std::function<u8(u32 x, CycleLedger* ledger)>;
+
+/// A ModqFn backed by the golden software model (barrett_reduce).
+ModqFn software_modq();
 
 /// Coefficient-wise sum (mod q); sizes must match.
 Coeffs add(const Coeffs& a, const Coeffs& b);

@@ -11,7 +11,11 @@
 namespace lacrv::service {
 namespace {
 
-constexpr const char* kUnitNames[] = {"mul_ter", "chien", "sha256"};
+/// Canonical unit name of breaker i — the registry slot name, shared
+/// with trace spans, bench keys and --mix flags.
+const char* unit_name(std::size_t i) {
+  return lac::slot_name(lac::kAllSlots[i]);
+}
 
 constexpr const char* op_name(OpKind op) {
   switch (op) {
@@ -56,7 +60,7 @@ KemService::KemService(ServiceConfig config)
                     breaker_state_name(to) + ": " + detail);
   };
   for (std::size_t i = 0; i < kNumUnits; ++i)
-    breakers_[i].configure(kUnitNames[i], config_.breaker, on_transition);
+    breakers_[i].configure(unit_name(i), config_.breaker, on_transition);
 
   const std::size_t workers = std::max<std::size_t>(1, config_.workers);
   rigs_.reserve(workers);
@@ -87,57 +91,96 @@ void KemService::build_rig(Rig& rig) {
   rig.mul = std::make_shared<rtl::MulTerRtl>(poly::kMulTerLength);
   rig.chien = std::make_shared<rtl::ChienRtl>();
   rig.sha = std::make_shared<rtl::Sha256Rtl>();
+  rig.barrett = std::make_shared<rtl::BarrettRtl>();
 
   // Breaker-switched callables: each consults its unit's breaker at
   // call time, so an open breaker reroutes every worker's very next
   // operation — no backend rebuild, no lock on the hot path beyond the
-  // breaker's own.
-  lac::Backend b;
-  b.kind = lac::Backend::Kind::kOptimized;
+  // breaker's own. They are installed (not injected) into the rig's
+  // registry profile: a callable that changes behaviour at runtime by
+  // design cannot be gated behind a one-shot construction KAT; the
+  // breakers + health probes own its validation instead.
+  auto registry =
+      std::make_shared<lac::KernelRegistry>(lac::KernelRegistry::modeled());
+
+  // A slot config pins to software keeps the registry's modeled callable
+  // — no breaker switching, no usage flags (config choice, not
+  // degradation).
+  if (config_.slot_use_rtl[kMulIdx]) {
+    const poly::MulTer512 rtl_mul = perf::rtl_mul_ter(rig.mul);
+    const poly::MulTer512 sw_mul = lac::modeled_mul_ter();
+    registry->mul_ter().install(
+        [this, &rig, rtl_mul, sw_mul](const poly::Ternary& a,
+                                      const poly::Coeffs& coeffs,
+                                      bool negacyclic, CycleLedger* ledger) {
+          if (breakers_[kMulIdx].allow()) {
+            rig.rtl_used[kMulIdx] = true;
+            return rtl_mul(a, coeffs, negacyclic, ledger);
+          }
+          rig.fallback_used[kMulIdx] = true;
+          return sw_mul(a, coeffs, negacyclic, ledger);
+        });
+  }
+
+  if (config_.slot_use_rtl[kChienIdx]) {
+    const bch::ChienStage rtl_chien = perf::rtl_chien(rig.chien);
+    const bch::ChienStage sw_chien = lac::modeled_chien();
+    registry->chien().install(
+        [this, &rig, rtl_chien, sw_chien](const bch::CodeSpec& spec,
+                                          const bch::Locator& loc,
+                                          CycleLedger* ledger) {
+          if (breakers_[kChienIdx].allow()) {
+            rig.rtl_used[kChienIdx] = true;
+            return rtl_chien(spec, loc, ledger);
+          }
+          rig.fallback_used[kChienIdx] = true;
+          return sw_chien(spec, loc, ledger);
+        });
+  }
+
+  if (config_.slot_use_rtl[kShaIdx]) {
+    const hash::HashFn rtl_sha = perf::rtl_sha256(rig.sha);
+    registry->sha256().install([this, &rig, rtl_sha](ByteView data) {
+      if (breakers_[kShaIdx].allow()) {
+        rig.rtl_used[kShaIdx] = true;
+        return rtl_sha(data);
+      }
+      rig.fallback_used[kShaIdx] = true;
+      return hash::sha256(data);
+    });
+  }
+
+  if (config_.slot_use_rtl[kModqIdx]) {
+    const poly::ModqFn rtl_modq = perf::rtl_modq(rig.barrett);
+    const poly::ModqFn sw_modq = lac::modeled_modq();
+    registry->modq().install(
+        [this, &rig, rtl_modq, sw_modq](u32 x, CycleLedger* ledger) {
+          if (breakers_[kModqIdx].allow()) {
+            rig.rtl_used[kModqIdx] = true;
+            return rtl_modq(x, ledger);
+          }
+          rig.fallback_used[kModqIdx] = true;
+          return sw_modq(x, ledger);
+        });
+  }
+
+  lac::Backend b = lac::Backend::optimized_from(std::move(registry));
   b.name = "service";
-  b.hash_impl = lac::HashImpl::kAccelerated;
-  b.bch_flavor = bch::Flavor::kConstantTime;
-
-  const poly::MulTer512 rtl_mul = perf::rtl_mul_ter(rig.mul);
-  const poly::MulTer512 sw_mul = lac::modeled_mul_ter();
-  b.mul_unit = [this, &rig, rtl_mul, sw_mul](
-                   const poly::Ternary& a, const poly::Coeffs& coeffs,
-                   bool negacyclic, CycleLedger* ledger) {
-    if (breakers_[kMulIdx].allow()) {
-      rig.rtl_used[kMulIdx] = true;
-      return rtl_mul(a, coeffs, negacyclic, ledger);
-    }
-    rig.fallback_used[kMulIdx] = true;
-    return sw_mul(a, coeffs, negacyclic, ledger);
-  };
-
-  const bch::ChienStage rtl_chien = perf::rtl_chien(rig.chien);
-  const bch::ChienStage sw_chien = lac::modeled_chien();
-  b.chien = [this, &rig, rtl_chien, sw_chien](const bch::CodeSpec& spec,
-                                              const bch::Locator& loc,
-                                              CycleLedger* ledger) {
-    if (breakers_[kChienIdx].allow()) {
-      rig.rtl_used[kChienIdx] = true;
-      return rtl_chien(spec, loc, ledger);
-    }
-    rig.fallback_used[kChienIdx] = true;
-    return sw_chien(spec, loc, ledger);
-  };
-
-  const hash::HashFn rtl_sha = perf::rtl_sha256(rig.sha);
-  b.hasher = [this, &rig, rtl_sha](ByteView data) {
-    if (breakers_[kShaIdx].allow()) {
-      rig.rtl_used[kShaIdx] = true;
-      return rtl_sha(data);
-    }
-    rig.fallback_used[kShaIdx] = true;
-    return hash::sha256(data);
-  };
   // The per-digest software cross-check stays on: it is the only
   // defense that catches a transient SHA fault mid-operation.
   b.verify_hash = true;
-
   rig.backend = std::move(b);
+
+  // Per-slot KAT re-runs against this rig's own units, indexed like
+  // breakers_ (barrett keyed under the modq slot).
+  rig.unit_selftest = {
+      [&rig](std::string* d) { return fault::selftest_mul_ter(*rig.mul, d); },
+      [&rig](std::string* d) { return fault::selftest_chien(*rig.chien, d); },
+      [&rig](std::string* d) { return fault::selftest_sha256(*rig.sha, d); },
+      [&rig](std::string* d) {
+        return fault::selftest_barrett(*rig.barrett, d);
+      },
+  };
 }
 
 KemService::Task KemService::make_kem_task(KemRequest request) {
@@ -332,9 +375,9 @@ void KemService::process(Task task, Rig& rig) {
         response.detail = "uncaught non-standard exception";
       }
       response.attempts = attempt;
-      response.served_by_fallback =
-          rig.fallback_used[kMulIdx] || rig.fallback_used[kChienIdx] ||
-          rig.fallback_used[kShaIdx];
+      response.served_by_fallback = false;
+      for (std::size_t i = 0; i < kNumUnits; ++i)
+        response.served_by_fallback |= rig.fallback_used[i];
       attempt_span.arg("status", std::string(status_name(response.status)));
       if (response.served_by_fallback) attempt_span.arg("fallback", u64{1});
     }
@@ -388,26 +431,21 @@ void KemService::process(Task task, Rig& rig) {
 void KemService::attribute_failure(Rig& rig, Status status) {
   const std::string why = std::string("after ") + status_name(status);
   std::string detail;
-  if (breakers_[kMulIdx].allow()) {
-    if (!fault::selftest_mul_ter(*rig.mul, &detail))
-      breakers_[kMulIdx].record_failure(detail + " " + why);
-  }
-  if (breakers_[kChienIdx].allow()) {
-    if (!fault::selftest_chien(*rig.chien, &detail))
-      breakers_[kChienIdx].record_failure(detail + " " + why);
-  }
-  if (breakers_[kShaIdx].allow()) {
-    if (!fault::selftest_sha256(*rig.sha, &detail))
-      breakers_[kShaIdx].record_failure(detail + " " + why);
+  for (std::size_t i = 0; i < kNumUnits; ++i) {
+    if (!breakers_[i].allow()) continue;
+    if (!rig.unit_selftest[i](&detail))
+      breakers_[i].record_failure(detail + " " + why);
   }
 }
 
 void KemService::record_successes(const Rig& rig, bool hash_fault) {
-  if (rig.rtl_used[kMulIdx]) breakers_[kMulIdx].record_success();
-  if (rig.rtl_used[kChienIdx]) breakers_[kChienIdx].record_success();
-  // A corrected digest is not a sha256 success even though the op
-  // completed — the failure was already recorded.
-  if (rig.rtl_used[kShaIdx] && !hash_fault) breakers_[kShaIdx].record_success();
+  for (std::size_t i = 0; i < kNumUnits; ++i) {
+    if (!rig.rtl_used[i]) continue;
+    // A corrected digest is not a sha256 success even though the op
+    // completed — the failure was already recorded.
+    if (i == kShaIdx && hash_fault) continue;
+    breakers_[i].record_success();
+  }
 }
 
 void KemService::finish(Task& task, KemResponse response) {
@@ -427,23 +465,13 @@ bool KemService::probe_now() {
   counters_.probes.fetch_add(1, std::memory_order_relaxed);
   bool all_passed = true;
   std::string detail;
-  if (fault::selftest_mul_ter(*prober_rig_->mul, &detail)) {
-    breakers_[kMulIdx].probe_passed();
-  } else {
-    breakers_[kMulIdx].probe_failed(detail);
-    all_passed = false;
-  }
-  if (fault::selftest_chien(*prober_rig_->chien, &detail)) {
-    breakers_[kChienIdx].probe_passed();
-  } else {
-    breakers_[kChienIdx].probe_failed(detail);
-    all_passed = false;
-  }
-  if (fault::selftest_sha256(*prober_rig_->sha, &detail)) {
-    breakers_[kShaIdx].probe_passed();
-  } else {
-    breakers_[kShaIdx].probe_failed(detail);
-    all_passed = false;
+  for (std::size_t i = 0; i < kNumUnits; ++i) {
+    if (prober_rig_->unit_selftest[i](&detail)) {
+      breakers_[i].probe_passed();
+    } else {
+      breakers_[i].probe_failed(detail);
+      all_passed = false;
+    }
   }
   return all_passed;
 }
@@ -461,10 +489,12 @@ void KemService::arm_faults(fault::FaultPlan& plan) {
     plan.arm(*rig->mul);
     plan.arm(*rig->chien);
     plan.arm(*rig->sha);
+    plan.arm(*rig->barrett);
   }
   plan.arm(*prober_rig_->mul);
   plan.arm(*prober_rig_->chien);
   plan.arm(*prober_rig_->sha);
+  plan.arm(*prober_rig_->barrett);
 }
 
 void KemService::clear_faults() {
@@ -472,10 +502,12 @@ void KemService::clear_faults() {
     fault::FaultPlan::disarm(*rig->mul);
     fault::FaultPlan::disarm(*rig->chien);
     fault::FaultPlan::disarm(*rig->sha);
+    fault::FaultPlan::disarm(*rig->barrett);
   }
   fault::FaultPlan::disarm(*prober_rig_->mul);
   fault::FaultPlan::disarm(*prober_rig_->chien);
   fault::FaultPlan::disarm(*prober_rig_->sha);
+  fault::FaultPlan::disarm(*prober_rig_->barrett);
 }
 
 void KemService::stop() {
@@ -556,7 +588,7 @@ void KemService::register_metrics(obs::MetricsRegistry& registry) {
           return static_cast<double>(
               static_cast<int>(breakers_[i].state()));
         },
-        std::string("unit=\"") + kUnitNames[i] + "\"");
+        std::string("unit=\"") + unit_name(i) + "\"");
   }
   registry.add_histogram("lacrv_service_latency_micros",
                          "End-to-end request latency (submit -> completion)",
@@ -576,6 +608,7 @@ BreakerState KemService::breaker_state(fault::Unit unit) const {
     case fault::Unit::kMulTer: return breakers_[kMulIdx].state();
     case fault::Unit::kChien: return breakers_[kChienIdx].state();
     case fault::Unit::kSha256: return breakers_[kShaIdx].state();
+    case fault::Unit::kBarrett: return breakers_[kModqIdx].state();
     default: return BreakerState::kClosed;
   }
 }

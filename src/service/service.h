@@ -115,6 +115,14 @@ struct ServiceConfig {
   std::size_t max_batch = 8;
   /// Capacity of the KeyContext LRU (the service key plus client keys).
   std::size_t context_cache_capacity = 8;
+  /// Per-slot implementation mix, indexed like lac::kAllSlots
+  /// (mul_ter, chien, sha256, modq): true serves the slot from the
+  /// worker's RTL unit behind its breaker, false pins it to the modeled
+  /// software implementation outright (no breaker switching — the slot
+  /// keeps the registry's modeled callable). Parse "mul_ter=rtl,..."
+  /// specs with lac::parse_slot_mix; note a spec defaults unlisted slots
+  /// to software, while this default is all-RTL.
+  std::array<bool, lac::kNumSlots> slot_use_rtl = {true, true, true, true};
 };
 
 class KemService {
@@ -187,15 +195,20 @@ class KemService {
   /// Copy of the service-level transition log (breaker trips and
   /// recoveries).
   DegradeReport degrade_report() const;
-  /// Breaker state for one of the three KEM-path units (kMulTer,
-  /// kChien, kSha256); other units report kClosed (no breaker).
+  /// Breaker state for one of the four accelerator units (kMulTer,
+  /// kChien, kSha256, kBarrett — the campaign name of the modq slot);
+  /// other units report kClosed (no breaker).
   BreakerState breaker_state(fault::Unit unit) const;
 
  private:
+  // Breaker indices mirror the registry slot order (lac::kAllSlots), so
+  // breakers_[i] is the breaker of slot lac::kAllSlots[i] and metric
+  // labels come from lac::slot_name.
   static constexpr std::size_t kMulIdx = 0;
   static constexpr std::size_t kChienIdx = 1;
   static constexpr std::size_t kShaIdx = 2;
-  static constexpr std::size_t kNumUnits = 3;
+  static constexpr std::size_t kModqIdx = 3;
+  static constexpr std::size_t kNumUnits = lac::kNumSlots;
 
   /// One worker's private PQ-ALU: RTL unit instances plus the
   /// breaker-switched backend that drives them. Usage flags are written
@@ -204,8 +217,13 @@ class KemService {
     std::shared_ptr<rtl::MulTerRtl> mul;
     std::shared_ptr<rtl::ChienRtl> chien;
     std::shared_ptr<rtl::Sha256Rtl> sha;
+    std::shared_ptr<rtl::BarrettRtl> barrett;
     std::array<bool, kNumUnits> rtl_used{};
     std::array<bool, kNumUnits> fallback_used{};
+    /// Per-slot KAT re-run against this rig's own units, indexed like
+    /// breakers_ (the one loop body attribute_failure / probe_now
+    /// iterate instead of per-unit copies).
+    std::array<std::function<bool(std::string*)>, kNumUnits> unit_selftest;
     lac::Backend backend;
     /// The service key's precomputed context (null when
     /// config.use_key_context is off): shared, immutable, read-only on

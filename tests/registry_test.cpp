@@ -1,0 +1,264 @@
+// The kernel registry: slot naming, KAT-gated injection, the modq
+// modulus validation, and the 16-way implementation-mix matrix — every
+// combination of injected RTL / modeled software slots must produce
+// bit-identical KEM transcripts and identical cycle totals.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lac/context.h"
+#include "lac/kem.h"
+#include "lac/registry.h"
+#include "perf/rtl_backend.h"
+
+namespace lacrv {
+namespace {
+
+hash::Seed seed_of(u64 x) {
+  hash::Seed s{};
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<u8>(x >> (8 * i));
+  return s;
+}
+
+TEST(Registry, SlotNamesFollowFunct3Order) {
+  EXPECT_STREQ(lac::slot_name(lac::Slot::kMulTer), "mul_ter");
+  EXPECT_STREQ(lac::slot_name(lac::Slot::kChien), "chien");
+  EXPECT_STREQ(lac::slot_name(lac::Slot::kSha256), "sha256");
+  EXPECT_STREQ(lac::slot_name(lac::Slot::kModq), "modq");
+  ASSERT_EQ(lac::kAllSlots.size(), lac::kNumSlots);
+  for (std::size_t i = 0; i < lac::kNumSlots; ++i)
+    EXPECT_EQ(static_cast<std::size_t>(lac::kAllSlots[i]), i);
+}
+
+TEST(Registry, ModeledProfilePassesEverySlotSelfTest) {
+  const lac::KernelRegistry registry = lac::KernelRegistry::modeled();
+  const DegradeReport report = registry.self_test_all();
+  EXPECT_FALSE(report.degraded()) << report.to_string();
+
+  const auto views = registry.slots();
+  ASSERT_EQ(views.size(), lac::kNumSlots);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i].slot, lac::kAllSlots[i]);
+    EXPECT_STREQ(views[i].name, lac::slot_name(lac::kAllSlots[i]));
+    EXPECT_FALSE(views[i].injected);
+    EXPECT_TRUE(views[i].self_test(nullptr));
+  }
+}
+
+TEST(Registry, RtlInjectionPassesEverySlotKat) {
+  auto registry =
+      std::make_shared<lac::KernelRegistry>(lac::KernelRegistry::modeled());
+  DegradeReport report;
+  EXPECT_EQ(registry->inject_mul_ter(perf::rtl_mul_ter(), &report),
+            Status::kOk);
+  EXPECT_EQ(registry->inject_chien(perf::rtl_chien(), &report), Status::kOk);
+  EXPECT_EQ(registry->inject_sha256(
+                perf::rtl_sha256(std::make_shared<rtl::Sha256Rtl>()), &report),
+            Status::kOk);
+  EXPECT_EQ(registry->inject_modq(perf::rtl_modq(), poly::kQ, &report),
+            Status::kOk);
+  EXPECT_FALSE(report.degraded()) << report.to_string();
+  for (const auto& view : registry->slots()) EXPECT_TRUE(view.injected);
+  // The injected implementations keep passing the health-probe KATs.
+  EXPECT_FALSE(registry->self_test_all().degraded());
+}
+
+TEST(Registry, ModqInjectionRejectsWrongModulus) {
+  lac::KernelRegistry registry = lac::KernelRegistry::modeled();
+  DegradeReport report;
+  // A unit configured for q = 257 computes correct reductions for *its*
+  // modulus; the KAT alone would catch it, but the configuration error
+  // deserves a typed rejection before any vectors run.
+  const poly::ModqFn wrong_q = [](u32 x, CycleLedger*) {
+    return static_cast<u8>(x % 257);
+  };
+  EXPECT_EQ(registry.inject_modq(wrong_q, 257, &report),
+            Status::kBadArgument);
+  ASSERT_TRUE(report.degraded());
+  EXPECT_STREQ(report.entries[0].unit, "modq");
+  EXPECT_EQ(report.entries[0].status, Status::kBadArgument);
+  EXPECT_NE(report.entries[0].detail.find("257"), std::string::npos);
+  EXPECT_NE(report.entries[0].detail.find("rejected at injection"),
+            std::string::npos);
+  EXPECT_FALSE(registry.modq().injected());
+  // The slot still serves the modeled implementation.
+  EXPECT_EQ(registry.modq().active()(502, nullptr), 502 % poly::kQ);
+}
+
+TEST(Registry, FaultyModqBenchedWithCanonicalWording) {
+  lac::KernelRegistry registry = lac::KernelRegistry::modeled();
+  DegradeReport report;
+  const poly::ModqFn broken = [](u32 x, CycleLedger*) {
+    return static_cast<u8>((x % poly::kQ) ^ (x == 503 ? 1 : 0));
+  };
+  EXPECT_EQ(registry.inject_modq(broken, poly::kQ, &report),
+            Status::kSelfTestFailure);
+  ASSERT_TRUE(report.degraded());
+  EXPECT_STREQ(report.entries[0].unit, "modq");
+  EXPECT_EQ(report.entries[0].detail,
+            "construction KAT failed; using modeled software unit");
+  EXPECT_FALSE(registry.modq().injected());
+}
+
+TEST(Registry, ParseSlotMixAcceptsAndRejects) {
+  std::array<bool, lac::kNumSlots> use_rtl{};
+  std::string error;
+  EXPECT_TRUE(lac::parse_slot_mix("mul_ter=rtl,sha256=sw,modq=rtl", &use_rtl,
+                                  &error))
+      << error;
+  EXPECT_TRUE(use_rtl[0]);
+  EXPECT_FALSE(use_rtl[1]);  // unlisted -> software
+  EXPECT_FALSE(use_rtl[2]);
+  EXPECT_TRUE(use_rtl[3]);
+
+  EXPECT_TRUE(lac::parse_slot_mix("", &use_rtl, &error));
+  for (bool f : use_rtl) EXPECT_FALSE(f);
+
+  EXPECT_FALSE(lac::parse_slot_mix("barrett=rtl", &use_rtl, &error));
+  EXPECT_NE(error.find("unknown slot"), std::string::npos);
+  EXPECT_FALSE(lac::parse_slot_mix("mul_ter=fpga", &use_rtl, &error));
+  EXPECT_NE(error.find("unknown implementation"), std::string::npos);
+  EXPECT_FALSE(lac::parse_slot_mix("mul_ter", &use_rtl, &error));
+}
+
+/// One full KEM transcript plus its cycle totals under a backend.
+struct Transcript {
+  Bytes ct;
+  lac::SharedKey enc_key{};
+  lac::SharedKey dec_key{};
+  u64 keygen_cycles = 0, encaps_cycles = 0, decaps_cycles = 0;
+  u64 encaps_cached_cycles = 0, context_build_cycles = 0;
+};
+
+Transcript run_transcript(const lac::Params& params,
+                          const lac::Backend& backend) {
+  Transcript t;
+  CycleLedger kg, enc_ledger, dec_ledger;
+  const lac::KemKeyPair keys =
+      lac::kem_keygen(params, backend, seed_of(1234), &kg);
+  const lac::EncapsResult enc =
+      lac::encapsulate(params, backend, keys.pk, seed_of(77), &enc_ledger);
+  const lac::SharedKey dec_key =
+      lac::decapsulate(params, backend, keys, enc.ct, &dec_ledger);
+  t.ct = lac::serialize(params, enc.ct);
+  t.enc_key = enc.key;
+  t.dec_key = dec_key;
+  t.keygen_cycles = kg.total();
+  t.encaps_cycles = enc_ledger.total();
+  t.decaps_cycles = dec_ledger.total();
+
+  // Amortized-context ledger invariant: the uncached operation costs
+  // exactly the cached operation plus the one-time context build.
+  const lac::KeyContext ctx = lac::build_kem_context(params, backend, keys);
+  CycleLedger cached;
+  lac::encapsulate(params, backend, ctx, seed_of(77), &cached);
+  t.encaps_cached_cycles = cached.total();
+  t.context_build_cycles = ctx.build_cycles;
+  return t;
+}
+
+lac::Backend mix_backend(std::size_t mask) {
+  auto registry =
+      std::make_shared<lac::KernelRegistry>(lac::KernelRegistry::modeled());
+  DegradeReport report;
+  if (mask & 1u) registry->inject_mul_ter(perf::rtl_mul_ter(), &report);
+  if (mask & 2u) registry->inject_chien(perf::rtl_chien(), &report);
+  if (mask & 4u)
+    registry->inject_sha256(
+        perf::rtl_sha256(std::make_shared<rtl::Sha256Rtl>()), &report);
+  if (mask & 8u) registry->inject_modq(perf::rtl_modq(), poly::kQ, &report);
+  EXPECT_FALSE(report.degraded()) << report.to_string();
+  return lac::Backend::optimized_from(std::move(registry));
+}
+
+/// Every one of the 2^4 injected/modeled slot combinations must be
+/// indistinguishable from the all-modeled optimized() backend: same
+/// bytes on the wire, same shared secrets, same cycle totals — for both
+/// ring sizes (n = 512 and n = 1024).
+TEST(Registry, AllSixteenMixesAreBitAndCycleIdentical) {
+  for (const lac::Params* params :
+       {&lac::Params::lac128(), &lac::Params::lac256()}) {
+    const Transcript golden =
+        run_transcript(*params, lac::Backend::optimized());
+    EXPECT_EQ(golden.enc_key, golden.dec_key);
+    EXPECT_EQ(golden.encaps_cycles,
+              golden.encaps_cached_cycles + golden.context_build_cycles);
+    for (std::size_t mask = 0; mask < 16; ++mask) {
+      const Transcript t = run_transcript(*params, mix_backend(mask));
+      SCOPED_TRACE(std::string(params->name) + " mix mask " +
+                   std::to_string(mask));
+      EXPECT_EQ(t.ct, golden.ct);
+      EXPECT_EQ(t.enc_key, golden.enc_key);
+      EXPECT_EQ(t.dec_key, golden.dec_key);
+      EXPECT_EQ(t.keygen_cycles, golden.keygen_cycles);
+      EXPECT_EQ(t.encaps_cycles, golden.encaps_cycles);
+      EXPECT_EQ(t.decaps_cycles, golden.decaps_cycles);
+      EXPECT_EQ(t.encaps_cycles,
+                t.encaps_cached_cycles + t.context_build_cycles);
+    }
+  }
+}
+
+/// The injected modq slot actually runs on the general-multiplication
+/// reduction path and charges the pq.modq cycle model.
+TEST(Registry, ModqSlotDrivesGeneralMultiplicationReduction) {
+  u64 calls = 0;
+  const poly::ModqFn counting = [&calls](u32 x, CycleLedger* ledger) {
+    ++calls;
+    charge(ledger, 1);
+    return poly::barrett_reduce(x);
+  };
+  poly::Coeffs a(8), b(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    a[i] = static_cast<u8>(3 * i + 1);
+    b[i] = static_cast<u8>(5 * i + 2);
+  }
+  CycleLedger ledger;
+  const poly::Coeffs with_slot = poly::mul_general_full(a, b, &counting,
+                                                        &ledger);
+  const poly::Coeffs inline_reduction = poly::mul_general_full(a, b);
+  EXPECT_EQ(with_slot, inline_reduction);
+  EXPECT_EQ(calls, 64u);  // one reduction per coefficient product
+  EXPECT_EQ(ledger.total(), calls);
+}
+
+/// Guard: the per-unit KAT vectors of the pq.* slots live in
+/// lac/registry.cpp and nowhere else. Any other file constructing a
+/// MulTer512 / ChienStage self-test would reintroduce the duplicated
+/// per-unit logic this registry replaced.
+TEST(Registry, GuardNoStrayKernelKatsOutsideRegistry) {
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path(LACRV_SOURCE_DIR) / "src";
+  ASSERT_TRUE(fs::exists(src)) << src;
+  // The KAT detail strings double as construction markers: they only
+  // appear next to the vectors that produce them.
+  const std::vector<std::string> markers = {
+      "convolution KAT mismatch",         // MulTer512 self-test
+      "locator evaluation KAT mismatch",  // ChienStage self-test
+  };
+  std::size_t scanned = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cpp") continue;
+    if (entry.path().filename() == "registry.cpp") continue;
+    ++scanned;
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    for (const std::string& marker : markers)
+      EXPECT_EQ(content.find(marker), std::string::npos)
+          << entry.path() << " constructs a kernel slot KAT (found \""
+          << marker << "\"); the registry is the single home of these";
+  }
+  EXPECT_GT(scanned, 50u);  // the scan really walked the tree
+}
+
+}  // namespace
+}  // namespace lacrv
