@@ -1,0 +1,758 @@
+// loadgen — adversarial load generator for the async TCP serving tier.
+//
+// A single-threaded epoll client that drives thousands of concurrent
+// connections against kem_server --listen and reports wire-level
+// latency percentiles from the server's own histogram type. Two traffic
+// shapes plus a chaos mix:
+//
+//   * closed loop (default): every honest connection runs full KEM
+//     handshakes back to back — encaps (32-byte entropy), then decaps
+//     of the returned ciphertext, then *verifies the two shared keys
+//     agree* — so the bench doubles as an end-to-end correctness check.
+//   * open loop (--rate R): encaps requests are fired at a fixed
+//     aggregate rate regardless of completions (pipelined per
+//     connection), the canonical way to observe queueing collapse and
+//     typed kOverloaded shedding instead of coordinated omission.
+//   * chaos (--chaos): every 8th connection misbehaves — slowloris
+//     (one byte of a valid frame per tick), garbage bursts (random
+//     bytes, expecting a typed protocol-error reply back), half-closes
+//     (valid request, then SHUT_WR, expecting the reply anyway) and
+//     mid-close (valid request, then close before the reply). A
+//     hardened server sheds all of them with typed verdicts and
+//     deadlines; a fragile one crashes, leaks connections or stalls the
+//     honest cohort.
+//
+// Exit code 0 iff the honest cohort made progress and saw zero
+// failures: no key mismatches, no protocol errors aimed at well-formed
+// traffic, no unexpected disconnects mid-request, no garbage burst left
+// without its typed reply. Shed verdicts (kOverloaded / kUnavailable /
+// kDeadlineExceeded) are counted but are *correct* behaviour, not
+// failures. A global hard deadline turns a hung server into exit 2
+// instead of a hung CI job.
+//
+//   loadgen --port P | --port-file F  [--host 127.0.0.1]
+//           [--connections 64] [--duration-ms 3000] [--requests N]
+//           [--rate R] [--chaos] [--json] [--max-runtime-ms M]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/protocol.h"
+
+namespace {
+
+using namespace lacrv;
+
+u64 now_micros() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count());
+}
+
+u64 splitmix(u64& state) {
+  u64 z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Bytes random_bytes(u64& state, std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<u8>(splitmix(state));
+  return out;
+}
+
+enum class Role { kHonest, kSlowloris, kGarbage, kHalfClose, kMidClose };
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::kHonest: return "honest";
+    case Role::kSlowloris: return "slowloris";
+    case Role::kGarbage: return "garbage";
+    case Role::kHalfClose: return "halfclose";
+    case Role::kMidClose: return "midclose";
+  }
+  return "?";
+}
+
+enum class Phase { kConnecting, kIdle, kEncapsSent, kDecapsSent, kDone };
+
+struct Conn {
+  int fd = -1;
+  u64 id = 0;
+  Role role = Role::kHonest;
+  Phase phase = Phase::kConnecting;
+  net::ResponseParser parser;
+  Bytes out;
+  std::size_t out_head = 0;
+  bool want_write = false;
+  bool dead = false;
+
+  // Closed-loop handshake state.
+  u64 inflight_id = 0;
+  u64 sent_at = 0;
+  std::array<u8, 32> expect_key{};
+  std::size_t handshakes = 0;
+
+  // Open-loop: request id -> send time for pipelined requests.
+  std::unordered_map<u64, u64> outstanding;
+
+  // Slowloris: the frame being trickled one byte at a time.
+  Bytes trickle;
+  std::size_t trickled = 0;
+  u64 next_action = 0;
+
+  bool got_typed_error = false;  // garbage role: the expected verdict
+};
+
+struct Tally {
+  u64 sent = 0;
+  u64 replies = 0;
+  u64 handshakes_ok = 0;
+  u64 shed = 0;  // typed kOverloaded / kUnavailable / kDeadlineExceeded
+  u64 key_mismatches = 0;
+  u64 honest_protocol_errors = 0;
+  u64 honest_unexpected_eof = 0;
+  u64 honest_other_errors = 0;
+  u64 connect_failures = 0;
+  u64 garbage_typed = 0;
+  u64 garbage_unanswered = 0;
+  u64 halfclose_replies = 0;
+  u64 halfclose_unanswered = 0;
+  u64 slowloris_reaped = 0;
+  u64 slowloris_completed = 0;
+  u64 midclose_sent = 0;
+  stats::LatencyHistogram latency;
+
+  u64 failures() const {
+    return key_mismatches + honest_protocol_errors + honest_unexpected_eof +
+           honest_other_errors + connect_failures + garbage_unanswered +
+           halfclose_unanswered;
+  }
+};
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string port_file;
+  std::size_t connections = 64;
+  u64 duration_ms = 3000;
+  std::size_t requests = 0;  // per honest connection; 0: until duration
+  double rate = 0;           // >0: open loop, aggregate requests/sec
+  bool chaos = false;
+  bool json = false;
+  u64 max_runtime_ms = 0;  // 0: duration + 15s
+  u64 trickle_interval_ms = 25;
+};
+
+class LoadGen {
+ public:
+  explicit LoadGen(Options opt) : opt_(std::move(opt)) {}
+
+  int run() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      std::cerr << "loadgen: epoll_create1: " << std::strerror(errno) << "\n";
+      return 2;
+    }
+    const u64 start = now_micros();
+    stop_issuing_at_ = start + opt_.duration_ms * 1000;
+    hard_deadline_ =
+        start + (opt_.max_runtime_ms ? opt_.max_runtime_ms
+                                     : opt_.duration_ms + 15'000) *
+                    1000;
+    next_fire_ = start;
+
+    conns_.reserve(opt_.connections);
+    for (std::size_t i = 0; i < opt_.connections; ++i)
+      if (!open_conn(pick_role(i))) tally_.connect_failures++;
+
+    loop();
+    ::close(epoll_fd_);
+    return report(now_micros() - start);
+  }
+
+ private:
+  Role pick_role(std::size_t i) const {
+    if (!opt_.chaos) return Role::kHonest;
+    switch (i % 8) {
+      case 4: return Role::kSlowloris;
+      case 5: return Role::kGarbage;
+      case 6: return Role::kHalfClose;
+      case 7: return Role::kMidClose;
+      default: return Role::kHonest;
+    }
+  }
+
+  bool open_conn(Role role) {
+    const int fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<u16>(opt_.port));
+    if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return false;
+    }
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    if (rc != 0 && errno != EINPROGRESS) {
+      ::close(fd);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->role = role;
+    conn->phase = Phase::kConnecting;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      return false;
+    }
+    conns_.emplace(conn->id, std::move(conn));
+    return true;
+  }
+
+  void update_interest(Conn& c) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    if (c.want_write) ev.events |= EPOLLOUT;
+    ev.data.u64 = c.id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  void close_conn(Conn& c) {
+    if (c.dead) return;
+    c.dead = true;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+    reap_.push_back(c.id);
+  }
+
+  void send_bytes(Conn& c, Bytes bytes) {
+    c.out.insert(c.out.end(), bytes.begin(), bytes.end());
+    flush(c);
+  }
+
+  void flush(Conn& c) {
+    while (c.out_head < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_head,
+                               c.out.size() - c.out_head, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_head += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      on_disconnect(c);
+      return;
+    }
+    if (c.out_head == c.out.size()) {
+      c.out.clear();
+      c.out_head = 0;
+      if (c.want_write) {
+        c.want_write = false;
+        update_interest(c);
+      }
+    } else if (!c.want_write) {
+      c.want_write = true;
+      update_interest(c);
+    }
+  }
+
+  Bytes encaps_frame(Conn& c, u64* id_out) {
+    net::RequestFrame f;
+    f.op = net::WireOp::kEncaps;
+    f.request_id = next_request_id_++;
+    f.payload = random_bytes(rng_, 32);
+    *id_out = f.request_id;
+    ++tally_.sent;
+    c.sent_at = now_micros();
+    return net::encode_request(f);
+  }
+
+  void start_handshake(Conn& c) {
+    c.phase = Phase::kEncapsSent;
+    send_bytes(c, encaps_frame(c, &c.inflight_id));
+  }
+
+  void send_decaps(Conn& c, const Bytes& ct) {
+    net::RequestFrame f;
+    f.op = net::WireOp::kDecaps;
+    f.request_id = next_request_id_++;
+    f.payload = ct;
+    c.inflight_id = f.request_id;
+    c.phase = Phase::kDecapsSent;
+    ++tally_.sent;
+    c.sent_at = now_micros();
+    send_bytes(c, net::encode_request(f));
+  }
+
+  bool issuing_open() const {
+    return now_micros() < stop_issuing_at_;
+  }
+
+  void on_connected(Conn& c) {
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ++tally_.connect_failures;
+      close_conn(c);
+      return;
+    }
+    switch (c.role) {
+      case Role::kHonest:
+        if (opt_.rate > 0) {
+          c.phase = Phase::kIdle;  // open loop: the pacer fires requests
+          honest_ready_.push_back(c.id);
+        } else {
+          start_handshake(c);
+        }
+        break;
+      case Role::kSlowloris: {
+        u64 id;
+        c.trickle = encaps_frame(c, &id);
+        c.trickled = 0;
+        c.next_action = now_micros();
+        c.phase = Phase::kEncapsSent;
+        break;
+      }
+      case Role::kGarbage:
+        c.phase = Phase::kEncapsSent;
+        send_bytes(c, random_bytes(rng_, 64));
+        break;
+      case Role::kHalfClose: {
+        start_handshake(c);
+        ::shutdown(c.fd, SHUT_WR);
+        break;
+      }
+      case Role::kMidClose: {
+        u64 id;
+        send_bytes(c, encaps_frame(c, &id));
+        ++tally_.midclose_sent;
+        close_conn(c);
+        break;
+      }
+    }
+  }
+
+  void on_disconnect(Conn& c) {
+    switch (c.role) {
+      case Role::kHonest:
+        if (c.phase == Phase::kEncapsSent || c.phase == Phase::kDecapsSent ||
+            !c.outstanding.empty())
+          ++tally_.honest_unexpected_eof;
+        break;
+      case Role::kSlowloris:
+        ++tally_.slowloris_reaped;  // read-deadline reap: the server won
+        break;
+      case Role::kGarbage:
+        if (c.got_typed_error)
+          ++tally_.garbage_typed;
+        else
+          ++tally_.garbage_unanswered;
+        break;
+      case Role::kHalfClose:
+        if (c.phase == Phase::kEncapsSent || c.phase == Phase::kDecapsSent)
+          ++tally_.halfclose_unanswered;
+        break;
+      case Role::kMidClose:
+        break;
+    }
+    close_conn(c);
+  }
+
+  void handle_reply(Conn& c, net::ResponseFrame&& r) {
+    ++tally_.replies;
+    const bool shed_status = r.status == net::WireStatus::kOverloaded ||
+                             r.status == net::WireStatus::kUnavailable ||
+                             r.status == net::WireStatus::kDeadlineExceeded;
+
+    if (c.role == Role::kGarbage) {
+      if (net::is_protocol_error(r.status)) c.got_typed_error = true;
+      return;  // the server closes; on_disconnect scores the outcome
+    }
+    if (c.role == Role::kSlowloris) {
+      ++tally_.slowloris_completed;  // long server deadline: frame landed
+      c.phase = Phase::kIdle;
+      return;
+    }
+
+    // Honest and half-close cohorts: full verdict accounting.
+    if (net::is_protocol_error(r.status)) {
+      ++tally_.honest_protocol_errors;
+      std::cerr << "loadgen: " << role_name(c.role)
+                << " conn got protocol error "
+                << net::wire_status_name(r.status) << ": "
+                << std::string(r.payload.begin(), r.payload.end()) << "\n";
+      return;
+    }
+
+    if (opt_.rate > 0 && c.role == Role::kHonest) {
+      auto it = c.outstanding.find(r.request_id);
+      if (it != c.outstanding.end()) {
+        tally_.latency.record(now_micros() - it->second);
+        c.outstanding.erase(it);
+      }
+      if (shed_status)
+        ++tally_.shed;
+      else if (r.status != net::WireStatus::kOk)
+        ++tally_.honest_other_errors;
+      return;
+    }
+
+    if (r.request_id != c.inflight_id) return;  // stale (already recycled)
+    tally_.latency.record(now_micros() - c.sent_at);
+
+    if (shed_status) {
+      ++tally_.shed;
+      next_cycle(c);
+      return;
+    }
+    if (r.status != net::WireStatus::kOk) {
+      ++tally_.honest_other_errors;
+      next_cycle(c);
+      return;
+    }
+
+    if (c.phase == Phase::kEncapsSent) {
+      if (r.payload.size() < 32) {
+        ++tally_.honest_other_errors;
+        next_cycle(c);
+        return;
+      }
+      std::copy(r.payload.end() - 32, r.payload.end(), c.expect_key.begin());
+      if (c.role == Role::kHalfClose) {
+        // The write side is already shut; the reply itself is the win.
+        ++tally_.halfclose_replies;
+        c.phase = Phase::kDone;
+        return;
+      }
+      send_decaps(c, Bytes(r.payload.begin(), r.payload.end() - 32));
+      return;
+    }
+    if (c.phase == Phase::kDecapsSent) {
+      if (r.payload.size() == 32 &&
+          std::equal(r.payload.begin(), r.payload.end(),
+                     c.expect_key.begin()))
+        ++tally_.handshakes_ok;
+      else
+        ++tally_.key_mismatches;
+      ++c.handshakes;
+      next_cycle(c);
+    }
+  }
+
+  void next_cycle(Conn& c) {
+    const bool budget_left =
+        opt_.requests == 0 || c.handshakes < opt_.requests;
+    if (budget_left && issuing_open())
+      start_handshake(c);
+    else {
+      c.phase = Phase::kDone;
+      close_conn(c);
+    }
+  }
+
+  void on_readable(Conn& c) {
+    u8 buf[16384];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        c.parser.feed(ByteView(buf, static_cast<std::size_t>(n)));
+        net::ResponseFrame r;
+        for (;;) {
+          const net::ParseResult pr = c.parser.next(&r);
+          if (pr == net::ParseResult::kFrame) {
+            handle_reply(c, std::move(r));
+            if (c.dead) return;
+            continue;
+          }
+          if (pr == net::ParseResult::kNeedMore) break;
+          // The *server* broke framing — that is always a failure.
+          ++tally_.honest_protocol_errors;
+          close_conn(c);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {
+        on_disconnect(c);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      on_disconnect(c);
+      return;
+    }
+  }
+
+  void pace_open_loop(u64 t) {
+    if (opt_.rate <= 0 || !issuing_open() || honest_ready_.empty()) return;
+    const u64 interval =
+        static_cast<u64>(1'000'000.0 / opt_.rate) + (opt_.rate > 1e6 ? 0 : 0);
+    while (t >= next_fire_) {
+      next_fire_ += (interval == 0 ? 1 : interval);
+      Conn* c = nullptr;
+      for (std::size_t tries = 0;
+           tries < honest_ready_.size() && c == nullptr; ++tries) {
+        const u64 id = honest_ready_[rr_++ % honest_ready_.size()];
+        auto it = conns_.find(id);
+        if (it != conns_.end() && !it->second->dead) c = it->second.get();
+      }
+      if (!c) return;
+      net::RequestFrame f;
+      f.op = net::WireOp::kEncaps;
+      f.request_id = next_request_id_++;
+      f.payload = random_bytes(rng_, 32);
+      c->outstanding.emplace(f.request_id, now_micros());
+      ++tally_.sent;
+      send_bytes(*c, net::encode_request(f));
+    }
+  }
+
+  void trickle_slowloris(u64 t) {
+    if (!opt_.chaos) return;
+    for (auto& [id, conn] : conns_) {
+      Conn& c = *conn;
+      if (c.dead || c.role != Role::kSlowloris ||
+          c.phase != Phase::kEncapsSent)
+        continue;
+      if (t < c.next_action || c.trickled >= c.trickle.size()) continue;
+      const u8 byte = c.trickle[c.trickled];
+      const ssize_t n = ::send(c.fd, &byte, 1, MSG_NOSIGNAL);
+      if (n == 1) ++c.trickled;
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+          errno != EINTR) {
+        on_disconnect(c);
+        continue;
+      }
+      c.next_action = t + opt_.trickle_interval_ms * 1000;
+    }
+  }
+
+  void loop() {
+    epoll_event events[128];
+    bool draining = false;
+    u64 drain_deadline = 0;
+    for (;;) {
+      const u64 t = now_micros();
+      if (t >= hard_deadline_) {
+        std::cerr << "loadgen: hard deadline hit — server hung?\n";
+        hung_ = true;
+        return;
+      }
+      if (!draining && t >= stop_issuing_at_) {
+        draining = true;
+        drain_deadline = t + 3'000'000;
+        // Stop chaos conns that will never resolve on their own.
+        for (auto& [id, conn] : conns_)
+          if (!conn->dead && (conn->role == Role::kSlowloris ||
+                              conn->phase == Phase::kIdle ||
+                              conn->phase == Phase::kDone))
+            close_conn(*conn);
+      }
+      if (draining) {
+        bool outstanding = false;
+        for (auto& [id, conn] : conns_)
+          if (!conn->dead) outstanding = true;
+        if (!outstanding || t >= drain_deadline) {
+          for (auto& [id, conn] : conns_)
+            if (!conn->dead) on_disconnect(*conn);
+          reap();
+          return;
+        }
+      }
+
+      const int n = ::epoll_wait(epoll_fd_, events, 128, 10);
+      if (n < 0 && errno != EINTR) return;
+      for (int i = 0; i < n; ++i) {
+        auto it = conns_.find(events[i].data.u64);
+        if (it == conns_.end() || it->second->dead) continue;
+        Conn& c = *it->second;
+        if (c.phase == Phase::kConnecting) {
+          if (events[i].events & (EPOLLOUT | EPOLLIN | EPOLLERR)) {
+            c.phase = Phase::kIdle;
+            update_interest(c);
+            on_connected(c);
+          }
+          continue;
+        }
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          on_readable(c);  // collect any final reply bytes first
+          if (!c.dead) on_disconnect(c);
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) {
+          flush(c);
+          if (c.dead) continue;
+        }
+        if (events[i].events & (EPOLLIN | EPOLLRDHUP)) on_readable(c);
+      }
+      const u64 t2 = now_micros();
+      pace_open_loop(t2);
+      trickle_slowloris(t2);
+      reap();
+    }
+  }
+
+  void reap() {
+    for (u64 id : reap_) conns_.erase(id);
+    reap_.clear();
+  }
+
+  int report(u64 elapsed_micros) {
+    const Tally& s = tally_;
+    const double secs =
+        static_cast<double>(elapsed_micros) / 1e6;
+    const double rps =
+        secs > 0 ? static_cast<double>(s.replies) / secs : 0;
+    if (opt_.json) {
+      std::cout << "{\"sent\":" << s.sent << ",\"replies\":" << s.replies
+                << ",\"handshakes_ok\":" << s.handshakes_ok
+                << ",\"shed\":" << s.shed
+                << ",\"key_mismatches\":" << s.key_mismatches
+                << ",\"honest_protocol_errors\":" << s.honest_protocol_errors
+                << ",\"honest_unexpected_eof\":" << s.honest_unexpected_eof
+                << ",\"honest_other_errors\":" << s.honest_other_errors
+                << ",\"connect_failures\":" << s.connect_failures
+                << ",\"garbage_typed\":" << s.garbage_typed
+                << ",\"garbage_unanswered\":" << s.garbage_unanswered
+                << ",\"halfclose_replies\":" << s.halfclose_replies
+                << ",\"halfclose_unanswered\":" << s.halfclose_unanswered
+                << ",\"slowloris_reaped\":" << s.slowloris_reaped
+                << ",\"slowloris_completed\":" << s.slowloris_completed
+                << ",\"midclose_sent\":" << s.midclose_sent
+                << ",\"rps\":" << rps
+                << ",\"p50_micros\":" << s.latency.percentile_micros(50)
+                << ",\"p99_micros\":" << s.latency.percentile_micros(99)
+                << ",\"p999_micros\":" << s.latency.percentile_micros(99.9)
+                << ",\"failures\":" << s.failures()
+                << ",\"hung\":" << (hung_ ? "true" : "false") << "}\n";
+    } else {
+      std::cout << "loadgen: " << opt_.connections << " conns ("
+                << (opt_.chaos ? "chaos mix" : "all honest") << "), "
+                << (opt_.rate > 0 ? "open loop" : "closed loop") << ", "
+                << secs << "s\n"
+                << "  sent " << s.sent << " | replies " << s.replies << " ("
+                << rps << " rps) | handshakes ok " << s.handshakes_ok
+                << " | shed " << s.shed << "\n"
+                << "  latency p50 " << s.latency.percentile_micros(50)
+                << "us  p99 " << s.latency.percentile_micros(99)
+                << "us  p99.9 " << s.latency.percentile_micros(99.9)
+                << "us  (" << s.latency.count() << " samples)\n";
+      if (opt_.chaos)
+        std::cout << "  chaos: garbage typed " << s.garbage_typed << "/"
+                  << (s.garbage_typed + s.garbage_unanswered)
+                  << " | halfclose replies " << s.halfclose_replies
+                  << " | slowloris reaped " << s.slowloris_reaped
+                  << " completed " << s.slowloris_completed
+                  << " | midclose " << s.midclose_sent << "\n";
+      std::cout << "  failures: " << s.failures() << " (key mismatch "
+                << s.key_mismatches << ", protocol " << s.honest_protocol_errors
+                << ", eof " << s.honest_unexpected_eof << ", other "
+                << s.honest_other_errors << ", connect "
+                << s.connect_failures << ", garbage unanswered "
+                << s.garbage_unanswered << ", halfclose unanswered "
+                << s.halfclose_unanswered << ")\n";
+    }
+    if (hung_) return 2;
+    if (s.failures() > 0) return 1;
+    // Progress gate: an honest cohort that completed nothing means the
+    // server never actually served.
+    const bool had_honest = opt_.connections > 0;
+    if (had_honest && s.replies == 0) {
+      std::cerr << "loadgen: no replies received\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  Options opt_;
+  int epoll_fd_ = -1;
+  std::unordered_map<u64, std::unique_ptr<Conn>> conns_;
+  std::vector<u64> reap_;
+  std::vector<u64> honest_ready_;
+  std::size_t rr_ = 0;
+  u64 next_conn_id_ = 1;
+  u64 next_request_id_ = 1;
+  u64 rng_ = 0x10adc0de;
+  u64 stop_issuing_at_ = 0;
+  u64 hard_deadline_ = 0;
+  u64 next_fire_ = 0;
+  bool hung_ = false;
+  Tally tally_;
+};
+
+int read_port_file(const std::string& path) {
+  // The server writes the resolved ephemeral port once listening; poll
+  // briefly so CI can launch both sides without a sleep.
+  const u64 deadline = now_micros() + 10'000'000;
+  while (now_micros() < deadline) {
+    std::ifstream in(path);
+    int port = 0;
+    if (in >> port && port > 0) return port;
+    ::usleep(50'000);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    if (arg == "--host") opt.host = next();
+    else if (arg == "--port") opt.port = std::stoi(next());
+    else if (arg == "--port-file") opt.port_file = next();
+    else if (arg == "--connections") opt.connections = std::stoul(next());
+    else if (arg == "--duration-ms") opt.duration_ms = std::stoull(next());
+    else if (arg == "--requests") opt.requests = std::stoul(next());
+    else if (arg == "--rate") opt.rate = std::stod(next());
+    else if (arg == "--chaos") opt.chaos = true;
+    else if (arg == "--json") opt.json = true;
+    else if (arg == "--max-runtime-ms") opt.max_runtime_ms = std::stoull(next());
+    else if (arg == "--trickle-interval-ms")
+      opt.trickle_interval_ms = std::stoull(next());
+    else {
+      std::cerr << "loadgen: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (!opt.port_file.empty()) opt.port = read_port_file(opt.port_file);
+  if (opt.port <= 0 || opt.port > 65535) {
+    std::cerr << "loadgen: need --port or --port-file (got "
+              << opt.port << ")\n";
+    return 2;
+  }
+  return LoadGen(opt).run();
+}

@@ -24,9 +24,30 @@
 // trace-event / Perfetto JSON timeline of every request (queue wait,
 // attempts, KEM phases, RTL busy windows, breaker transitions).
 // --metrics dumps the unified Prometheus-style exposition after every
-// act (on demand) and again at shutdown.
+// act (on demand) and again at shutdown. Both writes are checked:
+// a disk-full / unwritable path is a typed kInternalError on stderr and
+// a nonzero exit, never a silently-empty artifact.
+//
+// Serving mode (docs/serving.md):
+//
+//   kem_server --listen <port> [--port-file F] [--workers N]
+//              [--queue-capacity Q] [--max-connections M]
+//              [--read-deadline-ms R] [--idle-deadline-ms I]
+//              [--request-deadline-ms D] [--trace ...] [--metrics ...]
+//
+// runs the epoll TCP front end (src/net/) over the same service until
+// SIGTERM/SIGINT, then shuts down gracefully: the server stops
+// accepting, finishes in-flight requests and flushes every reply
+// (TcpServer::stop(drain)), then the service executes what is still
+// queued (KemService::drain()) — no request that was admitted is
+// dropped. Port 0 binds an ephemeral port; --port-file publishes the
+// resolved port for the load generator.
+#include <csignal>
+#include <cstdio>
+
 #include <chrono>
 #include <fstream>
+#include <functional>
 #include <future>
 #include <iostream>
 #include <string>
@@ -35,6 +56,7 @@
 
 #include "common/status.h"
 #include "fault/plan.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/service.h"
@@ -116,11 +138,93 @@ void report(const char* act, const ActTally& t,
             << svc.counters().to_string() << "\n\n";
 }
 
+// I/O-error propagation (satellite of the serving tier): every file
+// artifact this binary promises (--metrics, --trace, --port-file) is
+// written through here, and a failed write is a typed status on stderr
+// plus a nonzero exit — operators must never trust a silently-truncated
+// metrics dump or trace.
+bool write_checked(const std::string& path, const char* what,
+                   const std::function<void(std::ostream&)>& writer) {
+  std::ofstream out(path);
+  if (!out) {
+    print_status(std::cerr, "kem-server", Status::kInternalError,
+                 std::string("cannot open ") + what + " file " + path);
+    return false;
+  }
+  writer(out);
+  out.flush();
+  if (!out) {
+    print_status(std::cerr, "kem-server", Status::kInternalError,
+                 std::string("write failed for ") + what + " file " + path);
+    return false;
+  }
+  return true;
+}
+
+// SIGTERM/SIGINT -> graceful drain. Only a flag is set in the handler;
+// the serving loop polls it (async-signal-safety).
+volatile std::sig_atomic_t g_shutdown = 0;
+void on_signal(int) { g_shutdown = 1; }
+
+int run_listen(service::KemService& svc, obs::MetricsRegistry& registry,
+               const net::ServerConfig& net_cfg, const std::string& port_file,
+               const std::string& metrics_path, bool* io_failed) {
+  net::TcpServer server(svc, net_cfg);
+  server.register_metrics(registry);
+  std::string error;
+  const Status st = server.start(&error);
+  if (st != Status::kOk) {
+    print_status(std::cerr, "kem-server", st, error);
+    return 1;
+  }
+  std::cout << "kem-server: listening on " << net_cfg.bind_address << ":"
+            << server.port() << " (SIGTERM drains gracefully)\n";
+  if (!port_file.empty()) {
+    // Write-then-rename so a polling client can never observe a
+    // partially written port number.
+    const std::string tmp = port_file + ".tmp";
+    if (!write_checked(tmp, "port", [&](std::ostream& os) {
+          os << server.port() << "\n";
+        }) ||
+        std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      print_status(std::cerr, "kem-server", Status::kInternalError,
+                   "cannot publish port file " + port_file);
+      *io_failed = true;
+    }
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  while (!g_shutdown && server.running())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Shutdown choreography: the network tier drains first (stop
+  // accepting/reading, finish in-flight, flush replies), then the
+  // service executes whatever is still queued. Reverse order would shed
+  // admitted requests that already have a client waiting on a reply.
+  std::cout << "kem-server: draining...\n";
+  server.stop(/*drain=*/true);
+  svc.drain();
+  std::cout << "kem-server: " << server.counters().to_string() << "\n"
+            << "kem-server: " << svc.counters().to_string() << "\n";
+  if (!metrics_path.empty() &&
+      !write_checked(metrics_path, "metrics", [&](std::ostream& os) {
+        registry.expose(os);
+      }))
+    *io_failed = true;
+  print_status(std::cout, "kem-server", Status::kOk, "drained");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t n = 64;
-  std::string trace_path, metrics_path, mix_spec;
+  std::string trace_path, metrics_path, mix_spec, port_file;
+  bool listen_mode = false;
+  net::ServerConfig net_cfg;
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 0;  // 0: derived below
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc)
@@ -129,6 +233,23 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     else if (arg == "--mix" && i + 1 < argc)
       mix_spec = argv[++i];
+    else if (arg == "--listen" && i + 1 < argc) {
+      listen_mode = true;
+      net_cfg.port = static_cast<u16>(std::stoul(argv[++i]));
+    } else if (arg == "--port-file" && i + 1 < argc)
+      port_file = argv[++i];
+    else if (arg == "--workers" && i + 1 < argc)
+      workers = std::stoul(argv[++i]);
+    else if (arg == "--queue-capacity" && i + 1 < argc)
+      queue_capacity = std::stoul(argv[++i]);
+    else if (arg == "--max-connections" && i + 1 < argc)
+      net_cfg.max_connections = std::stoul(argv[++i]);
+    else if (arg == "--read-deadline-ms" && i + 1 < argc)
+      net_cfg.read_deadline_micros = std::stoull(argv[++i]) * 1000;
+    else if (arg == "--idle-deadline-ms" && i + 1 < argc)
+      net_cfg.idle_deadline_micros = std::stoull(argv[++i]) * 1000;
+    else if (arg == "--request-deadline-ms" && i + 1 < argc)
+      net_cfg.request_deadline_micros = std::stoull(argv[++i]) * 1000;
     else
       n = std::stoul(arg);
   }
@@ -138,8 +259,8 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) tracer.install();
 
   service::ServiceConfig cfg;
-  cfg.workers = 4;
-  cfg.queue_capacity = 2 * n + 8;
+  cfg.workers = workers;
+  cfg.queue_capacity = queue_capacity ? queue_capacity : 2 * n + 8;
   cfg.probe_interval_micros = 5'000;
   if (!mix_spec.empty()) {
     std::string error;
@@ -156,6 +277,25 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry registry;
   svc.register_metrics(registry);
+
+  bool io_failed = false;
+  if (listen_mode) {
+    const int rc =
+        run_listen(svc, registry, net_cfg, port_file, metrics_path,
+                   &io_failed);
+    if (!trace_path.empty()) {
+      obs::Tracer::uninstall();
+      if (!write_checked(trace_path, "trace", [&](std::ostream& os) {
+            tracer.write_chrome_json(os);
+          }))
+        io_failed = true;
+      else
+        std::cout << "trace: " << tracer.size() << " events ("
+                  << tracer.dropped() << " dropped) -> " << trace_path
+                  << "\n";
+    }
+    return rc != 0 ? rc : (io_failed ? 1 : 0);
+  }
   // The modeled cycle breakdown of one handshake on the golden software
   // backend — the CycleLedger channel in the same exposition.
   CycleLedger model_ledger;
@@ -171,8 +311,12 @@ int main(int argc, char** argv) {
                       &model_ledger);
   const auto dump_metrics = [&](const char* stage) {
     if (metrics_path.empty()) return;
-    std::ofstream out(metrics_path);
-    registry.expose(out);
+    if (!write_checked(metrics_path, "metrics", [&](std::ostream& os) {
+          registry.expose(os);
+        })) {
+      io_failed = true;
+      return;
+    }
     std::cout << "  [metrics] " << registry.families() << " families -> "
               << metrics_path << " (" << stage << ")\n";
   };
@@ -223,10 +367,13 @@ int main(int argc, char** argv) {
   dump_metrics("shutdown");
   if (!trace_path.empty()) {
     obs::Tracer::uninstall();
-    std::ofstream out(trace_path);
-    tracer.write_chrome_json(out);
-    std::cout << "trace: " << tracer.size() << " events ("
-              << tracer.dropped() << " dropped) -> " << trace_path << "\n";
+    if (!write_checked(trace_path, "trace", [&](std::ostream& os) {
+          tracer.write_chrome_json(os);
+        }))
+      io_failed = true;
+    else
+      std::cout << "trace: " << tracer.size() << " events ("
+                << tracer.dropped() << " dropped) -> " << trace_path << "\n";
   }
-  return 0;
+  return io_failed ? 1 : 0;
 }

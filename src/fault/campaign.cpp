@@ -109,14 +109,18 @@ TrialResult run_planned_trial(const lac::Params& params, FaultPlan plan,
   plan.arm(*sha);
   plan.arm(*barrett);
 
-  auto registry =
-      std::make_shared<lac::KernelRegistry>(lac::KernelRegistry::modeled());
+  // The modq slot's modulus flows from the scheme parameters — a
+  // second-scheme profile with a different q reuses this trial driver
+  // unchanged (its Barrett unit is validated against its own modulus).
+  auto registry = std::make_shared<lac::KernelRegistry>(
+      lac::KernelRegistry::modeled(params.q));
   registry->inject_mul_ter(perf::rtl_mul_ter(mul), &trial.report);
   registry->inject_chien(perf::rtl_chien(chien), &trial.report);
   // Barrett is not on the functional KEM path; a faulty unit is benched
   // by the modq slot KAT, but its degradation keeps the campaign's
   // historical "barrett" name (fault::Unit::kBarrett) in the report.
-  if (registry->inject_modq(perf::rtl_modq(barrett)) != Status::kOk) {
+  if (registry->inject_modq(perf::rtl_modq(barrett), params.q) !=
+      Status::kOk) {
     std::string detail = "reduction KAT mismatch";
     selftest_barrett(*barrett, &detail);
     trial.report.add("barrett", Status::kSelfTestFailure, detail);

@@ -15,6 +15,7 @@
 
 #include "bch/code.h"
 #include "hash/prg.h"
+#include "poly/ring.h"
 
 namespace lacrv::lac {
 
@@ -35,6 +36,12 @@ struct Params {
   bool d2;
   int nist_category;
   PrgKind prg = PrgKind::kSha256Ctr;
+  /// Coefficient modulus of the scheme. Every LAC set uses q = 251; the
+  /// field exists so modulus-sensitive machinery (the modq registry
+  /// slot, fault campaigns) takes its q from the scheme parameters
+  /// instead of hard-coding poly::kQ — the extension point a second,
+  /// different-modulus SchemeProfile plugs into.
+  u32 q = poly::kQ;
 
   /// Bits of the (shortened) BCH codeword.
   std::size_t cw_bits() const { return static_cast<std::size_t>(code->length()); }

@@ -69,6 +69,14 @@ poly::ModqFn modeled_modq() {
   };
 }
 
+poly::ModqFn modeled_modq_for(u32 modulus) {
+  if (modulus == poly::kQ) return modeled_modq();
+  return [modulus](u32 x, CycleLedger* ledger) {
+    charge(ledger, cost::kHwModq);
+    return x % modulus;
+  };
+}
+
 // ---- known-answer self-tests -----------------------------------------------
 
 bool mul_ter_kat(const poly::MulTer512& unit, std::string* detail) {
@@ -134,12 +142,27 @@ bool sha256_kat(const hash::HashFn& fn, std::string* detail) {
 }
 
 bool modq_kat(const poly::ModqFn& fn, std::string* detail) {
-  // Inputs straddling every correction boundary of the Barrett datapath.
-  constexpr u32 kInputs[] = {0,   1,    250,  251,   252,  502,
-                             503, 1000, 4096, 62750, 65535};
-  for (u32 x : kInputs) {
-    if (fn(x, nullptr) != x % poly::kQ) {
-      describe(detail, "reduction KAT mismatch at x = " + std::to_string(x));
+  return modq_kat_mod(fn, poly::kQ, detail);
+}
+
+bool modq_kat_mod(const poly::ModqFn& fn, u32 modulus, std::string* detail) {
+  if (modulus < 2 || modulus > 65535) {
+    describe(detail, "unsupported modulus " + std::to_string(modulus));
+    return false;
+  }
+  // Inputs straddling every correction boundary of a two-correction
+  // Barrett datapath for this modulus, plus mid-range and extreme points
+  // (for q = 251 this covers the same ladder the historical KAT pinned:
+  // 0, 1, 250, 251, 252, 502, 503, ..., 65535).
+  const u32 m = modulus;
+  const u32 inputs[] = {0,         1,          m - 1,    m,     m + 1,
+                        2 * m,     2 * m + 1,  1000,     4096,  62750,
+                        65535 - (65535 % m),   65535};
+  for (u32 x : inputs) {
+    if (x > 65535) continue;  // stay within the datapath's 16-bit domain
+    if (fn(x, nullptr) != x % m) {
+      describe(detail, "reduction KAT mismatch at x = " + std::to_string(x) +
+                           " mod " + std::to_string(m));
       return false;
     }
   }
@@ -148,8 +171,9 @@ bool modq_kat(const poly::ModqFn& fn, std::string* detail) {
 
 // ---- the registry ----------------------------------------------------------
 
-KernelRegistry KernelRegistry::modeled() {
+KernelRegistry KernelRegistry::modeled(u32 modq_modulus) {
   KernelRegistry r;
+  r.modq_modulus_ = modq_modulus;
   r.mul_ter_ =
       PqUnit<poly::MulTer512>(Slot::kMulTer, modeled_mul_ter(), &mul_ter_kat,
                               "construction KAT failed; using modeled "
@@ -164,19 +188,22 @@ KernelRegistry KernelRegistry::modeled() {
   r.sha256_ = PqUnit<hash::HashFn>(
       Slot::kSha256, [](ByteView data) { return hash::sha256(data); },
       &sha256_kat, "construction KAT failed; keeping software hash");
-  r.modq_ = PqUnit<poly::ModqFn>(Slot::kModq, modeled_modq(), &modq_kat,
-                                 "construction KAT failed; using modeled "
-                                 "software unit");
+  r.modq_ = PqUnit<poly::ModqFn>(
+      Slot::kModq, modeled_modq_for(modq_modulus),
+      [modq_modulus](const poly::ModqFn& fn, std::string* detail) {
+        return modq_kat_mod(fn, modq_modulus, detail);
+      },
+      "construction KAT failed; using modeled software unit");
   return r;
 }
 
 Status KernelRegistry::inject_modq(poly::ModqFn impl, u32 modulus,
                                    DegradeReport* report) {
-  if (modulus != poly::kQ) {
+  if (modulus != modq_modulus_) {
     if (report)
       report->add(slot_name(Slot::kModq), Status::kBadArgument,
                   "unit modulus " + std::to_string(modulus) +
-                      " != q = " + std::to_string(poly::kQ) +
+                      " != q = " + std::to_string(modq_modulus_) +
                       "; rejected at injection");
     return Status::kBadArgument;
   }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,6 +67,11 @@ poly::MulTer512 modeled_mul_ter();
 bch::ChienStage modeled_chien();
 /// MOD q model: barrett_reduce plus the single pq.modq issue cycle.
 poly::ModqFn modeled_modq();
+/// MOD q model for an arbitrary modulus (same single-issue cycle model).
+/// modulus == poly::kQ serves the paper's Barrett datapath bit-exactly;
+/// any other modulus reduces with a plain `%` — the software stand-in a
+/// second-scheme profile starts from before it grows its own datapath.
+poly::ModqFn modeled_modq_for(u32 modulus);
 
 // ---- known-answer self-tests -----------------------------------------------
 // The construction-time KATs that gate injection and feed the runtime
@@ -76,6 +82,11 @@ bool mul_ter_kat(const poly::MulTer512& unit, std::string* detail = nullptr);
 bool chien_kat(const bch::ChienStage& stage, std::string* detail = nullptr);
 bool sha256_kat(const hash::HashFn& fn, std::string* detail = nullptr);
 bool modq_kat(const poly::ModqFn& fn, std::string* detail = nullptr);
+/// modq KAT against an arbitrary modulus: correction-boundary inputs are
+/// derived from the modulus (0, 1, m-1, m, m+1, 2m, ..., 2^16-1) instead
+/// of the hard-coded q = 251 ladder.
+bool modq_kat_mod(const poly::ModqFn& fn, u32 modulus,
+                  std::string* detail = nullptr);
 
 // ---- the kernel slot -------------------------------------------------------
 
@@ -85,7 +96,9 @@ bool modq_kat(const poly::ModqFn& fn, std::string* detail = nullptr);
 template <typename Fn>
 class PqUnit {
  public:
-  using Kat = bool (*)(const Fn&, std::string*);
+  /// KAT callables may capture configuration (e.g. the modq slot's
+  /// modulus), so this is a std::function rather than a bare pointer.
+  using Kat = std::function<bool(const Fn&, std::string*)>;
 
   PqUnit() = default;
   PqUnit(Slot slot, Fn modeled, Kat kat, const char* degrade_detail)
@@ -134,7 +147,7 @@ class PqUnit {
   Slot slot_ = Slot::kMulTer;
   Fn modeled_;
   Fn active_;
-  Kat kat_ = nullptr;
+  Kat kat_;
   const char* degrade_detail_ = "";
   bool injected_ = false;
 };
@@ -145,8 +158,14 @@ class KernelRegistry {
  public:
   /// The paper's co-design profile: every slot backed by its golden
   /// software model with the pq-instruction cycle model attached —
-  /// what Backend::optimized() serves before any injection.
-  static KernelRegistry modeled();
+  /// what Backend::optimized() serves before any injection. The modq
+  /// slot (model and KAT) is built for `modq_modulus`; callers with
+  /// scheme parameters in hand pass Params::q so the modulus flows from
+  /// the scheme instead of the q = 251 constant.
+  static KernelRegistry modeled(u32 modq_modulus = poly::kQ);
+
+  /// The modulus this registry's modq slot models and validates against.
+  u32 modq_modulus() const { return modq_modulus_; }
 
   PqUnit<poly::MulTer512>& mul_ter() { return mul_ter_; }
   PqUnit<bch::ChienStage>& chien() { return chien_; }
@@ -167,10 +186,10 @@ class KernelRegistry {
     return sha256_.inject(std::move(impl), report);
   }
   /// MOD q injection validates the unit's configuration before the KAT
-  /// runs: a unit built for a modulus other than q = 251 is rejected
-  /// with kBadArgument at injection time instead of silently computing
-  /// garbage (the same entry-validation posture as
-  /// poly::full_product_with_unit's operand checks).
+  /// runs: a unit built for a modulus other than this registry's
+  /// modq_modulus() is rejected with kBadArgument at injection time
+  /// instead of silently computing garbage (the same entry-validation
+  /// posture as poly::full_product_with_unit's operand checks).
   Status inject_modq(poly::ModqFn impl, u32 modulus = poly::kQ,
                      DegradeReport* report = nullptr);
 
@@ -193,6 +212,7 @@ class KernelRegistry {
   PqUnit<bch::ChienStage> chien_;
   PqUnit<hash::HashFn> sha256_;
   PqUnit<poly::ModqFn> modq_;
+  u32 modq_modulus_ = poly::kQ;
 };
 
 /// Parse a per-slot implementation mix of the form

@@ -1,0 +1,207 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace lacrv::net {
+namespace {
+
+void put_u32(Bytes& out, u32 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 24));
+}
+
+void put_u64(Bytes& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+u32 get_u32(const u8* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+u64 get_u64(const u8* p) {
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+const char* wire_status_name(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kBadArgument: return "bad-argument";
+    case WireStatus::kInternalError: return "internal-error";
+    case WireStatus::kOverloaded: return "overloaded";
+    case WireStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case WireStatus::kUnavailable: return "unavailable";
+    case WireStatus::kUnknownKey: return "unknown-key";
+    case WireStatus::kBadPayload: return "bad-payload";
+    case WireStatus::kBadMagic: return "bad-magic";
+    case WireStatus::kBadVersion: return "bad-version";
+    case WireStatus::kBadOp: return "bad-op";
+    case WireStatus::kOversized: return "oversized";
+  }
+  return "unknown";
+}
+
+WireStatus wire_status_from(Status s) {
+  switch (s) {
+    case Status::kOk: return WireStatus::kOk;
+    // CCA contract: implicit rejection is observably silent on the wire.
+    case Status::kRejected: return WireStatus::kOk;
+    case Status::kDecodeFailure: return WireStatus::kOk;
+    case Status::kSelfTestFailure: return WireStatus::kUnavailable;
+    case Status::kBadArgument: return WireStatus::kBadArgument;
+    case Status::kInternalError: return WireStatus::kInternalError;
+    case Status::kOverloaded: return WireStatus::kOverloaded;
+    case Status::kDeadlineExceeded: return WireStatus::kDeadlineExceeded;
+    case Status::kUnavailable: return WireStatus::kUnavailable;
+  }
+  return WireStatus::kInternalError;
+}
+
+Bytes encode_request(const RequestFrame& frame) {
+  Bytes out;
+  out.reserve(kRequestHeaderSize + frame.payload.size());
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<u8>(frame.op));
+  put_u64(out, frame.request_id);
+  put_u32(out, frame.key_id);
+  put_u32(out, static_cast<u32>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+Bytes encode_response(const ResponseFrame& frame) {
+  Bytes out;
+  out.reserve(kResponseHeaderSize + frame.payload.size());
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<u8>(frame.status));
+  put_u64(out, frame.request_id);
+  put_u32(out, static_cast<u32>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+namespace detail {
+
+void ParserBase::feed(ByteView bytes) {
+  if (latched_) return;  // framing already lost: drop, don't grow
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+ParseResult ParserBase::latch(WireStatus status, std::string detail) {
+  latched_ = true;
+  error_ = status;
+  error_detail_ = std::move(detail);
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  return ParseResult::kError;
+}
+
+ParseResult ParserBase::pull_raw(std::size_t length_offset, const u8** frame,
+                                 std::size_t* payload_len) {
+  if (latched_) return ParseResult::kError;
+  // Validate the preamble as soon as its bytes exist — a garbage flood
+  // is rejected on byte 1, not after max_payload bytes of buffering.
+  if (!buffer_.empty() && buffer_[0] != kMagic0)
+    return latch(WireStatus::kBadMagic, "bad magic byte 0");
+  if (buffer_.size() >= 2 && buffer_[1] != kMagic1)
+    return latch(WireStatus::kBadMagic, "bad magic byte 1");
+  if (buffer_.size() >= 3 && buffer_[2] != kProtocolVersion)
+    return latch(WireStatus::kBadVersion,
+                 "unsupported protocol version " +
+                     std::to_string(static_cast<int>(buffer_[2])));
+  if (buffer_.size() >= 4) {
+    std::string detail;
+    if (!code_valid(buffer_[3], &detail))
+      return latch(WireStatus::kBadOp, std::move(detail));
+  }
+  if (buffer_.size() < header_size_) return ParseResult::kNeedMore;
+
+  const u64 len = get_u32(buffer_.data() + length_offset);
+  if (len > max_payload_)
+    return latch(WireStatus::kOversized,
+                 "payload length " + std::to_string(len) + " exceeds cap " +
+                     std::to_string(max_payload_));
+  if (buffer_.size() < header_size_ + len) return ParseResult::kNeedMore;
+
+  *frame = buffer_.data();
+  *payload_len = static_cast<std::size_t>(len);
+  return ParseResult::kFrame;
+}
+
+void ParserBase::consume_frame(std::size_t payload_len) {
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() +
+                    static_cast<std::ptrdiff_t>(header_size_ + payload_len));
+}
+
+}  // namespace detail
+
+bool FrameParser::code_valid(u8 code, std::string* detail) const {
+  switch (static_cast<WireOp>(code)) {
+    case WireOp::kEncaps:
+    case WireOp::kDecaps:
+    case WireOp::kPing:
+      return true;
+  }
+  *detail = "unknown op " + std::to_string(static_cast<int>(code));
+  return false;
+}
+
+ParseResult FrameParser::next(RequestFrame* out) {
+  const u8* frame = nullptr;
+  std::size_t payload_len = 0;
+  const ParseResult r = pull_raw(/*length_offset=*/16, &frame, &payload_len);
+  if (r != ParseResult::kFrame) return r;
+  out->op = static_cast<WireOp>(frame[3]);
+  out->request_id = get_u64(frame + 4);
+  out->key_id = get_u32(frame + 12);
+  out->payload.assign(frame + kRequestHeaderSize,
+                      frame + kRequestHeaderSize + payload_len);
+  consume_frame(payload_len);
+  return ParseResult::kFrame;
+}
+
+bool ResponseParser::code_valid(u8 code, std::string* detail) const {
+  switch (static_cast<WireStatus>(code)) {
+    case WireStatus::kOk:
+    case WireStatus::kBadArgument:
+    case WireStatus::kInternalError:
+    case WireStatus::kOverloaded:
+    case WireStatus::kDeadlineExceeded:
+    case WireStatus::kUnavailable:
+    case WireStatus::kUnknownKey:
+    case WireStatus::kBadPayload:
+    case WireStatus::kBadMagic:
+    case WireStatus::kBadVersion:
+    case WireStatus::kBadOp:
+    case WireStatus::kOversized:
+      return true;
+  }
+  *detail = "unknown status " + std::to_string(static_cast<int>(code));
+  return false;
+}
+
+ParseResult ResponseParser::next(ResponseFrame* out) {
+  const u8* frame = nullptr;
+  std::size_t payload_len = 0;
+  const ParseResult r = pull_raw(/*length_offset=*/12, &frame, &payload_len);
+  if (r != ParseResult::kFrame) return r;
+  out->status = static_cast<WireStatus>(frame[3]);
+  out->request_id = get_u64(frame + 4);
+  out->payload.assign(frame + kResponseHeaderSize,
+                      frame + kResponseHeaderSize + payload_len);
+  consume_frame(payload_len);
+  return ParseResult::kFrame;
+}
+
+}  // namespace lacrv::net

@@ -1,0 +1,206 @@
+// The KEM wire protocol: compact length-prefixed binary frames.
+//
+// Every frame is a fixed header followed by a bounded payload. Requests
+// and responses share the 4-byte preamble (magic, version, code) so one
+// bounds-checked incremental parser template serves both the server and
+// the load generator:
+//
+//   request  (20-byte header)
+//     0   2  magic 'L' 'Q'
+//     2   1  protocol version (kProtocolVersion)
+//     3   1  op: 1 encaps, 2 decaps, 3 ping
+//     4   8  request id, little-endian (echoed verbatim in the response)
+//     12  4  key id, little-endian (0: the service keypair)
+//     16  4  payload length, little-endian, <= max_payload
+//     20  N  payload (encaps: 32-byte entropy seed; decaps: serialized
+//             ciphertext, ct_bytes(params); ping: empty)
+//
+//   response (16-byte header)
+//     0   2  magic 'L' 'Q'
+//     2   1  protocol version
+//     3   1  wire status (WireStatus)
+//     4   8  request id, little-endian
+//     12  4  payload length, little-endian
+//     16  N  payload (encaps ok: ct || 32-byte shared key; decaps ok:
+//             32-byte shared key; errors: short ASCII diagnostic)
+//
+// Robustness contract: the parser never throws, never reads past its
+// buffer, and never allocates more than max_payload + header per frame.
+// Malformed input (bad magic, unknown version/op, oversized or
+// impossible lengths) surfaces as a typed WireStatus error the caller
+// turns into a typed error reply — a garbage flood costs one frame of
+// memory and one diagnostic, never a crash. After an error the parser
+// latches: framing is lost, the connection must be torn down.
+//
+// CCA note: decapsulation replies are deliberately status-blind. The FO
+// transform's implicit rejection returns a pseudo-random key instead of
+// an error precisely so the wire cannot distinguish a tampered
+// ciphertext from an honest one; the server maps kRejected /
+// kDecodeFailure to an ordinary kOk reply carrying the implicit-
+// rejection key. Typed decaps errors on the wire are service verdicts
+// only (overload, deadline, unavailable) — never decoder verdicts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lacrv::net {
+
+inline constexpr u8 kMagic0 = 'L';
+inline constexpr u8 kMagic1 = 'Q';
+inline constexpr u8 kProtocolVersion = 1;
+
+inline constexpr std::size_t kRequestHeaderSize = 20;
+inline constexpr std::size_t kResponseHeaderSize = 16;
+/// Default payload bound. Large enough for every LAC ciphertext
+/// (<= 1424 bytes) with headroom, small enough that a hostile client
+/// cannot make the server stage unbounded memory per connection.
+inline constexpr std::size_t kMaxPayload = 8192;
+/// Error-reply diagnostics are truncated to this many bytes.
+inline constexpr std::size_t kMaxErrorDetail = 96;
+
+enum class WireOp : u8 {
+  kEncaps = 1,
+  kDecaps = 2,
+  /// Liveness/latency probe: empty payload in, empty kOk reply out.
+  kPing = 3,
+};
+
+/// Status byte of a response frame. Values < 64 mirror service-level
+/// lacrv::Status verdicts; values >= 64 are protocol errors after which
+/// the connection is closed (framing is unrecoverable).
+enum class WireStatus : u8 {
+  kOk = 0,
+  kBadArgument = 3,
+  kInternalError = 4,
+  kOverloaded = 5,
+  kDeadlineExceeded = 6,
+  kUnavailable = 7,
+  /// Request named a key id the server does not hold. Per-request error:
+  /// the frame was well-formed, the connection survives.
+  kUnknownKey = 8,
+  /// Payload malformed for the op (wrong entropy/ciphertext size, or an
+  /// undecodable ciphertext image). Per-request error, connection
+  /// survives — framing was never lost.
+  kBadPayload = 9,
+  // -- protocol errors (framing lost; connection closes after the reply) --
+  kBadMagic = 64,
+  kBadVersion = 65,
+  kBadOp = 66,
+  kOversized = 67,
+};
+
+const char* wire_status_name(WireStatus s);
+
+/// True for the >= 64 range: the framing is broken and the sender must
+/// close the connection after emitting the typed reply.
+constexpr bool is_protocol_error(WireStatus s) {
+  return static_cast<u8>(s) >= 64;
+}
+
+/// Service Status -> wire status. kRejected / kDecodeFailure map to kOk
+/// (see the CCA note above); kSelfTestFailure maps to kUnavailable (the
+/// unit was benched, the request may be retried).
+WireStatus wire_status_from(Status s);
+
+struct RequestFrame {
+  WireOp op = WireOp::kPing;
+  u64 request_id = 0;
+  u32 key_id = 0;
+  Bytes payload;
+};
+
+struct ResponseFrame {
+  WireStatus status = WireStatus::kOk;
+  u64 request_id = 0;
+  Bytes payload;
+};
+
+Bytes encode_request(const RequestFrame& frame);
+Bytes encode_response(const ResponseFrame& frame);
+
+// ---- incremental parsing ----------------------------------------------------
+
+/// Outcome of one FrameParser::next() pull.
+enum class ParseResult : u8 {
+  kNeedMore,  // no complete frame buffered yet
+  kFrame,     // one frame decoded into the out-parameter
+  kError,     // typed protocol error; the parser is latched
+};
+
+namespace detail {
+
+/// Shared incremental frame scanner. Both header layouts start with
+/// magic/version/code and carry (id, [key], length); the Traits struct
+/// supplies the sizes, the length offset and the code validator.
+class ParserBase {
+ public:
+  explicit ParserBase(std::size_t header_size, std::size_t max_payload)
+      : header_size_(header_size), max_payload_(max_payload) {}
+
+  /// Append raw bytes. Accepts anything; validation happens in pull().
+  /// Bounded: a latched parser drops input, and buffered data never
+  /// exceeds header + max_payload per pending frame plus whatever the
+  /// caller feeds before pulling.
+  void feed(ByteView bytes);
+
+  /// True while a frame header or payload is partially buffered — the
+  /// caller arms its read deadline off this (slowloris detection).
+  bool mid_frame() const { return !latched_ && !buffer_.empty(); }
+  bool latched() const { return latched_; }
+  std::size_t buffered() const { return buffer_.size(); }
+  WireStatus error() const { return error_; }
+  const std::string& error_detail() const { return error_detail_; }
+
+ protected:
+  /// Validate the 4-byte preamble + length field; on success exposes the
+  /// complete frame bytes. Returns kNeedMore / kFrame / kError.
+  ParseResult pull_raw(std::size_t length_offset, const u8** frame,
+                       std::size_t* payload_len);
+  void consume_frame(std::size_t payload_len);
+  ParseResult latch(WireStatus status, std::string detail);
+
+  /// Per-layout code-byte validation (op / status).
+  virtual bool code_valid(u8 code, std::string* detail) const = 0;
+
+  std::size_t header_size_;
+  std::size_t max_payload_;
+  Bytes buffer_;
+  bool latched_ = false;
+  WireStatus error_ = WireStatus::kOk;
+  std::string error_detail_;
+};
+
+}  // namespace detail
+
+/// Incremental request parser (server side).
+class FrameParser final : public detail::ParserBase {
+ public:
+  explicit FrameParser(std::size_t max_payload = kMaxPayload)
+      : ParserBase(kRequestHeaderSize, max_payload) {}
+
+  /// Pull the next complete request. On kError the typed status and a
+  /// short diagnostic are available via error()/error_detail() and the
+  /// parser refuses further input.
+  ParseResult next(RequestFrame* out);
+
+ private:
+  bool code_valid(u8 code, std::string* detail) const override;
+};
+
+/// Incremental response parser (client / load-generator side).
+class ResponseParser final : public detail::ParserBase {
+ public:
+  explicit ResponseParser(std::size_t max_payload = kMaxPayload)
+      : ParserBase(kResponseHeaderSize, max_payload) {}
+
+  ParseResult next(ResponseFrame* out);
+
+ private:
+  bool code_valid(u8 code, std::string* detail) const override;
+};
+
+}  // namespace lacrv::net

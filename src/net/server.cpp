@@ -1,0 +1,885 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "lac/pke.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lacrv::net {
+namespace {
+
+std::string errno_detail(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+Bytes error_payload(const std::string& detail) {
+  const std::size_t n = std::min(detail.size(), kMaxErrorDetail);
+  return Bytes(detail.begin(), detail.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+}  // namespace
+
+std::string NetCountersSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "conns " << accepted << " accepted / " << closed << " closed / "
+     << rejected_connections << " rejected (" << open_connections
+     << " open) | frames " << frames_received << " in / " << responses_sent
+     << " out | bytes " << bytes_read << " in / " << bytes_written
+     << " out | protocol-errors " << protocol_errors << " | bad-requests "
+     << bad_requests << " | pings " << pings << " | submitted "
+     << requests_submitted << " | ok " << responses_ok << " | error "
+     << responses_error << " | shed overload " << shed_overloaded
+     << " / unavailable " << shed_unavailable << " / deadline "
+     << shed_deadline << " | timeouts read " << read_timeouts << " / write "
+     << write_timeouts << " | idle-closes " << idle_closes
+     << " | slow-reader-closes " << slow_reader_closes << " | half-closes "
+     << half_closes << " | backpressure-pauses " << backpressure_pauses;
+  return os.str();
+}
+
+// ---- worker -> IO completion handoff ----------------------------------------
+
+namespace {
+
+struct Completion {
+  u64 conn_id = 0;
+  u64 request_id = 0;
+  Status status = Status::kOk;
+  Bytes bytes;           // fully encoded response frame
+  u64 received_micros = 0;  // service-clock receipt time (latency anchor)
+};
+
+/// The only cross-thread channel: service worker callbacks push encoded
+/// replies here and kick the eventfd; the IO thread swaps the batch out
+/// under the lock. shared_ptr ownership lets late callbacks outlive the
+/// server object itself — `alive` flips off at teardown so they become
+/// no-ops instead of use-after-free.
+struct CompletionRail {
+  std::mutex mutex;
+  std::vector<Completion> items;
+  int wake_fd = -1;
+  bool alive = true;
+
+  void push(Completion c) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!alive) return;
+    items.push_back(std::move(c));
+    const u64 one = 1;
+    // A full eventfd counter (EAGAIN) still wakes the reader; other
+    // errors mean teardown already closed it under `alive == false`.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &one, sizeof one);
+  }
+
+  void retire() {
+    std::lock_guard<std::mutex> lock(mutex);
+    alive = false;
+    items.clear();
+  }
+};
+
+struct Conn {
+  int fd = -1;
+  u64 id = 0;
+  FrameParser parser;
+  std::deque<Bytes> out;
+  std::size_t out_head = 0;   // flushed prefix of out.front()
+  std::size_t out_bytes = 0;  // total unflushed reply bytes
+  std::size_t inflight = 0;   // requests in the service, reply pending
+  u64 last_activity = 0;
+  u64 frame_start = 0;  // mid-frame since (0: between frames)
+  u64 write_since = 0;  // unflushed bytes since (0: drained)
+  bool want_read = true;
+  bool want_write = false;
+  bool paused = false;       // backpressure pause (inflight / watermark)
+  bool closing = false;      // close once flushed and inflight == 0
+  bool half_closed = false;  // peer FIN seen
+  bool dead = false;         // closed this loop iteration, reap pending
+
+  explicit Conn(std::size_t max_payload) : parser(max_payload) {}
+};
+
+}  // namespace
+
+// ---- the IO thread ----------------------------------------------------------
+
+struct TcpServer::Impl {
+  TcpServer& server;
+  service::KemService& service;
+  const ServerConfig& cfg;
+  NetCounters& counters;
+  Clock* clock;
+
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::shared_ptr<CompletionRail> rail;
+
+  std::unordered_map<u64, std::unique_ptr<Conn>> conns;
+  std::vector<u64> reap;  // ids closed mid-iteration, erased at the end
+  u64 next_conn_id = 1;
+  std::atomic<u64> open_connections{0};
+
+  std::atomic<bool> shutdown_requested{false};
+  std::atomic<bool> drain_requested{false};
+  bool draining = false;
+  u64 drain_deadline = 0;
+
+  // Pre-encoded admission-control reply (request id 0).
+  Bytes overload_frame;
+
+  explicit Impl(TcpServer& s)
+      : server(s),
+        service(s.service_),
+        cfg(s.config_),
+        counters(s.counters_),
+        clock(s.config_.clock ? s.config_.clock : &RealClock::instance()) {
+    ResponseFrame reject;
+    reject.status = WireStatus::kOverloaded;
+    reject.request_id = 0;
+    reject.payload = error_payload("connection limit reached");
+    overload_frame = encode_response(reject);
+  }
+
+  u64 now() { return clock->now_micros(); }
+
+  // -- epoll plumbing --
+
+  void update_interest(Conn& c) {
+    epoll_event ev{};
+    // EPOLLRDHUP rides with EPOLLIN only: it is level-triggered, so a
+    // half-closed connection waiting out its in-flight replies would
+    // otherwise storm the loop with wakeups every tick.
+    ev.events = 0;
+    if (c.want_read && !c.paused && !c.closing && !c.half_closed)
+      ev.events |= EPOLLIN | EPOLLRDHUP;
+    if (c.want_write) ev.events |= EPOLLOUT;
+    ev.data.u64 = c.id;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  Conn* find(u64 id) {
+    auto it = conns.find(id);
+    if (it == conns.end() || it->second->dead) return nullptr;
+    return it->second.get();
+  }
+
+  void close_conn(Conn& c, const char* reason) {
+    if (c.dead) return;
+    c.dead = true;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+    counters.closed.fetch_add(1, std::memory_order_relaxed);
+    open_connections.fetch_sub(1, std::memory_order_relaxed);
+    obs::instant("net.close", "net", {{"conn", c.id}},
+                 {{"reason", std::string(reason)}});
+    reap.push_back(c.id);
+  }
+
+  void reap_dead() {
+    for (u64 id : reap) conns.erase(id);
+    reap.clear();
+  }
+
+  // -- writes --
+
+  void try_flush(Conn& c) {
+    while (!c.out.empty()) {
+      const Bytes& front = c.out.front();
+      const ssize_t n =
+          ::send(c.fd, front.data() + c.out_head, front.size() - c.out_head,
+                 MSG_NOSIGNAL);
+      if (n > 0) {
+        counters.bytes_written.fetch_add(static_cast<u64>(n),
+                                         std::memory_order_relaxed);
+        c.out_head += static_cast<std::size_t>(n);
+        c.out_bytes -= static_cast<std::size_t>(n);
+        if (c.out_head == front.size()) {
+          c.out.pop_front();
+          c.out_head = 0;
+          counters.responses_sent.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_conn(c, "send-error");
+      return;
+    }
+
+    if (c.out.empty()) {
+      c.write_since = 0;
+      if (c.want_write) {
+        c.want_write = false;
+        update_interest(c);
+      }
+      maybe_unpause(c);
+      if ((c.closing || c.half_closed) && c.inflight == 0)
+        close_conn(c, c.closing ? "closed-after-flush" : "peer-half-close");
+    } else {
+      if (c.write_since == 0) c.write_since = now();
+      if (!c.want_write) {
+        c.want_write = true;
+        update_interest(c);
+      }
+    }
+  }
+
+  void enqueue_reply(Conn& c, Bytes bytes) {
+    if (c.dead) return;
+    c.out_bytes += bytes.size();
+    c.out.push_back(std::move(bytes));
+    c.last_activity = now();
+    if (c.out_bytes > 2 * cfg.write_buffer_watermark) {
+      // The peer writes requests but never reads replies: unbounded
+      // buffering is the attack, closing is the defence.
+      counters.slow_reader_closes.fetch_add(1, std::memory_order_relaxed);
+      close_conn(c, "slow-reader");
+      return;
+    }
+    maybe_pause(c);
+    try_flush(c);
+  }
+
+  void send_reply(Conn& c, WireStatus status, u64 request_id, Bytes payload) {
+    ResponseFrame r;
+    r.status = status;
+    r.request_id = request_id;
+    r.payload = std::move(payload);
+    enqueue_reply(c, encode_response(r));
+  }
+
+  // -- backpressure --
+
+  bool should_pause(const Conn& c) const {
+    return c.inflight >= cfg.max_inflight_per_conn ||
+           c.out_bytes > cfg.write_buffer_watermark;
+  }
+
+  void maybe_pause(Conn& c) {
+    if (!c.paused && should_pause(c)) {
+      c.paused = true;
+      counters.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+      obs::instant("net.backpressure_pause", "net", {{"conn", c.id}});
+      update_interest(c);
+    }
+  }
+
+  void maybe_unpause(Conn& c) {
+    if (c.paused && !should_pause(c) && !c.dead) {
+      c.paused = false;
+      update_interest(c);
+    }
+  }
+
+  // -- request handling --
+
+  void submit_kem(Conn& c, service::OpKind op, const RequestFrame& f,
+                  service::KemRequest request) {
+    const u64 received = now();
+    request.op = op;
+    if (cfg.request_deadline_micros != 0)
+      request.deadline_micros = received + cfg.request_deadline_micros;
+
+    ++c.inflight;
+    counters.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+    maybe_pause(c);
+
+    // Everything the callback needs must be captured by value or via
+    // the shared rail: it runs on a worker (or submitter) thread and
+    // may outlive this connection and even this server object — which
+    // is also why counter classification happens on the IO thread in
+    // drain_completions(), never here.
+    auto rail_ref = rail;
+    const u64 conn_id = c.id;
+    const u64 request_id = f.request_id;
+    const lac::Params* params = &service.params();
+    service.submit_with_callback(
+        std::move(request),
+        [rail_ref, conn_id, request_id, received, op,
+         params](service::KemResponse r) {
+          Completion done;
+          done.conn_id = conn_id;
+          done.request_id = request_id;
+          done.status = r.status;
+          done.received_micros = received;
+          ResponseFrame resp;
+          resp.request_id = request_id;
+          resp.status = wire_status_from(r.status);
+          if (resp.status == WireStatus::kOk) {
+            if (op == service::OpKind::kEncaps) {
+              resp.payload = lac::serialize(*params, r.encaps.ct);
+              resp.payload.insert(resp.payload.end(), r.encaps.key.begin(),
+                                  r.encaps.key.end());
+            } else {
+              // CCA blinding: kOk, kRejected and kDecodeFailure all
+              // deliver a 32-byte key (the implicit-rejection key on the
+              // latter two) under an indistinguishable kOk reply.
+              resp.payload.assign(r.key.begin(), r.key.end());
+            }
+          } else {
+            resp.payload = error_payload(r.detail);
+          }
+          done.bytes = encode_response(resp);
+          rail_ref->push(std::move(done));
+        });
+  }
+
+  void bad_request(Conn& c, const RequestFrame& f, WireStatus status,
+                   const std::string& detail) {
+    counters.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    obs::instant("net.bad_request", "net",
+                 {{"conn", c.id}, {"request", f.request_id}},
+                 {{"status", std::string(wire_status_name(status))}});
+    send_reply(c, status, f.request_id, error_payload(detail));
+  }
+
+  void handle_frame(Conn& c, RequestFrame&& f) {
+    counters.frames_received.fetch_add(1, std::memory_order_relaxed);
+
+    if (f.op == WireOp::kPing) {
+      counters.pings.fetch_add(1, std::memory_order_relaxed);
+      send_reply(c, WireStatus::kOk, f.request_id, {});
+      return;
+    }
+    if (f.key_id != 0) {
+      bad_request(c, f, WireStatus::kUnknownKey,
+                  "unknown key id " + std::to_string(f.key_id));
+      return;
+    }
+    if (draining) {
+      // Reading is paused during drain, but frames already buffered in
+      // the parser when drain began still land here: shed them typed.
+      send_reply(c, WireStatus::kUnavailable, f.request_id,
+                 error_payload("server draining"));
+      return;
+    }
+
+    service::KemRequest request;
+    if (f.op == WireOp::kEncaps) {
+      if (f.payload.size() != hash::kSeedSize) {
+        bad_request(c, f, WireStatus::kBadPayload,
+                    "encaps payload must be " +
+                        std::to_string(hash::kSeedSize) + " bytes, got " +
+                        std::to_string(f.payload.size()));
+        return;
+      }
+      std::copy(f.payload.begin(), f.payload.end(), request.entropy.begin());
+      submit_kem(c, service::OpKind::kEncaps, f, std::move(request));
+      return;
+    }
+
+    // Decaps: the ciphertext image is parsed at the boundary; malformed
+    // coefficients are a typed reply, never an exception into epoll.
+    const lac::Params& params = service.params();
+    if (f.payload.size() != params.ct_bytes()) {
+      bad_request(c, f, WireStatus::kBadPayload,
+                  "decaps payload must be " +
+                      std::to_string(params.ct_bytes()) + " bytes, got " +
+                      std::to_string(f.payload.size()));
+      return;
+    }
+    try {
+      request.ct = lac::deserialize_ct(params, f.payload);
+    } catch (const CheckError& e) {
+      bad_request(c, f, WireStatus::kBadPayload,
+                  std::string("undecodable ciphertext: ") + e.what());
+      return;
+    }
+    // deserialize_ct unpacks but does not range-check: u coefficients
+    // live in Z_q. An out-of-range image is not a ciphertext — reject it
+    // here as a typed per-request error instead of letting the check
+    // trip deep inside a worker as kInternalError.
+    for (const u8 coeff : request.ct.u) {
+      if (coeff >= params.q) {
+        bad_request(c, f, WireStatus::kBadPayload,
+                    "ciphertext coefficient out of range for q=" +
+                        std::to_string(params.q));
+        return;
+      }
+    }
+    submit_kem(c, service::OpKind::kDecaps, f, std::move(request));
+  }
+
+  void on_readable(Conn& c) {
+    u8 buf[16384];
+    const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      counters.bytes_read.fetch_add(static_cast<u64>(n),
+                                    std::memory_order_relaxed);
+      c.last_activity = now();
+      c.parser.feed(ByteView(buf, static_cast<std::size_t>(n)));
+      RequestFrame f;
+      for (;;) {
+        const ParseResult r = c.parser.next(&f);
+        if (r == ParseResult::kFrame) {
+          handle_frame(c, std::move(f));
+          if (c.dead) return;
+          continue;
+        }
+        if (r == ParseResult::kNeedMore) break;
+        // Framing lost: one typed reply, then close after flush.
+        counters.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        obs::instant(
+            "net.protocol_error", "net", {{"conn", c.id}},
+            {{"status", std::string(wire_status_name(c.parser.error()))},
+             {"detail", c.parser.error_detail()}});
+        send_reply(c, c.parser.error(), 0,
+                   error_payload(c.parser.error_detail()));
+        if (c.dead) return;
+        c.closing = true;
+        c.want_read = false;
+        update_interest(c);
+        if (c.out.empty() && c.inflight == 0) close_conn(c, "protocol-error");
+        return;
+      }
+      c.frame_start = c.parser.mid_frame()
+                          ? (c.frame_start ? c.frame_start : now())
+                          : 0;
+      return;
+    }
+    if (n == 0) {
+      // Peer FIN (half-close): finish what is in flight, flush, close.
+      if (!c.half_closed) {
+        counters.half_closes.fetch_add(1, std::memory_order_relaxed);
+        c.half_closed = true;
+        c.want_read = false;
+        update_interest(c);
+      }
+      if (c.inflight == 0 && c.out.empty()) close_conn(c, "peer-close");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    close_conn(c, "recv-error");
+  }
+
+  // -- accept / admission ------------------------------------------------
+
+  void on_accept() {
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN or transient error: epoll re-arms
+      if (conns.size() - reap.size() >= cfg.max_connections) {
+        // Admission control: a typed kOverloaded reply (best-effort on
+        // the fresh socket, which virtually always has send space),
+        // then close — shedding with a verdict, not a silent RST.
+        counters.rejected_connections.fetch_add(1, std::memory_order_relaxed);
+        obs::instant("net.conn_rejected", "net");
+        [[maybe_unused]] const ssize_t sent =
+            ::send(fd, overload_frame.data(), overload_frame.size(),
+                   MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+      auto conn = std::make_unique<Conn>(cfg.max_payload);
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      conn->last_activity = now();
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      counters.accepted.fetch_add(1, std::memory_order_relaxed);
+      open_connections.fetch_add(1, std::memory_order_relaxed);
+      obs::instant("net.accept", "net", {{"conn", conn->id}});
+      conns.emplace(conn->id, std::move(conn));
+    }
+  }
+
+  // -- completions -------------------------------------------------------
+
+  void drain_completions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(rail->mutex);
+      batch.swap(rail->items);
+    }
+    for (Completion& done : batch) {
+      const u64 latency = now() - done.received_micros;
+      counters.request_latency.record(latency);
+      if (wire_status_from(done.status) == WireStatus::kOk) {
+        counters.responses_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        switch (done.status) {
+          case Status::kOverloaded:
+            counters.shed_overloaded.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case Status::kUnavailable:
+            counters.shed_unavailable.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case Status::kDeadlineExceeded:
+            counters.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            counters.responses_error.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (obs::Tracer* tracer = obs::Tracer::active()) {
+        const u64 end = tracer->now_micros();
+        tracer->complete_event(
+            "net.request", "net", end > latency ? end - latency : 0, latency,
+            {{"conn", done.conn_id}, {"request", done.request_id}},
+            {{"status", std::string(status_name(done.status))}});
+      }
+      Conn* c = find(done.conn_id);
+      if (!c) continue;  // connection already torn down: reply undeliverable
+      if (c->inflight > 0) --c->inflight;
+      enqueue_reply(*c, std::move(done.bytes));
+      if (c->dead) continue;
+      maybe_unpause(*c);
+      if ((c->closing || c->half_closed) && c->inflight == 0 &&
+          c->out.empty())
+        close_conn(*c, "closed-after-flush");
+    }
+  }
+
+  // -- deadlines ---------------------------------------------------------
+
+  void check_deadlines() {
+    const u64 t = now();
+    for (auto& [id, conn] : conns) {
+      Conn& c = *conn;
+      if (c.dead) continue;
+      if (c.frame_start != 0 && cfg.read_deadline_micros != 0 &&
+          t >= c.frame_start + cfg.read_deadline_micros) {
+        counters.read_timeouts.fetch_add(1, std::memory_order_relaxed);
+        close_conn(c, "read-timeout");
+        continue;
+      }
+      if (c.write_since != 0 && cfg.write_deadline_micros != 0 &&
+          t >= c.write_since + cfg.write_deadline_micros) {
+        counters.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+        close_conn(c, "write-timeout");
+        continue;
+      }
+      if (cfg.idle_deadline_micros != 0 && c.inflight == 0 &&
+          c.out.empty() && c.frame_start == 0 &&
+          t >= c.last_activity + cfg.idle_deadline_micros) {
+        counters.idle_closes.fetch_add(1, std::memory_order_relaxed);
+        close_conn(c, "idle-timeout");
+      }
+    }
+  }
+
+  // -- shutdown / drain --------------------------------------------------
+
+  void begin_drain() {
+    if (draining) return;
+    draining = true;
+    drain_deadline = now() + cfg.drain_deadline_micros;
+    obs::instant("net.drain_begin", "net",
+                 {{"open_connections",
+                   open_connections.load(std::memory_order_relaxed)}});
+    if (listen_fd >= 0) {
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    for (auto& [id, conn] : conns) {
+      Conn& c = *conn;
+      if (c.dead) continue;
+      c.closing = true;
+      c.want_read = false;
+      update_interest(c);
+      if (c.inflight == 0 && c.out.empty()) close_conn(c, "drained");
+    }
+  }
+
+  void close_all(const char* reason) {
+    for (auto& [id, conn] : conns)
+      if (!conn->dead) close_conn(*conn, reason);
+    reap_dead();
+  }
+
+  // -- the loop ----------------------------------------------------------
+
+  static constexpr u64 kListenTag = 0;
+  static constexpr u64 kWakeTag = ~u64{0};
+
+  void io_loop() {
+    epoll_event events[64];
+    for (;;) {
+      if (shutdown_requested.load(std::memory_order_acquire)) {
+        if (!drain_requested.load(std::memory_order_acquire)) break;
+        begin_drain();
+      }
+      if (draining) {
+        if (conns.empty()) break;
+        if (now() >= drain_deadline) {
+          close_all("drain-deadline");
+          break;
+        }
+      }
+
+      const int timeout_ms = (conns.empty() && !draining) ? 200 : 20;
+      const int n = ::epoll_wait(epoll_fd, events, 64, timeout_ms);
+      if (n < 0 && errno != EINTR) break;
+
+      for (int i = 0; i < n; ++i) {
+        const u64 tag = events[i].data.u64;
+        if (tag == kListenTag) {
+          if (!draining) on_accept();
+          continue;
+        }
+        if (tag == kWakeTag) {
+          u64 drainv;
+          while (::read(wake_fd, &drainv, sizeof drainv) > 0) {
+          }
+          continue;
+        }
+        Conn* c = find(tag);
+        if (!c) continue;
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          // Flush what we can first: EPOLLHUP with pending output still
+          // fails fast in send() if the peer is truly gone.
+          if (!c->out.empty()) try_flush(*c);
+          if (!c->dead) close_conn(*c, "hangup");
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) {
+          try_flush(*c);
+          if (c->dead) continue;
+        }
+        if (events[i].events & (EPOLLIN | EPOLLRDHUP)) on_readable(*c);
+      }
+
+      drain_completions();
+      check_deadlines();
+      reap_dead();
+    }
+
+    close_all("server-stop");
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    obs::instant("net.stopped", "net");
+  }
+};
+
+// ---- TcpServer --------------------------------------------------------------
+
+TcpServer::TcpServer(service::KemService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  impl_ = std::make_unique<Impl>(*this);
+}
+
+TcpServer::~TcpServer() {
+  stop(/*drain=*/false);
+  if (impl_->rail) impl_->rail->retire();
+  if (impl_->epoll_fd >= 0) ::close(impl_->epoll_fd);
+  if (impl_->wake_fd >= 0) ::close(impl_->wake_fd);
+}
+
+Status TcpServer::start(std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error) *error = errno_detail(what);
+    if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+    if (impl_->epoll_fd >= 0) ::close(impl_->epoll_fd);
+    if (impl_->wake_fd >= 0) ::close(impl_->wake_fd);
+    impl_->listen_fd = impl_->epoll_fd = impl_->wake_fd = -1;
+    return Status::kInternalError;
+  };
+
+  impl_->listen_fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (impl_->listen_fd < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error) *error = "bad bind address: " + config_.bind_address;
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    return Status::kBadArgument;
+  }
+  if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0)
+    return fail("bind");
+  if (::listen(impl_->listen_fd, 512) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &len) != 0)
+    return fail("getsockname");
+  port_ = ntohs(bound.sin_port);
+
+  impl_->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (impl_->epoll_fd < 0) return fail("epoll_create1");
+  impl_->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (impl_->wake_fd < 0) return fail("eventfd");
+
+  epoll_event lev{};
+  lev.events = EPOLLIN;
+  lev.data.u64 = Impl::kListenTag;
+  if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->listen_fd, &lev) !=
+      0)
+    return fail("epoll_ctl(listen)");
+  epoll_event wev{};
+  wev.events = EPOLLIN;
+  wev.data.u64 = Impl::kWakeTag;
+  if (::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->wake_fd, &wev) != 0)
+    return fail("epoll_ctl(wake)");
+
+  impl_->rail = std::make_shared<CompletionRail>();
+  impl_->rail->wake_fd = impl_->wake_fd;
+
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] {
+    impl_->io_loop();
+    running_.store(false, std::memory_order_release);
+  });
+  return Status::kOk;
+}
+
+void TcpServer::request_shutdown(bool drain) {
+  impl_->drain_requested.store(drain, std::memory_order_release);
+  impl_->shutdown_requested.store(true, std::memory_order_release);
+  if (impl_->wake_fd >= 0) {
+    const u64 v = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(impl_->wake_fd, &v, sizeof v);
+  }
+}
+
+void TcpServer::join() {
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+void TcpServer::stop(bool drain) {
+  request_shutdown(drain);
+  join();
+}
+
+NetCountersSnapshot TcpServer::counters() const {
+  NetCountersSnapshot s;
+  const NetCounters& c = counters_;
+  s.accepted = c.accepted.load(std::memory_order_relaxed);
+  s.rejected_connections =
+      c.rejected_connections.load(std::memory_order_relaxed);
+  s.closed = c.closed.load(std::memory_order_relaxed);
+  s.frames_received = c.frames_received.load(std::memory_order_relaxed);
+  s.responses_sent = c.responses_sent.load(std::memory_order_relaxed);
+  s.bytes_read = c.bytes_read.load(std::memory_order_relaxed);
+  s.bytes_written = c.bytes_written.load(std::memory_order_relaxed);
+  s.protocol_errors = c.protocol_errors.load(std::memory_order_relaxed);
+  s.bad_requests = c.bad_requests.load(std::memory_order_relaxed);
+  s.pings = c.pings.load(std::memory_order_relaxed);
+  s.requests_submitted =
+      c.requests_submitted.load(std::memory_order_relaxed);
+  s.responses_ok = c.responses_ok.load(std::memory_order_relaxed);
+  s.responses_error = c.responses_error.load(std::memory_order_relaxed);
+  s.shed_overloaded = c.shed_overloaded.load(std::memory_order_relaxed);
+  s.shed_unavailable = c.shed_unavailable.load(std::memory_order_relaxed);
+  s.shed_deadline = c.shed_deadline.load(std::memory_order_relaxed);
+  s.read_timeouts = c.read_timeouts.load(std::memory_order_relaxed);
+  s.write_timeouts = c.write_timeouts.load(std::memory_order_relaxed);
+  s.idle_closes = c.idle_closes.load(std::memory_order_relaxed);
+  s.slow_reader_closes =
+      c.slow_reader_closes.load(std::memory_order_relaxed);
+  s.backpressure_pauses =
+      c.backpressure_pauses.load(std::memory_order_relaxed);
+  s.half_closes = c.half_closes.load(std::memory_order_relaxed);
+  s.open_connections = static_cast<std::size_t>(
+      impl_->open_connections.load(std::memory_order_relaxed));
+  return s;
+}
+
+void TcpServer::register_metrics(obs::MetricsRegistry& registry) {
+  const struct {
+    const char* name;
+    const char* help;
+    const std::atomic<u64>* value;
+  } kCounters[] = {
+      {"lacrv_net_connections_accepted_total", "Connections accepted",
+       &counters_.accepted},
+      {"lacrv_net_connections_rejected_total",
+       "Connections shed by admission control", &counters_.rejected_connections},
+      {"lacrv_net_connections_closed_total", "Connections closed",
+       &counters_.closed},
+      {"lacrv_net_frames_received_total", "Well-formed request frames",
+       &counters_.frames_received},
+      {"lacrv_net_responses_sent_total", "Response frames fully flushed",
+       &counters_.responses_sent},
+      {"lacrv_net_bytes_read_total", "Bytes read from sockets",
+       &counters_.bytes_read},
+      {"lacrv_net_bytes_written_total", "Bytes written to sockets",
+       &counters_.bytes_written},
+      {"lacrv_net_protocol_errors_total",
+       "Framing-lost errors (typed reply, then close)",
+       &counters_.protocol_errors},
+      {"lacrv_net_bad_requests_total",
+       "Per-request typed errors (payload/key)", &counters_.bad_requests},
+      {"lacrv_net_pings_total", "Ping frames answered", &counters_.pings},
+      {"lacrv_net_requests_submitted_total",
+       "KEM requests handed to the service", &counters_.requests_submitted},
+      {"lacrv_net_responses_ok_total", "kOk replies", &counters_.responses_ok},
+      {"lacrv_net_responses_error_total",
+       "Typed non-shed error replies", &counters_.responses_error},
+      {"lacrv_net_shed_overloaded_total",
+       "Requests shed with kOverloaded (queue backpressure)",
+       &counters_.shed_overloaded},
+      {"lacrv_net_shed_unavailable_total",
+       "Requests shed with kUnavailable (drain/stop)",
+       &counters_.shed_unavailable},
+      {"lacrv_net_shed_deadline_total",
+       "Requests shed with kDeadlineExceeded", &counters_.shed_deadline},
+      {"lacrv_net_read_timeouts_total",
+       "Connections closed mid-frame past the read deadline",
+       &counters_.read_timeouts},
+      {"lacrv_net_write_timeouts_total",
+       "Connections closed with replies stalled past the write deadline",
+       &counters_.write_timeouts},
+      {"lacrv_net_idle_closes_total", "Idle connections reaped",
+       &counters_.idle_closes},
+      {"lacrv_net_slow_reader_closes_total",
+       "Connections closed for unbounded reply buffering",
+       &counters_.slow_reader_closes},
+      {"lacrv_net_backpressure_pauses_total",
+       "Reads paused by per-connection backpressure",
+       &counters_.backpressure_pauses},
+      {"lacrv_net_half_closes_total", "Peer half-closes observed",
+       &counters_.half_closes},
+  };
+  for (const auto& c : kCounters)
+    registry.add_counter(c.name, c.help, c.value);
+  registry.add_gauge("lacrv_net_open_connections",
+                     "Currently open connections", [this] {
+                       return static_cast<double>(impl_->open_connections.load(
+                           std::memory_order_relaxed));
+                     });
+  registry.add_histogram("lacrv_net_request_latency_micros",
+                         "Frame received -> reply handed to the socket",
+                         &counters_.request_latency);
+}
+
+}  // namespace lacrv::net

@@ -1,0 +1,192 @@
+// Hardened epoll-based async TCP front end for KemService.
+//
+// One IO thread owns every socket: it accepts, reads, parses, submits
+// to the service's worker pool via the callback submission path, and
+// flushes replies. KEM work never runs on the IO thread; socket state
+// is never touched off it — the worker -> IO handoff is a mutexed
+// completion queue drained on an eventfd wakeup, so no connection state
+// needs a lock.
+//
+// Robustness posture (docs/serving.md):
+//   * strict bounds-checked incremental parsing — oversized, truncated
+//     and garbage frames produce one typed error reply, never a crash;
+//   * per-connection state machines with read / write / idle deadlines
+//     driven by the injectable Clock (slowloris and stalled-reader
+//     clients are reaped, not accumulated);
+//   * per-connection backpressure: reading pauses once a connection has
+//     max_inflight_per_conn requests in the service queue or its write
+//     buffer crosses the watermark, so a fast writer cannot grow server
+//     memory or monopolize the bounded MPMC queue;
+//   * admission control: beyond max_connections, new sockets receive a
+//     typed kOverloaded reply and are closed; a full service queue
+//     surfaces as a typed kOverloaded response per request (the
+//     service's own backpressure, relayed);
+//   * graceful drain: stop accepting and reading, let in-flight
+//     requests finish, flush every reply, then close — the network half
+//     of the SIGTERM story, paired with KemService::drain().
+//
+// Every behaviour is countable (NetCounters -> MetricsRegistry) and
+// traceable (net.* spans join the service/KEM/RTL timeline through the
+// shared request-scoped trace ids).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "net/protocol.h"
+#include "service/service.h"
+
+namespace lacrv::obs {
+class MetricsRegistry;
+}  // namespace lacrv::obs
+
+namespace lacrv::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0: bind an ephemeral port (read it back via TcpServer::port()).
+  u16 port = 0;
+  /// Admission cap: connections beyond this receive a typed kOverloaded
+  /// reply (request id 0) and are closed immediately.
+  std::size_t max_connections = 1024;
+  /// Frame payload bound enforced by the parser (kOversized beyond it).
+  std::size_t max_payload = kMaxPayload;
+  /// Reading from a connection pauses while this many of its requests
+  /// are in the service queue (per-connection backpressure into the
+  /// bounded MPMC queue).
+  std::size_t max_inflight_per_conn = 32;
+  /// Reading also pauses while a connection's unflushed reply bytes
+  /// exceed this watermark; at twice the watermark the connection is a
+  /// slow-loris *reader* and is closed outright.
+  std::size_t write_buffer_watermark = 64 * 1024;
+  /// A partially received frame must complete within this budget
+  /// (slowloris trickle detection).
+  u64 read_deadline_micros = 5'000'000;
+  /// Buffered reply bytes must drain within this budget (stalled
+  /// reader detection).
+  u64 write_deadline_micros = 5'000'000;
+  /// A connection with no traffic, no in-flight work and nothing to
+  /// flush is closed after this long.
+  u64 idle_deadline_micros = 60'000'000;
+  /// Graceful drain budget: in-flight requests and reply flushes get
+  /// this long before remaining connections are force-closed.
+  u64 drain_deadline_micros = 10'000'000;
+  /// Per-request service deadline stamped at submission (0: none).
+  u64 request_deadline_micros = 0;
+  /// Injected time authority for every deadline above (null: RealClock).
+  Clock* clock = nullptr;
+};
+
+struct NetCountersSnapshot {
+  u64 accepted = 0;
+  u64 rejected_connections = 0;  // admission-control closes
+  u64 closed = 0;
+  u64 frames_received = 0;
+  u64 responses_sent = 0;  // fully flushed to the socket
+  u64 bytes_read = 0;
+  u64 bytes_written = 0;
+  u64 protocol_errors = 0;  // framing lost: typed reply then close
+  u64 bad_requests = 0;     // typed per-request errors (payload/key)
+  u64 pings = 0;
+  u64 requests_submitted = 0;
+  u64 responses_ok = 0;
+  u64 responses_error = 0;  // typed non-ok service verdicts relayed
+  u64 shed_overloaded = 0;
+  u64 shed_unavailable = 0;
+  u64 shed_deadline = 0;
+  u64 read_timeouts = 0;
+  u64 write_timeouts = 0;
+  u64 idle_closes = 0;
+  u64 slow_reader_closes = 0;
+  u64 backpressure_pauses = 0;
+  u64 half_closes = 0;
+  std::size_t open_connections = 0;
+  std::string to_string() const;
+};
+
+class NetCounters {
+ public:
+  std::atomic<u64> accepted{0};
+  std::atomic<u64> rejected_connections{0};
+  std::atomic<u64> closed{0};
+  std::atomic<u64> frames_received{0};
+  std::atomic<u64> responses_sent{0};
+  std::atomic<u64> bytes_read{0};
+  std::atomic<u64> bytes_written{0};
+  std::atomic<u64> protocol_errors{0};
+  std::atomic<u64> bad_requests{0};
+  std::atomic<u64> pings{0};
+  std::atomic<u64> requests_submitted{0};
+  std::atomic<u64> responses_ok{0};
+  std::atomic<u64> responses_error{0};
+  std::atomic<u64> shed_overloaded{0};
+  std::atomic<u64> shed_unavailable{0};
+  std::atomic<u64> shed_deadline{0};
+  std::atomic<u64> read_timeouts{0};
+  std::atomic<u64> write_timeouts{0};
+  std::atomic<u64> idle_closes{0};
+  std::atomic<u64> slow_reader_closes{0};
+  std::atomic<u64> backpressure_pauses{0};
+  std::atomic<u64> half_closes{0};
+  /// Server-side request latency: frame fully received -> reply bytes
+  /// handed to the socket layer.
+  stats::LatencyHistogram request_latency;
+};
+
+class TcpServer {
+ public:
+  /// The service must outlive the server's stop()/join(); the server
+  /// never owns it (the process composes drain order explicitly).
+  explicit TcpServer(service::KemService& service, ServerConfig config = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind, listen and spawn the IO thread. kInternalError (with a
+  /// diagnostic in *error) on socket failures.
+  Status start(std::string* error = nullptr);
+
+  /// The bound port (after start(); resolves port 0 to the ephemeral
+  /// port the kernel assigned).
+  u16 port() const { return port_; }
+
+  /// Ask the IO thread to shut down and return immediately. With
+  /// drain = true: stop accepting and reading, finish in-flight
+  /// requests, flush replies, then close (bounded by
+  /// drain_deadline_micros). With drain = false: close everything now.
+  /// Callable from any thread; safe to call more than once.
+  void request_shutdown(bool drain);
+
+  /// Wait for the IO thread to exit (after request_shutdown, or a
+  /// start() failure).
+  void join();
+
+  /// request_shutdown + join.
+  void stop(bool drain = true);
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  NetCountersSnapshot counters() const;
+  const NetCounters& raw_counters() const { return counters_; }
+  /// Register every net counter, the open-connections gauge and the
+  /// server-side latency histogram as lacrv_net_* families.
+  void register_metrics(obs::MetricsRegistry& registry);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  service::KemService& service_;
+  ServerConfig config_;
+  NetCounters counters_;
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+  u16 port_ = 0;
+};
+
+}  // namespace lacrv::net

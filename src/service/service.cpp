@@ -100,8 +100,8 @@ void KemService::build_rig(Rig& rig) {
   // registry profile: a callable that changes behaviour at runtime by
   // design cannot be gated behind a one-shot construction KAT; the
   // breakers + health probes own its validation instead.
-  auto registry =
-      std::make_shared<lac::KernelRegistry>(lac::KernelRegistry::modeled());
+  auto registry = std::make_shared<lac::KernelRegistry>(
+      lac::KernelRegistry::modeled(params_->q));
 
   // A slot config pins to software keeps the registry's modeled callable
   // — no breaker switching, no usage flags (config choice, not
@@ -150,7 +150,10 @@ void KemService::build_rig(Rig& rig) {
     });
   }
 
-  if (config_.slot_use_rtl[kModqIdx]) {
+  // The BarrettRtl datapath is built for q = 251; a scheme profile with
+  // a different modulus keeps the slot on its modeled implementation
+  // (the same posture inject_modq's modulus validation enforces).
+  if (config_.slot_use_rtl[kModqIdx] && params_->q == poly::kQ) {
     const poly::ModqFn rtl_modq = perf::rtl_modq(rig.barrett);
     const poly::ModqFn sw_modq = lac::modeled_modq();
     registry->modq().install(
@@ -181,6 +184,19 @@ void KemService::build_rig(Rig& rig) {
         return fault::selftest_barrett(*rig.barrett, d);
       },
   };
+}
+
+void KemService::resolve(Task& task, KemResponse response) {
+  if (task.callback) {
+    // The callback path (submit_with_callback) delivers off-promise; a
+    // throwing callback must not kill the worker or submitter thread.
+    try {
+      task.callback(std::move(response));
+    } catch (...) {
+    }
+    return;
+  }
+  task.promise.set_value(std::move(response));
 }
 
 KemService::Task KemService::make_kem_task(KemRequest request) {
@@ -237,13 +253,15 @@ std::vector<std::future<KemResponse>> KemService::submit_batch(
   }
   counters_.submitted.fetch_add(tasks.size(), std::memory_order_relaxed);
 
-  if (stopping_.load(std::memory_order_acquire)) {
+  if (draining()) {
     for (Task& task : tasks) {
       counters_.shed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
       KemResponse r;
       r.status = Status::kUnavailable;
-      r.detail = "service stopped";
-      task.promise.set_value(std::move(r));
+      r.detail = stopping_.load(std::memory_order_acquire)
+                     ? "service stopped"
+                     : "service draining";
+      resolve(task, std::move(r));
     }
     return futures;
   }
@@ -258,9 +276,17 @@ std::vector<std::future<KemResponse>> KemService::submit_batch(
     KemResponse r;
     r.status = Status::kOverloaded;
     r.detail = "submission queue full";
-    tasks[i].promise.set_value(std::move(r));
+    resolve(tasks[i], std::move(r));
   }
   return futures;
+}
+
+void KemService::submit_with_callback(KemRequest request, Completion done) {
+  Task task = make_kem_task(std::move(request));
+  task.callback = std::move(done);
+  // The promise/future pair stays unused; every completion path resolves
+  // through the callback instead.
+  enqueue_task(std::move(task));
 }
 
 std::future<KemResponse> KemService::submit_job(Job job, u64 deadline_micros) {
@@ -277,22 +303,32 @@ std::future<KemResponse> KemService::enqueue_task(Task task) {
   std::future<KemResponse> future = task.promise.get_future();
 
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
-  if (stopping_.load(std::memory_order_acquire)) {
+  if (draining()) {
     counters_.shed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
     KemResponse r;
     r.status = Status::kUnavailable;
-    r.detail = "service stopped";
-    task.promise.set_value(std::move(r));
+    r.detail = stopping_.load(std::memory_order_acquire)
+                   ? "service stopped"
+                   : "service draining";
+    resolve(task, std::move(r));
     return future;
   }
   const u64 task_id = task.id;
   if (!queue_.try_push(std::move(task))) {
-    counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
-    obs::instant("service.overloaded", "service", {{"request", task_id}});
     KemResponse r;
-    r.status = Status::kOverloaded;
-    r.detail = "submission queue full";
-    task.promise.set_value(std::move(r));
+    if (draining()) {
+      // Lost the race with drain()/stop() closing the queue: report the
+      // shutdown verdict, not a spurious full-queue one.
+      counters_.shed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
+      r.status = Status::kUnavailable;
+      r.detail = "service draining";
+    } else {
+      counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      obs::instant("service.overloaded", "service", {{"request", task_id}});
+      r.status = Status::kOverloaded;
+      r.detail = "submission queue full";
+    }
+    resolve(task, std::move(r));
   }
   return future;
 }
@@ -323,7 +359,7 @@ void KemService::process(Task task, Rig& rig) {
     KemResponse r;
     r.status = Status::kUnavailable;
     r.detail = "service stopping";
-    task.promise.set_value(std::move(r));
+    resolve(task, std::move(r));
     return;
   }
   if (expired(task.deadline_micros)) {
@@ -334,7 +370,7 @@ void KemService::process(Task task, Rig& rig) {
     KemResponse r;
     r.status = Status::kDeadlineExceeded;
     r.detail = "deadline expired while queued";
-    task.promise.set_value(std::move(r));
+    resolve(task, std::move(r));
     return;
   }
   if (obs::Tracer* tracer = obs::Tracer::active()) {
@@ -457,7 +493,7 @@ void KemService::finish(Task& task, KemResponse response) {
   const u64 latency = clock_->now_micros() - task.submitted_micros;
   if (task.op == OpKind::kEncaps) counters_.encaps_latency.record(latency);
   if (task.op == OpKind::kDecaps) counters_.decaps_latency.record(latency);
-  task.promise.set_value(std::move(response));
+  resolve(task, std::move(response));
 }
 
 bool KemService::probe_now() {
@@ -523,7 +559,29 @@ void KemService::stop() {
     KemResponse r;
     r.status = Status::kUnavailable;
     r.detail = "service stopped before execution";
-    task->promise.set_value(std::move(r));
+    resolve(*task, std::move(r));
+  }
+}
+
+void KemService::drain() {
+  if (stopped_.exchange(true)) return;
+  // New submissions are rejected from here on; stopping_ stays false so
+  // the workers *execute* (not shed) everything already queued,
+  // including retry backoffs of in-flight requests.
+  draining_.store(true, std::memory_order_release);
+  queue_.close();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  stopping_.store(true, std::memory_order_release);
+  if (prober_.joinable()) prober_.join();
+  // The workers drained the closed queue to empty before exiting; this
+  // loop only matters if a future refactor breaks that invariant.
+  while (auto task = queue_.try_pop()) {
+    counters_.shed_at_shutdown.fetch_add(1, std::memory_order_relaxed);
+    KemResponse r;
+    r.status = Status::kUnavailable;
+    r.detail = "service drained before execution";
+    resolve(*task, std::move(r));
   }
 }
 

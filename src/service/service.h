@@ -139,6 +139,18 @@ class KemService {
   /// worker finishes or sheds the request.
   std::future<KemResponse> submit(KemRequest request);
 
+  /// Enqueue a request whose completion is delivered by invoking `done`
+  /// instead of resolving a future — the event-driven submission path
+  /// the async TCP front end (src/net/) rides on: an epoll loop cannot
+  /// block on futures, a callback can enqueue the reply and wake it.
+  /// The callback fires exactly once, with the same typed-status
+  /// guarantees as submit(): immediately (on the caller's thread) for
+  /// kOverloaded / kUnavailable rejections, on a worker thread
+  /// otherwise. It must be thread-safe against the caller and must not
+  /// throw (exceptions are swallowed so a worker thread never dies).
+  using Completion = std::function<void(KemResponse)>;
+  void submit_with_callback(KemRequest request, Completion done);
+
   /// Enqueue a whole burst under one queue lock acquisition. Futures are
   /// returned in request order; requests that do not fit the queue's
   /// remaining capacity complete immediately with kOverloaded (the same
@@ -171,6 +183,21 @@ class KemService {
   /// and shed everything still queued with kUnavailable. Idempotent;
   /// the destructor calls it.
   void stop();
+
+  /// Graceful shutdown: stop accepting new submissions (they are
+  /// rejected with kUnavailable, detail "service draining"), let the
+  /// workers *execute* everything already queued — in-flight retries
+  /// and backoffs included — then join. The dual of stop(), which sheds
+  /// queued work unexecuted. Idempotent, and stop() after drain() is a
+  /// no-op; concurrent submitters never lose a completion either way.
+  void drain();
+
+  /// True once drain() or stop() has begun: new submissions are being
+  /// rejected with kUnavailable.
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire) ||
+           stopping_.load(std::memory_order_acquire);
+  }
 
   const lac::Params& params() const { return *params_; }
   /// The service keypair (pk is what clients encapsulate against).
@@ -242,9 +269,16 @@ class KemService {
     u64 deadline_micros = kNoDeadline;
     u64 submitted_micros = 0;
     std::promise<KemResponse> promise;
+    /// Set on submit_with_callback() tasks: the completion is delivered
+    /// here and the promise is left untouched.
+    Completion callback;
   };
 
   Task make_kem_task(KemRequest request);
+  /// Deliver the final response: invoke the callback (exceptions
+  /// contained) or resolve the promise. Every completion site funnels
+  /// through here so the two delivery modes cannot drift.
+  static void resolve(Task& task, KemResponse response);
   /// Stamp id/clock, handle the stopping_ fast path, try_push, resolve
   /// the overload rejection — the single-submission tail shared by
   /// submit() and submit_job().
@@ -280,6 +314,7 @@ class KemService {
   BoundedQueue<Task> queue_;
   std::atomic<u64> next_id_{1};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};
 
   std::vector<std::unique_ptr<Rig>> rigs_;  // one per worker

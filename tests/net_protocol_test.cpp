@@ -1,0 +1,277 @@
+// Frame-corpus tests for the wire protocol: the incremental parser must
+// survive truncation at every byte boundary, garbage floods, oversized
+// and impossible lengths, unknown versions/ops — always producing a
+// typed error (or a correct frame), never a crash, an over-read or
+// unbounded buffering. CI runs this suite under ASan and UBSan; the
+// random corpora here are the fuzz harness of docs/serving.md.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace lacrv::net {
+namespace {
+
+u64 splitmix(u64& state) {
+  u64 z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+RequestFrame sample_request(u64 id, std::size_t payload_len) {
+  RequestFrame f;
+  f.op = WireOp::kEncaps;
+  f.request_id = id;
+  f.key_id = 0;
+  f.payload.resize(payload_len);
+  for (std::size_t i = 0; i < payload_len; ++i)
+    f.payload[i] = static_cast<u8>(i * 7 + id);
+  return f;
+}
+
+TEST(NetProtocol, RequestRoundTrip) {
+  const RequestFrame in = sample_request(0x1122334455667788ull, 32);
+  const Bytes wire = encode_request(in);
+  ASSERT_EQ(wire.size(), kRequestHeaderSize + 32);
+
+  FrameParser parser;
+  parser.feed(wire);
+  RequestFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kFrame);
+  EXPECT_EQ(out.op, in.op);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.key_id, in.key_id);
+  EXPECT_EQ(out.payload, in.payload);
+  EXPECT_EQ(parser.next(&out), ParseResult::kNeedMore);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(NetProtocol, ResponseRoundTrip) {
+  ResponseFrame in;
+  in.status = WireStatus::kBadPayload;
+  in.request_id = 42;
+  in.payload = {'n', 'o', 'p', 'e'};
+  const Bytes wire = encode_response(in);
+  ASSERT_EQ(wire.size(), kResponseHeaderSize + 4);
+
+  ResponseParser parser;
+  parser.feed(wire);
+  ResponseFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kFrame);
+  EXPECT_EQ(out.status, in.status);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+/// Every truncation point of a valid frame parses as kNeedMore — and the
+/// remainder completes it.
+TEST(NetProtocol, TruncationAtEveryBoundaryNeedsMore) {
+  const Bytes wire = encode_request(sample_request(7, 48));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameParser parser;
+    parser.feed(ByteView(wire.data(), cut));
+    RequestFrame out;
+    ASSERT_EQ(parser.next(&out), ParseResult::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_FALSE(parser.latched());
+    EXPECT_EQ(parser.mid_frame(), cut > 0);
+    parser.feed(ByteView(wire.data() + cut, wire.size() - cut));
+    ASSERT_EQ(parser.next(&out), ParseResult::kFrame) << "cut at " << cut;
+    EXPECT_EQ(out.payload.size(), 48u);
+  }
+}
+
+TEST(NetProtocol, BadMagicLatchesOnFirstByte) {
+  FrameParser parser;
+  parser.feed(Bytes{'X'});
+  RequestFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kError);
+  EXPECT_EQ(parser.error(), WireStatus::kBadMagic);
+  EXPECT_TRUE(parser.latched());
+  // A latched parser drops further input instead of buffering it.
+  parser.feed(Bytes(4096, 0xAB));
+  EXPECT_EQ(parser.buffered(), 0u);
+  EXPECT_EQ(parser.next(&out), ParseResult::kError);
+}
+
+TEST(NetProtocol, BadSecondMagicByteLatches) {
+  FrameParser parser;
+  parser.feed(Bytes{kMagic0, 'x'});
+  RequestFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kError);
+  EXPECT_EQ(parser.error(), WireStatus::kBadMagic);
+}
+
+TEST(NetProtocol, UnknownVersionLatches) {
+  Bytes wire = encode_request(sample_request(1, 8));
+  wire[2] = 99;
+  FrameParser parser;
+  parser.feed(wire);
+  RequestFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kError);
+  EXPECT_EQ(parser.error(), WireStatus::kBadVersion);
+  EXPECT_NE(parser.error_detail().find("99"), std::string::npos);
+}
+
+TEST(NetProtocol, UnknownOpLatches) {
+  Bytes wire = encode_request(sample_request(1, 8));
+  wire[3] = 0x7F;
+  FrameParser parser;
+  parser.feed(wire);
+  RequestFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kError);
+  EXPECT_EQ(parser.error(), WireStatus::kBadOp);
+}
+
+TEST(NetProtocol, UnknownResponseStatusLatches) {
+  Bytes wire = encode_response({WireStatus::kOk, 1, {}});
+  wire[3] = 200;
+  ResponseParser parser;
+  parser.feed(wire);
+  ResponseFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kError);
+  EXPECT_EQ(parser.error(), WireStatus::kBadOp);
+}
+
+TEST(NetProtocol, OversizedLengthLatchesWithoutBuffering) {
+  RequestFrame f = sample_request(1, 0);
+  Bytes wire = encode_request(f);
+  // Patch the length field to max_payload + 1; no payload follows, but
+  // the parser must reject on the header alone.
+  const u32 huge = static_cast<u32>(kMaxPayload) + 1;
+  wire[16] = static_cast<u8>(huge);
+  wire[17] = static_cast<u8>(huge >> 8);
+  wire[18] = static_cast<u8>(huge >> 16);
+  wire[19] = static_cast<u8>(huge >> 24);
+  FrameParser parser;
+  parser.feed(wire);
+  RequestFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kError);
+  EXPECT_EQ(parser.error(), WireStatus::kOversized);
+  EXPECT_EQ(parser.buffered(), 0u);  // latch releases the buffer
+}
+
+TEST(NetProtocol, PayloadAtExactCapIsAccepted) {
+  FrameParser parser(/*max_payload=*/64);
+  parser.feed(encode_request(sample_request(1, 64)));
+  RequestFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kFrame);
+  EXPECT_EQ(out.payload.size(), 64u);
+
+  FrameParser strict(/*max_payload=*/64);
+  strict.feed(encode_request(sample_request(1, 65)));
+  ASSERT_EQ(strict.next(&out), ParseResult::kError);
+  EXPECT_EQ(strict.error(), WireStatus::kOversized);
+}
+
+TEST(NetProtocol, ValidFrameThenGarbageYieldsFrameThenError) {
+  Bytes wire = encode_request(sample_request(5, 16));
+  wire.push_back('Z');  // not kMagic0
+  FrameParser parser;
+  parser.feed(wire);
+  RequestFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kFrame);
+  EXPECT_EQ(out.request_id, 5u);
+  ASSERT_EQ(parser.next(&out), ParseResult::kError);
+  EXPECT_EQ(parser.error(), WireStatus::kBadMagic);
+}
+
+/// Several frames fed in adversarial random slices must come out intact
+/// and in order.
+TEST(NetProtocol, RandomSlicingPreservesFrameStream) {
+  u64 rng = 0xfeedface;
+  for (int round = 0; round < 50; ++round) {
+    Bytes stream;
+    std::vector<RequestFrame> sent;
+    for (u64 i = 0; i < 8; ++i) {
+      RequestFrame f = sample_request(round * 100 + i,
+                                      splitmix(rng) % 512);
+      f.op = (i % 3 == 0) ? WireOp::kPing
+                          : (i % 3 == 1 ? WireOp::kEncaps : WireOp::kDecaps);
+      const Bytes wire = encode_request(f);
+      stream.insert(stream.end(), wire.begin(), wire.end());
+      sent.push_back(std::move(f));
+    }
+    FrameParser parser;
+    std::vector<RequestFrame> got;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + splitmix(rng) % 37, stream.size() - off);
+      parser.feed(ByteView(stream.data() + off, n));
+      off += n;
+      RequestFrame f;
+      while (parser.next(&f) == ParseResult::kFrame) got.push_back(f);
+      ASSERT_FALSE(parser.latched());
+    }
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got[i].op, sent[i].op);
+      EXPECT_EQ(got[i].request_id, sent[i].request_id);
+      EXPECT_EQ(got[i].payload, sent[i].payload);
+    }
+  }
+}
+
+/// Pure-garbage corpus: random bytes in random chunks. The parser must
+/// never crash, never yield a frame whose payload exceeds the cap, and
+/// must end every round either latched with a typed error or waiting
+/// for more input. (Under ASan/UBSan this doubles as an over-read
+/// detector.)
+TEST(NetProtocol, GarbageCorpusNeverCrashes) {
+  u64 rng = 0xdeadbeefcafe;
+  int latched_rounds = 0;
+  for (int round = 0; round < 500; ++round) {
+    FrameParser parser;
+    RequestFrame out;
+    const int chunks = 1 + static_cast<int>(splitmix(rng) % 8);
+    for (int cidx = 0; cidx < chunks; ++cidx) {
+      Bytes chunk(1 + splitmix(rng) % 256);
+      for (u8& b : chunk) b = static_cast<u8>(splitmix(rng));
+      parser.feed(chunk);
+      ParseResult r;
+      while ((r = parser.next(&out)) == ParseResult::kFrame)
+        ASSERT_LE(out.payload.size(), kMaxPayload);
+      ASSERT_TRUE(r == ParseResult::kNeedMore || r == ParseResult::kError);
+    }
+    if (parser.latched()) {
+      ++latched_rounds;
+      EXPECT_TRUE(is_protocol_error(parser.error()))
+          << wire_status_name(parser.error());
+      EXPECT_FALSE(parser.error_detail().empty());
+    }
+  }
+  // A random first byte is 'L' with probability 1/256: essentially every
+  // round must have latched with a typed verdict.
+  EXPECT_GT(latched_rounds, 450);
+}
+
+TEST(NetProtocol, StatusMappingFollowsCcaContract) {
+  // Implicit rejection must be invisible on the wire.
+  EXPECT_EQ(wire_status_from(Status::kOk), WireStatus::kOk);
+  EXPECT_EQ(wire_status_from(Status::kRejected), WireStatus::kOk);
+  EXPECT_EQ(wire_status_from(Status::kDecodeFailure), WireStatus::kOk);
+  EXPECT_EQ(wire_status_from(Status::kOverloaded), WireStatus::kOverloaded);
+  EXPECT_EQ(wire_status_from(Status::kDeadlineExceeded),
+            WireStatus::kDeadlineExceeded);
+  EXPECT_EQ(wire_status_from(Status::kUnavailable), WireStatus::kUnavailable);
+  EXPECT_EQ(wire_status_from(Status::kSelfTestFailure),
+            WireStatus::kUnavailable);
+
+  // Per-request errors keep the connection; protocol errors close it.
+  EXPECT_FALSE(is_protocol_error(WireStatus::kUnknownKey));
+  EXPECT_FALSE(is_protocol_error(WireStatus::kBadPayload));
+  EXPECT_FALSE(is_protocol_error(WireStatus::kOverloaded));
+  EXPECT_TRUE(is_protocol_error(WireStatus::kBadMagic));
+  EXPECT_TRUE(is_protocol_error(WireStatus::kBadVersion));
+  EXPECT_TRUE(is_protocol_error(WireStatus::kBadOp));
+  EXPECT_TRUE(is_protocol_error(WireStatus::kOversized));
+
+  EXPECT_STREQ(wire_status_name(WireStatus::kOversized), "oversized");
+}
+
+}  // namespace
+}  // namespace lacrv::net

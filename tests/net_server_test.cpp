@@ -1,0 +1,489 @@
+// Integration tests for the epoll TCP front end over real loopback
+// sockets: honest round-trips with end-to-end key agreement, typed
+// error replies for malformed and hostile input (connection surviving
+// or closing exactly as the protocol contract says), admission control,
+// deadline reaping, half-close handling and graceful drain. Deadlines
+// use short real-clock budgets — assertions are on *events* (a reply, a
+// close), never on elapsed-time windows, so the suite stays stable on
+// loaded CI machines.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "lac/kem.h"
+#include "lac/pke.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+
+namespace lacrv::net {
+namespace {
+
+hash::Seed seed_from(u8 tag) {
+  hash::Seed s{};
+  s[0] = tag;
+  s[31] = static_cast<u8>(tag ^ 0x5a);
+  return s;
+}
+
+/// Minimal blocking client for the wire protocol: sends whole frames,
+/// pulls whole replies through a ResponseParser, with a receive timeout
+/// so a server bug fails the test instead of hanging it.
+class Client {
+ public:
+  explicit Client(u16 port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+    timeval tv{10, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  ~Client() { close(); }
+
+  bool connected() const { return connected_; }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  void half_close() { ::shutdown(fd_, SHUT_WR); }
+
+  bool send_raw(const Bytes& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+  bool send(const RequestFrame& f) { return send_raw(encode_request(f)); }
+
+  /// Receive one frame. Returns false on timeout, EOF or a client-side
+  /// parse error (check eof()/parse_error() to distinguish).
+  bool recv(ResponseFrame* out) {
+    for (;;) {
+      ResponseFrame f;
+      const ParseResult r = parser_.next(&f);
+      if (r == ParseResult::kFrame) {
+        *out = std::move(f);
+        return true;
+      }
+      if (r == ParseResult::kError) {
+        parse_error_ = true;
+        return false;
+      }
+      u8 buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n > 0) {
+        parser_.feed(ByteView(buf, static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n == 0) eof_ = true;
+      return false;
+    }
+  }
+
+  /// Block until the server closes (EOF) — or a timeout/error.
+  bool await_eof() {
+    u8 buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+      parser_.feed(ByteView(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+  bool eof() const { return eof_; }
+  bool parse_error() const { return parse_error_; }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  bool eof_ = false;
+  bool parse_error_ = false;
+  ResponseParser parser_;
+};
+
+struct Rig {
+  std::unique_ptr<service::KemService> svc;
+  std::unique_ptr<TcpServer> server;
+
+  explicit Rig(ServerConfig net_cfg = {}, std::size_t workers = 2,
+               std::size_t queue_capacity = 32) {
+    service::ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.queue_capacity = queue_capacity;
+    cfg.enable_prober = false;
+    svc = std::make_unique<service::KemService>(cfg);
+    server = std::make_unique<TcpServer>(*svc, net_cfg);
+    std::string error;
+    const Status st = server->start(&error);
+    EXPECT_EQ(st, Status::kOk) << error;
+  }
+  ~Rig() {
+    server->stop(/*drain=*/false);
+    svc->stop();
+  }
+  u16 port() const { return server->port(); }
+};
+
+TEST(NetServer, PingRoundTrip) {
+  Rig rig;
+  Client c(rig.port());
+  ASSERT_TRUE(c.connected());
+  ASSERT_TRUE(c.send({WireOp::kPing, 77, 0, {}}));
+  ResponseFrame r;
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kOk);
+  EXPECT_EQ(r.request_id, 77u);
+  EXPECT_TRUE(r.payload.empty());
+  EXPECT_EQ(rig.server->counters().pings, 1u);
+}
+
+TEST(NetServer, EncapsDecapsAgreeOnTheSharedKey) {
+  Rig rig;
+  Client c(rig.port());
+  ASSERT_TRUE(c.connected());
+
+  const hash::Seed entropy = seed_from(9);
+  RequestFrame enc;
+  enc.op = WireOp::kEncaps;
+  enc.request_id = 1;
+  enc.payload.assign(entropy.begin(), entropy.end());
+  ASSERT_TRUE(c.send(enc));
+  ResponseFrame er;
+  ASSERT_TRUE(c.recv(&er));
+  ASSERT_EQ(er.status, WireStatus::kOk);
+  const std::size_t ct_len = rig.svc->params().ct_bytes();
+  ASSERT_EQ(er.payload.size(), ct_len + 32);
+  const Bytes ct(er.payload.begin(),
+                 er.payload.begin() + static_cast<std::ptrdiff_t>(ct_len));
+  const Bytes key(er.payload.end() - 32, er.payload.end());
+
+  // The wire bytes decapsulate to the same key — through the server and
+  // through a direct golden-software computation.
+  RequestFrame dec;
+  dec.op = WireOp::kDecaps;
+  dec.request_id = 2;
+  dec.payload = ct;
+  ASSERT_TRUE(c.send(dec));
+  ResponseFrame dr;
+  ASSERT_TRUE(c.recv(&dr));
+  ASSERT_EQ(dr.status, WireStatus::kOk);
+  EXPECT_EQ(dr.payload, key);
+
+  const lac::SharedKey golden = lac::decapsulate(
+      rig.svc->params(), lac::Backend::optimized(), rig.svc->keys(),
+      lac::deserialize_ct(rig.svc->params(), ct));
+  EXPECT_TRUE(std::equal(key.begin(), key.end(), golden.begin()));
+}
+
+/// Tampering with ciphertext bytes must yield an ordinary kOk reply
+/// carrying a *different* key — never a distinguishable error (the FO
+/// implicit-rejection contract, kept across the wire).
+TEST(NetServer, TamperedCiphertextIsStatusBlind) {
+  Rig rig;
+  Client c(rig.port());
+  RequestFrame enc;
+  enc.op = WireOp::kEncaps;
+  enc.request_id = 1;
+  const hash::Seed entropy = seed_from(3);
+  enc.payload.assign(entropy.begin(), entropy.end());
+  ASSERT_TRUE(c.send(enc));
+  ResponseFrame er;
+  ASSERT_TRUE(c.recv(&er));
+  ASSERT_EQ(er.status, WireStatus::kOk);
+  const std::size_t ct_len = rig.svc->params().ct_bytes();
+  Bytes ct(er.payload.begin(),
+           er.payload.begin() + static_cast<std::ptrdiff_t>(ct_len));
+  const Bytes key(er.payload.end() - 32, er.payload.end());
+  ct[0] ^= 0x01;
+
+  RequestFrame dec;
+  dec.op = WireOp::kDecaps;
+  dec.request_id = 2;
+  dec.payload = ct;
+  ASSERT_TRUE(c.send(dec));
+  ResponseFrame dr;
+  ASSERT_TRUE(c.recv(&dr));
+  EXPECT_EQ(dr.status, WireStatus::kOk);  // blind
+  ASSERT_EQ(dr.payload.size(), 32u);
+  EXPECT_NE(dr.payload, key);  // but not the honest key
+}
+
+TEST(NetServer, GarbageGetsTypedErrorThenClose) {
+  Rig rig;
+  Client c(rig.port());
+  ASSERT_TRUE(c.send_raw(Bytes{'g', 'a', 'r', 'b', 'a', 'g', 'e'}));
+  ResponseFrame r;
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kBadMagic);
+  EXPECT_EQ(r.request_id, 0u);
+  EXPECT_FALSE(r.payload.empty());  // carries a diagnostic
+  EXPECT_TRUE(c.await_eof());
+  EXPECT_EQ(rig.server->counters().protocol_errors, 1u);
+}
+
+TEST(NetServer, OversizedFrameGetsTypedErrorThenClose) {
+  Rig rig;
+  Client c(rig.port());
+  Bytes header = encode_request({WireOp::kEncaps, 9, 0, {}});
+  const u32 huge = static_cast<u32>(kMaxPayload) + 1;
+  header[16] = static_cast<u8>(huge);
+  header[17] = static_cast<u8>(huge >> 8);
+  header[18] = static_cast<u8>(huge >> 16);
+  header[19] = static_cast<u8>(huge >> 24);
+  ASSERT_TRUE(c.send_raw(header));
+  ResponseFrame r;
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kOversized);
+  EXPECT_TRUE(c.await_eof());
+}
+
+TEST(NetServer, BadVersionGetsTypedErrorThenClose) {
+  Rig rig;
+  Client c(rig.port());
+  Bytes wire = encode_request({WireOp::kPing, 1, 0, {}});
+  wire[2] = 42;
+  ASSERT_TRUE(c.send_raw(wire));
+  ResponseFrame r;
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kBadVersion);
+  EXPECT_TRUE(c.await_eof());
+}
+
+/// Per-request errors (wrong payload size, unknown key) answer typed
+/// and keep the connection serving.
+TEST(NetServer, BadPayloadIsTypedAndConnectionSurvives) {
+  Rig rig;
+  Client c(rig.port());
+  RequestFrame bad;
+  bad.op = WireOp::kEncaps;
+  bad.request_id = 5;
+  bad.payload = Bytes(7, 0xAA);  // not 32 bytes of entropy
+  ASSERT_TRUE(c.send(bad));
+  ResponseFrame r;
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kBadPayload);
+  EXPECT_EQ(r.request_id, 5u);
+
+  RequestFrame unknown;
+  unknown.op = WireOp::kDecaps;
+  unknown.request_id = 6;
+  unknown.key_id = 12345;
+  unknown.payload = Bytes(rig.svc->params().ct_bytes(), 0);
+  ASSERT_TRUE(c.send(unknown));
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kUnknownKey);
+
+  // Still alive: a ping round-trips on the same connection.
+  ASSERT_TRUE(c.send({WireOp::kPing, 7, 0, {}}));
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kOk);
+  EXPECT_EQ(r.request_id, 7u);
+  EXPECT_EQ(rig.server->counters().bad_requests, 2u);
+}
+
+/// An undecodable-but-right-sized ciphertext image is a typed
+/// kBadPayload (boundary validation), not an exception or a crash.
+TEST(NetServer, UndecodableCiphertextIsTyped) {
+  Rig rig;
+  Client c(rig.port());
+  RequestFrame dec;
+  dec.op = WireOp::kDecaps;
+  dec.request_id = 8;
+  dec.payload = Bytes(rig.svc->params().ct_bytes(), 0xFF);  // v-part > q
+  ASSERT_TRUE(c.send(dec));
+  ResponseFrame r;
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kBadPayload);
+  // Connection survives.
+  ASSERT_TRUE(c.send({WireOp::kPing, 9, 0, {}}));
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kOk);
+}
+
+TEST(NetServer, AdmissionControlShedsWithTypedOverload) {
+  ServerConfig cfg;
+  cfg.max_connections = 1;
+  Rig rig(cfg);
+  Client first(rig.port());
+  ASSERT_TRUE(first.connected());
+  // Make sure the first connection is registered before the second
+  // arrives (accept order is the kernel's, but one round-trip serializes
+  // it).
+  ResponseFrame r;
+  ASSERT_TRUE(first.send({WireOp::kPing, 1, 0, {}}));
+  ASSERT_TRUE(first.recv(&r));
+
+  Client second(rig.port());
+  ASSERT_TRUE(second.connected());
+  ASSERT_TRUE(second.recv(&r));  // unsolicited typed verdict
+  EXPECT_EQ(r.status, WireStatus::kOverloaded);
+  EXPECT_EQ(r.request_id, 0u);
+  EXPECT_TRUE(second.await_eof());
+  EXPECT_EQ(rig.server->counters().rejected_connections, 1u);
+
+  // The admitted connection is unaffected.
+  ASSERT_TRUE(first.send({WireOp::kPing, 2, 0, {}}));
+  ASSERT_TRUE(first.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kOk);
+}
+
+TEST(NetServer, ReadDeadlineReapsSlowloris) {
+  ServerConfig cfg;
+  cfg.read_deadline_micros = 100'000;  // 100ms to finish a frame
+  Rig rig(cfg);
+  Client c(rig.port());
+  // Half a header, then silence: a slowloris trickle.
+  const Bytes wire = encode_request({WireOp::kPing, 1, 0, {}});
+  ASSERT_TRUE(c.send_raw(Bytes(wire.begin(), wire.begin() + 6)));
+  EXPECT_TRUE(c.await_eof());  // reaped, not retained
+  EXPECT_EQ(rig.server->counters().read_timeouts, 1u);
+}
+
+TEST(NetServer, IdleDeadlineClosesQuietConnections) {
+  ServerConfig cfg;
+  cfg.idle_deadline_micros = 100'000;
+  Rig rig(cfg);
+  Client c(rig.port());
+  ASSERT_TRUE(c.connected());
+  EXPECT_TRUE(c.await_eof());
+  EXPECT_EQ(rig.server->counters().idle_closes, 1u);
+}
+
+/// A client that half-closes after sending still gets its reply — the
+/// write side of the connection outlives the read side.
+TEST(NetServer, HalfCloseStillGetsReply) {
+  Rig rig;
+  Client c(rig.port());
+  RequestFrame enc;
+  enc.op = WireOp::kEncaps;
+  enc.request_id = 3;
+  const hash::Seed entropy = seed_from(7);
+  enc.payload.assign(entropy.begin(), entropy.end());
+  ASSERT_TRUE(c.send(enc));
+  c.half_close();
+  ResponseFrame r;
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kOk);
+  EXPECT_EQ(r.request_id, 3u);
+  EXPECT_TRUE(c.await_eof());
+}
+
+/// Graceful drain: a request in flight when shutdown begins is finished
+/// and its reply flushed before the connection closes.
+TEST(NetServer, DrainFinishesInFlightRequests) {
+  Rig rig(ServerConfig{}, /*workers=*/1);
+  // Park the single worker so the net request stays queued while drain
+  // begins.
+  std::promise<void> started, open;
+  auto busy = rig.svc->submit_job([&](lac::Backend&) {
+    started.set_value();
+    open.get_future().wait();
+    service::KemResponse ok;
+    ok.status = Status::kOk;
+    return ok;
+  });
+  started.get_future().wait();
+
+  Client c(rig.port());
+  RequestFrame enc;
+  enc.op = WireOp::kEncaps;
+  enc.request_id = 11;
+  const hash::Seed entropy = seed_from(1);
+  enc.payload.assign(entropy.begin(), entropy.end());
+  ASSERT_TRUE(c.send(enc));
+  // Wait until the server has actually submitted it to the service.
+  while (rig.server->counters().requests_submitted == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  rig.server->request_shutdown(/*drain=*/true);
+  open.set_value();  // release the worker; the queued request executes
+  rig.server->join();
+  EXPECT_EQ(busy.get().status, Status::kOk);
+
+  // The reply was flushed before the drain closed the connection.
+  ResponseFrame r;
+  ASSERT_TRUE(c.recv(&r));
+  EXPECT_EQ(r.status, WireStatus::kOk);
+  EXPECT_EQ(r.request_id, 11u);
+  EXPECT_TRUE(c.await_eof());
+  EXPECT_FALSE(rig.server->running());
+}
+
+TEST(NetServer, StopIsIdempotentAndCountersExpose) {
+  Rig rig;
+  obs::MetricsRegistry registry;
+  rig.server->register_metrics(registry);
+  Client c(rig.port());
+  ResponseFrame r;
+  ASSERT_TRUE(c.send({WireOp::kPing, 1, 0, {}}));
+  ASSERT_TRUE(c.recv(&r));
+
+  const std::string text = registry.expose_text();
+  EXPECT_NE(text.find("lacrv_net_connections_accepted_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lacrv_net_pings_total 1"), std::string::npos);
+  EXPECT_NE(text.find("lacrv_net_open_connections 1"), std::string::npos);
+  EXPECT_NE(text.find("lacrv_net_request_latency_micros_count"),
+            std::string::npos);
+
+  rig.server->stop();
+  rig.server->stop();  // idempotent
+  EXPECT_FALSE(rig.server->running());
+  const NetCountersSnapshot snap = rig.server->counters();
+  EXPECT_EQ(snap.open_connections, 0u);
+  EXPECT_FALSE(snap.to_string().empty());
+}
+
+/// A flood of concurrent hostile and honest clients: the server answers
+/// every honest request correctly and never crashes. (The heavier
+/// closed/open-loop and chaos coverage lives in bench/loadgen.cpp and
+/// the CI net-smoke job.)
+TEST(NetServer, MixedHostileAndHonestBurst) {
+  Rig rig(ServerConfig{}, /*workers=*/2, /*queue_capacity=*/64);
+  constexpr int kClients = 12;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client c(rig.port());
+      if (i % 3 == 0) {
+        // Hostile: garbage, expects a typed reply.
+        c.send_raw(Bytes(32, static_cast<u8>(0x80 + i)));
+        ResponseFrame r;
+        if (c.recv(&r) && is_protocol_error(r.status)) ok.fetch_add(1);
+      } else {
+        RequestFrame ping{WireOp::kPing, static_cast<u64>(i), 0, {}};
+        ResponseFrame r;
+        if (c.send(ping) && c.recv(&r) && r.status == WireStatus::kOk &&
+            r.request_id == static_cast<u64>(i))
+          ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+}
+
+}  // namespace
+}  // namespace lacrv::net

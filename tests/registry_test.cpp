@@ -105,6 +105,33 @@ TEST(Registry, FaultyModqBenchedWithCanonicalWording) {
   EXPECT_FALSE(registry.modq().injected());
 }
 
+/// A registry built for a non-default modulus: the second-scheme
+/// extension point. The modq slot models that modulus, its KAT ladder is
+/// derived from it, and injection validation compares against it — the
+/// paper's q = 251 is configuration, not a constant baked into the slot.
+TEST(Registry, NonDefaultModulusRegistryFlowsThroughModqSlot) {
+  lac::KernelRegistry registry = lac::KernelRegistry::modeled(17);
+  EXPECT_EQ(registry.modq_modulus(), 17u);
+  EXPECT_EQ(registry.modq().active()(503, nullptr), 503 % 17);
+  EXPECT_EQ(registry.modq().active()(16, nullptr), 16u);
+  // The modulus-parameterized KAT accepts the slot's own model...
+  EXPECT_TRUE(lac::modq_kat_mod(registry.modq().modeled(), 17));
+  // ...and rejects a unit that reduces by the wrong modulus.
+  EXPECT_FALSE(lac::modq_kat_mod(lac::modeled_modq_for(19), 17));
+
+  // A paper-modulus unit is rejected at injection time with the same
+  // configuration-validation verdict the default registry gives.
+  DegradeReport report;
+  EXPECT_EQ(registry.inject_modq(lac::modeled_modq_for(poly::kQ), poly::kQ,
+                                 &report),
+            Status::kBadArgument);
+  EXPECT_FALSE(registry.modq().injected());
+  // A matching-modulus unit passes the gate.
+  EXPECT_EQ(registry.inject_modq(lac::modeled_modq_for(17), 17, nullptr),
+            Status::kOk);
+  EXPECT_TRUE(registry.modq().injected());
+}
+
 TEST(Registry, ParseSlotMixAcceptsAndRejects) {
   std::array<bool, lac::kNumSlots> use_rtl{};
   std::string error;
