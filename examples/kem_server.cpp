@@ -33,7 +33,9 @@
 //   kem_server --listen <port> [--port-file F] [--workers N]
 //              [--queue-capacity Q] [--max-connections M]
 //              [--read-deadline-ms R] [--idle-deadline-ms I]
-//              [--request-deadline-ms D] [--trace ...] [--metrics ...]
+//              [--request-deadline-ms D] [--drain-ms G]
+//              [--verify-sample P] [--fault-storm unit,count,seed,max_edge]
+//              [--trace ...] [--metrics ...]
 //
 // runs the epoll TCP front end (src/net/) over the same service until
 // SIGTERM/SIGINT, then shuts down gracefully: the server stops
@@ -41,7 +43,17 @@
 // (TcpServer::stop(drain)), then the service executes what is still
 // queued (KemService::drain()) — no request that was admitted is
 // dropped. Port 0 binds an ephemeral port; --port-file publishes the
-// resolved port for the load generator.
+// resolved port for the load generator. --drain-ms bounds the graceful
+// drain (in-flight requests and reply flushes; default 10000).
+//
+// --verify-sample P enables shadow verification (docs/robustness.md):
+// P‰ of live requests are re-executed on the golden scalar models and
+// compared bit for bit; a divergence quarantines the implicated slots.
+// --fault-storm arms an *evasive* transient-bit-flip campaign
+// (FaultPlan::storm) on one unit — the adversary the KAT gate cannot
+// catch — so CI can assert the sampler trips the quarantine
+// (lacrv_verify_quarantine_trips_total) on a live server. Units:
+// mul_ter, gf_mul, chien, sha256, barrett.
 #include <csignal>
 #include <cstdio>
 
@@ -162,9 +174,46 @@ bool write_checked(const std::string& path, const char* what,
 }
 
 // SIGTERM/SIGINT -> graceful drain. Only a flag is set in the handler;
-// the serving loop polls it (async-signal-safety).
+// the serving loop polls it (async-signal-safety). Both signals take
+// the identical path: Ctrl-C on a terminal drains exactly like an
+// orchestrator's SIGTERM — no fast-exit special case.
 volatile std::sig_atomic_t g_shutdown = 0;
 void on_signal(int) { g_shutdown = 1; }
+
+bool unit_from_name(const std::string& name, fault::Unit* out) {
+  for (const fault::Unit u : fault::kRtlUnits) {
+    if (name == fault::unit_name(u)) {
+      *out = u;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// "--fault-storm unit,count,seed,max_edge" -> an armed evasive plan.
+bool parse_storm_spec(const std::string& spec, fault::Unit* unit, u64* count,
+                      u64* seed, u64* max_edge) {
+  std::size_t pos = 0;
+  std::vector<std::string> parts;
+  while (parts.size() < 4) {
+    const std::size_t comma = spec.find(',', pos);
+    parts.push_back(spec.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (parts.size() != 4) return false;
+  if (!unit_from_name(parts[0], unit)) return false;
+  try {
+    *count = std::stoull(parts[1]);
+    *seed = std::stoull(parts[2], nullptr, 0);
+    *max_edge = std::stoull(parts[3]);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
 
 int run_listen(service::KemService& svc, obs::MetricsRegistry& registry,
                const net::ServerConfig& net_cfg, const std::string& port_file,
@@ -207,6 +256,10 @@ int run_listen(service::KemService& svc, obs::MetricsRegistry& registry,
   svc.drain();
   std::cout << "kem-server: " << server.counters().to_string() << "\n"
             << "kem-server: " << svc.counters().to_string() << "\n";
+  if (const auto& v = svc.verifier(); v.checked().load() > 0)
+    std::cout << "kem-server: shadow verify: " << v.checked().load()
+              << " checked, " << v.mismatches().load() << " diverged, "
+              << v.corrected().load() << " corrected from golden\n";
   if (!metrics_path.empty() &&
       !write_checked(metrics_path, "metrics", [&](std::ostream& os) {
         registry.expose(os);
@@ -220,11 +273,12 @@ int run_listen(service::KemService& svc, obs::MetricsRegistry& registry,
 
 int main(int argc, char** argv) {
   std::size_t n = 64;
-  std::string trace_path, metrics_path, mix_spec, port_file;
+  std::string trace_path, metrics_path, mix_spec, port_file, storm_spec;
   bool listen_mode = false;
   net::ServerConfig net_cfg;
   std::size_t workers = 4;
   std::size_t queue_capacity = 0;  // 0: derived below
+  unsigned long verify_sample_per_mille = 0;  // 0: verification off
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc)
@@ -250,6 +304,12 @@ int main(int argc, char** argv) {
       net_cfg.idle_deadline_micros = std::stoull(argv[++i]) * 1000;
     else if (arg == "--request-deadline-ms" && i + 1 < argc)
       net_cfg.request_deadline_micros = std::stoull(argv[++i]) * 1000;
+    else if (arg == "--drain-ms" && i + 1 < argc)
+      net_cfg.drain_deadline_micros = std::stoull(argv[++i]) * 1000;
+    else if (arg == "--verify-sample" && i + 1 < argc)
+      verify_sample_per_mille = std::stoul(argv[++i]);
+    else if (arg == "--fault-storm" && i + 1 < argc)
+      storm_spec = argv[++i];
     else
       n = std::stoul(arg);
   }
@@ -269,10 +329,42 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (verify_sample_per_mille > 0) {
+    cfg.verify.enabled = true;
+    cfg.verify.sample_per_mille = static_cast<u32>(
+        verify_sample_per_mille > 1000 ? 1000 : verify_sample_per_mille);
+  }
   service::KemService svc(cfg);
+
+  // The storm plan must outlive the service: armed hooks hold pointers
+  // into it until clear_faults()/stop().
+  fault::FaultPlan storm_plan;
+  if (!storm_spec.empty()) {
+    fault::Unit storm_unit;
+    u64 storm_count = 0, storm_seed = 0, storm_max_edge = 0;
+    if (!parse_storm_spec(storm_spec, &storm_unit, &storm_count, &storm_seed,
+                          &storm_max_edge)) {
+      std::cerr << "--fault-storm: want unit,count,seed,max_edge (units: "
+                   "mul_ter gf_mul chien sha256 barrett), got "
+                << storm_spec << "\n";
+      return 1;
+    }
+    storm_plan = fault::FaultPlan::storm(storm_unit, storm_seed,
+                                         static_cast<std::size_t>(storm_count),
+                                         storm_max_edge);
+    svc.arm_faults(storm_plan);
+    std::cout << "kem_server: evasive fault storm armed on "
+              << fault::unit_name(storm_unit) << " (" << storm_count
+              << " transient bit-flips, seed " << storm_seed
+              << ", edges < " << storm_max_edge << ")\n";
+  }
+
   std::cout << "kem_server: " << cfg.workers << " workers, queue capacity "
             << cfg.queue_capacity << ", " << svc.params().name;
   if (!mix_spec.empty()) std::cout << ", mix " << mix_spec;
+  if (cfg.verify.enabled)
+    std::cout << ", shadow verify " << cfg.verify.sample_per_mille
+              << "/1000";
   std::cout << "\n\n";
 
   obs::MetricsRegistry registry;

@@ -38,6 +38,13 @@ enum class Status {
   /// The service (or an accelerator unit) is not currently serving:
   /// shutdown drained the request, or a circuit breaker is open.
   kUnavailable,
+  /// Shadow verification re-executed the operation on the golden
+  /// software models and the results diverged bit-for-bit: an
+  /// accelerator silently corrupted a live answer (a fault the gating
+  /// KATs could not see). The slot is quarantined; whether the caller
+  /// sees this status or a golden-corrected answer is policy
+  /// (verify::VerifyConfig::serve_golden_on_mismatch).
+  kIntegrity,
 };
 
 const char* status_name(Status s);
@@ -85,6 +92,7 @@ inline const char* status_name(Status s) {
     case Status::kOverloaded: return "overloaded";
     case Status::kDeadlineExceeded: return "deadline-exceeded";
     case Status::kUnavailable: return "unavailable";
+    case Status::kIntegrity: return "integrity";
   }
   return "unknown";
 }

@@ -86,6 +86,22 @@ FaultPlan FaultPlan::random(u64 seed, std::size_t count) {
   return random(seed, count, kRtlUnits);
 }
 
+FaultPlan FaultPlan::storm(Unit unit, u64 seed, std::size_t count,
+                           u64 max_edge) {
+  FaultPlan plan;
+  u64 state = seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    Fault f;
+    f.unit = unit;
+    f.kind = FaultKind::kBitFlip;
+    f.edge = splitmix64(state) % (max_edge == 0 ? 1 : max_edge);
+    f.lane = static_cast<u32>(splitmix64(state));
+    f.bit = static_cast<u32>(splitmix64(state));
+    plan.add(f);
+  }
+  return plan;
+}
+
 FaultPlan FaultPlan::random(u64 seed, std::size_t count,
                             std::span<const Unit> units) {
   FaultPlan plan;

@@ -92,6 +92,16 @@ class FaultPlan {
   static FaultPlan random(u64 seed, std::size_t count,
                           std::span<const Unit> units);
 
+  /// Deterministic *evasive* plan: `count` transient bit-flips confined
+  /// to one unit, with fire edges drawn uniformly from [0, max_edge).
+  /// This is the adversary the self-test KATs cannot catch: each flip
+  /// fires exactly once, and when live traffic consumes the edge the
+  /// corrupted answer ships while every subsequent KAT stays green —
+  /// only per-request shadow verification (src/verify/) sees it. The
+  /// recall campaign and the net-smoke CI scenario arm exactly these.
+  static FaultPlan storm(Unit unit, u64 seed, std::size_t count,
+                         u64 max_edge);
+
   void add(const Fault& fault) { faults_.push_back(fault); }
   const std::vector<Fault>& faults() const { return faults_; }
 

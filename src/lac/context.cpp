@@ -5,6 +5,51 @@
 #include "obs/trace.h"
 
 namespace lacrv::lac {
+namespace {
+
+/// 64-bit FNV-1a, accumulated field by field. Not cryptographic — the
+/// threat is memory corruption (a flipped DRAM bit, a stray write), not
+/// an adversary forging a context, and the shadow verifier backstops
+/// even that.
+constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
+constexpr u64 kFnvPrime = 0x100000001b3ull;
+
+void fnv_bytes(u64& h, const void* data, std::size_t len) {
+  const u8* p = static_cast<const u8*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void fnv_pod(u64& h, const T& v) {
+  fnv_bytes(h, &v, sizeof(v));
+}
+
+template <typename T>
+void fnv_vec(u64& h, const std::vector<T>& v) {
+  fnv_pod(h, v.size());
+  if (!v.empty()) fnv_bytes(h, v.data(), v.size() * sizeof(T));
+}
+
+}  // namespace
+
+u64 context_checksum(const KeyContext& ctx) {
+  u64 h = kFnvOffset;
+  fnv_pod(h, ctx.params.n);
+  fnv_bytes(h, ctx.pk.seed_a.data(), ctx.pk.seed_a.size());
+  fnv_vec(h, ctx.pk.b);
+  fnv_vec(h, ctx.a);
+  fnv_vec(h, ctx.pk_bytes);
+  fnv_bytes(h, ctx.pk_hash.data(), ctx.pk_hash.size());
+  fnv_pod(h, ctx.has_secret);
+  fnv_vec(h, ctx.s);
+  fnv_vec(h, ctx.s_plus);
+  fnv_vec(h, ctx.s_minus);
+  fnv_bytes(h, ctx.z.data(), ctx.z.size());
+  return h;
+}
 
 KeyContext build_key_context(const Params& params, const Backend& backend,
                              const PublicKey& pk, CycleLedger* ledger) {
@@ -26,6 +71,7 @@ KeyContext build_key_context(const Params& params, const Backend& backend,
   ctx.build_cycles = build.total();
   LedgerScope scope(ledger, "context_build");
   charge(ledger, ctx.build_cycles);
+  ctx.checksum = context_checksum(ctx);
   return ctx;
 }
 
@@ -43,6 +89,8 @@ KeyContext build_kem_context(const Params& params, const Backend& backend,
     if (ctx.s[j] == 1) ctx.s_plus.push_back(static_cast<u16>(j));
     if (ctx.s[j] == -1) ctx.s_minus.push_back(static_cast<u16>(j));
   }
+  // Re-stamp: the secret fields joined the covered set.
+  ctx.checksum = context_checksum(ctx);
   return ctx;
 }
 
@@ -100,6 +148,15 @@ std::shared_ptr<const KeyContext> ContextCache::lookup_or_insert(
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->seed_a == seed_a && it->n == params.n && it->prg == params.prg &&
         (!need_secret || it->ctx->has_secret)) {
+      // Checkout validation: a cached context is long-lived shared state;
+      // serving a corrupted one would poison every request under the key
+      // until eviction. A failed checksum drops the entry and falls
+      // through to a fresh build — detected and rebuilt, never served.
+      if (!context_integrity_ok(*it->ctx)) {
+        corruptions_.fetch_add(1, std::memory_order_relaxed);
+        entries_.erase(it);
+        break;
+      }
       entries_.splice(entries_.begin(), entries_, it);  // promote to MRU
       hits_.fetch_add(1, std::memory_order_relaxed);
       return entries_.front().ctx;
@@ -124,6 +181,20 @@ std::shared_ptr<const KeyContext> ContextCache::lookup_or_insert(
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   return ctx;
+}
+
+bool ContextCache::corrupt_for_test(const hash::Seed& seed_a, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.seed_a != seed_a || e.n != n) continue;
+    // The cached object is shared immutable state by contract; the test
+    // hook breaks that contract on purpose to model a memory fault.
+    auto& a = const_cast<KeyContext&>(*e.ctx).a;
+    if (a.empty()) return false;
+    a[a.size() / 2] = static_cast<u8>(a[a.size() / 2] ^ 0x01u);
+    return true;
+  }
+  return false;
 }
 
 std::shared_ptr<const KeyContext> ContextCache::get_or_build(

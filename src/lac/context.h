@@ -55,7 +55,26 @@ struct KeyContext {
   /// model) and the indexed multiply charges the identical dense model.
   std::vector<u16> s_plus, s_minus;
   hash::Seed z{};
+
+  /// FNV-1a over every precomputed field above (a, pk bytes, pk hash,
+  /// the sparse secret form, z), stamped at build time. A cached context
+  /// is long-lived shared state: a single flipped bit in it would
+  /// corrupt *every* request under that key until eviction — the one
+  /// corruption the per-request shadow sampler would keep re-detecting
+  /// without ever healing. ContextCache validates it on checkout and
+  /// rebuilds instead of serving a corrupted entry. Charges no cycles
+  /// (a host-side defense, not part of the paper's model), so the
+  /// uncached == cached + build ledger invariant is untouched.
+  u64 checksum = 0;
 };
+
+/// Recompute the integrity checksum over ctx's precomputed fields (the
+/// stored `checksum` field itself is excluded).
+u64 context_checksum(const KeyContext& ctx);
+/// True iff the stored checksum matches a recomputation.
+inline bool context_integrity_ok(const KeyContext& ctx) {
+  return ctx.checksum == context_checksum(ctx);
+}
 
 /// Build an encapsulation-only context (no secret material). Charges
 /// `build_cycles` to `ledger` under the "context_build" section.
@@ -98,6 +117,17 @@ class ContextCache {
   const std::atomic<u64>& hits() const { return hits_; }
   const std::atomic<u64>& builds() const { return builds_; }
   const std::atomic<u64>& evictions() const { return evictions_; }
+  /// Cached entries whose checkout checksum validation failed (the entry
+  /// was dropped and rebuilt instead of served).
+  const std::atomic<u64>& corruptions() const { return corruptions_; }
+
+  /// Flip one bit in the cached context for (seed_a, n) — the context-
+  /// boundary analogue of FaultPlan::tamper, for tests that drive the
+  /// checkout-validation path. Returns false when no entry matches.
+  /// Deliberately blunt (const_cast on the shared immutable object):
+  /// production code has no mutation path into a cached context, which
+  /// is exactly why corruption must be modeled from outside.
+  bool corrupt_for_test(const hash::Seed& seed_a, std::size_t n);
 
  private:
   struct Entry {
@@ -117,6 +147,7 @@ class ContextCache {
   std::atomic<u64> hits_{0};
   std::atomic<u64> builds_{0};
   std::atomic<u64> evictions_{0};
+  std::atomic<u64> corruptions_{0};
 };
 
 // ---- context-aware scheme entry points -------------------------------------

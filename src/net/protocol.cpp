@@ -39,6 +39,7 @@ const char* wire_status_name(WireStatus s) {
     case WireStatus::kUnavailable: return "unavailable";
     case WireStatus::kUnknownKey: return "unknown-key";
     case WireStatus::kBadPayload: return "bad-payload";
+    case WireStatus::kIntegrity: return "integrity";
     case WireStatus::kBadMagic: return "bad-magic";
     case WireStatus::kBadVersion: return "bad-version";
     case WireStatus::kBadOp: return "bad-op";
@@ -59,6 +60,7 @@ WireStatus wire_status_from(Status s) {
     case Status::kOverloaded: return WireStatus::kOverloaded;
     case Status::kDeadlineExceeded: return WireStatus::kDeadlineExceeded;
     case Status::kUnavailable: return WireStatus::kUnavailable;
+    case Status::kIntegrity: return WireStatus::kIntegrity;
   }
   return WireStatus::kInternalError;
 }
@@ -181,6 +183,7 @@ bool ResponseParser::code_valid(u8 code, std::string* detail) const {
     case WireStatus::kUnavailable:
     case WireStatus::kUnknownKey:
     case WireStatus::kBadPayload:
+    case WireStatus::kIntegrity:
     case WireStatus::kBadMagic:
     case WireStatus::kBadVersion:
     case WireStatus::kBadOp:

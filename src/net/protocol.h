@@ -86,6 +86,12 @@ enum class WireStatus : u8 {
   /// undecodable ciphertext image). Per-request error, connection
   /// survives — framing was never lost.
   kBadPayload = 9,
+  /// Shadow verification caught a silent accelerator corruption of this
+  /// answer and integrity policy withheld it (the default policy serves
+  /// the golden re-execution as an ordinary kOk instead). Per-request
+  /// error: the frame was well-formed, the connection survives, and a
+  /// retry lands on the quarantined-to-golden path.
+  kIntegrity = 10,
   // -- protocol errors (framing lost; connection closes after the reply) --
   kBadMagic = 64,
   kBadVersion = 65,

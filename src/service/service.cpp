@@ -32,6 +32,7 @@ KemService::KemService(ServiceConfig config)
     : config_(config),
       params_(config.params ? config.params : &lac::Params::lac128()),
       clock_(config.clock ? config.clock : &RealClock::instance()),
+      verifier_(config.verify),
       ctx_cache_(config.context_cache_capacity),
       queue_(config.queue_capacity) {
   // Provisioning: the service keypair is generated on the golden
@@ -61,6 +62,30 @@ KemService::KemService(ServiceConfig config)
   };
   for (std::size_t i = 0; i < kNumUnits; ++i)
     breakers_[i].configure(unit_name(i), config_.breaker, on_transition);
+
+  auto on_quarantine = [this](const char* slot, verify::QuarantineState from,
+                              verify::QuarantineState to,
+                              const std::string& detail) {
+    if (to == verify::QuarantineState::kQuarantined)
+      quarantine_trips_.fetch_add(1, std::memory_order_relaxed);
+    if (to == verify::QuarantineState::kHealthy)
+      quarantine_rejoins_.fetch_add(1, std::memory_order_relaxed);
+    obs::instant("verify.quarantine_transition", "verify", {},
+                 {{"slot", std::string(slot)},
+                  {"from", std::string(verify::quarantine_state_name(from))},
+                  {"to", std::string(verify::quarantine_state_name(to))}});
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    report_.add(slot,
+                to == verify::QuarantineState::kQuarantined
+                    ? Status::kIntegrity
+                    : Status::kOk,
+                std::string("quarantine ") +
+                    verify::quarantine_state_name(from) + " -> " +
+                    verify::quarantine_state_name(to) + ": " + detail);
+  };
+  for (std::size_t i = 0; i < kNumUnits; ++i)
+    quarantines_[i].configure(unit_name(i), config_.verify.quarantine,
+                              on_quarantine);
 
   const std::size_t workers = std::max<std::size_t>(1, config_.workers);
   rigs_.reserve(workers);
@@ -113,7 +138,7 @@ void KemService::build_rig(Rig& rig) {
         [this, &rig, rtl_mul, sw_mul](const poly::Ternary& a,
                                       const poly::Coeffs& coeffs,
                                       bool negacyclic, CycleLedger* ledger) {
-          if (breakers_[kMulIdx].allow()) {
+          if (unit_allowed(kMulIdx)) {
             rig.rtl_used[kMulIdx] = true;
             return rtl_mul(a, coeffs, negacyclic, ledger);
           }
@@ -129,7 +154,7 @@ void KemService::build_rig(Rig& rig) {
         [this, &rig, rtl_chien, sw_chien](const bch::CodeSpec& spec,
                                           const bch::Locator& loc,
                                           CycleLedger* ledger) {
-          if (breakers_[kChienIdx].allow()) {
+          if (unit_allowed(kChienIdx)) {
             rig.rtl_used[kChienIdx] = true;
             return rtl_chien(spec, loc, ledger);
           }
@@ -141,7 +166,7 @@ void KemService::build_rig(Rig& rig) {
   if (config_.slot_use_rtl[kShaIdx]) {
     const hash::HashFn rtl_sha = perf::rtl_sha256(rig.sha);
     registry->sha256().install([this, &rig, rtl_sha](ByteView data) {
-      if (breakers_[kShaIdx].allow()) {
+      if (unit_allowed(kShaIdx)) {
         rig.rtl_used[kShaIdx] = true;
         return rtl_sha(data);
       }
@@ -158,7 +183,7 @@ void KemService::build_rig(Rig& rig) {
     const poly::ModqFn sw_modq = lac::modeled_modq();
     registry->modq().install(
         [this, &rig, rtl_modq, sw_modq](u32 x, CycleLedger* ledger) {
-          if (breakers_[kModqIdx].allow()) {
+          if (unit_allowed(kModqIdx)) {
             rig.rtl_used[kModqIdx] = true;
             return rtl_modq(x, ledger);
           }
@@ -173,6 +198,16 @@ void KemService::build_rig(Rig& rig) {
   // defense that catches a transient SHA fault mid-operation.
   b.verify_hash = true;
   rig.backend = std::move(b);
+
+  if (config_.verify.enabled) {
+    // The shadow re-execution backend: a fresh modeled registry with no
+    // installed callables — no RTL units, no fault hooks, no breaker or
+    // quarantine switching. Worker-private like the rest of the rig.
+    rig.golden = lac::Backend::optimized_from(
+        std::make_shared<lac::KernelRegistry>(
+            lac::KernelRegistry::modeled(params_->q)));
+    rig.golden.name = "golden-shadow";
+  }
 
   // Per-slot KAT re-runs against this rig's own units, indexed like
   // breakers_ (barrett keyed under the modq slot).
@@ -461,7 +496,127 @@ void KemService::process(Task task, Rig& rig) {
                std::string(status_name(response.status));
     response = std::move(r);
   }
+  maybe_shadow_verify(task, rig, response);
   finish(task, std::move(response));
+}
+
+void KemService::maybe_shadow_verify(const Task& task, Rig& rig,
+                                     KemResponse& response) {
+  if (!verifier_.enabled()) return;
+  if (task.op != OpKind::kEncaps && task.op != OpKind::kDecaps) return;
+  // Only statuses that delivered an answer are comparable: a shed or
+  // refused request returned no bits an accelerator could have
+  // corrupted.
+  if (task.op == OpKind::kEncaps) {
+    if (response.status != Status::kOk) return;
+  } else if (response.status != Status::kOk &&
+             response.status != Status::kRejected &&
+             response.status != Status::kDecodeFailure) {
+    return;
+  }
+
+  // Probation floor: a slot under suspicion forces its own sampling rate
+  // onto every request that used it, over the configured baseline.
+  u32 override_rate = 0;
+  for (std::size_t i = 0; i < kNumUnits; ++i)
+    if (rig.rtl_used[i])
+      override_rate = std::max(override_rate,
+                               quarantines_[i].sample_override_per_mille());
+  if (!verifier_.should_verify(task.id, override_rate)) return;
+
+  obs::TraceSpan span("verify.shadow", "verify");
+  span.arg("request", task.id);
+  span.arg("op", std::string(op_name(task.op)));
+  verifier_.record_checked();
+  response.shadow_checked = true;
+
+  const verify::ShadowResult shadow =
+      task.op == OpKind::kEncaps
+          ? verify::shadow_encaps(*params_, rig.golden, keys_.pk,
+                                  task.request.entropy, response.status,
+                                  response.encaps)
+          : verify::shadow_decaps(*params_, rig.golden, keys_,
+                                  task.request.ct, response.status,
+                                  response.key);
+
+  if (!shadow.diverged) {
+    for (std::size_t i = 0; i < kNumUnits; ++i)
+      if (rig.rtl_used[i]) quarantines_[i].record_clean_verify();
+    return;
+  }
+  span.arg("diverged", u64{1});
+
+  std::string slots;
+  for (std::size_t i = 0; i < kNumUnits; ++i) {
+    if (!rig.rtl_used[i]) continue;
+    if (!slots.empty()) slots += ",";
+    slots += unit_name(i);
+  }
+
+  // Attribution: let the KATs try first — a slot whose KAT fails *now*
+  // is the proven culprit and also feeds its breaker. When every KAT is
+  // green (the evasive-transient case: the fault fired once, the live
+  // operation consumed it, nothing is left for a KAT to see), every
+  // slot the rig served via RTL in the final attempt is quarantined
+  // conservatively; probation rejoins the innocent ones within a probe
+  // interval plus a clean-verification window.
+  bool attributed = false;
+  std::string kat_detail;
+  for (std::size_t i = 0; i < kNumUnits; ++i) {
+    if (!rig.rtl_used[i]) continue;
+    if (rig.unit_selftest[i](&kat_detail)) continue;
+    attributed = true;
+    breakers_[i].record_failure(kat_detail + " after verified divergence");
+    quarantines_[i].record_mismatch("KAT-attributed divergence: " +
+                                    shadow.detail);
+  }
+  if (!attributed) {
+    for (std::size_t i = 0; i < kNumUnits; ++i)
+      if (rig.rtl_used[i])
+        quarantines_[i].record_mismatch("unattributed divergence (" +
+                                        shadow.detail + ")");
+  }
+
+  verify::DivergenceRecord rec;
+  rec.trace_id = task.id;
+  rec.op = op_name(task.op);
+  rec.slots = slots;
+  rec.operand_digest =
+      task.op == OpKind::kEncaps
+          ? verify::encaps_operand_digest(task.request.entropy)
+          : verify::decaps_operand_digest(*params_, task.request.ct);
+  rec.detail = shadow.detail;
+  verifier_.record_divergence(std::move(rec));
+  obs::instant("verify.mismatch", "verify", {{"request", task.id}},
+               {{"op", std::string(op_name(task.op))},
+                {"slots", slots},
+                {"diverged", shadow.detail}});
+
+  if (verifier_.config().serve_golden_on_mismatch) {
+    // Zero wrong answers leave the process for a sampled request: the
+    // golden re-execution *is* the response.
+    verifier_.record_corrected();
+    if (task.op == OpKind::kEncaps) {
+      response.status = shadow.golden_encaps.status;
+      response.encaps = shadow.golden_encaps.result;
+      response.hash_fault_detected |=
+          shadow.golden_encaps.hash_fault_detected;
+    } else {
+      response.status = shadow.golden_decaps.status;
+      response.key = shadow.golden_decaps.key;
+      response.hash_fault_detected |=
+          shadow.golden_decaps.hash_fault_detected;
+    }
+    response.integrity_corrected = true;
+    response.detail =
+        "shadow divergence corrected from golden (" + shadow.detail + ")";
+  } else {
+    verifier_.record_integrity_response();
+    response.status = Status::kIntegrity;
+    response.encaps = {};
+    response.key = {};
+    response.detail = "shadow divergence: " + shadow.detail;
+  }
 }
 
 void KemService::attribute_failure(Rig& rig, Status status) {
@@ -504,8 +659,12 @@ bool KemService::probe_now() {
   for (std::size_t i = 0; i < kNumUnits; ++i) {
     if (prober_rig_->unit_selftest[i](&detail)) {
       breakers_[i].probe_passed();
+      // A passing KAT also walks a quarantined slot toward probation —
+      // rejoin itself still requires clean *traffic* verification.
+      quarantines_[i].probe_passed();
     } else {
       breakers_[i].probe_failed(detail);
+      quarantines_[i].probe_failed(detail);
       all_passed = false;
     }
   }
@@ -631,6 +790,28 @@ void KemService::register_metrics(obs::MetricsRegistry& registry) {
       {"lacrv_service_context_hits_total",
        "KeyContext cache hits (seed expansions amortized away)",
        &ctx_cache_.hits()},
+      {"lacrv_service_context_corruptions_total",
+       "Cached KeyContexts failing checkout checksum validation "
+       "(dropped and rebuilt, never served)",
+       &ctx_cache_.corruptions()},
+      {"lacrv_verify_checked_total",
+       "Requests shadow-verified against the golden models",
+       &verifier_.checked()},
+      {"lacrv_verify_mismatches_total",
+       "Shadow verifications that diverged bit-for-bit from golden",
+       &verifier_.mismatches()},
+      {"lacrv_verify_corrected_total",
+       "Diverged answers replaced by the golden re-execution",
+       &verifier_.corrected()},
+      {"lacrv_verify_integrity_responses_total",
+       "Diverged answers withheld with kIntegrity",
+       &verifier_.integrity_responses()},
+      {"lacrv_verify_quarantine_trips_total",
+       "Slot transitions into quarantined (verified mismatch)",
+       &quarantine_trips_},
+      {"lacrv_verify_rejoins_total",
+       "Slots rejoining healthy after a clean probation",
+       &quarantine_rejoins_},
   };
   for (const auto& c : kCounters)
     registry.add_counter(c.name, c.help, c.value);
@@ -648,6 +829,17 @@ void KemService::register_metrics(obs::MetricsRegistry& registry) {
         },
         std::string("unit=\"") + unit_name(i) + "\"");
   }
+  for (std::size_t i = 0; i < kNumUnits; ++i) {
+    registry.add_gauge(
+        "lacrv_verify_slot_state",
+        "Per-slot quarantine state (0 healthy, 1 quarantined, "
+        "2 probation-full, 3 probation-ramp)",
+        [this, i] {
+          return static_cast<double>(
+              static_cast<int>(quarantines_[i].state()));
+        },
+        std::string("unit=\"") + unit_name(i) + "\"");
+  }
   registry.add_histogram("lacrv_service_latency_micros",
                          "End-to-end request latency (submit -> completion)",
                          &counters_.encaps_latency, "op=\"encaps\"");
@@ -659,6 +851,12 @@ void KemService::register_metrics(obs::MetricsRegistry& registry) {
 DegradeReport KemService::degrade_report() const {
   std::lock_guard<std::mutex> lock(report_mutex_);
   return report_;
+}
+
+verify::QuarantineState KemService::quarantine_state(lac::Slot slot) const {
+  for (std::size_t i = 0; i < kNumUnits; ++i)
+    if (lac::kAllSlots[i] == slot) return quarantines_[i].state();
+  return verify::QuarantineState::kHealthy;
 }
 
 BreakerState KemService::breaker_state(fault::Unit unit) const {

@@ -41,6 +41,7 @@
 #include "service/counters.h"
 #include "service/queue.h"
 #include "service/retry.h"
+#include "verify/verifier.h"
 
 namespace lacrv::obs {
 class MetricsRegistry;
@@ -86,6 +87,14 @@ struct KemResponse {
   /// True iff the runtime hash cross-check caught (and corrected) a
   /// faulty accelerator digest.
   bool hash_fault_detected = false;
+  /// True iff this response was re-executed on the golden models and
+  /// compared bit-for-bit by the shadow verifier (clean or not).
+  bool shadow_checked = false;
+  /// True iff the shadow comparison diverged and the response carries
+  /// the golden re-execution instead of the served answer
+  /// (VerifyConfig::serve_golden_on_mismatch). With the policy off, the
+  /// divergence surfaces as status == kIntegrity instead.
+  bool integrity_corrected = false;
   std::string detail;
 };
 
@@ -123,6 +132,10 @@ struct ServiceConfig {
   /// specs with lac::parse_slot_mix; note a spec defaults unlisted slots
   /// to software, while this default is all-RTL.
   std::array<bool, lac::kNumSlots> slot_use_rtl = {true, true, true, true};
+  /// Shadow verification + slot quarantine (src/verify/). Disabled by
+  /// default: the service is bit- and cycle-identical to the
+  /// pre-verification stack until switched on.
+  verify::VerifyConfig verify;
 };
 
 class KemService {
@@ -227,6 +240,16 @@ class KemService {
   /// other units report kClosed (no breaker).
   BreakerState breaker_state(fault::Unit unit) const;
 
+  /// The shadow verifier: sampling counters and the bounded divergence
+  /// log (see src/verify/verifier.h).
+  const verify::ShadowVerifier& verifier() const { return verifier_; }
+  /// Quarantine state of one registry slot.
+  verify::QuarantineState quarantine_state(lac::Slot slot) const;
+  /// Copy of the retained divergence records.
+  std::vector<verify::DivergenceRecord> divergences() const {
+    return verifier_.divergences();
+  }
+
  private:
   // Breaker indices mirror the registry slot order (lac::kAllSlots), so
   // breakers_[i] is the breaker of slot lac::kAllSlots[i] and metric
@@ -252,6 +275,10 @@ class KemService {
     /// iterate instead of per-unit copies).
     std::array<std::function<bool(std::string*)>, kNumUnits> unit_selftest;
     lac::Backend backend;
+    /// Golden scalar backend for shadow re-execution (built only when
+    /// verification is enabled): pure modeled registry, no fault hooks,
+    /// no breaker switching, owned by this rig's worker thread alone.
+    lac::Backend golden;
     /// The service key's precomputed context (null when
     /// config.use_key_context is off): shared, immutable, read-only on
     /// the hot path.
@@ -294,6 +321,17 @@ class KemService {
   /// feed attributed failures to the breakers.
   void attribute_failure(Rig& rig, Status status);
   void record_successes(const Rig& rig, bool hash_fault);
+  /// May slot i's hardware path serve? The breaker (attributed KAT
+  /// failures) and the quarantine (verified output corruption) both get
+  /// a veto.
+  bool unit_allowed(std::size_t i) const {
+    return breakers_[i].allow() && quarantines_[i].allow();
+  }
+  /// Post-execution shadow verification: sample, re-execute on the
+  /// rig's golden backend, compare, quarantine + correct/refuse on
+  /// divergence. Mutates `response` per VerifyConfig policy.
+  void maybe_shadow_verify(const Task& task, Rig& rig,
+                           KemResponse& response);
   bool expired(u64 deadline_micros) {
     return deadline_micros != kNoDeadline &&
            clock_->now_micros() >= deadline_micros;
@@ -306,6 +344,10 @@ class KemService {
   lac::KemKeyPair keys_;
 
   std::array<CircuitBreaker, kNumUnits> breakers_;
+  std::array<verify::SlotQuarantine, kNumUnits> quarantines_;
+  verify::ShadowVerifier verifier_;
+  std::atomic<u64> quarantine_trips_{0};
+  std::atomic<u64> quarantine_rejoins_{0};
   mutable std::mutex report_mutex_;
   DegradeReport report_;
 

@@ -1,0 +1,88 @@
+#include "verify/quarantine.h"
+
+namespace lacrv::verify {
+
+const char* quarantine_state_name(QuarantineState s) {
+  switch (s) {
+    case QuarantineState::kHealthy: return "healthy";
+    case QuarantineState::kQuarantined: return "quarantined";
+    case QuarantineState::kProbationFull: return "probation-full";
+    case QuarantineState::kProbationRamp: return "probation-ramp";
+  }
+  return "unknown";
+}
+
+void SlotQuarantine::configure(const char* slot, QuarantinePolicy policy,
+                               TransitionFn on_transition) {
+  slot_ = slot;
+  policy_ = policy;
+  on_transition_ = std::move(on_transition);
+}
+
+bool SlotQuarantine::allow() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ != QuarantineState::kQuarantined;
+}
+
+QuarantineState SlotQuarantine::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+u32 SlotQuarantine::sample_override_per_mille() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case QuarantineState::kProbationFull: return 1000;
+    case QuarantineState::kProbationRamp: return policy_.ramp_sample_per_mille;
+    default: return 0;
+  }
+}
+
+void SlotQuarantine::transition_locked(QuarantineState to,
+                                       const std::string& detail) {
+  const QuarantineState from = state_;
+  if (from == to) return;
+  state_ = to;
+  probe_passes_ = 0;
+  clean_verifies_ = 0;
+  if (on_transition_) on_transition_(slot_, from, to, detail);
+}
+
+void SlotQuarantine::record_mismatch(const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == QuarantineState::kQuarantined) return;  // already pinned
+  transition_locked(QuarantineState::kQuarantined, detail);
+}
+
+void SlotQuarantine::record_clean_verify() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == QuarantineState::kProbationFull) {
+    if (++clean_verifies_ >= policy_.probation_full_clean)
+      transition_locked(QuarantineState::kProbationRamp,
+                        std::to_string(clean_verifies_) +
+                            " clean verifications at full sampling");
+  } else if (state_ == QuarantineState::kProbationRamp) {
+    if (++clean_verifies_ >= policy_.probation_ramp_clean)
+      transition_locked(QuarantineState::kHealthy,
+                        std::to_string(clean_verifies_) +
+                            " clean verifications at ramped sampling");
+  }
+}
+
+void SlotQuarantine::probe_passed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != QuarantineState::kQuarantined) return;
+  if (++probe_passes_ >= policy_.rejoin_probes)
+    transition_locked(QuarantineState::kProbationFull,
+                      std::to_string(probe_passes_) +
+                          " consecutive probe passes");
+}
+
+void SlotQuarantine::probe_failed(const std::string& /*detail*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The KATs catching the fault again is the breaker's jurisdiction; for
+  // the quarantine it only proves the unit is not ready to rejoin.
+  probe_passes_ = 0;
+}
+
+}  // namespace lacrv::verify

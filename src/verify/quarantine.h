@@ -1,0 +1,121 @@
+// Per-registry-slot quarantine state machine — the escalation tier above
+// the circuit breakers (service/breaker.h).
+//
+// A breaker reacts to failures the per-unit KATs can *attribute*; a
+// quarantine reacts to what only per-request shadow verification can
+// prove: a bit-for-bit divergence between the served answer and the
+// golden software re-execution. Because a verified mismatch means the
+// unit silently corrupted a live answer while its KATs were green, the
+// rejoin bar is higher than a breaker's half-open trial:
+//
+//   healthy ──(verified mismatch)──────────────────────► quarantined
+//   quarantined ──(rejoin_probes consecutive KAT passes)► probation-full
+//   probation-full ──(probation_full_clean clean shadow
+//                     verifications at 100% sampling)───► probation-ramp
+//   probation-ramp ──(probation_ramp_clean clean shadow
+//                     verifications at ramp_sample_per_mille)► healthy
+//   any state ──(verified mismatch)────────────────────► quarantined
+//
+// While quarantined, allow() is false and the service's switched
+// callables pin the slot's traffic to the golden software model — the
+// same reroute an open breaker performs, but gated on proven output
+// corruption rather than attributed KAT failures. During probation the
+// hardware serves again under intensified shadow verification
+// (sample_override_per_mille()); a single mismatch sends the slot
+// straight back to quarantined and the ramp restarts from probes.
+//
+// Transitions are reported through a callback (under the mutex — keep it
+// cheap and non-reentrant) so the service can append them to its
+// DegradeReport and bump trip/rejoin counters atomically with the state
+// change, exactly like CircuitBreaker does.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/types.h"
+
+namespace lacrv::verify {
+
+enum class QuarantineState : u8 {
+  kHealthy = 0,
+  kQuarantined = 1,
+  kProbationFull = 2,
+  kProbationRamp = 3,
+};
+
+const char* quarantine_state_name(QuarantineState s);
+
+struct QuarantinePolicy {
+  /// Consecutive health-probe KAT passes required to leave quarantined
+  /// for probation (a single failing probe resets the count).
+  int rejoin_probes = 3;
+  /// Clean shadow verifications (at 100% sampling) required to step from
+  /// probation-full down to probation-ramp.
+  int probation_full_clean = 16;
+  /// Clean shadow verifications (at the ramped rate) required to rejoin
+  /// healthy from probation-ramp.
+  int probation_ramp_clean = 16;
+  /// Shadow-verification rate applied to requests that used the slot
+  /// while it is in probation-ramp (probation-full forces 1000).
+  u32 ramp_sample_per_mille = 250;
+};
+
+class SlotQuarantine {
+ public:
+  using TransitionFn = std::function<void(
+      const char* slot, QuarantineState from, QuarantineState to,
+      const std::string& detail)>;
+
+  SlotQuarantine() = default;
+
+  /// A mutex makes quarantines unmovable, so arrays of them are default-
+  /// constructed and configured in place — call before any concurrent
+  /// use (the CircuitBreaker::configure idiom).
+  void configure(const char* slot, QuarantinePolicy policy,
+                 TransitionFn on_transition);
+
+  /// May the slot's hardware path serve the next operation? False only
+  /// in quarantined — probation traffic is the trial that decides
+  /// rejoin.
+  bool allow() const;
+
+  QuarantineState state() const;
+
+  /// Shadow-verification sampling floor this slot imposes on requests
+  /// that used it: 1000 in probation-full, ramp_sample_per_mille in
+  /// probation-ramp, 0 otherwise (the verifier takes the max against its
+  /// configured baseline rate).
+  u32 sample_override_per_mille() const;
+
+  /// Shadow verification proved this slot's output (or a request that
+  /// used it) diverged from golden. Trips from any state.
+  void record_mismatch(const std::string& detail);
+
+  /// A shadow-verified request that used this slot compared clean.
+  /// Advances probation; a no-op in healthy and quarantined.
+  void record_clean_verify();
+
+  /// Health-probe KAT outcomes (fed by KemService::probe_now alongside
+  /// the breakers). Passes walk quarantined toward probation-full;
+  /// failures reset the walk. No-ops outside quarantined — probation
+  /// rejoin is decided by clean *traffic* verification, not KATs, which
+  /// the quarantined fault already evaded once.
+  void probe_passed();
+  void probe_failed(const std::string& detail);
+
+ private:
+  void transition_locked(QuarantineState to, const std::string& detail);
+
+  const char* slot_ = "?";
+  QuarantinePolicy policy_;
+  TransitionFn on_transition_;
+
+  mutable std::mutex mutex_;
+  QuarantineState state_ = QuarantineState::kHealthy;
+  int probe_passes_ = 0;
+  int clean_verifies_ = 0;
+};
+
+}  // namespace lacrv::verify

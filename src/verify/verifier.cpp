@@ -1,0 +1,98 @@
+#include "verify/verifier.h"
+
+#include "fault/plan.h"  // splitmix64
+
+namespace lacrv::verify {
+namespace {
+
+void note(std::string& detail, const char* what) {
+  if (!detail.empty()) detail += ", ";
+  detail += what;
+}
+
+}  // namespace
+
+ShadowResult shadow_encaps(const lac::Params& params,
+                           const lac::Backend& golden,
+                           const lac::PublicKey& pk,
+                           const hash::Seed& entropy, Status served_status,
+                           const lac::EncapsResult& served) {
+  ShadowResult r;
+  // Keyed path, null ledger: independent of contexts, charges nothing.
+  r.golden_encaps =
+      lac::encapsulate_checked(params, golden, pk, entropy, nullptr);
+  if (r.golden_encaps.status != served_status) {
+    note(r.detail, "status");
+    r.detail += std::string(" (served ") + status_name(served_status) +
+                ", golden " + status_name(r.golden_encaps.status) + ")";
+    r.diverged = true;
+  }
+  if (r.golden_encaps.status == Status::kOk && served_status == Status::kOk) {
+    if (served.ct.u != r.golden_encaps.result.ct.u ||
+        served.ct.v != r.golden_encaps.result.ct.v) {
+      note(r.detail, "ciphertext");
+      r.diverged = true;
+    }
+    if (served.key != r.golden_encaps.result.key) {
+      note(r.detail, "shared-key");
+      r.diverged = true;
+    }
+  }
+  return r;
+}
+
+ShadowResult shadow_decaps(const lac::Params& params,
+                           const lac::Backend& golden,
+                           const lac::KemKeyPair& keys,
+                           const lac::Ciphertext& ct, Status served_status,
+                           const lac::SharedKey& served_key) {
+  ShadowResult r;
+  r.golden_decaps = lac::decapsulate_checked(params, golden, keys, ct, nullptr);
+  if (r.golden_decaps.status != served_status) {
+    // A corrupted decapsulation often surfaces as the wrong *verdict*
+    // (honest ciphertext pushed into implicit rejection, or vice versa)
+    // before the key comparison even runs.
+    note(r.detail, "status");
+    r.detail += std::string(" (served ") + status_name(served_status) +
+                ", golden " + status_name(r.golden_decaps.status) + ")";
+    r.diverged = true;
+  }
+  if (served_key != r.golden_decaps.key) {
+    note(r.detail, "shared-key");
+    r.diverged = true;
+  }
+  return r;
+}
+
+hash::Digest encaps_operand_digest(const hash::Seed& entropy) {
+  return hash::sha256(ByteView(entropy.data(), entropy.size()));
+}
+
+hash::Digest decaps_operand_digest(const lac::Params& params,
+                                   const lac::Ciphertext& ct) {
+  const Bytes wire = lac::serialize(params, ct);
+  return hash::sha256(ByteView(wire.data(), wire.size()));
+}
+
+bool ShadowVerifier::should_verify(u64 request_id,
+                                   u32 override_per_mille) const {
+  if (!config_.enabled) return false;
+  const u32 rate = std::max(config_.sample_per_mille, override_per_mille);
+  if (rate == 0) return false;
+  if (rate >= 1000) return true;
+  u64 state = request_id ^ config_.sample_salt;
+  return fault::splitmix64(state) % 1000 < rate;
+}
+
+void ShadowVerifier::record_divergence(DivergenceRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() >= config_.max_divergence_records) return;
+  records_.push_back(std::move(record));
+}
+
+std::vector<DivergenceRecord> ShadowVerifier::divergences() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+}  // namespace lacrv::verify

@@ -10,7 +10,9 @@
 //     columns are provably unchanged by the amortization.
 //  3. Amortization — a warmed KemService performs zero seed expansions
 //     per request (counter-pinned via lac::gen_a_expansions()).
+#include <atomic>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -211,6 +213,100 @@ TEST(ContextCache, EvictsLeastRecentlyUsedAtCapacity) {
   EXPECT_EQ(cache.builds().load(), 3u);
   cache.get_or_build(params, backend, k2);  // rebuilt after eviction
   EXPECT_EQ(cache.builds().load(), 4u);
+}
+
+TEST(ContextCache, ChecksumCoversPublicAndSecretFields) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::optimized();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_from(21));
+
+  KeyContext ctx = build_kem_context(params, backend, keys);
+  EXPECT_TRUE(context_integrity_ok(ctx));
+
+  // One flipped bit anywhere in the covered set must be caught.
+  ctx.a[ctx.a.size() / 2] ^= 0x01;
+  EXPECT_FALSE(context_integrity_ok(ctx));
+  ctx.a[ctx.a.size() / 2] ^= 0x01;
+  EXPECT_TRUE(context_integrity_ok(ctx));
+
+  ctx.s[0] = static_cast<i8>(ctx.s[0] ^ 1);
+  EXPECT_FALSE(context_integrity_ok(ctx));
+  ctx.s[0] = static_cast<i8>(ctx.s[0] ^ 1);
+
+  ctx.pk_hash[3] ^= 0x80;
+  EXPECT_FALSE(context_integrity_ok(ctx));
+}
+
+TEST(ContextCache, CorruptedCachedEntryIsDetectedAndRebuilt) {
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::optimized();
+  const KemKeyPair keys = kem_keygen(params, backend, seed_from(22));
+
+  ContextCache cache(4);
+  const auto first = cache.get_or_build(params, backend, keys);
+  ASSERT_EQ(cache.builds().load(), 1u);
+  ASSERT_TRUE(context_integrity_ok(*first));
+
+  // Model a memory fault against the cached (shared, nominally
+  // immutable) entry, then check it out again: the checksum must veto
+  // the hit and the cache must rebuild instead of serving poison.
+  ASSERT_TRUE(cache.corrupt_for_test(keys.pk.seed_a, params.n));
+  EXPECT_FALSE(context_integrity_ok(*first));
+
+  const auto rebuilt = cache.get_or_build(params, backend, keys);
+  EXPECT_EQ(cache.corruptions().load(), 1u);
+  EXPECT_EQ(cache.builds().load(), 2u);
+  EXPECT_NE(rebuilt.get(), first.get());
+  EXPECT_TRUE(context_integrity_ok(*rebuilt));
+
+  // The rebuilt context serves bit-identically to a fresh build.
+  const hash::Seed entropy = seed_from(23);
+  const EncapsResult via_cache =
+      encapsulate(params, backend, *rebuilt, entropy);
+  const EncapsResult plain = encapsulate(params, backend, keys.pk, entropy);
+  EXPECT_EQ(via_cache.ct.u, plain.ct.u);
+  EXPECT_EQ(via_cache.ct.v, plain.ct.v);
+  EXPECT_EQ(via_cache.key, plain.key);
+}
+
+TEST(ContextCache, ConcurrentChurnUnderCapacityPressure) {
+  // Four threads hammer a capacity-2 cache with five distinct keys:
+  // every checkout races hits, builds, evictions and the checksum
+  // validation path. The invariants: every returned context passes its
+  // integrity check and belongs to the requested key, and the hit/build
+  // accounting adds up exactly.
+  const Params& params = Params::lac128();
+  const Backend backend = Backend::optimized();
+  constexpr std::size_t kKeys = 5;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kItersPerThread = 40;
+
+  std::vector<KemKeyPair> keys;
+  for (std::size_t k = 0; k < kKeys; ++k)
+    keys.push_back(
+        kem_keygen(params, backend, seed_from(static_cast<u8>(30 + k))));
+
+  ContextCache cache(2);
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kItersPerThread; ++i) {
+        const KemKeyPair& key = keys[(t * 3 + i) % kKeys];
+        const auto ctx = cache.get_or_build(params, backend, key);
+        if (!ctx || !context_integrity_ok(*ctx) ||
+            ctx->pk.seed_a != key.pk.seed_a || !ctx->has_secret)
+          violations.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.hits().load() + cache.builds().load(),
+            kThreads * kItersPerThread);
+  EXPECT_EQ(cache.corruptions().load(), 0u);
 }
 
 TEST(ContextCache, DistinguishesParameterSetsUnderOneSeed) {

@@ -260,10 +260,14 @@ TEST(NetProtocol, StatusMappingFollowsCcaContract) {
   EXPECT_EQ(wire_status_from(Status::kUnavailable), WireStatus::kUnavailable);
   EXPECT_EQ(wire_status_from(Status::kSelfTestFailure),
             WireStatus::kUnavailable);
+  // An integrity refusal is a per-request verdict about one answer, not
+  // a service- or connection-level condition.
+  EXPECT_EQ(wire_status_from(Status::kIntegrity), WireStatus::kIntegrity);
 
   // Per-request errors keep the connection; protocol errors close it.
   EXPECT_FALSE(is_protocol_error(WireStatus::kUnknownKey));
   EXPECT_FALSE(is_protocol_error(WireStatus::kBadPayload));
+  EXPECT_FALSE(is_protocol_error(WireStatus::kIntegrity));
   EXPECT_FALSE(is_protocol_error(WireStatus::kOverloaded));
   EXPECT_TRUE(is_protocol_error(WireStatus::kBadMagic));
   EXPECT_TRUE(is_protocol_error(WireStatus::kBadVersion));
@@ -271,6 +275,22 @@ TEST(NetProtocol, StatusMappingFollowsCcaContract) {
   EXPECT_TRUE(is_protocol_error(WireStatus::kOversized));
 
   EXPECT_STREQ(wire_status_name(WireStatus::kOversized), "oversized");
+  EXPECT_STREQ(wire_status_name(WireStatus::kIntegrity), "integrity");
+}
+
+TEST(NetProtocol, IntegrityStatusRoundTripsOnTheWire) {
+  ResponseFrame in;
+  in.status = WireStatus::kIntegrity;
+  in.request_id = 7;
+  const Bytes wire = encode_response(in);
+
+  ResponseParser parser;
+  parser.feed(wire);
+  ResponseFrame out;
+  ASSERT_EQ(parser.next(&out), ParseResult::kFrame);
+  EXPECT_EQ(out.status, WireStatus::kIntegrity);
+  EXPECT_EQ(out.request_id, 7u);
+  EXPECT_TRUE(out.payload.empty());
 }
 
 }  // namespace
